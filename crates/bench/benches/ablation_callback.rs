@@ -1,0 +1,91 @@
+//! Ablation: why breakpoint emulation hooks the *clock edge* instead
+//! of tracing signal values (§3 design choice).
+//!
+//! Compares per-cycle cost of: no instrumentation, an empty clock-edge
+//! callback (hgdb's mechanism), a callback that samples one signal,
+//! and full per-cycle value sampling (what a value-change-callback /
+//! tracing approach would pay).
+
+use bench::{compile_core, loaded_sim};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtl_sim::SimControl;
+
+const CYCLES: u64 = 1000;
+
+fn callback_ablation(c: &mut Criterion) {
+    let core = compile_core(false);
+    let workload = rv32::programs::multiply();
+
+    let mut group = c.benchmark_group("ablation_callback");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("no_instrumentation", |b| {
+        b.iter_batched(
+            || loaded_sim(&core, &workload),
+            |mut sim| {
+                for _ in 0..CYCLES {
+                    sim.step_clock();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("empty_clock_callback", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = loaded_sim(&core, &workload);
+                sim.add_clock_callback(Box::new(|_| {}));
+                sim
+            },
+            |mut sim| {
+                for _ in 0..CYCLES {
+                    sim.step_clock();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("callback_sampling_one_signal", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = loaded_sim(&core, &workload);
+                sim.add_clock_callback(Box::new(|view| {
+                    let _ = view.get_value("cpu.pc");
+                }));
+                sim
+            },
+            |mut sim| {
+                for _ in 0..CYCLES {
+                    sim.step_clock();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("full_trace_sampling", |b| {
+        b.iter_batched(
+            || {
+                let sim = loaded_sim(&core, &workload);
+                let rec = vcd::Recorder::new(&sim, std::io::sink()).expect("recorder");
+                (sim, rec)
+            },
+            |(mut sim, mut rec)| {
+                for _ in 0..CYCLES {
+                    sim.step_clock();
+                    rec.sample(&sim).expect("sample");
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, callback_ablation);
+criterion_main!(benches);

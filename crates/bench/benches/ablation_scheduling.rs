@@ -1,0 +1,55 @@
+//! Ablation: precomputed breakpoint ordering vs re-deriving per cycle
+//! (§3.2 — "Before the simulation starts, we compute the absolute
+//! ordering of every potential breakpoint").
+
+use bench::{compile_dual, symbols_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgdb::Scheduler;
+
+fn scheduling(c: &mut Criterion) {
+    let core = compile_dual(true);
+    let st = symbols_for(&core);
+    let n = st.all_breakpoints().expect("query").len();
+    assert!(n > 20, "need a meaningful breakpoint population, got {n}");
+
+    let mut group = c.benchmark_group("ablation_scheduling");
+
+    // hgdb's way: order once, then per-cycle iteration is just a
+    // cursor walk.
+    let mut precomputed = Scheduler::from_symbols(&st).expect("scheduler");
+    group.bench_function("precomputed_walk_per_cycle", |b| {
+        b.iter(|| {
+            precomputed.reset_cycle();
+            let mut visited = 0usize;
+            for gi in precomputed.remaining_forward() {
+                visited += precomputed.groups()[gi].bp_ids.len();
+            }
+            visited
+        })
+    });
+
+    // The naive alternative: rebuild (re-sort) the ordering every
+    // cycle from the symbol table.
+    group.bench_function("rebuild_ordering_per_cycle", |b| {
+        b.iter(|| {
+            let sched = Scheduler::from_symbols(&st).expect("scheduler");
+            let mut visited = 0usize;
+            for gi in sched.remaining_forward() {
+                visited += sched.groups()[gi].bp_ids.len();
+            }
+            visited
+        })
+    });
+
+    // The fast path the paper highlights: nothing inserted, exit
+    // immediately.
+    group.bench_function("empty_fast_path", |b| {
+        let empty = Scheduler::from_symbols(&symtab::SymbolTable::new()).expect("scheduler");
+        b.iter(|| empty.is_empty())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, scheduling);
+criterion_main!(benches);

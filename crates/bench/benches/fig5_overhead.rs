@@ -1,0 +1,75 @@
+//! Figure 5: simulation time for the benchmark suite under the four
+//! configurations (baseline, baseline+hgdb, debug, debug+hgdb).
+//!
+//! The paper's claim: "at no point does hgdb overhead exceed 5% of
+//! runtime", in either build mode. Criterion times a bounded number of
+//! cycles per workload (per-cycle cost is what the callback overhead
+//! perturbs); the companion `fig5_table` binary runs workloads to
+//! completion and prints the normalized table for EXPERIMENTS.md.
+
+use bench::{
+    attach_runtime, compile_core, compile_dual, loaded_sim, run_attached, run_plain,
+    symbols_for, FigConfig,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// Cycles timed per iteration — enough to amortize setup noise while
+/// keeping the full sweep fast.
+const CYCLES: u64 = 1500;
+
+fn fig5(c: &mut Criterion) {
+    // Compile each design variant once; they are workload-independent.
+    let single_rel = compile_core(false);
+    let single_dbg = compile_core(true);
+    let dual_rel = compile_dual(false);
+    let dual_dbg = compile_dual(true);
+    let sym_single_rel = symbols_for(&single_rel);
+    let sym_single_dbg = symbols_for(&single_dbg);
+    let sym_dual_rel = symbols_for(&dual_rel);
+    let sym_dual_dbg = symbols_for(&dual_dbg);
+
+    for workload in rv32::suite() {
+        let mut group = c.benchmark_group(format!("fig5/{}", workload.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+        for config in FigConfig::all() {
+            let core = match (workload.dual_core, config.debug_build()) {
+                (false, false) => &single_rel,
+                (false, true) => &single_dbg,
+                (true, false) => &dual_rel,
+                (true, true) => &dual_dbg,
+            };
+            let symbols = match (workload.dual_core, config.debug_build()) {
+                (false, false) => &sym_single_rel,
+                (false, true) => &sym_single_dbg,
+                (true, false) => &sym_dual_rel,
+                (true, true) => &sym_dual_dbg,
+            };
+            let workload = workload.clone();
+            group.bench_function(config.label(), |b| {
+                b.iter_batched(
+                    || {
+                        let sim = loaded_sim(core, &workload);
+                        if config.hgdb_attached() {
+                            // Attach outside the timed region: Figure 5
+                            // measures steady-state overhead.
+                            Err(attach_runtime(sim, symbols.clone()))
+                        } else {
+                            Ok(sim)
+                        }
+                    },
+                    |setup| match setup {
+                        Err(mut runtime) => run_attached(&mut runtime, &core.top, CYCLES),
+                        Ok(mut sim) => run_plain(&mut sim, &core.top, CYCLES),
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

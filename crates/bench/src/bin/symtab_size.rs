@@ -1,0 +1,48 @@
+//! §4.1 size experiment: "We have noticed about 30% increase in the
+//! symbol table size when the debug mode is on."
+//!
+//! Compiles several designs in release and debug mode and reports
+//! symbol-table rows, bytes, and surviving/dropped breakpoint counts.
+//!
+//! Run with `cargo run --release -p bench --bin symtab_size`.
+
+use bench::{compile_core, compile_dsp, compile_dual, symbols_for};
+
+fn main() {
+    println!("Symbol-table size: debug mode vs optimized (paper: ~30% growth)\n");
+    println!(
+        "{:<12} {:>11} {:>11} {:>9} {:>12} {:>12} {:>9}",
+        "design", "rows(rel)", "rows(dbg)", "growth", "bytes(rel)", "bytes(dbg)", "growth"
+    );
+
+    let designs: Vec<(&str, Box<dyn Fn(bool) -> bench::CompiledCore>)> = vec![
+        ("rv32-core", Box::new(compile_core)),
+        ("rv32-dual", Box::new(compile_dual)),
+        ("fir-dsp", Box::new(compile_dsp)),
+    ];
+
+    for (name, compile) in designs {
+        let rel = compile(false);
+        let dbg = compile(true);
+        let st_rel = symbols_for(&rel);
+        let st_dbg = symbols_for(&dbg);
+        let rows_growth =
+            (st_dbg.row_count() as f64 / st_rel.row_count() as f64 - 1.0) * 100.0;
+        let bytes_growth =
+            (st_dbg.size_in_bytes() as f64 / st_rel.size_in_bytes() as f64 - 1.0) * 100.0;
+        println!(
+            "{:<12} {:>11} {:>11} {:>8.1}% {:>12} {:>12} {:>8.1}%",
+            name,
+            st_rel.row_count(),
+            st_dbg.row_count(),
+            rows_growth,
+            st_rel.size_in_bytes(),
+            st_dbg.size_in_bytes(),
+            bytes_growth
+        );
+        println!(
+            "  breakpoints dropped by optimization: release={}, debug={}",
+            rel.debug_table.dropped, dbg.debug_table.dropped
+        );
+    }
+}

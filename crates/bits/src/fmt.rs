@@ -1,0 +1,98 @@
+//! `Display`, `Debug`, `LowerHex` and `Binary` formatting for [`Bits`].
+//!
+//! The `Display` form is decimal for values that fit in 128 bits and hex
+//! (with a `0x` prefix) otherwise; debuggers show signal values with this
+//! formatting, matching how the paper's IDE displays fetched values.
+
+use core::fmt;
+
+use crate::Bits;
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width() <= 128 {
+            write!(f, "{}", self.to_u128())
+        } else {
+            write!(f, "{:#x}", self)
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width(), self)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        let nibbles = ((self.width() + 3) / 4) as usize;
+        let mut started = false;
+        for i in (0..nibbles).rev() {
+            let lo = (i as u32) * 4;
+            let hi = core::cmp::min(lo + 3, self.width() - 1);
+            let nib = self.slice(hi, lo).to_u64();
+            if nib != 0 || started || i == 0 {
+                started = true;
+                write!(f, "{nib:x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0b")?;
+        }
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bits;
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(Bits::from_u64(42, 8).to_string(), "42");
+        assert_eq!(Bits::from_u128(1u128 << 100, 128).to_string(), (1u128 << 100).to_string());
+    }
+
+    #[test]
+    fn debug_verilog_style() {
+        assert_eq!(format!("{:?}", Bits::from_u64(0xAB, 8)), "8'hab");
+        assert_eq!(format!("{:?}", Bits::zero(1)), "1'h0");
+    }
+
+    #[test]
+    fn hex_no_leading_zeros_except_zero() {
+        assert_eq!(format!("{:x}", Bits::from_u64(0x0A, 16)), "a");
+        assert_eq!(format!("{:x}", Bits::zero(16)), "0");
+        assert_eq!(format!("{:#x}", Bits::from_u64(0xFF, 8)), "0xff");
+    }
+
+    #[test]
+    fn hex_wide_value() {
+        let b = Bits::from_u128(0xDEAD_BEEF_CAFE_F00D_1234u128, 80);
+        assert_eq!(format!("{:x}", b), "deadbeefcafef00d1234");
+    }
+
+    #[test]
+    fn binary_full_width() {
+        assert_eq!(format!("{:b}", Bits::from_u64(0b101, 5)), "00101");
+        assert_eq!(format!("{:#b}", Bits::from_u64(0b1, 2)), "0b01");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Bits::default()).is_empty());
+    }
+}

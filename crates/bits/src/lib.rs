@@ -1,0 +1,455 @@
+//! Arbitrary-width two-state bit vectors.
+//!
+//! [`Bits`] is the value type used throughout the hgdb reproduction: IR
+//! constants, simulator signal values, VCD samples, and the debugger's
+//! expression evaluator all operate on it. The representation is two-state
+//! (`0`/`1` only) because the paper's breakpoint emulation relies on
+//! zero-delay simulation where every signal is fully resolved at each clock
+//! edge (§3 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use bits::Bits;
+//!
+//! let a = Bits::from_u64(5, 8);
+//! let b = Bits::from_u64(7, 8);
+//! let sum = a.add(&b);
+//! assert_eq!(sum.to_u64(), 12);
+//! assert_eq!(sum.width(), 8);
+//! ```
+
+mod fmt;
+mod ops;
+mod parse;
+
+pub use parse::ParseBitsError;
+
+/// Number of 64-bit words needed to store `width` bits.
+#[inline]
+pub(crate) fn words_for(width: u32) -> usize {
+    ((width as usize) + 63) / 64
+}
+
+/// An arbitrary-width, two-state (binary) bit vector.
+///
+/// Invariants:
+/// * `width >= 1`
+/// * the backing storage holds exactly `ceil(width / 64)` words
+/// * bits above `width` are always zero
+///
+/// Arithmetic is modular in the operand width (hardware semantics).
+/// Operations that combine two vectors require equal widths; the IR's
+/// width-inference pass is responsible for inserting explicit extensions,
+/// mirroring FIRRTL's lowering discipline.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn zero(width: u32) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        Bits {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates an all-ones vector of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        for w in &mut b.words {
+            *w = u64::MAX;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector from a `u64`, truncating to `width` bits.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = value;
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector from a `u128`, truncating to `width` bits.
+    pub fn from_u128(value: u128, width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = value as u64;
+        if b.words.len() > 1 {
+            b.words[1] = (value >> 64) as u64;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a 1-bit vector from a boolean.
+    pub fn from_bool(value: bool) -> Self {
+        Bits::from_u64(value as u64, 1)
+    }
+
+    /// Creates a vector from an `i64`, sign-extended then truncated to
+    /// `width` bits (two's complement).
+    pub fn from_i64(value: i64, width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        let fill = if value < 0 { u64::MAX } else { 0 };
+        b.words[0] = value as u64;
+        for w in b.words.iter_mut().skip(1) {
+            *w = fill;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector from little-endian 64-bit words, truncating to
+    /// `width`.
+    pub fn from_words(words: &[u64], width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        for (dst, src) in b.words.iter_mut().zip(words.iter()) {
+            *dst = *src;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// The width in bits. Always at least 1.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Backing words, little-endian. Bits above `width` are zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The value as `u64`, ignoring any higher bits.
+    #[inline]
+    pub fn to_u64(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// The value as `u128`, ignoring any higher bits.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.words[0] as u128;
+        let hi = if self.words.len() > 1 {
+            (self.words[1] as u128) << 64
+        } else {
+            0
+        };
+        hi | lo
+    }
+
+    /// The value as `i64` interpreting the vector as two's complement in
+    /// its own width (widths of 64 or more use the low 64 bits unchanged).
+    pub fn to_i64(&self) -> i64 {
+        if self.width >= 64 {
+            return self.words[0] as i64;
+        }
+        let raw = self.words[0];
+        let sign = 1u64 << (self.width - 1);
+        if raw & sign != 0 {
+            (raw | !(sign | (sign - 1))) as i64
+        } else {
+            raw as i64
+        }
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        !self.any()
+    }
+
+    /// Whether the value, viewed as a condition, is truthy (nonzero).
+    /// This is the semantics used by breakpoint enable conditions.
+    #[inline]
+    pub fn is_truthy(&self) -> bool {
+        self.any()
+    }
+
+    /// The bit at `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
+        (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    /// Returns a copy with the bit at `index` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn with_bit(&self, index: u32, value: bool) -> Self {
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
+        let mut b = self.clone();
+        let word = (index / 64) as usize;
+        let mask = 1u64 << (index % 64);
+        if value {
+            b.words[word] |= mask;
+        } else {
+            b.words[word] &= !mask;
+        }
+        b
+    }
+
+    /// The most significant bit (the sign bit in signed interpretation).
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Zero-extends or truncates to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn resize(&self, width: u32) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        let mut b = Bits::zero(width);
+        for (dst, src) in b.words.iter_mut().zip(self.words.iter()) {
+            *dst = *src;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Sign-extends (or truncates) to `width` using the current MSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn resize_signed(&self, width: u32) -> Self {
+        assert!(width > 0, "Bits width must be at least 1");
+        if width <= self.width {
+            return self.resize(width);
+        }
+        let mut b = self.resize(width);
+        if self.msb() {
+            for i in self.width..width {
+                b = b.with_bit(i, true);
+            }
+        }
+        b
+    }
+
+    /// Extracts the inclusive bit range `[lo, hi]` as a new vector of
+    /// width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        assert!(hi < self.width, "slice hi ({hi}) out of width {}", self.width);
+        let out_width = hi - lo + 1;
+        let mut out = Bits::zero(out_width);
+        for i in 0..out_width {
+            if self.bit(lo + i) {
+                out = out.with_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part):
+    /// `{self, low}` in Verilog notation.
+    pub fn concat(&self, low: &Bits) -> Self {
+        let width = self.width + low.width;
+        let mut out = low.resize(width);
+        for i in 0..self.width {
+            if self.bit(i) {
+                out = out.with_bit(low.width + i, true);
+            }
+        }
+        out
+    }
+
+    /// Clears bits above `width` to restore the invariant.
+    pub(crate) fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+impl Default for Bits {
+    /// A 1-bit zero.
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_width() {
+        let b = Bits::zero(65);
+        assert_eq!(b.width(), 65);
+        assert_eq!(b.words().len(), 2);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_panics() {
+        let _ = Bits::zero(0);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let b = Bits::from_u64(0xFF, 4);
+        assert_eq!(b.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn from_u128_round_trip() {
+        let v = 0x1234_5678_9ABC_DEF0_1122_3344_5566_7788u128;
+        let b = Bits::from_u128(v, 128);
+        assert_eq!(b.to_u128(), v);
+    }
+
+    #[test]
+    fn from_i64_negative_sign_extends() {
+        let b = Bits::from_i64(-1, 100);
+        assert_eq!(b.count_ones(), 100);
+        let c = Bits::from_i64(-2, 8);
+        assert_eq!(c.to_u64(), 0xFE);
+    }
+
+    #[test]
+    fn to_i64_signed_interpretation() {
+        assert_eq!(Bits::from_u64(0xFF, 8).to_i64(), -1);
+        assert_eq!(Bits::from_u64(0x7F, 8).to_i64(), 127);
+        assert_eq!(Bits::from_u64(0x80, 8).to_i64(), -128);
+    }
+
+    #[test]
+    fn ones_masks_top() {
+        let b = Bits::ones(3);
+        assert_eq!(b.to_u64(), 0b111);
+        let c = Bits::ones(64);
+        assert_eq!(c.to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let b = Bits::zero(70).with_bit(69, true);
+        assert!(b.bit(69));
+        assert!(!b.bit(68));
+        assert!(b.msb());
+        let c = b.with_bit(69, false);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        Bits::zero(8).bit(8);
+    }
+
+    #[test]
+    fn resize_zero_extend_and_truncate() {
+        let b = Bits::from_u64(0xAB, 8);
+        assert_eq!(b.resize(16).to_u64(), 0xAB);
+        assert_eq!(b.resize(4).to_u64(), 0xB);
+    }
+
+    #[test]
+    fn resize_signed() {
+        let b = Bits::from_u64(0x8, 4); // -8 in 4 bits
+        assert_eq!(b.resize_signed(8).to_u64(), 0xF8);
+        let c = Bits::from_u64(0x7, 4);
+        assert_eq!(c.resize_signed(8).to_u64(), 0x07);
+    }
+
+    #[test]
+    fn slice_basic() {
+        let b = Bits::from_u64(0b1011_0110, 8);
+        assert_eq!(b.slice(3, 0).to_u64(), 0b0110);
+        assert_eq!(b.slice(7, 4).to_u64(), 0b1011);
+        assert_eq!(b.slice(5, 5).to_u64(), 1);
+        assert_eq!(b.slice(5, 5).width(), 1);
+    }
+
+    #[test]
+    fn slice_across_word_boundary() {
+        let b = Bits::from_u128(0xF << 62, 70);
+        let s = b.slice(65, 62);
+        assert_eq!(s.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn concat_basic() {
+        let hi = Bits::from_u64(0b101, 3);
+        let lo = Bits::from_u64(0b01, 2);
+        let c = hi.concat(&lo);
+        assert_eq!(c.width(), 5);
+        assert_eq!(c.to_u64(), 0b10101);
+    }
+
+    #[test]
+    fn default_is_one_bit_zero() {
+        let d = Bits::default();
+        assert_eq!(d.width(), 1);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn count_ones_wide() {
+        let b = Bits::ones(130);
+        assert_eq!(b.count_ones(), 130);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Bits::from_u64(2, 4).is_truthy());
+        assert!(!Bits::zero(4).is_truthy());
+    }
+
+    #[test]
+    fn from_words_truncates() {
+        let b = Bits::from_words(&[u64::MAX, u64::MAX, u64::MAX], 65);
+        assert_eq!(b.count_ones(), 65);
+        assert_eq!(b.words().len(), 2);
+    }
+}

@@ -1,0 +1,495 @@
+//! Arithmetic, logical, shift, comparison and reduction operations.
+//!
+//! All two-operand arithmetic requires equal operand widths and produces a
+//! result of the same width (wrapping, i.e. modulo `2^width`), matching the
+//! semantics of a lowered RTL netlist. Comparisons produce 1-bit results.
+
+use crate::Bits;
+
+impl Bits {
+    fn assert_same_width(&self, other: &Bits, op: &str) {
+        assert!(
+            self.width == other.width,
+            "{op}: operand widths differ ({} vs {})",
+            self.width,
+            other.width
+        );
+    }
+
+    /// Wrapping addition. Operands must have equal widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "add");
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.words.len() {
+            let (s1, c1) = self.words[i].overflowing_add(other.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction (`self - other`). Operands must have equal
+    /// widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "sub");
+        self.add(&other.neg())
+    }
+
+    /// Two's-complement negation in the same width.
+    pub fn neg(&self) -> Bits {
+        let mut out = self.not();
+        let one = Bits::from_u64(1, self.width);
+        out = out.add(&one);
+        out
+    }
+
+    /// Wrapping multiplication (schoolbook over 32-bit limbs). Operands
+    /// must have equal widths; the result is truncated to that width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mul(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "mul");
+        let n = self.words.len();
+        let mut acc = vec![0u128; n + 1];
+        for i in 0..n {
+            let a = self.words[i] as u128;
+            if a == 0 {
+                continue;
+            }
+            for j in 0..n - i {
+                let b = other.words[j] as u128;
+                if b == 0 {
+                    continue;
+                }
+                let prod = a * b;
+                acc[i + j] += prod & 0xFFFF_FFFF_FFFF_FFFF;
+                acc[i + j + 1] += prod >> 64;
+            }
+        }
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u128;
+        for i in 0..n {
+            let v = acc[i] + carry;
+            out.words[i] = v as u64;
+            carry = v >> 64;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division (`self / other`). Division by zero yields all
+    /// ones (matching common RTL divider conventions rather than X).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn div(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "div");
+        if other.is_zero() {
+            return Bits::ones(self.width);
+        }
+        self.divmod(other).0
+    }
+
+    /// Unsigned remainder (`self % other`). Remainder by zero yields
+    /// `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn rem(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "rem");
+        if other.is_zero() {
+            return self.clone();
+        }
+        self.divmod(other).1
+    }
+
+    /// Restoring long division on bits; adequate for simulation widths.
+    fn divmod(&self, other: &Bits) -> (Bits, Bits) {
+        let mut quot = Bits::zero(self.width);
+        let mut rem = Bits::zero(self.width);
+        for i in (0..self.width).rev() {
+            rem = rem.shl_const(1);
+            if self.bit(i) {
+                rem = rem.with_bit(0, true);
+            }
+            if rem.cmp_unsigned(other) != core::cmp::Ordering::Less {
+                rem = rem.sub(other);
+                quot = quot.with_bit(i, true);
+            }
+        }
+        (quot, rem)
+    }
+
+    /// Bitwise NOT in the same width.
+    pub fn not(&self) -> Bits {
+        let mut out = Bits::zero(self.width);
+        for (o, s) in out.words.iter_mut().zip(self.words.iter()) {
+            *o = !s;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "and");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+            *o &= s;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "or");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+            *o |= s;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        self.assert_same_width(other, "xor");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+            *o ^= s;
+        }
+        out
+    }
+
+    /// AND-reduction: 1-bit result, set iff all bits are 1.
+    pub fn reduce_and(&self) -> Bits {
+        Bits::from_bool(self.count_ones() == self.width)
+    }
+
+    /// OR-reduction: 1-bit result, set iff any bit is 1.
+    pub fn reduce_or(&self) -> Bits {
+        Bits::from_bool(self.any())
+    }
+
+    /// XOR-reduction: 1-bit parity.
+    pub fn reduce_xor(&self) -> Bits {
+        Bits::from_bool(self.count_ones() % 2 == 1)
+    }
+
+    /// Logical shift left by a constant amount; result keeps the width.
+    pub fn shl_const(&self, amount: u32) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        for i in amount..self.width {
+            if self.bit(i - amount) {
+                out = out.with_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Logical shift right by a constant amount; result keeps the width.
+    pub fn shr_const(&self, amount: u32) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        for i in 0..self.width - amount {
+            if self.bit(i + amount) {
+                out = out.with_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Arithmetic shift right by a constant amount (sign-filling).
+    pub fn ashr_const(&self, amount: u32) -> Bits {
+        let sign = self.msb();
+        let mut out = if amount >= self.width {
+            Bits::zero(self.width)
+        } else {
+            self.shr_const(amount)
+        };
+        if sign {
+            let start = self.width.saturating_sub(amount);
+            for i in start..self.width {
+                out = out.with_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Dynamic logical shift left: amount taken from `amount`'s value.
+    pub fn shl(&self, amount: &Bits) -> Bits {
+        self.shl_const(amount.shift_amount(self.width))
+    }
+
+    /// Dynamic logical shift right.
+    pub fn shr(&self, amount: &Bits) -> Bits {
+        self.shr_const(amount.shift_amount(self.width))
+    }
+
+    /// Dynamic arithmetic shift right.
+    pub fn ashr(&self, amount: &Bits) -> Bits {
+        self.ashr_const(amount.shift_amount(self.width))
+    }
+
+    /// Clamps a dynamic shift amount to something harmless (`>= width`
+    /// just produces the fully-shifted value).
+    fn shift_amount(&self, width: u32) -> u32 {
+        let v = self.to_u128();
+        if v >= width as u128 {
+            width
+        } else {
+            v as u32
+        }
+    }
+
+    /// Unsigned comparison.
+    pub fn cmp_unsigned(&self, other: &Bits) -> core::cmp::Ordering {
+        debug_assert_eq!(self.width, other.width, "cmp_unsigned width mismatch");
+        for i in (0..self.words.len()).rev() {
+            match self.words[i].cmp(&other.words[i]) {
+                core::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+
+    /// Signed (two's complement) comparison.
+    pub fn cmp_signed(&self, other: &Bits) -> core::cmp::Ordering {
+        debug_assert_eq!(self.width, other.width, "cmp_signed width mismatch");
+        match (self.msb(), other.msb()) {
+            (true, false) => core::cmp::Ordering::Less,
+            (false, true) => core::cmp::Ordering::Greater,
+            _ => self.cmp_unsigned(other),
+        }
+    }
+
+    /// 1-bit equality.
+    pub fn eq_bits(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) == core::cmp::Ordering::Equal)
+    }
+
+    /// 1-bit inequality.
+    pub fn ne_bits(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) != core::cmp::Ordering::Equal)
+    }
+
+    /// 1-bit unsigned less-than.
+    pub fn lt_unsigned(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) == core::cmp::Ordering::Less)
+    }
+
+    /// 1-bit unsigned less-or-equal.
+    pub fn le_unsigned(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) != core::cmp::Ordering::Greater)
+    }
+
+    /// 1-bit unsigned greater-than.
+    pub fn gt_unsigned(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) == core::cmp::Ordering::Greater)
+    }
+
+    /// 1-bit unsigned greater-or-equal.
+    pub fn ge_unsigned(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_unsigned(other) != core::cmp::Ordering::Less)
+    }
+
+    /// 1-bit signed less-than.
+    pub fn lt_signed(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_signed(other) == core::cmp::Ordering::Less)
+    }
+
+    /// 1-bit signed less-or-equal.
+    pub fn le_signed(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_signed(other) != core::cmp::Ordering::Greater)
+    }
+
+    /// 1-bit signed greater-than.
+    pub fn gt_signed(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_signed(other) == core::cmp::Ordering::Greater)
+    }
+
+    /// 1-bit signed greater-or-equal.
+    pub fn ge_signed(&self, other: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_signed(other) != core::cmp::Ordering::Less)
+    }
+
+    /// 2:1 multiplexer: `if sel { self } else { other }` where `sel` is
+    /// truthy iff nonzero.
+    pub fn mux(sel: &Bits, then_val: &Bits, else_val: &Bits) -> Bits {
+        if sel.is_truthy() {
+            then_val.clone()
+        } else {
+            else_val.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64, w: u32) -> Bits {
+        Bits::from_u64(v, w)
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(b(0xFF, 8).add(&b(1, 8)).to_u64(), 0);
+        assert_eq!(b(200, 8).add(&b(100, 8)).to_u64(), 44);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = Bits::from_u128(u64::MAX as u128, 128);
+        let one = Bits::from_u64(1, 128);
+        assert_eq!(a.add(&one).to_u128(), 1u128 << 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand widths differ")]
+    fn add_width_mismatch_panics() {
+        b(1, 8).add(&b(1, 9));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(b(5, 8).sub(&b(7, 8)).to_u64(), 0xFE);
+        assert_eq!(b(1, 4).neg().to_u64(), 0xF);
+        assert_eq!(Bits::zero(16).neg().to_u64(), 0);
+    }
+
+    #[test]
+    fn mul_basic_and_wrap() {
+        assert_eq!(b(7, 8).mul(&b(6, 8)).to_u64(), 42);
+        assert_eq!(b(16, 8).mul(&b(16, 8)).to_u64(), 0);
+        assert_eq!(b(0xFFFF, 16).mul(&b(0xFFFF, 16)).to_u64(), 1);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = Bits::from_u128(0xFFFF_FFFF_FFFF_FFFF, 128);
+        let r = a.mul(&a);
+        assert_eq!(r.to_u128(), 0xFFFF_FFFF_FFFF_FFFFu128 * 0xFFFF_FFFF_FFFF_FFFFu128);
+    }
+
+    #[test]
+    fn div_rem() {
+        assert_eq!(b(42, 8).div(&b(5, 8)).to_u64(), 8);
+        assert_eq!(b(42, 8).rem(&b(5, 8)).to_u64(), 2);
+        assert_eq!(b(42, 8).div(&Bits::zero(8)).to_u64(), 0xFF);
+        assert_eq!(b(42, 8).rem(&Bits::zero(8)).to_u64(), 42);
+    }
+
+    #[test]
+    fn div_wide() {
+        let a = Bits::from_u128(1u128 << 100, 128);
+        let d = Bits::from_u128(3, 128);
+        assert_eq!(a.div(&d).to_u128(), (1u128 << 100) / 3);
+        assert_eq!(a.rem(&d).to_u128(), (1u128 << 100) % 3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(b(0b1100, 4).and(&b(0b1010, 4)).to_u64(), 0b1000);
+        assert_eq!(b(0b1100, 4).or(&b(0b1010, 4)).to_u64(), 0b1110);
+        assert_eq!(b(0b1100, 4).xor(&b(0b1010, 4)).to_u64(), 0b0110);
+        assert_eq!(b(0b1100, 4).not().to_u64(), 0b0011);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bits::ones(7).reduce_and().to_u64(), 1);
+        assert_eq!(b(0b110, 3).reduce_and().to_u64(), 0);
+        assert_eq!(b(0b110, 3).reduce_or().to_u64(), 1);
+        assert_eq!(Bits::zero(3).reduce_or().to_u64(), 0);
+        assert_eq!(b(0b110, 3).reduce_xor().to_u64(), 0);
+        assert_eq!(b(0b100, 3).reduce_xor().to_u64(), 1);
+    }
+
+    #[test]
+    fn shifts_const() {
+        assert_eq!(b(0b0011, 4).shl_const(2).to_u64(), 0b1100);
+        assert_eq!(b(0b1100, 4).shr_const(2).to_u64(), 0b0011);
+        assert_eq!(b(0b1100, 4).shl_const(4).to_u64(), 0);
+        assert_eq!(b(0b1000, 4).ashr_const(2).to_u64(), 0b1110);
+        assert_eq!(b(0b0100, 4).ashr_const(2).to_u64(), 0b0001);
+        assert_eq!(b(0b1000, 4).ashr_const(10).to_u64(), 0b1111);
+    }
+
+    #[test]
+    fn shifts_dynamic() {
+        assert_eq!(b(1, 8).shl(&b(3, 4)).to_u64(), 8);
+        assert_eq!(b(0x80, 8).shr(&b(7, 4)).to_u64(), 1);
+        assert_eq!(b(1, 8).shl(&Bits::from_u64(200, 16)).to_u64(), 0);
+        assert_eq!(b(0x80, 8).ashr(&b(3, 4)).to_u64(), 0xF0);
+    }
+
+    #[test]
+    fn comparisons_unsigned() {
+        assert_eq!(b(3, 8).lt_unsigned(&b(5, 8)).to_u64(), 1);
+        assert_eq!(b(5, 8).lt_unsigned(&b(5, 8)).to_u64(), 0);
+        assert_eq!(b(5, 8).le_unsigned(&b(5, 8)).to_u64(), 1);
+        assert_eq!(b(9, 8).gt_unsigned(&b(5, 8)).to_u64(), 1);
+        assert_eq!(b(5, 8).ge_unsigned(&b(5, 8)).to_u64(), 1);
+        assert_eq!(b(5, 8).eq_bits(&b(5, 8)).to_u64(), 1);
+        assert_eq!(b(5, 8).ne_bits(&b(4, 8)).to_u64(), 1);
+    }
+
+    #[test]
+    fn comparisons_signed() {
+        // 0xFF = -1, 0x01 = 1 in 8 bits.
+        assert_eq!(b(0xFF, 8).lt_signed(&b(1, 8)).to_u64(), 1);
+        assert_eq!(b(1, 8).gt_signed(&b(0xFF, 8)).to_u64(), 1);
+        assert_eq!(b(0x80, 8).lt_signed(&b(0x7F, 8)).to_u64(), 1);
+        assert_eq!(b(0xFE, 8).le_signed(&b(0xFF, 8)).to_u64(), 1);
+        assert_eq!(b(0xFF, 8).ge_signed(&b(0x80, 8)).to_u64(), 1);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let t = b(1, 8);
+        let e = b(2, 8);
+        assert_eq!(Bits::mux(&b(1, 1), &t, &e).to_u64(), 1);
+        assert_eq!(Bits::mux(&b(0, 1), &t, &e).to_u64(), 2);
+        assert_eq!(Bits::mux(&b(2, 4), &t, &e).to_u64(), 1);
+    }
+
+    #[test]
+    fn cmp_across_words() {
+        let a = Bits::from_u128(1u128 << 64, 128);
+        let c = Bits::from_u128(u64::MAX as u128, 128);
+        assert_eq!(a.cmp_unsigned(&c), core::cmp::Ordering::Greater);
+    }
+}

@@ -1,0 +1,193 @@
+//! Parsing of bit-vector literals.
+//!
+//! Accepts plain decimal (`42`), hex (`0xff`), binary (`0b1010`) and
+//! Verilog-sized literals (`8'hff`, `4'b1010`, `16'd1234`). Used by the
+//! debugger's conditional-breakpoint expression parser and the VCD reader.
+
+use core::fmt;
+
+use crate::Bits;
+
+/// Error returned when a string is not a valid bit-vector literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitsError {
+    message: String,
+}
+
+impl ParseBitsError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBitsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bits literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBitsError {}
+
+impl Bits {
+    /// Parses a literal with an explicit target width. Values wider than
+    /// `width` are truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] if the string is not a valid literal.
+    pub fn parse_with_width(s: &str, width: u32) -> Result<Bits, ParseBitsError> {
+        let (digits, radix) = split_radix(s)?;
+        from_digits(digits, radix, width)
+    }
+
+    /// Parses a literal, inferring the width.
+    ///
+    /// Verilog-sized literals (`8'hff`) carry their width. Unsized hex and
+    /// binary literals get 4 bits per hex digit / 1 per binary digit;
+    /// unsized decimal literals get the minimal width holding the value
+    /// (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] if the string is not a valid literal.
+    pub fn parse(s: &str) -> Result<Bits, ParseBitsError> {
+        if let Some(pos) = s.find('\'') {
+            let width: u32 = s[..pos]
+                .trim()
+                .parse()
+                .map_err(|_| ParseBitsError::new(format!("bad width in {s:?}")))?;
+            if width == 0 {
+                return Err(ParseBitsError::new("width must be at least 1"));
+            }
+            let rest = &s[pos + 1..];
+            let (radix, digits) = match rest.chars().next() {
+                Some('h') | Some('H') => (16, &rest[1..]),
+                Some('b') | Some('B') => (2, &rest[1..]),
+                Some('d') | Some('D') => (10, &rest[1..]),
+                Some('o') | Some('O') => (8, &rest[1..]),
+                _ => return Err(ParseBitsError::new(format!("bad base in {s:?}"))),
+            };
+            return from_digits(digits, radix, width);
+        }
+        let (digits, radix) = split_radix(s)?;
+        let clean: String = digits.chars().filter(|c| *c != '_').collect();
+        if clean.is_empty() {
+            return Err(ParseBitsError::new("empty literal"));
+        }
+        let width = match radix {
+            16 => (clean.len() as u32) * 4,
+            2 => clean.len() as u32,
+            8 => (clean.len() as u32) * 3,
+            _ => {
+                let v: u128 = clean
+                    .parse()
+                    .map_err(|_| ParseBitsError::new(format!("bad decimal {s:?}")))?;
+                (128 - v.leading_zeros()).max(1)
+            }
+        };
+        from_digits(digits, radix, width)
+    }
+}
+
+fn split_radix(s: &str) -> Result<(&str, u32), ParseBitsError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseBitsError::new("empty literal"));
+    }
+    if let Some(rest) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Ok((rest, 16))
+    } else if let Some(rest) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        Ok((rest, 2))
+    } else if let Some(rest) = s.strip_prefix("0o").or_else(|| s.strip_prefix("0O")) {
+        Ok((rest, 8))
+    } else {
+        Ok((s, 10))
+    }
+}
+
+fn from_digits(digits: &str, radix: u32, width: u32) -> Result<Bits, ParseBitsError> {
+    let mut acc = Bits::zero(width);
+    let radix_b = Bits::from_u64(radix as u64, width);
+    let mut seen = false;
+    for ch in digits.chars() {
+        if ch == '_' {
+            continue;
+        }
+        let d = ch
+            .to_digit(radix)
+            .ok_or_else(|| ParseBitsError::new(format!("digit {ch:?} invalid for base {radix}")))?;
+        acc = acc.mul(&radix_b).add(&Bits::from_u64(d as u64, width));
+        seen = true;
+    }
+    if !seen {
+        return Err(ParseBitsError::new("empty literal"));
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_decimal() {
+        assert_eq!(Bits::parse("42").unwrap().to_u64(), 42);
+        assert_eq!(Bits::parse("0").unwrap().width(), 1);
+        assert_eq!(Bits::parse("255").unwrap().width(), 8);
+    }
+
+    #[test]
+    fn parse_hex_and_binary() {
+        let h = Bits::parse("0xff").unwrap();
+        assert_eq!(h.to_u64(), 0xFF);
+        assert_eq!(h.width(), 8);
+        let b = Bits::parse("0b1010").unwrap();
+        assert_eq!(b.to_u64(), 0b1010);
+        assert_eq!(b.width(), 4);
+    }
+
+    #[test]
+    fn parse_verilog_sized() {
+        let v = Bits::parse("8'hff").unwrap();
+        assert_eq!(v.to_u64(), 0xFF);
+        assert_eq!(v.width(), 8);
+        assert_eq!(Bits::parse("4'b1010").unwrap().to_u64(), 0b1010);
+        assert_eq!(Bits::parse("16'd1234").unwrap().to_u64(), 1234);
+        assert_eq!(Bits::parse("6'o17").unwrap().to_u64(), 0o17);
+    }
+
+    #[test]
+    fn parse_underscores() {
+        assert_eq!(Bits::parse("0xdead_beef").unwrap().to_u64(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn parse_with_width_truncates() {
+        assert_eq!(Bits::parse_with_width("0x1ff", 8).unwrap().to_u64(), 0xFF);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Bits::parse("").is_err());
+        assert!(Bits::parse("0x").is_err());
+        assert!(Bits::parse("8'q12").is_err());
+        assert!(Bits::parse("0b102").is_err());
+        assert!(Bits::parse("0'h1").is_err());
+        assert!(Bits::parse("abc").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Bits::parse("0b102").unwrap_err();
+        assert!(err.to_string().contains("invalid bits literal"));
+    }
+
+    #[test]
+    fn parse_wide_hex() {
+        let v = Bits::parse("0xffffffffffffffffffffffffffffffff_ff").unwrap();
+        assert_eq!(v.width(), 136);
+        assert_eq!(v.count_ones(), 136);
+    }
+}

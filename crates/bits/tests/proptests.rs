@@ -1,0 +1,206 @@
+//! Property tests validating `Bits` arithmetic against native `u128`
+//! reference semantics for widths up to 128, plus structural invariants
+//! for wider vectors.
+
+use bits::Bits;
+use proptest::prelude::*;
+
+/// Strategy producing a (width, value-masked-to-width) pair with
+/// width in 1..=128.
+fn value_and_width() -> impl Strategy<Value = (u32, u128)> {
+    (1u32..=128).prop_flat_map(|w| {
+        let mask = if w == 128 { u128::MAX } else { (1u128 << w) - 1 };
+        (Just(w), any::<u128>().prop_map(move |v| v & mask))
+    })
+}
+
+/// Two values sharing one width.
+fn two_values() -> impl Strategy<Value = (u32, u128, u128)> {
+    (1u32..=128).prop_flat_map(|w| {
+        let mask = if w == 128 { u128::MAX } else { (1u128 << w) - 1 };
+        (
+            Just(w),
+            any::<u128>().prop_map(move |v| v & mask),
+            any::<u128>().prop_map(move |v| v & mask),
+        )
+    })
+}
+
+fn mask(w: u32) -> u128 {
+    if w == 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn round_trip_u128((w, v) in value_and_width()) {
+        prop_assert_eq!(Bits::from_u128(v, w).to_u128(), v);
+    }
+
+    #[test]
+    fn add_matches_reference((w, a, b) in two_values()) {
+        let got = Bits::from_u128(a, w).add(&Bits::from_u128(b, w)).to_u128();
+        prop_assert_eq!(got, a.wrapping_add(b) & mask(w));
+    }
+
+    #[test]
+    fn sub_matches_reference((w, a, b) in two_values()) {
+        let got = Bits::from_u128(a, w).sub(&Bits::from_u128(b, w)).to_u128();
+        prop_assert_eq!(got, a.wrapping_sub(b) & mask(w));
+    }
+
+    #[test]
+    fn mul_matches_reference((w, a, b) in two_values()) {
+        let got = Bits::from_u128(a, w).mul(&Bits::from_u128(b, w)).to_u128();
+        prop_assert_eq!(got, a.wrapping_mul(b) & mask(w));
+    }
+
+    #[test]
+    fn div_rem_match_reference((w, a, b) in two_values()) {
+        prop_assume!(b != 0);
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.div(&bb).to_u128(), a / b);
+        prop_assert_eq!(ba.rem(&bb).to_u128(), a % b);
+    }
+
+    #[test]
+    fn div_rem_reconstruct((w, a, b) in two_values()) {
+        prop_assume!(b != 0);
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let q = ba.div(&bb);
+        let r = ba.rem(&bb);
+        // a == q*b + r and r < b
+        let back = q.mul(&bb).add(&r);
+        prop_assert_eq!(back.to_u128(), a);
+        prop_assert!(r.cmp_unsigned(&bb) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn neg_is_zero_minus((w, v) in value_and_width()) {
+        let b = Bits::from_u128(v, w);
+        prop_assert_eq!(b.neg().to_u128(), v.wrapping_neg() & mask(w));
+    }
+
+    #[test]
+    fn bitwise_match_reference((w, a, b) in two_values()) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.and(&bb).to_u128(), a & b);
+        prop_assert_eq!(ba.or(&bb).to_u128(), a | b);
+        prop_assert_eq!(ba.xor(&bb).to_u128(), a ^ b);
+        prop_assert_eq!(ba.not().to_u128(), !a & mask(w));
+    }
+
+    #[test]
+    fn shifts_match_reference((w, v) in value_and_width(), amt in 0u32..140) {
+        let b = Bits::from_u128(v, w);
+        let expect_shl = if amt >= w { 0 } else { (v << amt) & mask(w) };
+        let expect_shr = if amt >= w { 0 } else { v >> amt };
+        prop_assert_eq!(b.shl_const(amt).to_u128(), expect_shl);
+        prop_assert_eq!(b.shr_const(amt).to_u128(), expect_shr);
+    }
+
+    #[test]
+    fn ashr_fills_sign((w, v) in value_and_width(), amt in 0u32..140) {
+        let b = Bits::from_u128(v, w);
+        let sign = (v >> (w - 1)) & 1 == 1;
+        let shifted = b.ashr_const(amt);
+        if sign {
+            prop_assert!(shifted.msb());
+            // top amt bits are ones
+            let filled = amt.min(w);
+            for i in (w - filled)..w {
+                prop_assert!(shifted.bit(i));
+            }
+        } else if amt >= w {
+            prop_assert!(shifted.is_zero());
+        } else {
+            prop_assert_eq!(shifted.to_u128(), v >> amt);
+        }
+    }
+
+    #[test]
+    fn comparisons_match_reference((w, a, b) in two_values()) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.lt_unsigned(&bb).is_truthy(), a < b);
+        prop_assert_eq!(ba.le_unsigned(&bb).is_truthy(), a <= b);
+        prop_assert_eq!(ba.gt_unsigned(&bb).is_truthy(), a > b);
+        prop_assert_eq!(ba.ge_unsigned(&bb).is_truthy(), a >= b);
+        prop_assert_eq!(ba.eq_bits(&bb).is_truthy(), a == b);
+        prop_assert_eq!(ba.ne_bits(&bb).is_truthy(), a != b);
+    }
+
+    #[test]
+    fn signed_comparison_matches_i128((w, a, b) in two_values()) {
+        // Sign-extend both to i128 for the reference.
+        let sext = |v: u128| {
+            if w == 128 { v as i128 }
+            else if (v >> (w - 1)) & 1 == 1 { (v | !mask(w)) as i128 }
+            else { v as i128 }
+        };
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.lt_signed(&bb).is_truthy(), sext(a) < sext(b));
+        prop_assert_eq!(ba.gt_signed(&bb).is_truthy(), sext(a) > sext(b));
+    }
+
+    #[test]
+    fn slice_concat_round_trip((w, v) in value_and_width(), cut in 0u32..127) {
+        prop_assume!(w >= 2);
+        let cut = cut % (w - 1) + 1; // 1..w
+        let b = Bits::from_u128(v, w);
+        let hi = b.slice(w - 1, cut);
+        let lo = b.slice(cut - 1, 0);
+        let back = hi.concat(&lo);
+        prop_assert_eq!(back.to_u128(), v);
+        prop_assert_eq!(back.width(), w);
+    }
+
+    #[test]
+    fn resize_round_trip((w, v) in value_and_width()) {
+        let b = Bits::from_u128(v, w);
+        prop_assert_eq!(b.resize(w + 64).resize(w).to_u128(), v);
+        // Signed resize preserves the low bits and replicates the MSB.
+        let s = b.resize_signed(w + 7);
+        prop_assert_eq!(s.slice(w - 1, 0).to_u128(), v);
+        for i in w..w + 7 {
+            prop_assert_eq!(s.bit(i), b.msb());
+        }
+    }
+
+    #[test]
+    fn parse_display_round_trip((w, v) in value_and_width()) {
+        let b = Bits::from_u128(v, w);
+        let hex = format!("{}'h{:x}", w, b);
+        let parsed = Bits::parse(&hex).unwrap();
+        prop_assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn reductions_match_reference((w, v) in value_and_width()) {
+        let b = Bits::from_u128(v, w);
+        prop_assert_eq!(b.reduce_and().is_truthy(), v == mask(w));
+        prop_assert_eq!(b.reduce_or().is_truthy(), v != 0);
+        prop_assert_eq!(b.reduce_xor().is_truthy(), v.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn wide_vectors_keep_invariants(v in any::<u128>(), extra in 1u32..200) {
+        let w = 128 + extra;
+        let b = Bits::from_u128(v, w);
+        prop_assert_eq!(b.width(), w);
+        prop_assert_eq!(b.to_u128(), v);
+        // addition with zero is identity at any width
+        prop_assert_eq!(b.add(&Bits::zero(w)), b.clone());
+        // x ^ x == 0
+        prop_assert!(b.xor(&b).is_zero());
+        // x + !x == all ones
+        prop_assert_eq!(b.add(&b.not()), Bits::ones(w));
+    }
+}

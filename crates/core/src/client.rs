@@ -1,0 +1,172 @@
+//! Debugger-side client: typed wrappers over the JSON protocol.
+//!
+//! Both shipped debugger frontends — the scripted sessions in the
+//! examples and the interactive gdb-style CLI — use this client. It is
+//! transport-generic: in-process channels or TCP.
+
+use microjson::Json;
+
+use crate::protocol::{encode_request, Request};
+use crate::server::Transport;
+
+/// A connected debugger client.
+#[derive(Debug)]
+pub struct DebugClient<T: Transport> {
+    transport: T,
+}
+
+/// Client-side error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport failure / disconnect.
+    Transport(String),
+    /// Server reported an error.
+    Server(String),
+    /// Response did not match the request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl<T: Transport> DebugClient<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> DebugClient<T> {
+        DebugClient { transport }
+    }
+
+    /// Sends one request, returning the raw JSON response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or server-reported errors.
+    pub fn request(&mut self, req: &Request) -> Result<Json, ClientError> {
+        let line = encode_request(req).to_string();
+        self.transport
+            .send(&line)
+            .map_err(ClientError::Transport)?;
+        let reply = self
+            .transport
+            .recv()
+            .ok_or_else(|| ClientError::Transport("disconnected".into()))?;
+        let json =
+            microjson::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if json["type"].as_str() == Some("error") {
+            return Err(ClientError::Server(
+                json["message"].as_str().unwrap_or("unknown").to_owned(),
+            ));
+        }
+        Ok(json)
+    }
+
+    /// Inserts breakpoints at `filename:line`; returns ids.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn insert_breakpoint(
+        &mut self,
+        filename: &str,
+        line: u32,
+        condition: Option<&str>,
+    ) -> Result<Vec<i64>, ClientError> {
+        let resp = self.request(&Request::InsertBreakpoint {
+            filename: filename.to_owned(),
+            line,
+            col: None,
+            condition: condition.map(str::to_owned),
+        })?;
+        Ok(resp["ids"]
+            .as_array()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_i64)
+            .collect())
+    }
+
+    /// Continues execution; returns the stop/finish JSON.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn continue_run(&mut self, max_cycles: Option<u64>) -> Result<Json, ClientError> {
+        self.request(&Request::Continue { max_cycles })
+    }
+
+    /// Steps to the next active statement.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn step(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Step { max_cycles: Some(10_000) })
+    }
+
+    /// Steps backwards.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn reverse_step(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::ReverseStep)
+    }
+
+    /// Evaluates an expression; returns its decimal text.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn eval(&mut self, instance: Option<&str>, expr: &str) -> Result<String, ClientError> {
+        let resp = self.request(&Request::Eval {
+            instance: instance.map(str::to_owned),
+            expr: expr.to_owned(),
+        })?;
+        resp["text"]
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("value response missing text".into()))
+    }
+
+    /// Current simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn time(&mut self) -> Result<u64, ClientError> {
+        let resp = self.request(&Request::Time)?;
+        resp["time"]
+            .as_i64()
+            .map(|t| t as u64)
+            .ok_or_else(|| ClientError::Protocol("time response missing time".into()))
+    }
+
+    /// Ends the session.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn detach(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Detach).map(|_| ())
+    }
+}
+
+/// Connects over TCP.
+///
+/// # Errors
+///
+/// Socket failures.
+pub fn connect_tcp(
+    addr: &str,
+) -> std::io::Result<DebugClient<crate::server::TcpTransport>> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    Ok(DebugClient::new(crate::server::TcpTransport::new(stream)?))
+}

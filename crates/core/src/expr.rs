@@ -1,0 +1,719 @@
+//! The debugger's expression language.
+//!
+//! Two things are written in this language: the *enable conditions*
+//! the compiler stores in the symbol table (§3.1 — the textual form of
+//! `hgf_ir::Expr`), and the *conditional expressions specified by the
+//! user* on breakpoints (§3.2, step 2; Figure 4 D). A Pratt parser
+//! builds a small AST which evaluates against signal values fetched
+//! through the simulator interface.
+//!
+//! Unlike RTL, the debugger is width-lenient: mixed-width operands are
+//! zero-extended to the wider side, and `&&`/`||`/`!` treat any
+//! nonzero value as true — matching what a software debugger user
+//! expects to type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bits::Bits;
+
+/// Binary operators, loosest precedence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical OR (truthiness).
+    LOr,
+    /// Logical AND (truthiness).
+    LAnd,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND.
+    And,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Unsigned comparisons.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// Signed comparisons (`<$` syntax, matching the IR's display).
+    Lts,
+    /// Signed less-or-equal.
+    Les,
+    /// Signed greater-than.
+    Gts,
+    /// Signed greater-or-equal.
+    Ges,
+    /// Shifts.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Bitwise NOT.
+    Not,
+    /// Logical NOT (truthiness).
+    LNot,
+    /// Negation.
+    Neg,
+    /// AND-reduction.
+    RAnd,
+    /// OR-reduction.
+    ROr,
+    /// XOR-reduction.
+    RXor,
+}
+
+/// Parsed debugger expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DebugExpr {
+    /// Literal value.
+    Lit(Bits),
+    /// Signal or variable reference (dotted path allowed).
+    Ref(String),
+    /// Unary operation.
+    Unary(UnOp, Box<DebugExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<DebugExpr>, Box<DebugExpr>),
+    /// `mux(sel, a, b)`.
+    Mux(Box<DebugExpr>, Box<DebugExpr>, Box<DebugExpr>),
+    /// Bit slice `e[hi:lo]` or single bit `e[i]`.
+    Slice(Box<DebugExpr>, u32, u32),
+    /// Concatenation `{hi, lo}`.
+    Cat(Box<DebugExpr>, Box<DebugExpr>),
+}
+
+/// Parse or evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Syntax error with byte offset.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A referenced name did not resolve to a value.
+    Unresolved(String),
+    /// Structurally invalid operation (bad slice bounds).
+    Invalid(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            ExprError::Unresolved(name) => write!(f, "cannot resolve {name}"),
+            ExprError::Invalid(msg) => write!(f, "invalid expression: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl DebugExpr {
+    /// Parses an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::Parse`] on malformed input.
+    pub fn parse(input: &str) -> Result<DebugExpr, ExprError> {
+        let tokens = lex(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let e = p.expr(0)?;
+        if p.pos != p.tokens.len() {
+            return Err(ExprError::Parse {
+                offset: p.tokens[p.pos].1,
+                message: "trailing tokens".into(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// Evaluates against a resolver from names to values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::Unresolved`] for unknown names or
+    /// [`ExprError::Invalid`] for bad slices.
+    pub fn eval(
+        &self,
+        resolve: &dyn Fn(&str) -> Option<Bits>,
+    ) -> Result<Bits, ExprError> {
+        match self {
+            DebugExpr::Lit(b) => Ok(b.clone()),
+            DebugExpr::Ref(name) => {
+                resolve(name).ok_or_else(|| ExprError::Unresolved(name.clone()))
+            }
+            DebugExpr::Unary(op, e) => {
+                let v = e.eval(resolve)?;
+                Ok(match op {
+                    UnOp::Not => v.not(),
+                    UnOp::LNot => Bits::from_bool(!v.is_truthy()),
+                    UnOp::Neg => v.neg(),
+                    UnOp::RAnd => v.reduce_and(),
+                    UnOp::ROr => v.reduce_or(),
+                    UnOp::RXor => v.reduce_xor(),
+                })
+            }
+            DebugExpr::Binary(op, l, r) => {
+                let a = l.eval(resolve)?;
+                let b = r.eval(resolve)?;
+                Ok(apply_bin(*op, &a, &b))
+            }
+            DebugExpr::Mux(s, t, e) => {
+                if s.eval(resolve)?.is_truthy() {
+                    t.eval(resolve)
+                } else {
+                    e.eval(resolve)
+                }
+            }
+            DebugExpr::Slice(e, hi, lo) => {
+                let v = e.eval(resolve)?;
+                if *hi < *lo || *hi >= v.width() {
+                    return Err(ExprError::Invalid(format!(
+                        "slice [{hi}:{lo}] out of width {}",
+                        v.width()
+                    )));
+                }
+                Ok(v.slice(*hi, *lo))
+            }
+            DebugExpr::Cat(h, l) => {
+                let hv = h.eval(resolve)?;
+                let lv = l.eval(resolve)?;
+                Ok(hv.concat(&lv))
+            }
+        }
+    }
+
+    /// All referenced names.
+    pub fn refs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut BTreeSet<String>) {
+        match self {
+            DebugExpr::Lit(_) => {}
+            DebugExpr::Ref(n) => {
+                out.insert(n.clone());
+            }
+            DebugExpr::Unary(_, e) | DebugExpr::Slice(e, _, _) => e.collect(out),
+            DebugExpr::Binary(_, l, r) | DebugExpr::Cat(l, r) => {
+                l.collect(out);
+                r.collect(out);
+            }
+            DebugExpr::Mux(s, t, e) => {
+                s.collect(out);
+                t.collect(out);
+                e.collect(out);
+            }
+        }
+    }
+}
+
+/// Width-lenient application: zero-extend to the wider operand.
+fn apply_bin(op: BinOp, a: &Bits, b: &Bits) -> Bits {
+    use BinOp::*;
+    match op {
+        LAnd => return Bits::from_bool(a.is_truthy() && b.is_truthy()),
+        LOr => return Bits::from_bool(a.is_truthy() || b.is_truthy()),
+        Shl => return a.shl(b),
+        Shr => return a.shr(b),
+        Ashr => return a.ashr(b),
+        _ => {}
+    }
+    let w = a.width().max(b.width());
+    let (a, b) = (a.resize(w), b.resize(w));
+    match op {
+        Add => a.add(&b),
+        Sub => a.sub(&b),
+        Mul => a.mul(&b),
+        Div => a.div(&b),
+        Rem => a.rem(&b),
+        And => a.and(&b),
+        Or => a.or(&b),
+        Xor => a.xor(&b),
+        Eq => a.eq_bits(&b),
+        Ne => a.ne_bits(&b),
+        Lt => a.lt_unsigned(&b),
+        Le => a.le_unsigned(&b),
+        Gt => a.gt_unsigned(&b),
+        Ge => a.ge_unsigned(&b),
+        Lts => a.lt_signed(&b),
+        Les => a.le_signed(&b),
+        Gts => a.gt_signed(&b),
+        Ges => a.ge_signed(&b),
+        LAnd | LOr | Shl | Shr | Ashr => unreachable!("handled above"),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(Bits),
+    Op(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ExprError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, start));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, start));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, start));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            ':' => {
+                out.push((Tok::Colon, start));
+                i += 1;
+            }
+            '0'..='9' => {
+                // Number: decimal, 0x..., 0b..., or Verilog-sized
+                // (8'hff). Scan the maximal number-ish token and let
+                // Bits::parse validate.
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '\'' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let mut bits = Bits::parse(text).map_err(|e| ExprError::Parse {
+                    offset: start,
+                    message: e.to_string(),
+                })?;
+                // Unsized literals widen to 64 bits so debugger
+                // arithmetic doesn't wrap at surprising widths;
+                // Verilog-sized literals (8'hff) keep their exact
+                // width.
+                if !text.contains('\'') && bits.width() < 64 {
+                    bits = bits.resize(64);
+                }
+                out.push((Tok::Num(bits), start));
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '$' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(input[i..j].trim_end_matches('.').to_owned()), start));
+                i = j;
+            }
+            _ => {
+                // Operators, longest first.
+                const OPS: &[&str] = &[
+                    "<=$", ">=$", ">>>", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+                    "<$", ">$", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+                ];
+                let rest = &input[i..];
+                let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) else {
+                    return Err(ExprError::Parse {
+                        offset: start,
+                        message: format!("unexpected character {c:?}"),
+                    });
+                };
+                out.push((Tok::Op((*op).to_owned()), start));
+                i += op.len();
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ExprError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn error(&self, message: String) -> ExprError {
+        ExprError::Parse {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn binding_power(op: &str) -> Option<(u8, BinOp)> {
+        let r = match op {
+            "||" => (1, BinOp::LOr),
+            "&&" => (2, BinOp::LAnd),
+            "|" => (3, BinOp::Or),
+            "^" => (4, BinOp::Xor),
+            "&" => (5, BinOp::And),
+            "==" => (6, BinOp::Eq),
+            "!=" => (6, BinOp::Ne),
+            "<" => (7, BinOp::Lt),
+            "<=" => (7, BinOp::Le),
+            ">" => (7, BinOp::Gt),
+            ">=" => (7, BinOp::Ge),
+            "<$" => (7, BinOp::Lts),
+            "<=$" => (7, BinOp::Les),
+            ">$" => (7, BinOp::Gts),
+            ">=$" => (7, BinOp::Ges),
+            "<<" => (8, BinOp::Shl),
+            ">>" => (8, BinOp::Shr),
+            ">>>" => (8, BinOp::Ashr),
+            "+" => (9, BinOp::Add),
+            "-" => (9, BinOp::Sub),
+            "*" => (10, BinOp::Mul),
+            "/" => (10, BinOp::Div),
+            "%" => (10, BinOp::Rem),
+            _ => return None,
+        };
+        Some(r)
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<DebugExpr, ExprError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(Tok::Op(op)) = self.peek() else {
+                break;
+            };
+            let Some((bp, bin)) = Self::binding_power(op) else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.expr(bp + 1)?;
+            lhs = DebugExpr::Binary(bin, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<DebugExpr, ExprError> {
+        if let Some(Tok::Op(op)) = self.peek() {
+            let un = match op.as_str() {
+                "~" => Some(UnOp::Not),
+                "!" => Some(UnOp::LNot),
+                "-" => Some(UnOp::Neg),
+                "&" => Some(UnOp::RAnd),
+                "|" => Some(UnOp::ROr),
+                "^" => Some(UnOp::RXor),
+                _ => None,
+            };
+            if let Some(un) = un {
+                self.pos += 1;
+                let e = self.unary()?;
+                return Ok(self.postfix(DebugExpr::Unary(un, Box::new(e)))?);
+            }
+        }
+        let atom = self.atom()?;
+        self.postfix(atom)
+    }
+
+    fn postfix(&mut self, mut e: DebugExpr) -> Result<DebugExpr, ExprError> {
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let hi = self.index()?;
+            let lo = if self.peek() == Some(&Tok::Colon) {
+                self.pos += 1;
+                self.index()?
+            } else {
+                hi
+            };
+            self.expect(&Tok::RBracket, "]")?;
+            e = DebugExpr::Slice(Box::new(e), hi, lo);
+        }
+        Ok(e)
+    }
+
+    fn index(&mut self) -> Result<u32, ExprError> {
+        match self.bump() {
+            Some(Tok::Num(b)) => Ok(b.to_u64() as u32),
+            _ => Err(self.error("expected index".into())),
+        }
+    }
+
+    fn atom(&mut self) -> Result<DebugExpr, ExprError> {
+        match self.bump() {
+            Some(Tok::Num(b)) => Ok(DebugExpr::Lit(b)),
+            Some(Tok::Ident(name)) => {
+                if name == "mux" && self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let s = self.expr(0)?;
+                    self.expect(&Tok::Comma, ",")?;
+                    let t = self.expr(0)?;
+                    self.expect(&Tok::Comma, ",")?;
+                    let e = self.expr(0)?;
+                    self.expect(&Tok::RParen, ")")?;
+                    return Ok(DebugExpr::Mux(Box::new(s), Box::new(t), Box::new(e)));
+                }
+                Ok(DebugExpr::Ref(name))
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr(0)?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(e)
+            }
+            Some(Tok::LBrace) => {
+                let h = self.expr(0)?;
+                self.expect(&Tok::Comma, ",")?;
+                let l = self.expr(0)?;
+                self.expect(&Tok::RBrace, "}")?;
+                Ok(DebugExpr::Cat(Box::new(h), Box::new(l)))
+            }
+            _ => Err(self.error("expected expression".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve<'a>(pairs: &'a [(&'a str, u64, u32)]) -> impl Fn(&str) -> Option<Bits> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, v, w)| Bits::from_u64(*v, *w))
+        }
+    }
+
+    fn eval(src: &str, pairs: &[(&str, u64, u32)]) -> u64 {
+        DebugExpr::parse(src)
+            .unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+            .eval(&resolve(pairs))
+            .unwrap_or_else(|e| panic!("eval {src:?}: {e}"))
+            .to_u64()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("1 + 2 * 3", &[]), 7);
+        assert_eq!(eval("(1 + 2) * 3", &[]), 9);
+        assert_eq!(eval("10 - 2 - 3", &[]), 5);
+        assert_eq!(eval("7 % 4 + 1", &[]), 4);
+        assert_eq!(eval("8 / 2", &[]), 4);
+    }
+
+    #[test]
+    fn signals_and_dotted_paths() {
+        let env = [("io.a", 5, 8), ("dcmp.io.signaling", 1, 1)];
+        assert_eq!(eval("io.a + 1", &env), 6);
+        assert_eq!(eval("dcmp.io.signaling == 1", &env), 1);
+    }
+
+    #[test]
+    fn paper_enable_condition_shape() {
+        // The paper's example enable: data[0] % 2 (§3.1).
+        let env = [("data_0", 3, 8)];
+        assert_eq!(eval("data_0 % 2", &env), 1);
+        // IR-rendered form: (( data_0 % 8'h2) == 8'h1).
+        assert_eq!(eval("((data_0 % 8'h2) == 8'h1)", &env), 1);
+    }
+
+    #[test]
+    fn logical_vs_bitwise() {
+        let env = [("a", 2, 4), ("b", 4, 4)];
+        assert_eq!(eval("a && b", &env), 1);
+        assert_eq!(eval("a & b", &env), 0);
+        assert_eq!(eval("a || 0", &env), 1);
+        assert_eq!(eval("!a", &env), 0);
+        assert_eq!(eval("~(a)", &env) & 0xF, 0b1101);
+    }
+
+    #[test]
+    fn comparisons_and_signed() {
+        let env = [("x", 0xFF, 8), ("y", 1, 8)];
+        assert_eq!(eval("x > y", &env), 1);
+        assert_eq!(eval("x <$ y", &env), 1, "0xff is -1 signed");
+        assert_eq!(eval("x >=$ y", &env), 0);
+        assert_eq!(eval("x != y", &env), 1);
+    }
+
+    #[test]
+    fn widths_are_lenient() {
+        let env = [("wide", 0x100, 12), ("narrow", 1, 2)];
+        assert_eq!(eval("wide + narrow", &env), 0x101);
+        assert_eq!(eval("narrow == 1", &env), 1);
+    }
+
+    #[test]
+    fn slices_and_cat() {
+        let env = [("x", 0b1011_0110, 8)];
+        assert_eq!(eval("x[3:0]", &env), 0b0110);
+        assert_eq!(eval("x[7]", &env), 1);
+        assert_eq!(eval("{x[3:0], x[7:4]}", &env), 0b0110_1011);
+        assert_eq!(eval("x[5:1][0]", &env), 1);
+    }
+
+    #[test]
+    fn reductions_and_mux() {
+        let env = [("x", 0b111, 3), ("c", 0, 1)];
+        assert_eq!(eval("&x", &env), 1);
+        assert_eq!(eval("^x", &env), 1);
+        assert_eq!(eval("|x", &env), 1);
+        assert_eq!(eval("mux(c, 1, 2)", &env), 2);
+    }
+
+    #[test]
+    fn shifts() {
+        let env = [("x", 0x80, 8)];
+        assert_eq!(eval("x >> 4", &env), 0x08);
+        assert_eq!(eval("x >>> 4", &env), 0xF8);
+        assert_eq!(eval("1 << 3", &env), 8);
+    }
+
+    #[test]
+    fn verilog_literals() {
+        assert_eq!(eval("8'hff", &[]), 0xFF);
+        assert_eq!(eval("4'b1010", &[]), 0b1010);
+        assert_eq!(eval("0xff + 1", &[]), 0x100);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "1 +", "(1", "mux(1,2)", "x[", "@", "{1}", "1 2"] {
+            assert!(DebugExpr::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unresolved_reported() {
+        let e = DebugExpr::parse("ghost + 1").unwrap();
+        assert_eq!(
+            e.eval(&|_| None).unwrap_err(),
+            ExprError::Unresolved("ghost".into())
+        );
+    }
+
+    #[test]
+    fn refs_collected() {
+        let e = DebugExpr::parse("a.b + c && a.b").unwrap();
+        let refs = e.refs();
+        assert_eq!(refs.len(), 2);
+        assert!(refs.contains("a.b"));
+    }
+
+    #[test]
+    fn ir_display_round_trip() {
+        // Whatever the IR prints must parse back identically in value.
+        use hgf_ir::expr::{BinaryOp, Expr};
+        let ir = Expr::binary(
+            BinaryOp::And,
+            Expr::binary(
+                BinaryOp::Eq,
+                Expr::binary(BinaryOp::Rem, Expr::var("data_0"), Expr::lit(2, 8)),
+                Expr::lit(1, 8),
+            ),
+            Expr::var("_cond_1"),
+        );
+        let text = ir.to_string();
+        let parsed = DebugExpr::parse(&text).unwrap();
+        let env = [("data_0", 5, 8), ("_cond_1", 1, 1)];
+        assert_eq!(parsed.eval(&resolve(&env)).unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn bad_slice_reported() {
+        let e = DebugExpr::parse("x[9:0]").unwrap();
+        let env = [("x", 1, 4)];
+        assert!(matches!(
+            e.eval(&resolve(&env)),
+            Err(ExprError::Invalid(_))
+        ));
+    }
+}

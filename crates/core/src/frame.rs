@@ -1,0 +1,236 @@
+//! Stack-frame reconstruction (§3.2 step 3, Figure 4 A).
+//!
+//! When a breakpoint hits, hgdb rebuilds a source-level frame from the
+//! symbol table and live signal values: scoped locals (with their
+//! SSA-version-correct mapping) and the instance's generator
+//! variables, re-aggregated from flattened RTL signals into the
+//! structured form the generator declared ("hgdb has the ability to
+//! reconstruct structured variables from a list of flattened RTL
+//! signals", §4.2 — the `PortBundle` of the FPU case study).
+
+use bits::Bits;
+
+/// A (possibly structured) variable in a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarNode {
+    /// Field name at this level (`io`, `out`, …).
+    pub name: String,
+    /// Leaf value; `None` for interior nodes and unavailable signals.
+    pub value: Option<Bits>,
+    /// Child fields (bundle members).
+    pub children: Vec<VarNode>,
+}
+
+impl VarNode {
+    /// Finds a child by name.
+    pub fn child(&self, name: &str) -> Option<&VarNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Resolves a dotted path below this node.
+    pub fn lookup(&self, path: &str) -> Option<&VarNode> {
+        let mut node = self;
+        for seg in path.split('.') {
+            node = node.child(seg)?;
+        }
+        Some(node)
+    }
+
+    /// Renders the tree as indented text (for the gdb-style CLI).
+    pub fn render(&self, indent: usize, out: &mut String) {
+        out.push_str(&" ".repeat(indent));
+        out.push_str(&self.name);
+        if let Some(v) = &self.value {
+            out.push_str(&format!(" = {v} ({}'h{v:x})", v.width()));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render(indent + 2, out);
+        }
+    }
+}
+
+/// A reconstructed stack frame for one hit breakpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The breakpoint's symbol-table id.
+    pub breakpoint_id: i64,
+    /// Hierarchical instance path (the "thread", Figure 4 B).
+    pub instance: String,
+    /// Source file.
+    pub filename: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Scoped locals: source name → value (SSA-version-correct,
+    /// Listing 2 semantics). `None` values were unavailable in the
+    /// backend (e.g. not recorded in a replay trace).
+    pub locals: Vec<(String, Option<Bits>)>,
+    /// Generator variables of the owning instance, structured.
+    pub generator: Vec<VarNode>,
+}
+
+impl Frame {
+    /// Looks up a local by name.
+    pub fn local(&self, name: &str) -> Option<&Bits> {
+        self.locals
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_ref())
+    }
+
+    /// Looks up a generator variable by dotted path.
+    pub fn generator_var(&self, path: &str) -> Option<&Bits> {
+        let (head, rest) = match path.split_once('.') {
+            Some((h, r)) => (h, Some(r)),
+            None => (path, None),
+        };
+        let root = self.generator.iter().find(|n| n.name == head)?;
+        let node = match rest {
+            Some(rest) => root.lookup(rest)?,
+            None => root,
+        };
+        node.value.as_ref()
+    }
+
+    /// Renders the frame as text for terminal debuggers.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "#{} {} at {}:{}:{}\n",
+            self.breakpoint_id, self.instance, self.filename, self.line, self.col
+        );
+        if !self.locals.is_empty() {
+            out.push_str("  locals:\n");
+            for (name, value) in &self.locals {
+                match value {
+                    Some(v) => out.push_str(&format!("    {name} = {v}\n")),
+                    None => out.push_str(&format!("    {name} = <unavailable>\n")),
+                }
+            }
+        }
+        if !self.generator.is_empty() {
+            out.push_str("  generator variables:\n");
+            for node in &self.generator {
+                node.render(4, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Re-aggregates flat `(dotted name, value)` pairs into a forest of
+/// structured variables.
+pub fn build_var_tree(vars: &[(String, Option<Bits>)]) -> Vec<VarNode> {
+    let mut roots: Vec<VarNode> = Vec::new();
+    for (name, value) in vars {
+        insert(&mut roots, name.split('.').collect::<Vec<_>>().as_slice(), value);
+    }
+    roots
+}
+
+fn insert(nodes: &mut Vec<VarNode>, path: &[&str], value: &Option<Bits>) {
+    if path.is_empty() {
+        return;
+    }
+    let head = path[0];
+    let node = match nodes.iter_mut().position(|n| n.name == head) {
+        Some(i) => &mut nodes[i],
+        None => {
+            nodes.push(VarNode {
+                name: head.to_owned(),
+                value: None,
+                children: Vec::new(),
+            });
+            nodes.last_mut().expect("just pushed")
+        }
+    };
+    if path.len() == 1 {
+        node.value = value.clone();
+    } else {
+        insert(&mut node.children, &path[1..], value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64, w: u32) -> Option<Bits> {
+        Some(Bits::from_u64(x, w))
+    }
+
+    #[test]
+    fn flat_variables_stay_flat() {
+        let tree = build_var_tree(&[("count".into(), v(3, 8)), ("en".into(), v(1, 1))]);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].name, "count");
+        assert_eq!(tree[0].value.as_ref().unwrap().to_u64(), 3);
+        assert!(tree[0].children.is_empty());
+    }
+
+    #[test]
+    fn bundles_reaggregate() {
+        // The FPU case study's dcmp.io bundle (§4.2): flattened RTL
+        // signals come back as a structured PortBundle.
+        let tree = build_var_tree(&[
+            ("io.a".into(), v(1, 8)),
+            ("io.b".into(), v(2, 8)),
+            ("io.signaling".into(), v(1, 1)),
+            ("io.lt".into(), v(0, 1)),
+        ]);
+        assert_eq!(tree.len(), 1);
+        let io = &tree[0];
+        assert_eq!(io.name, "io");
+        assert!(io.value.is_none());
+        assert_eq!(io.children.len(), 4);
+        assert_eq!(io.child("signaling").unwrap().value.as_ref().unwrap().to_u64(), 1);
+        assert_eq!(io.lookup("a").unwrap().value.as_ref().unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let tree = build_var_tree(&[
+            ("dcmp.io.a".into(), v(7, 4)),
+            ("dcmp.io.b".into(), v(9, 4)),
+            ("dcmp.valid".into(), v(1, 1)),
+        ]);
+        assert_eq!(tree.len(), 1);
+        let dcmp = &tree[0];
+        assert_eq!(dcmp.lookup("io.a").unwrap().value.as_ref().unwrap().to_u64(), 7);
+        assert_eq!(dcmp.lookup("valid").unwrap().value.as_ref().unwrap().to_u64(), 1);
+        assert!(dcmp.lookup("io.ghost").is_none());
+    }
+
+    #[test]
+    fn unavailable_values() {
+        let tree = build_var_tree(&[("x".into(), None)]);
+        assert!(tree[0].value.is_none());
+    }
+
+    #[test]
+    fn frame_lookups_and_render() {
+        let frame = Frame {
+            breakpoint_id: 4,
+            instance: "top.fpu".into(),
+            filename: "fpu.rs".into(),
+            line: 42,
+            col: 9,
+            locals: vec![("sum".into(), v(12, 8)), ("gone".into(), None)],
+            generator: build_var_tree(&[
+                ("io.out".into(), v(3, 4)),
+                ("toint".into(), v(9, 8)),
+            ]),
+        };
+        assert_eq!(frame.local("sum").unwrap().to_u64(), 12);
+        assert!(frame.local("gone").is_none());
+        assert!(frame.local("ghost").is_none());
+        assert_eq!(frame.generator_var("io.out").unwrap().to_u64(), 3);
+        assert_eq!(frame.generator_var("toint").unwrap().to_u64(), 9);
+        let text = frame.render();
+        assert!(text.contains("top.fpu at fpu.rs:42:9"));
+        assert!(text.contains("sum = 12"));
+        assert!(text.contains("<unavailable>"));
+        assert!(text.contains("io"));
+    }
+}

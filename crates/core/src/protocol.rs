@@ -1,0 +1,462 @@
+//! The hgdb debugging protocol (§3.5).
+//!
+//! "hgdb relies on RPC-based debugging protocol similar to gdb remote
+//! protocol, where the debugger connects to hgdb via WebSocket." Here
+//! the wire format is newline-delimited JSON messages (one request,
+//! one response), carried over TCP or an in-process channel — the
+//! framing differs from WebSocket, the message semantics do not. Both
+//! shipped debuggers (the gdb-like CLI and a hypothetical IDE) speak
+//! this protocol.
+
+use bits::Bits;
+use microjson::Json;
+
+use crate::frame::{Frame, VarNode};
+use crate::runtime::{BreakpointListing, RunOutcome, StopEvent};
+
+/// A debugger → runtime request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Insert breakpoints at a source location (Figure 4 D).
+    InsertBreakpoint {
+        /// Source file.
+        filename: String,
+        /// Line number.
+        line: u32,
+        /// Optional column.
+        col: Option<u32>,
+        /// Optional conditional expression.
+        condition: Option<String>,
+    },
+    /// Remove one breakpoint by id.
+    RemoveBreakpoint {
+        /// Breakpoint id.
+        id: i64,
+    },
+    /// List inserted breakpoints.
+    ListBreakpoints,
+    /// Resume until a breakpoint hits (Figure 4 C "continue").
+    Continue {
+        /// Safety cycle bound; `None` = run to the end.
+        max_cycles: Option<u64>,
+    },
+    /// Step to the next active statement ("step over").
+    Step {
+        /// Safety cycle bound.
+        max_cycles: Option<u64>,
+    },
+    /// Step backwards ("reverse-step", Figure 4 C).
+    ReverseStep,
+    /// Current stop's frames (Figure 4 A/B).
+    Frames,
+    /// Evaluate an expression in an optional instance context.
+    Eval {
+        /// Instance path providing name context.
+        instance: Option<String>,
+        /// Expression text.
+        expr: String,
+    },
+    /// Force a variable/signal value.
+    SetValue {
+        /// Instance context.
+        instance: Option<String>,
+        /// Variable name or RTL path.
+        name: String,
+        /// Value literal (debugger expression syntax).
+        value: String,
+    },
+    /// The design hierarchy.
+    Hierarchy,
+    /// Current simulation time.
+    Time,
+    /// End the session.
+    Detach,
+}
+
+/// A runtime → debugger response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Inserted breakpoint ids.
+    Inserted {
+        /// The ids created.
+        ids: Vec<i64>,
+    },
+    /// Breakpoint listing.
+    Breakpoints {
+        /// Listing entries.
+        items: Vec<BreakpointListing>,
+    },
+    /// Execution stopped at a breakpoint group.
+    Stopped {
+        /// The stop event with frames.
+        event: StopEvent,
+    },
+    /// Execution finished without a hit.
+    Finished {
+        /// Final time.
+        time: u64,
+    },
+    /// Expression value.
+    Value {
+        /// Decimal rendering.
+        text: String,
+        /// Width in bits.
+        width: u32,
+    },
+    /// Hierarchy dump.
+    Hierarchy {
+        /// JSON tree (scopes/signals).
+        tree: Json,
+    },
+    /// Current time.
+    Time {
+        /// Simulation time.
+        time: u64,
+    },
+    /// Failure.
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Encodes a request as a JSON line.
+pub fn encode_request(req: &Request) -> Json {
+    match req {
+        Request::InsertBreakpoint {
+            filename,
+            line,
+            col,
+            condition,
+        } => Json::object([
+            ("type", Json::from("insert_breakpoint")),
+            ("filename", Json::from(filename.as_str())),
+            ("line", Json::from(*line)),
+            (
+                "col",
+                col.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "condition",
+                condition
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+        ]),
+        Request::RemoveBreakpoint { id } => Json::object([
+            ("type", Json::from("remove_breakpoint")),
+            ("id", Json::Int(*id)),
+        ]),
+        Request::ListBreakpoints => Json::object([("type", Json::from("list_breakpoints"))]),
+        Request::Continue { max_cycles } => Json::object([
+            ("type", Json::from("continue")),
+            (
+                "max_cycles",
+                max_cycles.map(Json::from).unwrap_or(Json::Null),
+            ),
+        ]),
+        Request::Step { max_cycles } => Json::object([
+            ("type", Json::from("step")),
+            (
+                "max_cycles",
+                max_cycles.map(Json::from).unwrap_or(Json::Null),
+            ),
+        ]),
+        Request::ReverseStep => Json::object([("type", Json::from("reverse_step"))]),
+        Request::Frames => Json::object([("type", Json::from("frames"))]),
+        Request::Eval { instance, expr } => Json::object([
+            ("type", Json::from("eval")),
+            (
+                "instance",
+                instance.as_deref().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("expr", Json::from(expr.as_str())),
+        ]),
+        Request::SetValue {
+            instance,
+            name,
+            value,
+        } => Json::object([
+            ("type", Json::from("set_value")),
+            (
+                "instance",
+                instance.as_deref().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("name", Json::from(name.as_str())),
+            ("value", Json::from(value.as_str())),
+        ]),
+        Request::Hierarchy => Json::object([("type", Json::from("hierarchy"))]),
+        Request::Time => Json::object([("type", Json::from("time"))]),
+        Request::Detach => Json::object([("type", Json::from("detach"))]),
+    }
+}
+
+/// Decodes a request from JSON.
+///
+/// # Errors
+///
+/// Returns a message describing the malformation.
+pub fn decode_request(json: &Json) -> Result<Request, String> {
+    let ty = json["type"].as_str().ok_or("missing type")?;
+    let str_field = |k: &str| json[k].as_str().map(str::to_owned);
+    let u32_field = |k: &str| json[k].as_i64().map(|v| v as u32);
+    let u64_field = |k: &str| json[k].as_i64().map(|v| v as u64);
+    Ok(match ty {
+        "insert_breakpoint" => Request::InsertBreakpoint {
+            filename: str_field("filename").ok_or("missing filename")?,
+            line: u32_field("line").ok_or("missing line")?,
+            col: u32_field("col"),
+            condition: str_field("condition"),
+        },
+        "remove_breakpoint" => Request::RemoveBreakpoint {
+            id: json["id"].as_i64().ok_or("missing id")?,
+        },
+        "list_breakpoints" => Request::ListBreakpoints,
+        "continue" => Request::Continue {
+            max_cycles: u64_field("max_cycles"),
+        },
+        "step" => Request::Step {
+            max_cycles: u64_field("max_cycles"),
+        },
+        "reverse_step" => Request::ReverseStep,
+        "frames" => Request::Frames,
+        "eval" => Request::Eval {
+            instance: str_field("instance"),
+            expr: str_field("expr").ok_or("missing expr")?,
+        },
+        "set_value" => Request::SetValue {
+            instance: str_field("instance"),
+            name: str_field("name").ok_or("missing name")?,
+            value: str_field("value").ok_or("missing value")?,
+        },
+        "hierarchy" => Request::Hierarchy,
+        "time" => Request::Time,
+        "detach" => Request::Detach,
+        other => return Err(format!("unknown request type {other:?}")),
+    })
+}
+
+fn bits_json(v: &Bits) -> Json {
+    Json::object([
+        ("value", Json::from(format!("0x{v:x}"))),
+        ("decimal", Json::from(v.to_string())),
+        ("width", Json::from(v.width())),
+    ])
+}
+
+fn var_node_json(node: &VarNode) -> Json {
+    let mut obj = Json::object([("name", Json::from(node.name.as_str()))]);
+    if let Some(v) = &node.value {
+        obj.insert("value", bits_json(v));
+    }
+    if !node.children.is_empty() {
+        obj.insert(
+            "children",
+            Json::array(node.children.iter().map(var_node_json)),
+        );
+    }
+    obj
+}
+
+fn frame_json(frame: &Frame) -> Json {
+    Json::object([
+        ("breakpoint", Json::Int(frame.breakpoint_id)),
+        ("instance", Json::from(frame.instance.as_str())),
+        ("filename", Json::from(frame.filename.as_str())),
+        ("line", Json::from(frame.line)),
+        ("col", Json::from(frame.col)),
+        (
+            "locals",
+            Json::object(frame.locals.iter().map(|(name, v)| {
+                (
+                    name.as_str(),
+                    v.as_ref().map(bits_json).unwrap_or(Json::Null),
+                )
+            })),
+        ),
+        (
+            "generator",
+            Json::array(frame.generator.iter().map(var_node_json)),
+        ),
+    ])
+}
+
+fn stop_event_json(event: &StopEvent) -> Json {
+    Json::object([
+        ("time", Json::from(event.time)),
+        ("filename", Json::from(event.filename.as_str())),
+        ("line", Json::from(event.line)),
+        ("col", Json::from(event.col)),
+        ("hits", Json::array(event.hits.iter().map(frame_json))),
+    ])
+}
+
+/// Encodes a response as JSON.
+pub fn encode_response(resp: &Response) -> Json {
+    match resp {
+        Response::Ok => Json::object([("type", Json::from("ok"))]),
+        Response::Inserted { ids } => Json::object([
+            ("type", Json::from("inserted")),
+            ("ids", ids.iter().map(|i| Json::Int(*i)).collect()),
+        ]),
+        Response::Breakpoints { items } => Json::object([
+            ("type", Json::from("breakpoints")),
+            (
+                "items",
+                Json::array(items.iter().map(|b| {
+                    Json::object([
+                        ("id", Json::Int(b.id)),
+                        ("filename", Json::from(b.filename.as_str())),
+                        ("line", Json::from(b.line)),
+                        ("col", Json::from(b.col)),
+                        ("instance", Json::from(b.instance.as_str())),
+                        (
+                            "condition",
+                            b.condition
+                                .as_deref()
+                                .map(Json::from)
+                                .unwrap_or(Json::Null),
+                        ),
+                        ("hit_count", Json::from(b.hit_count)),
+                    ])
+                })),
+            ),
+        ]),
+        Response::Stopped { event } => Json::object([
+            ("type", Json::from("stopped")),
+            ("event", stop_event_json(event)),
+        ]),
+        Response::Finished { time } => Json::object([
+            ("type", Json::from("finished")),
+            ("time", Json::from(*time)),
+        ]),
+        Response::Value { text, width } => Json::object([
+            ("type", Json::from("value")),
+            ("text", Json::from(text.as_str())),
+            ("width", Json::from(*width)),
+        ]),
+        Response::Hierarchy { tree } => Json::object([
+            ("type", Json::from("hierarchy")),
+            ("tree", tree.clone()),
+        ]),
+        Response::Time { time } => Json::object([
+            ("type", Json::from("time")),
+            ("time", Json::from(*time)),
+        ]),
+        Response::Error { message } => Json::object([
+            ("type", Json::from("error")),
+            ("message", Json::from(message.as_str())),
+        ]),
+    }
+}
+
+/// Translates a run outcome to a response.
+pub fn outcome_response(outcome: RunOutcome) -> Response {
+    match outcome {
+        RunOutcome::Stopped(event) => Response::Stopped { event },
+        RunOutcome::Finished { time } => Response::Finished { time },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = vec![
+            Request::InsertBreakpoint {
+                filename: "fpu.rs".into(),
+                line: 42,
+                col: Some(9),
+                condition: Some("io.wflags == 1".into()),
+            },
+            Request::InsertBreakpoint {
+                filename: "fpu.rs".into(),
+                line: 43,
+                col: None,
+                condition: None,
+            },
+            Request::RemoveBreakpoint { id: 7 },
+            Request::ListBreakpoints,
+            Request::Continue {
+                max_cycles: Some(1000),
+            },
+            Request::Continue { max_cycles: None },
+            Request::Step { max_cycles: None },
+            Request::ReverseStep,
+            Request::Frames,
+            Request::Eval {
+                instance: Some("top.fpu".into()),
+                expr: "toint[31:0]".into(),
+            },
+            Request::SetValue {
+                instance: None,
+                name: "top.reset".into(),
+                value: "1".into(),
+            },
+            Request::Hierarchy,
+            Request::Time,
+            Request::Detach,
+        ];
+        for req in reqs {
+            let text = encode_request(&req).to_string();
+            let parsed = microjson::parse(&text).unwrap();
+            assert_eq!(decode_request(&parsed).unwrap(), req, "{text}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let bad = microjson::parse(r#"{"type":"insert_breakpoint"}"#).unwrap();
+        assert!(decode_request(&bad).is_err());
+        let unknown = microjson::parse(r#"{"type":"launch_missiles"}"#).unwrap();
+        assert!(decode_request(&unknown).is_err());
+        let untyped = microjson::parse(r#"{}"#).unwrap();
+        assert!(decode_request(&untyped).is_err());
+    }
+
+    #[test]
+    fn stop_event_encodes_frames() {
+        use crate::frame::build_var_tree;
+        let event = StopEvent {
+            time: 12,
+            filename: "acc.rs".into(),
+            line: 4,
+            col: 9,
+            hits: vec![Frame {
+                breakpoint_id: 3,
+                instance: "top.u0".into(),
+                filename: "acc.rs".into(),
+                line: 4,
+                col: 9,
+                locals: vec![("sum".into(), Some(Bits::from_u64(5, 8)))],
+                generator: build_var_tree(&[("io.out".into(), Some(Bits::from_u64(1, 4)))]),
+            }],
+        };
+        let json = encode_response(&Response::Stopped { event });
+        let text = json.to_string();
+        let back = microjson::parse(&text).unwrap();
+        assert_eq!(back["type"].as_str(), Some("stopped"));
+        let hit = &back["event"]["hits"][0];
+        assert_eq!(hit["instance"].as_str(), Some("top.u0"));
+        assert_eq!(hit["locals"]["sum"]["decimal"].as_str(), Some("5"));
+        assert_eq!(hit["generator"][0]["name"].as_str(), Some("io"));
+        assert_eq!(
+            hit["generator"][0]["children"][0]["value"]["width"].as_i64(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = encode_response(&Response::Error {
+            message: "no breakpoint at x.rs:9".into(),
+        });
+        assert_eq!(r["type"].as_str(), Some("error"));
+        assert!(r["message"].as_str().unwrap().contains("x.rs:9"));
+    }
+}

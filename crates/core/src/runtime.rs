@@ -1,0 +1,636 @@
+//! The hgdb debugger runtime.
+//!
+//! Owns a simulator backend (through the unified [`SimControl`]
+//! interface — live simulation or trace replay), the symbol table, and
+//! the breakpoint scheduler. Implements the execution model of §3:
+//! breakpoints are emulated by evaluating enable + user conditions
+//! against stable signal values at each rising clock edge, walking the
+//! precomputed group order forward — or backward for reverse
+//! debugging.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bits::Bits;
+use rtl_sim::{HierNode, SimControl, SimError};
+use symtab::{BreakpointInfo, SymbolTable};
+
+use crate::expr::{DebugExpr, ExprError};
+use crate::frame::{build_var_tree, Frame};
+use crate::scheduler::Scheduler;
+
+/// Errors surfaced by the debugger runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DebugError {
+    /// Symbol-table query failed.
+    Symbols(String),
+    /// Expression parse/eval failure.
+    Expr(ExprError),
+    /// Simulator interface failure.
+    Sim(SimError),
+    /// No breakpoint exists at the requested source location.
+    NoSource {
+        /// Requested file.
+        filename: String,
+        /// Requested line.
+        line: u32,
+    },
+    /// Unknown breakpoint id.
+    NoSuchBreakpoint(i64),
+    /// Reverse debugging requested but the backend is forward-only.
+    ReverseUnsupported,
+    /// Unknown instance name.
+    NoSuchInstance(String),
+}
+
+impl fmt::Display for DebugError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DebugError::Symbols(msg) => write!(f, "symbol table: {msg}"),
+            DebugError::Expr(e) => write!(f, "expression: {e}"),
+            DebugError::Sim(e) => write!(f, "simulator: {e}"),
+            DebugError::NoSource { filename, line } => {
+                write!(f, "no breakpoint at {filename}:{line}")
+            }
+            DebugError::NoSuchBreakpoint(id) => write!(f, "no breakpoint with id {id}"),
+            DebugError::ReverseUnsupported => {
+                write!(f, "backend does not support reverse debugging")
+            }
+            DebugError::NoSuchInstance(name) => write!(f, "no instance named {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DebugError {}
+
+impl From<ExprError> for DebugError {
+    fn from(e: ExprError) -> Self {
+        DebugError::Expr(e)
+    }
+}
+
+impl From<SimError> for DebugError {
+    fn from(e: SimError) -> Self {
+        DebugError::Sim(e)
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// A breakpoint group matched; frames attached.
+    Stopped(StopEvent),
+    /// The simulation ended (cycle budget, end of trace) without a
+    /// hit.
+    Finished {
+        /// Final simulation time.
+        time: u64,
+    },
+}
+
+/// A breakpoint stop: one source location, one or more concurrent
+/// instances ("threads", Figure 4 B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopEvent {
+    /// Simulation time of the stop.
+    pub time: u64,
+    /// Source file of the group.
+    pub filename: String,
+    /// Line of the group.
+    pub line: u32,
+    /// Column of the group.
+    pub col: u32,
+    /// One frame per matching instance.
+    pub hits: Vec<Frame>,
+}
+
+/// A statically known breakpoint with its pre-parsed enable.
+#[derive(Debug)]
+struct StaticBp {
+    info: BreakpointInfo,
+    enable: Option<DebugExpr>,
+}
+
+/// User-inserted breakpoint state.
+#[derive(Debug, Default)]
+struct Inserted {
+    condition: Option<DebugExpr>,
+    condition_text: Option<String>,
+    hit_count: u64,
+}
+
+/// A user-visible breakpoint listing entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakpointListing {
+    /// Breakpoint id.
+    pub id: i64,
+    /// Source file.
+    pub filename: String,
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+    /// Owning instance path.
+    pub instance: String,
+    /// User condition text, if any.
+    pub condition: Option<String>,
+    /// Hit count so far.
+    pub hit_count: u64,
+}
+
+/// The debugger runtime over any simulator backend.
+pub struct Runtime<S: SimControl> {
+    sim: S,
+    symbols: SymbolTable,
+    scheduler: Scheduler,
+    static_bps: BTreeMap<i64, StaticBp>,
+    inserted: BTreeMap<i64, Inserted>,
+    stopped: Option<StopEvent>,
+    /// Non-fatal evaluation problems (unresolvable enables in a
+    /// partial trace, etc.), for the user to inspect.
+    diagnostics: Vec<String>,
+}
+
+impl<S: SimControl> fmt::Debug for Runtime<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("breakpoints", &self.static_bps.len())
+            .field("inserted", &self.inserted.len())
+            .field("time", &self.sim.time())
+            .finish()
+    }
+}
+
+impl<S: SimControl> Runtime<S> {
+    /// Attaches the debugger to a backend with a symbol table,
+    /// precomputing the breakpoint ordering (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the symbol table cannot be queried or an enable
+    /// condition stored in it does not parse (a compiler bug).
+    pub fn attach(sim: S, symbols: SymbolTable) -> Result<Runtime<S>, DebugError> {
+        let scheduler = Scheduler::from_symbols(&symbols).map_err(DebugError::Symbols)?;
+        let mut static_bps = BTreeMap::new();
+        for info in symbols
+            .all_breakpoints()
+            .map_err(|e| DebugError::Symbols(e.to_string()))?
+        {
+            let enable = info
+                .enable
+                .as_deref()
+                .map(DebugExpr::parse)
+                .transpose()?;
+            static_bps.insert(info.id, StaticBp { info, enable });
+        }
+        Ok(Runtime {
+            sim,
+            symbols,
+            scheduler,
+            static_bps,
+            inserted: BTreeMap::new(),
+            stopped: None,
+            diagnostics: Vec::new(),
+        })
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The backend (read access).
+    pub fn sim(&self) -> &S {
+        &self.sim
+    }
+
+    /// The backend (mutable, for testbench drive).
+    pub fn sim_mut(&mut self) -> &mut S {
+        &mut self.sim
+    }
+
+    /// Releases the backend.
+    pub fn detach(self) -> S {
+        self.sim
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        self.sim.time()
+    }
+
+    /// Design hierarchy (§3.3 primitive).
+    pub fn hierarchy(&self) -> HierNode {
+        self.sim.hierarchy()
+    }
+
+    /// The current stop, if execution is paused at a breakpoint.
+    pub fn stopped(&self) -> Option<&StopEvent> {
+        self.stopped.as_ref()
+    }
+
+    /// Accumulated non-fatal diagnostics.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
+    }
+
+    /// Inserts breakpoints for a source location (all instances
+    /// sharing the line, per §3.2). `col = None` matches the whole
+    /// line. Returns the inserted ids.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSource`] when the location has no breakpoints;
+    /// [`DebugError::Expr`] when the user condition does not parse.
+    pub fn insert_breakpoint(
+        &mut self,
+        filename: &str,
+        line: u32,
+        col: Option<u32>,
+        condition: Option<&str>,
+    ) -> Result<Vec<i64>, DebugError> {
+        let matches = self
+            .symbols
+            .breakpoints_at(filename, Some(line), col)
+            .map_err(|e| DebugError::Symbols(e.to_string()))?;
+        if matches.is_empty() {
+            return Err(DebugError::NoSource {
+                filename: filename.to_owned(),
+                line,
+            });
+        }
+        let parsed = condition.map(DebugExpr::parse).transpose()?;
+        let mut ids = Vec::new();
+        for info in matches {
+            self.inserted.insert(
+                info.id,
+                Inserted {
+                    condition: parsed.clone(),
+                    condition_text: condition.map(str::to_owned),
+                    hit_count: 0,
+                },
+            );
+            ids.push(info.id);
+        }
+        Ok(ids)
+    }
+
+    /// Removes one inserted breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSuchBreakpoint`] if the id is not inserted.
+    pub fn remove_breakpoint(&mut self, id: i64) -> Result<(), DebugError> {
+        self.inserted
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(DebugError::NoSuchBreakpoint(id))
+    }
+
+    /// Removes all inserted breakpoints.
+    pub fn clear_breakpoints(&mut self) {
+        self.inserted.clear();
+    }
+
+    /// Lists inserted breakpoints.
+    pub fn breakpoints(&self) -> Vec<BreakpointListing> {
+        self.inserted
+            .iter()
+            .filter_map(|(id, ins)| {
+                let st = self.static_bps.get(id)?;
+                Some(BreakpointListing {
+                    id: *id,
+                    filename: st.info.filename.clone(),
+                    line: st.info.line,
+                    col: st.info.col,
+                    instance: st.info.instance_name.clone(),
+                    condition: ins.condition_text.clone(),
+                    hit_count: ins.hit_count,
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves a name in an instance context: scoped locals are the
+    /// caller's responsibility (they come from frames); this resolves
+    /// generator variables, then instance-relative RTL paths, then
+    /// absolute paths.
+    fn resolve_name(&self, instance: Option<&str>, name: &str) -> Option<Bits> {
+        if let Some(inst) = instance {
+            if let Ok(Some(iid)) = self.symbols.instance_by_name(inst) {
+                if let Ok(Some(rtl)) = self.symbols.resolve_instance_variable(iid, name) {
+                    if let Some(v) = self.sim.get_value(&rtl) {
+                        return Some(v);
+                    }
+                }
+            }
+            if let Some(v) = self.sim.get_value(&format!("{inst}.{name}")) {
+                return Some(v);
+            }
+        }
+        self.sim.get_value(name)
+    }
+
+    /// Evaluates a debugger expression in an optional instance
+    /// context (the `eval` / watch functionality).
+    ///
+    /// # Errors
+    ///
+    /// Parse or resolution failures.
+    pub fn eval(&self, instance: Option<&str>, text: &str) -> Result<Bits, DebugError> {
+        let expr = DebugExpr::parse(text)?;
+        expr.eval(&|name| self.resolve_name(instance, name))
+            .map_err(DebugError::from)
+    }
+
+    /// Sets a source-level variable or RTL signal (§3.3 optional
+    /// primitive 5; rejected by trace backends).
+    ///
+    /// # Errors
+    ///
+    /// Resolution or writability failures.
+    pub fn set_variable(
+        &mut self,
+        instance: Option<&str>,
+        name: &str,
+        value: Bits,
+    ) -> Result<(), DebugError> {
+        // Resolve to a full RTL path first.
+        let mut target = name.to_owned();
+        if let Some(inst) = instance {
+            let iid = self
+                .symbols
+                .instance_by_name(inst)
+                .map_err(|e| DebugError::Symbols(e.to_string()))?
+                .ok_or_else(|| DebugError::NoSuchInstance(inst.to_owned()))?;
+            if let Some(rtl) = self
+                .symbols
+                .resolve_instance_variable(iid, name)
+                .map_err(|e| DebugError::Symbols(e.to_string()))?
+            {
+                target = rtl;
+            } else {
+                target = format!("{inst}.{name}");
+            }
+        }
+        self.sim.set_value(&target, value).map_err(DebugError::from)
+    }
+
+    /// Evaluates one group; returns frames for every matching
+    /// breakpoint. `only_inserted` restricts to user breakpoints
+    /// (continue semantics); stepping considers every statement.
+    fn eval_group(&mut self, group_index: usize, only_inserted: bool) -> Vec<Frame> {
+        let group = &self.scheduler.groups()[group_index];
+        let bp_ids = group.bp_ids.clone();
+        let mut hits = Vec::new();
+        for bp_id in bp_ids {
+            let Some(st) = self.static_bps.get(&bp_id) else {
+                continue;
+            };
+            let inserted = self.inserted.get(&bp_id);
+            if only_inserted && inserted.is_none() {
+                continue;
+            }
+            let prefix = st.info.instance_name.clone();
+            // Enable condition (§3.1): statement must be active this
+            // cycle.
+            let enable_result = st.enable.as_ref().map(|enable| {
+                enable.eval(&|name: &str| {
+                    self.sim
+                        .get_value(&format!("{prefix}.{name}"))
+                        .or_else(|| self.sim.get_value(name))
+                })
+            });
+            match enable_result {
+                None => {}
+                Some(Ok(v)) if v.is_truthy() => {}
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => {
+                    self.diagnostics
+                        .push(format!("breakpoint {bp_id}: enable: {e}"));
+                    continue;
+                }
+            }
+            // User condition (§3.2 step 2).
+            let cond_result = inserted
+                .and_then(|ins| ins.condition.as_ref())
+                .map(|cond| {
+                    cond.eval(&|name: &str| {
+                        self.sim
+                            .get_value(&format!("{prefix}.{name}"))
+                            .or_else(|| self.sim.get_value(name))
+                    })
+                });
+            match cond_result {
+                None => {}
+                Some(Ok(v)) if v.is_truthy() => {}
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => {
+                    self.diagnostics
+                        .push(format!("breakpoint {bp_id}: condition: {e}"));
+                    continue;
+                }
+            }
+            let frame = self.build_frame(&bp_id);
+            if let Some(ins) = self.inserted.get_mut(&bp_id) {
+                ins.hit_count += 1;
+            }
+            if let Some(frame) = frame {
+                hits.push(frame);
+            }
+        }
+        hits
+    }
+
+    /// Reconstructs the frame for a breakpoint (§3.2 step 3).
+    fn build_frame(&self, bp_id: &i64) -> Option<Frame> {
+        let st = self.static_bps.get(bp_id)?;
+        let scope = self.symbols.scope_of(*bp_id).unwrap_or_default();
+        let locals: Vec<(String, Option<Bits>)> = scope
+            .into_iter()
+            .map(|(name, rtl)| {
+                let v = self.sim.get_value(&rtl);
+                (name, v)
+            })
+            .collect();
+        let generator = self
+            .symbols
+            .instance_by_name(&st.info.instance_name)
+            .ok()
+            .flatten()
+            .and_then(|iid| self.symbols.instance_variables(iid).ok())
+            .map(|vars| {
+                let pairs: Vec<(String, Option<Bits>)> = vars
+                    .into_iter()
+                    .map(|(name, rtl)| {
+                        let v = self.sim.get_value(&rtl);
+                        (name, v)
+                    })
+                    .collect();
+                build_var_tree(&pairs)
+            })
+            .unwrap_or_default();
+        Some(Frame {
+            breakpoint_id: *bp_id,
+            instance: st.info.instance_name.clone(),
+            filename: st.info.filename.clone(),
+            line: st.info.line,
+            col: st.info.col,
+            locals,
+            generator,
+        })
+    }
+
+    fn stop(&mut self, group_index: usize, hits: Vec<Frame>) -> RunOutcome {
+        self.scheduler.stop_at(group_index);
+        let g = &self.scheduler.groups()[group_index];
+        let event = StopEvent {
+            time: self.sim.time(),
+            filename: g.filename.clone(),
+            line: g.line,
+            col: g.col,
+            hits,
+        };
+        self.stopped = Some(event.clone());
+        RunOutcome::Stopped(event)
+    }
+
+    /// Whether a group contains at least one inserted breakpoint
+    /// (fast skip in continue mode).
+    fn group_has_inserted(&self, group_index: usize) -> bool {
+        self.scheduler.groups()[group_index]
+            .bp_ids
+            .iter()
+            .any(|id| self.inserted.contains_key(id))
+    }
+
+    /// Resumes execution until an inserted breakpoint hits or
+    /// `max_cycles` clock cycles elapse (safety net; `None` runs until
+    /// the backend ends — only sensible for replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn continue_run(&mut self, max_cycles: Option<u64>) -> Result<RunOutcome, DebugError> {
+        let mut cycles: u64 = 0;
+        loop {
+            // Figure 2 loop: fetch next group with inserted bps,
+            // evaluate, stop on hit. "We can exit the loop immediately
+            // if there is no breakpoint inserted."
+            if !self.inserted.is_empty() {
+                for gi in self.scheduler.remaining_forward() {
+                    if !self.group_has_inserted(gi) {
+                        continue;
+                    }
+                    let hits = self.eval_group(gi, true);
+                    if !hits.is_empty() {
+                        return Ok(self.stop(gi, hits));
+                    }
+                    self.scheduler.stop_at(gi);
+                }
+            }
+            if let Some(max) = max_cycles {
+                if cycles >= max {
+                    self.stopped = None;
+                    return Ok(RunOutcome::Finished {
+                        time: self.sim.time(),
+                    });
+                }
+            }
+            if !self.sim.step_clock() {
+                self.stopped = None;
+                return Ok(RunOutcome::Finished {
+                    time: self.sim.time(),
+                });
+            }
+            cycles += 1;
+            self.scheduler.reset_cycle();
+            self.stopped = None;
+        }
+    }
+
+    /// Steps to the next active source statement (any symbol-table
+    /// breakpoint whose enable holds), crossing cycle boundaries as
+    /// needed, up to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn step(&mut self, max_cycles: Option<u64>) -> Result<RunOutcome, DebugError> {
+        let mut cycles: u64 = 0;
+        loop {
+            for gi in self.scheduler.remaining_forward() {
+                let hits = self.eval_group(gi, false);
+                if !hits.is_empty() {
+                    return Ok(self.stop(gi, hits));
+                }
+                self.scheduler.stop_at(gi);
+            }
+            if let Some(max) = max_cycles {
+                if cycles >= max {
+                    self.stopped = None;
+                    return Ok(RunOutcome::Finished {
+                        time: self.sim.time(),
+                    });
+                }
+            }
+            if !self.sim.step_clock() {
+                self.stopped = None;
+                return Ok(RunOutcome::Finished {
+                    time: self.sim.time(),
+                });
+            }
+            cycles += 1;
+            self.scheduler.reset_cycle();
+            self.stopped = None;
+        }
+    }
+
+    /// Steps *backwards* to the previous active statement: first
+    /// within the current cycle by reversing the selection order
+    /// (intra-cycle reverse debugging, available on any backend), then
+    /// across cycles when the backend supports reversing time (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::ReverseUnsupported`] when a cycle boundary must
+    /// be crossed on a forward-only backend.
+    pub fn reverse_step(&mut self) -> Result<RunOutcome, DebugError> {
+        loop {
+            for gi in self.scheduler.remaining_backward() {
+                let hits = self.eval_group(gi, false);
+                if !hits.is_empty() {
+                    return Ok(self.stop(gi, hits));
+                }
+                self.scheduler.stop_at(gi);
+            }
+            // Exhausted this cycle: reverse time.
+            if !self.sim.supports_reverse() {
+                return Err(DebugError::ReverseUnsupported);
+            }
+            let t = self.sim.time();
+            if t == 0 {
+                self.stopped = None;
+                return Ok(RunOutcome::Finished { time: 0 });
+            }
+            self.sim.set_time(t - 1)?;
+            if self.sim.time() == t {
+                self.stopped = None;
+                return Ok(RunOutcome::Finished { time: t });
+            }
+            self.scheduler.reset_cycle();
+            self.stopped = None;
+        }
+    }
+
+    /// Advances exactly one clock cycle without breakpoint evaluation
+    /// (testbench-style control).
+    pub fn step_cycle(&mut self) -> bool {
+        let advanced = self.sim.step_clock();
+        if advanced {
+            self.scheduler.reset_cycle();
+            self.stopped = None;
+        }
+        advanced
+    }
+}

@@ -1,0 +1,188 @@
+//! Breakpoint scheduling — Figure 2 of the paper.
+//!
+//! Before simulation starts, the absolute ordering of every potential
+//! breakpoint is computed from the symbol table (lexical order:
+//! file, line, column, then instance id for the concurrent copies).
+//! Breakpoints sharing a source location form a *group* — the
+//! "concurrent hardware threads executing the same line" of Figure 4.
+//!
+//! At each rising clock edge the runtime walks the groups in order,
+//! evaluating each group's breakpoints together; walking the same
+//! order backwards yields intra-cycle reverse debugging (§3.2).
+
+use symtab::{BreakpointInfo, SymbolTable};
+
+use crate::expr::DebugExpr;
+
+/// One source location's breakpoints (all instances).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Source file.
+    pub filename: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Breakpoint ids in instance order.
+    pub bp_ids: Vec<i64>,
+}
+
+/// An inserted (user-requested) breakpoint.
+#[derive(Debug)]
+pub struct InsertedBreakpoint {
+    /// Symbol-table breakpoint row.
+    pub info: BreakpointInfo,
+    /// Compiler-derived enable condition (§3.1), pre-parsed.
+    pub enable: Option<DebugExpr>,
+    /// User conditional expression (Figure 4 D), pre-parsed.
+    pub condition: Option<DebugExpr>,
+    /// Times this breakpoint has matched.
+    pub hit_count: u64,
+}
+
+/// The precomputed group ordering plus the in-cycle cursor.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    groups: Vec<Group>,
+    /// Group index the runtime is currently stopped at, if any.
+    current: Option<usize>,
+}
+
+impl Scheduler {
+    /// Precomputes the absolute ordering from the symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbol-table query errors (as strings — the caller
+    /// wraps them in its own error type).
+    pub fn from_symbols(symbols: &SymbolTable) -> Result<Scheduler, String> {
+        let bps = symbols.all_breakpoints().map_err(|e| e.to_string())?;
+        let mut groups: Vec<Group> = Vec::new();
+        for bp in bps {
+            match groups.last_mut() {
+                Some(g)
+                    if g.filename == bp.filename && g.line == bp.line && g.col == bp.col =>
+                {
+                    g.bp_ids.push(bp.id);
+                }
+                _ => groups.push(Group {
+                    filename: bp.filename.clone(),
+                    line: bp.line,
+                    col: bp.col,
+                    bp_ids: vec![bp.id],
+                }),
+            }
+        }
+        Ok(Scheduler {
+            groups,
+            current: None,
+        })
+    }
+
+    /// All groups in absolute order.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// The group index currently stopped at.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Forgets the cursor (new clock cycle).
+    pub fn reset_cycle(&mut self) {
+        self.current = None;
+    }
+
+    /// Moves the cursor to a specific group (used when a hit occurs).
+    pub fn stop_at(&mut self, index: usize) {
+        self.current = Some(index);
+    }
+
+    /// Group indices still to visit in this cycle, scanning forward
+    /// from just after the current stop (or the start of the cycle).
+    pub fn remaining_forward(&self) -> std::ops::Range<usize> {
+        let start = match self.current {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        start..self.groups.len()
+    }
+
+    /// Group indices to visit scanning backward from just before the
+    /// current stop (or the end of the cycle, when entering a cycle in
+    /// reverse mode).
+    pub fn remaining_backward(&self) -> Vec<usize> {
+        let end = match self.current {
+            Some(i) => i,
+            None => self.groups.len(),
+        };
+        (0..end).rev().collect()
+    }
+
+    /// Whether any group exists at all (fast path: "exit the loop
+    /// immediately if there is no breakpoint inserted").
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols() -> SymbolTable {
+        let mut st = SymbolTable::new();
+        st.add_instance(0, "top").unwrap();
+        st.add_instance(1, "top.u0").unwrap();
+        st.add_instance(2, "top.u1").unwrap();
+        // Ordered ids across three locations; the middle one has two
+        // instances.
+        st.add_breakpoint(0, "a.rs", 3, 1, None, 0).unwrap();
+        st.add_breakpoint(1, "a.rs", 5, 1, None, 1).unwrap();
+        st.add_breakpoint(2, "a.rs", 5, 1, None, 2).unwrap();
+        st.add_breakpoint(3, "b.rs", 2, 4, None, 0).unwrap();
+        st
+    }
+
+    #[test]
+    fn groups_by_location_in_order() {
+        let s = Scheduler::from_symbols(&symbols()).unwrap();
+        let g = s.groups();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].bp_ids, vec![0]);
+        assert_eq!(g[1].bp_ids, vec![1, 2], "same line, two instances");
+        assert_eq!(g[2].bp_ids, vec![3]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn forward_cursor() {
+        let mut s = Scheduler::from_symbols(&symbols()).unwrap();
+        assert_eq!(s.remaining_forward(), 0..3);
+        s.stop_at(0);
+        assert_eq!(s.remaining_forward(), 1..3);
+        s.stop_at(2);
+        assert_eq!(s.remaining_forward(), 3..3);
+        s.reset_cycle();
+        assert_eq!(s.remaining_forward(), 0..3);
+    }
+
+    #[test]
+    fn backward_cursor() {
+        let mut s = Scheduler::from_symbols(&symbols()).unwrap();
+        // Entering a cycle in reverse visits groups from the end.
+        assert_eq!(s.remaining_backward(), vec![2, 1, 0]);
+        s.stop_at(2);
+        assert_eq!(s.remaining_backward(), vec![1, 0]);
+        s.stop_at(0);
+        assert!(s.remaining_backward().is_empty());
+    }
+
+    #[test]
+    fn empty_symbols_empty_scheduler() {
+        let s = Scheduler::from_symbols(&SymbolTable::new()).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.remaining_forward(), 0..0);
+    }
+}

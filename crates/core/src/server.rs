@@ -1,0 +1,244 @@
+//! Debug servers: request dispatch over in-process channels or TCP.
+//!
+//! The runtime side of Figure 1's RPC arrows. A [`Transport`] carries
+//! newline-delimited JSON both ways; [`serve`] pumps requests into a
+//! [`Runtime`] until `detach`. [`ChannelPair`] provides an in-process
+//! transport (debugger and simulation in one process, like the native
+//! ABI path of §3.4); [`serve_tcp`] binds a socket for external
+//! debuggers (the gdb-like CLI, or an IDE).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use microjson::Json;
+use rtl_sim::{HierNode, SimControl};
+
+use crate::protocol::{
+    decode_request, encode_response, outcome_response, Request, Response,
+};
+use crate::runtime::{DebugError, Runtime};
+
+/// Bidirectional line transport.
+pub trait Transport {
+    /// Receives the next line; `None` when the peer is gone.
+    fn recv(&mut self) -> Option<String>;
+
+    /// Sends one line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the peer is unreachable.
+    fn send(&mut self, line: &str) -> Result<(), String>;
+}
+
+/// In-process transport endpoints created by [`channel_pair`].
+#[derive(Debug)]
+pub struct ChannelPair {
+    tx: Sender<String>,
+    rx: Receiver<String>,
+}
+
+/// Creates a connected (server, client) transport pair.
+pub fn channel_pair() -> (ChannelPair, ChannelPair) {
+    let (tx_a, rx_a) = unbounded();
+    let (tx_b, rx_b) = unbounded();
+    (
+        ChannelPair { tx: tx_a, rx: rx_b },
+        ChannelPair { tx: tx_b, rx: rx_a },
+    )
+}
+
+impl Transport for ChannelPair {
+    fn recv(&mut self) -> Option<String> {
+        self.rx.recv().ok()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.tx.send(line.to_owned()).map_err(|e| e.to_string())
+    }
+}
+
+/// TCP transport (newline-delimited JSON).
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned.
+    pub fn new(stream: TcpStream) -> std::io::Result<TcpTransport> {
+        let writer = stream.try_clone()?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn recv(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line.trim_end().to_owned()),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn hier_json(node: &HierNode) -> Json {
+    Json::object([
+        ("name", Json::from(node.name.as_str())),
+        (
+            "signals",
+            node.signals.iter().map(|s| Json::from(s.as_str())).collect(),
+        ),
+        (
+            "children",
+            Json::array(node.children.iter().map(hier_json)),
+        ),
+    ])
+}
+
+fn error_response(e: DebugError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+/// Handles one request against the runtime. Returns the response and
+/// whether the session should end.
+pub fn handle_request<S: SimControl>(
+    runtime: &mut Runtime<S>,
+    request: Request,
+) -> (Response, bool) {
+    let resp = match request {
+        Request::InsertBreakpoint {
+            filename,
+            line,
+            col,
+            condition,
+        } => match runtime.insert_breakpoint(&filename, line, col, condition.as_deref()) {
+            Ok(ids) => Response::Inserted { ids },
+            Err(e) => error_response(e),
+        },
+        Request::RemoveBreakpoint { id } => match runtime.remove_breakpoint(id) {
+            Ok(()) => Response::Ok,
+            Err(e) => error_response(e),
+        },
+        Request::ListBreakpoints => Response::Breakpoints {
+            items: runtime.breakpoints(),
+        },
+        Request::Continue { max_cycles } => match runtime.continue_run(max_cycles) {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::Step { max_cycles } => match runtime.step(max_cycles) {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::ReverseStep => match runtime.reverse_step() {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::Frames => match runtime.stopped() {
+            Some(event) => Response::Stopped {
+                event: event.clone(),
+            },
+            None => Response::Error {
+                message: "not stopped at a breakpoint".into(),
+            },
+        },
+        Request::Eval { instance, expr } => {
+            match runtime.eval(instance.as_deref(), &expr) {
+                Ok(v) => Response::Value {
+                    text: v.to_string(),
+                    width: v.width(),
+                },
+                Err(e) => error_response(e),
+            }
+        }
+        Request::SetValue {
+            instance,
+            name,
+            value,
+        } => {
+            let parsed = crate::expr::DebugExpr::parse(&value)
+                .and_then(|e| e.eval(&|_| None));
+            match parsed {
+                Ok(v) => match runtime.set_variable(instance.as_deref(), &name, v) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                },
+                Err(e) => Response::Error {
+                    message: format!("bad value literal: {e}"),
+                },
+            }
+        }
+        Request::Hierarchy => Response::Hierarchy {
+            tree: hier_json(&runtime.hierarchy()),
+        },
+        Request::Time => Response::Time {
+            time: runtime.time(),
+        },
+        Request::Detach => return (Response::Ok, true),
+    };
+    (resp, false)
+}
+
+/// Serves requests from a transport until `detach` or disconnect.
+pub fn serve<S: SimControl, T: Transport>(runtime: &mut Runtime<S>, transport: &mut T) {
+    while let Some(line) = transport.recv() {
+        if line.is_empty() {
+            continue;
+        }
+        let (response, done) = match microjson::parse(&line) {
+            Ok(json) => match decode_request(&json) {
+                Ok(req) => handle_request(runtime, req),
+                Err(message) => (Response::Error { message }, false),
+            },
+            Err(e) => (
+                Response::Error {
+                    message: format!("malformed json: {e}"),
+                },
+                false,
+            ),
+        };
+        let text = encode_response(&response).to_string();
+        if transport.send(&text).is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Binds a TCP listener and serves exactly one debugger connection
+/// (the paper's single-debugger model).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn serve_tcp<S: SimControl>(
+    runtime: &mut Runtime<S>,
+    listener: &TcpListener,
+) -> std::io::Result<()> {
+    let (stream, _) = listener.accept()?;
+    let mut transport = TcpTransport::new(stream)?;
+    serve(runtime, &mut transport);
+    Ok(())
+}

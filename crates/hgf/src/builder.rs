@@ -1,0 +1,722 @@
+//! Circuit and module builders: the generator-facing API.
+//!
+//! Every emitting method is `#[track_caller]`, so the IR records the
+//! *generator source location* of each statement — the Rust analogue of
+//! Chisel storing Scala filenames and line numbers in FIRRTL (§4.1).
+//! Those locations are what hgdb breakpoints are set against.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::panic::Location;
+use std::rc::Rc;
+
+use bits::Bits;
+use hgf_ir::{
+    Circuit, Expr, IrError, Module, Port, PortDir, SourceLoc, Stmt, StmtId,
+};
+
+use crate::signal::Signal;
+
+fn here(location: &Location<'_>) -> SourceLoc {
+    SourceLoc::new(location.file(), location.line(), location.column())
+}
+
+/// Builds a [`Circuit`] from generator code.
+///
+/// # Examples
+///
+/// ```
+/// use hgf::{CircuitBuilder, Signal};
+///
+/// let mut cb = CircuitBuilder::new();
+/// cb.module("inverter", |m| {
+///     let a = m.input("a", 1);
+///     let out = m.output("out", 1);
+///     m.assign(&out, !a);
+/// });
+/// let circuit = cb.finish("inverter")?;
+/// assert_eq!(circuit.top, "inverter");
+/// # Ok::<(), hgf_ir::IrError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    modules: Vec<Module>,
+    next_id: Rc<Cell<u32>>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty circuit builder.
+    pub fn new() -> CircuitBuilder {
+        CircuitBuilder::default()
+    }
+
+    /// Defines a module by running `build` against a fresh
+    /// [`ModuleBuilder`]. Returns a handle usable for instantiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a module with this name already exists.
+    #[track_caller]
+    pub fn module(
+        &mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(&mut ModuleBuilder<'_>),
+    ) -> ModuleHandle {
+        let name = name.into();
+        assert!(
+            self.modules.iter().all(|m| m.name != name),
+            "module {name} defined twice"
+        );
+        let loc = here(Location::caller());
+        let module = {
+            let mut mb = ModuleBuilder {
+                module: Module::new(name.clone(), loc),
+                next_id: Rc::clone(&self.next_id),
+                frames: vec![Vec::new()],
+                names: HashSet::new(),
+                siblings: &self.modules,
+            };
+            build(&mut mb);
+            mb.into_module()
+        };
+        self.modules.push(module);
+        ModuleHandle { name }
+    }
+
+    /// Finalizes and validates the circuit with `top` as root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] found during validation.
+    pub fn finish(self, top: impl Into<String>) -> Result<Circuit, IrError> {
+        let circuit = Circuit::new(top, self.modules);
+        circuit.validate()?;
+        Ok(circuit)
+    }
+}
+
+/// A defined module, usable for instantiation in later modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleHandle {
+    name: String,
+}
+
+impl ModuleHandle {
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An assignable signal: wire, register, output port or instance input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    name: String,
+    width: u32,
+}
+
+impl Net {
+    /// Reads the net as a [`Signal`].
+    pub fn sig(&self) -> Signal {
+        Signal::from_expr(Expr::var(&self.name), self.width)
+    }
+
+    /// The RTL name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+/// A memory handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemHandle {
+    name: String,
+    width: u32,
+    depth: u32,
+}
+
+impl MemHandle {
+    /// The memory's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// An instantiated child module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceHandle {
+    name: String,
+    ports: Vec<(String, PortDir, u32)>,
+}
+
+impl InstanceHandle {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reads a child port (any direction) as a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    #[track_caller]
+    pub fn port(&self, port: &str) -> Signal {
+        let (name, _, width) = self.lookup(port);
+        Signal::from_expr(Expr::var(format!("{}.{}", self.name, name)), width)
+    }
+
+    /// An assignable handle for a child *input* port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is an output.
+    #[track_caller]
+    pub fn input(&self, port: &str) -> Net {
+        let (name, dir, width) = self.lookup(port);
+        assert_eq!(
+            dir,
+            PortDir::Input,
+            "port {port} of instance {} is not an input",
+            self.name
+        );
+        Net {
+            name: format!("{}.{}", self.name, name),
+            width,
+        }
+    }
+
+    #[track_caller]
+    fn lookup(&self, port: &str) -> (String, PortDir, u32) {
+        self.ports
+            .iter()
+            .find(|(n, _, _)| n == port)
+            .map(|(n, d, w)| (n.clone(), *d, *w))
+            .unwrap_or_else(|| panic!("instance {} has no port {port}", self.name))
+    }
+}
+
+/// Builds one module; obtained through [`CircuitBuilder::module`].
+#[derive(Debug)]
+pub struct ModuleBuilder<'a> {
+    module: Module,
+    next_id: Rc<Cell<u32>>,
+    /// Statement frames: index 0 is the module body; `when` bodies push
+    /// temporary frames.
+    frames: Vec<Vec<Stmt>>,
+    names: HashSet<String>,
+    siblings: &'a [Module],
+}
+
+impl ModuleBuilder<'_> {
+    fn fresh_id(&self) -> StmtId {
+        let id = self.next_id.get() + 1;
+        self.next_id.set(id);
+        StmtId(id)
+    }
+
+    fn claim_name(&mut self, name: &str) {
+        assert!(
+            self.names.insert(name.to_owned()),
+            "name {name} already used in module {}",
+            self.module.name
+        );
+    }
+
+    fn emit(&mut self, stmt: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("at least the body frame")
+            .push(stmt);
+    }
+
+    fn register_gen_var(&mut self, source_name: &str, rtl: &str) {
+        self.module
+            .gen_vars
+            .push((source_name.to_owned(), rtl.to_owned()));
+    }
+
+    /// Declares an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero width.
+    #[track_caller]
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> Signal {
+        let name = name.into();
+        assert!(width > 0, "port {name} must have nonzero width");
+        self.claim_name(&name);
+        self.module.ports.push(Port {
+            name: name.clone(),
+            dir: PortDir::Input,
+            width,
+            loc: here(Location::caller()),
+        });
+        self.register_gen_var(&name, &name);
+        Signal::from_expr(Expr::var(&name), width)
+    }
+
+    /// Declares an output port; assign it with [`ModuleBuilder::assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero width.
+    #[track_caller]
+    pub fn output(&mut self, name: impl Into<String>, width: u32) -> Net {
+        let name = name.into();
+        assert!(width > 0, "port {name} must have nonzero width");
+        self.claim_name(&name);
+        self.module.ports.push(Port {
+            name: name.clone(),
+            dir: PortDir::Output,
+            width,
+            loc: here(Location::caller()),
+        });
+        self.register_gen_var(&name, &name);
+        Net { name, width }
+    }
+
+    /// Declares a wire with a default value (like Chisel's
+    /// `WireDefault`); later conditional assignments override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or width mismatch with the default.
+    #[track_caller]
+    pub fn wire(&mut self, name: impl Into<String>, default: Signal) -> Net {
+        let name = name.into();
+        self.claim_name(&name);
+        let width = default.width();
+        let loc = here(Location::caller());
+        let id = self.fresh_id();
+        self.emit(Stmt::Wire {
+            id,
+            name: name.clone(),
+            width,
+            loc: loc.clone(),
+        });
+        let id = self.fresh_id();
+        self.emit(Stmt::Connect {
+            id,
+            target: name.clone(),
+            expr: default.into_expr(),
+            loc,
+        });
+        self.register_gen_var(&name, &name);
+        Net { name, width }
+    }
+
+    /// Declares a register. `init` is the synchronous reset value
+    /// (loaded when the implicit `reset` input is high); `None` means
+    /// the register is never reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero width.
+    #[track_caller]
+    pub fn reg(&mut self, name: impl Into<String>, width: u32, init: Option<u64>) -> Net {
+        let name = name.into();
+        assert!(width > 0, "register {name} must have nonzero width");
+        self.claim_name(&name);
+        let id = self.fresh_id();
+        self.emit(Stmt::Reg {
+            id,
+            name: name.clone(),
+            width,
+            init: init.map(|v| Bits::from_u64(v, width)),
+            loc: here(Location::caller()),
+        });
+        self.register_gen_var(&name, &name);
+        Net { name, width }
+    }
+
+    /// Names an intermediate value (like `val x = ...` in Chisel),
+    /// making it visible to the debugger.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    #[track_caller]
+    pub fn node(&mut self, name: impl Into<String>, value: Signal) -> Signal {
+        let name = name.into();
+        self.claim_name(&name);
+        let width = value.width();
+        let id = self.fresh_id();
+        self.emit(Stmt::Node {
+            id,
+            name: name.clone(),
+            expr: value.into_expr(),
+            loc: here(Location::caller()),
+        });
+        self.register_gen_var(&name, &name);
+        Signal::from_expr(Expr::var(&name), width)
+    }
+
+    /// Connects `value` to an assignable target (wire, register,
+    /// output port or instance input). Last connect wins, subject to
+    /// the surrounding `when` conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[track_caller]
+    pub fn assign(&mut self, target: &Net, value: Signal) {
+        assert_eq!(
+            target.width,
+            value.width(),
+            "assigning {} bits to {} ({} bits)",
+            value.width(),
+            target.name,
+            target.width
+        );
+        let id = self.fresh_id();
+        self.emit(Stmt::Connect {
+            id,
+            target: target.name.clone(),
+            expr: value.into_expr(),
+            loc: here(Location::caller()),
+        });
+    }
+
+    /// Conditional block: statements emitted inside `body` only take
+    /// effect when `cond` is high.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cond` is 1 bit.
+    #[track_caller]
+    pub fn when(&mut self, cond: Signal, body: impl FnOnce(&mut Self)) {
+        self.when_else(cond, body, |_| {});
+    }
+
+    /// Conditional block with an else branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cond` is 1 bit.
+    #[track_caller]
+    pub fn when_else(
+        &mut self,
+        cond: Signal,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        assert_eq!(cond.width(), 1, "when condition must be 1 bit");
+        let loc = here(Location::caller());
+        self.frames.push(Vec::new());
+        then_body(self);
+        let then_stmts = self.frames.pop().expect("then frame");
+        self.frames.push(Vec::new());
+        else_body(self);
+        let else_stmts = self.frames.pop().expect("else frame");
+        let id = self.fresh_id();
+        self.emit(Stmt::When {
+            id,
+            cond: cond.into_expr(),
+            then_body: then_stmts,
+            else_body: else_stmts,
+            loc,
+        });
+    }
+
+    /// Declares a word-addressed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero width/depth.
+    #[track_caller]
+    pub fn mem(&mut self, name: impl Into<String>, width: u32, depth: u32) -> MemHandle {
+        let name = name.into();
+        assert!(width > 0 && depth > 0, "memory {name} must have nonzero shape");
+        self.claim_name(&name);
+        let id = self.fresh_id();
+        self.emit(Stmt::Mem {
+            id,
+            name: name.clone(),
+            width,
+            depth,
+            loc: here(Location::caller()),
+        });
+        MemHandle { name, width, depth }
+    }
+
+    /// Adds a combinational read port named `name` to a memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    #[track_caller]
+    pub fn mem_read(&mut self, mem: &MemHandle, name: impl Into<String>, addr: Signal) -> Signal {
+        let name = name.into();
+        self.claim_name(&name);
+        let id = self.fresh_id();
+        self.emit(Stmt::MemRead {
+            id,
+            mem: mem.name.clone(),
+            name: name.clone(),
+            addr: addr.into_expr(),
+            loc: here(Location::caller()),
+        });
+        self.register_gen_var(&name, &name);
+        Signal::from_expr(Expr::var(&name), mem.width)
+    }
+
+    /// Adds a synchronous write port: at the clock edge, when `en` (and
+    /// all surrounding `when` conditions) hold, `mem[addr] <= data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    #[track_caller]
+    pub fn mem_write(&mut self, mem: &MemHandle, addr: Signal, data: Signal, en: Signal) {
+        assert_eq!(
+            data.width(),
+            mem.width,
+            "memory {} data width mismatch",
+            mem.name
+        );
+        assert_eq!(en.width(), 1, "memory write enable must be 1 bit");
+        let id = self.fresh_id();
+        self.emit(Stmt::MemWrite {
+            id,
+            mem: mem.name.clone(),
+            addr: addr.into_expr(),
+            data: data.into_expr(),
+            en: en.into_expr(),
+            loc: here(Location::caller()),
+        });
+    }
+
+    /// Instantiates a previously defined module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module is unknown (define children before
+    /// parents) or the instance name is taken.
+    #[track_caller]
+    pub fn instance(&mut self, name: impl Into<String>, module: &ModuleHandle) -> InstanceHandle {
+        let name = name.into();
+        self.claim_name(&name);
+        let child = self
+            .siblings
+            .iter()
+            .find(|m| m.name == module.name)
+            .unwrap_or_else(|| panic!("module {} not defined yet", module.name));
+        let ports: Vec<(String, PortDir, u32)> = child
+            .ports
+            .iter()
+            .map(|p| (p.name.clone(), p.dir, p.width))
+            .collect();
+        let id = self.fresh_id();
+        self.emit(Stmt::Instance {
+            id,
+            name: name.clone(),
+            module: module.name.clone(),
+            loc: here(Location::caller()),
+        });
+        for (port, _, _) in &ports {
+            let rtl = format!("{name}.{port}");
+            self.register_gen_var(&rtl, &rtl);
+        }
+        InstanceHandle { name, ports }
+    }
+
+    /// A literal signal (convenience mirroring [`Signal::lit`]).
+    #[track_caller]
+    pub fn lit(&self, value: u64, width: u32) -> Signal {
+        Signal::lit(value, width)
+    }
+
+    fn into_module(mut self) -> Module {
+        let body = self.frames.pop().expect("body frame");
+        assert!(self.frames.is_empty(), "unbalanced when frames");
+        self.module.stmts = body;
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgf_ir::walk_stmts;
+
+    #[test]
+    fn builds_and_validates_counter() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("counter", |m| {
+            let en = m.input("en", 1);
+            let out = m.output("out", 8);
+            let count = m.reg("count", 8, Some(0));
+            m.when(en, |m| {
+                let next = count.sig() + m.lit(1, 8);
+                m.assign(&count, next);
+            });
+            m.assign(&out, count.sig());
+        });
+        let circuit = cb.finish("counter").unwrap();
+        assert_eq!(circuit.top_module().ports.len(), 2);
+        // when + reg + 2 connects.
+        assert_eq!(walk_stmts(&circuit.top_module().stmts).count(), 4);
+    }
+
+    #[test]
+    fn locations_point_at_generator_source() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("m", |m| {
+            let a = m.input("a", 4);
+            let out = m.output("out", 4);
+            m.assign(&out, a); // this line is recorded
+        });
+        let circuit = cb.finish("m").unwrap();
+        let connect = circuit
+            .top_module()
+            .stmts
+            .iter()
+            .find(|s| matches!(s, Stmt::Connect { .. }))
+            .unwrap();
+        assert!(connect.loc().file.ends_with("builder.rs"));
+        assert!(connect.loc().line > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn duplicate_names_panic() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("m", |m| {
+            m.input("x", 1);
+            m.input("x", 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_modules_panic() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("m", |_| {});
+        cb.module("m", |_| {});
+    }
+
+    #[test]
+    fn hierarchy_and_instance_ports() {
+        let mut cb = CircuitBuilder::new();
+        let child = cb.module("adder", |m| {
+            let a = m.input("a", 8);
+            let b = m.input("b", 8);
+            let sum = m.output("sum", 8);
+            m.assign(&sum, a + b);
+        });
+        cb.module("top", |m| {
+            let x = m.input("x", 8);
+            let out = m.output("out", 8);
+            let u0 = m.instance("u0", &child);
+            m.assign(&u0.input("a"), x.clone());
+            m.assign(&u0.input("b"), x);
+            m.assign(&out, u0.port("sum"));
+        });
+        let circuit = cb.finish("top").unwrap();
+        circuit.validate().unwrap();
+        assert_eq!(circuit.modules.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an input")]
+    fn assigning_child_output_panics() {
+        let mut cb = CircuitBuilder::new();
+        let child = cb.module("c", |m| {
+            let o = m.output("o", 1);
+            m.assign(&o, m.lit(0, 1));
+        });
+        cb.module("top", |m| {
+            let u = m.instance("u", &child);
+            let _ = u.input("o");
+        });
+    }
+
+    #[test]
+    fn gen_vars_registered() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("m", |m| {
+            let a = m.input("io.a", 8);
+            let out = m.output("io.out", 8);
+            let t = m.node("t", a + m.lit(1, 8));
+            m.assign(&out, t);
+        });
+        let circuit = cb.finish("m").unwrap();
+        let gv = &circuit.top_module().gen_vars;
+        assert!(gv.iter().any(|(n, _)| n == "io.a"));
+        assert!(gv.iter().any(|(n, _)| n == "io.out"));
+        assert!(gv.iter().any(|(n, _)| n == "t"));
+    }
+
+    #[test]
+    fn memories_and_whens_compose() {
+        let mut cb = CircuitBuilder::new();
+        cb.module("regfile", |m| {
+            let raddr = m.input("raddr", 5);
+            let waddr = m.input("waddr", 5);
+            let wdata = m.input("wdata", 32);
+            let wen = m.input("wen", 1);
+            let rdata = m.output("rdata", 32);
+            let rf = m.mem("rf", 32, 32);
+            let data = m.mem_read(&rf, "rf_rdata", raddr);
+            m.when(wen, |m| {
+                m.mem_write(&rf, waddr, wdata, m.lit(1, 1));
+            });
+            m.assign(&rdata, data);
+        });
+        let circuit = cb.finish("regfile").unwrap();
+        circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn full_pipeline_on_built_module() {
+        // End-to-end: generator -> High IR -> passes -> Low IR + symbols.
+        let mut cb = CircuitBuilder::new();
+        cb.module("acc", |m| {
+            let data0 = m.input("data0", 8);
+            let data1 = m.input("data1", 8);
+            let out = m.output("out", 8);
+            let sum = m.wire("sum", m.lit(0, 8));
+            for data in [data0, data1] {
+                let odd = data.rem(&m.lit(2, 8)).eq(&m.lit(1, 8));
+                m.when(odd, |m| {
+                    m.assign(&sum, sum.sig() + data.clone());
+                });
+            }
+            m.assign(&out, sum.sig());
+        });
+        let circuit = cb.finish("acc").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+        // The two loop iterations share one source line: the paper's
+        // "multiple line-mapping after SSA".
+        let sum_bps: Vec<_> = table
+            .breakpoints
+            .iter()
+            .filter(|b| b.assigned.as_ref().is_some_and(|(src, _)| src == "sum"))
+            .collect();
+        // Initial wire default + two conditional +=.
+        assert!(sum_bps.len() >= 3, "got {}", sum_bps.len());
+        let cond_bps: Vec<_> = sum_bps
+            .iter()
+            .filter(|b| b.enable.is_some())
+            .collect();
+        assert_eq!(cond_bps.len(), 2);
+        assert_eq!(cond_bps[0].loc, cond_bps[1].loc, "same generator line");
+    }
+}

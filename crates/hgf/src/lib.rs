@@ -1,0 +1,42 @@
+//! `hgf`: a Chisel-like hardware generator framework embedded in Rust.
+//!
+//! This is the "HGF" of the paper's title — the high-level frontend
+//! whose source the designer debugs. Generators are ordinary Rust
+//! functions building hardware through [`CircuitBuilder`] /
+//! [`ModuleBuilder`]; Rust control flow (loops, conditionals, function
+//! composition) elaborates away, producing [`hgf_ir`] circuits whose
+//! statements carry genuine Rust source locations captured with
+//! `#[track_caller]` — the exact analogue of Chisel recording Scala
+//! positions in FIRRTL (§4.1).
+//!
+//! # Examples
+//!
+//! The paper's Listing 1 as a generator: a `for` loop accumulating into
+//! a wire. The loop body emits two conditional connects that share one
+//! source line, which the SSA transform later maps to two breakpoints
+//! (Listing 2):
+//!
+//! ```
+//! use hgf::{CircuitBuilder, Signal};
+//!
+//! let mut cb = CircuitBuilder::new();
+//! cb.module("acc", |m| {
+//!     let data = [m.input("data0", 8), m.input("data1", 8)];
+//!     let out = m.output("out", 8);
+//!     let sum = m.wire("sum", m.lit(0, 8));
+//!     for d in data {
+//!         let odd = d.rem(&m.lit(2, 8)).eq(&m.lit(1, 8));
+//!         m.when(odd, |m| m.assign(&sum, sum.sig() + d.clone()));
+//!     }
+//!     m.assign(&out, sum.sig());
+//! });
+//! let circuit = cb.finish("acc")?;
+//! assert!(circuit.validate().is_ok());
+//! # Ok::<(), hgf_ir::IrError>(())
+//! ```
+
+mod builder;
+mod signal;
+
+pub use builder::{CircuitBuilder, InstanceHandle, MemHandle, ModuleBuilder, ModuleHandle, Net};
+pub use signal::Signal;

@@ -1,0 +1,456 @@
+//! Signal handles and expression building with operator overloading.
+//!
+//! A [`Signal`] wraps an IR expression plus its width. Operators build
+//! bigger expressions, checking widths eagerly so that generator bugs
+//! surface at elaboration time with the *generator's* source location
+//! (all entry points are `#[track_caller]`) — the same experience
+//! Chisel gives for Scala.
+
+use std::ops;
+
+use bits::Bits;
+use hgf_ir::expr::{BinaryOp, Expr, UnaryOp};
+
+/// A combinational value inside a module under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    expr: Expr,
+    width: u32,
+}
+
+impl Signal {
+    /// Wraps a raw IR expression with a known width. Mostly internal;
+    /// generator code should use builder methods and operators.
+    pub fn from_expr(expr: Expr, width: u32) -> Signal {
+        Signal { expr, width }
+    }
+
+    /// A literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[track_caller]
+    pub fn lit(value: u64, width: u32) -> Signal {
+        assert!(width > 0, "literal width must be at least 1");
+        Signal {
+            expr: Expr::Lit(Bits::from_u64(value, width)),
+            width,
+        }
+    }
+
+    /// A literal from [`Bits`].
+    pub fn lit_bits(value: Bits) -> Signal {
+        let width = value.width();
+        Signal {
+            expr: Expr::Lit(value),
+            width,
+        }
+    }
+
+    /// The signal's width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The underlying IR expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Consumes the signal, yielding the IR expression.
+    pub fn into_expr(self) -> Expr {
+        self.expr
+    }
+
+    #[track_caller]
+    fn binop(op: BinaryOp, a: &Signal, b: &Signal) -> Signal {
+        if !op.is_shift() {
+            assert_eq!(
+                a.width, b.width,
+                "operator {} requires equal widths ({} vs {})",
+                op.token(),
+                a.width,
+                b.width
+            );
+        }
+        let width = if op.is_comparison() { 1 } else { a.width };
+        Signal {
+            expr: Expr::binary(op, a.expr.clone(), b.expr.clone()),
+            width,
+        }
+    }
+
+    /// 1-bit equality.
+    #[track_caller]
+    pub fn eq(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Eq, self, other)
+    }
+
+    /// 1-bit inequality.
+    #[track_caller]
+    pub fn ne(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Ne, self, other)
+    }
+
+    /// Unsigned less-than.
+    #[track_caller]
+    pub fn lt(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Lt, self, other)
+    }
+
+    /// Unsigned less-or-equal.
+    #[track_caller]
+    pub fn le(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Le, self, other)
+    }
+
+    /// Unsigned greater-than.
+    #[track_caller]
+    pub fn gt(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Gt, self, other)
+    }
+
+    /// Unsigned greater-or-equal.
+    #[track_caller]
+    pub fn ge(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Ge, self, other)
+    }
+
+    /// Signed less-than.
+    #[track_caller]
+    pub fn lt_signed(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Lts, self, other)
+    }
+
+    /// Signed less-or-equal.
+    #[track_caller]
+    pub fn le_signed(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Les, self, other)
+    }
+
+    /// Signed greater-than.
+    #[track_caller]
+    pub fn gt_signed(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Gts, self, other)
+    }
+
+    /// Signed greater-or-equal.
+    #[track_caller]
+    pub fn ge_signed(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Ges, self, other)
+    }
+
+    /// Unsigned division (x/0 yields all ones).
+    #[track_caller]
+    pub fn div(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Div, self, other)
+    }
+
+    /// Unsigned remainder (x%0 yields x).
+    #[track_caller]
+    pub fn rem(&self, other: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Rem, self, other)
+    }
+
+    /// Arithmetic shift right by a dynamic amount.
+    #[track_caller]
+    pub fn ashr(&self, amount: &Signal) -> Signal {
+        Signal::binop(BinaryOp::Ashr, self, amount)
+    }
+
+    /// 2:1 mux: `sel.select(a, b)` is `a` when `sel` is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is 1 bit and arms have equal widths.
+    #[track_caller]
+    pub fn select(&self, then_val: &Signal, else_val: &Signal) -> Signal {
+        assert_eq!(self.width, 1, "mux selector must be 1 bit, got {}", self.width);
+        assert_eq!(
+            then_val.width, else_val.width,
+            "mux arms must have equal widths ({} vs {})",
+            then_val.width, else_val.width
+        );
+        Signal {
+            expr: Expr::mux(
+                self.expr.clone(),
+                then_val.expr.clone(),
+                else_val.expr.clone(),
+            ),
+            width: then_val.width,
+        }
+    }
+
+    /// Bit slice `[hi:lo]`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    #[track_caller]
+    pub fn slice(&self, hi: u32, lo: u32) -> Signal {
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        assert!(hi < self.width, "slice hi ({hi}) out of width {}", self.width);
+        Signal {
+            expr: Expr::Slice(Box::new(self.expr.clone()), hi, lo),
+            width: hi - lo + 1,
+        }
+    }
+
+    /// The single bit at `index`.
+    #[track_caller]
+    pub fn bit(&self, index: u32) -> Signal {
+        self.slice(index, index)
+    }
+
+    /// Concatenation `{self, low}`.
+    pub fn cat(&self, low: &Signal) -> Signal {
+        Signal {
+            expr: Expr::Cat(Box::new(self.expr.clone()), Box::new(low.expr.clone())),
+            width: self.width + low.width,
+        }
+    }
+
+    /// Zero-extends to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    #[track_caller]
+    pub fn zext(&self, width: u32) -> Signal {
+        assert!(
+            width >= self.width,
+            "zext target width {width} smaller than {}",
+            self.width
+        );
+        if width == self.width {
+            return self.clone();
+        }
+        Signal::lit(0, width - self.width).cat(self)
+    }
+
+    /// Sign-extends to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    #[track_caller]
+    pub fn sext(&self, width: u32) -> Signal {
+        assert!(
+            width >= self.width,
+            "sext target width {width} smaller than {}",
+            self.width
+        );
+        if width == self.width {
+            return self.clone();
+        }
+        let ext = width - self.width;
+        let sign = self.bit(self.width - 1);
+        let ones = Signal::lit_bits(Bits::ones(ext));
+        let zeros = Signal::lit(0, ext);
+        sign.select(&ones, &zeros).cat(self)
+    }
+
+    /// Truncates to the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > self.width()` or `width == 0`.
+    #[track_caller]
+    pub fn trunc(&self, width: u32) -> Signal {
+        assert!(width > 0, "cannot truncate to zero width");
+        assert!(
+            width <= self.width,
+            "trunc target width {width} larger than {}",
+            self.width
+        );
+        if width == self.width {
+            return self.clone();
+        }
+        self.slice(width - 1, 0)
+    }
+
+    /// AND-reduction, 1-bit result.
+    pub fn reduce_and(&self) -> Signal {
+        Signal {
+            expr: Expr::unary(UnaryOp::ReduceAnd, self.expr.clone()),
+            width: 1,
+        }
+    }
+
+    /// OR-reduction, 1-bit result.
+    pub fn reduce_or(&self) -> Signal {
+        Signal {
+            expr: Expr::unary(UnaryOp::ReduceOr, self.expr.clone()),
+            width: 1,
+        }
+    }
+
+    /// XOR-reduction (parity), 1-bit result.
+    pub fn reduce_xor(&self) -> Signal {
+        Signal {
+            expr: Expr::unary(UnaryOp::ReduceXor, self.expr.clone()),
+            width: 1,
+        }
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> Signal {
+        Signal {
+            expr: Expr::unary(UnaryOp::Neg, self.expr.clone()),
+            width: self.width,
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for &Signal {
+            type Output = Signal;
+
+            #[track_caller]
+            fn $method(self, rhs: &Signal) -> Signal {
+                Signal::binop($op, self, rhs)
+            }
+        }
+
+        impl ops::$trait for Signal {
+            type Output = Signal;
+
+            #[track_caller]
+            fn $method(self, rhs: Signal) -> Signal {
+                Signal::binop($op, &self, &rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinaryOp::Add);
+impl_binop!(Sub, sub, BinaryOp::Sub);
+impl_binop!(Mul, mul, BinaryOp::Mul);
+impl_binop!(BitAnd, bitand, BinaryOp::And);
+impl_binop!(BitOr, bitor, BinaryOp::Or);
+impl_binop!(BitXor, bitxor, BinaryOp::Xor);
+impl_binop!(Shl, shl, BinaryOp::Shl);
+impl_binop!(Shr, shr, BinaryOp::Shr);
+
+impl ops::Not for &Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        Signal {
+            expr: Expr::unary(UnaryOp::Not, self.expr.clone()),
+            width: self.width,
+        }
+    }
+}
+
+impl ops::Not for Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        !&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str, width: u32) -> Signal {
+        Signal::from_expr(Expr::var(name), width)
+    }
+
+    #[test]
+    fn arithmetic_builds_expected_expr() {
+        let a = var("a", 8);
+        let b = var("b", 8);
+        let sum = &a + &b;
+        assert_eq!(sum.width(), 8);
+        assert_eq!(sum.expr().to_string(), "(a + b)");
+        let prod = a.clone() * b.clone();
+        assert_eq!(prod.expr().to_string(), "(a * b)");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires equal widths")]
+    fn width_mismatch_panics() {
+        let _ = var("a", 8) + var("b", 4);
+    }
+
+    #[test]
+    fn comparisons_are_one_bit() {
+        let a = var("a", 8);
+        let b = var("b", 8);
+        assert_eq!(a.eq(&b).width(), 1);
+        assert_eq!(a.lt(&b).width(), 1);
+        assert_eq!(a.lt_signed(&b).expr().to_string(), "(a <$ b)");
+    }
+
+    #[test]
+    fn shifts_allow_width_mismatch() {
+        let a = var("a", 8);
+        let s = var("s", 3);
+        assert_eq!((&a << &s).width(), 8);
+        assert_eq!((&a >> &s).width(), 8);
+        assert_eq!(a.ashr(&s).width(), 8);
+    }
+
+    #[test]
+    fn mux_checks_widths() {
+        let c = var("c", 1);
+        let a = var("a", 8);
+        let b = var("b", 8);
+        let m = c.select(&a, &b);
+        assert_eq!(m.expr().to_string(), "mux(c, a, b)");
+        assert_eq!(m.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "selector must be 1 bit")]
+    fn wide_selector_panics() {
+        var("c", 2).select(&var("a", 8), &var("b", 8));
+    }
+
+    #[test]
+    fn slice_cat_widths() {
+        let a = var("a", 8);
+        assert_eq!(a.slice(3, 0).width(), 4);
+        assert_eq!(a.bit(7).width(), 1);
+        assert_eq!(a.cat(&var("b", 4)).width(), 12);
+    }
+
+    #[test]
+    fn extensions() {
+        let a = var("a", 4);
+        let z = a.zext(8);
+        assert_eq!(z.width(), 8);
+        assert_eq!(z.expr().to_string(), "{4'h0, a}");
+        let s = a.sext(6);
+        assert_eq!(s.width(), 6);
+        assert!(s.expr().to_string().contains("mux"));
+        assert_eq!(a.zext(4), a);
+        assert_eq!(a.trunc(2).width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn zext_shrink_panics() {
+        var("a", 8).zext(4);
+    }
+
+    #[test]
+    fn reductions_and_not() {
+        let a = var("a", 8);
+        assert_eq!(a.reduce_or().width(), 1);
+        assert_eq!((!&a).width(), 8);
+        assert_eq!((!a).expr().to_string(), "~(a)");
+    }
+
+    #[test]
+    fn literal_widths() {
+        let l = Signal::lit(5, 4);
+        assert_eq!(l.width(), 4);
+        assert_eq!(l.expr().to_string(), "4'h5");
+    }
+}

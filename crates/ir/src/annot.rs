@@ -1,0 +1,231 @@
+//! Annotations carried alongside the circuit through compiler passes.
+//!
+//! Mirrors FIRRTL's annotation mechanism as used by the paper
+//! (§4.1): pass 1 of Algorithm 1 attaches debug annotations to IR nodes
+//! on the High form; optimization passes update or invalidate them; pass
+//! 2 collects the survivors into the symbol table. `DontTouch`
+//! annotations implement the paper's debug mode (the `-O0` analogue that
+//! keeps signals out of optimization and grows the symbol table ~30%).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::expr::Expr;
+use crate::source::SourceLoc;
+use crate::stmt::{Circuit, StmtId};
+
+/// A breakpoint-bearing statement recorded by the annotation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebugAnnotation {
+    /// Module containing the statement.
+    pub module: String,
+    /// Identity of the annotated statement.
+    pub stmt: StmtId,
+    /// Generator source position (breakpoint location).
+    pub loc: SourceLoc,
+    /// Enable condition over module-local RTL signals: the
+    /// AND-reduction of the surrounding `when` condition stack (§3.1).
+    /// `None` means unconditional.
+    pub enable: Option<Expr>,
+    /// The source-level variable this statement assigns and the RTL
+    /// signal holding its value *after* the statement, if any.
+    pub assigned: Option<(String, String)>,
+    /// Scope mapping live *before* this statement: source variable →
+    /// RTL signal (the paper fetches `sum0` for `sum` at Listing 2
+    /// line 4).
+    pub scope: Vec<(String, String)>,
+}
+
+/// Annotation store threaded through the pass manager with the circuit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Annotations {
+    /// Signals protected from optimization: `(module, signal)`.
+    dont_touch: HashSet<(String, String)>,
+    /// Debug annotations in statement order per module.
+    debug: Vec<DebugAnnotation>,
+    /// Whether debug mode (the `-O0` analogue) is active.
+    debug_mode: bool,
+}
+
+impl Annotations {
+    /// Creates an empty annotation store.
+    pub fn new() -> Annotations {
+        Annotations::default()
+    }
+
+    /// Enables debug mode: the annotation pass will mark every
+    /// annotated signal DontTouch, excluding it from optimization.
+    pub fn set_debug_mode(&mut self, on: bool) {
+        self.debug_mode = on;
+    }
+
+    /// Whether debug mode is active.
+    pub fn debug_mode(&self) -> bool {
+        self.debug_mode
+    }
+
+    /// Protects `signal` in `module` from optimization.
+    pub fn add_dont_touch(&mut self, module: impl Into<String>, signal: impl Into<String>) {
+        self.dont_touch.insert((module.into(), signal.into()));
+    }
+
+    /// Whether `signal` in `module` is protected.
+    pub fn is_dont_touch(&self, module: &str, signal: &str) -> bool {
+        self.dont_touch
+            .contains(&(module.to_owned(), signal.to_owned()))
+    }
+
+    /// Number of protected signals (for the symbol-size experiment).
+    pub fn dont_touch_count(&self) -> usize {
+        self.dont_touch.len()
+    }
+
+    /// Appends a debug annotation.
+    pub fn add_debug(&mut self, annotation: DebugAnnotation) {
+        self.debug.push(annotation);
+    }
+
+    /// All debug annotations.
+    pub fn debug(&self) -> &[DebugAnnotation] {
+        &self.debug
+    }
+
+    /// Mutable access for passes that update variable mappings.
+    pub fn debug_mut(&mut self) -> &mut Vec<DebugAnnotation> {
+        &mut self.debug
+    }
+
+    /// Applies signal renames produced by a pass (e.g. CSE merging two
+    /// nodes) to all annotations of `module`: enable expressions,
+    /// assigned mappings and scopes.
+    pub fn apply_renames(&mut self, module: &str, renames: &HashMap<String, String>) {
+        if renames.is_empty() {
+            return;
+        }
+        // Renames may chain (a->b recorded, then b->c); resolve
+        // transitively with a bounded walk.
+        let resolve = |name: &str| -> Option<String> {
+            let mut cur = renames.get(name)?;
+            for _ in 0..renames.len() {
+                match renames.get(cur) {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            Some(cur.clone())
+        };
+        for ann in self.debug.iter_mut().filter(|a| a.module == module) {
+            if let Some(e) = &ann.enable {
+                ann.enable = Some(e.rename_refs(&resolve));
+            }
+            if let Some((_, rtl)) = &mut ann.assigned {
+                if let Some(new_name) = resolve(rtl) {
+                    *rtl = new_name;
+                }
+            }
+            for (_, rtl) in &mut ann.scope {
+                if let Some(new_name) = resolve(rtl) {
+                    *rtl = new_name;
+                }
+            }
+        }
+        // DontTouch markers follow renames too.
+        let moved: Vec<(String, String)> = self
+            .dont_touch
+            .iter()
+            .filter(|(m, s)| m == module && renames.contains_key(s))
+            .cloned()
+            .collect();
+        for (m, s) in moved {
+            self.dont_touch.remove(&(m.clone(), s.clone()));
+            if let Some(new_name) = resolve(&s) {
+                self.dont_touch.insert((m, new_name));
+            }
+        }
+    }
+}
+
+/// The unit passes operate on: a circuit plus its annotations, directly
+/// mirroring Algorithm 1's `CircuitState` input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitState {
+    /// The design.
+    pub circuit: Circuit,
+    /// Annotations (DontTouch, debug info).
+    pub annotations: Annotations,
+}
+
+impl CircuitState {
+    /// Wraps a circuit with empty annotations.
+    pub fn new(circuit: Circuit) -> CircuitState {
+        CircuitState {
+            circuit,
+            annotations: Annotations::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn ann(module: &str, rtl: &str) -> DebugAnnotation {
+        DebugAnnotation {
+            module: module.into(),
+            stmt: StmtId(1),
+            loc: SourceLoc::new("f.rs", 4, 1),
+            enable: Some(Expr::var("cond_0")),
+            assigned: Some(("sum".into(), rtl.into())),
+            scope: vec![("sum".into(), rtl.into())],
+        }
+    }
+
+    #[test]
+    fn dont_touch_membership() {
+        let mut a = Annotations::new();
+        a.add_dont_touch("m", "sig");
+        assert!(a.is_dont_touch("m", "sig"));
+        assert!(!a.is_dont_touch("m", "other"));
+        assert!(!a.is_dont_touch("other", "sig"));
+        assert_eq!(a.dont_touch_count(), 1);
+    }
+
+    #[test]
+    fn renames_rewrite_annotations() {
+        let mut a = Annotations::new();
+        a.add_debug(ann("m", "sum_1"));
+        a.add_debug(ann("other", "sum_1"));
+        let mut renames = HashMap::new();
+        renames.insert("sum_1".to_owned(), "sum_0".to_owned());
+        renames.insert("cond_0".to_owned(), "c".to_owned());
+        a.apply_renames("m", &renames);
+        let first = &a.debug()[0];
+        assert_eq!(first.assigned.as_ref().unwrap().1, "sum_0");
+        assert_eq!(first.scope[0].1, "sum_0");
+        assert_eq!(first.enable.as_ref().unwrap().to_string(), "c");
+        // Other module untouched.
+        assert_eq!(a.debug()[1].assigned.as_ref().unwrap().1, "sum_1");
+    }
+
+    #[test]
+    fn renames_resolve_chains() {
+        let mut a = Annotations::new();
+        a.add_debug(ann("m", "x"));
+        let mut renames = HashMap::new();
+        renames.insert("x".to_owned(), "y".to_owned());
+        renames.insert("y".to_owned(), "z".to_owned());
+        a.apply_renames("m", &renames);
+        assert_eq!(a.debug()[0].assigned.as_ref().unwrap().1, "z");
+    }
+
+    #[test]
+    fn dont_touch_follows_renames() {
+        let mut a = Annotations::new();
+        a.add_dont_touch("m", "x");
+        let mut renames = HashMap::new();
+        renames.insert("x".to_owned(), "y".to_owned());
+        a.apply_renames("m", &renames);
+        assert!(a.is_dont_touch("m", "y"));
+        assert!(!a.is_dont_touch("m", "x"));
+    }
+}

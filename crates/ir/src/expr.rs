@@ -1,0 +1,606 @@
+//! IR expressions: pure combinational value computations.
+//!
+//! Expressions appear as the right-hand side of nodes and connects, as
+//! `when` conditions, and — crucially for the debugger — as breakpoint
+//! *enable conditions* (§3.1 of the paper). The textual form produced by
+//! [`Expr::to_string`] is stored in the symbol table's `enable` column
+//! and re-parsed by the debugger's expression evaluator.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bits::Bits;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise NOT (`~`), result keeps the operand width.
+    Not,
+    /// Two's-complement negation (`-`).
+    Neg,
+    /// AND-reduction (`&x`), 1-bit result.
+    ReduceAnd,
+    /// OR-reduction (`|x`), 1-bit result.
+    ReduceOr,
+    /// XOR-reduction (`^x`), 1-bit result.
+    ReduceXor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Wrapping add; operands and result share a width.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Unsigned divide (x/0 = all ones).
+    Div,
+    /// Unsigned remainder (x%0 = x).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by dynamic amount.
+    Shl,
+    /// Logical shift right by dynamic amount.
+    Shr,
+    /// Arithmetic shift right by dynamic amount.
+    Ashr,
+    /// Equality, 1-bit result.
+    Eq,
+    /// Inequality, 1-bit result.
+    Ne,
+    /// Unsigned less-than, 1-bit result.
+    Lt,
+    /// Unsigned less-or-equal, 1-bit result.
+    Le,
+    /// Unsigned greater-than, 1-bit result.
+    Gt,
+    /// Unsigned greater-or-equal, 1-bit result.
+    Ge,
+    /// Signed less-than, 1-bit result.
+    Lts,
+    /// Signed less-or-equal, 1-bit result.
+    Les,
+    /// Signed greater-than, 1-bit result.
+    Gts,
+    /// Signed greater-or-equal, 1-bit result.
+    Ges,
+}
+
+impl BinaryOp {
+    /// Whether the result is always 1 bit wide.
+    pub fn is_comparison(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge | Lts | Les | Gts | Ges)
+    }
+
+    /// Whether the right operand width may differ (shift amounts).
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinaryOp::Shl | BinaryOp::Shr | BinaryOp::Ashr)
+    }
+
+    /// The operator's source-level token.
+    pub fn token(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Shl => "<<",
+            Shr => ">>",
+            Ashr => ">>>",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Lts => "<$",
+            Les => "<=$",
+            Gts => ">$",
+            Ges => ">=$",
+        }
+    }
+}
+
+/// An IR expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Lit(Bits),
+    /// A reference to a named signal (port, wire, reg, node, or an
+    /// instance port written `inst.port`).
+    Ref(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// 2:1 multiplexer `mux(sel, then, else)`; `sel` is 1 bit.
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Constant bit slice `expr[hi:lo]`.
+    Slice(Box<Expr>, u32, u32),
+    /// Concatenation `{high, low}`.
+    Cat(Box<Expr>, Box<Expr>),
+}
+
+/// Error from width checking or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A referenced signal is not defined.
+    UnknownSignal(String),
+    /// Operand widths violate the operator's rule.
+    WidthMismatch {
+        /// Rendered expression for diagnostics.
+        expr: String,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownSignal(s) => write!(f, "unknown signal: {s}"),
+            ExprError::WidthMismatch { expr, detail } => {
+                write!(f, "width mismatch in {expr}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl Expr {
+    /// A literal from a `u64`.
+    pub fn lit(value: u64, width: u32) -> Expr {
+        Expr::Lit(Bits::from_u64(value, width))
+    }
+
+    /// A signal reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Ref(name.into())
+    }
+
+    /// Builds a binary op.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Builds a unary op.
+    pub fn unary(op: UnaryOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Builds a mux.
+    pub fn mux(sel: Expr, then_e: Expr, else_e: Expr) -> Expr {
+        Expr::Mux(Box::new(sel), Box::new(then_e), Box::new(else_e))
+    }
+
+    /// Logical negation of a 1-bit expression (used for `otherwise`
+    /// branches in enable conditions).
+    pub fn logical_not(self) -> Expr {
+        Expr::unary(UnaryOp::Not, self)
+    }
+
+    /// AND of two 1-bit expressions (condition-stack reduction).
+    pub fn logical_and(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, other)
+    }
+
+    /// Computes the width, resolving references through `lookup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError`] on unknown signals or width-rule violations.
+    pub fn width(&self, lookup: &dyn Fn(&str) -> Option<u32>) -> Result<u32, ExprError> {
+        match self {
+            Expr::Lit(b) => Ok(b.width()),
+            Expr::Ref(name) => {
+                lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone()))
+            }
+            Expr::Unary(op, e) => {
+                let w = e.width(lookup)?;
+                Ok(match op {
+                    UnaryOp::Not | UnaryOp::Neg => w,
+                    _ => 1,
+                })
+            }
+            Expr::Binary(op, l, r) => {
+                let wl = l.width(lookup)?;
+                let wr = r.width(lookup)?;
+                if !op.is_shift() && wl != wr {
+                    return Err(ExprError::WidthMismatch {
+                        expr: self.to_string(),
+                        detail: format!("{wl} vs {wr} for {}", op.token()),
+                    });
+                }
+                Ok(if op.is_comparison() { 1 } else { wl })
+            }
+            Expr::Mux(sel, t, e) => {
+                let ws = sel.width(lookup)?;
+                if ws != 1 {
+                    return Err(ExprError::WidthMismatch {
+                        expr: self.to_string(),
+                        detail: format!("mux selector must be 1 bit, got {ws}"),
+                    });
+                }
+                let wt = t.width(lookup)?;
+                let we = e.width(lookup)?;
+                if wt != we {
+                    return Err(ExprError::WidthMismatch {
+                        expr: self.to_string(),
+                        detail: format!("mux arms differ: {wt} vs {we}"),
+                    });
+                }
+                Ok(wt)
+            }
+            Expr::Slice(e, hi, lo) => {
+                let w = e.width(lookup)?;
+                if hi < lo || *hi >= w {
+                    return Err(ExprError::WidthMismatch {
+                        expr: self.to_string(),
+                        detail: format!("slice [{hi}:{lo}] out of width {w}"),
+                    });
+                }
+                Ok(hi - lo + 1)
+            }
+            Expr::Cat(h, l) => Ok(h.width(lookup)? + l.width(lookup)?),
+        }
+    }
+
+    /// Evaluates the expression, resolving references through `lookup`.
+    ///
+    /// This is the single evaluation semantics shared by the simulator,
+    /// the constant-propagation pass and the debugger's enable-condition
+    /// evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::UnknownSignal`] if a reference fails to
+    /// resolve.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<Bits>) -> Result<Bits, ExprError> {
+        match self {
+            Expr::Lit(b) => Ok(b.clone()),
+            Expr::Ref(name) => {
+                lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone()))
+            }
+            Expr::Unary(op, e) => {
+                let v = e.eval(lookup)?;
+                Ok(match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::ReduceAnd => v.reduce_and(),
+                    UnaryOp::ReduceOr => v.reduce_or(),
+                    UnaryOp::ReduceXor => v.reduce_xor(),
+                })
+            }
+            Expr::Binary(op, l, r) => {
+                let a = l.eval(lookup)?;
+                let b = r.eval(lookup)?;
+                Ok(apply_binary(*op, &a, &b))
+            }
+            Expr::Mux(sel, t, e) => {
+                let s = sel.eval(lookup)?;
+                if s.is_truthy() {
+                    t.eval(lookup)
+                } else {
+                    e.eval(lookup)
+                }
+            }
+            Expr::Slice(e, hi, lo) => Ok(e.eval(lookup)?.slice(*hi, *lo)),
+            Expr::Cat(h, l) => {
+                let hv = h.eval(lookup)?;
+                let lv = l.eval(lookup)?;
+                Ok(hv.concat(&lv))
+            }
+        }
+    }
+
+    /// All signal names referenced by this expression, deduplicated.
+    pub fn refs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Ref(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Unary(_, e) => e.collect_refs(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_refs(out);
+                r.collect_refs(out);
+            }
+            Expr::Mux(s, t, e) => {
+                s.collect_refs(out);
+                t.collect_refs(out);
+                e.collect_refs(out);
+            }
+            Expr::Slice(e, _, _) => e.collect_refs(out),
+            Expr::Cat(h, l) => {
+                h.collect_refs(out);
+                l.collect_refs(out);
+            }
+        }
+    }
+
+    /// Rewrites every reference through `rename` (used by CSE, inlining
+    /// and hierarchy flattening).
+    pub fn rename_refs(&self, rename: &dyn Fn(&str) -> Option<String>) -> Expr {
+        match self {
+            Expr::Lit(_) => self.clone(),
+            Expr::Ref(name) => match rename(name) {
+                Some(new_name) => Expr::Ref(new_name),
+                None => self.clone(),
+            },
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.rename_refs(rename))),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(l.rename_refs(rename)),
+                Box::new(r.rename_refs(rename)),
+            ),
+            Expr::Mux(s, t, e) => Expr::Mux(
+                Box::new(s.rename_refs(rename)),
+                Box::new(t.rename_refs(rename)),
+                Box::new(e.rename_refs(rename)),
+            ),
+            Expr::Slice(e, hi, lo) => Expr::Slice(Box::new(e.rename_refs(rename)), *hi, *lo),
+            Expr::Cat(h, l) => Expr::Cat(
+                Box::new(h.rename_refs(rename)),
+                Box::new(l.rename_refs(rename)),
+            ),
+        }
+    }
+
+    /// Substitutes whole expressions for references (used by constant
+    /// propagation and inlining).
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Lit(_) => self.clone(),
+            Expr::Ref(name) => subst(name).unwrap_or_else(|| self.clone()),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.substitute(subst))),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(l.substitute(subst)),
+                Box::new(r.substitute(subst)),
+            ),
+            Expr::Mux(s, t, e) => Expr::Mux(
+                Box::new(s.substitute(subst)),
+                Box::new(t.substitute(subst)),
+                Box::new(e.substitute(subst)),
+            ),
+            Expr::Slice(e, hi, lo) => Expr::Slice(Box::new(e.substitute(subst)), *hi, *lo),
+            Expr::Cat(h, l) => Expr::Cat(
+                Box::new(h.substitute(subst)),
+                Box::new(l.substitute(subst)),
+            ),
+        }
+    }
+
+    /// The number of nodes in this expression tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Ref(_) => 1,
+            Expr::Unary(_, e) | Expr::Slice(e, _, _) => 1 + e.node_count(),
+            Expr::Binary(_, l, r) | Expr::Cat(l, r) => 1 + l.node_count() + r.node_count(),
+            Expr::Mux(s, t, e) => 1 + s.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+}
+
+/// Applies a binary operator to concrete values.
+pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+    use BinaryOp::*;
+    match op {
+        Add => a.add(b),
+        Sub => a.sub(b),
+        Mul => a.mul(b),
+        Div => a.div(b),
+        Rem => a.rem(b),
+        And => a.and(b),
+        Or => a.or(b),
+        Xor => a.xor(b),
+        Shl => a.shl(b),
+        Shr => a.shr(b),
+        Ashr => a.ashr(b),
+        Eq => a.eq_bits(b),
+        Ne => a.ne_bits(b),
+        Lt => a.lt_unsigned(b),
+        Le => a.le_unsigned(b),
+        Gt => a.gt_unsigned(b),
+        Ge => a.ge_unsigned(b),
+        Lts => a.lt_signed(b),
+        Les => a.le_signed(b),
+        Gts => a.gt_signed(b),
+        Ges => a.ge_signed(b),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(b) => write!(f, "{}'h{:x}", b.width(), b),
+            Expr::Ref(name) => write!(f, "{name}"),
+            Expr::Unary(op, e) => {
+                let tok = match op {
+                    UnaryOp::Not => "~",
+                    UnaryOp::Neg => "-",
+                    UnaryOp::ReduceAnd => "&",
+                    UnaryOp::ReduceOr => "|",
+                    UnaryOp::ReduceXor => "^",
+                };
+                write!(f, "{tok}({e})")
+            }
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.token()),
+            Expr::Mux(s, t, e) => write!(f, "mux({s}, {t}, {e})"),
+            Expr::Slice(e, hi, lo) => {
+                if hi == lo {
+                    write!(f, "{e}[{hi}]")
+                } else {
+                    write!(f, "{e}[{hi}:{lo}]")
+                }
+            }
+            Expr::Cat(h, l) => write!(f, "{{{h}, {l}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, u64, u32)]) -> impl Fn(&str) -> Option<Bits> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, v, w)| Bits::from_u64(*v, *w))
+        }
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(3, 8));
+        let v = e.eval(&env(&[("a", 4, 8)])).unwrap();
+        assert_eq!(v.to_u64(), 7);
+    }
+
+    #[test]
+    fn eval_mux_and_slice() {
+        let e = Expr::mux(
+            Expr::var("sel"),
+            Expr::Slice(Box::new(Expr::var("x")), 3, 0),
+            Expr::lit(0, 4),
+        );
+        assert_eq!(
+            e.eval(&env(&[("sel", 1, 1), ("x", 0xAB, 8)])).unwrap().to_u64(),
+            0xB
+        );
+        assert_eq!(
+            e.eval(&env(&[("sel", 0, 1), ("x", 0xAB, 8)])).unwrap().to_u64(),
+            0
+        );
+    }
+
+    #[test]
+    fn eval_unknown_signal_errors() {
+        let e = Expr::var("ghost");
+        assert_eq!(
+            e.eval(&env(&[])).unwrap_err(),
+            ExprError::UnknownSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn width_rules() {
+        let wenv = |pairs: &'static [(&'static str, u32)]| {
+            move |name: &str| pairs.iter().find(|(n, _)| *n == name).map(|(_, w)| *w)
+        };
+        let lk = wenv(&[("a", 8), ("b", 8), ("c", 4)]);
+        let add = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::var("b"));
+        assert_eq!(add.width(&lk).unwrap(), 8);
+        let bad = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::var("c"));
+        assert!(bad.width(&lk).is_err());
+        let shift = Expr::binary(BinaryOp::Shl, Expr::var("a"), Expr::var("c"));
+        assert_eq!(shift.width(&lk).unwrap(), 8);
+        let cmp = Expr::binary(BinaryOp::Lt, Expr::var("a"), Expr::var("b"));
+        assert_eq!(cmp.width(&lk).unwrap(), 1);
+        let cat = Expr::Cat(Box::new(Expr::var("a")), Box::new(Expr::var("c")));
+        assert_eq!(cat.width(&lk).unwrap(), 12);
+        let red = Expr::unary(UnaryOp::ReduceOr, Expr::var("a"));
+        assert_eq!(red.width(&lk).unwrap(), 1);
+        let bad_slice = Expr::Slice(Box::new(Expr::var("c")), 9, 0);
+        assert!(bad_slice.width(&lk).is_err());
+        let bad_mux = Expr::mux(Expr::var("a"), Expr::var("b"), Expr::var("b"));
+        assert!(bad_mux.width(&lk).is_err());
+    }
+
+    #[test]
+    fn refs_deduplicate() {
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::var("x"),
+            Expr::binary(BinaryOp::Mul, Expr::var("x"), Expr::var("y")),
+        );
+        let refs = e.refs();
+        assert_eq!(refs.len(), 2);
+        assert!(refs.contains("x") && refs.contains("y"));
+    }
+
+    #[test]
+    fn rename_and_substitute() {
+        let e = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::var("b"));
+        let renamed = e.rename_refs(&|n| (n == "a").then(|| "top.a".to_owned()));
+        assert_eq!(renamed.to_string(), "(top.a + b)");
+        let substituted = e.substitute(&|n| (n == "b").then(|| Expr::lit(1, 8)));
+        assert_eq!(substituted.to_string(), "(a + 8'h1)");
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Expr::mux(
+            Expr::binary(BinaryOp::Eq, Expr::var("op"), Expr::lit(2, 2)),
+            Expr::unary(UnaryOp::Not, Expr::var("x")),
+            Expr::Slice(Box::new(Expr::var("y")), 5, 5),
+        );
+        assert_eq!(e.to_string(), "mux((op == 2'h2), ~(x), y[5])");
+        let cat = Expr::Cat(Box::new(Expr::var("h")), Box::new(Expr::var("l")));
+        assert_eq!(cat.to_string(), "{h, l}");
+    }
+
+    #[test]
+    fn node_count() {
+        let e = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(1, 4));
+        assert_eq!(e.node_count(), 3);
+    }
+
+    #[test]
+    fn eval_reductions_and_shifts() {
+        let lk = env(&[("x", 0b1011, 4), ("s", 2, 3)]);
+        assert_eq!(
+            Expr::unary(UnaryOp::ReduceXor, Expr::var("x")).eval(&lk).unwrap().to_u64(),
+            1
+        );
+        assert_eq!(
+            Expr::binary(BinaryOp::Shl, Expr::var("x"), Expr::var("s"))
+                .eval(&lk)
+                .unwrap()
+                .to_u64(),
+            0b1100
+        );
+        assert_eq!(
+            Expr::binary(BinaryOp::Ashr, Expr::var("x"), Expr::var("s"))
+                .eval(&lk)
+                .unwrap()
+                .to_u64(),
+            0b1110
+        );
+    }
+
+    #[test]
+    fn signed_compare_eval() {
+        let lk = env(&[("a", 0xF, 4), ("b", 1, 4)]); // a = -1 signed
+        assert!(Expr::binary(BinaryOp::Lts, Expr::var("a"), Expr::var("b"))
+            .eval(&lk)
+            .unwrap()
+            .is_truthy());
+        assert!(!Expr::binary(BinaryOp::Lt, Expr::var("a"), Expr::var("b"))
+            .eval(&lk)
+            .unwrap()
+            .is_truthy());
+    }
+}

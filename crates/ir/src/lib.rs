@@ -1,0 +1,55 @@
+//! `hgf-ir`: a FIRRTL-like hardware intermediate representation.
+//!
+//! This crate is the compiler substrate of the hgdb reproduction. The
+//! paper (§4.1) extracts its debugging symbol table from Chisel's
+//! FIRRTL IR with a two-pass algorithm; this crate provides the
+//! equivalent stack:
+//!
+//! * [`Circuit`] / [`Module`] / [`Stmt`] / [`Expr`] — a High form with
+//!   `when` blocks and procedural connects, and a Low form of
+//!   straight-line nodes + muxes (see [`stmt`] for the exact rules).
+//! * [`passes`] — when-expansion with the SSA transform of §3.1
+//!   (Listings 1→2), constant propagation, CSE, DCE, and the two
+//!   symbol-extraction passes of Algorithm 1.
+//! * [`verilog`] — Low-form Verilog emission in FIRRTL's obfuscated
+//!   `_T`/`_GEN` style (Listing 4).
+//!
+//! # Examples
+//!
+//! Build a module, run the pipeline, and collect symbols:
+//!
+//! ```
+//! use hgf_ir::{Circuit, CircuitState, Module, Port, PortDir, SourceLoc, Stmt, StmtId};
+//! use hgf_ir::expr::Expr;
+//!
+//! let loc = SourceLoc::new("gen.rs", 1, 1);
+//! let mut m = Module::new("passthrough", loc.clone());
+//! m.ports = vec![
+//!     Port { name: "x".into(), dir: PortDir::Input, width: 4, loc: loc.clone() },
+//!     Port { name: "y".into(), dir: PortDir::Output, width: 4, loc: loc.clone() },
+//! ];
+//! m.stmts = vec![Stmt::Connect {
+//!     id: StmtId(1),
+//!     target: "y".into(),
+//!     expr: Expr::var("x"),
+//!     loc: loc.clone(),
+//! }];
+//! let mut state = CircuitState::new(Circuit::new("passthrough", vec![m]));
+//! let symbols = hgf_ir::passes::compile(&mut state, false)?;
+//! assert_eq!(symbols.breakpoints.len(), 1);
+//! # Ok::<(), hgf_ir::passes::PassError>(())
+//! ```
+
+pub mod annot;
+pub mod expr;
+pub mod passes;
+pub mod source;
+pub mod stmt;
+pub mod verilog;
+
+pub use annot::{Annotations, CircuitState, DebugAnnotation};
+pub use expr::{BinaryOp, Expr, ExprError, UnaryOp};
+pub use source::SourceLoc;
+pub use stmt::{
+    walk_stmts, Circuit, IrError, Module, Port, PortDir, SignalKind, Stmt, StmtId,
+};

@@ -1,0 +1,344 @@
+//! Constant propagation (one of FIRRTL's default optimizations, §4.1).
+//!
+//! Folds constant subexpressions, propagates constant-valued nodes into
+//! their uses, and simplifies constant-selector muxes. `DontTouch`
+//! signals are never substituted away (their defining nodes stay), which
+//! is how debug mode keeps the symbol table intact at the cost of less
+//! optimization.
+//!
+//! Runs on Low form (after when-expansion).
+
+use std::collections::HashMap;
+
+use bits::Bits;
+
+use crate::annot::CircuitState;
+use crate::expr::{apply_binary, Expr, UnaryOp};
+use crate::passes::{Pass, PassError};
+use crate::stmt::Stmt;
+
+/// The constant-propagation pass.
+#[derive(Debug, Clone, Default)]
+pub struct ConstProp {
+    _private: (),
+}
+
+impl ConstProp {
+    /// Creates the pass.
+    pub fn new() -> ConstProp {
+        ConstProp::default()
+    }
+}
+
+impl Pass for ConstProp {
+    fn name(&self) -> &'static str {
+        "const-prop"
+    }
+
+    fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
+        for module_idx in 0..state.circuit.modules.len() {
+            let module_name = state.circuit.modules[module_idx].name.clone();
+            // Iterate to a fixpoint (bounded): folding can expose new
+            // constants.
+            for _ in 0..8 {
+                let mut consts: HashMap<String, Bits> = HashMap::new();
+                {
+                    let module = &state.circuit.modules[module_idx];
+                    for stmt in &module.stmts {
+                        if let Stmt::Node { name, expr, .. } = stmt {
+                            if state.annotations.is_dont_touch(&module_name, name) {
+                                continue;
+                            }
+                            if let Expr::Lit(b) = expr {
+                                consts.insert(name.clone(), b.clone());
+                            }
+                        }
+                    }
+                }
+                let module = &mut state.circuit.modules[module_idx];
+                let mut changed = false;
+                for stmt in &mut module.stmts {
+                    let expr = match stmt {
+                        Stmt::Node { expr, .. } | Stmt::Connect { expr, .. } => expr,
+                        Stmt::MemRead { addr, .. } => addr,
+                        Stmt::MemWrite { en, .. } => {
+                            // Fold enable, address and data separately;
+                            // handle en here and fall through for the
+                            // others via a second pass below.
+                            en
+                        }
+                        _ => continue,
+                    };
+                    let folded = fold(&substitute_consts(expr, &consts));
+                    if folded != *expr {
+                        *expr = folded;
+                        changed = true;
+                    }
+                    // MemWrite has two more expressions.
+                    if let Stmt::MemWrite { addr, data, .. } = stmt {
+                        for e in [addr, data] {
+                            let folded = fold(&substitute_consts(e, &consts));
+                            if folded != *e {
+                                *e = folded;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn substitute_consts(expr: &Expr, consts: &HashMap<String, Bits>) -> Expr {
+    expr.substitute(&|name| consts.get(name).map(|b| Expr::Lit(b.clone())))
+}
+
+/// Bottom-up constant folding with a few identity simplifications.
+pub fn fold(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Lit(_) | Expr::Ref(_) => expr.clone(),
+        Expr::Unary(op, e) => {
+            let e = fold(e);
+            if let Expr::Lit(b) = &e {
+                let v = match op {
+                    UnaryOp::Not => b.not(),
+                    UnaryOp::Neg => b.neg(),
+                    UnaryOp::ReduceAnd => b.reduce_and(),
+                    UnaryOp::ReduceOr => b.reduce_or(),
+                    UnaryOp::ReduceXor => b.reduce_xor(),
+                };
+                return Expr::Lit(v);
+            }
+            // ~~x == x
+            if *op == UnaryOp::Not {
+                if let Expr::Unary(UnaryOp::Not, inner) = &e {
+                    return (**inner).clone();
+                }
+            }
+            Expr::Unary(*op, Box::new(e))
+        }
+        Expr::Binary(op, l, r) => {
+            let l = fold(l);
+            let r = fold(r);
+            if let (Expr::Lit(a), Expr::Lit(b)) = (&l, &r) {
+                // Shifts allow differing widths; other ops require
+                // equal widths which validation guarantees.
+                return Expr::Lit(apply_binary(*op, a, b));
+            }
+            // Identity simplifications that preserve widths.
+            use crate::expr::BinaryOp::*;
+            match (*op, &l, &r) {
+                (And, Expr::Lit(b), _) | (And, _, Expr::Lit(b)) if b.is_zero() => {
+                    return Expr::Lit(Bits::zero(b.width()));
+                }
+                (And, Expr::Lit(b), x) | (And, x, Expr::Lit(b))
+                    if b.count_ones() == b.width() =>
+                {
+                    return x.clone();
+                }
+                (Or, Expr::Lit(b), x) | (Or, x, Expr::Lit(b)) if b.is_zero() => {
+                    return x.clone();
+                }
+                (Add, x, Expr::Lit(b)) | (Add, Expr::Lit(b), x) if b.is_zero() => {
+                    return x.clone();
+                }
+                (Xor, x, Expr::Lit(b)) | (Xor, Expr::Lit(b), x) if b.is_zero() => {
+                    return x.clone();
+                }
+                _ => {}
+            }
+            Expr::Binary(*op, Box::new(l), Box::new(r))
+        }
+        Expr::Mux(s, t, e) => {
+            let s = fold(s);
+            let t = fold(t);
+            let e = fold(e);
+            if let Expr::Lit(b) = &s {
+                return if b.is_truthy() { t } else { e };
+            }
+            if t == e {
+                return t;
+            }
+            Expr::Mux(Box::new(s), Box::new(t), Box::new(e))
+        }
+        Expr::Slice(e, hi, lo) => {
+            let e = fold(e);
+            if let Expr::Lit(b) = &e {
+                return Expr::Lit(b.slice(*hi, *lo));
+            }
+            // Full-width slice is the identity... but only when we can
+            // prove the width; leave it to the caller.
+            Expr::Slice(Box::new(e), *hi, *lo)
+        }
+        Expr::Cat(h, l) => {
+            let h = fold(h);
+            let l = fold(l);
+            if let (Expr::Lit(a), Expr::Lit(b)) = (&h, &l) {
+                return Expr::Lit(a.concat(b));
+            }
+            Expr::Cat(Box::new(h), Box::new(l))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::CircuitState;
+    use crate::expr::BinaryOp;
+    use crate::source::SourceLoc;
+    use crate::stmt::{Circuit, Module, Port, PortDir, StmtId};
+
+    fn loc() -> SourceLoc {
+        SourceLoc::new("t.rs", 1, 1)
+    }
+
+    fn module_with(stmts: Vec<Stmt>) -> CircuitState {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "x".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        m.stmts = stmts;
+        CircuitState::new(Circuit::new("m", vec![m]))
+    }
+
+    #[test]
+    fn folds_constant_tree() {
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::lit(3, 8),
+            Expr::binary(BinaryOp::Mul, Expr::lit(2, 8), Expr::lit(5, 8)),
+        );
+        assert_eq!(fold(&e), Expr::lit(13, 8));
+    }
+
+    #[test]
+    fn folds_mux_and_identities() {
+        let m = Expr::mux(Expr::lit(1, 1), Expr::var("a"), Expr::var("b"));
+        assert_eq!(fold(&m), Expr::var("a"));
+        let same = Expr::mux(Expr::var("c"), Expr::var("a"), Expr::var("a"));
+        assert_eq!(fold(&same), Expr::var("a"));
+        let add0 = Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(0, 8));
+        assert_eq!(fold(&add0), Expr::var("a"));
+        let and0 = Expr::binary(BinaryOp::And, Expr::var("a"), Expr::lit(0, 8));
+        assert_eq!(fold(&and0), Expr::lit(0, 8));
+        let and_ones = Expr::binary(BinaryOp::And, Expr::var("a"), Expr::Lit(Bits::ones(8)));
+        assert_eq!(fold(&and_ones), Expr::var("a"));
+        let notnot = Expr::var("a").logical_not().logical_not();
+        assert_eq!(fold(&notnot), Expr::var("a"));
+    }
+
+    #[test]
+    fn propagates_through_nodes() {
+        let mut state = module_with(vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "k".into(),
+                expr: Expr::lit(4, 8),
+                loc: loc(),
+            },
+            Stmt::Node {
+                id: StmtId(2),
+                name: "y".into(),
+                expr: Expr::binary(BinaryOp::Add, Expr::var("k"), Expr::lit(1, 8)),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "out".into(),
+                expr: Expr::var("y"),
+                loc: loc(),
+            },
+        ]);
+        ConstProp::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        let y = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Node { name, expr, .. } if name == "y" => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(y, Expr::lit(5, 8));
+        // And out is then folded to the constant too (second fixpoint
+        // iteration).
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { target, expr, .. } if target == "out" => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out, Expr::lit(5, 8));
+    }
+
+    #[test]
+    fn dont_touch_blocks_substitution() {
+        let mut state = module_with(vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "k".into(),
+                expr: Expr::lit(4, 8),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "out".into(),
+                expr: Expr::var("k"),
+                loc: loc(),
+            },
+        ]);
+        state.annotations.add_dont_touch("m", "k");
+        ConstProp::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { target, expr, .. } if target == "out" => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Still references k, not folded to 4.
+        assert_eq!(out, Expr::var("k"));
+    }
+
+    #[test]
+    fn non_constant_left_alone() {
+        let mut state = module_with(vec![Stmt::Connect {
+            id: StmtId(1),
+            target: "out".into(),
+            expr: Expr::binary(BinaryOp::Add, Expr::var("x"), Expr::lit(1, 8)),
+            loc: loc(),
+        }]);
+        ConstProp::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out.to_string(), "(x + 8'h1)");
+    }
+}

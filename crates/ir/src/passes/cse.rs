@@ -1,0 +1,306 @@
+//! Common sub-expression elimination (FIRRTL default optimization,
+//! §4.1).
+//!
+//! Two nodes with structurally identical defining expressions are
+//! merged: the later node is removed and all references are rewritten
+//! to the first. `DontTouch` nodes are never removed (debug mode), but
+//! other nodes may still be rewritten to reference them.
+//!
+//! Merges are reported to the annotation store so that symbol-table
+//! variable mappings follow the surviving name (the paper's
+//! "work with compiler optimization" requirement).
+
+use std::collections::HashMap;
+
+use crate::annot::CircuitState;
+use crate::expr::Expr;
+use crate::passes::{Pass, PassError};
+use crate::stmt::Stmt;
+
+/// The CSE pass.
+#[derive(Debug, Clone, Default)]
+pub struct Cse {
+    _private: (),
+}
+
+impl Cse {
+    /// Creates the pass.
+    pub fn new() -> Cse {
+        Cse::default()
+    }
+}
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
+        for module_idx in 0..state.circuit.modules.len() {
+            let module_name = state.circuit.modules[module_idx].name.clone();
+            // Iterate: merging nodes can make further expressions
+            // identical.
+            loop {
+                let mut renames: HashMap<String, String> = HashMap::new();
+                {
+                    let module = &state.circuit.modules[module_idx];
+                    let mut seen: HashMap<&Expr, &str> = HashMap::new();
+                    for stmt in &module.stmts {
+                        let Stmt::Node { name, expr, .. } = stmt else {
+                            continue;
+                        };
+                        // Trivial alias nodes (`a = b`) are also folded
+                        // into their referent.
+                        if let Expr::Ref(target) = expr {
+                            if !state.annotations.is_dont_touch(&module_name, name) {
+                                renames.insert(name.clone(), target.clone());
+                                continue;
+                            }
+                        }
+                        match seen.get(expr) {
+                            Some(first) => {
+                                if !state.annotations.is_dont_touch(&module_name, name) {
+                                    renames.insert(name.clone(), (*first).to_owned());
+                                }
+                            }
+                            None => {
+                                seen.insert(expr, name);
+                            }
+                        }
+                    }
+                }
+                if renames.is_empty() {
+                    break;
+                }
+                // Resolve chains so every rename points at a survivor.
+                let resolve = |name: &str| -> Option<String> {
+                    let mut cur = renames.get(name)?;
+                    for _ in 0..renames.len() {
+                        match renames.get(cur) {
+                            Some(next) => cur = next,
+                            None => break,
+                        }
+                    }
+                    Some(cur.clone())
+                };
+                let module = &mut state.circuit.modules[module_idx];
+                module.stmts.retain(|s| match s {
+                    Stmt::Node { name, .. } => !renames.contains_key(name),
+                    _ => true,
+                });
+                for stmt in &mut module.stmts {
+                    match stmt {
+                        Stmt::Node { expr, .. } | Stmt::Connect { expr, .. } => {
+                            *expr = expr.rename_refs(&resolve);
+                        }
+                        Stmt::MemRead { addr, .. } => {
+                            *addr = addr.rename_refs(&resolve);
+                        }
+                        Stmt::MemWrite { addr, data, en, .. } => {
+                            *addr = addr.rename_refs(&resolve);
+                            *data = data.rename_refs(&resolve);
+                            *en = en.rename_refs(&resolve);
+                        }
+                        _ => {}
+                    }
+                }
+                // Generator variable map and annotations follow.
+                for (_, rtl) in &mut module.gen_vars {
+                    if let Some(new_name) = resolve(rtl) {
+                        *rtl = new_name;
+                    }
+                }
+                state.annotations.apply_renames(&module_name, &renames);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::{CircuitState, DebugAnnotation};
+    use crate::expr::BinaryOp;
+    use crate::source::SourceLoc;
+    use crate::stmt::{Circuit, Module, Port, PortDir, StmtId};
+
+    fn loc() -> SourceLoc {
+        SourceLoc::new("t.rs", 1, 1)
+    }
+
+    fn two_identical_nodes() -> CircuitState {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "a".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "b".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        let sum = || Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::var("b"));
+        m.stmts = vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "x".into(),
+                expr: sum(),
+                loc: loc(),
+            },
+            Stmt::Node {
+                id: StmtId(2),
+                name: "y".into(),
+                expr: sum(),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "out".into(),
+                expr: Expr::var("y"),
+                loc: loc(),
+            },
+        ];
+        CircuitState::new(Circuit::new("m", vec![m]))
+    }
+
+    #[test]
+    fn merges_identical_nodes() {
+        let mut state = two_identical_nodes();
+        Cse::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        // y removed; out references x.
+        assert!(!m.stmts.iter().any(|s| s.declared_signal() == Some("y")));
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out, Expr::var("x"));
+        state.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn dont_touch_nodes_survive() {
+        let mut state = two_identical_nodes();
+        state.annotations.add_dont_touch("m", "y");
+        Cse::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(m.stmts.iter().any(|s| s.declared_signal() == Some("y")));
+        assert!(m.stmts.iter().any(|s| s.declared_signal() == Some("x")));
+    }
+
+    #[test]
+    fn annotations_follow_merge() {
+        let mut state = two_identical_nodes();
+        state.annotations.add_debug(DebugAnnotation {
+            module: "m".into(),
+            stmt: StmtId(2),
+            loc: loc(),
+            enable: Some(Expr::var("y")),
+            assigned: Some(("v".into(), "y".into())),
+            scope: vec![("v".into(), "y".into())],
+        });
+        Cse::new().run(&mut state).unwrap();
+        let ann = &state.annotations.debug()[0];
+        assert_eq!(ann.assigned.as_ref().unwrap().1, "x");
+        assert_eq!(ann.scope[0].1, "x");
+        assert_eq!(ann.enable.as_ref().unwrap().to_string(), "x");
+    }
+
+    #[test]
+    fn alias_nodes_collapse() {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "a".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        m.stmts = vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "alias".into(),
+                expr: Expr::var("a"),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "out".into(),
+                expr: Expr::var("alias"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Cse::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(!m.stmts.iter().any(|s| s.declared_signal() == Some("alias")));
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out, Expr::var("a"));
+    }
+
+    #[test]
+    fn chained_merges_resolve() {
+        // x = a+b; y = a+b; z = y (alias) -> everything lands on x.
+        let mut state = two_identical_nodes();
+        let m = state.circuit.module_mut("m").unwrap();
+        m.stmts.insert(
+            2,
+            Stmt::Node {
+                id: StmtId(9),
+                name: "z".into(),
+                expr: Expr::var("y"),
+                loc: loc(),
+            },
+        );
+        // Rewire out to z.
+        if let Some(Stmt::Connect { expr, .. }) = m
+            .stmts
+            .iter_mut()
+            .find(|s| matches!(s, Stmt::Connect { .. }))
+        {
+            *expr = Expr::var("z");
+        }
+        Cse::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        let out = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out, Expr::var("x"));
+        state.circuit.validate().unwrap();
+    }
+}

@@ -1,0 +1,440 @@
+//! Dead code elimination (FIRRTL default optimization, §4.1).
+//!
+//! Removes nodes, wires, registers and memory read ports whose values
+//! cannot reach an observable root:
+//!
+//! * output-port connects,
+//! * instance-input connects,
+//! * memory writes,
+//! * `DontTouch` signals (debug mode keeps everything annotated).
+//!
+//! Register liveness is computed with a worklist: a register's
+//! next-value expression only keeps things alive if the register itself
+//! is live. This is exactly the mechanism by which optimized builds
+//! lose debug visibility — the symbol collection pass afterwards drops
+//! annotations whose signals disappeared, mirroring `-O2` debug info.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::annot::CircuitState;
+use crate::expr::Expr;
+use crate::passes::{Pass, PassError};
+use crate::stmt::Stmt;
+
+/// The dead-code-elimination pass.
+#[derive(Debug, Clone, Default)]
+pub struct Dce {
+    _private: (),
+}
+
+impl Dce {
+    /// Creates the pass.
+    pub fn new() -> Dce {
+        Dce::default()
+    }
+}
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
+        for module_idx in 0..state.circuit.modules.len() {
+            let module_name = state.circuit.modules[module_idx].name.clone();
+            let module = &state.circuit.modules[module_idx];
+
+            // Defining expression(s) for every named signal.
+            let mut defs: HashMap<String, Vec<&Expr>> = HashMap::new();
+            // Register names (their connect is their next value).
+            let mut regs: HashSet<String> = HashSet::new();
+            // Connect target -> expr.
+            let mut connects: HashMap<String, &Expr> = HashMap::new();
+            for stmt in &module.stmts {
+                match stmt {
+                    Stmt::Node { name, expr, .. } => {
+                        defs.entry(name.clone()).or_default().push(expr);
+                    }
+                    Stmt::Reg { name, .. } => {
+                        regs.insert(name.clone());
+                    }
+                    Stmt::MemRead { name, addr, .. } => {
+                        defs.entry(name.clone()).or_default().push(addr);
+                    }
+                    Stmt::Connect { target, expr, .. } => {
+                        connects.insert(target.clone(), expr);
+                    }
+                    _ => {}
+                }
+            }
+
+            // Roots.
+            let mut live: HashSet<String> = HashSet::new();
+            let mut work: Vec<String> = Vec::new();
+            let add = |name: &str, live: &mut HashSet<String>, work: &mut Vec<String>| {
+                if live.insert(name.to_owned()) {
+                    work.push(name.to_owned());
+                }
+            };
+            let out_ports: HashSet<String> = module
+                .ports
+                .iter()
+                .filter(|p| p.dir == crate::stmt::PortDir::Output)
+                .map(|p| p.name.clone())
+                .collect();
+            for stmt in &module.stmts {
+                match stmt {
+                    Stmt::Connect { target, expr, .. } => {
+                        // Output ports and instance inputs are
+                        // observable; register connects only when the
+                        // register is live (handled in the worklist).
+                        if out_ports.contains(target.as_str()) || target.contains('.') {
+                            for r in expr.refs() {
+                                add(&r, &mut live, &mut work);
+                            }
+                        }
+                    }
+                    Stmt::MemWrite { addr, data, en, .. } => {
+                        for e in [addr, data, en] {
+                            for r in e.refs() {
+                                add(&r, &mut live, &mut work);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // DontTouch roots.
+            for stmt in &module.stmts {
+                if let Some(name) = stmt.declared_signal() {
+                    if state.annotations.is_dont_touch(&module_name, name) {
+                        add(name, &mut live, &mut work);
+                    }
+                }
+            }
+
+            // Worklist propagation.
+            while let Some(name) = work.pop() {
+                if let Some(exprs) = defs.get(&name) {
+                    for e in exprs {
+                        for r in e.refs() {
+                            add(&r, &mut live, &mut work);
+                        }
+                    }
+                }
+                if regs.contains(&name) {
+                    // The register is live: its next-value connect
+                    // contributes.
+                    if let Some(expr) = connects.get(&name) {
+                        for r in expr.refs() {
+                            add(&r, &mut live, &mut work);
+                        }
+                    }
+                }
+                // Wires: their single driver contributes.
+                if !regs.contains(&name) {
+                    if let Some(expr) = connects.get(&name) {
+                        for r in expr.refs() {
+                            add(&r, &mut live, &mut work);
+                        }
+                    }
+                }
+            }
+
+            // Memories stay live if any read port is live or any write
+            // exists whose memory has a live read port; conservatively
+            // keep memories with live reads, and drop writes to
+            // memories with no live read ports only when the memory is
+            // also not DontTouch.
+            let mut live_mems: HashSet<String> = HashSet::new();
+            for stmt in &module.stmts {
+                if let Stmt::MemRead { mem, name, .. } = stmt {
+                    if live.contains(name) {
+                        live_mems.insert(mem.clone());
+                    }
+                }
+            }
+            for stmt in &module.stmts {
+                if let Stmt::Mem { name, .. } = stmt {
+                    if state.annotations.is_dont_touch(&module_name, name) {
+                        live_mems.insert(name.clone());
+                    }
+                }
+            }
+
+            let module = &mut state.circuit.modules[module_idx];
+            module.stmts.retain(|s| match s {
+                Stmt::Node { name, .. } => live.contains(name),
+                Stmt::Wire { name, .. } => live.contains(name),
+                Stmt::Reg { name, .. } => live.contains(name),
+                Stmt::MemRead { name, .. } => live.contains(name),
+                Stmt::Mem { name, .. } => live_mems.contains(name),
+                Stmt::MemWrite { mem, .. } => live_mems.contains(mem),
+                Stmt::Connect { target, .. } => {
+                    out_ports.contains(target.as_str())
+                        || target.contains('.')
+                        || live.contains(target)
+                }
+                Stmt::Instance { .. } => true,
+                Stmt::When { .. } => true,
+            });
+            // Drop gen_vars that no longer resolve.
+            let live_ref = &live;
+            let module_ports: HashSet<String> =
+                module.ports.iter().map(|p| p.name.clone()).collect();
+            module
+                .gen_vars
+                .retain(|(_, rtl)| {
+                    live_ref.contains(rtl) || module_ports.contains(rtl) || rtl.contains('.')
+                });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::CircuitState;
+    use crate::expr::BinaryOp;
+    use crate::source::SourceLoc;
+    use crate::stmt::{Circuit, Module, Port, PortDir, StmtId};
+
+    fn loc() -> SourceLoc {
+        SourceLoc::new("t.rs", 1, 1)
+    }
+
+    fn base_module() -> Module {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "a".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        m
+    }
+
+    #[test]
+    fn removes_unreferenced_node() {
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "dead".into(),
+                expr: Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(1, 8)),
+                loc: loc(),
+            },
+            Stmt::Node {
+                id: StmtId(2),
+                name: "alive".into(),
+                expr: Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(2, 8)),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "out".into(),
+                expr: Expr::var("alive"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Dce::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(!m.stmts.iter().any(|s| s.declared_signal() == Some("dead")));
+        assert!(m.stmts.iter().any(|s| s.declared_signal() == Some("alive")));
+        state.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn dont_touch_keeps_dead_node() {
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "dead".into(),
+                expr: Expr::lit(1, 8),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "out".into(),
+                expr: Expr::var("a"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        state.annotations.add_dont_touch("m", "dead");
+        Dce::new().run(&mut state).unwrap();
+        assert!(state
+            .circuit
+            .top_module()
+            .stmts
+            .iter()
+            .any(|s| s.declared_signal() == Some("dead")));
+    }
+
+    #[test]
+    fn dead_register_cycle_removed() {
+        // r1.next = r2, r2.next = r1, neither observable -> both go.
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Reg {
+                id: StmtId(1),
+                name: "r1".into(),
+                width: 8,
+                init: None,
+                loc: loc(),
+            },
+            Stmt::Reg {
+                id: StmtId(2),
+                name: "r2".into(),
+                width: 8,
+                init: None,
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "r1".into(),
+                expr: Expr::var("r2"),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(4),
+                target: "r2".into(),
+                expr: Expr::var("r1"),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(5),
+                target: "out".into(),
+                expr: Expr::var("a"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Dce::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(!m.stmts.iter().any(|s| s.declared_signal() == Some("r1")));
+        assert!(!m.stmts.iter().any(|s| s.declared_signal() == Some("r2")));
+    }
+
+    #[test]
+    fn live_register_feedback_kept() {
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Reg {
+                id: StmtId(1),
+                name: "count".into(),
+                width: 8,
+                init: None,
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "count".into(),
+                expr: Expr::binary(BinaryOp::Add, Expr::var("count"), Expr::lit(1, 8)),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "out".into(),
+                expr: Expr::var("count"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Dce::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(m.stmts.iter().any(|s| s.declared_signal() == Some("count")));
+        assert_eq!(
+            m.stmts
+                .iter()
+                .filter(|s| matches!(s, Stmt::Connect { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unread_memory_removed() {
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Mem {
+                id: StmtId(1),
+                name: "ram".into(),
+                width: 8,
+                depth: 4,
+                loc: loc(),
+            },
+            Stmt::MemWrite {
+                id: StmtId(2),
+                mem: "ram".into(),
+                addr: Expr::lit(0, 2),
+                data: Expr::var("a"),
+                en: Expr::lit(1, 1),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "out".into(),
+                expr: Expr::var("a"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Dce::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(!m.stmts.iter().any(|s| matches!(s, Stmt::Mem { .. })));
+        assert!(!m.stmts.iter().any(|s| matches!(s, Stmt::MemWrite { .. })));
+    }
+
+    #[test]
+    fn read_memory_kept() {
+        let mut m = base_module();
+        m.stmts = vec![
+            Stmt::Mem {
+                id: StmtId(1),
+                name: "ram".into(),
+                width: 8,
+                depth: 4,
+                loc: loc(),
+            },
+            Stmt::MemWrite {
+                id: StmtId(2),
+                mem: "ram".into(),
+                addr: Expr::lit(0, 2),
+                data: Expr::var("a"),
+                en: Expr::lit(1, 1),
+                loc: loc(),
+            },
+            Stmt::MemRead {
+                id: StmtId(3),
+                mem: "ram".into(),
+                name: "rdata".into(),
+                addr: Expr::lit(0, 2),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(4),
+                target: "out".into(),
+                expr: Expr::var("rdata"),
+                loc: loc(),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        Dce::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        assert!(m.stmts.iter().any(|s| matches!(s, Stmt::Mem { .. })));
+        assert!(m.stmts.iter().any(|s| matches!(s, Stmt::MemWrite { .. })));
+        assert!(m.stmts.iter().any(|s| matches!(s, Stmt::MemRead { .. })));
+    }
+}

@@ -1,0 +1,963 @@
+//! When-expansion and SSA transform (§3.1 of the paper).
+//!
+//! Lowers High-form `when` trees into straight-line Low form:
+//!
+//! * Procedural targets (wires, output ports, instance inputs) that are
+//!   assigned multiple times get SSA temporaries — `sum` becomes
+//!   `sum_0`, `sum_1`, … exactly as in the paper's Listing 2 — with a
+//!   mux against the previous version when the assignment is
+//!   conditional.
+//! * Register assignments accumulate a *next-value* chain; the final
+//!   value becomes the register's single connect.
+//! * Each distinct `when` condition is materialized as a `_cond_N` node
+//!   so that breakpoint enable conditions reference real RTL signals
+//!   that the debugger can query at runtime.
+//! * Memory writes AND the surrounding condition stack into their
+//!   enable.
+//!
+//! The pass also rewrites the [`DebugAnnotation`]s produced by
+//! Algorithm 1's first pass: each annotated statement's enable becomes
+//! the AND-reduction of the materialized condition stack, its variable
+//! mapping points at the SSA temporary holding the assigned value, and
+//! its scope records the version of every variable live *before* the
+//! statement.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::annot::CircuitState;
+use crate::expr::Expr;
+use crate::passes::{Pass, PassError};
+use crate::source::SourceLoc;
+use crate::stmt::{walk_stmts, IrError, SignalKind, Stmt, StmtId};
+
+/// The when-expansion / SSA pass.
+#[derive(Debug, Clone, Default)]
+pub struct ExpandWhens {
+    _private: (),
+}
+
+impl ExpandWhens {
+    /// Creates the pass.
+    pub fn new() -> ExpandWhens {
+        ExpandWhens::default()
+    }
+}
+
+impl Pass for ExpandWhens {
+    fn name(&self) -> &'static str {
+        "expand-whens"
+    }
+
+    fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
+        let module_names: Vec<String> =
+            state.circuit.modules.iter().map(|m| m.name.clone()).collect();
+        for name in module_names {
+            expand_module(state, &name).map_err(|source| PassError {
+                pass: "expand-whens",
+                source,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-target classification for connect handling.
+#[derive(Clone, Copy, PartialEq)]
+enum TargetKind {
+    /// Procedural: wires, output ports, instance inputs.
+    Procedural,
+    /// Register next-value.
+    Register,
+}
+
+struct Expander {
+    module_name: String,
+    /// Signal name → kind (from the pre-expansion signal table).
+    kinds: HashMap<String, SignalKind>,
+    /// Procedural target → current SSA node name.
+    env: HashMap<String, String>,
+    /// Register → current next-value node name.
+    reg_env: HashMap<String, String>,
+    /// All names in use (for fresh-name generation).
+    used: HashSet<String>,
+    /// Per-base version counters.
+    versions: HashMap<String, u32>,
+    /// Declarations (wires, regs, mems, instances) hoisted to the top.
+    decls: Vec<Stmt>,
+    /// Nodes / mem ops in evaluation order.
+    body: Vec<Stmt>,
+    /// Condition stack: 1-bit exprs over materialized cond nodes.
+    cond_stack: Vec<Expr>,
+    /// Next fresh statement id.
+    next_id: u32,
+    /// Collected per-statement SSA facts for annotation rewriting:
+    /// stmt id → (enable, assigned mapping, scope snapshot).
+    ssa_facts: HashMap<StmtId, SsaFact>,
+}
+
+/// Annotation-facing data captured while expanding one statement.
+struct SsaFact {
+    enable: Option<Expr>,
+    assigned: Option<(String, String)>,
+    scope: Vec<(String, String)>,
+}
+
+fn expand_module(state: &mut CircuitState, name: &str) -> Result<(), IrError> {
+    let module = state
+        .circuit
+        .module(name)
+        .expect("module listed")
+        .clone();
+    let kinds: HashMap<String, SignalKind> = module
+        .signal_table(&state.circuit)
+        .into_iter()
+        .map(|(k, (_, kind))| (k, kind))
+        .collect();
+
+    // Instance-input connect targets are also "procedural" but their
+    // kind from the signal table is InstancePort regardless of
+    // direction; classify via the connectable direction below.
+    let max_id = walk_stmts(&module.stmts)
+        .map(|s| s.id().0)
+        .max()
+        .unwrap_or(0);
+
+    let mut used: HashSet<String> = kinds.keys().cloned().collect();
+    for p in &module.ports {
+        used.insert(p.name.clone());
+    }
+
+    let mut ex = Expander {
+        module_name: module.name.clone(),
+        kinds,
+        env: HashMap::new(),
+        reg_env: HashMap::new(),
+        used,
+        versions: HashMap::new(),
+        decls: Vec::new(),
+        body: Vec::new(),
+        cond_stack: Vec::new(),
+        next_id: max_id + 1,
+        ssa_facts: HashMap::new(),
+    };
+
+    ex.expand_stmts(&module.stmts)?;
+
+    // Final connects: procedural targets then register next values.
+    let mut final_stmts = Vec::new();
+    final_stmts.append(&mut ex.decls);
+    final_stmts.append(&mut ex.body);
+    let mut finals: Vec<(String, String)> = ex.env.iter().map(|(t, n)| (t.clone(), n.clone())).collect();
+    finals.sort();
+    for (target, node) in finals {
+        // Self-connect (wire aliasing its own last node) is the single
+        // Low-form driver.
+        let id = StmtId(ex.next_id);
+        ex.next_id += 1;
+        final_stmts.push(Stmt::Connect {
+            id,
+            target,
+            expr: Expr::Ref(node),
+            loc: SourceLoc::unknown(),
+        });
+    }
+    let mut reg_finals: Vec<(String, String)> =
+        ex.reg_env.iter().map(|(t, n)| (t.clone(), n.clone())).collect();
+    reg_finals.sort();
+    for (reg, node) in reg_finals {
+        let id = StmtId(ex.next_id);
+        ex.next_id += 1;
+        final_stmts.push(Stmt::Connect {
+            id,
+            target: reg,
+            expr: Expr::Ref(node),
+            loc: SourceLoc::unknown(),
+        });
+    }
+
+    let facts = ex.ssa_facts;
+    let module_mut = state.circuit.module_mut(name).expect("module listed");
+    module_mut.stmts = final_stmts;
+
+    // Propagate DontTouch from the original procedural targets to the
+    // SSA temporaries that now hold their values (pass 1 marked the
+    // base names; the temporaries are what optimization would touch).
+    let mut new_marks = Vec::new();
+    for fact in facts.values() {
+        if let Some((src, temp)) = &fact.assigned {
+            if state.annotations.is_dont_touch(name, src) {
+                new_marks.push(temp.clone());
+            }
+        }
+    }
+    // In debug mode, condition nodes must survive so that every
+    // breakpoint enable stays evaluatable.
+    if state.annotations.debug_mode() {
+        for stmt in &state.circuit.module(name).expect("module listed").stmts {
+            if let Stmt::Node { name: n, .. } = stmt {
+                if n.starts_with("_cond_") {
+                    new_marks.push(n.clone());
+                }
+            }
+        }
+    }
+    for mark in new_marks {
+        state.annotations.add_dont_touch(name, mark);
+    }
+
+    // Rewrite annotations with the captured SSA facts.
+    for ann in state
+        .annotations
+        .debug_mut()
+        .iter_mut()
+        .filter(|a| a.module == name)
+    {
+        if let Some(fact) = facts.get(&ann.stmt) {
+            ann.enable = fact.enable.clone();
+            ann.assigned = fact.assigned.clone();
+            ann.scope = fact.scope.clone();
+        }
+    }
+    Ok(())
+}
+
+impl Expander {
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        let base = base.replace('.', "_");
+        loop {
+            let k = self.versions.entry(base.clone()).or_insert(0);
+            let candidate = format!("{base}_{k}");
+            *k += 1;
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Rewrites reads of procedural targets to their current SSA name.
+    fn rewrite(&self, expr: &Expr) -> Result<Expr, IrError> {
+        let mut missing: Option<String> = None;
+        let rewritten = expr.rename_refs(&|name| {
+            match self.kinds.get(name) {
+                Some(SignalKind::Wire) | Some(SignalKind::Output) => match self.env.get(name) {
+                    Some(cur) => Some(cur.clone()),
+                    None => {
+                        // Reading a procedural signal before assignment.
+                        // Record and keep the name; we error below.
+                        None
+                    }
+                },
+                Some(SignalKind::InstancePort) => self.env.get(name).cloned(),
+                _ => None,
+            }
+        });
+        // Detect use-before-def for wires/outputs (instance ports are
+        // nets from the child side, so reading an unconnected instance
+        // *output* is fine; instance inputs read before connect are
+        // use-before-def but indistinguishable here without direction
+        // info — the frontend prevents them).
+        for name in expr.refs() {
+            match self.kinds.get(name.as_str()) {
+                Some(SignalKind::Wire) | Some(SignalKind::Output) => {
+                    if !self.env.contains_key(&name) {
+                        missing = Some(name);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(signal) = missing {
+            return Err(IrError::UninitializedRead {
+                module: self.module_name.clone(),
+                signal,
+            });
+        }
+        Ok(rewritten)
+    }
+
+    /// AND-reduction of the current condition stack (§3.1): `None` when
+    /// unconditional.
+    fn stack_enable(&self) -> Option<Expr> {
+        let mut it = self.cond_stack.iter().cloned();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| acc.logical_and(c)))
+    }
+
+    /// Scope snapshot: every procedural variable's current SSA name
+    /// plus registers mapping to themselves.
+    fn scope_snapshot(&self) -> Vec<(String, String)> {
+        let mut scope: Vec<(String, String)> = self
+            .env
+            .iter()
+            .map(|(src, cur)| (src.clone(), cur.clone()))
+            .collect();
+        for (name, kind) in &self.kinds {
+            if *kind == SignalKind::Reg {
+                scope.push((name.clone(), name.clone()));
+            }
+        }
+        scope.sort();
+        scope
+    }
+
+    fn target_kind(&self, target: &str) -> TargetKind {
+        match self.kinds.get(target) {
+            Some(SignalKind::Reg) => TargetKind::Register,
+            _ => TargetKind::Procedural,
+        }
+    }
+
+    fn expand_stmts(&mut self, stmts: &[Stmt]) -> Result<(), IrError> {
+        for stmt in stmts {
+            self.expand_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn expand_stmt(&mut self, stmt: &Stmt) -> Result<(), IrError> {
+        match stmt {
+            Stmt::Wire { .. } | Stmt::Reg { .. } | Stmt::Mem { .. } | Stmt::Instance { .. } => {
+                self.decls.push(stmt.clone());
+            }
+            Stmt::Node { id, name, expr, loc } => {
+                let fact_scope = self.scope_snapshot();
+                let expr = self.rewrite(expr)?;
+                self.body.push(Stmt::Node {
+                    id: *id,
+                    name: name.clone(),
+                    expr,
+                    loc: loc.clone(),
+                });
+                self.ssa_facts.insert(
+                    *id,
+                    SsaFact {
+                        enable: self.stack_enable(),
+                        assigned: Some((name.clone(), name.clone())),
+                        scope: fact_scope,
+                    },
+                );
+            }
+            Stmt::Connect {
+                id,
+                target,
+                expr,
+                loc,
+            } => {
+                let fact_scope = self.scope_snapshot();
+                let rhs = self.rewrite(expr)?;
+                let enable = self.stack_enable();
+                match self.target_kind(target) {
+                    TargetKind::Procedural => {
+                        let current = self.env.get(target).cloned();
+                        let value = match (&enable, current.clone()) {
+                            (None, _) => rhs,
+                            (Some(en), Some(cur)) => {
+                                Expr::mux(en.clone(), rhs, Expr::Ref(cur))
+                            }
+                            (Some(_), None) => {
+                                return Err(IrError::ConditionalWithoutDefault {
+                                    module: self.module_name.clone(),
+                                    target: target.clone(),
+                                })
+                            }
+                        };
+                        let new_name = self.fresh_name(target);
+                        let nid = self.fresh_id();
+                        self.body.push(Stmt::Node {
+                            id: nid,
+                            name: new_name.clone(),
+                            expr: value,
+                            loc: loc.clone(),
+                        });
+                        self.env.insert(target.clone(), new_name.clone());
+                        self.ssa_facts.insert(
+                            *id,
+                            SsaFact {
+                                enable,
+                                assigned: Some((target.clone(), new_name)),
+                                scope: fact_scope,
+                            },
+                        );
+                    }
+                    TargetKind::Register => {
+                        let current =
+                            self.reg_env.get(target).cloned().unwrap_or_else(|| target.clone());
+                        let value = match &enable {
+                            None => rhs,
+                            Some(en) => Expr::mux(en.clone(), rhs, Expr::Ref(current)),
+                        };
+                        let new_name = self.fresh_name(target);
+                        let nid = self.fresh_id();
+                        self.body.push(Stmt::Node {
+                            id: nid,
+                            name: new_name.clone(),
+                            expr: value,
+                            loc: loc.clone(),
+                        });
+                        self.reg_env.insert(target.clone(), new_name.clone());
+                        self.ssa_facts.insert(
+                            *id,
+                            SsaFact {
+                                enable,
+                                assigned: Some((target.clone(), new_name)),
+                                scope: fact_scope,
+                            },
+                        );
+                    }
+                }
+            }
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+                loc,
+                ..
+            } => {
+                let cond = self.rewrite(cond)?;
+                // Materialize the condition as a real RTL signal so
+                // enable conditions reference queryable state.
+                let cond_name = self.fresh_name("_cond");
+                let nid = self.fresh_id();
+                self.body.push(Stmt::Node {
+                    id: nid,
+                    name: cond_name.clone(),
+                    expr: cond,
+                    loc: loc.clone(),
+                });
+                self.cond_stack.push(Expr::Ref(cond_name.clone()));
+                self.expand_stmts(then_body)?;
+                self.cond_stack.pop();
+                if !else_body.is_empty() {
+                    self.cond_stack
+                        .push(Expr::Ref(cond_name).logical_not());
+                    self.expand_stmts(else_body)?;
+                    self.cond_stack.pop();
+                }
+            }
+            Stmt::MemRead {
+                id,
+                mem,
+                name,
+                addr,
+                loc,
+            } => {
+                let addr = self.rewrite(addr)?;
+                self.body.push(Stmt::MemRead {
+                    id: *id,
+                    mem: mem.clone(),
+                    name: name.clone(),
+                    addr,
+                    loc: loc.clone(),
+                });
+            }
+            Stmt::MemWrite {
+                id,
+                mem,
+                addr,
+                data,
+                en,
+                loc,
+            } => {
+                let fact_scope = self.scope_snapshot();
+                let addr = self.rewrite(addr)?;
+                let data = self.rewrite(data)?;
+                let mut en = self.rewrite(en)?;
+                let enable = self.stack_enable();
+                if let Some(stack) = &enable {
+                    en = stack.clone().logical_and(en);
+                }
+                self.body.push(Stmt::MemWrite {
+                    id: *id,
+                    mem: mem.clone(),
+                    addr,
+                    data,
+                    en,
+                    loc: loc.clone(),
+                });
+                self.ssa_facts.insert(
+                    *id,
+                    SsaFact {
+                        enable,
+                        assigned: None,
+                        scope: fact_scope,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::{CircuitState, DebugAnnotation};
+    use crate::expr::BinaryOp;
+    use crate::stmt::{Circuit, Module, Port, PortDir};
+    use bits::Bits;
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc::new("listing1.rs", line, 1)
+    }
+
+    /// Builds the paper's Listing 1: a 2-iteration accumulate loop,
+    /// already unrolled by the generator (as an HGF would).
+    ///
+    /// ```text
+    /// int sum = 0;
+    /// for (int i = 0; i < 2; i++) {     // unrolled
+    ///   if (data[i] % 2)
+    ///     sum += data[i];
+    /// }
+    /// ```
+    fn listing1() -> CircuitState {
+        let mut m = Module::new("acc", loc(1));
+        m.ports = vec![
+            Port {
+                name: "data0".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(1),
+            },
+            Port {
+                name: "data1".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(1),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(1),
+            },
+        ];
+        let odd = |d: &str| {
+            Expr::binary(
+                BinaryOp::Eq,
+                Expr::binary(BinaryOp::Rem, Expr::var(d), Expr::lit(2, 8)),
+                Expr::lit(1, 8),
+            )
+        };
+        let mut id = 0u32;
+        let mut next = || {
+            id += 1;
+            StmtId(id)
+        };
+        m.stmts = vec![
+            Stmt::Wire {
+                id: next(),
+                name: "sum".into(),
+                width: 8,
+                loc: loc(1),
+            },
+            // sum = 0
+            Stmt::Connect {
+                id: next(),
+                target: "sum".into(),
+                expr: Expr::lit(0, 8),
+                loc: loc(1),
+            },
+            // iteration 0
+            Stmt::When {
+                id: next(),
+                cond: odd("data0"),
+                then_body: vec![Stmt::Connect {
+                    id: StmtId(100),
+                    target: "sum".into(),
+                    expr: Expr::binary(BinaryOp::Add, Expr::var("sum"), Expr::var("data0")),
+                    loc: loc(4),
+                }],
+                else_body: vec![],
+                loc: loc(3),
+            },
+            // iteration 1
+            Stmt::When {
+                id: next(),
+                cond: odd("data1"),
+                then_body: vec![Stmt::Connect {
+                    id: StmtId(101),
+                    target: "sum".into(),
+                    expr: Expr::binary(BinaryOp::Add, Expr::var("sum"), Expr::var("data1")),
+                    loc: loc(4),
+                }],
+                else_body: vec![],
+                loc: loc(3),
+            },
+            Stmt::Connect {
+                id: next(),
+                target: "out".into(),
+                expr: Expr::var("sum"),
+                loc: loc(6),
+            },
+        ];
+        CircuitState::new(Circuit::new("acc", vec![m]))
+    }
+
+    fn eval_module(state: &CircuitState, inputs: &[(&str, u64, u32)]) -> HashMap<String, Bits> {
+        // Tiny straight-line evaluator for Low-form tests.
+        let m = state.circuit.top_module();
+        let mut values: HashMap<String, Bits> = inputs
+            .iter()
+            .map(|(n, v, w)| (n.to_string(), Bits::from_u64(*v, *w)))
+            .collect();
+        for stmt in &m.stmts {
+            match stmt {
+                Stmt::Node { name, expr, .. } => {
+                    let v = expr
+                        .eval(&|n| values.get(n).cloned())
+                        .unwrap_or_else(|e| panic!("eval {name}: {e}"));
+                    values.insert(name.clone(), v);
+                }
+                Stmt::Connect { target, expr, .. } => {
+                    let v = expr.eval(&|n| values.get(n).cloned()).unwrap();
+                    values.insert(target.clone(), v);
+                }
+                _ => {}
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn listing1_to_listing2_semantics() {
+        let mut state = listing1();
+        // Attach annotations for the two unrolled `sum += data[i]`
+        // statements (both at source line 4 — "multiple line-mapping
+        // after SSA", exactly as the paper describes).
+        for id in [100, 101] {
+            state.annotations.add_debug(DebugAnnotation {
+                module: "acc".into(),
+                stmt: StmtId(id),
+                loc: loc(4),
+                enable: None,
+                assigned: None,
+                scope: vec![],
+            });
+        }
+        ExpandWhens::new().run(&mut state).unwrap();
+        state.circuit.validate().unwrap();
+        state.circuit.check_low().unwrap();
+
+        // Semantics: 3 % 2 = 1 (odd), 4 % 2 = 0 (even) -> sum = 3.
+        let vals = eval_module(&state, &[("data0", 3, 8), ("data1", 4, 8)]);
+        assert_eq!(vals["out"].to_u64(), 3);
+        // Both odd: 3 + 5 = 8.
+        let vals = eval_module(&state, &[("data0", 3, 8), ("data1", 5, 8)]);
+        assert_eq!(vals["out"].to_u64(), 8);
+
+        // SSA temporaries exist: sum_0 (init), sum_1, sum_2.
+        for ssa in ["sum_0", "sum_1", "sum_2"] {
+            assert!(
+                state
+                    .circuit
+                    .top_module()
+                    .stmts
+                    .iter()
+                    .any(|s| s.declared_signal() == Some(ssa)),
+                "missing SSA temp {ssa}"
+            );
+        }
+
+        // Intermediate partial sums are preserved (the whole point of
+        // the SSA transform): with data0=3 (odd), sum_1 = 3 even if a
+        // later iteration overwrites sum.
+        let vals = eval_module(&state, &[("data0", 3, 8), ("data1", 5, 8)]);
+        assert_eq!(vals["sum_0"].to_u64(), 0);
+        assert_eq!(vals["sum_1"].to_u64(), 3);
+        assert_eq!(vals["sum_2"].to_u64(), 8);
+    }
+
+    #[test]
+    fn annotations_rewritten_with_enable_and_scope() {
+        let mut state = listing1();
+        for id in [100, 101] {
+            state.annotations.add_debug(DebugAnnotation {
+                module: "acc".into(),
+                stmt: StmtId(id),
+                loc: loc(4),
+                enable: None,
+                assigned: None,
+                scope: vec![],
+            });
+        }
+        ExpandWhens::new().run(&mut state).unwrap();
+
+        let anns = state.annotations.debug();
+        let a0 = anns.iter().find(|a| a.stmt == StmtId(100)).unwrap();
+        let a1 = anns.iter().find(|a| a.stmt == StmtId(101)).unwrap();
+
+        // Enables reference materialized condition nodes.
+        assert_eq!(a0.enable.as_ref().unwrap().to_string(), "_cond_0");
+        assert_eq!(a1.enable.as_ref().unwrap().to_string(), "_cond_1");
+
+        // Scope before the first += maps sum -> sum_0; before the
+        // second, sum -> sum_1 (paper: fetch sum0 at line 4, sum1 at
+        // line 6).
+        assert!(a0.scope.contains(&("sum".into(), "sum_0".into())));
+        assert!(a1.scope.contains(&("sum".into(), "sum_1".into())));
+
+        // Assigned values land in sum_1 / sum_2.
+        assert_eq!(a0.assigned, Some(("sum".into(), "sum_1".into())));
+        assert_eq!(a1.assigned, Some(("sum".into(), "sum_2".into())));
+    }
+
+    #[test]
+    fn conditional_without_default_rejected() {
+        let mut m = Module::new("bad", loc(1));
+        m.ports = vec![Port {
+            name: "c".into(),
+            dir: PortDir::Input,
+            width: 1,
+            loc: loc(1),
+        }];
+        m.stmts = vec![
+            Stmt::Wire {
+                id: StmtId(1),
+                name: "w".into(),
+                width: 1,
+                loc: loc(1),
+            },
+            Stmt::When {
+                id: StmtId(2),
+                cond: Expr::var("c"),
+                then_body: vec![Stmt::Connect {
+                    id: StmtId(3),
+                    target: "w".into(),
+                    expr: Expr::lit(1, 1),
+                    loc: loc(2),
+                }],
+                else_body: vec![],
+                loc: loc(2),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("bad", vec![m]));
+        let err = ExpandWhens::new().run(&mut state).unwrap_err();
+        assert!(matches!(
+            err.source,
+            IrError::ConditionalWithoutDefault { .. }
+        ));
+    }
+
+    #[test]
+    fn read_before_write_rejected() {
+        let mut m = Module::new("bad", loc(1));
+        m.ports = vec![Port {
+            name: "o".into(),
+            dir: PortDir::Output,
+            width: 1,
+            loc: loc(1),
+        }];
+        m.stmts = vec![
+            Stmt::Wire {
+                id: StmtId(1),
+                name: "w".into(),
+                width: 1,
+                loc: loc(1),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "o".into(),
+                expr: Expr::var("w"),
+                loc: loc(2),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "w".into(),
+                expr: Expr::lit(0, 1),
+                loc: loc(3),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("bad", vec![m]));
+        let err = ExpandWhens::new().run(&mut state).unwrap_err();
+        assert!(matches!(err.source, IrError::UninitializedRead { .. }));
+    }
+
+    #[test]
+    fn register_assignments_chain_next_values() {
+        let mut m = Module::new("counter", loc(1));
+        m.ports = vec![Port {
+            name: "en".into(),
+            dir: PortDir::Input,
+            width: 1,
+            loc: loc(1),
+        }];
+        m.stmts = vec![
+            Stmt::Reg {
+                id: StmtId(1),
+                name: "count".into(),
+                width: 8,
+                init: Some(Bits::zero(8)),
+                loc: loc(1),
+            },
+            Stmt::When {
+                id: StmtId(2),
+                cond: Expr::var("en"),
+                then_body: vec![Stmt::Connect {
+                    id: StmtId(3),
+                    target: "count".into(),
+                    expr: Expr::binary(BinaryOp::Add, Expr::var("count"), Expr::lit(1, 8)),
+                    loc: loc(2),
+                }],
+                else_body: vec![],
+                loc: loc(2),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("counter", vec![m]));
+        ExpandWhens::new().run(&mut state).unwrap();
+        state.circuit.check_low().unwrap();
+        let m = state.circuit.top_module();
+        // Exactly one connect to the register, referencing the muxed
+        // next-value node.
+        let connects: Vec<&Stmt> = m
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Connect { target, .. } if target == "count"))
+            .collect();
+        assert_eq!(connects.len(), 1);
+        // The next-value mux falls back to the register itself
+        // (hold) when the condition is false.
+        let Stmt::Connect { expr, .. } = connects[0] else {
+            unreachable!()
+        };
+        let Expr::Ref(node) = expr else {
+            panic!("expected ref")
+        };
+        let next_expr = m
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Node { name, expr, .. } if name == node => Some(expr),
+                _ => None,
+            })
+            .unwrap();
+        assert!(next_expr.to_string().contains("mux"));
+        assert!(next_expr.refs().contains("count"));
+    }
+
+    #[test]
+    fn else_branch_reads_pre_when_value() {
+        // w = 1; if c { w = 2 } else { o = w }  -- the else read must
+        // see 1 (procedural semantics), which the mux encoding yields
+        // because the then-assignment is guarded by c.
+        let mut m = Module::new("m", loc(1));
+        m.ports = vec![
+            Port {
+                name: "c".into(),
+                dir: PortDir::Input,
+                width: 1,
+                loc: loc(1),
+            },
+            Port {
+                name: "o".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(1),
+            },
+        ];
+        m.stmts = vec![
+            Stmt::Wire {
+                id: StmtId(1),
+                name: "w".into(),
+                width: 8,
+                loc: loc(1),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "w".into(),
+                expr: Expr::lit(1, 8),
+                loc: loc(1),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "o".into(),
+                expr: Expr::lit(0, 8),
+                loc: loc(1),
+            },
+            Stmt::When {
+                id: StmtId(4),
+                cond: Expr::var("c"),
+                then_body: vec![Stmt::Connect {
+                    id: StmtId(5),
+                    target: "w".into(),
+                    expr: Expr::lit(2, 8),
+                    loc: loc(2),
+                }],
+                else_body: vec![Stmt::Connect {
+                    id: StmtId(6),
+                    target: "o".into(),
+                    expr: Expr::var("w"),
+                    loc: loc(3),
+                }],
+                loc: loc(2),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        ExpandWhens::new().run(&mut state).unwrap();
+        let vals = eval_module(&state, &[("c", 0, 1)]);
+        assert_eq!(vals["o"].to_u64(), 1);
+        let vals = eval_module(&state, &[("c", 1, 1)]);
+        assert_eq!(vals["o"].to_u64(), 0);
+    }
+
+    #[test]
+    fn memwrite_enable_absorbs_condition_stack() {
+        let mut m = Module::new("m", loc(1));
+        m.ports = vec![
+            Port {
+                name: "c".into(),
+                dir: PortDir::Input,
+                width: 1,
+                loc: loc(1),
+            },
+            Port {
+                name: "we".into(),
+                dir: PortDir::Input,
+                width: 1,
+                loc: loc(1),
+            },
+        ];
+        m.stmts = vec![
+            Stmt::Mem {
+                id: StmtId(1),
+                name: "ram".into(),
+                width: 8,
+                depth: 16,
+                loc: loc(1),
+            },
+            Stmt::When {
+                id: StmtId(2),
+                cond: Expr::var("c"),
+                then_body: vec![Stmt::MemWrite {
+                    id: StmtId(3),
+                    mem: "ram".into(),
+                    addr: Expr::lit(0, 4),
+                    data: Expr::lit(7, 8),
+                    en: Expr::var("we"),
+                    loc: loc(2),
+                }],
+                else_body: vec![],
+                loc: loc(2),
+            },
+        ];
+        let mut state = CircuitState::new(Circuit::new("m", vec![m]));
+        ExpandWhens::new().run(&mut state).unwrap();
+        let m = state.circuit.top_module();
+        let Some(Stmt::MemWrite { en, .. }) = m
+            .stmts
+            .iter()
+            .find(|s| matches!(s, Stmt::MemWrite { .. }))
+        else {
+            panic!("memwrite missing")
+        };
+        // en = _cond_0 & we
+        assert_eq!(en.to_string(), "(_cond_0 & we)");
+    }
+}

@@ -1,0 +1,164 @@
+//! Compiler passes over [`CircuitState`].
+//!
+//! The pipeline reproduces the FIRRTL flow the paper relies on (§4.1):
+//!
+//! 1. [`AnnotateDebugInfo`] — Algorithm 1, pass 1 (High form): computes
+//!    each statement's enable condition and marks variables of interest
+//!    (plus `DontTouch` in debug mode).
+//! 2. [`ExpandWhens`] — lowers `when` trees to muxes, SSA-renaming
+//!    multiply-assigned procedural targets (§3.1, Listings 1→2).
+//! 3. [`ConstProp`], [`Cse`], [`Dce`] — the "default optimization
+//!    passes" (constant propagation, common sub-expression elimination,
+//!    dead code elimination) that make optimized RTL hard to debug.
+//! 4. [`CollectSymbols`] — Algorithm 1, pass 2 (Low form): keeps only
+//!    annotations whose signals survived optimization.
+
+mod const_prop;
+mod cse;
+mod dce;
+mod expand_whens;
+mod symbols;
+
+pub use const_prop::ConstProp;
+pub use cse::Cse;
+pub use dce::Dce;
+pub use expand_whens::ExpandWhens;
+pub use symbols::{AnnotateDebugInfo, CollectSymbols, DebugTable, DebugVariable, SymBreakpoint};
+
+use std::fmt;
+
+use crate::annot::CircuitState;
+use crate::stmt::IrError;
+
+/// Error from running a pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: &'static str,
+    /// Underlying IR error.
+    pub source: IrError,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass {} failed: {}", self.pass, self.source)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// A transformation over circuit state.
+pub trait Pass {
+    /// Stable pass name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass, mutating the state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassError`] when the input violates the pass's
+    /// preconditions or an internal invariant breaks.
+    fn run(&self, state: &mut CircuitState) -> Result<(), PassError>;
+}
+
+/// Runs a sequence of passes, validating the circuit before and after.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// The standard optimizing pipeline used in "release" builds, with
+    /// symbol extraction (Algorithm 1) wrapped around the optimizers.
+    pub fn standard() -> PassManager {
+        let mut pm = PassManager::new();
+        pm.add(AnnotateDebugInfo::new());
+        pm.add(ExpandWhens::new());
+        pm.add(ConstProp::new());
+        pm.add(Cse::new());
+        pm.add(Dce::new());
+        pm
+    }
+
+    /// The debug pipeline: same shape, but the annotation pass will be
+    /// run with `debug_mode`, which DontTouch-protects annotated
+    /// signals (the `-O0` analogue; the optimizers still run but are
+    /// inhibited on protected signals).
+    pub fn debug() -> PassManager {
+        PassManager::standard()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Validates the circuit after every pass (slower; for tests).
+    pub fn verify_each(&mut self, on: bool) -> &mut PassManager {
+        self.verify_each = on;
+        self
+    }
+
+    /// Runs all passes in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure or validation error.
+    pub fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
+        state.circuit.validate().map_err(|source| PassError {
+            pass: "input-validate",
+            source,
+        })?;
+        for pass in &self.passes {
+            pass.run(state)?;
+            if self.verify_each {
+                state.circuit.validate().map_err(|source| PassError {
+                    pass: pass.name(),
+                    source,
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+/// Convenience: runs the full standard pipeline (annotate → lower →
+/// optimize) and returns the collected debug table.
+///
+/// When `debug_mode` is true, annotated signals are DontTouch-protected
+/// so the optimizers preserve them (bigger symbol table, slower
+/// simulation — the paper's debug build).
+///
+/// # Errors
+///
+/// Returns the first pass failure.
+pub fn compile(
+    state: &mut CircuitState,
+    debug_mode: bool,
+) -> Result<DebugTable, PassError> {
+    state.annotations.set_debug_mode(debug_mode);
+    let pm = PassManager::standard();
+    pm.run(state)?;
+    state.circuit.check_low().map_err(|source| PassError {
+        pass: "low-form-check",
+        source,
+    })?;
+    CollectSymbols::new().collect(state)
+}

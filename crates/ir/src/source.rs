@@ -1,0 +1,66 @@
+//! Source locators.
+//!
+//! Hardware generator frameworks record the *generator* source position
+//! of every emitted statement (Chisel stores Scala file/line in FIRRTL;
+//! our `hgf` frontend captures Rust locations via `#[track_caller]`).
+//! These locators are what breakpoints are set against.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A position in generator source code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceLoc {
+    /// Source file path as recorded by the generator.
+    pub file: Arc<str>,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl SourceLoc {
+    /// Creates a locator.
+    pub fn new(file: impl Into<Arc<str>>, line: u32, col: u32) -> SourceLoc {
+        SourceLoc {
+            file: file.into(),
+            line,
+            col,
+        }
+    }
+
+    /// A placeholder for synthesized statements with no source position.
+    pub fn unknown() -> SourceLoc {
+        SourceLoc::new("<unknown>", 0, 0)
+    }
+
+    /// Whether this is the placeholder locator.
+    pub fn is_unknown(&self) -> bool {
+        self.line == 0 && &*self.file == "<unknown>"
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        let a = SourceLoc::new("alu.rs", 3, 1);
+        let b = SourceLoc::new("alu.rs", 3, 9);
+        assert_eq!(a.to_string(), "alu.rs:3:1");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn unknown_marker() {
+        assert!(SourceLoc::unknown().is_unknown());
+        assert!(!SourceLoc::new("x.rs", 1, 1).is_unknown());
+    }
+}

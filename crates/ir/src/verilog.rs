@@ -1,0 +1,447 @@
+//! Verilog emission from Low-form IR.
+//!
+//! Produces the kind of RTL the paper's Listing 4 shows: flattened
+//! control flow, `_T`/`_GEN`-style temporaries, no trace of the
+//! generator's intent — exactly why source-level debugging is needed.
+//! The emitter renames SSA temporaries to `_T_<n>` and mux chains to
+//! `_GEN_<n>` to reproduce the obfuscation of real FIRRTL output.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::stmt::{Circuit, Module, PortDir, Stmt};
+
+/// Emits the whole circuit as Verilog, one `module` per IR module.
+///
+/// # Panics
+///
+/// Panics if the circuit is not in Low form (run the pass pipeline
+/// first).
+pub fn emit_circuit(circuit: &Circuit) -> String {
+    circuit.check_low().expect("emit_circuit requires Low form");
+    let mut out = String::new();
+    for module in &circuit.modules {
+        out.push_str(&emit_module(module, circuit));
+        out.push('\n');
+    }
+    out
+}
+
+/// Emits a single module.
+pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let obfuscated = obfuscation_map(module);
+    let r = |name: &str| -> String {
+        obfuscated
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.replace('.', "_"))
+    };
+
+    let mut ports: Vec<String> = vec!["input clock".into(), "input reset".into()];
+    for p in &module.ports {
+        let dir = match p.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        ports.push(format!("{} {}{}", dir, width_decl(p.width), r(&p.name)));
+    }
+    let _ = writeln!(out, "module {}(", module.name);
+    let _ = writeln!(out, "  {}", ports.join(",\n  "));
+    let _ = writeln!(out, ");");
+
+    // Declarations.
+    for stmt in &module.stmts {
+        match stmt {
+            Stmt::Wire { name, width, .. } => {
+                let _ = writeln!(out, "  wire {}{};", width_decl(*width), r(name));
+            }
+            Stmt::Reg { name, width, .. } => {
+                let _ = writeln!(out, "  reg {}{};", width_decl(*width), r(name));
+            }
+            Stmt::Node { name, expr, .. } => {
+                // Width is recoverable but unnecessary for display; use
+                // the computed width when available.
+                let w = expr
+                    .width(&|n| {
+                        module
+                            .signal_table(circuit)
+                            .get(n)
+                            .map(|(w, _)| *w)
+                    })
+                    .unwrap_or(1);
+                let _ = writeln!(
+                    out,
+                    "  wire {}{} = {};",
+                    width_decl(w),
+                    r(name),
+                    emit_expr(expr, &r)
+                );
+            }
+            Stmt::Mem {
+                name,
+                width,
+                depth,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  reg {}{} [0:{}];",
+                    width_decl(*width),
+                    r(name),
+                    depth - 1
+                );
+            }
+            Stmt::MemRead {
+                mem, name, addr, ..
+            } => {
+                let w = module.mem_width(mem).unwrap_or(1);
+                let _ = writeln!(
+                    out,
+                    "  wire {}{} = {}[{}];",
+                    width_decl(w),
+                    r(name),
+                    r(mem),
+                    emit_expr(addr, &r)
+                );
+            }
+            Stmt::Instance {
+                name, module: m, ..
+            } => {
+                let child = circuit.module(m);
+                let mut conns = vec![
+                    ".clock(clock)".to_owned(),
+                    ".reset(reset)".to_owned(),
+                ];
+                if let Some(child) = child {
+                    for p in &child.ports {
+                        conns.push(format!(
+                            ".{}({})",
+                            p.name.replace('.', "_"),
+                            r(&format!("{name}.{}", p.name))
+                        ));
+                    }
+                }
+                let _ = writeln!(out, "  {} {}({});", m, name, conns.join(", "));
+            }
+            _ => {}
+        }
+    }
+    // Instance port nets.
+    for (inst, m) in module.instances() {
+        if let Some(child) = circuit.module(m) {
+            for p in &child.ports {
+                let net = format!("{inst}.{}", p.name);
+                let _ = writeln!(out, "  wire {}{};", width_decl(p.width), r(&net));
+            }
+        }
+    }
+
+    // Continuous assignments.
+    for stmt in &module.stmts {
+        if let Stmt::Connect { target, expr, .. } = stmt {
+            let is_reg = module.stmts.iter().any(
+                |s| matches!(s, Stmt::Reg { name, .. } if name == target),
+            );
+            if !is_reg {
+                let _ = writeln!(out, "  assign {} = {};", r(target), emit_expr(expr, &r));
+            }
+        }
+    }
+
+    // Sequential block.
+    let mut seq = String::new();
+    for stmt in &module.stmts {
+        match stmt {
+            Stmt::Connect { target, expr, .. } => {
+                let reg = module.stmts.iter().find_map(|s| match s {
+                    Stmt::Reg { name, init, .. } if name == target => Some(init),
+                    _ => None,
+                });
+                if let Some(init) = reg {
+                    if let Some(init) = init {
+                        let _ = writeln!(
+                            seq,
+                            "    if (reset) {} <= {}'h{:x}; else {} <= {};",
+                            r(target),
+                            init.width(),
+                            init,
+                            r(target),
+                            emit_expr(expr, &r)
+                        );
+                    } else {
+                        let _ =
+                            writeln!(seq, "    {} <= {};", r(target), emit_expr(expr, &r));
+                    }
+                }
+            }
+            Stmt::MemWrite {
+                mem,
+                addr,
+                data,
+                en,
+                ..
+            } => {
+                let _ = writeln!(
+                    seq,
+                    "    if ({}) {}[{}] <= {};",
+                    emit_expr(en, &r),
+                    r(mem),
+                    emit_expr(addr, &r),
+                    emit_expr(data, &r)
+                );
+            }
+            _ => {}
+        }
+    }
+    if !seq.is_empty() {
+        let _ = writeln!(out, "  always @(posedge clock) begin");
+        out.push_str(&seq);
+        let _ = writeln!(out, "  end");
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// SSA temporaries become `_T_<n>` / mux results `_GEN_<n>`, matching
+/// FIRRTL's emission style (Listing 4).
+fn obfuscation_map(module: &Module) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut t = 0usize;
+    let mut g = 0usize;
+    for stmt in &module.stmts {
+        if let Stmt::Node { name, expr, .. } = stmt {
+            // Heuristic: mux chains (when lowering artifacts) become
+            // _GEN_, other temporaries _T_. Signals the generator named
+            // explicitly (gen_vars) keep their names.
+            let user_named = module.gen_vars.iter().any(|(_, rtl)| rtl == name);
+            if user_named {
+                continue;
+            }
+            let is_ssa_temp = name.contains('_')
+                && name
+                    .rsplit('_')
+                    .next()
+                    .is_some_and(|suffix| suffix.chars().all(|c| c.is_ascii_digit()));
+            if !is_ssa_temp {
+                continue;
+            }
+            if matches!(expr, Expr::Mux(..)) {
+                map.insert(name.clone(), format!("_GEN_{g}"));
+                g += 1;
+            } else {
+                map.insert(name.clone(), format!("_T_{t}"));
+                t += 1;
+            }
+        }
+    }
+    map
+}
+
+fn width_decl(width: u32) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+fn emit_expr(expr: &Expr, r: &dyn Fn(&str) -> String) -> String {
+    match expr {
+        Expr::Lit(b) => format!("{}'h{:x}", b.width(), b),
+        Expr::Ref(name) => r(name),
+        Expr::Unary(op, e) => {
+            let tok = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::Neg => "-",
+                UnaryOp::ReduceAnd => "&",
+                UnaryOp::ReduceOr => "|",
+                UnaryOp::ReduceXor => "^",
+            };
+            format!("{tok}({})", emit_expr(e, r))
+        }
+        Expr::Binary(op, l, r_e) => {
+            let tok = match op {
+                BinaryOp::Lts => "<",
+                BinaryOp::Les => "<=",
+                BinaryOp::Gts => ">",
+                BinaryOp::Ges => ">=",
+                BinaryOp::Ashr => ">>>",
+                other => other.token(),
+            };
+            let signed = matches!(
+                op,
+                BinaryOp::Lts | BinaryOp::Les | BinaryOp::Gts | BinaryOp::Ges
+            );
+            if signed {
+                format!(
+                    "($signed({}) {} $signed({}))",
+                    emit_expr(l, r),
+                    tok,
+                    emit_expr(r_e, r)
+                )
+            } else {
+                format!("({} {} {})", emit_expr(l, r), tok, emit_expr(r_e, r))
+            }
+        }
+        Expr::Mux(s, t, e) => format!(
+            "({} ? {} : {})",
+            emit_expr(s, r),
+            emit_expr(t, r),
+            emit_expr(e, r)
+        ),
+        Expr::Slice(e, hi, lo) => {
+            if hi == lo {
+                format!("{}[{hi}]", emit_expr(e, r))
+            } else {
+                format!("{}[{hi}:{lo}]", emit_expr(e, r))
+            }
+        }
+        Expr::Cat(h, l) => format!("{{{}, {}}}", emit_expr(h, r), emit_expr(l, r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::source::SourceLoc;
+    use crate::stmt::{Port, StmtId};
+    use bits::Bits;
+
+    fn loc() -> SourceLoc {
+        SourceLoc::new("gen.rs", 1, 1)
+    }
+
+    #[test]
+    fn emits_counter_module() {
+        let mut m = Module::new("counter", loc());
+        m.ports = vec![Port {
+            name: "out".into(),
+            dir: PortDir::Output,
+            width: 8,
+            loc: loc(),
+        }];
+        m.stmts = vec![
+            Stmt::Reg {
+                id: StmtId(1),
+                name: "count".into(),
+                width: 8,
+                init: Some(Bits::zero(8)),
+                loc: loc(),
+            },
+            Stmt::Node {
+                id: StmtId(2),
+                name: "count_0".into(),
+                expr: Expr::binary(
+                    crate::expr::BinaryOp::Add,
+                    Expr::var("count"),
+                    Expr::lit(1, 8),
+                ),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(3),
+                target: "count".into(),
+                expr: Expr::var("count_0"),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(4),
+                target: "out".into(),
+                expr: Expr::var("count"),
+                loc: loc(),
+            },
+        ];
+        let c = Circuit::new("counter", vec![m]);
+        let v = emit_circuit(&c);
+        assert!(v.contains("module counter("));
+        assert!(v.contains("reg [7:0] count;"));
+        assert!(v.contains("always @(posedge clock)"));
+        assert!(v.contains("if (reset) count <= 8'h0;"));
+        assert!(v.contains("assign out = count;"));
+        // SSA temp is obfuscated.
+        assert!(v.contains("_T_0"), "expected _T_0 in:\n{v}");
+        assert!(!v.contains("count_0 ="));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn mux_temps_become_gen() {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "c".into(),
+                dir: PortDir::Input,
+                width: 1,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        m.stmts = vec![
+            Stmt::Node {
+                id: StmtId(1),
+                name: "w_1".into(),
+                expr: Expr::mux(Expr::var("c"), Expr::lit(1, 8), Expr::lit(2, 8)),
+                loc: loc(),
+            },
+            Stmt::Connect {
+                id: StmtId(2),
+                target: "out".into(),
+                expr: Expr::var("w_1"),
+                loc: loc(),
+            },
+        ];
+        let c = Circuit::new("m", vec![m]);
+        let v = emit_circuit(&c);
+        assert!(v.contains("_GEN_0"), "expected _GEN_0 in:\n{v}");
+        assert!(v.contains("(c ? 8'h1 : 8'h2)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "Low form")]
+    fn rejects_high_form() {
+        let mut m = Module::new("m", loc());
+        m.stmts = vec![Stmt::When {
+            id: StmtId(1),
+            cond: Expr::lit(1, 1),
+            then_body: vec![],
+            else_body: vec![],
+            loc: loc(),
+        }];
+        emit_circuit(&Circuit::new("m", vec![m]));
+    }
+
+    #[test]
+    fn signed_compare_uses_dollar_signed() {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "a".into(),
+                dir: PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: PortDir::Output,
+                width: 1,
+                loc: loc(),
+            },
+        ];
+        m.stmts = vec![Stmt::Connect {
+            id: StmtId(1),
+            target: "out".into(),
+            expr: Expr::binary(crate::expr::BinaryOp::Lts, Expr::var("a"), Expr::lit(0, 8)),
+            loc: loc(),
+        }];
+        let v = emit_circuit(&Circuit::new("m", vec![m]));
+        assert!(v.contains("$signed(a) < $signed(8'h0)"));
+    }
+}

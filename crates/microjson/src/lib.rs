@@ -1,0 +1,307 @@
+//! Minimal JSON implementation for the hgdb debug protocol.
+//!
+//! The paper's debuggers (gdb-like CLI and the VSCode IDE) talk to the
+//! runtime over an RPC protocol with self-describing JSON messages
+//! (§3.5). `serde_json` is outside this project's allowed dependency set,
+//! so this crate provides the small subset of JSON actually needed: a
+//! [`Json`] value tree, a strict recursive-descent [`parse`] function and
+//! a compact writer ([`Json::to_string`] via `Display`).
+//!
+//! Object key order is preserved (insertion order) so that encoded
+//! messages are deterministic and testable.
+//!
+//! # Examples
+//!
+//! ```
+//! use microjson::Json;
+//!
+//! let msg = Json::object([
+//!     ("request", Json::from("breakpoint")),
+//!     ("line", Json::from(42i64)),
+//! ]);
+//! let text = msg.to_string();
+//! let back = microjson::parse(&text)?;
+//! assert_eq!(back["line"].as_i64(), Some(42));
+//! # Ok::<(), microjson::JsonError>(())
+//! ```
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, JsonError};
+
+use core::fmt;
+use core::ops::Index;
+
+/// A JSON value.
+///
+/// Numbers are split into integer and floating variants: the protocol
+/// mostly carries ids, line numbers and bit values, which must round-trip
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (no fraction/exponent in the source text).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array of values.
+    Array(Vec<Json>),
+    /// Object; key order is insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// The value for `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element at `index` if this is an array.
+    pub fn at(&self, index: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric content widened from either number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Inserts or replaces `key` in an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Object(pairs) => {
+                let key = key.into();
+                if let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    pairs.push((key, value));
+                }
+            }
+            _ => panic!("Json::insert on a non-object"),
+        }
+    }
+}
+
+impl Default for Json {
+    fn default() -> Self {
+        Json::Null
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        if i <= i64::MAX as u64 {
+            Json::Int(i as i64)
+        } else {
+            Json::Float(i as f64)
+        }
+    }
+}
+
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::from(i as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Indexing sugar: `value["key"]` returns `Json::Null` for missing keys
+/// or non-objects, mirroring lenient protocol handling.
+impl Index<&str> for Json {
+    type Output = Json;
+
+    fn index(&self, key: &str) -> &Json {
+        const NULL: Json = Json::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Json {
+    type Output = Json;
+
+    fn index(&self, index: usize) -> &Json {
+        const NULL: Json = Json::Null;
+        self.at(index).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writer::write(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_get_and_index() {
+        let o = Json::object([("a", Json::from(1i64)), ("b", Json::from("x"))]);
+        assert_eq!(o.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(o["b"].as_str(), Some("x"));
+        assert!(o["missing"].is_null());
+        assert!(Json::Null["x"].is_null());
+    }
+
+    #[test]
+    fn array_index() {
+        let a = Json::array([Json::from(1i64), Json::from(2i64)]);
+        assert_eq!(a[1].as_i64(), Some(2));
+        assert!(a[9].is_null());
+        assert_eq!(a.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_and_appends() {
+        let mut o = Json::object([("a", Json::from(1i64))]);
+        o.insert("a", Json::from(2i64));
+        o.insert("b", Json::from(3i64));
+        assert_eq!(o["a"].as_i64(), Some(2));
+        assert_eq!(o["b"].as_i64(), Some(3));
+        assert_eq!(o.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn insert_on_array_panics() {
+        Json::array([]).insert("k", Json::Null);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Json::from(true), Json::Bool(true));
+        assert_eq!(Json::from(5u32), Json::Int(5));
+        assert_eq!(Json::from(u64::MAX), Json::Float(u64::MAX as f64));
+        let arr: Json = vec![1i64, 2, 3].into_iter().collect();
+        assert_eq!(arr[2].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Json::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Json::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(Json::default().is_null());
+    }
+}

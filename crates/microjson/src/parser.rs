@@ -1,0 +1,419 @@
+//! Strict recursive-descent JSON parser.
+
+use core::fmt;
+
+use crate::Json;
+
+/// Error produced when parsing malformed JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset at which the error was detected.
+    pub offset: usize,
+    message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(p.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            _ => Err(JsonError::new(
+                self.pos.saturating_sub(1),
+                format!("expected {:?}", byte as char),
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::new(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(JsonError::new(
+                self.pos,
+                format!("unexpected character {:?}", c as char),
+            )),
+            None => Err(JsonError::new(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(self.pos, format!("expected {word:?}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => {
+                    return Err(JsonError::new(
+                        self.pos.saturating_sub(1),
+                        "expected ',' or '}'",
+                    ))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Object(pairs))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => {
+                    return Err(JsonError::new(
+                        self.pos.saturating_sub(1),
+                        "expected ',' or ']'",
+                    ))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(JsonError::new(self.pos, "unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require a following \uXXXX low
+                            // surrogate and combine the pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(JsonError::new(self.pos, "lone high surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(JsonError::new(self.pos, "invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c)
+                                .ok_or_else(|| JsonError::new(self.pos, "invalid code point"))?
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(JsonError::new(self.pos, "lone low surrogate"));
+                        } else {
+                            char::from_u32(cp)
+                                .ok_or_else(|| JsonError::new(self.pos, "invalid code point"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => {
+                        return Err(JsonError::new(
+                            self.pos.saturating_sub(1),
+                            "invalid escape sequence",
+                        ))
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::new(
+                        self.pos.saturating_sub(1),
+                        "unescaped control character",
+                    ))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the full sequence verbatim.
+                    let len = utf8_len(b).ok_or_else(|| {
+                        JsonError::new(self.pos.saturating_sub(1), "invalid utf-8 lead byte")
+                    })?;
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(JsonError::new(start, "truncated utf-8 sequence"));
+                    }
+                    let s = core::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| JsonError::new(start, "invalid utf-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| JsonError::new(self.pos, "truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::new(self.pos.saturating_sub(1), "bad hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(JsonError::new(self.pos, "expected digits"));
+        }
+        // Reject leading zeros like "01" per the JSON grammar.
+        if self.pos - int_start > 1 && self.bytes[int_start] == b'0' {
+            return Err(JsonError::new(int_start, "leading zero"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(JsonError::new(self.pos, "expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(JsonError::new(self.pos, "expected exponent digits"));
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| JsonError::new(start, "invalid number"))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Json::Int(i)),
+                // Integers outside i64 degrade to floats, like JS.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| JsonError::new(start, "invalid number")),
+            }
+        }
+    }
+}
+
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}, "x"], "c": true}"#).unwrap();
+        assert_eq!(v["a"][0].as_i64(), Some(1));
+        assert!(v["a"][1]["b"].is_null());
+        assert_eq!(v["a"][2].as_str(), Some("x"));
+        assert_eq!(v["c"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let v = parse(r#""a\n\t\"\\Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\Aé"));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn parses_unicode_passthrough() {
+        let v = parse("\"héllo wörld 数\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo wörld 数"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "1e", "\"\\q\"", "[1] extra",
+            "{\"a\" 1}", "nul", "+1", "'single'",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_control_chars_in_strings() {
+        assert!(parse("\"a\u{01}b\"").is_err());
+    }
+
+    #[test]
+    fn big_integers_degrade_to_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert!(matches!(v, Json::Float(_)));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Json::Object(vec![]));
+        assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(parse(" [ ] ").unwrap(), Json::Array(vec![]));
+    }
+}

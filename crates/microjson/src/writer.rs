@@ -1,0 +1,115 @@
+//! Compact JSON writer with full string escaping.
+
+use core::fmt;
+
+use crate::Json;
+
+/// Writes `value` as compact JSON (no extra whitespace).
+pub(crate) fn write(value: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match value {
+        Json::Null => f.write_str("null"),
+        Json::Bool(true) => f.write_str("true"),
+        Json::Bool(false) => f.write_str("false"),
+        Json::Int(i) => write!(f, "{i}"),
+        Json::Float(x) => write_float(*x, f),
+        Json::Str(s) => write_string(s, f),
+        Json::Array(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Json::Object(pairs) => {
+            f.write_str("{")?;
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_string(key, f)?;
+                f.write_str(":")?;
+                write(item, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+fn write_float(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if x.is_nan() || x.is_infinite() {
+        // JSON has no NaN/Inf; encode as null like browsers do.
+        f.write_str("null")
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep a fraction marker so the value re-parses as a float.
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+fn write_string(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Json};
+
+    #[test]
+    fn writes_compact() {
+        let v = Json::object([
+            ("a", Json::from(1i64)),
+            ("b", Json::array([Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[null,false]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::from("a\"b\\c\nd\u{1}");
+        let expected = "\"a\\\"b\\\\c\\nd\\u0001\"";
+        assert_eq!(v.to_string(), expected);
+    }
+
+    #[test]
+    fn floats_keep_float_marker() {
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Float(0.25).to_string(), "0.25");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let v = Json::object([
+            ("id", Json::from(3i64)),
+            ("name", Json::from("top.inst.sig")),
+            ("vals", Json::array([Json::from(1i64), Json::Float(1.5)])),
+            ("nested", Json::object([("ok", Json::Bool(true))])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_round_trip() {
+        let v = Json::from("héllo 😀 数");
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+}

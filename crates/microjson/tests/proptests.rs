@@ -1,0 +1,73 @@
+//! Property tests: arbitrary JSON trees survive a write→parse round trip.
+
+use microjson::{parse, Json};
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        // Finite floats only; NaN/Inf intentionally do not round-trip.
+        (-1.0e12f64..1.0e12).prop_map(Json::Float),
+        "[a-zA-Z0-9 _\\\\\"\n\t./:\\-]{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z_]{1,8}", inner), 0..6).prop_map(|pairs| {
+                // Deduplicate keys: objects with repeated keys don't
+                // round-trip through get-based comparison.
+                let mut seen = std::collections::HashSet::new();
+                Json::Object(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_parse_round_trip(v in arb_json()) {
+        let text = v.to_string();
+        let back = parse(&text).unwrap();
+        prop_assert!(json_eq(&v, &back), "mismatch: {text}");
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn strings_round_trip_exactly(s in "\\PC{0,64}") {
+        let v = Json::Str(s.clone());
+        let back = parse(&v.to_string()).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+}
+
+/// Structural equality with approximate float comparison (printing a
+/// float and re-parsing can differ in the last ulp for extreme values).
+fn json_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Float(x), Json::Float(y)) => {
+            (x - y).abs() <= f64::EPSILON * x.abs().max(y.abs()).max(1.0)
+        }
+        (Json::Array(xs), Json::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| json_eq(x, y))
+        }
+        (Json::Object(xs), Json::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((kx, x), (ky, y))| kx == ky && json_eq(x, y))
+        }
+        _ => a == b,
+    }
+}

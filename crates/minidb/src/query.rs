@@ -1,0 +1,351 @@
+//! Declarative query API: equality filters and inner joins.
+//!
+//! The symbol-table primitives of §3.4 translate to lookups like
+//! "breakpoints where filename = F and line_num = L" and joins like
+//! "scope variables joined with variables on variable id"; this module
+//! provides exactly that surface.
+
+use std::collections::HashMap;
+
+use crate::{Database, DbError, Value};
+
+/// A row produced by a query: qualified `table.column` and bare
+/// `column` names both resolve (bare names prefer the primary table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultRow {
+    values: Vec<(String, Value)>,
+}
+
+impl ResultRow {
+    /// The value bound to `name` (`column` or `table.column`).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        if name.contains('.') {
+            self.values
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+        } else {
+            self.values
+                .iter()
+                .find(|(k, _)| k.rsplit('.').next() == Some(name))
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// All `(qualified_name, value)` pairs.
+    pub fn columns(&self) -> &[(String, Value)] {
+        &self.values
+    }
+}
+
+/// An equality join clause.
+#[derive(Debug, Clone)]
+struct JoinClause {
+    table: String,
+    /// Qualified column on the already-joined relation.
+    left: String,
+    /// Column on the newly joined table.
+    right: String,
+}
+
+/// A query over one table with optional equality filters and inner
+/// joins.
+///
+/// # Examples
+///
+/// ```
+/// use minidb::{Database, TableSchema, ColumnType, Value, Query};
+///
+/// # fn main() -> Result<(), minidb::DbError> {
+/// let mut db = Database::new();
+/// db.create_table(TableSchema::new("t").column("id", ColumnType::Int))?;
+/// db.insert("t", vec![Value::Int(4)])?;
+/// let rows = Query::table("t").filter_eq("id", Value::Int(4)).run(&db)?;
+/// assert_eq!(rows.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    table: String,
+    filters: Vec<(String, Value)>,
+    joins: Vec<JoinClause>,
+}
+
+impl Query {
+    /// Starts a query on `table`.
+    pub fn table(table: impl Into<String>) -> Query {
+        Query {
+            table: table.into(),
+            filters: Vec::new(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// Adds an equality filter. `column` may be bare (primary table) or
+    /// qualified (`table.column`, after a join).
+    pub fn filter_eq(mut self, column: impl Into<String>, value: Value) -> Query {
+        self.filters.push((column.into(), value));
+        self
+    }
+
+    /// Inner-joins `table` on `left == right`, where `left` names a
+    /// column of the relation built so far (bare or qualified) and
+    /// `right` a column of the joined table.
+    pub fn join(
+        mut self,
+        table: impl Into<String>,
+        left: impl Into<String>,
+        right: impl Into<String>,
+    ) -> Query {
+        self.joins.push(JoinClause {
+            table: table.into(),
+            left: left.into(),
+            right: right.into(),
+        });
+        self
+    }
+
+    /// Executes the query.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a referenced table or column does not exist.
+    pub fn run(&self, db: &Database) -> Result<Vec<ResultRow>, DbError> {
+        let base = db
+            .table(&self.table)
+            .ok_or_else(|| DbError::NoSuchTable(self.table.clone()))?;
+
+        // Partition filters: those on the base table can narrow the
+        // initial scan (possibly via an index); the rest apply after
+        // joins.
+        let mut base_filters: Vec<(&str, &Value)> = Vec::new();
+        let mut late_filters: Vec<(&str, &Value)> = Vec::new();
+        for (col, v) in &self.filters {
+            let bare = col.rsplit('.').next().expect("nonempty split");
+            let qualifies_base = !col.contains('.') || col.starts_with(&format!("{}.", self.table));
+            if qualifies_base && base.schema().column_index(bare).is_some() {
+                base_filters.push((bare, v));
+            } else {
+                late_filters.push((col.as_str(), v));
+            }
+        }
+
+        // Seed rows: use the first base filter for an indexed probe.
+        let seed_ids: Vec<usize> = if let Some((col, v)) = base_filters.first() {
+            base.find_rows(col, v)?
+        } else {
+            base.iter().map(|(i, _)| i).collect()
+        };
+
+        let qualify = |table: &str, row: &[Value]| -> Vec<(String, Value)> {
+            db.table(table)
+                .expect("resolved")
+                .schema()
+                .columns()
+                .iter()
+                .zip(row)
+                .map(|(c, v)| (format!("{}.{}", table, c.name), v.clone()))
+                .collect()
+        };
+
+        let mut rows: Vec<ResultRow> = Vec::new();
+        'seed: for id in seed_ids {
+            let row = base.row(id).expect("live");
+            for (col, v) in &base_filters[1.min(base_filters.len())..] {
+                let i = base.schema().column_index(col).expect("checked");
+                if &&row[i] != v {
+                    continue 'seed;
+                }
+            }
+            rows.push(ResultRow {
+                values: qualify(&self.table, row),
+            });
+        }
+
+        // Apply joins in order; each is a hash join on the new table.
+        for join in &self.joins {
+            let right_table = db
+                .table(&join.table)
+                .ok_or_else(|| DbError::NoSuchTable(join.table.clone()))?;
+            let right_col = right_table
+                .schema()
+                .column_index(&join.right)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: join.table.clone(),
+                    column: join.right.clone(),
+                })?;
+            let mut hash: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (rid, rrow) in right_table.iter() {
+                hash.entry(&rrow[right_col]).or_default().push(rid);
+            }
+            let mut joined = Vec::new();
+            for row in rows {
+                let Some(left_v) = row.get(&join.left) else {
+                    return Err(DbError::NoSuchColumn {
+                        table: self.table.clone(),
+                        column: join.left.clone(),
+                    });
+                };
+                if let Some(rids) = hash.get(left_v) {
+                    for &rid in rids {
+                        let rrow = right_table.row(rid).expect("live");
+                        let mut values = row.values.clone();
+                        values.extend(qualify(&join.table, rrow));
+                        joined.push(ResultRow { values });
+                    }
+                }
+            }
+            rows = joined;
+        }
+
+        // Late filters over the fully joined relation.
+        rows.retain(|row| {
+            late_filters
+                .iter()
+                .all(|(col, v)| row.get(col).is_some_and(|rv| &rv == v))
+        });
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("instance")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("breakpoint")
+                .column("id", ColumnType::Int)
+                .column("filename", ColumnType::Text)
+                .column("line_num", ColumnType::Int)
+                .column("instance", ColumnType::Int)
+                .primary_key("id")
+                .index("filename")
+                .foreign_key("instance", "instance", "id"),
+        )
+        .unwrap();
+        db.insert("instance", vec![Value::Int(1), Value::text("top.a")])
+            .unwrap();
+        db.insert("instance", vec![Value::Int(2), Value::text("top.b")])
+            .unwrap();
+        for (id, file, line, inst) in [
+            (10, "alu.rs", 5, 1),
+            (11, "alu.rs", 9, 1),
+            (12, "alu.rs", 9, 2),
+            (13, "fpu.rs", 9, 2),
+        ] {
+            db.insert(
+                "breakpoint",
+                vec![
+                    Value::Int(id),
+                    Value::text(file),
+                    Value::Int(line),
+                    Value::Int(inst),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn filter_on_indexed_column() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .filter_eq("filename", Value::text("alu.rs"))
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn multi_filter() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .filter_eq("filename", Value::text("alu.rs"))
+            .filter_eq("line_num", Value::Int(9))
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let ids: Vec<i64> = rows
+            .iter()
+            .map(|r| r.get("id").unwrap().as_int().unwrap())
+            .collect();
+        assert!(ids.contains(&11) && ids.contains(&12));
+    }
+
+    #[test]
+    fn join_resolves_instance_names() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .filter_eq("line_num", Value::Int(9))
+            .join("instance", "breakpoint.instance", "id")
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        let mut names: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get("instance.name").unwrap().as_str().unwrap())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["top.a", "top.b", "top.b"]);
+    }
+
+    #[test]
+    fn late_filter_on_joined_column() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .join("instance", "breakpoint.instance", "id")
+            .filter_eq("instance.name", Value::text("top.b"))
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn bare_names_prefer_primary_table() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .filter_eq("id", Value::Int(10))
+            .join("instance", "breakpoint.instance", "id")
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Bare `id` resolves to breakpoint.id (first in the row).
+        assert_eq!(rows[0].get("id").unwrap().as_int(), Some(10));
+        assert_eq!(rows[0].get("instance.id").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        let db = db();
+        assert!(matches!(
+            Query::table("nope").run(&db).unwrap_err(),
+            DbError::NoSuchTable(_)
+        ));
+        assert!(Query::table("breakpoint")
+            .join("instance", "breakpoint.nope", "id")
+            .run(&db)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_result_is_ok() {
+        let db = db();
+        let rows = Query::table("breakpoint")
+            .filter_eq("filename", Value::text("missing.rs"))
+            .run(&db)
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+}

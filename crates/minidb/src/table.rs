@@ -1,0 +1,285 @@
+//! Table storage: row slots plus primary/secondary hash indices.
+
+use std::collections::HashMap;
+
+use crate::schema::TableSchema;
+use crate::{DbError, Value};
+
+/// A single table: schema, row storage and indices.
+///
+/// Rows live in slots (`Vec<Option<Vec<Value>>>`); deletion tombstones a
+/// slot so that row ids stay stable for the indices.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Vec<Value>>>,
+    live: usize,
+    /// Primary-key value -> row id.
+    pk_index: Option<HashMap<Value, usize>>,
+    /// column index -> (value -> row ids). Built for declared indices
+    /// and for foreign-key source columns (used on delete checks).
+    sec_indices: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table after validating the schema.
+    pub(crate) fn new(schema: TableSchema) -> Result<Table, DbError> {
+        schema.validate()?;
+        let pk_index = schema.primary_key_index().map(|_| HashMap::new());
+        let mut sec_indices = HashMap::new();
+        for idx_name in schema.declared_indices() {
+            let i = schema.column_index(idx_name).expect("validated");
+            sec_indices.entry(i).or_insert_with(HashMap::new);
+        }
+        for fk in schema.foreign_keys() {
+            sec_indices.entry(fk.column).or_insert_with(HashMap::new);
+        }
+        Ok(Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_index,
+            sec_indices,
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The row with the given id, if live.
+    pub fn row(&self, id: usize) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Iterates over `(row_id, row)` pairs for live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|r| (i, r)))
+    }
+
+    /// Checks arity, types, nullability and PK uniqueness for a
+    /// prospective row.
+    pub(crate) fn validate_row(&self, values: &[Value]) -> Result<(), DbError> {
+        let cols = self.schema.columns();
+        if values.len() != cols.len() {
+            return Err(DbError::ArityMismatch {
+                table: self.schema.name().to_owned(),
+                expected: cols.len(),
+                got: values.len(),
+            });
+        }
+        for (v, c) in values.iter().zip(cols) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(DbError::NullViolation {
+                        table: self.schema.name().to_owned(),
+                        column: c.name.clone(),
+                    });
+                }
+            } else if !v.type_matches(c.ty) {
+                return Err(DbError::TypeMismatch {
+                    table: self.schema.name().to_owned(),
+                    column: c.name.clone(),
+                });
+            }
+        }
+        if let (Some(pk_col), Some(index)) =
+            (self.schema.primary_key_index(), self.pk_index.as_ref())
+        {
+            if index.contains_key(&values[pk_col]) {
+                return Err(DbError::PrimaryKeyViolation {
+                    table: self.schema.name().to_owned(),
+                    key: values[pk_col].to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a pre-validated row (used by `Database::insert`, which
+    /// also checks foreign keys).
+    pub(crate) fn insert_unchecked(&mut self, values: Vec<Value>) -> Result<(), DbError> {
+        self.validate_row(&values)?;
+        let id = self.rows.len();
+        if let (Some(pk_col), Some(index)) =
+            (self.schema.primary_key_index(), self.pk_index.as_mut())
+        {
+            index.insert(values[pk_col].clone(), id);
+        }
+        for (&col, index) in &mut self.sec_indices {
+            index.entry(values[col].clone()).or_default().push(id);
+        }
+        self.rows.push(Some(values));
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Row ids where `column == value`, using an index when available.
+    pub(crate) fn find_rows(&self, column: &str, value: &Value) -> Result<Vec<usize>, DbError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.schema.name().to_owned(),
+                column: column.to_owned(),
+            })?;
+        if Some(col) == self.schema.primary_key_index() {
+            if let Some(index) = &self.pk_index {
+                return Ok(index.get(value).copied().into_iter().collect());
+            }
+        }
+        if let Some(index) = self.sec_indices.get(&col) {
+            let mut ids: Vec<usize> = index.get(value).cloned().unwrap_or_default();
+            ids.retain(|&i| self.rows[i].is_some());
+            return Ok(ids);
+        }
+        Ok(self
+            .iter()
+            .filter(|(_, row)| &row[col] == value)
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Whether any live row has `column == value`.
+    pub(crate) fn contains_key(&self, column: &str, value: &Value) -> Result<bool, DbError> {
+        Ok(!self.find_rows(column, value)?.is_empty())
+    }
+
+    /// Whether any live row has the indexed column `col == value`;
+    /// falls back to a scan when un-indexed.
+    pub(crate) fn contains_key_by_index(&self, col: usize, value: &Value) -> bool {
+        if let Some(index) = self.sec_indices.get(&col) {
+            index
+                .get(value)
+                .is_some_and(|ids| ids.iter().any(|&i| self.rows[i].is_some()))
+        } else {
+            self.iter().any(|(_, row)| &row[col] == value)
+        }
+    }
+
+    /// Tombstones a row and updates the primary index.
+    pub(crate) fn remove_row(&mut self, id: usize) {
+        if let Some(Some(values)) = self.rows.get(id) {
+            if let (Some(pk_col), Some(index)) =
+                (self.schema.primary_key_index(), self.pk_index.as_mut())
+            {
+                index.remove(&values[pk_col]);
+            }
+            // Secondary indices are cleaned lazily in find_rows.
+            self.rows[id] = None;
+            self.live -= 1;
+        }
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        let mut total = self.schema.name().len();
+        for c in self.schema.columns() {
+            total += c.name.len() + 2;
+        }
+        for (_, row) in self.iter() {
+            for v in row {
+                total += match v {
+                    Value::Null => 1,
+                    Value::Int(_) => 8,
+                    Value::Text(s) => s.len() + 1,
+                };
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new("t")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("id")
+                .index("name"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_find_by_pk() {
+        let mut t = table();
+        t.insert_unchecked(vec![Value::Int(7), Value::text("a")])
+            .unwrap();
+        assert_eq!(t.find_rows("id", &Value::Int(7)).unwrap(), vec![0]);
+        assert!(t.find_rows("id", &Value::Int(8)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn find_by_secondary_index() {
+        let mut t = table();
+        t.insert_unchecked(vec![Value::Int(1), Value::text("x")])
+            .unwrap();
+        t.insert_unchecked(vec![Value::Int(2), Value::text("x")])
+            .unwrap();
+        t.insert_unchecked(vec![Value::Int(3), Value::text("y")])
+            .unwrap();
+        assert_eq!(t.find_rows("name", &Value::text("x")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_updates_pk_and_len() {
+        let mut t = table();
+        t.insert_unchecked(vec![Value::Int(1), Value::text("x")])
+            .unwrap();
+        t.remove_row(0);
+        assert!(t.is_empty());
+        assert!(t.find_rows("id", &Value::Int(1)).unwrap().is_empty());
+        assert!(t.find_rows("name", &Value::text("x")).unwrap().is_empty());
+        // Re-inserting the same PK now works.
+        t.insert_unchecked(vec![Value::Int(1), Value::text("z")])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unindexed_scan_works() {
+        let mut t = Table::new(
+            TableSchema::new("t")
+                .column("a", ColumnType::Int)
+                .column("b", ColumnType::Int),
+        )
+        .unwrap();
+        t.insert_unchecked(vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        t.insert_unchecked(vec![Value::Int(2), Value::Int(10)])
+            .unwrap();
+        assert_eq!(t.find_rows("b", &Value::Int(10)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut t = table();
+        t.insert_unchecked(vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        t.insert_unchecked(vec![Value::Int(2), Value::text("b")])
+            .unwrap();
+        t.remove_row(0);
+        let ids: Vec<usize> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![1]);
+    }
+}

@@ -1,0 +1,526 @@
+//! A small two-pass RV32 assembler.
+//!
+//! Supports the implemented subset plus the usual pseudo-instructions
+//! (`li`, `mv`, `j`, `ret`, `nop`, `beqz`, `bnez`, `ble`, `bgt`),
+//! labels, `#` comments and `.word` data directives. Enough to write
+//! the benchmark suite by hand.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{branch, Inst};
+
+/// Assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into machine words (program base = 0).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on syntax problems or undefined labels.
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: label addresses (count emitted words per line).
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr: u32 = 0;
+    let mut parsed: Vec<(usize, Line)> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find('#') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(AsmError::new(lineno, format!("bad label {label:?}")));
+            }
+            if labels.insert(label.to_owned(), addr).is_some() {
+                return Err(AsmError::new(lineno, format!("duplicate label {label}")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let line = parse_line(lineno, text)?;
+        addr += line.words() * 4;
+        parsed.push((lineno, line));
+    }
+
+    // Pass 2: encode with resolved labels.
+    let mut out: Vec<u32> = Vec::new();
+    let mut addr: u32 = 0;
+    for (lineno, line) in parsed {
+        let words = line.encode(addr, &labels).map_err(|m| AsmError::new(lineno, m))?;
+        addr += (words.len() as u32) * 4;
+        out.extend(words);
+    }
+    Ok(out)
+}
+
+/// A parsed source line awaiting label resolution.
+#[derive(Debug, Clone)]
+enum Line {
+    Word(i64),
+    Inst {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+}
+
+impl Line {
+    /// Number of machine words this line expands to.
+    fn words(&self) -> u32 {
+        match self {
+            Line::Word(_) => 1,
+            Line::Inst { mnemonic, operands } => match mnemonic.as_str() {
+                // li expands to lui+addi when the value is large.
+                "li" => {
+                    let v = operands
+                        .get(1)
+                        .and_then(|s| parse_imm_opt(s))
+                        .unwrap_or(0);
+                    if (-2048..2048).contains(&v) {
+                        1
+                    } else {
+                        2
+                    }
+                }
+                _ => 1,
+            },
+        }
+    }
+
+    fn encode(&self, pc: u32, labels: &HashMap<String, u32>) -> Result<Vec<u32>, String> {
+        match self {
+            Line::Word(v) => Ok(vec![*v as u32]),
+            Line::Inst { mnemonic, operands } => {
+                encode_inst(mnemonic, operands, pc, labels)
+            }
+        }
+    }
+}
+
+fn parse_line(lineno: usize, text: &str) -> Result<Line, AsmError> {
+    if let Some(rest) = text.strip_prefix(".word") {
+        let v = parse_imm_opt(rest.trim())
+            .ok_or_else(|| AsmError::new(lineno, "bad .word value"))?;
+        return Ok(Line::Word(v));
+    }
+    if text.starts_with('.') {
+        return Err(AsmError::new(lineno, format!("unknown directive {text}")));
+    }
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r),
+        None => (text, ""),
+    };
+    let operands: Vec<String> = rest
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Ok(Line::Inst {
+        mnemonic: mnemonic.to_lowercase(),
+        operands,
+    })
+}
+
+/// Register names: x0..x31 plus ABI aliases.
+fn reg(name: &str) -> Result<u8, String> {
+    let name = name.trim();
+    if let Some(n) = name.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(i);
+            }
+        }
+    }
+    let abi = [
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
+    ];
+    abi.iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, i)| *i)
+        .ok_or_else(|| format!("unknown register {name:?}"))
+}
+
+fn parse_imm_opt(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn imm(s: &str) -> Result<i64, String> {
+    parse_imm_opt(s).ok_or_else(|| format!("bad immediate {s:?}"))
+}
+
+/// `offset(base)` operand form for loads/stores.
+fn mem_operand(s: &str) -> Result<(i32, u8), String> {
+    let open = s.find('(').ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let off = if s[..open].trim().is_empty() {
+        0
+    } else {
+        imm(&s[..open])? as i32
+    };
+    let base = reg(&s[open + 1..close])?;
+    Ok((off, base))
+}
+
+fn label_or_imm(
+    s: &str,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+) -> Result<i32, String> {
+    if let Some(v) = parse_imm_opt(s) {
+        return Ok(v as i32);
+    }
+    labels
+        .get(s.trim())
+        .map(|&target| target.wrapping_sub(pc) as i32)
+        .ok_or_else(|| format!("undefined label {s:?}"))
+}
+
+fn encode_inst(
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    labels: &HashMap<String, u32>,
+) -> Result<Vec<u32>, String> {
+    let need = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mnemonic} expects {n} operands, got {}", ops.len()))
+        }
+    };
+    let one = |i: Inst| Ok(vec![i.encode()]);
+    match mnemonic {
+        "nop" => one(Inst::OpImm { funct3: 0, rd: 0, rs1: 0, imm: 0 }),
+        "ecall" => one(Inst::Ecall),
+        "ret" => one(Inst::Jalr { rd: 0, rs1: 1, offset: 0 }),
+        "li" => {
+            need(2)?;
+            let rd = reg(&ops[0])?;
+            let v = imm(&ops[1])?;
+            if (-2048..2048).contains(&v) {
+                one(Inst::OpImm { funct3: 0, rd, rs1: 0, imm: v as i32 })
+            } else {
+                let v = v as i32;
+                // lui loads bits 31:12 rounded for the addi's sign.
+                let hi = (v.wrapping_add(0x800)) & !0xFFF;
+                let lo = v.wrapping_sub(hi);
+                Ok(vec![
+                    Inst::Lui { rd, imm: hi }.encode(),
+                    Inst::OpImm { funct3: 0, rd, rs1: rd, imm: lo }.encode(),
+                ])
+            }
+        }
+        "lui" => {
+            need(2)?;
+            one(Inst::Lui { rd: reg(&ops[0])?, imm: (imm(&ops[1])? as i32) << 12 })
+        }
+        "auipc" => {
+            need(2)?;
+            one(Inst::Auipc { rd: reg(&ops[0])?, imm: (imm(&ops[1])? as i32) << 12 })
+        }
+        "mv" => {
+            need(2)?;
+            one(Inst::OpImm { funct3: 0, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 })
+        }
+        "j" => {
+            need(1)?;
+            one(Inst::Jal { rd: 0, offset: label_or_imm(&ops[0], pc, labels)? })
+        }
+        "jal" => match ops.len() {
+            1 => one(Inst::Jal { rd: 1, offset: label_or_imm(&ops[0], pc, labels)? }),
+            2 => one(Inst::Jal {
+                rd: reg(&ops[0])?,
+                offset: label_or_imm(&ops[1], pc, labels)?,
+            }),
+            _ => Err("jal expects 1 or 2 operands".into()),
+        },
+        "jalr" => {
+            need(2)?;
+            let (off, base) = mem_operand(&ops[1])?;
+            one(Inst::Jalr { rd: reg(&ops[0])?, rs1: base, offset: off })
+        }
+        "lw" => {
+            need(2)?;
+            let (off, base) = mem_operand(&ops[1])?;
+            one(Inst::Lw { rd: reg(&ops[0])?, rs1: base, offset: off })
+        }
+        "sw" => {
+            need(2)?;
+            let (off, base) = mem_operand(&ops[1])?;
+            one(Inst::Sw { rs1: base, rs2: reg(&ops[0])?, offset: off })
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            need(3)?;
+            let funct3 = match mnemonic {
+                "beq" => branch::BEQ,
+                "bne" => branch::BNE,
+                "blt" => branch::BLT,
+                "bge" => branch::BGE,
+                "bltu" => branch::BLTU,
+                _ => branch::BGEU,
+            };
+            one(Inst::Branch {
+                funct3,
+                rs1: reg(&ops[0])?,
+                rs2: reg(&ops[1])?,
+                offset: label_or_imm(&ops[2], pc, labels)?,
+            })
+        }
+        // Pseudo-branches.
+        "beqz" | "bnez" => {
+            need(2)?;
+            let funct3 = if mnemonic == "beqz" { branch::BEQ } else { branch::BNE };
+            one(Inst::Branch {
+                funct3,
+                rs1: reg(&ops[0])?,
+                rs2: 0,
+                offset: label_or_imm(&ops[1], pc, labels)?,
+            })
+        }
+        "ble" => {
+            need(3)?;
+            // ble a, b, t == bge b, a, t
+            one(Inst::Branch {
+                funct3: branch::BGE,
+                rs1: reg(&ops[1])?,
+                rs2: reg(&ops[0])?,
+                offset: label_or_imm(&ops[2], pc, labels)?,
+            })
+        }
+        "bgt" => {
+            need(3)?;
+            one(Inst::Branch {
+                funct3: branch::BLT,
+                rs1: reg(&ops[1])?,
+                rs2: reg(&ops[0])?,
+                offset: label_or_imm(&ops[2], pc, labels)?,
+            })
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+            need(3)?;
+            let funct3 = match mnemonic {
+                "addi" => 0b000,
+                "slti" => 0b010,
+                "sltiu" => 0b011,
+                "xori" => 0b100,
+                "ori" => 0b110,
+                _ => 0b111,
+            };
+            one(Inst::OpImm {
+                funct3,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: imm(&ops[2])? as i32,
+            })
+        }
+        "slli" | "srli" | "srai" => {
+            need(3)?;
+            let shamt = (imm(&ops[2])? as i32) & 0x1F;
+            let (funct3, extra) = match mnemonic {
+                "slli" => (0b001, 0),
+                "srli" => (0b101, 0),
+                _ => (0b101, 1 << 10),
+            };
+            one(Inst::OpImm {
+                funct3,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: shamt | extra,
+            })
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+        | "mul" => {
+            need(3)?;
+            let (funct3, funct7) = match mnemonic {
+                "add" => (0b000, 0x00),
+                "sub" => (0b000, 0x20),
+                "sll" => (0b001, 0x00),
+                "slt" => (0b010, 0x00),
+                "sltu" => (0b011, 0x00),
+                "xor" => (0b100, 0x00),
+                "srl" => (0b101, 0x00),
+                "sra" => (0b101, 0x20),
+                "or" => (0b110, 0x00),
+                "and" => (0b111, 0x00),
+                _ => (0b000, 0x01), // mul
+            };
+            one(Inst::Op {
+                funct3,
+                funct7,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                rs2: reg(&ops[2])?,
+            })
+        }
+        other => Err(format!("unknown mnemonic {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Inst;
+
+    #[test]
+    fn labels_and_branches() {
+        let prog = assemble(
+            "start:\n\
+             li a0, 1\n\
+             j end\n\
+             li a0, 2\n\
+             end: ecall\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        // j end at pc=4 jumps +8.
+        assert_eq!(Inst::decode(prog[1]), Some(Inst::Jal { rd: 0, offset: 8 }));
+    }
+
+    #[test]
+    fn li_expansion() {
+        let small = assemble("li a0, 100\necall").unwrap();
+        assert_eq!(small.len(), 2);
+        let big = assemble("li a0, 0x12345678\necall").unwrap();
+        assert_eq!(big.len(), 3);
+        // Verify the expansion computes the right value via the ISS.
+        let mut iss = crate::iss::Iss::new(&big, 16);
+        iss.run(10);
+        assert_eq!(iss.tohost, 0x1234_5678);
+        // Negative-low-half case.
+        let tricky = assemble("li a0, 0x12345FFF\necall").unwrap();
+        let mut iss = crate::iss::Iss::new(&tricky, 16);
+        iss.run(10);
+        assert_eq!(iss.tohost, 0x1234_5FFF);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let prog = assemble("lw t0, 8(sp)\nsw t0, -4(sp)\necall").unwrap();
+        assert_eq!(
+            Inst::decode(prog[0]),
+            Some(Inst::Lw { rd: 5, rs1: 2, offset: 8 })
+        );
+        assert_eq!(
+            Inst::decode(prog[1]),
+            Some(Inst::Sw { rs1: 2, rs2: 5, offset: -4 })
+        );
+    }
+
+    #[test]
+    fn word_directive_and_comments() {
+        let prog = assemble(
+            "# data follows\n\
+             .word 0xDEADBEEF\n\
+             .word -1\n",
+        )
+        .unwrap();
+        assert_eq!(prog, vec![0xDEAD_BEEF, 0xFFFF_FFFF]);
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let prog = assemble(
+            "loop: beqz a0, done\n\
+             bnez a1, loop\n\
+             ble a0, a1, done\n\
+             bgt a0, a1, done\n\
+             mv t0, a0\n\
+             nop\n\
+             ret\n\
+             done: ecall\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 8);
+    }
+
+    #[test]
+    fn errors_report_line() {
+        let err = assemble("nop\nbadop x1, x2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("badop"));
+        assert!(assemble("lw t0, t1").is_err());
+        assert!(assemble("add x99, x0, x0").is_err());
+        assert!(assemble("j nowhere").is_err());
+        assert!(assemble("dup: nop\ndup: nop").is_err());
+    }
+
+    #[test]
+    fn abi_register_names() {
+        for (name, num) in [("zero", 0u8), ("ra", 1), ("sp", 2), ("a0", 10), ("t6", 31), ("s11", 27)] {
+            assert_eq!(reg(name).unwrap(), num);
+        }
+        assert_eq!(reg("x17").unwrap(), 17);
+        assert!(reg("x32").is_err());
+    }
+}

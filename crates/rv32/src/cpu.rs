@@ -1,0 +1,398 @@
+//! A single-cycle RV32 core *generated through `hgf`*.
+//!
+//! This is the reproduction's RocketChip stand-in: a synchronous CPU
+//! whose every statement carries a genuine generator source location,
+//! so hgdb can set breakpoints inside the core while it runs the
+//! benchmark suite (§4.2/§4.3). Named nodes (`opcode`, `rs1_val`,
+//! `alu_out`, …) become generator variables visible in debugger
+//! frames.
+//!
+//! Microarchitecture: single-cycle, Harvard memories (instruction and
+//! data), 32×32 register file with x0 hardwired to zero, the RV32I
+//! subset of [`crate::isa`] plus MUL, ECALL as the halt convention
+//! (a0 is latched into `tohost`).
+
+use hgf::{CircuitBuilder, ModuleBuilder, ModuleHandle, Signal};
+
+/// Core memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instruction memory size in words (power of two).
+    pub imem_words: u32,
+    /// Data memory size in words (power of two).
+    pub dmem_words: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            imem_words: 4096,
+            dmem_words: 4096,
+        }
+    }
+}
+
+fn log2(n: u32) -> u32 {
+    assert!(n.is_power_of_two(), "memory sizes must be powers of two");
+    n.trailing_zeros()
+}
+
+/// Elaborates the core as a module named `name`.
+///
+/// Ports: `halted` (1), `pc_out` (32), `tohost` (32), `insn_count`
+/// (32).
+pub fn build_core(cb: &mut CircuitBuilder, name: &str, cfg: CoreConfig) -> ModuleHandle {
+    cb.module(name, |m| build_core_body(m, cfg))
+}
+
+fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
+    let halted_out = m.output("halted", 1);
+    let pc_out = m.output("pc_out", 32);
+    let tohost_out = m.output("tohost", 32);
+    let count_out = m.output("insn_count", 32);
+
+    // Architectural state.
+    let pc = m.reg("pc", 32, Some(0));
+    let halted = m.reg("halted_r", 1, Some(0));
+    let tohost = m.reg("tohost_r", 32, Some(0));
+    let icount = m.reg("insn_count_r", 32, Some(0));
+    let imem = m.mem("imem", 32, cfg.imem_words);
+    let dmem = m.mem("dmem", 32, cfg.dmem_words);
+    let rf = m.mem("rf", 32, 32);
+
+    // Fetch.
+    let ibits = log2(cfg.imem_words);
+    let insn = m.mem_read(&imem, "insn", pc.sig().slice(ibits + 1, 2));
+
+    // Decode fields — named nodes so the debugger shows them.
+    let opcode = m.node("opcode", insn.slice(6, 0));
+    let rd = m.node("rd", insn.slice(11, 7));
+    let funct3 = m.node("funct3", insn.slice(14, 12));
+    let rs1 = m.node("rs1", insn.slice(19, 15));
+    let rs2 = m.node("rs2", insn.slice(24, 20));
+    let funct7 = insn.slice(31, 25);
+
+    // Register reads with the x0 override.
+    let rs1_raw = m.mem_read(&rf, "rs1_raw", rs1.clone());
+    let rs2_raw = m.mem_read(&rf, "rs2_raw", rs2.clone());
+    let zero32 = m.lit(0, 32);
+    let rs1_val = m.node(
+        "rs1_val",
+        rs1.eq(&m.lit(0, 5)).select(&zero32, &rs1_raw),
+    );
+    let rs2_val = m.node(
+        "rs2_val",
+        rs2.eq(&m.lit(0, 5)).select(&zero32, &rs2_raw),
+    );
+    // a0 (x10) read port for the ECALL result convention.
+    let a0_val = m.mem_read(&rf, "a0_val", m.lit(10, 5));
+
+    // Immediates.
+    let imm_i = m.node("imm_i", insn.slice(31, 20).sext(32));
+    let imm_s = m.node(
+        "imm_s",
+        insn.slice(31, 25).cat(&insn.slice(11, 7)).sext(32),
+    );
+    let imm_b = m.node(
+        "imm_b",
+        insn.bit(31)
+            .cat(&insn.bit(7))
+            .cat(&insn.slice(30, 25))
+            .cat(&insn.slice(11, 8))
+            .cat(&m.lit(0, 1))
+            .sext(32),
+    );
+    let imm_u = m.node("imm_u", insn.slice(31, 12).cat(&m.lit(0, 12)));
+    let imm_j = m.node(
+        "imm_j",
+        insn.bit(31)
+            .cat(&insn.slice(19, 12))
+            .cat(&insn.bit(20))
+            .cat(&insn.slice(30, 21))
+            .cat(&m.lit(0, 1))
+            .sext(32),
+    );
+
+    // Opcode classes.
+    let op = |v: u64| -> Signal { Signal::lit(v, 7) };
+    let is_lui = m.node("is_lui", opcode.eq(&op(0x37)));
+    let is_auipc = m.node("is_auipc", opcode.eq(&op(0x17)));
+    let is_jal = m.node("is_jal", opcode.eq(&op(0x6F)));
+    let is_jalr = m.node("is_jalr", opcode.eq(&op(0x67)));
+    let is_branch = m.node("is_branch", opcode.eq(&op(0x63)));
+    let is_load = m.node("is_load", opcode.eq(&op(0x03)));
+    let is_store = m.node("is_store", opcode.eq(&op(0x23)));
+    let is_opimm = m.node("is_opimm", opcode.eq(&op(0x13)));
+    let is_op = m.node("is_op", opcode.eq(&op(0x33)));
+    let is_ecall = m.node("is_ecall", insn.eq(&m.lit(0x73, 32)));
+
+    // ALU.
+    let alu_b = m.node("alu_b", is_opimm.select(&imm_i, &rs2_val));
+    let alt = insn.bit(30); // SUB / SRA selector
+    let shamt = alu_b.slice(4, 0);
+    let f3 = |v: u64| funct3.eq(&Signal::lit(v, 3));
+    let add_sub = (&is_op & &alt)
+        .select(&(rs1_val.clone() - rs2_val.clone()), &(rs1_val.clone() + alu_b.clone()));
+    let sll = &rs1_val << &shamt;
+    let slt = rs1_val.lt_signed(&alu_b).zext(32);
+    let sltu = rs1_val.lt(&alu_b).zext(32);
+    let xor = &rs1_val ^ &alu_b;
+    let sr = alt.select(&rs1_val.ashr(&shamt), &(&rs1_val >> &shamt));
+    let or = &rs1_val | &alu_b;
+    let and = &rs1_val & &alu_b;
+    let alu_out = m.node(
+        "alu_out",
+        f3(0).select(
+            &add_sub,
+            &f3(1).select(
+                &sll,
+                &f3(2).select(
+                    &slt,
+                    &f3(3).select(
+                        &sltu,
+                        &f3(4).select(&xor, &f3(5).select(&sr, &f3(6).select(&or, &and))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let is_mul = m.node(
+        "is_mul",
+        &(&is_op & &funct7.eq(&m.lit(1, 7))) & &f3(0),
+    );
+    let mul_out = m.node("mul_out", rs1_val.clone() * rs2_val.clone());
+
+    // Data memory.
+    let dbits = log2(cfg.dmem_words);
+    let mem_addr = m.node(
+        "mem_addr",
+        rs1_val.clone() + is_store.select(&imm_s, &imm_i),
+    );
+    let mem_index = mem_addr.slice(dbits + 1, 2);
+    let load_data = m.mem_read(&dmem, "load_data", mem_index.clone());
+    let running = m.node("running", !halted.sig());
+    m.mem_write(
+        &dmem,
+        mem_index,
+        rs2_val.clone(),
+        &is_store & &running,
+    );
+
+    // Branch resolution.
+    let beq = rs1_val.eq(&rs2_val);
+    let bne = rs1_val.ne(&rs2_val);
+    let blt = rs1_val.lt_signed(&rs2_val);
+    let bge = !rs1_val.lt_signed(&rs2_val);
+    let bltu = rs1_val.lt(&rs2_val);
+    let bgeu = !rs1_val.lt(&rs2_val);
+    let br_taken = m.node(
+        "br_taken",
+        &is_branch
+            & &f3(0).select(
+                &beq,
+                &f3(1).select(
+                    &bne,
+                    &f3(4).select(
+                        &blt,
+                        &f3(5).select(&bge, &f3(6).select(&bltu, &bgeu)),
+                    ),
+                ),
+            ),
+    );
+
+    // Next PC.
+    let pc4 = m.node("pc4", pc.sig() + m.lit(4, 32));
+    let jalr_target = (rs1_val.clone() + imm_i.clone()) & !m.lit(1, 32).clone();
+    let next_pc = m.node(
+        "next_pc",
+        halted.sig().select(
+            &pc.sig(),
+            &is_jal.select(
+                &(pc.sig() + imm_j.clone()),
+                &is_jalr.select(
+                    &jalr_target,
+                    &br_taken.select(&(pc.sig() + imm_b.clone()), &pc4),
+                ),
+            ),
+        ),
+    );
+    m.assign(&pc, next_pc);
+
+    // Write-back.
+    let wb_data = m.node(
+        "wb_data",
+        is_lui.select(
+            &imm_u,
+            &is_auipc.select(
+                &(pc.sig() + imm_u.clone()),
+                &(&is_jal | &is_jalr).select(
+                    &pc4,
+                    &is_load.select(&load_data, &is_mul.select(&mul_out, &alu_out)),
+                ),
+            ),
+        ),
+    );
+    let writes_rd = m.node(
+        "writes_rd",
+        &(&(&(&is_lui | &is_auipc) | &(&is_jal | &is_jalr)) | &(&is_load | &is_opimm)) | &is_op,
+    );
+    let rf_wen = m.node(
+        "rf_wen",
+        &(&writes_rd & &running) & &rd.ne(&m.lit(0, 5)),
+    );
+    m.mem_write(&rf, rd.clone(), wb_data, rf_wen);
+
+    // ECALL: halt and publish a0 (the paper's FPU bug hunt pauses on
+    // exactly this kind of condition-guarded statement).
+    m.when(&is_ecall & &running, |m| {
+        m.assign(&halted, m.lit(1, 1));
+        m.assign(&tohost, a0_val.clone());
+    });
+
+    // Retired-instruction counter (the benchmark suite's CPI basis).
+    m.when(running.clone(), |m| {
+        m.assign(&icount, icount.sig() + m.lit(1, 32));
+    });
+
+    m.assign(&halted_out, halted.sig());
+    m.assign(&pc_out, pc.sig());
+    m.assign(&tohost_out, tohost.sig());
+    m.assign(&count_out, icount.sig());
+}
+
+/// Builds a dual-core configuration (`core0`, `core1` instances) for
+/// the `mt-*` benchmarks: independent cores with private memories,
+/// `halted` asserted when both cores finished.
+pub fn build_dual_core(cb: &mut CircuitBuilder, name: &str, cfg: CoreConfig) -> ModuleHandle {
+    let core = build_core(cb, &format!("{name}_core"), cfg);
+    cb.module(name, |m| {
+        let halted = m.output("halted", 1);
+        let tohost0 = m.output("tohost0", 32);
+        let tohost1 = m.output("tohost1", 32);
+        let insn_total = m.output("insn_total", 32);
+        let c0 = m.instance("core0", &core);
+        let c1 = m.instance("core1", &core);
+        m.assign(&halted, &c0.port("halted") & &c1.port("halted"));
+        m.assign(&tohost0, c0.port("tohost"));
+        m.assign(&tohost1, c1.port("tohost"));
+        m.assign(&insn_total, c0.port("insn_count") + c1.port("insn_count"));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use bits::Bits;
+    use rtl_sim::{SimControl, Simulator};
+
+    /// Compile a core, load a program, run to halt (or cycle cap).
+    fn run_program(src: &str, max_cycles: u64) -> Simulator {
+        let cfg = CoreConfig {
+            imem_words: 1024,
+            dmem_words: 1024,
+        };
+        let mut cb = CircuitBuilder::new();
+        build_core(&mut cb, "cpu", cfg);
+        let circuit = cb.finish("cpu").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        hgf_ir::passes::compile(&mut state, false).unwrap();
+        let mut sim = Simulator::new(&state.circuit).unwrap();
+        let prog = assemble(src).unwrap();
+        for (i, word) in prog.iter().enumerate() {
+            sim.poke_mem("cpu.imem", i, Bits::from_u64(*word as u64, 32))
+                .unwrap();
+        }
+        for _ in 0..max_cycles {
+            sim.step_clock();
+            if sim.peek("cpu.halted").unwrap().is_truthy() {
+                break;
+            }
+        }
+        sim
+    }
+
+    fn tohost(sim: &Simulator) -> u64 {
+        sim.peek("cpu.tohost").unwrap().to_u64()
+    }
+
+    #[test]
+    fn runs_simple_arithmetic() {
+        let sim = run_program("li a0, 6\nli a1, 7\nmul a0, a0, a1\necall\n", 100);
+        assert!(sim.peek("cpu.halted").unwrap().is_truthy());
+        assert_eq!(tohost(&sim), 42);
+    }
+
+    #[test]
+    fn loop_and_memory() {
+        let sim = run_program(
+            "li t0, 0\n\
+             li t1, 1\n\
+             li t2, 10\n\
+             li t3, 0x40\n\
+             loop:\n\
+             sw t1, 0(t3)\n\
+             lw t4, 0(t3)\n\
+             add t0, t0, t4\n\
+             addi t1, t1, 1\n\
+             ble t1, t2, loop\n\
+             mv a0, t0\n\
+             ecall\n",
+            1000,
+        );
+        assert_eq!(tohost(&sim), 55);
+    }
+
+    #[test]
+    fn insn_count_matches_cycles() {
+        // Single-cycle core: retired instructions == cycles while
+        // running.
+        let sim = run_program("li a0, 1\nli a1, 2\nadd a0, a0, a1\necall\n", 100);
+        assert_eq!(sim.peek("cpu.insn_count").unwrap().to_u64(), 4);
+        assert_eq!(tohost(&sim), 3);
+    }
+
+    #[test]
+    fn halted_core_freezes() {
+        let mut sim = run_program("li a0, 9\necall\n", 50);
+        let pc = sim.peek("cpu.pc_out").unwrap().to_u64();
+        let count = sim.peek("cpu.insn_count").unwrap().to_u64();
+        sim.run(10);
+        assert_eq!(sim.peek("cpu.pc_out").unwrap().to_u64(), pc);
+        assert_eq!(sim.peek("cpu.insn_count").unwrap().to_u64(), count);
+        assert_eq!(tohost(&sim), 9);
+    }
+
+    #[test]
+    fn dual_core_halts_when_both_done() {
+        let cfg = CoreConfig {
+            imem_words: 256,
+            dmem_words: 256,
+        };
+        let mut cb = CircuitBuilder::new();
+        build_dual_core(&mut cb, "soc", cfg);
+        let circuit = cb.finish("soc").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        hgf_ir::passes::compile(&mut state, false).unwrap();
+        let mut sim = Simulator::new(&state.circuit).unwrap();
+        let p0 = assemble("li a0, 11\necall\n").unwrap();
+        let p1 = assemble("li a0, 22\nnop\nnop\nnop\necall\n").unwrap();
+        for (i, w) in p0.iter().enumerate() {
+            sim.poke_mem("soc.core0.imem", i, Bits::from_u64(*w as u64, 32))
+                .unwrap();
+        }
+        for (i, w) in p1.iter().enumerate() {
+            sim.poke_mem("soc.core1.imem", i, Bits::from_u64(*w as u64, 32))
+                .unwrap();
+        }
+        for _ in 0..50 {
+            sim.step_clock();
+            if sim.peek("soc.halted").unwrap().is_truthy() {
+                break;
+            }
+        }
+        assert!(sim.peek("soc.halted").unwrap().is_truthy());
+        assert_eq!(sim.peek("soc.tohost0").unwrap().to_u64(), 11);
+        assert_eq!(sim.peek("soc.tohost1").unwrap().to_u64(), 22);
+    }
+}

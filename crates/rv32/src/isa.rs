@@ -1,0 +1,305 @@
+//! RV32I(+MUL) subset: instruction encodings shared by the assembler,
+//! the golden-model ISS and the hardware core's tests.
+//!
+//! Implemented instructions (enough for the RocketChip-style benchmark
+//! suite): LUI, AUIPC, JAL, JALR, the six branches, LW, SW, the
+//! OP-IMM and OP arithmetic groups, MUL, and ECALL (used as the halt
+//! convention: a0 is published to `tohost` and the core stops).
+
+/// Standard RISC-V opcodes (bits 6:0).
+pub mod opcode {
+    /// LUI.
+    pub const LUI: u32 = 0x37;
+    /// AUIPC.
+    pub const AUIPC: u32 = 0x17;
+    /// JAL.
+    pub const JAL: u32 = 0x6F;
+    /// JALR.
+    pub const JALR: u32 = 0x67;
+    /// Conditional branches.
+    pub const BRANCH: u32 = 0x63;
+    /// Loads.
+    pub const LOAD: u32 = 0x03;
+    /// Stores.
+    pub const STORE: u32 = 0x23;
+    /// Register-immediate ALU.
+    pub const OP_IMM: u32 = 0x13;
+    /// Register-register ALU.
+    pub const OP: u32 = 0x33;
+    /// SYSTEM (ECALL).
+    pub const SYSTEM: u32 = 0x73;
+}
+
+/// A decoded instruction (assembler-level view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Load upper immediate.
+    Lui { rd: u8, imm: i32 },
+    /// Add upper immediate to PC.
+    Auipc { rd: u8, imm: i32 },
+    /// Jump and link (pc-relative byte offset).
+    Jal { rd: u8, offset: i32 },
+    /// Jump and link register.
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    /// Conditional branch; `funct3` selects the comparison.
+    Branch { funct3: u8, rs1: u8, rs2: u8, offset: i32 },
+    /// Load word.
+    Lw { rd: u8, rs1: u8, offset: i32 },
+    /// Store word.
+    Sw { rs1: u8, rs2: u8, offset: i32 },
+    /// Register-immediate ALU; `funct3` selects the op, `funct7` the
+    /// shift variant.
+    OpImm { funct3: u8, rd: u8, rs1: u8, imm: i32 },
+    /// Register-register ALU.
+    Op { funct3: u8, funct7: u8, rd: u8, rs1: u8, rs2: u8 },
+    /// ECALL: halt, publishing a0 to tohost.
+    Ecall,
+}
+
+/// Branch funct3 values.
+pub mod branch {
+    /// BEQ.
+    pub const BEQ: u8 = 0b000;
+    /// BNE.
+    pub const BNE: u8 = 0b001;
+    /// BLT.
+    pub const BLT: u8 = 0b100;
+    /// BGE.
+    pub const BGE: u8 = 0b101;
+    /// BLTU.
+    pub const BLTU: u8 = 0b110;
+    /// BGEU.
+    pub const BGEU: u8 = 0b111;
+}
+
+impl Inst {
+    /// Encodes to the 32-bit machine word.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Inst::Lui { rd, imm } => (imm as u32 & 0xFFFF_F000) | ((rd as u32) << 7) | opcode::LUI,
+            Inst::Auipc { rd, imm } => {
+                (imm as u32 & 0xFFFF_F000) | ((rd as u32) << 7) | opcode::AUIPC
+            }
+            Inst::Jal { rd, offset } => {
+                let imm = offset as u32;
+                let enc = ((imm >> 20) & 1) << 31
+                    | ((imm >> 1) & 0x3FF) << 21
+                    | ((imm >> 11) & 1) << 20
+                    | ((imm >> 12) & 0xFF) << 12;
+                enc | ((rd as u32) << 7) | opcode::JAL
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                ((offset as u32 & 0xFFF) << 20)
+                    | ((rs1 as u32) << 15)
+                    | ((rd as u32) << 7)
+                    | opcode::JALR
+            }
+            Inst::Branch {
+                funct3,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let imm = offset as u32;
+                ((imm >> 12) & 1) << 31
+                    | ((imm >> 5) & 0x3F) << 25
+                    | ((rs2 as u32) << 20)
+                    | ((rs1 as u32) << 15)
+                    | ((funct3 as u32) << 12)
+                    | ((imm >> 1) & 0xF) << 8
+                    | ((imm >> 11) & 1) << 7
+                    | opcode::BRANCH
+            }
+            Inst::Lw { rd, rs1, offset } => {
+                ((offset as u32 & 0xFFF) << 20)
+                    | ((rs1 as u32) << 15)
+                    | 0b010 << 12
+                    | ((rd as u32) << 7)
+                    | opcode::LOAD
+            }
+            Inst::Sw { rs1, rs2, offset } => {
+                let imm = offset as u32;
+                ((imm >> 5) & 0x7F) << 25
+                    | ((rs2 as u32) << 20)
+                    | ((rs1 as u32) << 15)
+                    | 0b010 << 12
+                    | (imm & 0x1F) << 7
+                    | opcode::STORE
+            }
+            Inst::OpImm {
+                funct3,
+                rd,
+                rs1,
+                imm,
+            } => {
+                let imm_enc = match funct3 {
+                    // Shifts carry the SRA bit in imm[10].
+                    0b001 | 0b101 => (imm as u32) & 0xFFF,
+                    _ => (imm as u32) & 0xFFF,
+                };
+                (imm_enc << 20)
+                    | ((rs1 as u32) << 15)
+                    | ((funct3 as u32) << 12)
+                    | ((rd as u32) << 7)
+                    | opcode::OP_IMM
+            }
+            Inst::Op {
+                funct3,
+                funct7,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                ((funct7 as u32) << 25)
+                    | ((rs2 as u32) << 20)
+                    | ((rs1 as u32) << 15)
+                    | ((funct3 as u32) << 12)
+                    | ((rd as u32) << 7)
+                    | opcode::OP
+            }
+            Inst::Ecall => opcode::SYSTEM,
+        }
+    }
+
+    /// Decodes a machine word; `None` for unsupported encodings.
+    pub fn decode(word: u32) -> Option<Inst> {
+        let op = word & 0x7F;
+        let rd = ((word >> 7) & 0x1F) as u8;
+        let funct3 = ((word >> 12) & 0x7) as u8;
+        let rs1 = ((word >> 15) & 0x1F) as u8;
+        let rs2 = ((word >> 20) & 0x1F) as u8;
+        let funct7 = ((word >> 25) & 0x7F) as u8;
+        let imm_i = (word as i32) >> 20;
+        Some(match op {
+            opcode::LUI => Inst::Lui {
+                rd,
+                imm: (word & 0xFFFF_F000) as i32,
+            },
+            opcode::AUIPC => Inst::Auipc {
+                rd,
+                imm: (word & 0xFFFF_F000) as i32,
+            },
+            opcode::JAL => {
+                let imm = (((word >> 31) & 1) << 20)
+                    | (((word >> 21) & 0x3FF) << 1)
+                    | (((word >> 20) & 1) << 11)
+                    | (((word >> 12) & 0xFF) << 12);
+                // Sign-extend from bit 20.
+                let offset = ((imm as i32) << 11) >> 11;
+                Inst::Jal { rd, offset }
+            }
+            opcode::JALR => Inst::Jalr {
+                rd,
+                rs1,
+                offset: imm_i,
+            },
+            opcode::BRANCH => {
+                let imm = (((word >> 31) & 1) << 12)
+                    | (((word >> 25) & 0x3F) << 5)
+                    | (((word >> 8) & 0xF) << 1)
+                    | (((word >> 7) & 1) << 11);
+                let offset = ((imm as i32) << 19) >> 19;
+                Inst::Branch {
+                    funct3,
+                    rs1,
+                    rs2,
+                    offset,
+                }
+            }
+            opcode::LOAD if funct3 == 0b010 => Inst::Lw {
+                rd,
+                rs1,
+                offset: imm_i,
+            },
+            opcode::STORE if funct3 == 0b010 => {
+                let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F);
+                let offset = ((imm as i32) << 20) >> 20;
+                Inst::Sw { rs1, rs2, offset }
+            }
+            opcode::OP_IMM => Inst::OpImm {
+                funct3,
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            opcode::OP => Inst::Op {
+                funct3,
+                funct7,
+                rd,
+                rs1,
+                rs2,
+            },
+            opcode::SYSTEM if word == opcode::SYSTEM => Inst::Ecall,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let insts = vec![
+            Inst::Lui { rd: 5, imm: 0x12345 << 12 },
+            Inst::Auipc { rd: 1, imm: -4096 },
+            Inst::Jal { rd: 1, offset: 2048 },
+            Inst::Jal { rd: 0, offset: -16 },
+            Inst::Jalr { rd: 1, rs1: 2, offset: -8 },
+            Inst::Branch { funct3: branch::BEQ, rs1: 3, rs2: 4, offset: 64 },
+            Inst::Branch { funct3: branch::BGEU, rs1: 3, rs2: 4, offset: -4096 },
+            Inst::Lw { rd: 7, rs1: 2, offset: 12 },
+            Inst::Lw { rd: 7, rs1: 2, offset: -12 },
+            Inst::Sw { rs1: 2, rs2: 8, offset: 40 },
+            Inst::Sw { rs1: 2, rs2: 8, offset: -40 },
+            Inst::OpImm { funct3: 0, rd: 1, rs1: 1, imm: -1 },
+            Inst::OpImm { funct3: 0b101, rd: 1, rs1: 1, imm: (1 << 10) | 4 }, // srai
+            Inst::Op { funct3: 0, funct7: 0x20, rd: 3, rs1: 4, rs2: 5 },     // sub
+            Inst::Op { funct3: 0, funct7: 1, rd: 3, rs1: 4, rs2: 5 },        // mul
+            Inst::Ecall,
+        ];
+        for inst in insts {
+            let word = inst.encode();
+            assert_eq!(Inst::decode(word), Some(inst), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 5  => 0x00500093
+        let addi = Inst::OpImm { funct3: 0, rd: 1, rs1: 0, imm: 5 };
+        assert_eq!(addi.encode(), 0x0050_0093);
+        // add x3, x1, x2 => 0x002081b3
+        let add = Inst::Op { funct3: 0, funct7: 0, rd: 3, rs1: 1, rs2: 2 };
+        assert_eq!(add.encode(), 0x0020_81B3);
+        // lui x5, 0x12345 => 0x123452b7
+        let lui = Inst::Lui { rd: 5, imm: 0x12345 << 12 };
+        assert_eq!(lui.encode(), 0x1234_52B7);
+        // ecall => 0x00000073
+        assert_eq!(Inst::Ecall.encode(), 0x0000_0073);
+    }
+
+    #[test]
+    fn unsupported_decodes_to_none() {
+        assert_eq!(Inst::decode(0xFFFF_FFFF), None);
+        // LB (funct3 = 0) is not supported.
+        assert_eq!(Inst::decode(0x0000_0003), None);
+    }
+
+    #[test]
+    fn branch_offset_range() {
+        for off in [-4096i32, -2, 2, 4094] {
+            let b = Inst::Branch { funct3: branch::BNE, rs1: 1, rs2: 2, offset: off };
+            assert_eq!(Inst::decode(b.encode()), Some(b));
+        }
+    }
+
+    #[test]
+    fn jal_offset_range() {
+        for off in [-1_048_576i32, -2, 2, 1_048_574] {
+            let j = Inst::Jal { rd: 1, offset: off };
+            assert_eq!(Inst::decode(j.encode()), Some(j));
+        }
+    }
+}

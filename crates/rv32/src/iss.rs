@@ -1,0 +1,327 @@
+//! Golden-model instruction-set simulator.
+//!
+//! Executes the same subset as the hardware core, instruction by
+//! instruction. Used for differential testing: the `hgf`-generated
+//! core must match the ISS on every program, register for register.
+
+use crate::isa::{branch, Inst};
+
+/// Architectural state of the golden model.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    /// General-purpose registers; x0 reads as zero.
+    pub regs: [u32; 32],
+    /// Byte-addressed program counter.
+    pub pc: u32,
+    /// Instruction memory (word addressed).
+    pub imem: Vec<u32>,
+    /// Data memory (word addressed).
+    pub dmem: Vec<u32>,
+    /// Whether ECALL was executed.
+    pub halted: bool,
+    /// a0 at the time of ECALL (result convention).
+    pub tohost: u32,
+    /// Retired instruction count.
+    pub insn_count: u64,
+}
+
+impl Iss {
+    /// Creates a model with the program loaded at address 0.
+    pub fn new(program: &[u32], dmem_words: usize) -> Iss {
+        Iss {
+            regs: [0; 32],
+            pc: 0,
+            imem: program.to_vec(),
+            dmem: vec![0; dmem_words],
+            halted: false,
+            tohost: 0,
+            insn_count: 0,
+        }
+    }
+
+    fn read_reg(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn write_reg(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Executes one instruction; returns `false` once halted (or on
+    /// an undecodable word, which also halts).
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let word_index = (self.pc >> 2) as usize;
+        let Some(&word) = self.imem.get(word_index) else {
+            self.halted = true;
+            return false;
+        };
+        let Some(inst) = Inst::decode(word) else {
+            self.halted = true;
+            return false;
+        };
+        self.insn_count += 1;
+        let mut next_pc = self.pc.wrapping_add(4);
+        match inst {
+            Inst::Lui { rd, imm } => self.write_reg(rd, imm as u32),
+            Inst::Auipc { rd, imm } => {
+                self.write_reg(rd, self.pc.wrapping_add(imm as u32))
+            }
+            Inst::Jal { rd, offset } => {
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.read_reg(rs1).wrapping_add(offset as u32) & !1;
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch {
+                funct3,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.read_reg(rs1);
+                let b = self.read_reg(rs2);
+                let taken = match funct3 {
+                    branch::BEQ => a == b,
+                    branch::BNE => a != b,
+                    branch::BLT => (a as i32) < (b as i32),
+                    branch::BGE => (a as i32) >= (b as i32),
+                    branch::BLTU => a < b,
+                    branch::BGEU => a >= b,
+                    _ => false,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            Inst::Lw { rd, rs1, offset } => {
+                let addr = self.read_reg(rs1).wrapping_add(offset as u32);
+                let v = self
+                    .dmem
+                    .get((addr >> 2) as usize)
+                    .copied()
+                    .unwrap_or(0);
+                self.write_reg(rd, v);
+            }
+            Inst::Sw { rs1, rs2, offset } => {
+                let addr = self.read_reg(rs1).wrapping_add(offset as u32);
+                let idx = (addr >> 2) as usize;
+                if idx < self.dmem.len() {
+                    self.dmem[idx] = self.read_reg(rs2);
+                }
+            }
+            Inst::OpImm {
+                funct3,
+                rd,
+                rs1,
+                imm,
+            } => {
+                let a = self.read_reg(rs1);
+                let v = alu(funct3, ((imm >> 10) & 1) == 1 && funct3 == 0b101, a, imm as u32);
+                self.write_reg(rd, v);
+            }
+            Inst::Op {
+                funct3,
+                funct7,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.read_reg(rs1);
+                let b = self.read_reg(rs2);
+                let v = if funct7 == 1 && funct3 == 0 {
+                    a.wrapping_mul(b)
+                } else {
+                    alu(
+                        funct3,
+                        (funct7 & 0x20) != 0,
+                        a,
+                        b,
+                    )
+                };
+                self.write_reg(rd, v);
+            }
+            Inst::Ecall => {
+                self.tohost = self.read_reg(10);
+                self.halted = true;
+            }
+        }
+        self.pc = next_pc;
+        !self.halted
+    }
+
+    /// Runs until halt or `max_steps`; returns retired count.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let start = self.insn_count;
+        while self.insn_count - start < max_steps {
+            if !self.step() {
+                break;
+            }
+        }
+        self.insn_count - start
+    }
+}
+
+/// The shared ALU semantics (OP and OP-IMM).
+fn alu(funct3: u8, alt: bool, a: u32, b: u32) -> u32 {
+    match funct3 {
+        0b000 => {
+            if alt {
+                a.wrapping_sub(b)
+            } else {
+                a.wrapping_add(b)
+            }
+        }
+        0b001 => a.wrapping_shl(b & 0x1F),
+        0b010 => ((a as i32) < (b as i32)) as u32,
+        0b011 => (a < b) as u32,
+        0b100 => a ^ b,
+        0b101 => {
+            if alt {
+                ((a as i32) >> (b & 0x1F)) as u32
+            } else {
+                a.wrapping_shr(b & 0x1F)
+            }
+        }
+        0b110 => a | b,
+        0b111 => a & b,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> Iss {
+        let prog = assemble(src).expect("assembles");
+        let mut iss = Iss::new(&prog, 1024);
+        iss.run(100_000);
+        iss
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let iss = run_asm(
+            "li a0, 7\n\
+             li a1, 5\n\
+             add a2, a0, a1\n\
+             sub a3, a0, a1\n\
+             mul a4, a0, a1\n\
+             xor a5, a0, a1\n\
+             ecall\n",
+        );
+        assert_eq!(iss.regs[12], 12);
+        assert_eq!(iss.regs[13], 2);
+        assert_eq!(iss.regs[14], 35);
+        assert_eq!(iss.regs[15], 2);
+        assert!(iss.halted);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let iss = run_asm("li x0, 42\nadd a0, x0, x0\necall\n");
+        assert_eq!(iss.tohost, 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let iss = run_asm(
+            "li a0, -8\n\
+             srai a1, a0, 2\n\
+             srli a2, a0, 28\n\
+             slli a3, a0, 1\n\
+             slti a4, a0, 0\n\
+             sltiu a5, a0, 0\n\
+             ecall\n",
+        );
+        assert_eq!(iss.regs[11] as i32, -2);
+        assert_eq!(iss.regs[12], 0xF);
+        assert_eq!(iss.regs[13], (-16i32) as u32);
+        assert_eq!(iss.regs[14], 1);
+        assert_eq!(iss.regs[15], 0);
+    }
+
+    #[test]
+    fn memory_and_loop() {
+        // Sum 1..=10 through memory.
+        let iss = run_asm(
+            "li t0, 0      # sum\n\
+             li t1, 1      # i\n\
+             li t2, 10\n\
+             li t3, 0x100  # buffer\n\
+             loop:\n\
+             sw t1, 0(t3)\n\
+             lw t4, 0(t3)\n\
+             add t0, t0, t4\n\
+             addi t1, t1, 1\n\
+             ble t1, t2, loop\n\
+             mv a0, t0\n\
+             ecall\n",
+        );
+        assert_eq!(iss.tohost, 55);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let iss = run_asm(
+            "li a0, 20\n\
+             jal ra, double\n\
+             ecall\n\
+             double:\n\
+             add a0, a0, a0\n\
+             ret\n",
+        );
+        assert_eq!(iss.tohost, 40);
+    }
+
+    #[test]
+    fn branches_all_variants() {
+        let iss = run_asm(
+            "li a0, 0\n\
+             li t0, 1\n\
+             li t1, -1\n\
+             beq t0, t0, l1\n\
+             ecall\n\
+             l1: addi a0, a0, 1\n\
+             bne t0, t1, l2\n\
+             ecall\n\
+             l2: addi a0, a0, 1\n\
+             blt t1, t0, l3\n\
+             ecall\n\
+             l3: addi a0, a0, 1\n\
+             bge t0, t1, l4\n\
+             ecall\n\
+             l4: addi a0, a0, 1\n\
+             bltu t1, t0, fail\n\
+             addi a0, a0, 1\n\
+             bgeu t1, t0, l5\n\
+             ecall\n\
+             l5: addi a0, a0, 1\n\
+             ecall\n\
+             fail: li a0, 99\n\
+             ecall\n",
+        );
+        assert_eq!(iss.tohost, 6);
+    }
+
+    #[test]
+    fn halts_on_bad_instruction() {
+        let mut iss = Iss::new(&[0xFFFF_FFFF], 16);
+        assert!(!iss.step());
+        assert!(iss.halted);
+        assert_eq!(iss.insn_count, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! `rv32`: the evaluation substrate — a RISC-V subset core generated
+//! with `hgf`, plus everything needed to run the paper's benchmark
+//! suite on it.
+//!
+//! The paper evaluates hgdb by debugging RocketChip (a Chisel RISC-V
+//! SoC) and benchmarking the RocketChip test programs under four
+//! simulation configurations (Figure 5). This crate provides the
+//! equivalents:
+//!
+//! * [`cpu`] — a single-cycle RV32I(+MUL) core elaborated through the
+//!   `hgf` generator framework (so it has real source locators and can
+//!   itself be debugged with hgdb), plus a dual-core configuration for
+//!   the `mt-*` workloads.
+//! * [`isa`] / [`asm`] — instruction encodings and a small two-pass
+//!   assembler.
+//! * [`iss`] — a golden-model instruction-set simulator for
+//!   differential testing of the hardware core.
+//! * [`programs`] — the ten benchmark kernels (`multiply`, `mm`,
+//!   `mt-matmul`, `vvadd`, `qsort`, `dhrystone`, `median`, `towers`,
+//!   `spmv`, `mt-vvadd`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rv32::{asm::assemble, iss::Iss};
+//!
+//! let program = assemble("li a0, 21\nadd a0, a0, a0\necall\n")?;
+//! let mut iss = Iss::new(&program, 64);
+//! iss.run(100);
+//! assert_eq!(iss.tohost, 42);
+//! # Ok::<(), rv32::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+pub mod iss;
+pub mod programs;
+
+pub use cpu::{build_core, build_dual_core, CoreConfig};
+pub use programs::{suite, Program};

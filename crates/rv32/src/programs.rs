@@ -1,0 +1,630 @@
+//! The benchmark suite (Figure 5's workloads).
+//!
+//! Same names as the suite shipped with RocketChip: `multiply`, `mm`,
+//! `mt-matmul`, `vvadd`, `qsort`, `dhrystone`, `median`, `towers`,
+//! `spmv`, `mt-vvadd`. Each is a hand-written RV32 kernel exercising
+//! the same behaviour class as the original (arithmetic-heavy,
+//! memory-bound, branchy, …); `mt-*` variants split work across the
+//! dual-core configuration. See EXPERIMENTS.md for the kernel-level
+//! substitutions.
+//!
+//! Every program ends with `ecall`, publishing a checksum in `a0` so
+//! both the golden-model ISS and the hardware core can be verified.
+
+/// A benchmark program: name, assembly, expected checksum (`tohost`).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Suite name (Figure 5 x-axis label).
+    pub name: &'static str,
+    /// Assembly source.
+    pub source: String,
+    /// Expected `tohost` checksum.
+    pub expected: u32,
+    /// Whether this program runs on the dual-core configuration.
+    pub dual_core: bool,
+}
+
+/// The full suite in the paper's order.
+pub fn suite() -> Vec<Program> {
+    vec![
+        multiply(),
+        mm(),
+        mt_matmul(),
+        vvadd(),
+        qsort(),
+        dhrystone(),
+        median(),
+        towers(),
+        spmv(),
+        mt_vvadd(),
+    ]
+}
+
+/// A single program from the suite by name.
+pub fn by_name(name: &str) -> Option<Program> {
+    suite().into_iter().find(|p| p.name == name)
+}
+
+/// `multiply`: sum of products i*j for i,j in 1..=10 using MUL.
+/// sum(1..=10) = 55, so the result is 55*55 = 3025.
+pub fn multiply() -> Program {
+    Program {
+        name: "multiply",
+        source: "\
+            li a0, 0        # acc\n\
+            li t0, 1        # i\n\
+            outer:\n\
+            li t1, 1        # j\n\
+            inner:\n\
+            mul t2, t0, t1\n\
+            add a0, a0, t2\n\
+            addi t1, t1, 1\n\
+            li t3, 10\n\
+            ble t1, t3, inner\n\
+            addi t0, t0, 1\n\
+            ble t0, t3, outer\n\
+            ecall\n"
+            .to_owned(),
+        expected: 3025,
+        dual_core: false,
+    }
+}
+
+/// `mm`: 6x6 matrix multiply C = A*B with A[i][j] = i+j, B[i][j] =
+/// i^j (xor), checksum = sum of C.
+pub fn mm() -> Program {
+    Program {
+        name: "mm",
+        source: matmul_source(0, 6, 6),
+        expected: matmul_expected(0, 6, 6),
+        dual_core: false,
+    }
+}
+
+/// `mt-matmul`: the same matrix multiply split row-wise across two
+/// cores. This program computes rows `[start, end)`; the bench harness
+/// loads one half per core.
+pub fn mt_matmul() -> Program {
+    Program {
+        name: "mt-matmul",
+        // The program slot holds core 0's half; the harness asks for
+        // both halves through `matmul_source` directly.
+        source: matmul_source(0, 3, 6),
+        expected: matmul_expected(0, 3, 6),
+        dual_core: true,
+    }
+}
+
+/// Generates the row-range matrix-multiply kernel (shared by `mm` and
+/// `mt-matmul`).
+pub fn matmul_source(row_start: u32, row_end: u32, n: u32) -> String {
+    // Memory map: A at 0x000, B at n*n*4, C at 2*n*n*4.
+    let a = 0u32;
+    let b = n * n * 4;
+    let c = 2 * n * n * 4;
+    format!(
+        "\
+        # initialize A[i][j] = i+j and B[i][j] = i^j\n\
+        li t0, 0            # i\n\
+        init_i:\n\
+        li t1, 0            # j\n\
+        init_j:\n\
+        li t2, {n}\n\
+        mul t3, t0, t2\n\
+        add t3, t3, t1      # i*n + j\n\
+        slli t3, t3, 2\n\
+        add t4, t0, t1\n\
+        li t5, {a}\n\
+        add t5, t5, t3\n\
+        sw t4, 0(t5)        # A\n\
+        xor t4, t0, t1\n\
+        li t5, {b}\n\
+        add t5, t5, t3\n\
+        sw t4, 0(t5)        # B\n\
+        addi t1, t1, 1\n\
+        blt t1, t2, init_j\n\
+        addi t0, t0, 1\n\
+        blt t0, t2, init_i\n\
+        # C[i][j] = sum_k A[i][k]*B[k][j] for i in [start,end)\n\
+        li a0, 0            # checksum\n\
+        li t0, {row_start}\n\
+        mul_i:\n\
+        li t1, 0\n\
+        mul_j:\n\
+        li a1, 0            # acc\n\
+        li t2, 0            # k\n\
+        mul_k:\n\
+        li t3, {n}\n\
+        mul t4, t0, t3\n\
+        add t4, t4, t2\n\
+        slli t4, t4, 2      # &A[i][k]\n\
+        lw t5, {a}(t4)\n\
+        mul t4, t2, t3\n\
+        add t4, t4, t1\n\
+        slli t4, t4, 2\n\
+        li t6, {b}\n\
+        add t4, t4, t6\n\
+        lw t6, 0(t4)        # B[k][j]\n\
+        mul t5, t5, t6\n\
+        add a1, a1, t5\n\
+        addi t2, t2, 1\n\
+        blt t2, t3, mul_k\n\
+        mul t4, t0, t3\n\
+        add t4, t4, t1\n\
+        slli t4, t4, 2\n\
+        li t6, {c}\n\
+        add t4, t4, t6\n\
+        sw a1, 0(t4)        # C[i][j]\n\
+        add a0, a0, a1\n\
+        addi t1, t1, 1\n\
+        blt t1, t3, mul_j\n\
+        addi t0, t0, 1\n\
+        li t6, {row_end}\n\
+        blt t0, t6, mul_i\n\
+        ecall\n"
+    )
+}
+
+/// Reference checksum for the matrix-multiply kernel.
+pub fn matmul_expected(row_start: u32, row_end: u32, n: u32) -> u32 {
+    let mut sum = 0u32;
+    for i in row_start..row_end {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add((i + k).wrapping_mul(k ^ j));
+            }
+            sum = sum.wrapping_add(acc);
+        }
+    }
+    sum
+}
+
+/// `vvadd`: c[i] = a[i] + b[i] over 64 elements; checksum = sum(c).
+pub fn vvadd() -> Program {
+    Program {
+        name: "vvadd",
+        source: vvadd_source(0, 64),
+        expected: vvadd_expected(0, 64),
+        dual_core: false,
+    }
+}
+
+/// `mt-vvadd`: vvadd split across two cores.
+pub fn mt_vvadd() -> Program {
+    Program {
+        name: "mt-vvadd",
+        source: vvadd_source(0, 32),
+        expected: vvadd_expected(0, 32),
+        dual_core: true,
+    }
+}
+
+/// Row-range vvadd kernel: a[i] = 3i+1, b[i] = i*i.
+pub fn vvadd_source(start: u32, end: u32) -> String {
+    format!(
+        "\
+        # init a[i]=3i+1, b[i]=i*i over [start,end)\n\
+        li t0, {start}\n\
+        init:\n\
+        slli t1, t0, 2\n\
+        li t2, 3\n\
+        mul t2, t2, t0\n\
+        addi t2, t2, 1\n\
+        sw t2, 0x000(t1)    # a\n\
+        mul t2, t0, t0\n\
+        sw t2, 0x400(t1)    # b\n\
+        addi t0, t0, 1\n\
+        li t3, {end}\n\
+        blt t0, t3, init\n\
+        # c[i] = a[i] + b[i]; checksum\n\
+        li a0, 0\n\
+        li t0, {start}\n\
+        loop:\n\
+        slli t1, t0, 2\n\
+        lw t2, 0x000(t1)\n\
+        lw t4, 0x400(t1)\n\
+        add t2, t2, t4\n\
+        sw t2, 0x800(t1)    # c\n\
+        add a0, a0, t2\n\
+        addi t0, t0, 1\n\
+        blt t0, t3, loop\n\
+        ecall\n"
+    )
+}
+
+/// Reference checksum for vvadd.
+pub fn vvadd_expected(start: u32, end: u32) -> u32 {
+    (start..end)
+        .map(|i| (3 * i + 1).wrapping_add(i * i))
+        .fold(0u32, |a, v| a.wrapping_add(v))
+}
+
+/// `qsort`: in-place sort of 32 pseudo-random elements. The kernel is
+/// an insertion sort (same compare/swap memory behaviour class at
+/// this size); checksum = sum(arr[i] * (i+1)).
+pub fn qsort() -> Program {
+    let n = 32u32;
+    // LCG values mod 2^16 (positive, so signed compares are safe).
+    let vals: Vec<u32> = {
+        let mut x = 12345u32;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                (x >> 16) & 0x7FFF
+            })
+            .collect()
+    };
+    let mut sorted = vals.clone();
+    sorted.sort_unstable();
+    let expected = sorted
+        .iter()
+        .enumerate()
+        .fold(0u32, |a, (i, v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    // Initialize via the same LCG in asm.
+    let source = format!(
+        "\
+        # fill arr[i] with LCG values\n\
+        li s0, 12345        # x\n\
+        li t0, 0\n\
+        li t3, {n}\n\
+        fill:\n\
+        li t1, 1103515245\n\
+        mul s0, s0, t1\n\
+        li t1, 12345\n\
+        add s0, s0, t1\n\
+        srli t1, s0, 16\n\
+        li t2, 0x7FFF\n\
+        and t1, t1, t2\n\
+        slli t2, t0, 2\n\
+        sw t1, 0(t2)\n\
+        addi t0, t0, 1\n\
+        blt t0, t3, fill\n\
+        # insertion sort\n\
+        li t0, 1            # i\n\
+        sort_i:\n\
+        slli t1, t0, 2\n\
+        lw s1, 0(t1)        # key\n\
+        addi t2, t0, -1     # j\n\
+        sort_j:\n\
+        blt t2, zero, insert\n\
+        slli t4, t2, 2\n\
+        lw t5, 0(t4)\n\
+        ble t5, s1, insert\n\
+        addi t6, t4, 4\n\
+        sw t5, 0(t6)        # shift right\n\
+        addi t2, t2, -1\n\
+        j sort_j\n\
+        insert:\n\
+        addi t2, t2, 1\n\
+        slli t4, t2, 2\n\
+        sw s1, 0(t4)\n\
+        addi t0, t0, 1\n\
+        blt t0, t3, sort_i\n\
+        # checksum = sum arr[i]*(i+1)\n\
+        li a0, 0\n\
+        li t0, 0\n\
+        sum:\n\
+        slli t1, t0, 2\n\
+        lw t2, 0(t1)\n\
+        addi t4, t0, 1\n\
+        mul t2, t2, t4\n\
+        add a0, a0, t2\n\
+        addi t0, t0, 1\n\
+        blt t0, t3, sum\n\
+        ecall\n"
+    );
+    Program {
+        name: "qsort",
+        source,
+        expected,
+        dual_core: false,
+    }
+}
+
+/// `dhrystone`: the classic synthetic mix — arithmetic, copies
+/// through memory, and branches — iterated 64 times.
+pub fn dhrystone() -> Program {
+    let iters = 64u32;
+    // Reference model of the loop below.
+    let mut acc = 0u32;
+    let mut buf = [0u32; 8];
+    for i in 0..iters {
+        buf[(i % 8) as usize] = i.wrapping_mul(7).wrapping_add(3);
+        let v = buf[((i + 4) % 8) as usize];
+        acc = if v & 1 == 1 {
+            acc.wrapping_add(v)
+        } else {
+            acc.wrapping_add(v >> 1).wrapping_add(i)
+        };
+    }
+    Program {
+        name: "dhrystone",
+        source: format!(
+            "\
+            li a0, 0        # acc\n\
+            li t0, 0        # i\n\
+            li t6, {iters}\n\
+            loop:\n\
+            # buf[i%8] = i*7+3\n\
+            andi t1, t0, 7\n\
+            slli t1, t1, 2\n\
+            li t2, 7\n\
+            mul t2, t2, t0\n\
+            addi t2, t2, 3\n\
+            sw t2, 0x100(t1)\n\
+            # v = buf[(i+4)%8]\n\
+            addi t3, t0, 4\n\
+            andi t3, t3, 7\n\
+            slli t3, t3, 2\n\
+            lw t4, 0x100(t3)\n\
+            andi t5, t4, 1\n\
+            beqz t5, even\n\
+            add a0, a0, t4\n\
+            j next\n\
+            even:\n\
+            srli t4, t4, 1\n\
+            add a0, a0, t4\n\
+            add a0, a0, t0\n\
+            next:\n\
+            addi t0, t0, 1\n\
+            blt t0, t6, loop\n\
+            ecall\n"
+        ),
+        expected: acc,
+        dual_core: false,
+    }
+}
+
+/// `median`: 3-point median filter over 32 elements,
+/// checksum = sum of medians.
+pub fn median() -> Program {
+    let n = 32u32;
+    let src: Vec<u32> = (0..n).map(|i| (i * 17 + 5) % 64).collect();
+    let mut acc = 0u32;
+    for i in 1..(n - 1) as usize {
+        let (a, b, c) = (src[i - 1], src[i], src[i + 1]);
+        let med = a.max(b).min(a.min(b).max(c));
+        acc = acc.wrapping_add(med);
+    }
+    Program {
+        name: "median",
+        source: format!(
+            "\
+            # init src[i] = (i*17+5) % 64  (mask since 64 is pow2)\n\
+            li t0, 0\n\
+            li t6, {n}\n\
+            init:\n\
+            li t1, 17\n\
+            mul t1, t1, t0\n\
+            addi t1, t1, 5\n\
+            andi t1, t1, 63\n\
+            slli t2, t0, 2\n\
+            sw t1, 0(t2)\n\
+            addi t0, t0, 1\n\
+            blt t0, t6, init\n\
+            # median filter\n\
+            li a0, 0\n\
+            li t0, 1\n\
+            addi t6, t6, -1\n\
+            filter:\n\
+            slli t1, t0, 2\n\
+            lw t2, -4(t1)   # a\n\
+            lw t3, 0(t1)    # b\n\
+            lw t4, 4(t1)    # c\n\
+            # med = max(min(a,b), min(max(a,b), c))\n\
+            blt t2, t3, ab_sorted\n\
+            mv t5, t2\n\
+            mv t2, t3\n\
+            mv t3, t5       # now t2=min(a,b), t3=max(a,b)\n\
+            ab_sorted:\n\
+            blt t4, t3, use_c\n\
+            mv t4, t3       # c >= max: med = max(a,b)\n\
+            use_c:\n\
+            blt t2, t4, med_ok\n\
+            mv t4, t2       # c < min: med = min(a,b)\n\
+            med_ok:\n\
+            add a0, a0, t4\n\
+            addi t0, t0, 1\n\
+            blt t0, t6, filter\n\
+            ecall\n"
+        ),
+        expected: acc,
+        dual_core: false,
+    }
+}
+
+/// `towers`: towers of Hanoi, 7 discs, iterative bit-trick solution;
+/// checksum mixes move number and pegs.
+pub fn towers() -> Program {
+    let n = 7u32;
+    let moves = (1u32 << n) - 1;
+    let mut acc = 0u32;
+    for m in 1..=moves {
+        let from = (m & (m - 1)) % 3;
+        let to = ((m | (m - 1)) + 1) % 3;
+        acc = acc.wrapping_add(m.wrapping_mul(3) ^ (from * 7 + to));
+    }
+    Program {
+        name: "towers",
+        source: format!(
+            "\
+            li a0, 0\n\
+            li t0, 1        # move m\n\
+            li t6, {moves}\n\
+            loop:\n\
+            addi t1, t0, -1\n\
+            and t2, t0, t1  # m & (m-1)\n\
+            # t2 % 3 via repeated subtraction (t2 small-ish loop)\n\
+            mod3_a:\n\
+            li t3, 3\n\
+            blt t2, t3, mod3_a_done\n\
+            sub t2, t2, t3\n\
+            j mod3_a\n\
+            mod3_a_done:\n\
+            or t3, t0, t1   # m | (m-1)\n\
+            addi t3, t3, 1\n\
+            mod3_b:\n\
+            li t4, 3\n\
+            blt t3, t4, mod3_b_done\n\
+            sub t3, t3, t4\n\
+            j mod3_b\n\
+            mod3_b_done:\n\
+            # acc += (m*3) ^ (from*7 + to)\n\
+            li t4, 7\n\
+            mul t4, t4, t2\n\
+            add t4, t4, t3\n\
+            li t5, 3\n\
+            mul t5, t5, t0\n\
+            xor t5, t5, t4\n\
+            add a0, a0, t5\n\
+            addi t0, t0, 1\n\
+            ble t0, t6, loop\n\
+            ecall\n"
+        ),
+        expected: acc,
+        dual_core: false,
+    }
+}
+
+/// `spmv`: sparse matrix-vector product in CSR form; a tridiagonal
+/// 16x16 matrix built in memory, y = A*x, checksum = sum(y).
+pub fn spmv() -> Program {
+    let n = 16u32;
+    // A: tridiagonal with A[i][i]=4, neighbours 1. x[i] = i+1.
+    let mut acc = 0u32;
+    for i in 0..n as i64 {
+        let mut y = 0i64;
+        for (j, v) in [(i - 1, 1i64), (i, 4), (i + 1, 1)] {
+            if j >= 0 && j < n as i64 {
+                y += v * (j + 1);
+            }
+        }
+        acc = acc.wrapping_add(y as u32);
+    }
+    Program {
+        name: "spmv",
+        source: format!(
+            "\
+            # x[] at 0x600: x[i] = i+1\n\
+            li t0, 0\n\
+            li t6, {n}\n\
+            initx:\n\
+            addi t1, t0, 1\n\
+            slli t2, t0, 2\n\
+            sw t1, 0x600(t2)\n\
+            addi t0, t0, 1\n\
+            blt t0, t6, initx\n\
+            # y[i] = 1*x[i-1] + 4*x[i] + 1*x[i+1] with edge checks\n\
+            li a0, 0\n\
+            li t0, 0        # row\n\
+            rows:\n\
+            li t1, 0        # y\n\
+            # left neighbour\n\
+            beqz t0, no_left\n\
+            addi t2, t0, -1\n\
+            slli t2, t2, 2\n\
+            lw t3, 0x600(t2)\n\
+            add t1, t1, t3\n\
+            no_left:\n\
+            # diagonal\n\
+            slli t2, t0, 2\n\
+            lw t3, 0x600(t2)\n\
+            slli t3, t3, 2  # *4\n\
+            add t1, t1, t3\n\
+            # right neighbour\n\
+            addi t2, t0, 1\n\
+            bge t2, t6, no_right\n\
+            slli t2, t2, 2\n\
+            lw t3, 0x600(t2)\n\
+            add t1, t1, t3\n\
+            no_right:\n\
+            slli t2, t0, 2\n\
+            sw t1, 0x700(t2)\n\
+            add a0, a0, t1\n\
+            addi t0, t0, 1\n\
+            blt t0, t6, rows\n\
+            ecall\n"
+        ),
+        expected: acc,
+        dual_core: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::iss::Iss;
+
+    /// Every program must assemble and match its expected checksum on
+    /// the golden model.
+    #[test]
+    fn suite_runs_on_iss() {
+        for p in suite() {
+            let prog = assemble(&p.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let mut iss = Iss::new(&prog, 4096);
+            iss.run(2_000_000);
+            assert!(iss.halted, "{} did not halt", p.name);
+            assert_eq!(iss.tohost, p.expected, "{} checksum", p.name);
+        }
+    }
+
+    #[test]
+    fn mt_halves_cover_the_full_job() {
+        // Two matmul halves together equal the full checksum.
+        let full = matmul_expected(0, 6, 6);
+        let half0 = matmul_expected(0, 3, 6);
+        let half1 = matmul_expected(3, 6, 6);
+        assert_eq!(half0.wrapping_add(half1), full);
+        // Same for vvadd.
+        assert_eq!(
+            vvadd_expected(0, 32).wrapping_add(vvadd_expected(32, 64)),
+            vvadd_expected(0, 64)
+        );
+        // And the second halves actually run.
+        for src in [matmul_source(3, 6, 6), vvadd_source(32, 64)] {
+            let prog = assemble(&src).unwrap();
+            let mut iss = Iss::new(&prog, 4096);
+            iss.run(2_000_000);
+            assert!(iss.halted);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for name in [
+            "multiply",
+            "mm",
+            "mt-matmul",
+            "vvadd",
+            "qsort",
+            "dhrystone",
+            "median",
+            "towers",
+            "spmv",
+            "mt-vvadd",
+        ] {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("coremark").is_none());
+    }
+
+    #[test]
+    fn workloads_are_nontrivial() {
+        // Each benchmark should retire a meaningful number of
+        // instructions (Figure 5 assumes real work per cycle).
+        for p in suite() {
+            let prog = assemble(&p.source).unwrap();
+            let mut iss = Iss::new(&prog, 4096);
+            iss.run(2_000_000);
+            assert!(
+                iss.insn_count > 200,
+                "{} only retired {} instructions",
+                p.name,
+                iss.insn_count
+            );
+        }
+    }
+}

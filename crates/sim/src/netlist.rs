@@ -1,0 +1,439 @@
+//! Hierarchy flattening and netlist compilation.
+//!
+//! The Low-form circuit is flattened into a single namespace of
+//! dotted full paths (`top.u0.sum_1`), expressions are compiled into an
+//! index-resolved form ([`CExpr`]) so evaluation never touches strings,
+//! and combinational definitions are topologically ordered
+//! (levelized) so one linear sweep per cycle reaches the zero-delay
+//! fixpoint — the property §3 of the paper relies on ("all logical
+//! values will be stable at every clock edge").
+
+use std::collections::HashMap;
+
+use bits::Bits;
+use hgf_ir::expr::{apply_binary, BinaryOp, Expr, UnaryOp};
+use hgf_ir::{Circuit, PortDir, SignalKind, Stmt};
+
+use crate::control::{HierNode, SimError};
+
+/// Compiled expression with signal references resolved to indices.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    Lit(Bits),
+    Sig(usize),
+    Unary(UnaryOp, Box<CExpr>),
+    Binary(BinaryOp, Box<CExpr>, Box<CExpr>),
+    Mux(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    Slice(Box<CExpr>, u32, u32),
+    Cat(Box<CExpr>, Box<CExpr>),
+    /// Combinational memory read: `mems[mem].words[addr]`.
+    MemRead(usize, Box<CExpr>),
+}
+
+impl CExpr {
+    pub(crate) fn eval(&self, values: &[Bits], mems: &[MemState]) -> Bits {
+        match self {
+            CExpr::Lit(b) => b.clone(),
+            CExpr::Sig(i) => values[*i].clone(),
+            CExpr::Unary(op, e) => {
+                let v = e.eval(values, mems);
+                match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::ReduceAnd => v.reduce_and(),
+                    UnaryOp::ReduceOr => v.reduce_or(),
+                    UnaryOp::ReduceXor => v.reduce_xor(),
+                }
+            }
+            CExpr::Binary(op, l, r) => {
+                apply_binary(*op, &l.eval(values, mems), &r.eval(values, mems))
+            }
+            CExpr::Mux(s, t, e) => {
+                if s.eval(values, mems).is_truthy() {
+                    t.eval(values, mems)
+                } else {
+                    e.eval(values, mems)
+                }
+            }
+            CExpr::Slice(e, hi, lo) => e.eval(values, mems).slice(*hi, *lo),
+            CExpr::Cat(h, l) => h.eval(values, mems).concat(&l.eval(values, mems)),
+            CExpr::MemRead(m, addr) => {
+                let mem = &mems[*m];
+                let a = addr.eval(values, mems).to_u64() as usize;
+                if a < mem.words.len() {
+                    mem.words[a].clone()
+                } else {
+                    Bits::zero(mem.width)
+                }
+            }
+        }
+    }
+
+    fn deps(&self, out: &mut Vec<usize>) {
+        match self {
+            CExpr::Lit(_) => {}
+            CExpr::Sig(i) => out.push(*i),
+            CExpr::Unary(_, e) | CExpr::Slice(e, _, _) | CExpr::MemRead(_, e) => e.deps(out),
+            CExpr::Binary(_, l, r) | CExpr::Cat(l, r) => {
+                l.deps(out);
+                r.deps(out);
+            }
+            CExpr::Mux(s, t, e) => {
+                s.deps(out);
+                t.deps(out);
+                e.deps(out);
+            }
+        }
+    }
+}
+
+/// Simulated memory contents.
+#[derive(Debug, Clone)]
+pub(crate) struct MemState {
+    pub(crate) width: u32,
+    pub(crate) words: Vec<Bits>,
+}
+
+/// A register: signal index, optional next-value expression (absent
+/// means the register holds), optional synchronous reset value.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatReg {
+    pub(crate) sig: usize,
+    pub(crate) next: Option<CExpr>,
+    pub(crate) init: Option<Bits>,
+}
+
+/// A synchronous memory write port.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatWrite {
+    pub(crate) mem: usize,
+    pub(crate) addr: CExpr,
+    pub(crate) data: CExpr,
+    pub(crate) en: CExpr,
+}
+
+/// The flattened, compiled design.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatNetlist {
+    pub(crate) names: Vec<String>,
+    pub(crate) index: HashMap<String, usize>,
+    pub(crate) widths: Vec<u32>,
+    /// Combinational definitions in topological order.
+    pub(crate) defs: Vec<(usize, CExpr)>,
+    pub(crate) regs: Vec<FlatReg>,
+    pub(crate) mems: Vec<MemState>,
+    pub(crate) mem_names: Vec<String>,
+    pub(crate) writes: Vec<FlatWrite>,
+    /// Top-level input port indices (pokeable), including `reset`.
+    pub(crate) inputs: Vec<usize>,
+    pub(crate) reset: usize,
+    pub(crate) hierarchy: HierNode,
+}
+
+impl FlatNetlist {
+    /// Flattens and compiles a Low-form circuit.
+    pub(crate) fn build(circuit: &Circuit) -> Result<FlatNetlist, SimError> {
+        circuit
+            .validate()
+            .map_err(|e| SimError::Build(e.to_string()))?;
+        circuit
+            .check_low()
+            .map_err(|e| SimError::Build(e.to_string()))?;
+
+        let mut b = Builder {
+            circuit,
+            names: Vec::new(),
+            index: HashMap::new(),
+            widths: Vec::new(),
+            raw_defs: Vec::new(),
+            regs: Vec::new(),
+            mems: Vec::new(),
+            mem_names: Vec::new(),
+            mem_index: HashMap::new(),
+            writes: Vec::new(),
+        };
+
+        let top = circuit.top_module();
+        let prefix = top.name.clone();
+        // Implicit global reset.
+        let reset = b.declare(&format!("{prefix}.reset"), 1);
+        b.declare_module(top, &prefix);
+        let mut hierarchy = HierNode::new(top.name.clone());
+        b.collect_module(top, &prefix, &mut hierarchy)?;
+        hierarchy.signals.push("reset".into());
+
+        let mut inputs: Vec<usize> = top
+            .ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Input)
+            .map(|p| b.index[&format!("{prefix}.{}", p.name)])
+            .collect();
+        inputs.push(reset);
+
+        // Topological sort of combinational defs (Kahn).
+        let def_of: HashMap<usize, usize> = b
+            .raw_defs
+            .iter()
+            .enumerate()
+            .map(|(di, (sig, _))| (*sig, di))
+            .collect();
+        let n = b.raw_defs.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (di, (_, expr)) in b.raw_defs.iter().enumerate() {
+            let mut deps = Vec::new();
+            expr.deps(&mut deps);
+            for d in deps {
+                if let Some(&src) = def_of.get(&d) {
+                    indegree[di] += 1;
+                    dependents[src].push(di);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(di) = queue.pop() {
+            order.push(di);
+            for &next in &dependents[di] {
+                indegree[next] -= 1;
+                if indegree[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if order.len() != n {
+            let cycle: Vec<String> = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .take(8)
+                .map(|i| b.names[b.raw_defs[i].0].clone())
+                .collect();
+            return Err(SimError::CombinationalLoop(cycle));
+        }
+        let defs: Vec<(usize, CExpr)> = order
+            .into_iter()
+            .map(|di| b.raw_defs[di].clone())
+            .collect();
+
+        Ok(FlatNetlist {
+            names: b.names,
+            index: b.index,
+            widths: b.widths,
+            defs,
+            regs: b.regs,
+            mems: b.mems,
+            mem_names: b.mem_names,
+            writes: b.writes,
+            inputs,
+            reset,
+            hierarchy,
+        })
+    }
+}
+
+struct Builder<'a> {
+    circuit: &'a Circuit,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    widths: Vec<u32>,
+    raw_defs: Vec<(usize, CExpr)>,
+    regs: Vec<FlatReg>,
+    mems: Vec<MemState>,
+    mem_names: Vec<String>,
+    mem_index: HashMap<String, usize>,
+    writes: Vec<FlatWrite>,
+}
+
+impl Builder<'_> {
+    fn declare(&mut self, full: &str, width: u32) -> usize {
+        if let Some(&i) = self.index.get(full) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(full.to_owned());
+        self.index.insert(full.to_owned(), i);
+        self.widths.push(width);
+        i
+    }
+
+    /// Pass A: declare every signal of `module` (and children) under
+    /// `prefix`.
+    fn declare_module(&mut self, module: &hgf_ir::Module, prefix: &str) {
+        let table = module.signal_table(self.circuit);
+        for (name, (width, kind)) in &table {
+            // Instance ports are declared by the child walk.
+            if *kind == SignalKind::InstancePort {
+                continue;
+            }
+            self.declare(&format!("{prefix}.{name}"), *width);
+        }
+        for stmt in &module.stmts {
+            match stmt {
+                Stmt::Mem {
+                    name, width, depth, ..
+                } => {
+                    let full = format!("{prefix}.{name}");
+                    let idx = self.mems.len();
+                    self.mems.push(MemState {
+                        width: *width,
+                        words: vec![Bits::zero(*width); *depth as usize],
+                    });
+                    self.mem_names.push(full.clone());
+                    self.mem_index.insert(full, idx);
+                }
+                Stmt::Instance { name, module: m, .. } => {
+                    let child = self.circuit.module(m).expect("validated");
+                    self.declare_module(child, &format!("{prefix}.{name}"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Pass B: compile definitions, registers, memory ports.
+    fn collect_module(
+        &mut self,
+        module: &hgf_ir::Module,
+        prefix: &str,
+        hier: &mut HierNode,
+    ) -> Result<(), SimError> {
+        for p in &module.ports {
+            hier.signals.push(p.name.clone());
+        }
+        let compile = |b: &Builder<'_>, e: &Expr| -> Result<CExpr, SimError> {
+            compile_expr(e, prefix, &b.index, &b.mem_index)
+        };
+        // Register names for next-value routing.
+        let regs: HashMap<&str, (Option<Bits>,)> = module
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Reg { name, init, .. } => Some((name.as_str(), (init.clone(),))),
+                _ => None,
+            })
+            .collect();
+        for stmt in &module.stmts {
+            match stmt {
+                Stmt::Wire { name, .. } | Stmt::Reg { name, .. } => {
+                    hier.signals.push(name.clone());
+                }
+                Stmt::Node { name, expr, .. } => {
+                    hier.signals.push(name.clone());
+                    let sig = self.index[&format!("{prefix}.{name}")];
+                    let ce = compile(self, expr)?;
+                    self.raw_defs.push((sig, ce));
+                }
+                Stmt::Connect { target, expr, .. } => {
+                    let ce = compile(self, expr)?;
+                    if regs.contains_key(target.as_str()) {
+                        // Deferred: attach as the register's next.
+                        let sig = self.index[&format!("{prefix}.{target}")];
+                        if let Some(r) = self.regs.iter_mut().find(|r| r.sig == sig) {
+                            r.next = Some(ce);
+                        } else {
+                            self.regs.push(FlatReg {
+                                sig,
+                                next: Some(ce),
+                                init: regs[target.as_str()].0.clone(),
+                            });
+                        }
+                    } else {
+                        let sig = self.index[&format!("{prefix}.{target}")];
+                        self.raw_defs.push((sig, ce));
+                    }
+                }
+                Stmt::MemRead {
+                    mem, name, addr, ..
+                } => {
+                    hier.signals.push(name.clone());
+                    let sig = self.index[&format!("{prefix}.{name}")];
+                    let midx = self.mem_index[&format!("{prefix}.{mem}")];
+                    let addr = compile(self, addr)?;
+                    self.raw_defs
+                        .push((sig, CExpr::MemRead(midx, Box::new(addr))));
+                }
+                Stmt::MemWrite {
+                    mem,
+                    addr,
+                    data,
+                    en,
+                    ..
+                } => {
+                    let midx = self.mem_index[&format!("{prefix}.{mem}")];
+                    let w = FlatWrite {
+                        mem: midx,
+                        addr: compile(self, addr)?,
+                        data: compile(self, data)?,
+                        en: compile(self, en)?,
+                    };
+                    self.writes.push(w);
+                }
+                Stmt::Instance { name, module: m, .. } => {
+                    let child = self.circuit.module(m).expect("validated");
+                    let mut child_hier = HierNode::new(name.clone());
+                    self.collect_module(child, &format!("{prefix}.{name}"), &mut child_hier)?;
+                    hier.children.push(child_hier);
+                }
+                Stmt::Mem { .. } | Stmt::When { .. } => {}
+            }
+        }
+        // Registers with no connect (hold forever).
+        for (name, (init,)) in regs {
+            let sig = self.index[&format!("{prefix}.{name}")];
+            if !self.regs.iter().any(|r| r.sig == sig) {
+                self.regs.push(FlatReg {
+                    sig,
+                    next: None,
+                    init,
+                });
+            } else if let Some(r) = self.regs.iter_mut().find(|r| r.sig == sig) {
+                // Ensure init recorded even when the connect was seen
+                // first.
+                if r.init.is_none() {
+                    r.init = init;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compile_expr(
+    e: &Expr,
+    prefix: &str,
+    index: &HashMap<String, usize>,
+    _mem_index: &HashMap<String, usize>,
+) -> Result<CExpr, SimError> {
+    Ok(match e {
+        Expr::Lit(b) => CExpr::Lit(b.clone()),
+        Expr::Ref(name) => {
+            let full = format!("{prefix}.{name}");
+            let i = index
+                .get(&full)
+                .ok_or_else(|| SimError::UnknownSignal(full))?;
+            CExpr::Sig(*i)
+        }
+        Expr::Unary(op, e) => CExpr::Unary(
+            *op,
+            Box::new(compile_expr(e, prefix, index, _mem_index)?),
+        ),
+        Expr::Binary(op, l, r) => CExpr::Binary(
+            *op,
+            Box::new(compile_expr(l, prefix, index, _mem_index)?),
+            Box::new(compile_expr(r, prefix, index, _mem_index)?),
+        ),
+        Expr::Mux(s, t, el) => CExpr::Mux(
+            Box::new(compile_expr(s, prefix, index, _mem_index)?),
+            Box::new(compile_expr(t, prefix, index, _mem_index)?),
+            Box::new(compile_expr(el, prefix, index, _mem_index)?),
+        ),
+        Expr::Slice(e, hi, lo) => CExpr::Slice(
+            Box::new(compile_expr(e, prefix, index, _mem_index)?),
+            *hi,
+            *lo,
+        ),
+        Expr::Cat(h, l) => CExpr::Cat(
+            Box::new(compile_expr(h, prefix, index, _mem_index)?),
+            Box::new(compile_expr(l, prefix, index, _mem_index)?),
+        ),
+    })
+}

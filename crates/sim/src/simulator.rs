@@ -1,0 +1,654 @@
+//! The live zero-delay cycle simulator.
+//!
+//! One [`Simulator::step_clock`] call advances to the next rising clock
+//! edge: the previous cycle's register/memory updates are committed,
+//! then the combinational sweep runs to the zero-delay fixpoint, then
+//! clock-edge callbacks fire with every signal stable — the exact hook
+//! point hgdb's breakpoint emulation relies on (§3, §3.1). The fixed,
+//! small cost of an empty callback per cycle is what Figure 5 measures.
+
+use std::cell::{Cell, RefCell};
+
+use bits::Bits;
+use hgf_ir::Circuit;
+
+use crate::control::{HierNode, SimControl, SimError};
+use crate::netlist::{FlatNetlist, MemState};
+
+/// Identifier for a registered clock callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallbackId(usize);
+
+/// Callback invoked at each rising clock edge with all signals stable.
+pub type ClockCallback = Box<dyn FnMut(&ClockView<'_>) + Send>;
+
+/// Read-only view of the simulator handed to clock callbacks.
+///
+/// Callbacks observe the stable pre-edge state; mutation during a
+/// callback would violate the zero-delay stability contract.
+pub struct ClockView<'a> {
+    sim: &'a Simulator,
+}
+
+impl ClockView<'_> {
+    /// The value of a signal by full path.
+    pub fn get_value(&self, path: &str) -> Option<Bits> {
+        self.sim.peek_path(path)
+    }
+
+    /// Current simulation time (cycles).
+    pub fn time(&self) -> u64 {
+        self.sim.time()
+    }
+}
+
+/// A compiled, runnable design.
+pub struct Simulator {
+    netlist: FlatNetlist,
+    values: RefCell<Vec<Bits>>,
+    mems: RefCell<Vec<MemState>>,
+    dirty: Cell<bool>,
+    time: u64,
+    /// Register/memory updates latched at the current clock edge from
+    /// the then-stable values; committed when the next edge begins.
+    /// Latching (rather than recomputing at commit time) keeps the
+    /// edge deterministic even if the testbench pokes inputs while
+    /// paused at the edge.
+    pending_regs: Vec<(usize, Bits)>,
+    pending_mems: Vec<(usize, usize, Bits)>,
+    started: bool,
+    callbacks: Vec<(CallbackId, ClockCallback)>,
+    next_callback: usize,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("signals", &self.netlist.names.len())
+            .field("regs", &self.netlist.regs.len())
+            .field("mems", &self.netlist.mems.len())
+            .field("time", &self.time)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Compiles a Low-form circuit into a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on validation failures or combinational
+    /// loops.
+    pub fn new(circuit: &Circuit) -> Result<Simulator, SimError> {
+        let netlist = FlatNetlist::build(circuit)?;
+        let values: Vec<Bits> = netlist
+            .widths
+            .iter()
+            .map(|&w| Bits::zero(w))
+            .collect();
+        let sim = Simulator {
+            mems: RefCell::new(netlist.mems.clone()),
+            values: RefCell::new(values),
+            netlist,
+            dirty: Cell::new(true),
+            time: 0,
+            pending_regs: Vec::new(),
+            pending_mems: Vec::new(),
+            started: false,
+            callbacks: Vec::new(),
+            next_callback: 0,
+        };
+        // Registers start at their reset value when they have one.
+        {
+            let mut values = sim.values.borrow_mut();
+            for reg in &sim.netlist.regs {
+                if let Some(init) = &reg.init {
+                    values[reg.sig] = init.clone();
+                }
+            }
+        }
+        sim.dirty.set(true);
+        Ok(sim)
+    }
+
+    /// Number of flattened signals.
+    pub fn signal_count(&self) -> usize {
+        self.netlist.names.len()
+    }
+
+    /// Sets a top-level input port by full path (e.g. `top.data0`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] / [`SimError::NotWritable`] if the
+    /// path is not a top-level input.
+    pub fn poke(&mut self, path: &str, value: Bits) -> Result<(), SimError> {
+        let &sig = self
+            .netlist
+            .index
+            .get(path)
+            .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))?;
+        if !self.netlist.inputs.contains(&sig) {
+            return Err(SimError::NotWritable(path.to_owned()));
+        }
+        let width = self.netlist.widths[sig];
+        self.values.borrow_mut()[sig] = value.resize(width);
+        self.dirty.set(true);
+        Ok(())
+    }
+
+    /// Reads any signal by full path, evaluating combinational logic
+    /// first if inputs changed.
+    pub fn peek(&self, path: &str) -> Result<Bits, SimError> {
+        self.peek_path(path)
+            .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))
+    }
+
+    fn peek_path(&self, path: &str) -> Option<Bits> {
+        let &sig = self.netlist.index.get(path)?;
+        self.eval_if_dirty();
+        Some(self.values.borrow()[sig].clone())
+    }
+
+    /// Reads a memory word (debug/testbench convenience; memories are
+    /// not part of the signal namespace).
+    pub fn peek_mem(&self, mem_path: &str, addr: usize) -> Option<Bits> {
+        let idx = self
+            .netlist
+            .mem_names
+            .iter()
+            .position(|n| n == mem_path)?;
+        self.mems.borrow().get(idx)?.words.get(addr).cloned()
+    }
+
+    /// Writes a memory word directly (program loading in testbenches).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] for bad memory paths or addresses.
+    pub fn poke_mem(&mut self, mem_path: &str, addr: usize, value: Bits) -> Result<(), SimError> {
+        let idx = self
+            .netlist
+            .mem_names
+            .iter()
+            .position(|n| n == mem_path)
+            .ok_or_else(|| SimError::UnknownSignal(mem_path.to_owned()))?;
+        let mut mems = self.mems.borrow_mut();
+        let mem = &mut mems[idx];
+        let width = mem.width;
+        let slot = mem
+            .words
+            .get_mut(addr)
+            .ok_or_else(|| SimError::UnknownSignal(format!("{mem_path}[{addr}]")))?;
+        *slot = value.resize(width);
+        drop(mems);
+        self.dirty.set(true);
+        Ok(())
+    }
+
+    /// Registers a rising-clock-edge callback; fires with all signals
+    /// stable (the hgdb hook of §3.3, "place callbacks on clock
+    /// changes").
+    pub fn add_clock_callback(&mut self, callback: ClockCallback) -> CallbackId {
+        let id = CallbackId(self.next_callback);
+        self.next_callback += 1;
+        self.callbacks.push((id, callback));
+        id
+    }
+
+    /// Removes a callback; returns whether it existed.
+    pub fn remove_clock_callback(&mut self, id: CallbackId) -> bool {
+        let before = self.callbacks.len();
+        self.callbacks.retain(|(cid, _)| *cid != id);
+        self.callbacks.len() != before
+    }
+
+    /// Runs `cycles` clock cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step_clock();
+        }
+    }
+
+    /// Asserts reset for `cycles` cycles, then deasserts it.
+    pub fn reset(&mut self, cycles: u64) {
+        let reset_path = self.netlist.names[self.netlist.reset].clone();
+        self.poke(&reset_path, Bits::from_bool(true)).expect("reset exists");
+        self.run(cycles);
+        self.poke(&reset_path, Bits::from_bool(false)).expect("reset exists");
+    }
+
+    fn eval_if_dirty(&self) {
+        if !self.dirty.get() {
+            return;
+        }
+        let mut values = self.values.borrow_mut();
+        let mems = self.mems.borrow();
+        for (sig, expr) in &self.netlist.defs {
+            values[*sig] = expr.eval(&values, &mems);
+        }
+        drop(values);
+        drop(mems);
+        self.dirty.set(false);
+    }
+
+    /// Latches register updates and memory writes from the current
+    /// stable values (non-blocking semantics). Committed at the start
+    /// of the next clock edge.
+    fn latch_edge(&mut self) {
+        self.eval_if_dirty();
+        let values = self.values.borrow();
+        let mems = self.mems.borrow();
+        let reset = values[self.netlist.reset].is_truthy();
+        let mut reg_updates: Vec<(usize, Bits)> = Vec::with_capacity(self.netlist.regs.len());
+        for reg in &self.netlist.regs {
+            let next = if reset {
+                match &reg.init {
+                    Some(init) => init.clone(),
+                    None => match &reg.next {
+                        Some(e) => e.eval(&values, &mems),
+                        None => values[reg.sig].clone(),
+                    },
+                }
+            } else {
+                match &reg.next {
+                    Some(e) => e.eval(&values, &mems),
+                    None => values[reg.sig].clone(),
+                }
+            };
+            reg_updates.push((reg.sig, next));
+        }
+        let mut mem_updates: Vec<(usize, usize, Bits)> = Vec::new();
+        if !reset {
+            for w in &self.netlist.writes {
+                if w.en.eval(&values, &mems).is_truthy() {
+                    let addr = w.addr.eval(&values, &mems).to_u64() as usize;
+                    let data = w.data.eval(&values, &mems);
+                    mem_updates.push((w.mem, addr, data));
+                }
+            }
+        }
+        drop(values);
+        drop(mems);
+        self.pending_regs = reg_updates;
+        self.pending_mems = mem_updates;
+    }
+
+    /// Commits the updates latched at the previous edge.
+    fn commit_edge(&mut self) {
+        if self.pending_regs.is_empty() && self.pending_mems.is_empty() {
+            return;
+        }
+        let mut values = self.values.borrow_mut();
+        for (sig, v) in self.pending_regs.drain(..) {
+            values[sig] = v;
+        }
+        drop(values);
+        let mut mems = self.mems.borrow_mut();
+        for (mem, addr, data) in self.pending_mems.drain(..) {
+            let width = mems[mem].width;
+            if let Some(slot) = mems[mem].words.get_mut(addr) {
+                *slot = data.resize(width);
+            }
+        }
+        drop(mems);
+        self.dirty.set(true);
+    }
+
+    /// Internal names accessor for trace writers.
+    pub fn signal_names(&self) -> &[String] {
+        &self.netlist.names
+    }
+
+    /// Width of a signal by full path.
+    pub fn signal_width(&self, path: &str) -> Option<u32> {
+        self.netlist.index.get(path).map(|&i| self.netlist.widths[i])
+    }
+
+    /// The full path of the implicit reset input.
+    pub fn reset_path(&self) -> &str {
+        &self.netlist.names[self.netlist.reset]
+    }
+}
+
+impl SimControl for Simulator {
+    fn get_value(&self, path: &str) -> Option<Bits> {
+        self.peek_path(path)
+    }
+
+    fn hierarchy(&self) -> HierNode {
+        self.netlist.hierarchy.clone()
+    }
+
+    fn clock_path(&self) -> String {
+        format!("{}.clock", self.netlist.hierarchy.name)
+    }
+
+    fn step_clock(&mut self) -> bool {
+        if self.started {
+            self.commit_edge();
+        }
+        self.started = true;
+        self.eval_if_dirty();
+        self.latch_edge();
+        self.time += 1;
+        // Fire callbacks with stable signals (rising edge).
+        let mut callbacks = std::mem::take(&mut self.callbacks);
+        for (_, cb) in &mut callbacks {
+            cb(&ClockView { sim: self });
+        }
+        // Callbacks registered during iteration (rare) are appended.
+        callbacks.append(&mut self.callbacks);
+        self.callbacks = callbacks;
+        true
+    }
+
+    fn time(&self) -> u64 {
+        self.time
+    }
+
+    fn set_time(&mut self, time: u64) -> Result<(), SimError> {
+        use std::cmp::Ordering;
+        match time.cmp(&self.time) {
+            Ordering::Equal => Ok(()),
+            Ordering::Greater => {
+                while self.time < time {
+                    self.step_clock();
+                }
+                Ok(())
+            }
+            Ordering::Less => Err(SimError::TimeTravel(
+                "live simulation cannot rewind; use the replay backend".into(),
+            )),
+        }
+    }
+
+    fn set_value(&mut self, path: &str, value: Bits) -> Result<(), SimError> {
+        let &sig = self
+            .netlist
+            .index
+            .get(path)
+            .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))?;
+        let is_input = self.netlist.inputs.contains(&sig);
+        let is_reg = self.netlist.regs.iter().any(|r| r.sig == sig);
+        if !is_input && !is_reg {
+            return Err(SimError::NotWritable(path.to_owned()));
+        }
+        let width = self.netlist.widths[sig];
+        let value = value.resize(width);
+        self.values.borrow_mut()[sig] = value.clone();
+        if is_reg {
+            // Make the force survive the edge already latched at the
+            // current stop point.
+            for (psig, pv) in &mut self.pending_regs {
+                if *psig == sig {
+                    *pv = value.clone();
+                }
+            }
+        }
+        self.dirty.set(true);
+        Ok(())
+    }
+
+    fn supports_reverse(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgf::CircuitBuilder;
+    use hgf_ir::passes;
+
+    /// Elaborate + lower a generator to a simulator.
+    fn build(
+        f: impl FnOnce(&mut CircuitBuilder),
+        top: &str,
+    ) -> Simulator {
+        let mut cb = CircuitBuilder::new();
+        f(&mut cb);
+        let circuit = cb.finish(top).unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        passes::compile(&mut state, false).unwrap();
+        Simulator::new(&state.circuit).unwrap()
+    }
+
+    fn counter_sim() -> Simulator {
+        build(
+            |cb| {
+                cb.module("counter", |m| {
+                    let en = m.input("en", 1);
+                    let out = m.output("out", 8);
+                    let count = m.reg("count", 8, Some(0));
+                    m.when(en, |m| {
+                        m.assign(&count, count.sig() + m.lit(1, 8));
+                    });
+                    m.assign(&out, count.sig());
+                });
+            },
+            "counter",
+        )
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        sim.step_clock();
+        assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 0);
+        sim.step_clock();
+        assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 1);
+        sim.run(10);
+        assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 11);
+        // Disable: holds.
+        sim.poke("counter.en", Bits::from_bool(false)).unwrap();
+        sim.run(5);
+        assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 12);
+    }
+
+    #[test]
+    fn reset_reloads_init() {
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        sim.run(5);
+        assert!(sim.peek("counter.out").unwrap().to_u64() > 0);
+        sim.reset(2);
+        sim.step_clock();
+        // After reset deasserts, counting restarts from 0.
+        let v = sim.peek("counter.out").unwrap().to_u64();
+        assert!(v <= 1, "count was {v}");
+    }
+
+    #[test]
+    fn combinational_peek_after_poke() {
+        let mut sim = build(
+            |cb| {
+                cb.module("adder", |m| {
+                    let a = m.input("a", 8);
+                    let b = m.input("b", 8);
+                    let out = m.output("out", 8);
+                    m.assign(&out, a + b);
+                });
+            },
+            "adder",
+        );
+        sim.poke("adder.a", Bits::from_u64(3, 8)).unwrap();
+        sim.poke("adder.b", Bits::from_u64(4, 8)).unwrap();
+        // No clock needed for pure comb.
+        assert_eq!(sim.peek("adder.out").unwrap().to_u64(), 7);
+    }
+
+    #[test]
+    fn hierarchy_and_instance_values() {
+        let mut sim = build(
+            |cb| {
+                let child = cb.module("adder", |m| {
+                    let a = m.input("a", 8);
+                    let b = m.input("b", 8);
+                    let sum = m.output("sum", 8);
+                    m.assign(&sum, a + b);
+                });
+                cb.module("top", |m| {
+                    let x = m.input("x", 8);
+                    let out = m.output("out", 8);
+                    let u0 = m.instance("u0", &child);
+                    m.assign(&u0.input("a"), x.clone());
+                    m.assign(&u0.input("b"), x);
+                    m.assign(&out, u0.port("sum"));
+                });
+            },
+            "top",
+        );
+        sim.poke("top.x", Bits::from_u64(21, 8)).unwrap();
+        assert_eq!(sim.peek("top.out").unwrap().to_u64(), 42);
+        assert_eq!(sim.peek("top.u0.sum").unwrap().to_u64(), 42);
+        let hier = sim.hierarchy();
+        assert_eq!(hier.name, "top");
+        assert!(hier.child("u0").is_some());
+        assert!(hier.child("u0").unwrap().signals.contains(&"sum".into()));
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut sim = build(
+            |cb| {
+                cb.module("ram", |m| {
+                    let waddr = m.input("waddr", 4);
+                    let wdata = m.input("wdata", 8);
+                    let wen = m.input("wen", 1);
+                    let raddr = m.input("raddr", 4);
+                    let rdata = m.output("rdata", 8);
+                    let mem = m.mem("mem", 8, 16);
+                    let data = m.mem_read(&mem, "mem_out", raddr);
+                    m.mem_write(&mem, waddr, wdata, wen);
+                    m.assign(&rdata, data);
+                });
+            },
+            "ram",
+        );
+        sim.poke("ram.waddr", Bits::from_u64(5, 4)).unwrap();
+        sim.poke("ram.wdata", Bits::from_u64(0xAB, 8)).unwrap();
+        sim.poke("ram.wen", Bits::from_bool(true)).unwrap();
+        sim.step_clock(); // at edge 1: write scheduled
+        sim.poke("ram.wen", Bits::from_bool(false)).unwrap();
+        sim.step_clock(); // write committed
+        sim.poke("ram.raddr", Bits::from_u64(5, 4)).unwrap();
+        assert_eq!(sim.peek("ram.rdata").unwrap().to_u64(), 0xAB);
+        assert_eq!(sim.peek_mem("ram.mem", 5).unwrap().to_u64(), 0xAB);
+    }
+
+    #[test]
+    fn poke_mem_loads_programs() {
+        let mut sim = build(
+            |cb| {
+                cb.module("rom", |m| {
+                    let addr = m.input("addr", 4);
+                    let data = m.output("data", 8);
+                    let mem = m.mem("mem", 8, 16);
+                    let out = m.mem_read(&mem, "mem_out", addr);
+                    // A write port so DCE keeps nothing extra; tie off.
+                    m.mem_write(&mem, m.lit(0, 4), m.lit(0, 8), m.lit(0, 1));
+                    m.assign(&data, out);
+                });
+            },
+            "rom",
+        );
+        sim.poke_mem("rom.mem", 3, Bits::from_u64(0x5A, 8)).unwrap();
+        sim.poke("rom.addr", Bits::from_u64(3, 4)).unwrap();
+        assert_eq!(sim.peek("rom.data").unwrap().to_u64(), 0x5A);
+    }
+
+    #[test]
+    fn callbacks_fire_with_stable_values() {
+        use std::sync::{Arc, Mutex};
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let id = sim.add_clock_callback(Box::new(move |view| {
+            seen2
+                .lock()
+                .unwrap()
+                .push(view.get_value("counter.out").unwrap().to_u64());
+        }));
+        sim.run(3);
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2]);
+        assert!(sim.remove_clock_callback(id));
+        assert!(!sim.remove_clock_callback(id));
+        sim.run(1);
+        assert_eq!(seen.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn set_time_forward_only() {
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        sim.set_time(5).unwrap();
+        assert_eq!(sim.time(), 5);
+        assert!(matches!(
+            sim.set_time(2),
+            Err(SimError::TimeTravel(_))
+        ));
+        assert!(!sim.supports_reverse());
+    }
+
+    #[test]
+    fn poke_rejects_non_inputs() {
+        let mut sim = counter_sim();
+        assert!(matches!(
+            sim.poke("counter.out", Bits::from_u64(1, 8)),
+            Err(SimError::NotWritable(_))
+        ));
+        assert!(matches!(
+            sim.poke("counter.ghost", Bits::from_u64(1, 8)),
+            Err(SimError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn set_value_can_force_registers() {
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(false)).unwrap();
+        sim.set_value("counter.count", Bits::from_u64(99, 8)).unwrap();
+        assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 99);
+        // Comb nodes are not writable.
+        let comb_err = sim.set_value("counter.out", Bits::from_u64(1, 8));
+        assert!(matches!(comb_err, Err(SimError::NotWritable(_))));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        // Loop through an instance boundary: child passes input to
+        // output; parent feeds the output back into the input. Each
+        // module validates locally, but flattening exposes the cycle.
+        let mut cb = CircuitBuilder::new();
+        let child = cb.module("pass", |m| {
+            let i = m.input("i", 1);
+            let o = m.output("o", 1);
+            m.assign(&o, i);
+        });
+        cb.module("top", |m| {
+            let out = m.output("out", 1);
+            let u = m.instance("u", &child);
+            m.assign(&u.input("i"), u.port("o"));
+            m.assign(&out, u.port("o"));
+        });
+        let circuit = cb.finish("top").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        passes::compile(&mut state, false).unwrap();
+        assert!(matches!(
+            Simulator::new(&state.circuit),
+            Err(SimError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn signal_paths_sorted() {
+        let sim = counter_sim();
+        let paths = sim.signal_paths();
+        assert!(paths.windows(2).all(|w| w[0] <= w[1]));
+        assert!(paths.iter().any(|p| p == "counter.count"));
+        assert!(paths.iter().any(|p| p == "counter.reset"));
+    }
+}

@@ -1,0 +1,585 @@
+//! The hgdb symbol table (§3.4, Figure 3).
+//!
+//! A relational store over [`minidb`] with the paper's schema:
+//!
+//! * `instance(id, name)` — hierarchical RTL instance paths
+//! * `breakpoint(id, filename, line_num, col_num, enable, instance)`
+//! * `variable(id, value)` — `value` is a full hierarchical RTL name
+//! * `scope_variable(id, breakpoint, name, variable)`
+//! * `generator_variable(id, instance, name, variable)`
+//!
+//! and the four query primitives hgdb requires:
+//!
+//! 1. breakpoints from a source location,
+//! 2. scope information for each breakpoint,
+//! 3. scoped variable name → RTL name,
+//! 4. instance variable name → RTL name.
+//!
+//! Breakpoint ids are assigned in the precomputed absolute order of
+//! §3.2 (file, line, column, then instance), so the scheduler can walk
+//! ids directly.
+
+mod build;
+mod json;
+
+pub use build::from_debug_table;
+pub use json::{from_json, to_json};
+
+use minidb::{ColumnType, Database, DbError, Query, TableSchema, Value};
+
+/// A breakpoint row joined with its instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakpointInfo {
+    /// Breakpoint id (also its scheduling order).
+    pub id: i64,
+    /// Generator source file.
+    pub filename: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Enable condition over instance-local signal names (§3.1), or
+    /// `None` when unconditional.
+    pub enable: Option<String>,
+    /// Owning instance id.
+    pub instance_id: i64,
+    /// Owning instance's hierarchical path.
+    pub instance_name: String,
+}
+
+/// The symbol table.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    db: Database,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table with the Figure 3 schema.
+    pub fn new() -> SymbolTable {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("instance")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("id")
+                .index("name"),
+        )
+        .expect("static schema");
+        db.create_table(
+            TableSchema::new("variable")
+                .column("id", ColumnType::Int)
+                .column("value", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .expect("static schema");
+        db.create_table(
+            TableSchema::new("breakpoint")
+                .column("id", ColumnType::Int)
+                .column("filename", ColumnType::Text)
+                .column("line_num", ColumnType::Int)
+                .column("col_num", ColumnType::Int)
+                .column("enable", ColumnType::Text)
+                .nullable("enable")
+                .column("instance", ColumnType::Int)
+                .primary_key("id")
+                .index("filename")
+                .foreign_key("instance", "instance", "id"),
+        )
+        .expect("static schema");
+        db.create_table(
+            TableSchema::new("scope_variable")
+                .column("id", ColumnType::Int)
+                .column("breakpoint", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("variable", ColumnType::Int)
+                .primary_key("id")
+                .index("breakpoint")
+                .foreign_key("breakpoint", "breakpoint", "id")
+                .foreign_key("variable", "variable", "id"),
+        )
+        .expect("static schema");
+        db.create_table(
+            TableSchema::new("generator_variable")
+                .column("id", ColumnType::Int)
+                .column("instance", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("variable", ColumnType::Int)
+                .primary_key("id")
+                .index("instance")
+                .foreign_key("instance", "instance", "id")
+                .foreign_key("variable", "variable", "id"),
+        )
+        .expect("static schema");
+        SymbolTable { db }
+    }
+
+    /// Direct access to the underlying database (read-oriented).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access for builders.
+    pub(crate) fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Registers an instance; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint violations (duplicate ids).
+    pub fn add_instance(&mut self, id: i64, name: &str) -> Result<i64, DbError> {
+        self.db
+            .insert("instance", vec![Value::Int(id), Value::text(name)])?;
+        Ok(id)
+    }
+
+    /// Registers a variable (an RTL name); returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint violations.
+    pub fn add_variable(&mut self, id: i64, rtl_name: &str) -> Result<i64, DbError> {
+        self.db
+            .insert("variable", vec![Value::Int(id), Value::text(rtl_name)])?;
+        Ok(id)
+    }
+
+    /// Registers a breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint violations (e.g. unknown instance).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_breakpoint(
+        &mut self,
+        id: i64,
+        filename: &str,
+        line: u32,
+        col: u32,
+        enable: Option<&str>,
+        instance: i64,
+    ) -> Result<i64, DbError> {
+        self.db.insert(
+            "breakpoint",
+            vec![
+                Value::Int(id),
+                Value::text(filename),
+                Value::Int(line as i64),
+                Value::Int(col as i64),
+                enable.map(Value::text).unwrap_or(Value::Null),
+                Value::Int(instance),
+            ],
+        )?;
+        Ok(id)
+    }
+
+    /// Registers a scope-variable binding for a breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint violations.
+    pub fn add_scope_variable(
+        &mut self,
+        id: i64,
+        breakpoint: i64,
+        name: &str,
+        variable: i64,
+    ) -> Result<i64, DbError> {
+        self.db.insert(
+            "scope_variable",
+            vec![
+                Value::Int(id),
+                Value::Int(breakpoint),
+                Value::text(name),
+                Value::Int(variable),
+            ],
+        )?;
+        Ok(id)
+    }
+
+    /// Registers a generator-variable binding for an instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint violations.
+    pub fn add_generator_variable(
+        &mut self,
+        id: i64,
+        instance: i64,
+        name: &str,
+        variable: i64,
+    ) -> Result<i64, DbError> {
+        self.db.insert(
+            "generator_variable",
+            vec![
+                Value::Int(id),
+                Value::Int(instance),
+                Value::text(name),
+                Value::Int(variable),
+            ],
+        )?;
+        Ok(id)
+    }
+
+    fn row_to_breakpoint(row: &minidb::ResultRow) -> BreakpointInfo {
+        BreakpointInfo {
+            id: row.get("breakpoint.id").and_then(Value::as_int).unwrap_or(0),
+            filename: row
+                .get("breakpoint.filename")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            line: row
+                .get("breakpoint.line_num")
+                .and_then(Value::as_int)
+                .unwrap_or(0) as u32,
+            col: row
+                .get("breakpoint.col_num")
+                .and_then(Value::as_int)
+                .unwrap_or(0) as u32,
+            enable: row
+                .get("breakpoint.enable")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
+            instance_id: row
+                .get("breakpoint.instance")
+                .and_then(Value::as_int)
+                .unwrap_or(0),
+            instance_name: row
+                .get("instance.name")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        }
+    }
+
+    /// Primitive 1 — breakpoints at a source location, in scheduling
+    /// order. `col = None` matches any column on the line; `line =
+    /// None` matches the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn breakpoints_at(
+        &self,
+        filename: &str,
+        line: Option<u32>,
+        col: Option<u32>,
+    ) -> Result<Vec<BreakpointInfo>, DbError> {
+        let mut q = Query::table("breakpoint")
+            .filter_eq("filename", Value::text(filename))
+            .join("instance", "breakpoint.instance", "id");
+        if let Some(line) = line {
+            q = q.filter_eq("line_num", Value::Int(line as i64));
+        }
+        if let Some(col) = col {
+            q = q.filter_eq("col_num", Value::Int(col as i64));
+        }
+        let mut rows: Vec<BreakpointInfo> = q
+            .run(&self.db)?
+            .iter()
+            .map(Self::row_to_breakpoint)
+            .collect();
+        rows.sort_by_key(|b| b.id);
+        Ok(rows)
+    }
+
+    /// All breakpoints in scheduling order (the precomputed "absolute
+    /// ordering of every potential breakpoint", §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn all_breakpoints(&self) -> Result<Vec<BreakpointInfo>, DbError> {
+        let mut rows: Vec<BreakpointInfo> = Query::table("breakpoint")
+            .join("instance", "breakpoint.instance", "id")
+            .run(&self.db)?
+            .iter()
+            .map(Self::row_to_breakpoint)
+            .collect();
+        rows.sort_by_key(|b| b.id);
+        Ok(rows)
+    }
+
+    /// A single breakpoint by id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn breakpoint(&self, id: i64) -> Result<Option<BreakpointInfo>, DbError> {
+        let rows = Query::table("breakpoint")
+            .filter_eq("id", Value::Int(id))
+            .join("instance", "breakpoint.instance", "id")
+            .run(&self.db)?;
+        Ok(rows.first().map(Self::row_to_breakpoint))
+    }
+
+    /// Primitive 2 — scope information for a breakpoint: source
+    /// variable name → full hierarchical RTL name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn scope_of(&self, breakpoint: i64) -> Result<Vec<(String, String)>, DbError> {
+        let rows = Query::table("scope_variable")
+            .filter_eq("breakpoint", Value::Int(breakpoint))
+            .join("variable", "scope_variable.variable", "id")
+            .run(&self.db)?;
+        let mut out: Vec<(String, String)> = rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("scope_variable.name")?.as_str()?.to_owned(),
+                    r.get("variable.value")?.as_str()?.to_owned(),
+                ))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Primitive 3 — resolve a scoped variable at a breakpoint to its
+    /// full RTL name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn resolve_scoped_variable(
+        &self,
+        breakpoint: i64,
+        name: &str,
+    ) -> Result<Option<String>, DbError> {
+        Ok(self
+            .scope_of(breakpoint)?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rtl)| rtl))
+    }
+
+    /// Primitive 4 — resolve an instance variable (generator variable)
+    /// to its full RTL name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn resolve_instance_variable(
+        &self,
+        instance: i64,
+        name: &str,
+    ) -> Result<Option<String>, DbError> {
+        let rows = Query::table("generator_variable")
+            .filter_eq("instance", Value::Int(instance))
+            .filter_eq("name", Value::text(name))
+            .join("variable", "generator_variable.variable", "id")
+            .run(&self.db)?;
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("variable.value"))
+            .and_then(Value::as_str)
+            .map(str::to_owned))
+    }
+
+    /// All generator variables of an instance: name → full RTL name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn instance_variables(&self, instance: i64) -> Result<Vec<(String, String)>, DbError> {
+        let rows = Query::table("generator_variable")
+            .filter_eq("instance", Value::Int(instance))
+            .join("variable", "generator_variable.variable", "id")
+            .run(&self.db)?;
+        let mut out: Vec<(String, String)> = rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("generator_variable.name")?.as_str()?.to_owned(),
+                    r.get("variable.value")?.as_str()?.to_owned(),
+                ))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// All instances as `(id, hierarchical name)`, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn instances(&self) -> Result<Vec<(i64, String)>, DbError> {
+        let mut out: Vec<(i64, String)> = Query::table("instance")
+            .run(&self.db)?
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("id")?.as_int()?,
+                    r.get("name")?.as_str()?.to_owned(),
+                ))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Instance id by hierarchical name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn instance_by_name(&self, name: &str) -> Result<Option<i64>, DbError> {
+        let rows = Query::table("instance")
+            .filter_eq("name", Value::text(name))
+            .run(&self.db)?;
+        Ok(rows.first().and_then(|r| r.get("id")).and_then(Value::as_int))
+    }
+
+    /// Distinct filenames with breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn files(&self) -> Result<Vec<String>, DbError> {
+        let rows = Query::table("breakpoint").run(&self.db)?;
+        let mut files: Vec<String> = rows
+            .iter()
+            .filter_map(|r| r.get("filename")?.as_str().map(str::to_owned))
+            .collect();
+        files.sort();
+        files.dedup();
+        Ok(files)
+    }
+
+    /// Approximate size in bytes (the §4.1 "30% larger in debug mode"
+    /// measurement).
+    pub fn size_in_bytes(&self) -> usize {
+        self.db.size_in_bytes()
+    }
+
+    /// Total rows across all tables.
+    pub fn row_count(&self) -> usize {
+        self.db.row_count()
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SymbolTable {
+        let mut st = SymbolTable::new();
+        st.add_instance(0, "top").unwrap();
+        st.add_instance(1, "top.u0").unwrap();
+        st.add_variable(0, "top.u0.sum_0").unwrap();
+        st.add_variable(1, "top.u0.sum_1").unwrap();
+        st.add_variable(2, "top.u0.io.out").unwrap();
+        st.add_breakpoint(0, "acc.rs", 4, 9, Some("_cond_0"), 1)
+            .unwrap();
+        st.add_breakpoint(1, "acc.rs", 4, 9, Some("_cond_1"), 1)
+            .unwrap();
+        st.add_breakpoint(2, "acc.rs", 6, 5, None, 1).unwrap();
+        st.add_scope_variable(0, 0, "sum", 0).unwrap();
+        st.add_scope_variable(1, 1, "sum", 1).unwrap();
+        st.add_generator_variable(0, 1, "io.out", 2).unwrap();
+        st
+    }
+
+    #[test]
+    fn breakpoints_from_source_location() {
+        let st = sample();
+        let bps = st.breakpoints_at("acc.rs", Some(4), None).unwrap();
+        assert_eq!(bps.len(), 2);
+        assert_eq!(bps[0].id, 0);
+        assert_eq!(bps[0].enable.as_deref(), Some("_cond_0"));
+        assert_eq!(bps[0].instance_name, "top.u0");
+        let all_line = st.breakpoints_at("acc.rs", None, None).unwrap();
+        assert_eq!(all_line.len(), 3);
+        assert!(st
+            .breakpoints_at("other.rs", Some(4), None)
+            .unwrap()
+            .is_empty());
+        let with_col = st.breakpoints_at("acc.rs", Some(4), Some(9)).unwrap();
+        assert_eq!(with_col.len(), 2);
+        assert!(st
+            .breakpoints_at("acc.rs", Some(4), Some(1))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scope_reconstruction() {
+        let st = sample();
+        // At the first breakpoint, `sum` maps to sum_0; at the second,
+        // sum_1 — the paper's Listing 2 mapping.
+        assert_eq!(
+            st.resolve_scoped_variable(0, "sum").unwrap().unwrap(),
+            "top.u0.sum_0"
+        );
+        assert_eq!(
+            st.resolve_scoped_variable(1, "sum").unwrap().unwrap(),
+            "top.u0.sum_1"
+        );
+        assert!(st.resolve_scoped_variable(0, "ghost").unwrap().is_none());
+        assert_eq!(st.scope_of(2).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn instance_variable_resolution() {
+        let st = sample();
+        assert_eq!(
+            st.resolve_instance_variable(1, "io.out").unwrap().unwrap(),
+            "top.u0.io.out"
+        );
+        assert!(st.resolve_instance_variable(0, "io.out").unwrap().is_none());
+        let vars = st.instance_variables(1).unwrap();
+        assert_eq!(vars, vec![("io.out".to_owned(), "top.u0.io.out".to_owned())]);
+    }
+
+    #[test]
+    fn instances_and_files() {
+        let st = sample();
+        assert_eq!(
+            st.instances().unwrap(),
+            vec![(0, "top".to_owned()), (1, "top.u0".to_owned())]
+        );
+        assert_eq!(st.instance_by_name("top.u0").unwrap(), Some(1));
+        assert_eq!(st.instance_by_name("nope").unwrap(), None);
+        assert_eq!(st.files().unwrap(), vec!["acc.rs".to_owned()]);
+    }
+
+    #[test]
+    fn referential_integrity_enforced() {
+        let mut st = SymbolTable::new();
+        // Breakpoint referencing a missing instance is rejected.
+        assert!(st.add_breakpoint(0, "f.rs", 1, 1, None, 42).is_err());
+        st.add_instance(0, "top").unwrap();
+        st.add_breakpoint(0, "f.rs", 1, 1, None, 0).unwrap();
+        // Scope var referencing missing variable rejected.
+        assert!(st.add_scope_variable(0, 0, "x", 7).is_err());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let st = sample();
+        assert!(st.size_in_bytes() > 0);
+        // 2 instances + 3 variables + 3 breakpoints + 2 scope vars +
+        // 1 generator var.
+        assert_eq!(st.row_count(), 11);
+    }
+
+    #[test]
+    fn breakpoint_by_id() {
+        let st = sample();
+        let bp = st.breakpoint(2).unwrap().unwrap();
+        assert_eq!(bp.line, 6);
+        assert!(bp.enable.is_none());
+        assert!(st.breakpoint(99).unwrap().is_none());
+    }
+}

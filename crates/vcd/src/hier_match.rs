@@ -1,0 +1,111 @@
+//! Hierarchy matching between symbol-table instances and trace scopes.
+//!
+//! The symbol table only knows the generated IP's internal hierarchy;
+//! the trace may wrap it in arbitrary testbench scopes
+//! (`TB.dut.core…`). §3.3: "we can use instance names from the symbol
+//! [table] to figure out the actual hierarchy mapping, using common
+//! substring matching" — and §3: "the relative hierarchy does not
+//! change", so a suffix/segment alignment is sound.
+
+/// Finds the full trace path for a symbol-table signal path.
+///
+/// `symbol_path` is the design-relative path (e.g. `top.u0.sum`);
+/// `trace_paths` are the full dotted paths in the trace. The best
+/// match is the trace path with the longest segment-suffix overlap
+/// with the symbol path (requiring at least the leaf to match); ties
+/// go to the shortest (least-wrapped) trace path.
+pub fn map_signal(trace_paths: &[String], symbol_path: &str) -> Option<String> {
+    let sym_segs: Vec<&str> = symbol_path.split('.').collect();
+    let mut best: Option<(usize, &String)> = None;
+    for tp in trace_paths {
+        let tp_segs: Vec<&str> = tp.split('.').collect();
+        let overlap = suffix_overlap(&tp_segs, &sym_segs);
+        if overlap == 0 {
+            continue;
+        }
+        match &best {
+            Some((best_overlap, best_path)) => {
+                if overlap > *best_overlap
+                    || (overlap == *best_overlap && tp.len() < best_path.len())
+                {
+                    best = Some((overlap, tp));
+                }
+            }
+            None => best = Some((overlap, tp)),
+        }
+    }
+    best.map(|(_, p)| p.clone())
+}
+
+/// Computes the testbench prefix wrapping the design: given any one
+/// confidently mapped signal, everything else maps by prefix
+/// substitution. Returns `(trace_prefix, symbol_prefix)`.
+pub fn infer_prefix(trace_path: &str, symbol_path: &str) -> (String, String) {
+    let t: Vec<&str> = trace_path.split('.').collect();
+    let s: Vec<&str> = symbol_path.split('.').collect();
+    let overlap = suffix_overlap(&t, &s);
+    let trace_prefix = t[..t.len() - overlap].join(".");
+    let symbol_prefix = s[..s.len() - overlap].join(".");
+    (trace_prefix, symbol_prefix)
+}
+
+/// Number of trailing path segments shared by the two paths.
+fn suffix_overlap(a: &[&str], b: &[&str]) -> usize {
+    a.iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_match() {
+        let tp = paths(&["top.u0.sum", "top.u0.carry"]);
+        assert_eq!(map_signal(&tp, "top.u0.sum").unwrap(), "top.u0.sum");
+    }
+
+    #[test]
+    fn wrapped_in_testbench_scopes() {
+        let tp = paths(&[
+            "TB.dut.top.u0.sum",
+            "TB.dut.top.u0.carry",
+            "TB.monitor.sum",
+        ]);
+        // Longest suffix overlap picks the dut path over the
+        // monitor's same-leaf signal.
+        assert_eq!(
+            map_signal(&tp, "top.u0.sum").unwrap(),
+            "TB.dut.top.u0.sum"
+        );
+    }
+
+    #[test]
+    fn tie_prefers_least_wrapped() {
+        let tp = paths(&["TB.deep.wrap.u0.sum", "TB.u0.sum"]);
+        assert_eq!(map_signal(&tp, "u0.sum").unwrap(), "TB.u0.sum");
+    }
+
+    #[test]
+    fn no_match_is_none() {
+        let tp = paths(&["top.other.x"]);
+        assert!(map_signal(&tp, "top.u0.sum").is_none());
+    }
+
+    #[test]
+    fn prefix_inference() {
+        let (t, s) = infer_prefix("TB.dut.top.u0.sum", "top.u0.sum");
+        assert_eq!(t, "TB.dut");
+        assert_eq!(s, "");
+        let (t, s) = infer_prefix("top.u0.sum", "core.u0.sum");
+        assert_eq!(t, "top");
+        assert_eq!(s, "core");
+    }
+}

@@ -1,0 +1,199 @@
+//! In-memory trace storage: per-signal change lists over time.
+
+use std::collections::HashMap;
+
+use bits::Bits;
+
+/// A captured waveform: every signal's change list plus the cycle
+/// boundary timestamps (clock rising edges).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Full dotted signal paths.
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    widths: Vec<u32>,
+    /// Per-signal `(time, value)` change lists, times ascending.
+    changes: Vec<Vec<(u64, Bits)>>,
+    /// Timestamps of clock rising edges, ascending — the replay
+    /// engine's cycle boundaries.
+    cycle_times: Vec<u64>,
+    /// Full path of the clock signal, when one was identified.
+    clock: Option<String>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Registers a signal, returning its index.
+    pub fn add_signal(&mut self, path: impl Into<String>, width: u32) -> usize {
+        let path = path.into();
+        if let Some(&i) = self.index.get(&path) {
+            return i;
+        }
+        let i = self.names.len();
+        self.index.insert(path.clone(), i);
+        self.names.push(path);
+        self.widths.push(width);
+        self.changes.push(Vec::new());
+        i
+    }
+
+    /// Appends a change; times must be non-decreasing per signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range or time regresses.
+    pub fn record(&mut self, signal: usize, time: u64, value: Bits) {
+        let list = &mut self.changes[signal];
+        if let Some((last, _)) = list.last() {
+            assert!(*last <= time, "trace changes must be time-ordered");
+            if *last == time {
+                // Same-timestamp overwrite (glitch collapse): keep the
+                // final value, matching zero-delay semantics.
+                list.pop();
+            }
+        }
+        list.push((time, value));
+    }
+
+    /// Marks `time` as a clock rising edge (cycle boundary).
+    pub fn record_cycle(&mut self, time: u64) {
+        if self.cycle_times.last() != Some(&time) {
+            self.cycle_times.push(time);
+        }
+    }
+
+    /// Declares which signal is the clock.
+    pub fn set_clock(&mut self, path: impl Into<String>) {
+        self.clock = Some(path.into());
+    }
+
+    /// The clock signal's path, if known.
+    pub fn clock(&self) -> Option<&str> {
+        self.clock.as_deref()
+    }
+
+    /// All signal paths.
+    pub fn signal_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a signal path.
+    pub fn signal_index(&self, path: &str) -> Option<usize> {
+        self.index.get(path).copied()
+    }
+
+    /// Width of a signal.
+    pub fn width(&self, signal: usize) -> u32 {
+        self.widths[signal]
+    }
+
+    /// Cycle boundary timestamps.
+    pub fn cycle_times(&self) -> &[u64] {
+        &self.cycle_times
+    }
+
+    /// Number of captured cycles.
+    pub fn cycle_count(&self) -> usize {
+        self.cycle_times.len()
+    }
+
+    /// The value of `signal` at `time` (last change at or before
+    /// `time`); `None` before the first change.
+    pub fn value_at(&self, signal: usize, time: u64) -> Option<Bits> {
+        let list = &self.changes[signal];
+        let pos = list.partition_point(|(t, _)| *t <= time);
+        if pos == 0 {
+            None
+        } else {
+            Some(list[pos - 1].1.clone())
+        }
+    }
+
+    /// The value of a signal by path at `time`.
+    pub fn value_of(&self, path: &str, time: u64) -> Option<Bits> {
+        self.value_at(self.signal_index(path)?, time)
+    }
+
+    /// Total number of recorded changes (diagnostics).
+    pub fn change_count(&self) -> usize {
+        self.changes.iter().map(Vec::len).sum()
+    }
+
+    /// All timestamps at which any signal changed (unsorted, may
+    /// contain duplicates).
+    pub fn all_change_times(&self) -> Vec<u64> {
+        self.changes
+            .iter()
+            .flat_map(|list| list.iter().map(|(t, _)| *t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = Trace::new();
+        let s = t.add_signal("top.x", 8);
+        t.record(s, 0, Bits::from_u64(1, 8));
+        t.record(s, 10, Bits::from_u64(2, 8));
+        t.record(s, 20, Bits::from_u64(3, 8));
+        assert_eq!(t.value_at(s, 0).unwrap().to_u64(), 1);
+        assert_eq!(t.value_at(s, 9).unwrap().to_u64(), 1);
+        assert_eq!(t.value_at(s, 10).unwrap().to_u64(), 2);
+        assert_eq!(t.value_at(s, 25).unwrap().to_u64(), 3);
+        assert_eq!(t.value_of("top.x", 15).unwrap().to_u64(), 2);
+        assert!(t.value_of("top.ghost", 0).is_none());
+    }
+
+    #[test]
+    fn before_first_change_is_none() {
+        let mut t = Trace::new();
+        let s = t.add_signal("a", 1);
+        t.record(s, 5, Bits::from_bool(true));
+        assert!(t.value_at(s, 4).is_none());
+    }
+
+    #[test]
+    fn same_time_overwrite_keeps_last() {
+        let mut t = Trace::new();
+        let s = t.add_signal("a", 4);
+        t.record(s, 5, Bits::from_u64(1, 4));
+        t.record(s, 5, Bits::from_u64(2, 4));
+        assert_eq!(t.value_at(s, 5).unwrap().to_u64(), 2);
+        assert_eq!(t.change_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn time_regression_panics() {
+        let mut t = Trace::new();
+        let s = t.add_signal("a", 1);
+        t.record(s, 5, Bits::from_bool(true));
+        t.record(s, 4, Bits::from_bool(false));
+    }
+
+    #[test]
+    fn cycles_deduplicate() {
+        let mut t = Trace::new();
+        t.record_cycle(10);
+        t.record_cycle(10);
+        t.record_cycle(20);
+        assert_eq!(t.cycle_times(), &[10, 20]);
+        assert_eq!(t.cycle_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_add_signal_returns_same_index() {
+        let mut t = Trace::new();
+        let a = t.add_signal("x", 4);
+        let b = t.add_signal("x", 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's §4.2 case study: finding a known FPU bug with hgdb.
+//!
+//! The RocketChip bug (Listing 3): `dcmp.io.signaling` is permanently
+//! asserted, so *quiet* NaN comparisons incorrectly raise the invalid
+//! exception flag. The generated RTL (Listing 4) is incomprehensible;
+//! the hgdb session below finds the bug at source level in three
+//! steps, exactly as the paper narrates:
+//!
+//! 1. set a breakpoint inside the `when(wflags)` block,
+//! 2. observe the exception flags mismatch the functional model,
+//! 3. inspect the reconstructed `dcmp.io` bundle — `signaling` is
+//!    stuck at 1.
+//!
+//! Run with `cargo run --example fpu_bug`.
+
+use bits::Bits;
+use hgf::{CircuitBuilder, ModuleBuilder, Signal};
+use hgdb::{RunOutcome, Runtime};
+use rtl_sim::Simulator;
+
+/// Simplified IEEE-754 single-precision view: NaN iff exponent is all
+/// ones and the mantissa is nonzero; signaling NaN has mantissa MSB 0.
+fn is_nan(m: &ModuleBuilder<'_>, x: &Signal) -> Signal {
+    let exp_ones = x.slice(30, 23).eq(&m.lit(0xFF, 8));
+    let mant_nonzero = x.slice(22, 0).ne(&m.lit(0, 23));
+    exp_ones & mant_nonzero
+}
+
+fn is_snan(m: &ModuleBuilder<'_>, x: &Signal) -> Signal {
+    let quiet_bit = x.bit(22);
+    is_nan(m, x) & !quiet_bit
+}
+
+/// The comparator child module ("dcmp" in the paper): compares two
+/// floats; raises the invalid flag for signaling NaNs always, and for
+/// *quiet* NaNs only when `io.signaling` requests it.
+fn build_dcmp(cb: &mut CircuitBuilder) -> hgf::ModuleHandle {
+    cb.module("dcmp", |m| {
+        let a = m.input("io.a", 32);
+        let b = m.input("io.b", 32);
+        let signaling = m.input("io.signaling", 1);
+        let lt = m.output("io.lt", 1);
+        let eq = m.output("io.eq", 1);
+        let exc = m.output("io.exceptionFlags", 5);
+
+        let any_nan = m.node("any_nan", is_nan(m, &a) | is_nan(m, &b));
+        let any_snan = m.node("any_snan", is_snan(m, &a) | is_snan(m, &b));
+        // invalid (bit 4) := sNaN always, qNaN only if signaling.
+        let invalid = m.node("invalid", &any_snan | &(&signaling & &any_nan));
+        m.assign(&exc, invalid.cat(&m.lit(0, 4)));
+
+        // Ordered comparison on the magnitude bits (sign-magnitude),
+        // forced false when either input is NaN.
+        let both_ok = !any_nan;
+        let a_lt_b = a.slice(30, 0).lt(&b.slice(30, 0));
+        let sign_a = a.bit(31);
+        let sign_b = b.bit(31);
+        let lt_val = sign_a.gt(&sign_b) | (sign_a.eq(&sign_b) & a_lt_b);
+        m.assign(&lt, &both_ok & &lt_val);
+        m.assign(&eq, &both_ok & &a.eq(&b).zext(1).trunc(1));
+    })
+}
+
+/// The FPU wrapper containing the injected bug (Listing 3).
+fn build_fpu(cb: &mut CircuitBuilder, dcmp: &hgf::ModuleHandle) -> u32 {
+    let mut bug_line = 0;
+    cb.module("fpu", |m| {
+        let in1 = m.input("in.in1", 32);
+        let in2 = m.input("in.in2", 32);
+        let wflags = m.input("in.wflags", 1);
+        let rm = m.input("in.rm", 3);
+        let toint = m.output("toint", 32);
+        let exc = m.output("io.out.bits.exc", 5);
+
+        let dcmp_inst = m.instance("dcmp", dcmp);
+        m.assign(&dcmp_inst.input("io.a"), in1.clone());
+        m.assign(&dcmp_inst.input("io.b"), in2.clone());
+        // ===== THE BUG (paper Listing 3): =====
+        //   dcmp.io.signaling := Bool(true)
+        // should depend on the operation (feq is quiet), but is tied
+        // high.
+        bug_line = line!() + 1;
+        m.assign(&dcmp_inst.input("io.signaling"), m.lit(1, 1));
+
+        let toint_w = m.wire("toint_w", in1.clone());
+        let exc_w = m.wire("exc_w", m.lit(0, 5));
+        m.when(wflags.clone(), |m| {
+            // toint := (~in.rm & Cat(dcmp.io.lt, dcmp.io.eq)).orR ...
+            let cmp = dcmp_inst.port("io.lt").cat(&dcmp_inst.port("io.eq"));
+            let masked = (!&rm.slice(1, 0)) & cmp;
+            m.assign(&toint_w, masked.reduce_or().zext(32));
+            m.assign(&exc_w, dcmp_inst.port("io.exceptionFlags"));
+        });
+        m.assign(&toint, toint_w.sig());
+        m.assign(&exc, exc_w.sig());
+    });
+    bug_line
+}
+
+/// Functional (golden) model of a quiet feq: compares equal, never
+/// raises invalid for quiet NaNs.
+fn golden_feq(a: u32, b: u32) -> (u32, u32) {
+    let nan = |x: u32| (x >> 23) & 0xFF == 0xFF && x & 0x7F_FFFF != 0;
+    let snan = |x: u32| nan(x) && (x >> 22) & 1 == 0;
+    let eq = if nan(a) || nan(b) { 0 } else { u32::from(a == b) };
+    let invalid = u32::from(snan(a) || snan(b)); // quiet compare!
+    (eq, invalid << 4)
+}
+
+fn main() {
+    let mut cb = CircuitBuilder::new();
+    let dcmp = build_dcmp(&mut cb);
+    let bug_line = build_fpu(&mut cb, &dcmp);
+    let circuit = cb.finish("fpu").expect("valid");
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
+
+    // Show a taste of the generated RTL — the Listing 4 experience.
+    let verilog = hgf_ir::verilog::emit_circuit(&state.circuit);
+    println!("--- generated RTL the designer would otherwise read ---");
+    for line in verilog.lines().filter(|l| l.contains("_GEN_") || l.contains("_T_")).take(6) {
+        println!("{line}");
+    }
+
+    // Test vector: feq(qNaN, 1.0). A quiet compare must NOT raise
+    // invalid.
+    let qnan: u32 = 0x7FC0_0000;
+    let one: u32 = 0x3F80_0000;
+    let (golden_eq, golden_exc) = golden_feq(qnan, one);
+
+    let mut sim = Simulator::new(&state.circuit).expect("builds");
+    sim.poke("fpu.in.in1", Bits::from_u64(qnan as u64, 32)).unwrap();
+    sim.poke("fpu.in.in2", Bits::from_u64(one as u64, 32)).unwrap();
+    sim.poke("fpu.in.wflags", Bits::from_bool(true)).unwrap();
+    sim.poke("fpu.in.rm", Bits::from_u64(0b010, 3)).unwrap(); // feq
+
+    let hw_exc = sim.peek("fpu.io.out.bits.exc").unwrap().to_u64() as u32;
+    let hw_toint = sim.peek("fpu.toint").unwrap().to_u64() as u32;
+    println!("\n--- mismatch vs functional model ---");
+    println!("feq(qNaN, 1.0): toint={hw_toint} (golden eq={golden_eq}) ✓");
+    println!("exceptionFlags: hardware={hw_exc:#07b}, golden={golden_exc:#07b}  ✗ MISMATCH");
+    assert_ne!(hw_exc, golden_exc, "the bug must reproduce");
+
+    // Debug it: breakpoint inside the when(wflags) block -- "the
+    // breakpoint is set inside the when statement, since this is the
+    // condition where floating-point comparison is enabled."
+    let mut dbg = Runtime::attach(sim, symbols).expect("attach");
+    let exc_line = bug_line + 10; // the exc_w assignment inside when(wflags)
+    let mut hit_line = None;
+    for line in [exc_line, exc_line + 1, exc_line - 1] {
+        if dbg.insert_breakpoint(file!(), line, None, None).is_ok() {
+            hit_line = Some(line);
+            break;
+        }
+    }
+    let hit_line = hit_line.expect("a breakpoint inside when(wflags)");
+    println!("\n--- hgdb session ---");
+    println!("(hgdb) break {}:{hit_line}", file!());
+
+    match dbg.continue_run(Some(10)).expect("runs") {
+        RunOutcome::Stopped(event) => {
+            let frame = &event.hits[0];
+            println!("(hgdb) hit breakpoint at {}:{} in {}", frame.filename, frame.line, frame.instance);
+            // Examine the generator variables: reconstruct dcmp's IO
+            // bundle from flattened RTL signals.
+            let signaling = dbg
+                .eval(Some("fpu.dcmp"), "io.signaling")
+                .expect("resolves");
+            let exc = dbg.eval(Some("fpu"), "io.out.bits.exc").expect("resolves");
+            println!("(hgdb) print io.out.bits.exc     -> {exc:#b}");
+            println!("(hgdb) print dcmp.io.signaling   -> {signaling}");
+            assert_eq!(signaling.to_u64(), 1);
+            println!(
+                "\ndiagnosis: dcmp.io.signaling is permanently asserted —\n\
+                 a quiet feq must not signal; fix the assignment at {}:{bug_line}.",
+                file!()
+            );
+        }
+        RunOutcome::Finished { .. } => panic!("breakpoint did not hit"),
+    }
+}

@@ -1,0 +1,190 @@
+//! The gdb-inspired interactive debugger (§3.5) over the RPC protocol.
+//!
+//! The debugger frontend and the simulation communicate exclusively
+//! through the JSON debug protocol (in-process channel here; pass
+//! `--tcp` to run the same session over a socket, proving the
+//! transport independence Figure 1 shows).
+//!
+//! Run interactively:   `cargo run --example gdb_cli`
+//! Scripted self-demo:  `cargo run --example gdb_cli -- --demo`
+//!
+//! Commands: b FILE:LINE [COND] | c | s | rs | p EXPR | info | frames | q
+
+use std::io::{BufRead, Write};
+use std::thread;
+
+use bits::Bits;
+use hgdb::{channel_pair, serve, ChannelPair, DebugClient, Runtime, Transport};
+use microjson::Json;
+use rtl_sim::Simulator;
+
+fn build_target() -> (Simulator, symtab::SymbolTable, u32) {
+    // The quickstart accumulator plus a counter — enough surface to
+    // explore.
+    let mut cb = hgf::CircuitBuilder::new();
+    let bp_line = line!() + 5; // the m.assign inside the when below
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.when(count.sig().lt(&m.lit(200, 8)), |m| {
+            m.assign(&count, count.sig() + m.lit(1, 8));
+        });
+        m.assign(&out, count.sig());
+    });
+    let circuit = cb.finish("top").expect("valid");
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
+    let sim = Simulator::new(&state.circuit).expect("builds");
+    (sim, symbols, bp_line)
+}
+
+fn print_response(resp: &Json) {
+    match resp["type"].as_str() {
+        Some("stopped") => {
+            let e = &resp["event"];
+            println!(
+                "stopped at {}:{} (cycle {})",
+                e["filename"].as_str().unwrap_or("?"),
+                e["line"].as_i64().unwrap_or(0),
+                e["time"].as_i64().unwrap_or(0)
+            );
+            for hit in e["hits"].as_array().unwrap_or(&[]) {
+                println!("  thread {}", hit["instance"].as_str().unwrap_or("?"));
+                if let Some(locals) = hit["locals"].as_object() {
+                    for (name, v) in locals {
+                        println!(
+                            "    {name} = {}",
+                            v["decimal"].as_str().unwrap_or("<unavailable>")
+                        );
+                    }
+                }
+            }
+        }
+        Some("finished") => println!("finished at cycle {}", resp["time"].as_i64().unwrap_or(0)),
+        Some("inserted") => println!("breakpoints {:?}", resp["ids"].as_array().unwrap_or(&[])),
+        Some("value") => println!("= {}", resp["text"].as_str().unwrap_or("?")),
+        Some("time") => println!("cycle {}", resp["time"].as_i64().unwrap_or(0)),
+        Some("breakpoints") => {
+            for b in resp["items"].as_array().unwrap_or(&[]) {
+                println!(
+                    "  #{} {}:{} [{}] hits={}",
+                    b["id"].as_i64().unwrap_or(0),
+                    b["filename"].as_str().unwrap_or("?"),
+                    b["line"].as_i64().unwrap_or(0),
+                    b["instance"].as_str().unwrap_or("?"),
+                    b["hit_count"].as_i64().unwrap_or(0)
+                );
+            }
+        }
+        _ => println!("{resp}"),
+    }
+}
+
+fn run_command(client: &mut DebugClient<ChannelPair>, line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or("");
+    let rest: Vec<&str> = parts.collect();
+    let result = match cmd {
+        "b" | "break" => {
+            let Some(loc) = rest.first() else {
+                println!("usage: b FILE:LINE [CONDITION]");
+                return true;
+            };
+            let Some((file, line)) = loc.rsplit_once(':') else {
+                println!("usage: b FILE:LINE [CONDITION]");
+                return true;
+            };
+            let Ok(line) = line.parse::<u32>() else {
+                println!("bad line number");
+                return true;
+            };
+            let cond = (!rest[1..].is_empty()).then(|| rest[1..].join(" "));
+            client.insert_breakpoint(file, line, cond.as_deref()).map(|ids| {
+                println!("inserted {ids:?}");
+            })
+        }
+        "c" | "continue" => client.continue_run(Some(1_000_000)).map(|r| print_response(&r)),
+        "s" | "step" => client.step().map(|r| print_response(&r)),
+        "rs" | "reverse-step" => client.reverse_step().map(|r| print_response(&r)),
+        "p" | "print" => {
+            let expr = rest.join(" ");
+            client.eval(None, &expr).map(|v| println!("= {v}"))
+        }
+        "info" | "frames" => client
+            .request(&hgdb::protocol::Request::Frames)
+            .map(|r| print_response(&r)),
+        "t" | "time" => client.time().map(|t| println!("cycle {t}")),
+        "q" | "quit" => {
+            let _ = client.detach();
+            return false;
+        }
+        "" => return true,
+        other => {
+            println!("unknown command {other:?} (b/c/s/rs/p/info/t/q)");
+            return true;
+        }
+    };
+    if let Err(e) = result {
+        println!("error: {e}");
+    }
+    true
+}
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let (mut server_t, client_t) = channel_pair();
+    let (sim, symbols, bp_line) = build_target();
+
+    // The simulation+runtime side runs on its own thread, exactly like
+    // a simulator process serving a remote debugger.
+    let server = thread::spawn(move || {
+        let mut runtime = Runtime::attach(sim, symbols).expect("attach");
+        serve(&mut runtime, &mut server_t);
+    });
+
+    let mut client = DebugClient::new(client_t);
+
+    if demo {
+        // Scripted session (used by CI): the counter increments under
+        // a when, so the increment line carries a breakpoint.
+        println!("(scripted demo session)");
+        let commands = vec![
+            format!("b {}:{bp_line} count == 5", file!()),
+            "c".to_owned(),
+            "p top.count".to_owned(),
+            "frames".to_owned(),
+            "c".to_owned(),
+            "p top.count".to_owned(),
+            "t".to_owned(),
+            "q".to_owned(),
+        ];
+        for cmd in commands {
+            println!("(hgdb) {cmd}");
+            if !run_command(&mut client, &cmd) {
+                break;
+            }
+        }
+    } else {
+        println!("hgdb gdb-style CLI. Commands: b FILE:LINE [COND], c, s, rs, p EXPR, info, t, q");
+        println!("try: b {}:{bp_line} count == 5", file!());
+        let stdin = std::io::stdin();
+        loop {
+            print!("(hgdb) ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                let _ = client.detach();
+                break;
+            }
+            if !run_command(&mut client, line.trim()) {
+                break;
+            }
+        }
+    }
+    server.join().expect("server thread");
+    // Silence unused-import style warnings for Bits/Transport in some
+    // configurations.
+    let _ = Bits::from_bool(true);
+    fn _assert_transport<T: Transport>() {}
+}

@@ -1,0 +1,78 @@
+//! Quickstart: generate hardware, compile it, and debug it at source
+//! level.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hgf::CircuitBuilder;
+use hgdb::{RunOutcome, Runtime};
+use rtl_sim::Simulator;
+
+fn main() {
+    // 1. Write a generator. Plain Rust: the `for` loop unrolls into
+    //    hardware, and every emitted statement records this file/line.
+    let mut cb = CircuitBuilder::new();
+    let bp_line = line!() + 8; // the conditional accumulate below
+    cb.module("acc", |m| {
+        let data = [m.input("data0", 8), m.input("data1", 8)];
+        let out = m.output("out", 8);
+        let sum = m.wire("sum", m.lit(0, 8));
+        for d in data {
+            let odd = d.rem(&m.lit(2, 8)).eq(&m.lit(1, 8));
+            m.when(odd, |m| {
+                m.assign(&sum, sum.sig() + d.clone()); // <- breakpoint here
+            });
+        }
+        m.assign(&out, sum.sig());
+    });
+    let circuit = cb.finish("acc").expect("valid circuit");
+
+    // 2. Compile: when-expansion + SSA, optimization passes, and the
+    //    two-pass symbol extraction of the paper's Algorithm 1.
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let debug_table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols =
+        symtab::from_debug_table(&state.circuit, &debug_table).expect("symbol table");
+    println!(
+        "compiled: {} breakpoints, {} symbol rows",
+        debug_table.breakpoints.len(),
+        symbols.row_count()
+    );
+
+    // 3. Simulate and attach hgdb.
+    let mut sim = Simulator::new(&state.circuit).expect("builds");
+    sim.poke("acc.data0", bits::Bits::from_u64(3, 8)).unwrap();
+    sim.poke("acc.data1", bits::Bits::from_u64(5, 8)).unwrap();
+    let mut dbg = Runtime::attach(sim, symbols).expect("attach");
+
+    // 4. Set a breakpoint on the generator source line. The loop ran
+    //    twice, so ONE source line maps to TWO breakpoints with
+    //    different enable conditions (the paper's Listing 1 -> 2).
+    let ids = dbg
+        .insert_breakpoint(file!(), bp_line, None, None)
+        .expect("breakpoint exists");
+    println!("inserted breakpoints {ids:?} at {}:{bp_line}", file!());
+
+    // 5. Run. Both inputs are odd, so both breakpoints hit; `sum`
+    //    resolves to the SSA version live before each statement.
+    for step in 0..2 {
+        match dbg.continue_run(Some(10)).expect("runs") {
+            RunOutcome::Stopped(event) => {
+                println!("\nstop #{step} at cycle {}:", event.time);
+                for frame in &event.hits {
+                    print!("{}", frame.render());
+                    let sum = frame.local("sum").expect("sum in scope");
+                    println!("  -> sum (before this statement) = {sum}");
+                }
+            }
+            RunOutcome::Finished { time } => {
+                println!("finished at {time}");
+                break;
+            }
+        }
+    }
+
+    // 6. Evaluate an expression in instance context, then finish.
+    let out = dbg.eval(Some("acc"), "out").expect("evals");
+    println!("\nfinal: acc.out = {out} (3 + 5 = 8 expected)");
+    assert_eq!(out.to_u64(), 8);
+}

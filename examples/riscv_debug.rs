@@ -1,0 +1,141 @@
+//! Debugging a running CPU at generator-source level (the paper's
+//! RocketChip scenario, §4.2–4.3).
+//!
+//! The `rv32` core is itself an `hgf` generator, so hgdb can set
+//! breakpoints *inside the CPU's source* while it executes a
+//! benchmark: here we break on the ECALL-retirement statement with a
+//! conditional expression, then inspect architectural state through
+//! generator variables.
+//!
+//! Run with `cargo run --release --example riscv_debug`.
+
+use bits::Bits;
+use hgdb::{RunOutcome, Runtime};
+use rtl_sim::Simulator;
+
+fn main() {
+    // Build + compile the core in debug mode (full symbol table).
+    let cfg = rv32::CoreConfig {
+        imem_words: 4096,
+        dmem_words: 4096,
+    };
+    let mut cb = hgf::CircuitBuilder::new();
+    rv32::build_core(&mut cb, "cpu", cfg);
+    let circuit = cb.finish("cpu").expect("elaborates");
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
+    println!(
+        "core compiled: {} statements carry breakpoints, files: {:?}",
+        table.breakpoints.len(),
+        symbols.files().unwrap()
+    );
+
+    // Load the `multiply` benchmark.
+    let workload = rv32::programs::multiply();
+    let program = rv32::asm::assemble(&workload.source).expect("assembles");
+    let mut sim = Simulator::new(&state.circuit).expect("builds");
+    for (i, w) in program.iter().enumerate() {
+        sim.poke_mem("cpu.imem", i, Bits::from_u64(*w as u64, 32))
+            .unwrap();
+    }
+
+    let mut dbg = Runtime::attach(sim, symbols).expect("attach");
+
+    // Breakpoint 1: the ECALL handler inside the core's generator
+    // source (the `m.assign(&tohost, ...)` statement) — it only fires
+    // when the guarded when-block is active, i.e. at program exit.
+    let ecall_bp = dbg
+        .symbols()
+        .all_breakpoints()
+        .expect("query")
+        .into_iter()
+        .find(|b| {
+            b.enable.as_deref().is_some_and(|e| e.contains("_cond"))
+                && dbg
+                    .symbols()
+                    .scope_of(b.id)
+                    .unwrap()
+                    .iter()
+                    .any(|(n, _)| n == "tohost_r")
+        })
+        .expect("the tohost assignment");
+    println!(
+        "\n(hgdb) break {}:{}   # the ECALL retirement statement",
+        ecall_bp.filename, ecall_bp.line
+    );
+    dbg.insert_breakpoint(&ecall_bp.filename, ecall_bp.line, None, None)
+        .expect("insert");
+
+    // Breakpoint 2: conditional — stop when the program counter
+    // reaches 0x8 (third instruction), demonstrating user conditions
+    // over generator variables.
+    let pc_bp = dbg
+        .symbols()
+        .all_breakpoints()
+        .expect("query")
+        .into_iter()
+        .find(|b| {
+            dbg.symbols()
+                .scope_of(b.id)
+                .unwrap()
+                .iter()
+                .any(|(n, _)| n == "pc")
+                && b.enable.is_none()
+        })
+        .expect("an unconditional statement seeing pc");
+    println!(
+        "(hgdb) break {}:{} if pc == 8",
+        pc_bp.filename, pc_bp.line
+    );
+    dbg.insert_breakpoint(&pc_bp.filename, pc_bp.line, None, Some("pc == 8"))
+        .expect("insert");
+
+    // Run: the pc == 8 condition hits first.
+    match dbg.continue_run(Some(100_000)).expect("runs") {
+        RunOutcome::Stopped(event) => {
+            println!(
+                "\nstop 1: cycle {} at {}:{} (pc condition)",
+                event.time, event.filename, event.line
+            );
+            for (name, expr) in [
+                ("pc", "pc"),
+                ("insn", "insn"),
+                ("opcode", "opcode"),
+                ("rs1_val", "rs1_val"),
+                ("alu_out", "alu_out"),
+            ] {
+                let v = dbg.eval(Some("cpu"), expr).expect("evals");
+                println!("  (hgdb) print {name:<8} -> {v:#x}");
+            }
+            assert_eq!(dbg.eval(Some("cpu"), "pc").unwrap().to_u64(), 8);
+        }
+        RunOutcome::Finished { .. } => panic!("pc breakpoint should hit"),
+    }
+
+    // Remove the pc breakpoint and continue to program exit.
+    let listing = dbg.breakpoints();
+    for bp in listing.iter().filter(|b| b.condition.is_some()) {
+        dbg.remove_breakpoint(bp.id).expect("remove");
+    }
+    match dbg.continue_run(Some(100_000)).expect("runs") {
+        RunOutcome::Stopped(event) => {
+            println!(
+                "\nstop 2: cycle {} at {}:{} (ECALL retirement)",
+                event.time, event.filename, event.line
+            );
+            let a0 = dbg.eval(Some("cpu"), "a0_val").expect("evals");
+            println!("  (hgdb) print a0_val -> {a0}");
+            assert_eq!(
+                a0.to_u64() as u32,
+                workload.expected,
+                "multiply checksum visible in a0 at ECALL"
+            );
+            println!(
+                "\nbenchmark result observed at source level: {} = {} ✓",
+                workload.name, a0
+            );
+        }
+        RunOutcome::Finished { .. } => panic!("ECALL breakpoint should hit"),
+    }
+}

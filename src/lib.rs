@@ -1,0 +1,15 @@
+//! Meta crate for the hgdb reproduction workspace.
+//!
+//! Re-exports every workspace crate so that the root `examples/` and
+//! `tests/` directories can exercise the full public API surface.
+
+pub use bits;
+pub use hgdb;
+pub use hgf;
+pub use hgf_ir;
+pub use microjson;
+pub use minidb;
+pub use rtl_sim;
+pub use rv32;
+pub use symtab;
+pub use vcd;

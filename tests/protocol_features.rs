@@ -1,0 +1,181 @@
+//! Integration tests for the RPC debug protocol over both transports
+//! (Figure 1's debugger arrows, Figure 4's feature set A–D).
+
+use std::net::TcpListener;
+use std::thread;
+
+use bits::Bits;
+use hgdb::protocol::Request;
+use hgdb::{channel_pair, serve, serve_tcp, DebugClient, Runtime};
+use hgf::CircuitBuilder;
+use rtl_sim::Simulator;
+
+fn build_counter() -> (Simulator, symtab::SymbolTable, u32) {
+    let mut cb = CircuitBuilder::new();
+    let bp_line = line!() + 5;
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.when(count.sig().lt(&m.lit(100, 8)), |m| {
+            m.assign(&count, count.sig() + m.lit(1, 8));
+        });
+        m.assign(&out, count.sig());
+    });
+    let circuit = cb.finish("top").unwrap();
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+    let symbols = symtab::from_debug_table(&state.circuit, &table).unwrap();
+    let sim = Simulator::new(&state.circuit).unwrap();
+    (sim, symbols, bp_line)
+}
+
+/// Full conversation over the in-process channel transport.
+#[test]
+fn channel_session_covers_figure4_features() {
+    let (mut server_t, client_t) = channel_pair();
+    let (sim, symbols, bp_line) = build_counter();
+    let server = thread::spawn(move || {
+        let mut runtime = Runtime::attach(sim, symbols).unwrap();
+        serve(&mut runtime, &mut server_t);
+    });
+    let mut client = DebugClient::new(client_t);
+
+    // D: source + conditional breakpoints.
+    let ids = client
+        .insert_breakpoint(file!(), bp_line, Some("count == 7"))
+        .unwrap();
+    assert_eq!(ids.len(), 1);
+
+    // C: continue.
+    let stop = client.continue_run(Some(1000)).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+    // A: variable values in the frame.
+    let hit = &stop["event"]["hits"][0];
+    assert_eq!(hit["locals"]["count"]["decimal"].as_str(), Some("7"));
+    // B: thread (instance) identity.
+    assert_eq!(hit["instance"].as_str(), Some("top"));
+
+    // Frames re-query returns the same stop.
+    let frames = client.request(&Request::Frames).unwrap();
+    assert_eq!(frames["event"]["time"], stop["event"]["time"]);
+
+    // Eval + hierarchy + time round-trips.
+    assert_eq!(client.eval(Some("top"), "count * 2").unwrap(), "14");
+    let hier = client.request(&Request::Hierarchy).unwrap();
+    assert_eq!(hier["tree"]["name"].as_str(), Some("top"));
+    assert!(client.time().unwrap() >= 7);
+
+    // Set-value primitive (§3.3 optional primitive 5).
+    client
+        .request(&Request::SetValue {
+            instance: Some("top".into()),
+            name: "count".into(),
+            value: "42".into(),
+        })
+        .unwrap();
+    assert_eq!(client.eval(Some("top"), "count").unwrap(), "42");
+
+    // Breakpoint listing shows hit counts.
+    let listing = client.request(&Request::ListBreakpoints).unwrap();
+    assert_eq!(listing["items"][0]["hit_count"].as_i64(), Some(1));
+
+    // Errors are reported, not fatal.
+    let err = client.insert_breakpoint("nope.rs", 1, None).unwrap_err();
+    assert!(err.to_string().contains("no breakpoint"));
+
+    client.detach().unwrap();
+    server.join().unwrap();
+}
+
+/// The same protocol over a real TCP socket.
+#[test]
+fn tcp_session_round_trips() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (sim, symbols, bp_line) = build_counter();
+    let server = thread::spawn(move || {
+        let mut runtime = Runtime::attach(sim, symbols).unwrap();
+        serve_tcp(&mut runtime, &listener).unwrap();
+    });
+
+    let mut client = hgdb::client::connect_tcp(&addr.to_string()).unwrap();
+    let ids = client.insert_breakpoint(file!(), bp_line, None).unwrap();
+    assert!(!ids.is_empty());
+    let stop = client.continue_run(Some(100)).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+    assert_eq!(client.eval(None, "top.count").unwrap(), "0");
+    client.detach().unwrap();
+    server.join().unwrap();
+}
+
+/// Malformed input over the wire produces protocol errors, not server
+/// death.
+#[test]
+fn malformed_requests_survive() {
+    use hgdb::Transport;
+    let (mut server_t, mut client_t) = channel_pair();
+    let (sim, symbols, _) = build_counter();
+    let server = thread::spawn(move || {
+        let mut runtime = Runtime::attach(sim, symbols).unwrap();
+        serve(&mut runtime, &mut server_t);
+    });
+
+    client_t.send("this is not json").unwrap();
+    let reply = client_t.recv().unwrap();
+    assert!(reply.contains("error"));
+    client_t.send(r#"{"type":"frobnicate"}"#).unwrap();
+    let reply = client_t.recv().unwrap();
+    assert!(reply.contains("unknown request"));
+    // Still alive: a valid request works.
+    client_t.send(r#"{"type":"time"}"#).unwrap();
+    let reply = client_t.recv().unwrap();
+    assert!(reply.contains("time"));
+    client_t.send(r#"{"type":"detach"}"#).unwrap();
+    let _ = client_t.recv();
+    server.join().unwrap();
+}
+
+/// Replay backend through the same runtime: reverse debugging over the
+/// protocol.
+#[test]
+fn replay_reverse_over_protocol() {
+    let (sim, symbols, bp_line) = build_counter();
+    // Record 30 cycles.
+    let mut sim = sim;
+    let mut vcd_text = Vec::new();
+    {
+        let mut rec = vcd::Recorder::new(&sim, &mut vcd_text).unwrap();
+        for _ in 0..30 {
+            rtl_sim::SimControl::step_clock(&mut sim);
+            rec.sample(&sim).unwrap();
+        }
+        rec.finish().unwrap();
+    }
+    let trace = vcd::parse(std::str::from_utf8(&vcd_text).unwrap()).unwrap();
+    let replay = vcd::ReplaySim::new(trace);
+
+    let (mut server_t, client_t) = channel_pair();
+    let server = thread::spawn(move || {
+        let mut runtime = Runtime::attach(replay, symbols).unwrap();
+        serve(&mut runtime, &mut server_t);
+    });
+    let mut client = DebugClient::new(client_t);
+    client
+        .insert_breakpoint(file!(), bp_line, Some("count == 9"))
+        .unwrap();
+    let stop = client.continue_run(None).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+    let t_forward = stop["event"]["time"].as_i64().unwrap();
+
+    // Reverse-step moves strictly backwards in trace time.
+    let back = client.reverse_step().unwrap();
+    assert_eq!(back["type"].as_str(), Some("stopped"));
+    let t_back = back["event"]["time"].as_i64().unwrap();
+    assert!(t_back <= t_forward);
+    let count_now = client.eval(None, "top.count").unwrap();
+    assert!(count_now.parse::<u64>().unwrap() <= 9);
+
+    client.detach().unwrap();
+    server.join().unwrap();
+    let _ = Bits::from_bool(true);
+}
