@@ -8,8 +8,8 @@
 //! completion and prints the normalized table for EXPERIMENTS.md.
 
 use bench::{
-    attach_runtime, compile_core, compile_dual, loaded_sim, run_attached, run_plain,
-    symbols_for, FigConfig,
+    attach_runtime, compile_core, compile_dual, loaded_sim, run_attached, run_plain, symbols_for,
+    FigConfig,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -17,6 +17,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 /// keeping the full sweep fast.
 const CYCLES: u64 = 1500;
 
+// The setup closure's `Result` is an either-type (plain sim vs. sim
+// with the runtime attached), not error plumbing, so the large `Err`
+// variant is intentional.
+#[allow(clippy::result_large_err)]
 fn fig5(c: &mut Criterion) {
     // Compile each design variant once; they are workload-independent.
     let single_rel = compile_core(false);

@@ -7,8 +7,7 @@
 use std::time::Instant;
 
 use bench::{
-    attach_runtime, compile_core, compile_dual, loaded_sim, run_attached, run_plain,
-    symbols_for,
+    attach_runtime, compile_core, compile_dual, loaded_sim, run_attached, run_plain, symbols_for,
 };
 
 const MAX_CYCLES: u64 = 2_000_000;
@@ -70,7 +69,12 @@ fn main() {
             v[v.len() / 2]
         };
         // Warm-up.
-        let _ = (time_plain(false), time_hgdb(false), time_plain(true), time_hgdb(true));
+        let _ = (
+            time_plain(false),
+            time_hgdb(false),
+            time_plain(true),
+            time_hgdb(true),
+        );
         let mut r_base_hgdb = Vec::new();
         let mut r_debug = Vec::new();
         let mut r_debug_hgdb = Vec::new();

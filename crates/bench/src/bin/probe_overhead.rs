@@ -1,8 +1,8 @@
 //! Diagnostic: per-cycle cost of plain stepping vs runtime-driven
 //! stepping (not part of the experiment suite).
-use std::time::Instant;
 use bench::{compile_core, loaded_sim, symbols_for};
 use rtl_sim::SimControl;
+use std::time::Instant;
 
 fn main() {
     let core = compile_core(false);
@@ -12,13 +12,17 @@ fn main() {
     for _ in 0..2 {
         let mut sim = loaded_sim(&core, &workload);
         let t = Instant::now();
-        for _ in 0..N { sim.step_clock(); }
+        for _ in 0..N {
+            sim.step_clock();
+        }
         let plain = t.elapsed().as_secs_f64() / N as f64;
 
         let sim = loaded_sim(&core, &workload);
         let mut rt = hgdb::Runtime::attach(sim, symbols_for(&core)).unwrap();
         let t = Instant::now();
-        for _ in 0..N { let _ = rt.continue_run(Some(1)).unwrap(); }
+        for _ in 0..N {
+            let _ = rt.continue_run(Some(1)).unwrap();
+        }
         let hg = t.elapsed().as_secs_f64() / N as f64;
 
         let sim = loaded_sim(&core, &workload);

@@ -15,7 +15,8 @@ fn main() {
         "design", "rows(rel)", "rows(dbg)", "growth", "bytes(rel)", "bytes(dbg)", "growth"
     );
 
-    let designs: Vec<(&str, Box<dyn Fn(bool) -> bench::CompiledCore>)> = vec![
+    type DesignBuilder = Box<dyn Fn(bool) -> bench::CompiledCore>;
+    let designs: Vec<(&str, DesignBuilder)> = vec![
         ("rv32-core", Box::new(compile_core)),
         ("rv32-dual", Box::new(compile_dual)),
         ("fir-dsp", Box::new(compile_dsp)),
@@ -26,8 +27,7 @@ fn main() {
         let dbg = compile(true);
         let st_rel = symbols_for(&rel);
         let st_dbg = symbols_for(&dbg);
-        let rows_growth =
-            (st_dbg.row_count() as f64 / st_rel.row_count() as f64 - 1.0) * 100.0;
+        let rows_growth = (st_dbg.row_count() as f64 / st_rel.row_count() as f64 - 1.0) * 100.0;
         let bytes_growth =
             (st_dbg.size_in_bytes() as f64 / st_rel.size_in_bytes() as f64 - 1.0) * 100.0;
         println!(

@@ -242,11 +242,7 @@ pub fn attach_runtime(sim: Simulator, symbols: SymbolTable) -> hgdb::Runtime<Sim
 /// Runs an attached runtime to halt (no breakpoints inserted: the
 /// Figure 2 fast path executes each edge). This is the steady-state
 /// loop Figure 5 times.
-pub fn run_attached(
-    runtime: &mut hgdb::Runtime<Simulator>,
-    top: &str,
-    max_cycles: u64,
-) -> u64 {
+pub fn run_attached(runtime: &mut hgdb::Runtime<Simulator>, top: &str, max_cycles: u64) -> u64 {
     let halted = format!("{top}.halted");
     let mut cycles = 0;
     while cycles < max_cycles {

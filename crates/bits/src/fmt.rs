@@ -29,7 +29,7 @@ impl fmt::LowerHex for Bits {
         if f.alternate() {
             write!(f, "0x")?;
         }
-        let nibbles = ((self.width() + 3) / 4) as usize;
+        let nibbles = self.width().div_ceil(4) as usize;
         let mut started = false;
         for i in (0..nibbles).rev() {
             let lo = (i as u32) * 4;
@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn display_decimal() {
         assert_eq!(Bits::from_u64(42, 8).to_string(), "42");
-        assert_eq!(Bits::from_u128(1u128 << 100, 128).to_string(), (1u128 << 100).to_string());
+        assert_eq!(
+            Bits::from_u128(1u128 << 100, 128).to_string(),
+            (1u128 << 100).to_string()
+        );
     }
 
     #[test]

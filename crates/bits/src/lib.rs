@@ -28,7 +28,7 @@ pub use parse::ParseBitsError;
 /// Number of 64-bit words needed to store `width` bits.
 #[inline]
 pub(crate) fn words_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 /// An arbitrary-width, two-state (binary) bit vector.
@@ -270,7 +270,11 @@ impl Bits {
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn slice(&self, hi: u32, lo: u32) -> Self {
         assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
-        assert!(hi < self.width, "slice hi ({hi}) out of width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice hi ({hi}) out of width {}",
+            self.width
+        );
         let out_width = hi - lo + 1;
         let mut out = Bits::zero(out_width);
         for i in 0..out_width {

@@ -81,9 +81,9 @@ impl Bits {
         }
         let mut out = Bits::zero(self.width);
         let mut carry = 0u128;
-        for i in 0..n {
-            let v = acc[i] + carry;
-            out.words[i] = v as u64;
+        for (a, word) in acc.iter().take(n).zip(out.words.iter_mut()) {
+            let v = a + carry;
+            *word = v as u64;
             carry = v >> 64;
         }
         out.mask_top();
@@ -401,7 +401,10 @@ mod tests {
     fn mul_wide() {
         let a = Bits::from_u128(0xFFFF_FFFF_FFFF_FFFF, 128);
         let r = a.mul(&a);
-        assert_eq!(r.to_u128(), 0xFFFF_FFFF_FFFF_FFFFu128 * 0xFFFF_FFFF_FFFF_FFFFu128);
+        assert_eq!(
+            r.to_u128(),
+            0xFFFF_FFFF_FFFF_FFFFu128 * 0xFFFF_FFFF_FFFF_FFFFu128
+        );
     }
 
     #[test]

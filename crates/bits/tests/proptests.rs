@@ -9,7 +9,11 @@ use proptest::prelude::*;
 /// width in 1..=128.
 fn value_and_width() -> impl Strategy<Value = (u32, u128)> {
     (1u32..=128).prop_flat_map(|w| {
-        let mask = if w == 128 { u128::MAX } else { (1u128 << w) - 1 };
+        let mask = if w == 128 {
+            u128::MAX
+        } else {
+            (1u128 << w) - 1
+        };
         (Just(w), any::<u128>().prop_map(move |v| v & mask))
     })
 }
@@ -17,7 +21,11 @@ fn value_and_width() -> impl Strategy<Value = (u32, u128)> {
 /// Two values sharing one width.
 fn two_values() -> impl Strategy<Value = (u32, u128, u128)> {
     (1u32..=128).prop_flat_map(|w| {
-        let mask = if w == 128 { u128::MAX } else { (1u128 << w) - 1 };
+        let mask = if w == 128 {
+            u128::MAX
+        } else {
+            (1u128 << w) - 1
+        };
         (
             Just(w),
             any::<u128>().prop_map(move |v| v & mask),

@@ -51,15 +51,12 @@ impl<T: Transport> DebugClient<T> {
     /// Transport failures or server-reported errors.
     pub fn request(&mut self, req: &Request) -> Result<Json, ClientError> {
         let line = encode_request(req).to_string();
-        self.transport
-            .send(&line)
-            .map_err(ClientError::Transport)?;
+        self.transport.send(&line).map_err(ClientError::Transport)?;
         let reply = self
             .transport
             .recv()
             .ok_or_else(|| ClientError::Transport("disconnected".into()))?;
-        let json =
-            microjson::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let json = microjson::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
         if json["type"].as_str() == Some("error") {
             return Err(ClientError::Server(
                 json["message"].as_str().unwrap_or("unknown").to_owned(),
@@ -108,7 +105,9 @@ impl<T: Transport> DebugClient<T> {
     ///
     /// Server/transport failures.
     pub fn step(&mut self) -> Result<Json, ClientError> {
-        self.request(&Request::Step { max_cycles: Some(10_000) })
+        self.request(&Request::Step {
+            max_cycles: Some(10_000),
+        })
     }
 
     /// Steps backwards.
@@ -164,9 +163,7 @@ impl<T: Transport> DebugClient<T> {
 /// # Errors
 ///
 /// Socket failures.
-pub fn connect_tcp(
-    addr: &str,
-) -> std::io::Result<DebugClient<crate::server::TcpTransport>> {
+pub fn connect_tcp(addr: &str) -> std::io::Result<DebugClient<crate::server::TcpTransport>> {
     let stream = std::net::TcpStream::connect(addr)?;
     Ok(DebugClient::new(crate::server::TcpTransport::new(stream)?))
 }

@@ -159,10 +159,7 @@ impl DebugExpr {
     ///
     /// Returns [`ExprError::Unresolved`] for unknown names or
     /// [`ExprError::Invalid`] for bad slices.
-    pub fn eval(
-        &self,
-        resolve: &dyn Fn(&str) -> Option<Bits>,
-    ) -> Result<Bits, ExprError> {
+    pub fn eval(&self, resolve: &dyn Fn(&str) -> Option<Bits>) -> Result<Bits, ExprError> {
         match self {
             DebugExpr::Lit(b) => Ok(b.clone()),
             DebugExpr::Ref(name) => {
@@ -368,14 +365,17 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ExprError> {
                         break;
                     }
                 }
-                out.push((Tok::Ident(input[i..j].trim_end_matches('.').to_owned()), start));
+                out.push((
+                    Tok::Ident(input[i..j].trim_end_matches('.').to_owned()),
+                    start,
+                ));
                 i = j;
             }
             _ => {
                 // Operators, longest first.
                 const OPS: &[&str] = &[
-                    "<=$", ">=$", ">>>", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
-                    "<$", ">$", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+                    "<=$", ">=$", ">>>", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "<$",
+                    ">$", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
                 ];
                 let rest = &input[i..];
                 let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) else {
@@ -465,10 +465,7 @@ impl Parser {
 
     fn expr(&mut self, min_bp: u8) -> Result<DebugExpr, ExprError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some(Tok::Op(op)) = self.peek() else {
-                break;
-            };
+        while let Some(Tok::Op(op)) = self.peek() {
             let Some((bp, bin)) = Self::binding_power(op) else {
                 break;
             };
@@ -496,7 +493,7 @@ impl Parser {
             if let Some(un) = un {
                 self.pos += 1;
                 let e = self.unary()?;
-                return Ok(self.postfix(DebugExpr::Unary(un, Box::new(e)))?);
+                return self.postfix(DebugExpr::Unary(un, Box::new(e)));
             }
         }
         let atom = self.atom()?;
@@ -711,9 +708,6 @@ mod tests {
     fn bad_slice_reported() {
         let e = DebugExpr::parse("x[9:0]").unwrap();
         let env = [("x", 1, 4)];
-        assert!(matches!(
-            e.eval(&resolve(&env)),
-            Err(ExprError::Invalid(_))
-        ));
+        assert!(matches!(e.eval(&resolve(&env)), Err(ExprError::Invalid(_))));
     }
 }

@@ -124,7 +124,11 @@ impl Frame {
 pub fn build_var_tree(vars: &[(String, Option<Bits>)]) -> Vec<VarNode> {
     let mut roots: Vec<VarNode> = Vec::new();
     for (name, value) in vars {
-        insert(&mut roots, name.split('.').collect::<Vec<_>>().as_slice(), value);
+        insert(
+            &mut roots,
+            name.split('.').collect::<Vec<_>>().as_slice(),
+            value,
+        );
     }
     roots
 }
@@ -184,7 +188,15 @@ mod tests {
         assert_eq!(io.name, "io");
         assert!(io.value.is_none());
         assert_eq!(io.children.len(), 4);
-        assert_eq!(io.child("signaling").unwrap().value.as_ref().unwrap().to_u64(), 1);
+        assert_eq!(
+            io.child("signaling")
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .to_u64(),
+            1
+        );
         assert_eq!(io.lookup("a").unwrap().value.as_ref().unwrap().to_u64(), 1);
     }
 
@@ -197,8 +209,24 @@ mod tests {
         ]);
         assert_eq!(tree.len(), 1);
         let dcmp = &tree[0];
-        assert_eq!(dcmp.lookup("io.a").unwrap().value.as_ref().unwrap().to_u64(), 7);
-        assert_eq!(dcmp.lookup("valid").unwrap().value.as_ref().unwrap().to_u64(), 1);
+        assert_eq!(
+            dcmp.lookup("io.a")
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .to_u64(),
+            7
+        );
+        assert_eq!(
+            dcmp.lookup("valid")
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .to_u64(),
+            1
+        );
         assert!(dcmp.lookup("io.ghost").is_none());
     }
 
@@ -217,10 +245,7 @@ mod tests {
             line: 42,
             col: 9,
             locals: vec![("sum".into(), v(12, 8)), ("gone".into(), None)],
-            generator: build_var_tree(&[
-                ("io.out".into(), v(3, 4)),
-                ("toint".into(), v(9, 8)),
-            ]),
+            generator: build_var_tree(&[("io.out".into(), v(3, 4)), ("toint".into(), v(9, 8))]),
         };
         assert_eq!(frame.local("sum").unwrap().to_u64(), 12);
         assert!(frame.local("gone").is_none());

@@ -71,8 +71,6 @@ mod runtime;
 pub use client::{ClientError, DebugClient};
 pub use expr::DebugExpr;
 pub use frame::{build_var_tree, Frame, VarNode};
-pub use runtime::{
-    BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent,
-};
+pub use runtime::{BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent};
 pub use scheduler::{Group, Scheduler};
 pub use server::{channel_pair, serve, serve_tcp, ChannelPair, TcpTransport, Transport};

@@ -134,16 +134,10 @@ pub fn encode_request(req: &Request) -> Json {
             ("type", Json::from("insert_breakpoint")),
             ("filename", Json::from(filename.as_str())),
             ("line", Json::from(*line)),
-            (
-                "col",
-                col.map(Json::from).unwrap_or(Json::Null),
-            ),
+            ("col", col.map(Json::from).unwrap_or(Json::Null)),
             (
                 "condition",
-                condition
-                    .as_deref()
-                    .map(Json::from)
-                    .unwrap_or(Json::Null),
+                condition.as_deref().map(Json::from).unwrap_or(Json::Null),
             ),
         ]),
         Request::RemoveBreakpoint { id } => Json::object([
@@ -315,10 +309,7 @@ pub fn encode_response(resp: &Response) -> Json {
                         ("instance", Json::from(b.instance.as_str())),
                         (
                             "condition",
-                            b.condition
-                                .as_deref()
-                                .map(Json::from)
-                                .unwrap_or(Json::Null),
+                            b.condition.as_deref().map(Json::from).unwrap_or(Json::Null),
                         ),
                         ("hit_count", Json::from(b.hit_count)),
                     ])
@@ -338,14 +329,12 @@ pub fn encode_response(resp: &Response) -> Json {
             ("text", Json::from(text.as_str())),
             ("width", Json::from(*width)),
         ]),
-        Response::Hierarchy { tree } => Json::object([
-            ("type", Json::from("hierarchy")),
-            ("tree", tree.clone()),
-        ]),
-        Response::Time { time } => Json::object([
-            ("type", Json::from("time")),
-            ("time", Json::from(*time)),
-        ]),
+        Response::Hierarchy { tree } => {
+            Json::object([("type", Json::from("hierarchy")), ("tree", tree.clone())])
+        }
+        Response::Time { time } => {
+            Json::object([("type", Json::from("time")), ("time", Json::from(*time))])
+        }
         Response::Error { message } => Json::object([
             ("type", Json::from("error")),
             ("message", Json::from(message.as_str())),

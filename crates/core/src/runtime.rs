@@ -176,11 +176,7 @@ impl<S: SimControl> Runtime<S> {
             .all_breakpoints()
             .map_err(|e| DebugError::Symbols(e.to_string()))?
         {
-            let enable = info
-                .enable
-                .as_deref()
-                .map(DebugExpr::parse)
-                .transpose()?;
+            let enable = info.enable.as_deref().map(DebugExpr::parse).transpose()?;
             static_bps.insert(info.id, StaticBp { info, enable });
         }
         Ok(Runtime {
@@ -412,15 +408,13 @@ impl<S: SimControl> Runtime<S> {
                 }
             }
             // User condition (§3.2 step 2).
-            let cond_result = inserted
-                .and_then(|ins| ins.condition.as_ref())
-                .map(|cond| {
-                    cond.eval(&|name: &str| {
-                        self.sim
-                            .get_value(&format!("{prefix}.{name}"))
-                            .or_else(|| self.sim.get_value(name))
-                    })
-                });
+            let cond_result = inserted.and_then(|ins| ins.condition.as_ref()).map(|cond| {
+                cond.eval(&|name: &str| {
+                    self.sim
+                        .get_value(&format!("{prefix}.{name}"))
+                        .or_else(|| self.sim.get_value(name))
+                })
+            });
             match cond_result {
                 None => {}
                 Some(Ok(v)) if v.is_truthy() => {}

@@ -60,9 +60,7 @@ impl Scheduler {
         let mut groups: Vec<Group> = Vec::new();
         for bp in bps {
             match groups.last_mut() {
-                Some(g)
-                    if g.filename == bp.filename && g.line == bp.line && g.col == bp.col =>
-                {
+                Some(g) if g.filename == bp.filename && g.line == bp.line && g.col == bp.col => {
                     g.bp_ids.push(bp.id);
                 }
                 _ => groups.push(Group {

@@ -14,9 +14,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use microjson::Json;
 use rtl_sim::{HierNode, SimControl};
 
-use crate::protocol::{
-    decode_request, encode_response, outcome_response, Request, Response,
-};
+use crate::protocol::{decode_request, encode_response, outcome_response, Request, Response};
 use crate::runtime::{DebugError, Runtime};
 
 /// Bidirectional line transport.
@@ -104,12 +102,12 @@ fn hier_json(node: &HierNode) -> Json {
         ("name", Json::from(node.name.as_str())),
         (
             "signals",
-            node.signals.iter().map(|s| Json::from(s.as_str())).collect(),
+            node.signals
+                .iter()
+                .map(|s| Json::from(s.as_str()))
+                .collect(),
         ),
-        (
-            "children",
-            Json::array(node.children.iter().map(hier_json)),
-        ),
+        ("children", Json::array(node.children.iter().map(hier_json))),
     ])
 }
 
@@ -162,22 +160,19 @@ pub fn handle_request<S: SimControl>(
                 message: "not stopped at a breakpoint".into(),
             },
         },
-        Request::Eval { instance, expr } => {
-            match runtime.eval(instance.as_deref(), &expr) {
-                Ok(v) => Response::Value {
-                    text: v.to_string(),
-                    width: v.width(),
-                },
-                Err(e) => error_response(e),
-            }
-        }
+        Request::Eval { instance, expr } => match runtime.eval(instance.as_deref(), &expr) {
+            Ok(v) => Response::Value {
+                text: v.to_string(),
+                width: v.width(),
+            },
+            Err(e) => error_response(e),
+        },
         Request::SetValue {
             instance,
             name,
             value,
         } => {
-            let parsed = crate::expr::DebugExpr::parse(&value)
-                .and_then(|e| e.eval(&|_| None));
+            let parsed = crate::expr::DebugExpr::parse(&value).and_then(|e| e.eval(&|_| None));
             match parsed {
                 Ok(v) => match runtime.set_variable(instance.as_deref(), &name, v) {
                     Ok(()) => Response::Ok,

@@ -11,9 +11,7 @@ use std::panic::Location;
 use std::rc::Rc;
 
 use bits::Bits;
-use hgf_ir::{
-    Circuit, Expr, IrError, Module, Port, PortDir, SourceLoc, Stmt, StmtId,
-};
+use hgf_ir::{Circuit, Expr, IrError, Module, Port, PortDir, SourceLoc, Stmt, StmtId};
 
 use crate::signal::Signal;
 
@@ -442,7 +440,10 @@ impl ModuleBuilder<'_> {
     #[track_caller]
     pub fn mem(&mut self, name: impl Into<String>, width: u32, depth: u32) -> MemHandle {
         let name = name.into();
-        assert!(width > 0 && depth > 0, "memory {name} must have nonzero shape");
+        assert!(
+            width > 0 && depth > 0,
+            "memory {name} must have nonzero shape"
+        );
         self.claim_name(&name);
         let id = self.fresh_id();
         self.emit(Stmt::Mem {
@@ -712,10 +713,7 @@ mod tests {
             .collect();
         // Initial wire default + two conditional +=.
         assert!(sum_bps.len() >= 3, "got {}", sum_bps.len());
-        let cond_bps: Vec<_> = sum_bps
-            .iter()
-            .filter(|b| b.enable.is_some())
-            .collect();
+        let cond_bps: Vec<_> = sum_bps.iter().filter(|b| b.enable.is_some()).collect();
         assert_eq!(cond_bps.len(), 2);
         assert_eq!(cond_bps[0].loc, cond_bps[1].loc, "same generator line");
     }

@@ -67,7 +67,8 @@ impl Signal {
     fn binop(op: BinaryOp, a: &Signal, b: &Signal) -> Signal {
         if !op.is_shift() {
             assert_eq!(
-                a.width, b.width,
+                a.width,
+                b.width,
                 "operator {} requires equal widths ({} vs {})",
                 op.token(),
                 a.width,
@@ -166,7 +167,11 @@ impl Signal {
     /// Panics unless `self` is 1 bit and arms have equal widths.
     #[track_caller]
     pub fn select(&self, then_val: &Signal, else_val: &Signal) -> Signal {
-        assert_eq!(self.width, 1, "mux selector must be 1 bit, got {}", self.width);
+        assert_eq!(
+            self.width, 1,
+            "mux selector must be 1 bit, got {}",
+            self.width
+        );
         assert_eq!(
             then_val.width, else_val.width,
             "mux arms must have equal widths ({} vs {})",
@@ -190,7 +195,11 @@ impl Signal {
     #[track_caller]
     pub fn slice(&self, hi: u32, lo: u32) -> Signal {
         assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
-        assert!(hi < self.width, "slice hi ({hi}) out of width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice hi ({hi}) out of width {}",
+            self.width
+        );
         Signal {
             expr: Expr::Slice(Box::new(self.expr.clone()), hi, lo),
             width: hi - lo + 1,

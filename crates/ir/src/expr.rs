@@ -206,9 +206,7 @@ impl Expr {
     pub fn width(&self, lookup: &dyn Fn(&str) -> Option<u32>) -> Result<u32, ExprError> {
         match self {
             Expr::Lit(b) => Ok(b.width()),
-            Expr::Ref(name) => {
-                lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone()))
-            }
+            Expr::Ref(name) => lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone())),
             Expr::Unary(op, e) => {
                 let w = e.width(lookup)?;
                 Ok(match op {
@@ -272,9 +270,7 @@ impl Expr {
     pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<Bits>) -> Result<Bits, ExprError> {
         match self {
             Expr::Lit(b) => Ok(b.clone()),
-            Expr::Ref(name) => {
-                lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone()))
-            }
+            Expr::Ref(name) => lookup(name).ok_or_else(|| ExprError::UnknownSignal(name.clone())),
             Expr::Unary(op, e) => {
                 let v = e.eval(lookup)?;
                 Ok(match op {
@@ -384,10 +380,9 @@ impl Expr {
                 Box::new(e.substitute(subst)),
             ),
             Expr::Slice(e, hi, lo) => Expr::Slice(Box::new(e.substitute(subst)), *hi, *lo),
-            Expr::Cat(h, l) => Expr::Cat(
-                Box::new(h.substitute(subst)),
-                Box::new(l.substitute(subst)),
-            ),
+            Expr::Cat(h, l) => {
+                Expr::Cat(Box::new(h.substitute(subst)), Box::new(l.substitute(subst)))
+            }
         }
     }
 
@@ -487,11 +482,15 @@ mod tests {
             Expr::lit(0, 4),
         );
         assert_eq!(
-            e.eval(&env(&[("sel", 1, 1), ("x", 0xAB, 8)])).unwrap().to_u64(),
+            e.eval(&env(&[("sel", 1, 1), ("x", 0xAB, 8)]))
+                .unwrap()
+                .to_u64(),
             0xB
         );
         assert_eq!(
-            e.eval(&env(&[("sel", 0, 1), ("x", 0xAB, 8)])).unwrap().to_u64(),
+            e.eval(&env(&[("sel", 0, 1), ("x", 0xAB, 8)]))
+                .unwrap()
+                .to_u64(),
             0
         );
     }
@@ -572,7 +571,10 @@ mod tests {
     fn eval_reductions_and_shifts() {
         let lk = env(&[("x", 0b1011, 4), ("s", 2, 3)]);
         assert_eq!(
-            Expr::unary(UnaryOp::ReduceXor, Expr::var("x")).eval(&lk).unwrap().to_u64(),
+            Expr::unary(UnaryOp::ReduceXor, Expr::var("x"))
+                .eval(&lk)
+                .unwrap()
+                .to_u64(),
             1
         );
         assert_eq!(

@@ -50,6 +50,4 @@ pub mod verilog;
 pub use annot::{Annotations, CircuitState, DebugAnnotation};
 pub use expr::{BinaryOp, Expr, ExprError, UnaryOp};
 pub use source::SourceLoc;
-pub use stmt::{
-    walk_stmts, Circuit, IrError, Module, Port, PortDir, SignalKind, Stmt, StmtId,
-};
+pub use stmt::{walk_stmts, Circuit, IrError, Module, Port, PortDir, SignalKind, Stmt, StmtId};

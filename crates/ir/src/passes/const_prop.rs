@@ -136,9 +136,7 @@ pub fn fold(expr: &Expr) -> Expr {
                 (And, Expr::Lit(b), _) | (And, _, Expr::Lit(b)) if b.is_zero() => {
                     return Expr::Lit(Bits::zero(b.width()));
                 }
-                (And, Expr::Lit(b), x) | (And, x, Expr::Lit(b))
-                    if b.count_ones() == b.width() =>
-                {
+                (And, Expr::Lit(b), x) | (And, x, Expr::Lit(b)) if b.count_ones() == b.width() => {
                     return x.clone();
                 }
                 (Or, Expr::Lit(b), x) | (Or, x, Expr::Lit(b)) if b.is_zero() => {

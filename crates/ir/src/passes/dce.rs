@@ -84,16 +84,15 @@ impl Pass for Dce {
                 .collect();
             for stmt in &module.stmts {
                 match stmt {
-                    Stmt::Connect { target, expr, .. } => {
+                    Stmt::Connect { target, expr, .. }
                         // Output ports and instance inputs are
                         // observable; register connects only when the
                         // register is live (handled in the worklist).
-                        if out_ports.contains(target.as_str()) || target.contains('.') {
+                        if (out_ports.contains(target.as_str()) || target.contains('.')) => {
                             for r in expr.refs() {
                                 add(&r, &mut live, &mut work);
                             }
                         }
-                    }
                     Stmt::MemWrite { addr, data, en, .. } => {
                         for e in [addr, data, en] {
                             for r in e.refs() {
@@ -182,11 +181,9 @@ impl Pass for Dce {
             let live_ref = &live;
             let module_ports: HashSet<String> =
                 module.ports.iter().map(|p| p.name.clone()).collect();
-            module
-                .gen_vars
-                .retain(|(_, rtl)| {
-                    live_ref.contains(rtl) || module_ports.contains(rtl) || rtl.contains('.')
-                });
+            module.gen_vars.retain(|(_, rtl)| {
+                live_ref.contains(rtl) || module_ports.contains(rtl) || rtl.contains('.')
+            });
         }
         Ok(())
     }

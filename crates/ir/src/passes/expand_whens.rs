@@ -49,8 +49,12 @@ impl Pass for ExpandWhens {
     }
 
     fn run(&self, state: &mut CircuitState) -> Result<(), PassError> {
-        let module_names: Vec<String> =
-            state.circuit.modules.iter().map(|m| m.name.clone()).collect();
+        let module_names: Vec<String> = state
+            .circuit
+            .modules
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
         for name in module_names {
             expand_module(state, &name).map_err(|source| PassError {
                 pass: "expand-whens",
@@ -103,11 +107,7 @@ struct SsaFact {
 }
 
 fn expand_module(state: &mut CircuitState, name: &str) -> Result<(), IrError> {
-    let module = state
-        .circuit
-        .module(name)
-        .expect("module listed")
-        .clone();
+    let module = state.circuit.module(name).expect("module listed").clone();
     let kinds: HashMap<String, SignalKind> = module
         .signal_table(&state.circuit)
         .into_iter()
@@ -147,7 +147,8 @@ fn expand_module(state: &mut CircuitState, name: &str) -> Result<(), IrError> {
     let mut final_stmts = Vec::new();
     final_stmts.append(&mut ex.decls);
     final_stmts.append(&mut ex.body);
-    let mut finals: Vec<(String, String)> = ex.env.iter().map(|(t, n)| (t.clone(), n.clone())).collect();
+    let mut finals: Vec<(String, String)> =
+        ex.env.iter().map(|(t, n)| (t.clone(), n.clone())).collect();
     finals.sort();
     for (target, node) in finals {
         // Self-connect (wire aliasing its own last node) is the single
@@ -161,8 +162,11 @@ fn expand_module(state: &mut CircuitState, name: &str) -> Result<(), IrError> {
             loc: SourceLoc::unknown(),
         });
     }
-    let mut reg_finals: Vec<(String, String)> =
-        ex.reg_env.iter().map(|(t, n)| (t.clone(), n.clone())).collect();
+    let mut reg_finals: Vec<(String, String)> = ex
+        .reg_env
+        .iter()
+        .map(|(t, n)| (t.clone(), n.clone()))
+        .collect();
     reg_finals.sort();
     for (reg, node) in reg_finals {
         let id = StmtId(ex.next_id);
@@ -243,19 +247,10 @@ impl Expander {
     /// Rewrites reads of procedural targets to their current SSA name.
     fn rewrite(&self, expr: &Expr) -> Result<Expr, IrError> {
         let mut missing: Option<String> = None;
-        let rewritten = expr.rename_refs(&|name| {
-            match self.kinds.get(name) {
-                Some(SignalKind::Wire) | Some(SignalKind::Output) => match self.env.get(name) {
-                    Some(cur) => Some(cur.clone()),
-                    None => {
-                        // Reading a procedural signal before assignment.
-                        // Record and keep the name; we error below.
-                        None
-                    }
-                },
-                Some(SignalKind::InstancePort) => self.env.get(name).cloned(),
-                _ => None,
-            }
+        let rewritten = expr.rename_refs(&|name| match self.kinds.get(name) {
+            Some(SignalKind::Wire) | Some(SignalKind::Output) => self.env.get(name).cloned(),
+            Some(SignalKind::InstancePort) => self.env.get(name).cloned(),
+            _ => None,
         });
         // Detect use-before-def for wires/outputs (instance ports are
         // nets from the child side, so reading an unconnected instance
@@ -264,11 +259,11 @@ impl Expander {
         // info — the frontend prevents them).
         for name in expr.refs() {
             match self.kinds.get(name.as_str()) {
-                Some(SignalKind::Wire) | Some(SignalKind::Output) => {
-                    if !self.env.contains_key(&name) {
-                        missing = Some(name);
-                        break;
-                    }
+                Some(SignalKind::Wire) | Some(SignalKind::Output)
+                    if !self.env.contains_key(&name) =>
+                {
+                    missing = Some(name);
+                    break;
                 }
                 _ => {}
             }
@@ -326,7 +321,12 @@ impl Expander {
             Stmt::Wire { .. } | Stmt::Reg { .. } | Stmt::Mem { .. } | Stmt::Instance { .. } => {
                 self.decls.push(stmt.clone());
             }
-            Stmt::Node { id, name, expr, loc } => {
+            Stmt::Node {
+                id,
+                name,
+                expr,
+                loc,
+            } => {
                 let fact_scope = self.scope_snapshot();
                 let expr = self.rewrite(expr)?;
                 self.body.push(Stmt::Node {
@@ -358,9 +358,7 @@ impl Expander {
                         let current = self.env.get(target).cloned();
                         let value = match (&enable, current.clone()) {
                             (None, _) => rhs,
-                            (Some(en), Some(cur)) => {
-                                Expr::mux(en.clone(), rhs, Expr::Ref(cur))
-                            }
+                            (Some(en), Some(cur)) => Expr::mux(en.clone(), rhs, Expr::Ref(cur)),
                             (Some(_), None) => {
                                 return Err(IrError::ConditionalWithoutDefault {
                                     module: self.module_name.clone(),
@@ -387,8 +385,11 @@ impl Expander {
                         );
                     }
                     TargetKind::Register => {
-                        let current =
-                            self.reg_env.get(target).cloned().unwrap_or_else(|| target.clone());
+                        let current = self
+                            .reg_env
+                            .get(target)
+                            .cloned()
+                            .unwrap_or_else(|| target.clone());
                         let value = match &enable {
                             None => rhs,
                             Some(en) => Expr::mux(en.clone(), rhs, Expr::Ref(current)),
@@ -435,8 +436,7 @@ impl Expander {
                 self.expand_stmts(then_body)?;
                 self.cond_stack.pop();
                 if !else_body.is_empty() {
-                    self.cond_stack
-                        .push(Expr::Ref(cond_name).logical_not());
+                    self.cond_stack.push(Expr::Ref(cond_name).logical_not());
                     self.expand_stmts(else_body)?;
                     self.cond_stack.pop();
                 }
@@ -950,10 +950,8 @@ mod tests {
         let mut state = CircuitState::new(Circuit::new("m", vec![m]));
         ExpandWhens::new().run(&mut state).unwrap();
         let m = state.circuit.top_module();
-        let Some(Stmt::MemWrite { en, .. }) = m
-            .stmts
-            .iter()
-            .find(|s| matches!(s, Stmt::MemWrite { .. }))
+        let Some(Stmt::MemWrite { en, .. }) =
+            m.stmts.iter().find(|s| matches!(s, Stmt::MemWrite { .. }))
         else {
             panic!("memwrite missing")
         };

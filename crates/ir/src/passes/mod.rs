@@ -149,10 +149,7 @@ impl fmt::Debug for PassManager {
 /// # Errors
 ///
 /// Returns the first pass failure.
-pub fn compile(
-    state: &mut CircuitState,
-    debug_mode: bool,
-) -> Result<DebugTable, PassError> {
+pub fn compile(state: &mut CircuitState, debug_mode: bool) -> Result<DebugTable, PassError> {
     state.annotations.set_debug_mode(debug_mode);
     let pm = PassManager::standard();
     pm.run(state)?;

@@ -44,7 +44,13 @@ impl Pass for AnnotateDebugInfo {
         for module in &state.circuit.modules {
             let mut anns = Vec::new();
             let mut dont_touch = Vec::new();
-            annotate_stmts(module, &module.stmts, &mut Vec::new(), &mut anns, &mut dont_touch);
+            annotate_stmts(
+                module,
+                &module.stmts,
+                &mut Vec::new(),
+                &mut anns,
+                &mut dont_touch,
+            );
             for a in anns {
                 state.annotations.add_debug(a);
             }
@@ -80,7 +86,9 @@ fn annotate_stmts(
     };
     for stmt in stmts {
         match stmt {
-            Stmt::Connect { id, target, loc, .. } if !loc.is_unknown() => {
+            Stmt::Connect {
+                id, target, loc, ..
+            } if !loc.is_unknown() => {
                 out.push(DebugAnnotation {
                     module: module.name.clone(),
                     stmt: *id,
@@ -392,12 +400,10 @@ mod tests {
         AnnotateDebugInfo::new().run(&mut state).unwrap();
         // Simulate optimization nuking `w`: remove its statements.
         let m = state.circuit.module_mut("m").unwrap();
-        m.stmts.retain(|s| {
-            !matches!(s, Stmt::Wire { name, .. } if name == "w")
-        });
-        m.stmts.retain(|s| {
-            !matches!(s, Stmt::Connect { target, .. } if target == "w")
-        });
+        m.stmts
+            .retain(|s| !matches!(s, Stmt::Wire { name, .. } if name == "w"));
+        m.stmts
+            .retain(|s| !matches!(s, Stmt::Connect { target, .. } if target == "w"));
         let table = CollectSymbols::new().collect(&state).unwrap();
         // The three `w` connects are dropped; out connect survives.
         assert_eq!(table.breakpoints.len(), 1);
@@ -498,10 +504,7 @@ mod tests {
             .expect("breakpoint at line 4 survives");
         let enable = bp.enable.as_ref().unwrap();
         // All enable refs are real Low-form signals.
-        let signals = state
-            .circuit
-            .top_module()
-            .signal_table(&state.circuit);
+        let signals = state.circuit.top_module().signal_table(&state.circuit);
         for r in enable.refs() {
             assert!(signals.contains_key(&r), "enable ref {r} missing");
         }

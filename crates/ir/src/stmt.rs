@@ -342,7 +342,10 @@ impl fmt::Display for IrError {
             IrError::UnknownModule {
                 module,
                 instantiated,
-            } => write!(f, "module {module} instantiates unknown module {instantiated}"),
+            } => write!(
+                f,
+                "module {module} instantiates unknown module {instantiated}"
+            ),
             IrError::RecursiveInstantiation(m) => {
                 write!(f, "recursive instantiation involving module {m}")
             }
@@ -351,7 +354,10 @@ impl fmt::Display for IrError {
             }
             IrError::MissingTop(t) => write!(f, "circuit top module {t} not found"),
             IrError::UninitializedRead { module, signal } => {
-                write!(f, "signal {signal} read before assignment in module {module}")
+                write!(
+                    f,
+                    "signal {signal} read before assignment in module {module}"
+                )
             }
             IrError::ConditionalWithoutDefault { module, target } => write!(
                 f,
@@ -602,13 +608,11 @@ impl Module {
                         detail: "contains a when statement".into(),
                     })
                 }
-                Stmt::Connect { target, .. } => {
-                    if !connected.insert(target.clone()) {
-                        return Err(IrError::NotLowForm {
-                            module: self.name.clone(),
-                            detail: format!("multiple connects to {target}"),
-                        });
-                    }
+                Stmt::Connect { target, .. } if !connected.insert(target.clone()) => {
+                    return Err(IrError::NotLowForm {
+                        module: self.name.clone(),
+                        detail: format!("multiple connects to {target}"),
+                    });
                 }
                 _ => {}
             }

@@ -64,12 +64,7 @@ pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
                 // Width is recoverable but unnecessary for display; use
                 // the computed width when available.
                 let w = expr
-                    .width(&|n| {
-                        module
-                            .signal_table(circuit)
-                            .get(n)
-                            .map(|(w, _)| *w)
-                    })
+                    .width(&|n| module.signal_table(circuit).get(n).map(|(w, _)| *w))
                     .unwrap_or(1);
                 let _ = writeln!(
                     out,
@@ -80,10 +75,7 @@ pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
                 );
             }
             Stmt::Mem {
-                name,
-                width,
-                depth,
-                ..
+                name, width, depth, ..
             } => {
                 let _ = writeln!(
                     out,
@@ -110,10 +102,7 @@ pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
                 name, module: m, ..
             } => {
                 let child = circuit.module(m);
-                let mut conns = vec![
-                    ".clock(clock)".to_owned(),
-                    ".reset(reset)".to_owned(),
-                ];
+                let mut conns = vec![".clock(clock)".to_owned(), ".reset(reset)".to_owned()];
                 if let Some(child) = child {
                     for p in &child.ports {
                         conns.push(format!(
@@ -141,9 +130,10 @@ pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
     // Continuous assignments.
     for stmt in &module.stmts {
         if let Stmt::Connect { target, expr, .. } = stmt {
-            let is_reg = module.stmts.iter().any(
-                |s| matches!(s, Stmt::Reg { name, .. } if name == target),
-            );
+            let is_reg = module
+                .stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::Reg { name, .. } if name == target));
             if !is_reg {
                 let _ = writeln!(out, "  assign {} = {};", r(target), emit_expr(expr, &r));
             }
@@ -171,8 +161,7 @@ pub fn emit_module(module: &Module, circuit: &Circuit) -> String {
                             emit_expr(expr, &r)
                         );
                     } else {
-                        let _ =
-                            writeln!(seq, "    {} <= {};", r(target), emit_expr(expr, &r));
+                        let _ = writeln!(seq, "    {} <= {};", r(target), emit_expr(expr, &r));
                     }
                 }
             }

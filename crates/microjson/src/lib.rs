@@ -38,9 +38,10 @@ use core::ops::Index;
 /// Numbers are split into integer and floating variants: the protocol
 /// mostly carries ids, line numbers and bit values, which must round-trip
 /// exactly.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Json {
     /// `null`
+    #[default]
     Null,
     /// `true` / `false`
     Bool(bool),
@@ -154,12 +155,6 @@ impl Json {
             }
             _ => panic!("Json::insert on a non-object"),
         }
-    }
-}
-
-impl Default for Json {
-    fn default() -> Self {
-        Json::Null
     }
 }
 

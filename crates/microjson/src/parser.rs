@@ -379,8 +379,20 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "1e", "\"\\q\"", "[1] extra",
-            "{\"a\" 1}", "nul", "+1", "'single'",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "[1] extra",
+            "{\"a\" 1}",
+            "nul",
+            "+1",
+            "'single'",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

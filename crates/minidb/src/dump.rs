@@ -229,15 +229,21 @@ mod tests {
                 .foreign_key("instance", "instance", "id"),
         )
         .unwrap();
-        db.insert("instance", vec![Value::Int(1), Value::text("top|weird\\name")])
-            .unwrap();
+        db.insert(
+            "instance",
+            vec![Value::Int(1), Value::text("top|weird\\name")],
+        )
+        .unwrap();
         db.insert(
             "variable",
             vec![Value::Int(1), Value::text("io.out"), Value::Int(1)],
         )
         .unwrap();
-        db.insert("variable", vec![Value::Int(2), Value::text("x"), Value::Null])
-            .unwrap();
+        db.insert(
+            "variable",
+            vec![Value::Int(2), Value::text("x"), Value::Null],
+        )
+        .unwrap();
         db
     }
 

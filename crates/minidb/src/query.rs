@@ -20,10 +20,7 @@ impl ResultRow {
     /// The value bound to `name` (`column` or `table.column`).
     pub fn get(&self, name: &str) -> Option<&Value> {
         if name.contains('.') {
-            self.values
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v)
+            self.values.iter().find(|(k, _)| k == name).map(|(_, v)| v)
         } else {
             self.values
                 .iter()

@@ -76,7 +76,9 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
     let mut out: Vec<u32> = Vec::new();
     let mut addr: u32 = 0;
     for (lineno, line) in parsed {
-        let words = line.encode(addr, &labels).map_err(|m| AsmError::new(lineno, m))?;
+        let words = line
+            .encode(addr, &labels)
+            .map_err(|m| AsmError::new(lineno, m))?;
         addr += (words.len() as u32) * 4;
         out.extend(words);
     }
@@ -101,10 +103,7 @@ impl Line {
             Line::Inst { mnemonic, operands } => match mnemonic.as_str() {
                 // li expands to lui+addi when the value is large.
                 "li" => {
-                    let v = operands
-                        .get(1)
-                        .and_then(|s| parse_imm_opt(s))
-                        .unwrap_or(0);
+                    let v = operands.get(1).and_then(|s| parse_imm_opt(s)).unwrap_or(0);
                     if (-2048..2048).contains(&v) {
                         1
                     } else {
@@ -119,17 +118,15 @@ impl Line {
     fn encode(&self, pc: u32, labels: &HashMap<String, u32>) -> Result<Vec<u32>, String> {
         match self {
             Line::Word(v) => Ok(vec![*v as u32]),
-            Line::Inst { mnemonic, operands } => {
-                encode_inst(mnemonic, operands, pc, labels)
-            }
+            Line::Inst { mnemonic, operands } => encode_inst(mnemonic, operands, pc, labels),
         }
     }
 }
 
 fn parse_line(lineno: usize, text: &str) -> Result<Line, AsmError> {
     if let Some(rest) = text.strip_prefix(".word") {
-        let v = parse_imm_opt(rest.trim())
-            .ok_or_else(|| AsmError::new(lineno, "bad .word value"))?;
+        let v =
+            parse_imm_opt(rest.trim()).ok_or_else(|| AsmError::new(lineno, "bad .word value"))?;
         return Ok(Line::Word(v));
     }
     if text.starts_with('.') {
@@ -221,8 +218,12 @@ fn imm(s: &str) -> Result<i64, String> {
 
 /// `offset(base)` operand form for loads/stores.
 fn mem_operand(s: &str) -> Result<(i32, u8), String> {
-    let open = s.find('(').ok_or_else(|| format!("bad memory operand {s:?}"))?;
-    let close = s.rfind(')').ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| format!("bad memory operand {s:?}"))?;
     let off = if s[..open].trim().is_empty() {
         0
     } else {
@@ -232,11 +233,7 @@ fn mem_operand(s: &str) -> Result<(i32, u8), String> {
     Ok((off, base))
 }
 
-fn label_or_imm(
-    s: &str,
-    pc: u32,
-    labels: &HashMap<String, u32>,
-) -> Result<i32, String> {
+fn label_or_imm(s: &str, pc: u32, labels: &HashMap<String, u32>) -> Result<i32, String> {
     if let Some(v) = parse_imm_opt(s) {
         return Ok(v as i32);
     }
@@ -256,20 +253,37 @@ fn encode_inst(
         if ops.len() == n {
             Ok(())
         } else {
-            Err(format!("{mnemonic} expects {n} operands, got {}", ops.len()))
+            Err(format!(
+                "{mnemonic} expects {n} operands, got {}",
+                ops.len()
+            ))
         }
     };
     let one = |i: Inst| Ok(vec![i.encode()]);
     match mnemonic {
-        "nop" => one(Inst::OpImm { funct3: 0, rd: 0, rs1: 0, imm: 0 }),
+        "nop" => one(Inst::OpImm {
+            funct3: 0,
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        }),
         "ecall" => one(Inst::Ecall),
-        "ret" => one(Inst::Jalr { rd: 0, rs1: 1, offset: 0 }),
+        "ret" => one(Inst::Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        }),
         "li" => {
             need(2)?;
             let rd = reg(&ops[0])?;
             let v = imm(&ops[1])?;
             if (-2048..2048).contains(&v) {
-                one(Inst::OpImm { funct3: 0, rd, rs1: 0, imm: v as i32 })
+                one(Inst::OpImm {
+                    funct3: 0,
+                    rd,
+                    rs1: 0,
+                    imm: v as i32,
+                })
             } else {
                 let v = v as i32;
                 // lui loads bits 31:12 rounded for the addi's sign.
@@ -277,28 +291,51 @@ fn encode_inst(
                 let lo = v.wrapping_sub(hi);
                 Ok(vec![
                     Inst::Lui { rd, imm: hi }.encode(),
-                    Inst::OpImm { funct3: 0, rd, rs1: rd, imm: lo }.encode(),
+                    Inst::OpImm {
+                        funct3: 0,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    }
+                    .encode(),
                 ])
             }
         }
         "lui" => {
             need(2)?;
-            one(Inst::Lui { rd: reg(&ops[0])?, imm: (imm(&ops[1])? as i32) << 12 })
+            one(Inst::Lui {
+                rd: reg(&ops[0])?,
+                imm: (imm(&ops[1])? as i32) << 12,
+            })
         }
         "auipc" => {
             need(2)?;
-            one(Inst::Auipc { rd: reg(&ops[0])?, imm: (imm(&ops[1])? as i32) << 12 })
+            one(Inst::Auipc {
+                rd: reg(&ops[0])?,
+                imm: (imm(&ops[1])? as i32) << 12,
+            })
         }
         "mv" => {
             need(2)?;
-            one(Inst::OpImm { funct3: 0, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 })
+            one(Inst::OpImm {
+                funct3: 0,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: 0,
+            })
         }
         "j" => {
             need(1)?;
-            one(Inst::Jal { rd: 0, offset: label_or_imm(&ops[0], pc, labels)? })
+            one(Inst::Jal {
+                rd: 0,
+                offset: label_or_imm(&ops[0], pc, labels)?,
+            })
         }
         "jal" => match ops.len() {
-            1 => one(Inst::Jal { rd: 1, offset: label_or_imm(&ops[0], pc, labels)? }),
+            1 => one(Inst::Jal {
+                rd: 1,
+                offset: label_or_imm(&ops[0], pc, labels)?,
+            }),
             2 => one(Inst::Jal {
                 rd: reg(&ops[0])?,
                 offset: label_or_imm(&ops[1], pc, labels)?,
@@ -308,17 +345,29 @@ fn encode_inst(
         "jalr" => {
             need(2)?;
             let (off, base) = mem_operand(&ops[1])?;
-            one(Inst::Jalr { rd: reg(&ops[0])?, rs1: base, offset: off })
+            one(Inst::Jalr {
+                rd: reg(&ops[0])?,
+                rs1: base,
+                offset: off,
+            })
         }
         "lw" => {
             need(2)?;
             let (off, base) = mem_operand(&ops[1])?;
-            one(Inst::Lw { rd: reg(&ops[0])?, rs1: base, offset: off })
+            one(Inst::Lw {
+                rd: reg(&ops[0])?,
+                rs1: base,
+                offset: off,
+            })
         }
         "sw" => {
             need(2)?;
             let (off, base) = mem_operand(&ops[1])?;
-            one(Inst::Sw { rs1: base, rs2: reg(&ops[0])?, offset: off })
+            one(Inst::Sw {
+                rs1: base,
+                rs2: reg(&ops[0])?,
+                offset: off,
+            })
         }
         "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
             need(3)?;
@@ -340,7 +389,11 @@ fn encode_inst(
         // Pseudo-branches.
         "beqz" | "bnez" => {
             need(2)?;
-            let funct3 = if mnemonic == "beqz" { branch::BEQ } else { branch::BNE };
+            let funct3 = if mnemonic == "beqz" {
+                branch::BEQ
+            } else {
+                branch::BNE
+            };
             one(Inst::Branch {
                 funct3,
                 rs1: reg(&ops[0])?,
@@ -399,8 +452,7 @@ fn encode_inst(
                 imm: shamt | extra,
             })
         }
-        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
-        | "mul" => {
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul" => {
             need(3)?;
             let (funct3, funct7) = match mnemonic {
                 "add" => (0b000, 0x00),
@@ -469,11 +521,19 @@ mod tests {
         let prog = assemble("lw t0, 8(sp)\nsw t0, -4(sp)\necall").unwrap();
         assert_eq!(
             Inst::decode(prog[0]),
-            Some(Inst::Lw { rd: 5, rs1: 2, offset: 8 })
+            Some(Inst::Lw {
+                rd: 5,
+                rs1: 2,
+                offset: 8
+            })
         );
         assert_eq!(
             Inst::decode(prog[1]),
-            Some(Inst::Sw { rs1: 2, rs2: 5, offset: -4 })
+            Some(Inst::Sw {
+                rs1: 2,
+                rs2: 5,
+                offset: -4
+            })
         );
     }
 
@@ -517,7 +577,14 @@ mod tests {
 
     #[test]
     fn abi_register_names() {
-        for (name, num) in [("zero", 0u8), ("ra", 1), ("sp", 2), ("a0", 10), ("t6", 31), ("s11", 27)] {
+        for (name, num) in [
+            ("zero", 0u8),
+            ("ra", 1),
+            ("sp", 2),
+            ("a0", 10),
+            ("t6", 31),
+            ("s11", 27),
+        ] {
             assert_eq!(reg(name).unwrap(), num);
         }
         assert_eq!(reg("x17").unwrap(), 17);

@@ -76,23 +76,14 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
     let rs1_raw = m.mem_read(&rf, "rs1_raw", rs1.clone());
     let rs2_raw = m.mem_read(&rf, "rs2_raw", rs2.clone());
     let zero32 = m.lit(0, 32);
-    let rs1_val = m.node(
-        "rs1_val",
-        rs1.eq(&m.lit(0, 5)).select(&zero32, &rs1_raw),
-    );
-    let rs2_val = m.node(
-        "rs2_val",
-        rs2.eq(&m.lit(0, 5)).select(&zero32, &rs2_raw),
-    );
+    let rs1_val = m.node("rs1_val", rs1.eq(&m.lit(0, 5)).select(&zero32, &rs1_raw));
+    let rs2_val = m.node("rs2_val", rs2.eq(&m.lit(0, 5)).select(&zero32, &rs2_raw));
     // a0 (x10) read port for the ECALL result convention.
     let a0_val = m.mem_read(&rf, "a0_val", m.lit(10, 5));
 
     // Immediates.
     let imm_i = m.node("imm_i", insn.slice(31, 20).sext(32));
-    let imm_s = m.node(
-        "imm_s",
-        insn.slice(31, 25).cat(&insn.slice(11, 7)).sext(32),
-    );
+    let imm_s = m.node("imm_s", insn.slice(31, 25).cat(&insn.slice(11, 7)).sext(32));
     let imm_b = m.node(
         "imm_b",
         insn.bit(31)
@@ -131,8 +122,10 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
     let alt = insn.bit(30); // SUB / SRA selector
     let shamt = alu_b.slice(4, 0);
     let f3 = |v: u64| funct3.eq(&Signal::lit(v, 3));
-    let add_sub = (&is_op & &alt)
-        .select(&(rs1_val.clone() - rs2_val.clone()), &(rs1_val.clone() + alu_b.clone()));
+    let add_sub = (&is_op & &alt).select(
+        &(rs1_val.clone() - rs2_val.clone()),
+        &(rs1_val.clone() + alu_b.clone()),
+    );
     let sll = &rs1_val << &shamt;
     let slt = rs1_val.lt_signed(&alu_b).zext(32);
     let sltu = rs1_val.lt(&alu_b).zext(32);
@@ -156,10 +149,7 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
             ),
         ),
     );
-    let is_mul = m.node(
-        "is_mul",
-        &(&is_op & &funct7.eq(&m.lit(1, 7))) & &f3(0),
-    );
+    let is_mul = m.node("is_mul", &(&is_op & &funct7.eq(&m.lit(1, 7))) & &f3(0));
     let mul_out = m.node("mul_out", rs1_val.clone() * rs2_val.clone());
 
     // Data memory.
@@ -171,12 +161,7 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
     let mem_index = mem_addr.slice(dbits + 1, 2);
     let load_data = m.mem_read(&dmem, "load_data", mem_index.clone());
     let running = m.node("running", !halted.sig());
-    m.mem_write(
-        &dmem,
-        mem_index,
-        rs2_val.clone(),
-        &is_store & &running,
-    );
+    m.mem_write(&dmem, mem_index, rs2_val.clone(), &is_store & &running);
 
     // Branch resolution.
     let beq = rs1_val.eq(&rs2_val);
@@ -192,10 +177,7 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
                 &beq,
                 &f3(1).select(
                     &bne,
-                    &f3(4).select(
-                        &blt,
-                        &f3(5).select(&bge, &f3(6).select(&bltu, &bgeu)),
-                    ),
+                    &f3(4).select(&blt, &f3(5).select(&bge, &f3(6).select(&bltu, &bgeu))),
                 ),
             ),
     );
@@ -236,10 +218,7 @@ fn build_core_body(m: &mut ModuleBuilder<'_>, cfg: CoreConfig) {
         "writes_rd",
         &(&(&(&is_lui | &is_auipc) | &(&is_jal | &is_jalr)) | &(&is_load | &is_opimm)) | &is_op,
     );
-    let rf_wen = m.node(
-        "rf_wen",
-        &(&writes_rd & &running) & &rd.ne(&m.lit(0, 5)),
-    );
+    let rf_wen = m.node("rf_wen", &(&writes_rd & &running) & &rd.ne(&m.lit(0, 5)));
     m.mem_write(&rf, rd.clone(), wb_data, rf_wen);
 
     // ECALL: halt and publish a0 (the paper's FPU bug hunt pauses on

@@ -42,16 +42,32 @@ pub enum Inst {
     /// Jump and link register.
     Jalr { rd: u8, rs1: u8, offset: i32 },
     /// Conditional branch; `funct3` selects the comparison.
-    Branch { funct3: u8, rs1: u8, rs2: u8, offset: i32 },
+    Branch {
+        funct3: u8,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
     /// Load word.
     Lw { rd: u8, rs1: u8, offset: i32 },
     /// Store word.
     Sw { rs1: u8, rs2: u8, offset: i32 },
     /// Register-immediate ALU; `funct3` selects the op, `funct7` the
     /// shift variant.
-    OpImm { funct3: u8, rd: u8, rs1: u8, imm: i32 },
+    OpImm {
+        funct3: u8,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
     /// Register-register ALU.
-    Op { funct3: u8, funct7: u8, rd: u8, rs1: u8, rs2: u8 },
+    Op {
+        funct3: u8,
+        funct7: u8,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     /// ECALL: halt, publishing a0 to tohost.
     Ecall,
 }
@@ -242,21 +258,79 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let insts = vec![
-            Inst::Lui { rd: 5, imm: 0x12345 << 12 },
+            Inst::Lui {
+                rd: 5,
+                imm: 0x12345 << 12,
+            },
             Inst::Auipc { rd: 1, imm: -4096 },
-            Inst::Jal { rd: 1, offset: 2048 },
+            Inst::Jal {
+                rd: 1,
+                offset: 2048,
+            },
             Inst::Jal { rd: 0, offset: -16 },
-            Inst::Jalr { rd: 1, rs1: 2, offset: -8 },
-            Inst::Branch { funct3: branch::BEQ, rs1: 3, rs2: 4, offset: 64 },
-            Inst::Branch { funct3: branch::BGEU, rs1: 3, rs2: 4, offset: -4096 },
-            Inst::Lw { rd: 7, rs1: 2, offset: 12 },
-            Inst::Lw { rd: 7, rs1: 2, offset: -12 },
-            Inst::Sw { rs1: 2, rs2: 8, offset: 40 },
-            Inst::Sw { rs1: 2, rs2: 8, offset: -40 },
-            Inst::OpImm { funct3: 0, rd: 1, rs1: 1, imm: -1 },
-            Inst::OpImm { funct3: 0b101, rd: 1, rs1: 1, imm: (1 << 10) | 4 }, // srai
-            Inst::Op { funct3: 0, funct7: 0x20, rd: 3, rs1: 4, rs2: 5 },     // sub
-            Inst::Op { funct3: 0, funct7: 1, rd: 3, rs1: 4, rs2: 5 },        // mul
+            Inst::Jalr {
+                rd: 1,
+                rs1: 2,
+                offset: -8,
+            },
+            Inst::Branch {
+                funct3: branch::BEQ,
+                rs1: 3,
+                rs2: 4,
+                offset: 64,
+            },
+            Inst::Branch {
+                funct3: branch::BGEU,
+                rs1: 3,
+                rs2: 4,
+                offset: -4096,
+            },
+            Inst::Lw {
+                rd: 7,
+                rs1: 2,
+                offset: 12,
+            },
+            Inst::Lw {
+                rd: 7,
+                rs1: 2,
+                offset: -12,
+            },
+            Inst::Sw {
+                rs1: 2,
+                rs2: 8,
+                offset: 40,
+            },
+            Inst::Sw {
+                rs1: 2,
+                rs2: 8,
+                offset: -40,
+            },
+            Inst::OpImm {
+                funct3: 0,
+                rd: 1,
+                rs1: 1,
+                imm: -1,
+            },
+            Inst::OpImm {
+                funct3: 0b101,
+                rd: 1,
+                rs1: 1,
+                imm: (1 << 10) | 4,
+            }, // srai
+            Inst::Op {
+                funct3: 0,
+                funct7: 0x20,
+                rd: 3,
+                rs1: 4,
+                rs2: 5,
+            }, // sub
+            Inst::Op {
+                funct3: 0,
+                funct7: 1,
+                rd: 3,
+                rs1: 4,
+                rs2: 5,
+            }, // mul
             Inst::Ecall,
         ];
         for inst in insts {
@@ -268,13 +342,27 @@ mod tests {
     #[test]
     fn known_encodings() {
         // addi x1, x0, 5  => 0x00500093
-        let addi = Inst::OpImm { funct3: 0, rd: 1, rs1: 0, imm: 5 };
+        let addi = Inst::OpImm {
+            funct3: 0,
+            rd: 1,
+            rs1: 0,
+            imm: 5,
+        };
         assert_eq!(addi.encode(), 0x0050_0093);
         // add x3, x1, x2 => 0x002081b3
-        let add = Inst::Op { funct3: 0, funct7: 0, rd: 3, rs1: 1, rs2: 2 };
+        let add = Inst::Op {
+            funct3: 0,
+            funct7: 0,
+            rd: 3,
+            rs1: 1,
+            rs2: 2,
+        };
         assert_eq!(add.encode(), 0x0020_81B3);
         // lui x5, 0x12345 => 0x123452b7
-        let lui = Inst::Lui { rd: 5, imm: 0x12345 << 12 };
+        let lui = Inst::Lui {
+            rd: 5,
+            imm: 0x12345 << 12,
+        };
         assert_eq!(lui.encode(), 0x1234_52B7);
         // ecall => 0x00000073
         assert_eq!(Inst::Ecall.encode(), 0x0000_0073);
@@ -290,7 +378,12 @@ mod tests {
     #[test]
     fn branch_offset_range() {
         for off in [-4096i32, -2, 2, 4094] {
-            let b = Inst::Branch { funct3: branch::BNE, rs1: 1, rs2: 2, offset: off };
+            let b = Inst::Branch {
+                funct3: branch::BNE,
+                rs1: 1,
+                rs2: 2,
+                offset: off,
+            };
             assert_eq!(Inst::decode(b.encode()), Some(b));
         }
     }

@@ -72,9 +72,7 @@ impl Iss {
         let mut next_pc = self.pc.wrapping_add(4);
         match inst {
             Inst::Lui { rd, imm } => self.write_reg(rd, imm as u32),
-            Inst::Auipc { rd, imm } => {
-                self.write_reg(rd, self.pc.wrapping_add(imm as u32))
-            }
+            Inst::Auipc { rd, imm } => self.write_reg(rd, self.pc.wrapping_add(imm as u32)),
             Inst::Jal { rd, offset } => {
                 self.write_reg(rd, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add(offset as u32);
@@ -107,11 +105,7 @@ impl Iss {
             }
             Inst::Lw { rd, rs1, offset } => {
                 let addr = self.read_reg(rs1).wrapping_add(offset as u32);
-                let v = self
-                    .dmem
-                    .get((addr >> 2) as usize)
-                    .copied()
-                    .unwrap_or(0);
+                let v = self.dmem.get((addr >> 2) as usize).copied().unwrap_or(0);
                 self.write_reg(rd, v);
             }
             Inst::Sw { rs1, rs2, offset } => {
@@ -128,7 +122,12 @@ impl Iss {
                 imm,
             } => {
                 let a = self.read_reg(rs1);
-                let v = alu(funct3, ((imm >> 10) & 1) == 1 && funct3 == 0b101, a, imm as u32);
+                let v = alu(
+                    funct3,
+                    ((imm >> 10) & 1) == 1 && funct3 == 0b101,
+                    a,
+                    imm as u32,
+                );
                 self.write_reg(rd, v);
             }
             Inst::Op {
@@ -143,12 +142,7 @@ impl Iss {
                 let v = if funct7 == 1 && funct3 == 0 {
                     a.wrapping_mul(b)
                 } else {
-                    alu(
-                        funct3,
-                        (funct7 & 0x20) != 0,
-                        a,
-                        b,
-                    )
+                    alu(funct3, (funct7 & 0x20) != 0, a, b)
                 };
                 self.write_reg(rd, v);
             }

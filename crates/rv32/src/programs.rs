@@ -257,10 +257,9 @@ pub fn qsort() -> Program {
     };
     let mut sorted = vals.clone();
     sorted.sort_unstable();
-    let expected = sorted
-        .iter()
-        .enumerate()
-        .fold(0u32, |a, (i, v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    let expected = sorted.iter().enumerate().fold(0u32, |a, (i, v)| {
+        a.wrapping_add(v.wrapping_mul(i as u32 + 1))
+    });
     // Initialize via the same LCG in asm.
     let source = format!(
         "\
@@ -562,8 +561,7 @@ mod tests {
     #[test]
     fn suite_runs_on_iss() {
         for p in suite() {
-            let prog = assemble(&p.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let prog = assemble(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             let mut iss = Iss::new(&prog, 4096);
             iss.run(2_000_000);
             assert!(iss.halted, "{} did not halt", p.name);

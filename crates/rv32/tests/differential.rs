@@ -6,8 +6,8 @@ use hgf::CircuitBuilder;
 use proptest::prelude::*;
 use rtl_sim::{SimControl, Simulator};
 use rv32::asm::assemble;
-use rv32::iss::Iss;
 use rv32::isa::Inst;
+use rv32::iss::Iss;
 use rv32::{build_core, CoreConfig};
 
 const CFG: CoreConfig = CoreConfig {
@@ -56,12 +56,18 @@ fn assert_state_matches(sim: &Simulator, iss: &Iss, context: &str) {
     );
     // Register file.
     for r in 1..32usize {
-        let hw = sim.peek_mem("cpu.rf", r).map(|b| b.to_u64() as u32).unwrap_or(0);
+        let hw = sim
+            .peek_mem("cpu.rf", r)
+            .map(|b| b.to_u64() as u32)
+            .unwrap_or(0);
         assert_eq!(hw, iss.regs[r], "{context}: x{r}");
     }
     // Data memory (spot-check a prefix; full compare is slow).
     for addr in 0..1024usize {
-        let hw = sim.peek_mem("cpu.dmem", addr).map(|b| b.to_u64() as u32).unwrap_or(0);
+        let hw = sim
+            .peek_mem("cpu.dmem", addr)
+            .map(|b| b.to_u64() as u32)
+            .unwrap_or(0);
         assert_eq!(hw, iss.dmem[addr], "{context}: dmem[{addr}]");
     }
 }
@@ -97,20 +103,8 @@ fn arb_alu_inst() -> impl Strategy<Value = Inst> {
         (0u8..8, any::<bool>(), reg.clone(), reg.clone(), reg.clone()).prop_map(
             |(f3, alt, rd, rs1, rs2)| {
                 let funct7 = match f3 {
-                    0 => {
-                        if alt {
-                            0x20
-                        } else {
-                            0
-                        }
-                    }
-                    5 => {
-                        if alt {
-                            0x20
-                        } else {
-                            0
-                        }
-                    }
+                    0 if alt => 0x20,
+                    5 if alt => 0x20,
                     _ => 0,
                 };
                 Inst::Op {
@@ -135,10 +129,7 @@ fn arb_alu_inst() -> impl Strategy<Value = Inst> {
                 imm,
             }
         }),
-        (reg.clone(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, v)| Inst::Lui {
-            rd,
-            imm: v << 12
-        }),
+        (reg.clone(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
         (reg.clone(), reg.clone(), 0i32..64).prop_map(|(rd, rs1, off)| Inst::Lw {
             rd,
             rs1,
@@ -224,7 +215,15 @@ fn dual_core_runs_mt_workloads() {
             sim.peek("soc.halted").unwrap().is_truthy(),
             "{name} did not halt"
         );
-        assert_eq!(sim.peek("soc.tohost0").unwrap().to_u64() as u32, exp0, "{name} core0");
-        assert_eq!(sim.peek("soc.tohost1").unwrap().to_u64() as u32, exp1, "{name} core1");
+        assert_eq!(
+            sim.peek("soc.tohost0").unwrap().to_u64() as u32,
+            exp0,
+            "{name} core0"
+        );
+        assert_eq!(
+            sim.peek("soc.tohost1").unwrap().to_u64() as u32,
+            exp1,
+            "{name} core1"
+        );
     }
 }

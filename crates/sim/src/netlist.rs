@@ -209,10 +209,8 @@ impl FlatNetlist {
                 .collect();
             return Err(SimError::CombinationalLoop(cycle));
         }
-        let defs: Vec<(usize, CExpr)> = order
-            .into_iter()
-            .map(|di| b.raw_defs[di].clone())
-            .collect();
+        let defs: Vec<(usize, CExpr)> =
+            order.into_iter().map(|di| b.raw_defs[di].clone()).collect();
 
         Ok(FlatNetlist {
             names: b.names,
@@ -280,7 +278,9 @@ impl Builder<'_> {
                     self.mem_names.push(full.clone());
                     self.mem_index.insert(full, idx);
                 }
-                Stmt::Instance { name, module: m, .. } => {
+                Stmt::Instance {
+                    name, module: m, ..
+                } => {
                     let child = self.circuit.module(m).expect("validated");
                     self.declare_module(child, &format!("{prefix}.{name}"));
                 }
@@ -367,7 +367,9 @@ impl Builder<'_> {
                     };
                     self.writes.push(w);
                 }
-                Stmt::Instance { name, module: m, .. } => {
+                Stmt::Instance {
+                    name, module: m, ..
+                } => {
                     let child = self.circuit.module(m).expect("validated");
                     let mut child_hier = HierNode::new(name.clone());
                     self.collect_module(child, &format!("{prefix}.{name}"), &mut child_hier)?;
@@ -407,15 +409,12 @@ fn compile_expr(
         Expr::Lit(b) => CExpr::Lit(b.clone()),
         Expr::Ref(name) => {
             let full = format!("{prefix}.{name}");
-            let i = index
-                .get(&full)
-                .ok_or_else(|| SimError::UnknownSignal(full))?;
+            let i = index.get(&full).ok_or(SimError::UnknownSignal(full))?;
             CExpr::Sig(*i)
         }
-        Expr::Unary(op, e) => CExpr::Unary(
-            *op,
-            Box::new(compile_expr(e, prefix, index, _mem_index)?),
-        ),
+        Expr::Unary(op, e) => {
+            CExpr::Unary(*op, Box::new(compile_expr(e, prefix, index, _mem_index)?))
+        }
         Expr::Binary(op, l, r) => CExpr::Binary(
             *op,
             Box::new(compile_expr(l, prefix, index, _mem_index)?),

@@ -81,11 +81,7 @@ impl Simulator {
     /// loops.
     pub fn new(circuit: &Circuit) -> Result<Simulator, SimError> {
         let netlist = FlatNetlist::build(circuit)?;
-        let values: Vec<Bits> = netlist
-            .widths
-            .iter()
-            .map(|&w| Bits::zero(w))
-            .collect();
+        let values: Vec<Bits> = netlist.widths.iter().map(|&w| Bits::zero(w)).collect();
         let sim = Simulator {
             mems: RefCell::new(netlist.mems.clone()),
             values: RefCell::new(values),
@@ -153,11 +149,7 @@ impl Simulator {
     /// Reads a memory word (debug/testbench convenience; memories are
     /// not part of the signal namespace).
     pub fn peek_mem(&self, mem_path: &str, addr: usize) -> Option<Bits> {
-        let idx = self
-            .netlist
-            .mem_names
-            .iter()
-            .position(|n| n == mem_path)?;
+        let idx = self.netlist.mem_names.iter().position(|n| n == mem_path)?;
         self.mems.borrow().get(idx)?.words.get(addr).cloned()
     }
 
@@ -213,9 +205,11 @@ impl Simulator {
     /// Asserts reset for `cycles` cycles, then deasserts it.
     pub fn reset(&mut self, cycles: u64) {
         let reset_path = self.netlist.names[self.netlist.reset].clone();
-        self.poke(&reset_path, Bits::from_bool(true)).expect("reset exists");
+        self.poke(&reset_path, Bits::from_bool(true))
+            .expect("reset exists");
         self.run(cycles);
-        self.poke(&reset_path, Bits::from_bool(false)).expect("reset exists");
+        self.poke(&reset_path, Bits::from_bool(false))
+            .expect("reset exists");
     }
 
     fn eval_if_dirty(&self) {
@@ -302,7 +296,10 @@ impl Simulator {
 
     /// Width of a signal by full path.
     pub fn signal_width(&self, path: &str) -> Option<u32> {
-        self.netlist.index.get(path).map(|&i| self.netlist.widths[i])
+        self.netlist
+            .index
+            .get(path)
+            .map(|&i| self.netlist.widths[i])
     }
 
     /// The full path of the implicit reset input.
@@ -402,10 +399,7 @@ mod tests {
     use hgf_ir::passes;
 
     /// Elaborate + lower a generator to a simulator.
-    fn build(
-        f: impl FnOnce(&mut CircuitBuilder),
-        top: &str,
-    ) -> Simulator {
+    fn build(f: impl FnOnce(&mut CircuitBuilder), top: &str) -> Simulator {
         let mut cb = CircuitBuilder::new();
         f(&mut cb);
         let circuit = cb.finish(top).unwrap();
@@ -586,10 +580,7 @@ mod tests {
         sim.poke("counter.en", Bits::from_bool(true)).unwrap();
         sim.set_time(5).unwrap();
         assert_eq!(sim.time(), 5);
-        assert!(matches!(
-            sim.set_time(2),
-            Err(SimError::TimeTravel(_))
-        ));
+        assert!(matches!(sim.set_time(2), Err(SimError::TimeTravel(_))));
         assert!(!sim.supports_reverse());
     }
 
@@ -610,7 +601,8 @@ mod tests {
     fn set_value_can_force_registers() {
         let mut sim = counter_sim();
         sim.poke("counter.en", Bits::from_bool(false)).unwrap();
-        sim.set_value("counter.count", Bits::from_u64(99, 8)).unwrap();
+        sim.set_value("counter.count", Bits::from_u64(99, 8))
+            .unwrap();
         assert_eq!(sim.peek("counter.out").unwrap().to_u64(), 99);
         // Comb nodes are not writable.
         let comb_err = sim.set_value("counter.out", Bits::from_u64(1, 8));

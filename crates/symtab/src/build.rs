@@ -36,12 +36,7 @@ pub fn from_debug_table(circuit: &Circuit, table: &DebugTable) -> Result<SymbolT
             }
         }
     }
-    walk(
-        circuit,
-        &circuit.top,
-        circuit.top.clone(),
-        &mut instances,
-    );
+    walk(circuit, &circuit.top, circuit.top.clone(), &mut instances);
 
     for (id, (path, _)) in instances.iter().enumerate() {
         st.add_instance(id as i64, path)?;
@@ -56,12 +51,12 @@ pub fn from_debug_table(circuit: &Circuit, table: &DebugTable) -> Result<SymbolT
     let mut next_var: i64 = 0;
     let mut var_id = |st: &mut SymbolTable, rtl_full: &str| -> Result<i64, DbError> {
         // Variables are deduplicated per full RTL name.
-        for (vid, _) in st
+        if let Some((vid, _)) = st
             .db()
             .table("variable")
             .expect("schema")
             .iter()
-            .filter(|(_, row)| row[1].as_str() == Some(rtl_full))
+            .find(|(_, row)| row[1].as_str() == Some(rtl_full))
         {
             return Ok(vid as i64);
         }

@@ -224,7 +224,10 @@ impl SymbolTable {
 
     fn row_to_breakpoint(row: &minidb::ResultRow) -> BreakpointInfo {
         BreakpointInfo {
-            id: row.get("breakpoint.id").and_then(Value::as_int).unwrap_or(0),
+            id: row
+                .get("breakpoint.id")
+                .and_then(Value::as_int)
+                .unwrap_or(0),
             filename: row
                 .get("breakpoint.filename")
                 .and_then(Value::as_str)
@@ -412,12 +415,7 @@ impl SymbolTable {
         let mut out: Vec<(i64, String)> = Query::table("instance")
             .run(&self.db)?
             .iter()
-            .filter_map(|r| {
-                Some((
-                    r.get("id")?.as_int()?,
-                    r.get("name")?.as_str()?.to_owned(),
-                ))
-            })
+            .filter_map(|r| Some((r.get("id")?.as_int()?, r.get("name")?.as_str()?.to_owned())))
             .collect();
         out.sort();
         Ok(out)
@@ -432,7 +430,10 @@ impl SymbolTable {
         let rows = Query::table("instance")
             .filter_eq("name", Value::text(name))
             .run(&self.db)?;
-        Ok(rows.first().and_then(|r| r.get("id")).and_then(Value::as_int))
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("id"))
+            .and_then(Value::as_int))
     }
 
     /// Distinct filenames with breakpoints.
@@ -539,7 +540,10 @@ mod tests {
         );
         assert!(st.resolve_instance_variable(0, "io.out").unwrap().is_none());
         let vars = st.instance_variables(1).unwrap();
-        assert_eq!(vars, vec![("io.out".to_owned(), "top.u0.io.out".to_owned())]);
+        assert_eq!(
+            vars,
+            vec![("io.out".to_owned(), "top.u0.io.out".to_owned())]
+        );
     }
 
     #[test]

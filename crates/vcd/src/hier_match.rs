@@ -74,17 +74,10 @@ mod tests {
 
     #[test]
     fn wrapped_in_testbench_scopes() {
-        let tp = paths(&[
-            "TB.dut.top.u0.sum",
-            "TB.dut.top.u0.carry",
-            "TB.monitor.sum",
-        ]);
+        let tp = paths(&["TB.dut.top.u0.sum", "TB.dut.top.u0.carry", "TB.monitor.sum"]);
         // Longest suffix overlap picks the dut path over the
         // monitor's same-leaf signal.
-        assert_eq!(
-            map_signal(&tp, "top.u0.sum").unwrap(),
-            "TB.dut.top.u0.sum"
-        );
+        assert_eq!(map_signal(&tp, "top.u0.sum").unwrap(), "TB.dut.top.u0.sum");
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! Run with `cargo run --example fpu_bug`.
 
 use bits::Bits;
-use hgf::{CircuitBuilder, ModuleBuilder, Signal};
 use hgdb::{RunOutcome, Runtime};
+use hgf::{CircuitBuilder, ModuleBuilder, Signal};
 use rtl_sim::Simulator;
 
 /// Simplified IEEE-754 single-precision view: NaN iff exponent is all
@@ -102,7 +102,11 @@ fn build_fpu(cb: &mut CircuitBuilder, dcmp: &hgf::ModuleHandle) -> u32 {
 fn golden_feq(a: u32, b: u32) -> (u32, u32) {
     let nan = |x: u32| (x >> 23) & 0xFF == 0xFF && x & 0x7F_FFFF != 0;
     let snan = |x: u32| nan(x) && (x >> 22) & 1 == 0;
-    let eq = if nan(a) || nan(b) { 0 } else { u32::from(a == b) };
+    let eq = if nan(a) || nan(b) {
+        0
+    } else {
+        u32::from(a == b)
+    };
     let invalid = u32::from(snan(a) || snan(b)); // quiet compare!
     (eq, invalid << 4)
 }
@@ -119,7 +123,11 @@ fn main() {
     // Show a taste of the generated RTL — the Listing 4 experience.
     let verilog = hgf_ir::verilog::emit_circuit(&state.circuit);
     println!("--- generated RTL the designer would otherwise read ---");
-    for line in verilog.lines().filter(|l| l.contains("_GEN_") || l.contains("_T_")).take(6) {
+    for line in verilog
+        .lines()
+        .filter(|l| l.contains("_GEN_") || l.contains("_T_"))
+        .take(6)
+    {
         println!("{line}");
     }
 
@@ -130,8 +138,10 @@ fn main() {
     let (golden_eq, golden_exc) = golden_feq(qnan, one);
 
     let mut sim = Simulator::new(&state.circuit).expect("builds");
-    sim.poke("fpu.in.in1", Bits::from_u64(qnan as u64, 32)).unwrap();
-    sim.poke("fpu.in.in2", Bits::from_u64(one as u64, 32)).unwrap();
+    sim.poke("fpu.in.in1", Bits::from_u64(qnan as u64, 32))
+        .unwrap();
+    sim.poke("fpu.in.in2", Bits::from_u64(one as u64, 32))
+        .unwrap();
     sim.poke("fpu.in.wflags", Bits::from_bool(true)).unwrap();
     sim.poke("fpu.in.rm", Bits::from_u64(0b010, 3)).unwrap(); // feq
 
@@ -161,7 +171,10 @@ fn main() {
     match dbg.continue_run(Some(10)).expect("runs") {
         RunOutcome::Stopped(event) => {
             let frame = &event.hits[0];
-            println!("(hgdb) hit breakpoint at {}:{} in {}", frame.filename, frame.line, frame.instance);
+            println!(
+                "(hgdb) hit breakpoint at {}:{} in {}",
+                frame.filename, frame.line, frame.instance
+            );
             // Examine the generator variables: reconstruct dcmp's IO
             // bundle from flattened RTL signals.
             let signaling = dbg

@@ -100,11 +100,15 @@ fn run_command(client: &mut DebugClient<ChannelPair>, line: &str) -> bool {
                 return true;
             };
             let cond = (!rest[1..].is_empty()).then(|| rest[1..].join(" "));
-            client.insert_breakpoint(file, line, cond.as_deref()).map(|ids| {
-                println!("inserted {ids:?}");
-            })
+            client
+                .insert_breakpoint(file, line, cond.as_deref())
+                .map(|ids| {
+                    println!("inserted {ids:?}");
+                })
         }
-        "c" | "continue" => client.continue_run(Some(1_000_000)).map(|r| print_response(&r)),
+        "c" | "continue" => client
+            .continue_run(Some(1_000_000))
+            .map(|r| print_response(&r)),
         "s" | "step" => client.step().map(|r| print_response(&r)),
         "rs" | "reverse-step" => client.reverse_step().map(|r| print_response(&r)),
         "p" | "print" => {

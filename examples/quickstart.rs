@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use hgf::CircuitBuilder;
 use hgdb::{RunOutcome, Runtime};
+use hgf::CircuitBuilder;
 use rtl_sim::Simulator;
 
 fn main() {
@@ -30,8 +30,7 @@ fn main() {
     //    two-pass symbol extraction of the paper's Algorithm 1.
     let mut state = hgf_ir::CircuitState::new(circuit);
     let debug_table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
-    let symbols =
-        symtab::from_debug_table(&state.circuit, &debug_table).expect("symbol table");
+    let symbols = symtab::from_debug_table(&state.circuit, &debug_table).expect("symbol table");
     println!(
         "compiled: {} breakpoints, {} symbol rows",
         debug_table.breakpoints.len(),

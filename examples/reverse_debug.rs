@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --example reverse_debug`.
 
-use hgf::CircuitBuilder;
 use hgdb::{RunOutcome, Runtime};
+use hgf::CircuitBuilder;
 use rtl_sim::{SimControl, Simulator};
 use vcd::{parse, Recorder, ReplaySim};
 
@@ -53,10 +53,7 @@ fn main() {
         }
         rec.finish().expect("flush");
     }
-    println!(
-        "recorded {} bytes of VCD over 20 cycles",
-        vcd_text.len()
-    );
+    println!("recorded {} bytes of VCD over 20 cycles", vcd_text.len());
 
     // Replay: same SimControl interface, but reversible.
     let trace = parse(std::str::from_utf8(&vcd_text).unwrap()).expect("parses");
@@ -97,7 +94,10 @@ fn main() {
             RunOutcome::Stopped(event) => {
                 let t = event.time;
                 let count = dbg.eval(Some("bouncer"), "count").expect("evals");
-                println!("  <- cycle {t}: count = {count} ({}:{})", event.filename, event.line);
+                println!(
+                    "  <- cycle {t}: count = {count} ({}:{})",
+                    event.filename, event.line
+                );
                 seen.push(count.to_u64());
             }
             RunOutcome::Finished { time } => {
@@ -112,5 +112,8 @@ fn main() {
         seen.windows(2).all(|w| w[0] >= w[1]),
         "counts while reversing: {seen:?}"
     );
-    println!("\ntime travel verified: now at cycle {} (was {peak_time})", dbg.time());
+    println!(
+        "\ntime travel verified: now at cycle {} (was {peak_time})",
+        dbg.time()
+    );
 }

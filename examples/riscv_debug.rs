@@ -84,10 +84,7 @@ fn main() {
                 && b.enable.is_none()
         })
         .expect("an unconditional statement seeing pc");
-    println!(
-        "(hgdb) break {}:{} if pc == 8",
-        pc_bp.filename, pc_bp.line
-    );
+    println!("(hgdb) break {}:{} if pc == 8", pc_bp.filename, pc_bp.line);
     dbg.insert_breakpoint(&pc_bp.filename, pc_bp.line, None, Some("pc == 8"))
         .expect("insert");
 

@@ -39,9 +39,7 @@ fn listing12_breakpoints_and_ssa_values() {
     sim.poke("acc.data1", Bits::from_u64(4, 8)).unwrap(); // even: 2nd bp disabled
 
     let mut dbg = Runtime::attach(sim, symbols).unwrap();
-    let ids = dbg
-        .insert_breakpoint(file!(), bp_line, None, None)
-        .unwrap();
+    let ids = dbg.insert_breakpoint(file!(), bp_line, None, None).unwrap();
     // One source line, two unrolled statements (paper: "multiple
     // line-mapping after SSA").
     assert_eq!(ids.len(), 2);
@@ -71,7 +69,9 @@ fn listing12_breakpoints_and_ssa_values() {
     // Both odd: both breakpoints of the group match and are reported
     // together in one stop, with the SSA-correct sum versions (0
     // before the first +=, 3 before the second).
-    dbg.sim_mut().poke("acc.data1", Bits::from_u64(7, 8)).unwrap();
+    dbg.sim_mut()
+        .poke("acc.data1", Bits::from_u64(7, 8))
+        .unwrap();
     match dbg.continue_run(Some(10)).unwrap() {
         RunOutcome::Stopped(event) => {
             assert_eq!(event.hits.len(), 2, "both statements active");
@@ -121,8 +121,7 @@ fn concurrent_instances_are_threads() {
             // Both instances hit the same source location in the same
             // evaluation group.
             assert_eq!(event.hits.len(), 2);
-            let mut instances: Vec<&str> =
-                event.hits.iter().map(|f| f.instance.as_str()).collect();
+            let mut instances: Vec<&str> = event.hits.iter().map(|f| f.instance.as_str()).collect();
             instances.sort_unstable();
             assert_eq!(instances, vec!["top.u0", "top.u1"]);
         }
@@ -169,7 +168,10 @@ fn verilog_emission_is_obfuscated_like_listing4() {
     // The generated RTL hides the generator's intent: SSA temps show
     // up as _T_/_GEN_ and the when structure is gone.
     assert!(verilog.contains("module acc("));
-    assert!(verilog.contains("_GEN_") || verilog.contains("_T_"), "{verilog}");
+    assert!(
+        verilog.contains("_GEN_") || verilog.contains("_T_"),
+        "{verilog}"
+    );
     assert!(!verilog.contains("when"));
     assert!(verilog.contains("assign out = "));
 }

@@ -1,0 +1,81 @@
+//! Smoke test mirroring `examples/quickstart.rs`.
+//!
+//! The example is the documented entry-point path (generate, compile
+//! with debug symbols, attach the runtime, break on a generator source
+//! line, inspect frames, evaluate an expression). `cargo build
+//! --examples` only proves it compiles; this test keeps the flow
+//! itself exercised by `cargo test`.
+
+use hgdb::{RunOutcome, Runtime};
+use hgf::CircuitBuilder;
+use rtl_sim::Simulator;
+
+#[test]
+fn quickstart_flow_end_to_end() {
+    // 1. Generator: the `for` loop unrolls into hardware, and every
+    //    emitted statement records this file/line.
+    let mut cb = CircuitBuilder::new();
+    let bp_line = line!() + 8; // the conditional accumulate below
+    cb.module("acc", |m| {
+        let data = [m.input("data0", 8), m.input("data1", 8)];
+        let out = m.output("out", 8);
+        let sum = m.wire("sum", m.lit(0, 8));
+        for d in data {
+            let odd = d.rem(&m.lit(2, 8)).eq(&m.lit(1, 8));
+            m.when(odd, |m| {
+                m.assign(&sum, sum.sig() + d.clone()); // <- breakpoint here
+            });
+        }
+        m.assign(&out, sum.sig());
+    });
+    let circuit = cb.finish("acc").expect("valid circuit");
+
+    // 2. Compile with symbol extraction.
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let debug_table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &debug_table).expect("symbol table");
+    assert!(
+        !debug_table.breakpoints.is_empty(),
+        "debug compile must collect breakpoints"
+    );
+    assert!(symbols.row_count() > 0, "symbol table must have rows");
+
+    // 3. Simulate and attach hgdb.
+    let mut sim = Simulator::new(&state.circuit).expect("builds");
+    sim.poke("acc.data0", bits::Bits::from_u64(3, 8)).unwrap();
+    sim.poke("acc.data1", bits::Bits::from_u64(5, 8)).unwrap();
+    let mut dbg = Runtime::attach(sim, symbols).expect("attach");
+
+    // 4. One source line maps to TWO breakpoints: the generator loop
+    //    ran twice (the paper's Listing 1 -> 2).
+    let ids = dbg
+        .insert_breakpoint(file!(), bp_line, None, None)
+        .expect("breakpoint exists");
+    assert_eq!(
+        ids.len(),
+        2,
+        "the unrolled loop must yield two breakpoints for line {bp_line}"
+    );
+
+    // 5. Both inputs are odd, so the breakpoints hit; `sum` resolves to
+    //    the SSA version live before each statement.
+    let mut stop_count = 0;
+    for _ in 0..2 {
+        match dbg.continue_run(Some(10)).expect("runs") {
+            RunOutcome::Stopped(event) => {
+                stop_count += 1;
+                assert!(!event.hits.is_empty(), "a stop must carry frames");
+                for frame in &event.hits {
+                    assert!(!frame.render().is_empty());
+                    frame.local("sum").expect("sum in scope");
+                }
+            }
+            RunOutcome::Finished { .. } => break,
+        }
+    }
+    assert!(stop_count > 0, "at least one breakpoint must hit");
+
+    // 6. Expression evaluation in instance context.
+    let out = dbg.eval(Some("acc"), "out").expect("evals");
+    assert_eq!(out.to_u64(), 8, "3 + 5 must accumulate to 8");
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored
+//! shim provides the subset of the Criterion API the workspace's
+//! benches use: `Criterion`, `BenchmarkGroup` (with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, `finish`),
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — per-sample wall-clock means
+//! with a median summary, no outlier analysis, no HTML reports — but
+//! it is a real measurement loop, so `cargo bench` produces usable
+//! relative numbers. Swap back to the real crate by pointing the
+//! workspace dependency at the registry.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost across timed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many runs per setup.
+    SmallInput,
+    /// Large inputs: batch few runs per setup.
+    LargeInput,
+    /// Call setup before every single timed run.
+    PerIteration,
+    /// Explicit number of batches per sample.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-input `setup` excluded from the
+    /// measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+#[derive(Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: GroupConfig,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config;
+        run_benchmark(&name.into(), &config, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the wall-clock budget spread across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Measures one benchmark and prints its summary line.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, &self.config, f);
+        self
+    }
+
+    /// Ends the group (summary lines are printed eagerly).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, config: &GroupConfig, mut f: F) {
+    // Calibration: one iteration, timed, to size the warm-up and
+    // measurement budgets in iterations.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+
+    let iters_for = |budget: Duration| -> u64 {
+        (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+
+    let warm_iters = iters_for(config.warm_up_time);
+    bencher.iters = warm_iters;
+    f(&mut bencher);
+
+    let sample_iters = iters_for(config.measurement_time / config.sample_size as u32);
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = sample_iters;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter_nanos.push(bencher.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+    let lo = per_iter_nanos[0];
+    let hi = per_iter_nanos[per_iter_nanos.len() - 1];
+    println!(
+        "{name:<48} time: [{} {} {}] ({} samples x {} iters)",
+        fmt_nanos(lo),
+        fmt_nanos(median),
+        fmt_nanos(hi),
+        config.sample_size,
+        sample_iters,
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` the harness passes flags such
+            // as `--test`; running measurements there would be wasteful.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(3));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| v * 2,
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, 4);
+    }
+}

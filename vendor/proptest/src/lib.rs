@@ -1,0 +1,806 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this vendored
+//! shim implements the subset of proptest the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_flat_map`, `prop_recursive`, and `boxed`; strategies for
+//! ranges, tuples, `Just`, `any::<T>()`, `prop::collection::vec`, and
+//! character-class string patterns; and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, and
+//! `prop_oneof!` macros driven by a deterministic per-test RNG.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case prints its seed context instead), string patterns support
+//! character classes and `\PC` with a `{m,n}` repetition rather than
+//! full regex syntax, and generation is deterministic per test name so
+//! CI failures always reproduce. Swap back to the real crate by
+//! pointing the workspace dependency at the registry.
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 generator, seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one named test; the same name always yields the
+        /// same sequence, so failures reproduce across runs.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform value in `0..n` (n > 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        /// Generates a value, then draws from the strategy it selects.
+        fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, map }
+        }
+
+        /// Type-erases the strategy behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf, and
+        /// `recurse` wraps an inner strategy into a deeper one, up to
+        /// `depth` levels. The size-hint parameters are accepted for
+        /// API compatibility but not interpreted.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                current = Union::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.map)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Cloneable type-erased strategy handle.
+    pub struct BoxedStrategy<V> {
+        inner: Rc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.inner.new_value(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type;
+    /// what `prop_oneof!` builds.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let pick = rng.below(self.arms.len() as u64) as usize;
+            self.arms[pick].new_value(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident . $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = rng.next_u128() % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = rng.next_u128() % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Canonical strategy for `T`; see [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for AnyStrategy<T> {}
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias 1-in-4 draws toward boundary values, which
+                    // uniform sampling over wide types almost never
+                    // hits but which dominate real-world bugs.
+                    if rng.below(4) == 0 {
+                        const EDGES: [$t; 5] =
+                            [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX >> 1];
+                        EDGES[rng.below(EDGES.len() as u64) as usize]
+                    } else {
+                        rng.next_u128() as $t
+                    }
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, spread across magnitudes.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exponent = rng.below(600) as i32 - 300;
+            mantissa * 10f64.powi(exponent)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values drawn from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Pattern-based string generation.
+    //!
+    //! Supports the shapes this workspace's tests use: a character
+    //! class (`[a-z0-9_\-]`) or the printable-any class `\PC`,
+    //! followed by an optional `{m,n}` / `{n}` repetition. Unsupported
+    //! patterns fall back to short alphanumeric strings.
+
+    use crate::test_runner::TestRng;
+
+    enum CharSet {
+        Explicit(Vec<char>),
+        Printable,
+    }
+
+    /// Extra non-ASCII printable characters mixed into `\PC` output so
+    /// multi-byte UTF-8 paths get exercised.
+    const UNICODE_SAMPLES: [char; 10] = ['¡', 'é', 'ß', 'Ж', 'λ', 'Ω', '中', '日', '→', '🦀'];
+
+    /// Generates one string matching `pattern` (best effort).
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let (set, min, max) = parse(pattern).unwrap_or_else(|| {
+            (
+                CharSet::Explicit("abcdefghijklmnopqrstuvwxyz0123456789".chars().collect()),
+                0,
+                16,
+            )
+        });
+        let len = min + rng.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| sample(&set, rng)).collect()
+    }
+
+    fn sample(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Explicit(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharSet::Printable => {
+                if rng.below(10) == 0 {
+                    UNICODE_SAMPLES[rng.below(UNICODE_SAMPLES.len() as u64) as usize]
+                } else {
+                    char::from(b' ' + rng.below(95) as u8)
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Option<(CharSet, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (set, rest) = if let Some(stripped) = pattern.strip_prefix("\\PC") {
+            (CharSet::Printable, stripped.chars().collect::<Vec<_>>())
+        } else if chars.first() == Some(&'[') {
+            let mut members = Vec::new();
+            let mut i = 1;
+            loop {
+                match *chars.get(i)? {
+                    ']' => {
+                        i += 1;
+                        break;
+                    }
+                    '\\' => {
+                        members.push(*chars.get(i + 1)?);
+                        i += 2;
+                    }
+                    c => {
+                        // `a-z` range when a dash sits between two
+                        // class members.
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&e| e != ']')
+                        {
+                            let end = chars[i + 2];
+                            for v in c as u32..=end as u32 {
+                                members.push(char::from_u32(v)?);
+                            }
+                            i += 3;
+                        } else {
+                            members.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            if members.is_empty() {
+                return None;
+            }
+            (CharSet::Explicit(members), chars[i..].to_vec())
+        } else {
+            return None;
+        };
+
+        if rest.is_empty() {
+            return Some((set, 1, 1));
+        }
+        if rest.first() != Some(&'{') || rest.last() != Some(&'}') {
+            return None;
+        }
+        let body: String = rest[1..rest.len() - 1].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = body.parse().ok()?;
+                (n, n)
+            }
+        };
+        if min > max {
+            return None;
+        }
+        Some((set, min, max))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn class_with_ranges_and_escapes() {
+            let mut rng = TestRng::for_test("class");
+            for _ in 0..200 {
+                let s = generate("[a-cXY_\\-]{1,4}", &mut rng);
+                assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+                assert!(s.chars().all(|c| "abcXY_-".contains(c)), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn printable_any() {
+            let mut rng = TestRng::for_test("pc");
+            for _ in 0..200 {
+                let s = generate("\\PC{0,64}", &mut rng);
+                assert!(s.chars().count() <= 64);
+                assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn unsupported_pattern_falls_back() {
+            let mut rng = TestRng::for_test("fallback");
+            let s = generate("(complex|regex)+", &mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies)`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    (@run $config:expr;
+     $($(#[$attr:meta])*
+       fn $name:ident($($pattern:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(20);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        let ($($pattern,)+) = (
+                            $($crate::strategy::Strategy::new_value(&($strategy), &mut rng),)+
+                        );
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                accepted,
+                                message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let mut c = crate::test_runner::TestRng::for_test("other");
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn union_and_collection_compose() {
+        let strat = prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 3..=5);
+        let mut rng = crate::test_runner::TestRng::for_test("compose");
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i32..=5, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_links_values((w, v) in (1u32..=63).prop_flat_map(|w| {
+            let mask = (1u64 << w) - 1;
+            (Just(w), any::<u64>().prop_map(move |v| v & mask))
+        })) {
+            prop_assert!((1..=63).contains(&w));
+            prop_assert!(v < (1u64 << w));
+        }
+
+        #[test]
+        fn assume_rejects_instead_of_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}
