@@ -67,6 +67,27 @@ fn callback_ablation(c: &mut Criterion) {
         )
     });
 
+    // Same sampling through the interned-id fast path: what per-cycle
+    // instrumentation should cost when it skips the string lookup.
+    group.bench_function("callback_sampling_one_signal_by_id", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = loaded_sim(&core, &workload);
+                let pc = sim.signal_id("cpu.pc").expect("pc signal");
+                sim.add_clock_callback(Box::new(move |view| {
+                    let _ = view.get_value_id(pc);
+                }));
+                sim
+            },
+            |mut sim| {
+                for _ in 0..CYCLES {
+                    sim.step_clock();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
     group.bench_function("full_trace_sampling", |b| {
         b.iter_batched(
             || {

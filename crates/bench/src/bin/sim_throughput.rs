@@ -1,0 +1,98 @@
+//! Absolute simulation throughput in cycles/second, as JSON.
+//!
+//! Produces the numbers recorded in `BENCH_sim_throughput.json` at the
+//! repo root. Run with `--smoke` for the CI gate: a short timed run
+//! that fails (panics) if the simulator produces wrong results or
+//! regresses to pathological slowness, without asserting exact timing.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sim_throughput            # full JSON
+//! cargo run --release -p bench --bin sim_throughput -- --smoke # CI gate
+//! ```
+
+use bench::{compile_core, loaded_sim, loaded_wide_sim, measure_throughput, run_plain};
+
+struct Row {
+    design: &'static str,
+    cycles: u64,
+    cycles_per_sec: f64,
+}
+
+fn measure_rv32(cycles: u64) -> Row {
+    let core = compile_core(false);
+    let workload = rv32::programs::multiply();
+    let mut sim = loaded_sim(&core, &workload);
+    let cps = measure_throughput(&mut sim, cycles);
+    Row {
+        design: "rv32_core",
+        cycles,
+        cycles_per_sec: cps,
+    }
+}
+
+fn measure_wide(cycles: u64) -> Row {
+    let mut sim = loaded_wide_sim(8);
+    let cps = measure_throughput(&mut sim, cycles);
+    Row {
+        design: "wide_datapath",
+        cycles,
+        cycles_per_sec: cps,
+    }
+}
+
+/// Functional check: the multiply workload must still reach its
+/// expected `tohost` under the compiled engine. Guards the CI smoke
+/// run against a fast-but-wrong simulator.
+fn check_correctness() {
+    let core = compile_core(false);
+    let workload = rv32::programs::multiply();
+    let mut sim = loaded_sim(&core, &workload);
+    let cycles = run_plain(&mut sim, &core.top, 200_000);
+    assert!(cycles < 200_000, "multiply workload did not halt");
+    let tohost = sim.peek("cpu.tohost").expect("tohost").to_u64() as u32;
+    assert_eq!(
+        tohost, workload.expected,
+        "wrong tohost under throughput run"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cycles: u64 = if smoke { 5_000 } else { 50_000 };
+
+    check_correctness();
+    let rows = [measure_rv32(cycles), measure_wide(cycles)];
+
+    println!("{{");
+    println!("  \"bench\": \"sim_throughput\",");
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "    {{\"design\": \"{}\", \"cycles\": {}, \"cycles_per_sec\": {:.0}}}{}",
+            r.design, r.cycles, r.cycles_per_sec, comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    if smoke {
+        // Thresholds sit well above the pre-PR-2 tree-walking
+        // interpreter (183k / 49k cycles/sec, see
+        // BENCH_sim_throughput.json) and well below the compiled
+        // engine's measured numbers (≈6M / ≈400k), with slack for slow
+        // CI runners — a regression to interpreter-class speed fails.
+        let floor = [("rv32_core", 500_000.0), ("wide_datapath", 100_000.0)];
+        for (r, (design, min)) in rows.iter().zip(floor) {
+            assert_eq!(r.design, design);
+            assert!(
+                r.cycles_per_sec > min,
+                "{}: throughput {:.0} cycles/sec below smoke floor {:.0}",
+                r.design,
+                r.cycles_per_sec,
+                min
+            );
+        }
+        eprintln!("smoke ok");
+    }
+}

@@ -167,6 +167,69 @@ pub fn compile_dsp(debug_mode: bool) -> CompiledCore {
     }
 }
 
+/// Compiles a wide-datapath synthetic design: a pipeline of 192-bit
+/// registers mixed through xor/add/mux stages with narrow control.
+/// This is the multi-word (`Bits` heap representation) stress case for
+/// the `sim_throughput` benchmark, complementing the rv32 core whose
+/// signals are almost all ≤64 bits wide.
+pub fn compile_wide(stages: usize) -> CompiledCore {
+    const W: u32 = 192;
+    let mut cb = CircuitBuilder::new();
+    cb.module("wide", |m| {
+        let x = m.input("x", W);
+        let sel = m.input("sel", 1);
+        let y = m.output("y", W);
+        let parity = m.output("parity", 1);
+        let mut cur = x.clone();
+        for s in 0..stages {
+            let r = m.reg(format!("st{s}"), W, Some(0));
+            let rot = cur.slice(W - 2, 0).cat(&cur.bit(W - 1));
+            let mixed = m.node(
+                format!("mix{s}"),
+                (&rot ^ &r.sig()) + m.lit(0x9e37_79b9_7f4a_7c15, W),
+            );
+            let next = sel.select(&mixed, &rot);
+            m.assign(&r, next.clone());
+            cur = next;
+        }
+        m.assign(&y, cur.clone());
+        m.assign(&parity, cur.reduce_xor());
+    });
+    let circuit = cb.finish("wide").expect("wide elaborates");
+    let mut state = CircuitState::new(circuit);
+    let debug_table = hgf_ir::passes::compile(&mut state, false).expect("wide compiles");
+    CompiledCore {
+        circuit: state.circuit,
+        debug_table,
+        top: "wide".into(),
+    }
+}
+
+/// Builds a ready-to-run wide-datapath simulator: `sel` asserted and a
+/// nonzero seed on `x`, so every stage mixes each cycle. Shared by the
+/// `sim_throughput` bench and binary so both measure the same design
+/// under the same drive.
+pub fn loaded_wide_sim(stages: usize) -> Simulator {
+    let wide = compile_wide(stages);
+    let mut sim = Simulator::new(&wide.circuit).expect("wide sim builds");
+    sim.poke("wide.sel", Bits::from_bool(true)).expect("sel");
+    sim.poke("wide.x", Bits::from_u64(0xDEAD_BEEF, 192))
+        .expect("x");
+    sim
+}
+
+/// Steps the simulator `cycles` clock edges and returns the measured
+/// cycles/second — the raw simulation throughput number recorded in
+/// `BENCH_sim_throughput.json`.
+pub fn measure_throughput(sim: &mut Simulator, cycles: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..cycles {
+        sim.step_clock();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    cycles as f64 / secs.max(1e-9)
+}
+
 /// Creates a simulator with `program` loaded (and the second-half
 /// program on core1 for dual-core designs).
 pub fn loaded_sim(core: &CompiledCore, workload: &Program) -> Simulator {
@@ -219,14 +282,17 @@ pub fn dual_sources(workload: &Program) -> (String, String) {
     }
 }
 
-/// Runs a loaded simulator to halt without hgdb; returns cycles.
+/// Runs a loaded simulator to halt without hgdb; returns cycles. The
+/// halt probe is interned once — the loop itself is string-free.
 pub fn run_plain(sim: &mut Simulator, top: &str, max_cycles: u64) -> u64 {
-    let halted = format!("{top}.halted");
+    let halted = sim
+        .signal_id(&format!("{top}.halted"))
+        .expect("halted port");
     let mut cycles = 0;
     while cycles < max_cycles {
         sim.step_clock();
         cycles += 1;
-        if sim.peek(&halted).expect("halted port").is_truthy() {
+        if sim.peek_id(halted).is_truthy() {
             break;
         }
     }
@@ -243,7 +309,10 @@ pub fn attach_runtime(sim: Simulator, symbols: SymbolTable) -> hgdb::Runtime<Sim
 /// Figure 2 fast path executes each edge). This is the steady-state
 /// loop Figure 5 times.
 pub fn run_attached(runtime: &mut hgdb::Runtime<Simulator>, top: &str, max_cycles: u64) -> u64 {
-    let halted = format!("{top}.halted");
+    let halted = runtime
+        .sim()
+        .signal_id(&format!("{top}.halted"))
+        .expect("halted port");
     let mut cycles = 0;
     while cycles < max_cycles {
         // continue_run with no breakpoints advances one bounded hop;
@@ -253,12 +322,7 @@ pub fn run_attached(runtime: &mut hgdb::Runtime<Simulator>, top: &str, max_cycle
             hgdb::RunOutcome::Stopped(_) => unreachable!("no breakpoints inserted"),
         }
         cycles += 1;
-        if runtime
-            .sim()
-            .get_value(&halted)
-            .expect("halted port")
-            .is_truthy()
-        {
+        if runtime.sim().peek_id(halted).is_truthy() {
             break;
         }
     }

@@ -3,8 +3,14 @@
 //! All two-operand arithmetic requires equal operand widths and produces a
 //! result of the same width (wrapping, i.e. modulo `2^width`), matching the
 //! semantics of a lowered RTL netlist. Comparisons produce 1-bit results.
+//!
+//! Every operation has an allocation-free fast path when both operands use
+//! the inline (≤64-bit) representation — the dominant case on real
+//! netlists and the one the simulator's compiled evaluator hits per
+//! signal per cycle. Multi-word values use word-level loops (no per-bit
+//! iteration anywhere on the hot path).
 
-use crate::Bits;
+use crate::{mask64, Bits};
 
 impl Bits {
     fn assert_same_width(&self, other: &Bits, op: &str) {
@@ -23,12 +29,17 @@ impl Bits {
     /// Panics if widths differ.
     pub fn add(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "add");
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return Bits::from_inline(a.wrapping_add(b), self.width);
+        }
         let mut out = Bits::zero(self.width);
+        let (sw, ow_src) = (self.words(), other.words());
+        let ow = out.words_mut();
         let mut carry = 0u64;
-        for i in 0..self.words.len() {
-            let (s1, c1) = self.words[i].overflowing_add(other.words[i]);
+        for i in 0..sw.len() {
+            let (s1, c1) = sw[i].overflowing_add(ow_src[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out.words[i] = s2;
+            ow[i] = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         out.mask_top();
@@ -43,18 +54,40 @@ impl Bits {
     /// Panics if widths differ.
     pub fn sub(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "sub");
-        self.add(&other.neg())
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return Bits::from_inline(a.wrapping_sub(b), self.width);
+        }
+        let mut out = self.clone();
+        out.sub_in_place(other);
+        out
+    }
+
+    /// Word-level borrow-propagating subtraction (`self -= other`).
+    fn sub_in_place(&mut self, other: &Bits) {
+        debug_assert_eq!(self.width, other.width);
+        let ow = other.words();
+        let sw = self.words_mut();
+        let mut borrow = 0u64;
+        for i in 0..sw.len() {
+            let (d1, b1) = sw[i].overflowing_sub(ow[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            sw[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        self.mask_top();
     }
 
     /// Two's-complement negation in the same width.
     pub fn neg(&self) -> Bits {
-        let mut out = self.not();
-        let one = Bits::from_u64(1, self.width);
-        out = out.add(&one);
+        if let Some(v) = self.inline_val() {
+            return Bits::from_inline(v.wrapping_neg(), self.width);
+        }
+        let mut out = Bits::zero(self.width);
+        out.sub_in_place(self);
         out
     }
 
-    /// Wrapping multiplication (schoolbook over 32-bit limbs). Operands
+    /// Wrapping multiplication (schoolbook over 64-bit limbs). Operands
     /// must have equal widths; the result is truncated to that width.
     ///
     /// # Panics
@@ -62,15 +95,20 @@ impl Bits {
     /// Panics if widths differ.
     pub fn mul(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "mul");
-        let n = self.words.len();
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return Bits::from_inline(a.wrapping_mul(b), self.width);
+        }
+        let sw = self.words();
+        let ow = other.words();
+        let n = sw.len();
         let mut acc = vec![0u128; n + 1];
         for i in 0..n {
-            let a = self.words[i] as u128;
+            let a = sw[i] as u128;
             if a == 0 {
                 continue;
             }
             for j in 0..n - i {
-                let b = other.words[j] as u128;
+                let b = ow[j] as u128;
                 if b == 0 {
                     continue;
                 }
@@ -80,11 +118,14 @@ impl Bits {
             }
         }
         let mut out = Bits::zero(self.width);
-        let mut carry = 0u128;
-        for (a, word) in acc.iter().take(n).zip(out.words.iter_mut()) {
-            let v = a + carry;
-            *word = v as u64;
-            carry = v >> 64;
+        {
+            let dst = out.words_mut();
+            let mut carry = 0u128;
+            for (a, word) in acc.iter().take(n).zip(dst.iter_mut()) {
+                let v = a + carry;
+                *word = v as u64;
+                carry = v >> 64;
+            }
         }
         out.mask_top();
         out
@@ -101,6 +142,9 @@ impl Bits {
         if other.is_zero() {
             return Bits::ones(self.width);
         }
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return Bits::from_inline(a / b, self.width);
+        }
         self.divmod(other).0
     }
 
@@ -115,31 +159,50 @@ impl Bits {
         if other.is_zero() {
             return self.clone();
         }
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return Bits::from_inline(a % b, self.width);
+        }
         self.divmod(other).1
     }
 
-    /// Restoring long division on bits; adequate for simulation widths.
+    /// Restoring long division on bits, with in-place shift/subtract so
+    /// the loop allocates nothing; adequate for simulation widths.
     fn divmod(&self, other: &Bits) -> (Bits, Bits) {
         let mut quot = Bits::zero(self.width);
         let mut rem = Bits::zero(self.width);
         for i in (0..self.width).rev() {
-            rem = rem.shl_const(1);
+            rem.shl1_in_place();
             if self.bit(i) {
-                rem = rem.with_bit(0, true);
+                rem.words_mut()[0] |= 1;
             }
             if rem.cmp_unsigned(other) != core::cmp::Ordering::Less {
-                rem = rem.sub(other);
-                quot = quot.with_bit(i, true);
+                rem.sub_in_place(other);
+                quot.set_bit(i, true);
             }
         }
         (quot, rem)
     }
 
+    /// Logical left shift by one, in place.
+    fn shl1_in_place(&mut self) {
+        let ws = self.words_mut();
+        let mut carry = 0u64;
+        for w in ws.iter_mut() {
+            let next_carry = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = next_carry;
+        }
+        self.mask_top();
+    }
+
     /// Bitwise NOT in the same width.
     pub fn not(&self) -> Bits {
-        let mut out = Bits::zero(self.width);
-        for (o, s) in out.words.iter_mut().zip(self.words.iter()) {
-            *o = !s;
+        if let Some(v) = self.inline_val() {
+            return Bits::from_inline(!v, self.width);
+        }
+        let mut out = self.clone();
+        for w in out.words_mut() {
+            *w = !*w;
         }
         out.mask_top();
         out
@@ -153,7 +216,7 @@ impl Bits {
     pub fn and(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "and");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+        for (o, s) in out.words_mut().iter_mut().zip(other.words().iter()) {
             *o &= s;
         }
         out
@@ -167,7 +230,7 @@ impl Bits {
     pub fn or(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "or");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+        for (o, s) in out.words_mut().iter_mut().zip(other.words().iter()) {
             *o |= s;
         }
         out
@@ -181,7 +244,7 @@ impl Bits {
     pub fn xor(&self, other: &Bits) -> Bits {
         self.assert_same_width(other, "xor");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(other.words.iter()) {
+        for (o, s) in out.words_mut().iter_mut().zip(other.words().iter()) {
             *o ^= s;
         }
         out
@@ -189,6 +252,9 @@ impl Bits {
 
     /// AND-reduction: 1-bit result, set iff all bits are 1.
     pub fn reduce_and(&self) -> Bits {
+        if let Some(v) = self.inline_val() {
+            return Bits::from_bool(v == mask64(self.width));
+        }
         Bits::from_bool(self.count_ones() == self.width)
     }
 
@@ -204,27 +270,51 @@ impl Bits {
 
     /// Logical shift left by a constant amount; result keeps the width.
     pub fn shl_const(&self, amount: u32) -> Bits {
-        let mut out = Bits::zero(self.width);
         if amount >= self.width {
-            return out;
+            return Bits::zero(self.width);
         }
-        for i in amount..self.width {
-            if self.bit(i - amount) {
-                out = out.with_bit(i, true);
+        if let Some(v) = self.inline_val() {
+            return Bits::from_inline(v << amount, self.width);
+        }
+        let mut out = Bits::zero(self.width);
+        let sw = self.words();
+        let word_shift = (amount / 64) as usize;
+        let bit = amount % 64;
+        {
+            let ow = out.words_mut();
+            for i in (word_shift..ow.len()).rev() {
+                let mut v = sw[i - word_shift] << bit;
+                if bit != 0 && i > word_shift {
+                    v |= sw[i - word_shift - 1] >> (64 - bit);
+                }
+                ow[i] = v;
             }
         }
+        out.mask_top();
         out
     }
 
     /// Logical shift right by a constant amount; result keeps the width.
     pub fn shr_const(&self, amount: u32) -> Bits {
-        let mut out = Bits::zero(self.width);
         if amount >= self.width {
-            return out;
+            return Bits::zero(self.width);
         }
-        for i in 0..self.width - amount {
-            if self.bit(i + amount) {
-                out = out.with_bit(i, true);
+        if let Some(v) = self.inline_val() {
+            return Bits::from_inline(v >> amount, self.width);
+        }
+        let mut out = Bits::zero(self.width);
+        let sw = self.words();
+        let word_shift = (amount / 64) as usize;
+        let bit = amount % 64;
+        {
+            let ow = out.words_mut();
+            let n = sw.len();
+            for i in 0..n - word_shift {
+                let mut v = sw[i + word_shift] >> bit;
+                if bit != 0 && i + word_shift + 1 < n {
+                    v |= sw[i + word_shift + 1] << (64 - bit);
+                }
+                ow[i] = v;
             }
         }
         out
@@ -233,16 +323,16 @@ impl Bits {
     /// Arithmetic shift right by a constant amount (sign-filling).
     pub fn ashr_const(&self, amount: u32) -> Bits {
         let sign = self.msb();
-        let mut out = if amount >= self.width {
-            Bits::zero(self.width)
-        } else {
-            self.shr_const(amount)
-        };
-        if sign {
-            let start = self.width.saturating_sub(amount);
-            for i in start..self.width {
-                out = out.with_bit(i, true);
-            }
+        if !sign {
+            return self.shr_const(amount);
+        }
+        if amount >= self.width {
+            return Bits::ones(self.width);
+        }
+        let mut out = self.shr_const(amount);
+        if amount > 0 {
+            // Sign-fill bits (width - amount)..width, word-level.
+            out.fill_high(self.width - amount);
         }
         out
     }
@@ -265,7 +355,14 @@ impl Bits {
     /// Clamps a dynamic shift amount to something harmless (`>= width`
     /// just produces the fully-shifted value).
     fn shift_amount(&self, width: u32) -> u32 {
-        let v = self.to_u128();
+        if let Some(v) = self.inline_val() {
+            return if v >= width as u64 { width } else { v as u32 };
+        }
+        let v = if self.words().iter().skip(2).any(|&w| w != 0) {
+            u128::MAX
+        } else {
+            self.to_u128()
+        };
         if v >= width as u128 {
             width
         } else {
@@ -276,8 +373,12 @@ impl Bits {
     /// Unsigned comparison.
     pub fn cmp_unsigned(&self, other: &Bits) -> core::cmp::Ordering {
         debug_assert_eq!(self.width, other.width, "cmp_unsigned width mismatch");
-        for i in (0..self.words.len()).rev() {
-            match self.words[i].cmp(&other.words[i]) {
+        if let (Some(a), Some(b)) = (self.inline_val(), other.inline_val()) {
+            return a.cmp(&b);
+        }
+        let (sw, ow) = (self.words(), other.words());
+        for i in (0..sw.len()).rev() {
+            match sw[i].cmp(&ow[i]) {
                 core::cmp::Ordering::Equal => continue,
                 o => return o,
             }
@@ -391,6 +492,15 @@ mod tests {
     }
 
     #[test]
+    fn sub_and_neg_wide() {
+        let a = Bits::from_u128(1u128 << 100, 128);
+        let c = Bits::from_u128(1, 128);
+        assert_eq!(a.sub(&c).to_u128(), (1u128 << 100) - 1);
+        assert_eq!(c.neg().to_u128(), u128::MAX);
+        assert_eq!(Bits::zero(128).neg().to_u128(), 0);
+    }
+
+    #[test]
     fn mul_basic_and_wrap() {
         assert_eq!(b(7, 8).mul(&b(6, 8)).to_u64(), 42);
         assert_eq!(b(16, 8).mul(&b(16, 8)).to_u64(), 0);
@@ -432,6 +542,13 @@ mod tests {
     }
 
     #[test]
+    fn not_wide_masks_top() {
+        let n = Bits::zero(70).not();
+        assert_eq!(n.count_ones(), 70);
+        assert_eq!(n.not().count_ones(), 0);
+    }
+
+    #[test]
     fn reductions() {
         assert_eq!(Bits::ones(7).reduce_and().to_u64(), 1);
         assert_eq!(b(0b110, 3).reduce_and().to_u64(), 0);
@@ -439,6 +556,8 @@ mod tests {
         assert_eq!(Bits::zero(3).reduce_or().to_u64(), 0);
         assert_eq!(b(0b110, 3).reduce_xor().to_u64(), 0);
         assert_eq!(b(0b100, 3).reduce_xor().to_u64(), 1);
+        assert_eq!(Bits::ones(64).reduce_and().to_u64(), 1);
+        assert_eq!(Bits::ones(128).reduce_and().to_u64(), 1);
     }
 
     #[test]
@@ -452,11 +571,34 @@ mod tests {
     }
 
     #[test]
+    fn shifts_const_wide() {
+        let v = 0x9234_5678_9ABC_DEF0_1122_3344_5566_7788u128; // msb set
+        let a = Bits::from_u128(v, 128);
+        for amt in [0u32, 1, 17, 63, 64, 65, 100, 127] {
+            assert_eq!(a.shl_const(amt).to_u128(), v << amt, "shl {amt}");
+            assert_eq!(a.shr_const(amt).to_u128(), v >> amt, "shr {amt}");
+            assert_eq!(
+                a.ashr_const(amt).to_u128(),
+                ((v as i128) >> amt) as u128,
+                "ashr {amt} (negative msb)"
+            );
+        }
+        assert_eq!(a.shl_const(128).to_u128(), 0);
+        assert_eq!(a.ashr_const(128).to_u128(), u128::MAX);
+        let pos = Bits::from_u128(v >> 1, 128);
+        assert_eq!(pos.ashr_const(65).to_u128(), (v >> 1) >> 65);
+    }
+
+    #[test]
     fn shifts_dynamic() {
         assert_eq!(b(1, 8).shl(&b(3, 4)).to_u64(), 8);
         assert_eq!(b(0x80, 8).shr(&b(7, 4)).to_u64(), 1);
         assert_eq!(b(1, 8).shl(&Bits::from_u64(200, 16)).to_u64(), 0);
         assert_eq!(b(0x80, 8).ashr(&b(3, 4)).to_u64(), 0xF0);
+        // A shift amount wider than 128 bits saturates rather than
+        // truncating.
+        let huge = Bits::ones(192);
+        assert_eq!(b(1, 8).shl(&huge).to_u64(), 0);
     }
 
     #[test]

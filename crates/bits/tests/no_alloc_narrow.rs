@@ -1,0 +1,78 @@
+//! Proof of the inline-representation contract: `Bits` operations on
+//! widths ≤ 64 perform **zero heap allocations** — the property the
+//! simulator's compiled evaluator relies on for its per-cycle hot
+//! path. A counting global allocator wraps `System`; the single test
+//! in this binary exercises the full operation surface at narrow
+//! widths and asserts the counter never moves.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bits::Bits;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn narrow_bits_ops_never_allocate() {
+    let a = Bits::from_u64(0x1234_5678_9ABC, 48);
+    let b = Bits::from_u64(0x0FED_CBA9_8765, 48);
+    let sel = Bits::from_bool(true);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut acc = a.clone();
+    for i in 0..256u32 {
+        acc = acc.add(&b).sub(&a).xor(&b).and(&a).or(&b).not().neg();
+        acc = acc.mul(&b);
+        acc = acc.div(&b).add(&acc.rem(&b));
+        acc = acc.shl_const(i % 48).or(&a.shr_const(i % 48));
+        acc = acc.shl(&b).or(&a.ashr_const(i % 48));
+        let narrow = acc.slice(40, 1); // width 39
+        acc = narrow.resize(48);
+        acc = acc.with_bit(i % 48, i % 2 == 0);
+        let lo = acc.slice(23, 0);
+        let hi = acc.slice(47, 24);
+        acc = hi.concat(&lo);
+        let _ = acc.cmp_unsigned(&b);
+        let _ = acc.cmp_signed(&b);
+        let _ = acc.eq_bits(&b);
+        let _ = acc.reduce_and();
+        let _ = acc.reduce_or();
+        let _ = acc.reduce_xor();
+        let _ = acc.count_ones();
+        let _ = acc.is_truthy();
+        let _ = acc.msb();
+        let _ = acc.to_u64();
+        let _ = acc.to_i64();
+        let _ = Bits::mux(&sel, &acc, &b);
+        let _ = acc.resize_signed(64);
+        let _ = Bits::from_i64(-(i as i64), 48);
+        let _ = Bits::from_u128(u128::from(i), 64);
+        let _ = Bits::zero(1).words().len();
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "narrow Bits operations hit the heap {} times",
+        after - before
+    );
+    // The loop actually computed something.
+    assert_eq!(acc.width(), 48);
+}

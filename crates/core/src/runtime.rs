@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bits::Bits;
-use rtl_sim::{HierNode, SimControl, SimError};
+use rtl_sim::{HierNode, SignalId, SimControl, SimError};
 use symtab::{BreakpointInfo, SymbolTable};
 
 use crate::expr::{DebugExpr, ExprError};
@@ -104,11 +104,60 @@ pub struct StopEvent {
     pub hits: Vec<Frame>,
 }
 
+/// How a breakpoint-expression name resolves against the backend:
+/// interned once up front (the per-cycle fast path, no string
+/// formatting or hashing), or dynamically by path when the backend
+/// cannot intern it.
+#[derive(Debug, Clone)]
+enum NameLookup {
+    Id(SignalId),
+    Dynamic,
+}
+
+/// Resolves every signal name an expression references, preferring
+/// backend-interned ids. Called once at attach/insert time.
+fn resolve_refs<S: SimControl>(
+    sim: &S,
+    prefix: &str,
+    expr: &DebugExpr,
+) -> Vec<(String, NameLookup)> {
+    expr.refs()
+        .into_iter()
+        .map(|name| {
+            let lookup = sim
+                .signal_id(&format!("{prefix}.{name}"))
+                .or_else(|| sim.signal_id(&name))
+                .map(NameLookup::Id)
+                .unwrap_or(NameLookup::Dynamic);
+            (name, lookup)
+        })
+        .collect()
+}
+
+/// Per-cycle name resolution: interned id when available (and carrying
+/// a value), else the instance-relative then absolute path fallback.
+fn resolve_name_fast<S: SimControl>(
+    sim: &S,
+    prefix: &str,
+    lookups: &[(String, NameLookup)],
+    name: &str,
+) -> Option<Bits> {
+    if let Some((_, NameLookup::Id(id))) = lookups.iter().find(|(n, _)| n == name) {
+        if let Some(v) = sim.get_value_by_id(*id) {
+            return Some(v);
+        }
+    }
+    sim.get_value(&format!("{prefix}.{name}"))
+        .or_else(|| sim.get_value(name))
+}
+
 /// A statically known breakpoint with its pre-parsed enable.
 #[derive(Debug)]
 struct StaticBp {
     info: BreakpointInfo,
     enable: Option<DebugExpr>,
+    /// Attach-time name resolutions for the enable expression.
+    enable_lookups: Vec<(String, NameLookup)>,
 }
 
 /// User-inserted breakpoint state.
@@ -116,6 +165,8 @@ struct StaticBp {
 struct Inserted {
     condition: Option<DebugExpr>,
     condition_text: Option<String>,
+    /// Insert-time name resolutions for the user condition.
+    cond_lookups: Vec<(String, NameLookup)>,
     hit_count: u64,
 }
 
@@ -177,7 +228,18 @@ impl<S: SimControl> Runtime<S> {
             .map_err(|e| DebugError::Symbols(e.to_string()))?
         {
             let enable = info.enable.as_deref().map(DebugExpr::parse).transpose()?;
-            static_bps.insert(info.id, StaticBp { info, enable });
+            let enable_lookups = enable
+                .as_ref()
+                .map(|e| resolve_refs(&sim, &info.instance_name, e))
+                .unwrap_or_default();
+            static_bps.insert(
+                info.id,
+                StaticBp {
+                    info,
+                    enable,
+                    enable_lookups,
+                },
+            );
         }
         Ok(Runtime {
             sim,
@@ -258,11 +320,16 @@ impl<S: SimControl> Runtime<S> {
         let parsed = condition.map(DebugExpr::parse).transpose()?;
         let mut ids = Vec::new();
         for info in matches {
+            let cond_lookups = parsed
+                .as_ref()
+                .map(|e| resolve_refs(&self.sim, &info.instance_name, e))
+                .unwrap_or_default();
             self.inserted.insert(
                 info.id,
                 Inserted {
                     condition: parsed.clone(),
                     condition_text: condition.map(str::to_owned),
+                    cond_lookups,
                     hit_count: 0,
                 },
             );
@@ -387,15 +454,15 @@ impl<S: SimControl> Runtime<S> {
             if only_inserted && inserted.is_none() {
                 continue;
             }
-            let prefix = st.info.instance_name.clone();
+            // Borrow fields disjointly so the per-cycle path allocates
+            // nothing: the closures capture only `sim` and the
+            // breakpoint's own interned tables.
+            let sim = &self.sim;
+            let prefix: &str = &st.info.instance_name;
             // Enable condition (§3.1): statement must be active this
-            // cycle.
+            // cycle. Names were interned at attach time.
             let enable_result = st.enable.as_ref().map(|enable| {
-                enable.eval(&|name: &str| {
-                    self.sim
-                        .get_value(&format!("{prefix}.{name}"))
-                        .or_else(|| self.sim.get_value(name))
-                })
+                enable.eval(&|name: &str| resolve_name_fast(sim, prefix, &st.enable_lookups, name))
             });
             match enable_result {
                 None => {}
@@ -407,12 +474,12 @@ impl<S: SimControl> Runtime<S> {
                     continue;
                 }
             }
-            // User condition (§3.2 step 2).
-            let cond_result = inserted.and_then(|ins| ins.condition.as_ref()).map(|cond| {
-                cond.eval(&|name: &str| {
-                    self.sim
-                        .get_value(&format!("{prefix}.{name}"))
-                        .or_else(|| self.sim.get_value(name))
+            // User condition (§3.2 step 2). Names were interned at
+            // insert time.
+            let cond_result = inserted.map(|ins| (ins.condition.as_ref(), &ins.cond_lookups));
+            let cond_result = cond_result.and_then(|(cond, lookups)| {
+                cond.map(|cond| {
+                    cond.eval(&|name: &str| resolve_name_fast(sim, prefix, lookups, name))
                 })
             });
             match cond_result {

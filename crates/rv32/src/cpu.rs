@@ -282,9 +282,10 @@ mod tests {
             sim.poke_mem("cpu.imem", i, Bits::from_u64(*word as u64, 32))
                 .unwrap();
         }
+        let halted = sim.signal_id("cpu.halted").unwrap();
         for _ in 0..max_cycles {
             sim.step_clock();
-            if sim.peek("cpu.halted").unwrap().is_truthy() {
+            if sim.peek_id(halted).is_truthy() {
                 break;
             }
         }

@@ -29,9 +29,12 @@ fn load_and_run(sim: &mut Simulator, program: &[u32], max_cycles: u64) {
         sim.poke_mem("cpu.imem", i, Bits::from_u64(*w as u64, 32))
             .unwrap();
     }
+    // Resolve the per-cycle probe once; the loop then runs entirely on
+    // the id fast path.
+    let halted = sim.signal_id("cpu.halted").unwrap();
     for _ in 0..max_cycles {
         sim.step_clock();
-        if sim.peek("cpu.halted").unwrap().is_truthy() {
+        if sim.peek_id(halted).is_truthy() {
             break;
         }
     }
@@ -205,9 +208,10 @@ fn dual_core_runs_mt_workloads() {
             sim.poke_mem("soc.core1.imem", i, Bits::from_u64(*w as u64, 32))
                 .unwrap();
         }
+        let halted = sim.signal_id("soc.halted").unwrap();
         for _ in 0..2_000_000u64 {
             sim.step_clock();
-            if sim.peek("soc.halted").unwrap().is_truthy() {
+            if sim.peek_id(halted).is_truthy() {
                 break;
             }
         }

@@ -1,0 +1,415 @@
+//! Bytecode compilation and evaluation of combinational expressions.
+//!
+//! At `Simulator::new` time every [`CExpr`](crate::netlist::CExpr) tree
+//! is lowered into flat postorder bytecode: a shared `Vec<Op>` over
+//! dense slot indices plus a deduplicated literal pool. Evaluation is a
+//! tight program-counter loop over a preallocated scratch stack — no
+//! per-node boxing, no recursion, and (with the inline `Bits`
+//! representation) zero heap allocation for signals ≤ 64 bits wide.
+//! Mux keeps the tree-walker's lazy semantics through explicit branch
+//! instructions, so only the selected arm is evaluated.
+
+use bits::Bits;
+use hgf_ir::expr::{apply_binary, BinaryOp, UnaryOp};
+
+use crate::netlist::{CExpr, MemState};
+
+/// Half-open `[start, end)` range of instructions in the shared
+/// program; one compiled expression.
+pub(crate) type CodeRange = (u32, u32);
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Push literal pool entry.
+    Lit(u32),
+    /// Push the current value of a signal slot.
+    Sig(u32),
+    /// Replace the top of stack with the unary result.
+    Unary(UnaryOp),
+    /// Pop rhs, combine into the new top of stack.
+    Binary(BinaryOp),
+    /// Replace the top of stack with its `[lo, hi]` bit range.
+    Slice(u32, u32),
+    /// Pop the low part, concatenate under the new top (high part).
+    Cat,
+    /// Replace the top of stack (address) with the memory word.
+    MemRead(u32),
+    /// Pop the condition; jump to the absolute target when it is zero
+    /// (the mux else-arm entry).
+    BranchIfZero(u32),
+    /// Unconditional jump (skips the mux else-arm).
+    Jump(u32),
+}
+
+/// The compiled program shared by every expression in a netlist.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Program {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) lits: Vec<Bits>,
+    /// Exact worst-case operand stack depth over all compiled ranges.
+    pub(crate) max_stack: usize,
+}
+
+impl Program {
+    /// Compiles one expression, returning its instruction range.
+    pub(crate) fn compile(&mut self, expr: &CExpr) -> CodeRange {
+        let start = self.ops.len() as u32;
+        self.emit(expr);
+        self.max_stack = self.max_stack.max(stack_depth(expr));
+        (start, self.ops.len() as u32)
+    }
+
+    fn lit(&mut self, b: &Bits) -> u32 {
+        // The pool is small (per-design constants); linear dedup keeps
+        // `Bits` out of a hash map here without measurable build cost.
+        if let Some(i) = self.lits.iter().position(|l| l == b) {
+            return i as u32;
+        }
+        self.lits.push(b.clone());
+        (self.lits.len() - 1) as u32
+    }
+
+    fn emit(&mut self, e: &CExpr) {
+        match e {
+            CExpr::Lit(b) => {
+                let i = self.lit(b);
+                self.ops.push(Op::Lit(i));
+            }
+            CExpr::Sig(i) => self.ops.push(Op::Sig(*i as u32)),
+            CExpr::Unary(op, e) => {
+                self.emit(e);
+                self.ops.push(Op::Unary(*op));
+            }
+            CExpr::Binary(op, l, r) => {
+                self.emit(l);
+                self.emit(r);
+                self.ops.push(Op::Binary(*op));
+            }
+            CExpr::Mux(s, t, e) => {
+                self.emit(s);
+                let br = self.ops.len();
+                self.ops.push(Op::BranchIfZero(0));
+                self.emit(t);
+                let jmp = self.ops.len();
+                self.ops.push(Op::Jump(0));
+                let else_start = self.ops.len() as u32;
+                self.ops[br] = Op::BranchIfZero(else_start);
+                self.emit(e);
+                let end = self.ops.len() as u32;
+                self.ops[jmp] = Op::Jump(end);
+            }
+            CExpr::Slice(e, hi, lo) => {
+                self.emit(e);
+                self.ops.push(Op::Slice(*hi, *lo));
+            }
+            CExpr::Cat(h, l) => {
+                self.emit(h);
+                self.emit(l);
+                self.ops.push(Op::Cat);
+            }
+            CExpr::MemRead(m, addr) => {
+                self.emit(addr);
+                self.ops.push(Op::MemRead(*m as u32));
+            }
+        }
+    }
+}
+
+/// Exact operand-stack requirement of an expression (branches are
+/// alternatives, not cumulative).
+fn stack_depth(e: &CExpr) -> usize {
+    match e {
+        CExpr::Lit(_) | CExpr::Sig(_) => 1,
+        CExpr::Unary(_, e) | CExpr::Slice(e, _, _) | CExpr::MemRead(_, e) => stack_depth(e),
+        CExpr::Binary(_, l, r) | CExpr::Cat(l, r) => stack_depth(l).max(1 + stack_depth(r)),
+        CExpr::Mux(s, t, e) => stack_depth(s).max(stack_depth(t)).max(stack_depth(e)),
+    }
+}
+
+/// Executes one compiled range against the current signal values and
+/// memory contents, using (and leaving empty) the scratch stack.
+pub(crate) fn exec(
+    prog: &Program,
+    range: CodeRange,
+    values: &[Bits],
+    mems: &[MemState],
+    stack: &mut Vec<Bits>,
+) -> Bits {
+    debug_assert!(stack.is_empty());
+    let ops = &prog.ops;
+    let mut pc = range.0 as usize;
+    let end = range.1 as usize;
+    while pc < end {
+        match &ops[pc] {
+            Op::Lit(i) => stack.push(prog.lits[*i as usize].clone()),
+            Op::Sig(i) => stack.push(values[*i as usize].clone()),
+            Op::Unary(op) => {
+                let v = stack.last_mut().expect("operand");
+                *v = match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::ReduceAnd => v.reduce_and(),
+                    UnaryOp::ReduceOr => v.reduce_or(),
+                    UnaryOp::ReduceXor => v.reduce_xor(),
+                };
+            }
+            Op::Binary(op) => {
+                let r = stack.pop().expect("rhs");
+                let l = stack.last_mut().expect("lhs");
+                *l = apply_binary(*op, l, &r);
+            }
+            Op::Slice(hi, lo) => {
+                let v = stack.last_mut().expect("operand");
+                *v = v.slice(*hi, *lo);
+            }
+            Op::Cat => {
+                let low = stack.pop().expect("low");
+                let high = stack.last_mut().expect("high");
+                *high = high.concat(&low);
+            }
+            Op::MemRead(m) => {
+                let a = stack.last_mut().expect("address");
+                let mem = &mems[*m as usize];
+                let addr = a.to_u64() as usize;
+                *a = if addr < mem.words.len() {
+                    mem.words[addr].clone()
+                } else {
+                    Bits::zero(mem.width)
+                };
+            }
+            Op::BranchIfZero(target) => {
+                let c = stack.pop().expect("condition");
+                if !c.is_truthy() {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+        }
+        pc += 1;
+    }
+    stack.pop().expect("result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic SplitMix64 for random expression generation.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn bits(&mut self, width: u32) -> Bits {
+            let words: Vec<u64> = (0..width.div_ceil(64)).map(|_| self.next()).collect();
+            Bits::from_words(&words, width)
+        }
+    }
+
+    /// Random expression of the given result width over `nsigs`
+    /// signals and `nmems` memories; depth-bounded.
+    fn arb_expr(rng: &mut Rng, widths: &[u32], mems: &[MemState], width: u32, depth: u32) -> CExpr {
+        use BinaryOp::*;
+        if depth == 0 {
+            // Leaves: a literal, or a signal of the right width if one
+            // exists.
+            let candidates: Vec<usize> = widths
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| **w == width)
+                .map(|(i, _)| i)
+                .collect();
+            if !candidates.is_empty() && rng.below(2) == 0 {
+                return CExpr::Sig(candidates[rng.below(candidates.len() as u64) as usize]);
+            }
+            return CExpr::Lit(rng.bits(width));
+        }
+        let d = depth - 1;
+        match rng.below(12) {
+            0 => {
+                let ops = [
+                    UnaryOp::Not,
+                    UnaryOp::Neg,
+                    UnaryOp::ReduceAnd,
+                    UnaryOp::ReduceOr,
+                    UnaryOp::ReduceXor,
+                ];
+                let op = ops[rng.below(5) as usize];
+                match op {
+                    UnaryOp::Not | UnaryOp::Neg => {
+                        CExpr::Unary(op, Box::new(arb_expr(rng, widths, mems, width, d)))
+                    }
+                    // Reductions force a 1-bit result; only usable there.
+                    _ if width == 1 => {
+                        let w = 1 + rng.below(100) as u32;
+                        CExpr::Unary(op, Box::new(arb_expr(rng, widths, mems, w, d)))
+                    }
+                    _ => CExpr::Lit(rng.bits(width)),
+                }
+            }
+            1..=4 => {
+                let same_width = [Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Ashr];
+                let op = same_width[rng.below(same_width.len() as u64) as usize];
+                CExpr::Binary(
+                    op,
+                    Box::new(arb_expr(rng, widths, mems, width, d)),
+                    Box::new(arb_expr(rng, widths, mems, width, d)),
+                )
+            }
+            5 if width == 1 => {
+                let cmps = [Eq, Ne, Lt, Le, Gt, Ge, Lts, Les, Gts, Ges];
+                let op = cmps[rng.below(cmps.len() as u64) as usize];
+                let w = 1 + rng.below(100) as u32;
+                CExpr::Binary(
+                    op,
+                    Box::new(arb_expr(rng, widths, mems, w, d)),
+                    Box::new(arb_expr(rng, widths, mems, w, d)),
+                )
+            }
+            6 | 7 => {
+                let sel_w = 1 + rng.below(8) as u32;
+                CExpr::Mux(
+                    Box::new(arb_expr(rng, widths, mems, sel_w, d)),
+                    Box::new(arb_expr(rng, widths, mems, width, d)),
+                    Box::new(arb_expr(rng, widths, mems, width, d)),
+                )
+            }
+            8 => {
+                // Slice of something wider.
+                let extra = rng.below(70) as u32;
+                let src_w = width + extra;
+                let lo = rng.below((src_w - width + 1) as u64) as u32;
+                CExpr::Slice(
+                    Box::new(arb_expr(rng, widths, mems, src_w, d)),
+                    lo + width - 1,
+                    lo,
+                )
+            }
+            9 if width >= 2 => {
+                let hw = 1 + rng.below((width - 1) as u64) as u32;
+                CExpr::Cat(
+                    Box::new(arb_expr(rng, widths, mems, hw, d)),
+                    Box::new(arb_expr(rng, widths, mems, width - hw, d)),
+                )
+            }
+            10 if !mems.is_empty() => {
+                let candidates: Vec<usize> = mems
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.width == width)
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    CExpr::Lit(rng.bits(width))
+                } else {
+                    let m = candidates[rng.below(candidates.len() as u64) as usize];
+                    CExpr::MemRead(m, Box::new(arb_expr(rng, widths, mems, 8, d)))
+                }
+            }
+            _ => CExpr::Lit(rng.bits(width)),
+        }
+    }
+
+    proptest! {
+        /// The compiled bytecode must agree with the tree-walking
+        /// reference evaluator on random expression trees — narrow
+        /// (inline `Bits`) and multi-word widths alike.
+        #[test]
+        fn bytecode_matches_tree_walk(seed in any::<u64>()) {
+            let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1);
+            // Random signal environment: mix of narrow and wide slots.
+            let nsigs = 2 + rng.below(6) as usize;
+            let widths: Vec<u32> = (0..nsigs)
+                .map(|_| {
+                    if rng.below(3) == 0 {
+                        65 + rng.below(120) as u32
+                    } else {
+                        1 + rng.below(64) as u32
+                    }
+                })
+                .collect();
+            let values: Vec<Bits> = widths.iter().map(|&w| rng.bits(w)).collect();
+            let mem_width = 1 + rng.below(90) as u32;
+            let mems = vec![MemState {
+                width: mem_width,
+                words: (0..8).map(|_| rng.bits(mem_width)).collect(),
+            }];
+            let width = if rng.below(3) == 0 {
+                65 + rng.below(80) as u32
+            } else {
+                1 + rng.below(64) as u32
+            };
+            let expr = arb_expr(&mut rng, &widths, &mems, width, 4);
+
+            let expected = expr.eval(&values, &mems);
+            let mut prog = Program::default();
+            let range = prog.compile(&expr);
+            let mut stack = Vec::with_capacity(prog.max_stack);
+            let got = exec(&prog, range, &values, &mems, &mut stack);
+            prop_assert!(stack.is_empty(), "stack not drained (seed {})", seed);
+            prop_assert_eq!(&got, &expected, "seed {}", seed);
+            // The stack bound is exact per expression; the scratch
+            // vector must never have outgrown its preallocation.
+            prop_assert!(stack.capacity() <= prog.max_stack.max(4));
+        }
+    }
+
+    /// Mux arms must stay lazy: the untaken arm is never executed.
+    /// (Divide-by-zero is total in this IR, so laziness is purely a
+    /// performance property — asserted here via an address that would
+    /// be counted by a MemRead if executed.)
+    #[test]
+    fn mux_skips_untaken_arm() {
+        let e = CExpr::Mux(
+            Box::new(CExpr::Lit(Bits::from_bool(true))),
+            Box::new(CExpr::Lit(Bits::from_u64(7, 8))),
+            Box::new(CExpr::Binary(
+                BinaryOp::Add,
+                Box::new(CExpr::Lit(Bits::from_u64(1, 8))),
+                Box::new(CExpr::Lit(Bits::from_u64(2, 8))),
+            )),
+        );
+        let mut prog = Program::default();
+        let range = prog.compile(&e);
+        let mut stack = Vec::new();
+        let got = exec(&prog, range, &[], &[], &mut stack);
+        assert_eq!(got.to_u64(), 7);
+        // The else-arm is three ops (two pushes + add); count executed
+        // ops by instrumenting pc coverage is overkill — instead verify
+        // the branch targets skip it entirely.
+        let br_target = prog
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BranchIfZero(t) => Some(*t),
+                _ => None,
+            })
+            .expect("branch emitted");
+        let jump_target = prog
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Jump(t) => Some(*t),
+                _ => None,
+            })
+            .expect("jump emitted");
+        assert!(jump_target as usize == prog.ops.len());
+        assert!(br_target < jump_target);
+    }
+}

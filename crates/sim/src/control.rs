@@ -45,6 +45,33 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Interned handle for a signal path: a dense index into the
+/// backend's flattened signal namespace.
+///
+/// Hot per-cycle code (breakpoint enable evaluation, trace capture,
+/// benchmark harnesses) resolves each dotted path **once** via
+/// [`SimControl::signal_id`] and thereafter reads values with
+/// [`SimControl::get_value_by_id`], skipping the string hashing a
+/// path-keyed lookup pays on every cycle. Ids are only meaningful for
+/// the backend that produced them (and identically-built backends of
+/// the same design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// Wraps a dense index (backend implementations only).
+    #[inline]
+    pub fn from_index(index: usize) -> SignalId {
+        SignalId(index as u32)
+    }
+
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A node in the design hierarchy (instances as scopes, signals as
 /// leaves). hgdb uses this to locate generated IP inside a larger test
 /// environment (§3, §3.3).
@@ -104,6 +131,20 @@ pub trait SimControl {
     /// Primitive 1 — get signal value. `None` if the path is unknown
     /// (or has no recorded value at the current time, for traces).
     fn get_value(&self, path: &str) -> Option<Bits>;
+
+    /// Interns a path for the id-based fast path. Backends without a
+    /// dense namespace may return `None`; callers must then fall back
+    /// to [`SimControl::get_value`].
+    fn signal_id(&self, _path: &str) -> Option<SignalId> {
+        None
+    }
+
+    /// Primitive 1, id form: value of a signal previously interned
+    /// with [`SimControl::signal_id`]. `None` when the backend has no
+    /// id support or no value at the current time.
+    fn get_value_by_id(&self, _id: SignalId) -> Option<Bits> {
+        None
+    }
 
     /// Primitive 2a — the design hierarchy.
     fn hierarchy(&self) -> HierNode;

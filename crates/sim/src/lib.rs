@@ -17,6 +17,18 @@
 //! primitives. Clock-edge callbacks ([`Simulator::add_clock_callback`])
 //! are the mechanism whose near-zero overhead Figure 5 demonstrates.
 //!
+//! # Fast paths
+//!
+//! Combinational logic executes as compiled bytecode over an
+//! incremental dirty set (see the [`Simulator`] docs): state changes
+//! re-evaluate only their fan-out cone, and values ≤ 64 bits never
+//! touch the heap. Per-cycle instrumentation should intern paths once
+//! with [`Simulator::signal_id`] (or [`SimControl::signal_id`] when
+//! written against the trait) and read through [`Simulator::peek_id`] /
+//! [`SimControl::get_value_by_id`] — a dense-index load instead of a
+//! string hash per sample. [`ClockView::get_value_id`] is the same
+//! fast path inside clock callbacks.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,9 +51,10 @@
 //! # Ok::<(), hgf_ir::IrError>(())
 //! ```
 
+mod compile;
 mod control;
 mod netlist;
 mod simulator;
 
-pub use control::{HierNode, SimControl, SimError};
+pub use control::{HierNode, SignalId, SimControl, SimError};
 pub use simulator::{CallbackId, ClockCallback, ClockView, Simulator};

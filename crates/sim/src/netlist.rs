@@ -1,22 +1,29 @@
 //! Hierarchy flattening and netlist compilation.
 //!
 //! The Low-form circuit is flattened into a single namespace of
-//! dotted full paths (`top.u0.sum_1`), expressions are compiled into an
-//! index-resolved form ([`CExpr`]) so evaluation never touches strings,
-//! and combinational definitions are topologically ordered
-//! (levelized) so one linear sweep per cycle reaches the zero-delay
-//! fixpoint — the property §3 of the paper relies on ("all logical
-//! values will be stable at every clock edge").
+//! dotted full paths (`top.u0.sum_1`), expressions are compiled first
+//! into an index-resolved tree ([`CExpr`]) and from there into flat
+//! postorder bytecode (see [`crate::compile`]) so evaluation never
+//! touches strings or heap-allocated tree nodes. Combinational
+//! definitions are topologically ordered (levelized) so one linear
+//! sweep per cycle reaches the zero-delay fixpoint — the property §3
+//! of the paper relies on ("all logical values will be stable at every
+//! clock edge") — and the per-signal fan-out graph lets the simulator
+//! re-evaluate only the cone affected by a change.
 
 use std::collections::HashMap;
 
 use bits::Bits;
-use hgf_ir::expr::{apply_binary, BinaryOp, Expr, UnaryOp};
+use hgf_ir::expr::{BinaryOp, Expr, UnaryOp};
 use hgf_ir::{Circuit, PortDir, SignalKind, Stmt};
 
+use crate::compile::{CodeRange, Program};
 use crate::control::{HierNode, SimError};
 
 /// Compiled expression with signal references resolved to indices.
+/// The bytecode compiler consumes this tree; the tree-walking
+/// [`CExpr::eval`] survives as the reference semantics the property
+/// tests check the bytecode against.
 #[derive(Debug, Clone)]
 pub(crate) enum CExpr {
     Lit(Bits),
@@ -31,7 +38,13 @@ pub(crate) enum CExpr {
 }
 
 impl CExpr {
+    /// Reference tree-walking evaluator. Kept as the executable
+    /// specification for the bytecode engine (property-tested in
+    /// [`crate::compile`]); production evaluation always runs the
+    /// compiled program.
+    #[cfg(test)]
     pub(crate) fn eval(&self, values: &[Bits], mems: &[MemState]) -> Bits {
+        use hgf_ir::expr::apply_binary;
         match self {
             CExpr::Lit(b) => b.clone(),
             CExpr::Sig(i) => values[*i].clone(),
@@ -85,6 +98,27 @@ impl CExpr {
             }
         }
     }
+
+    /// Memory indices this expression reads.
+    fn mem_deps(&self, out: &mut Vec<usize>) {
+        match self {
+            CExpr::Lit(_) | CExpr::Sig(_) => {}
+            CExpr::Unary(_, e) | CExpr::Slice(e, _, _) => e.mem_deps(out),
+            CExpr::Binary(_, l, r) | CExpr::Cat(l, r) => {
+                l.mem_deps(out);
+                r.mem_deps(out);
+            }
+            CExpr::Mux(s, t, e) => {
+                s.mem_deps(out);
+                t.mem_deps(out);
+                e.mem_deps(out);
+            }
+            CExpr::MemRead(m, e) => {
+                out.push(*m);
+                e.mem_deps(out);
+            }
+        }
+    }
 }
 
 /// Simulated memory contents.
@@ -94,22 +128,31 @@ pub(crate) struct MemState {
     pub(crate) words: Vec<Bits>,
 }
 
-/// A register: signal index, optional next-value expression (absent
-/// means the register holds), optional synchronous reset value.
+/// A register: signal index, optional compiled next-value expression
+/// (absent means the register holds), optional synchronous reset
+/// value.
 #[derive(Debug, Clone)]
 pub(crate) struct FlatReg {
     pub(crate) sig: usize,
-    pub(crate) next: Option<CExpr>,
+    pub(crate) next: Option<CodeRange>,
     pub(crate) init: Option<Bits>,
 }
 
-/// A synchronous memory write port.
+/// A synchronous memory write port (compiled address/data/enable).
 #[derive(Debug, Clone)]
 pub(crate) struct FlatWrite {
     pub(crate) mem: usize,
-    pub(crate) addr: CExpr,
-    pub(crate) data: CExpr,
-    pub(crate) en: CExpr,
+    pub(crate) addr: CodeRange,
+    pub(crate) data: CodeRange,
+    pub(crate) en: CodeRange,
+}
+
+/// One combinational definition: target signal slot and its compiled
+/// code. Stored in topological order.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledDef {
+    pub(crate) sig: usize,
+    pub(crate) code: CodeRange,
 }
 
 /// The flattened, compiled design.
@@ -118,16 +161,26 @@ pub(crate) struct FlatNetlist {
     pub(crate) names: Vec<String>,
     pub(crate) index: HashMap<String, usize>,
     pub(crate) widths: Vec<u32>,
+    /// Shared bytecode for all compiled expressions.
+    pub(crate) program: Program,
     /// Combinational definitions in topological order.
-    pub(crate) defs: Vec<(usize, CExpr)>,
+    pub(crate) defs: Vec<CompiledDef>,
     pub(crate) regs: Vec<FlatReg>,
     pub(crate) mems: Vec<MemState>,
-    pub(crate) mem_names: Vec<String>,
+    /// Memory path → index (mirrors `index` for the signal namespace).
+    pub(crate) mem_index: HashMap<String, usize>,
     pub(crate) writes: Vec<FlatWrite>,
-    /// Top-level input port indices (pokeable), including `reset`.
-    pub(crate) inputs: Vec<usize>,
+    /// Per-signal pokeability: top-level input ports plus `reset`.
+    pub(crate) is_input: Vec<bool>,
+    /// Per-signal register flag (targets of `set_value` forcing).
+    pub(crate) is_reg: Vec<bool>,
     pub(crate) reset: usize,
     pub(crate) hierarchy: HierNode,
+    /// For each signal slot, the (topo-order) def indices that read
+    /// it: the direct fan-out used for incremental re-evaluation.
+    pub(crate) sig_fanout: Vec<Vec<u32>>,
+    /// For each memory, the def indices that read it.
+    pub(crate) mem_fanout: Vec<Vec<u32>>,
 }
 
 impl FlatNetlist {
@@ -146,11 +199,10 @@ impl FlatNetlist {
             index: HashMap::new(),
             widths: Vec::new(),
             raw_defs: Vec::new(),
-            regs: Vec::new(),
+            raw_regs: Vec::new(),
             mems: Vec::new(),
-            mem_names: Vec::new(),
             mem_index: HashMap::new(),
-            writes: Vec::new(),
+            raw_writes: Vec::new(),
         };
 
         let top = circuit.top_module();
@@ -162,13 +214,11 @@ impl FlatNetlist {
         b.collect_module(top, &prefix, &mut hierarchy)?;
         hierarchy.signals.push("reset".into());
 
-        let mut inputs: Vec<usize> = top
-            .ports
-            .iter()
-            .filter(|p| p.dir == PortDir::Input)
-            .map(|p| b.index[&format!("{prefix}.{}", p.name)])
-            .collect();
-        inputs.push(reset);
+        let mut is_input = vec![false; b.names.len()];
+        for p in top.ports.iter().filter(|p| p.dir == PortDir::Input) {
+            is_input[b.index[&format!("{prefix}.{}", p.name)]] = true;
+        }
+        is_input[reset] = true;
 
         // Topological sort of combinational defs (Kahn).
         let def_of: HashMap<usize, usize> = b
@@ -209,23 +259,92 @@ impl FlatNetlist {
                 .collect();
             return Err(SimError::CombinationalLoop(cycle));
         }
-        let defs: Vec<(usize, CExpr)> =
-            order.into_iter().map(|di| b.raw_defs[di].clone()).collect();
+
+        // Lower every expression to bytecode, defs in topo order, and
+        // record each def's direct fan-in for the fan-out graph.
+        let mut program = Program::default();
+        let mut defs = Vec::with_capacity(n);
+        let mut sig_fanout: Vec<Vec<u32>> = vec![Vec::new(); b.names.len()];
+        let mut mem_fanout: Vec<Vec<u32>> = vec![Vec::new(); b.mems.len()];
+        for &raw_di in &order {
+            let (sig, expr) = &b.raw_defs[raw_di];
+            let di = defs.len() as u32;
+            let code = program.compile(expr);
+            let mut deps = Vec::new();
+            expr.deps(&mut deps);
+            deps.sort_unstable();
+            deps.dedup();
+            for d in deps {
+                sig_fanout[d].push(di);
+            }
+            let mut mdeps = Vec::new();
+            expr.mem_deps(&mut mdeps);
+            mdeps.sort_unstable();
+            mdeps.dedup();
+            for m in mdeps {
+                mem_fanout[m].push(di);
+            }
+            defs.push(CompiledDef { sig: *sig, code });
+        }
+
+        let regs: Vec<FlatReg> = b
+            .raw_regs
+            .iter()
+            .map(|r| FlatReg {
+                sig: r.sig,
+                next: r.next.as_ref().map(|e| program.compile(e)),
+                init: r.init.clone(),
+            })
+            .collect();
+        let writes: Vec<FlatWrite> = b
+            .raw_writes
+            .iter()
+            .map(|w| FlatWrite {
+                mem: w.mem,
+                addr: program.compile(&w.addr),
+                data: program.compile(&w.data),
+                en: program.compile(&w.en),
+            })
+            .collect();
+
+        let mut is_reg = vec![false; b.names.len()];
+        for r in &regs {
+            is_reg[r.sig] = true;
+        }
 
         Ok(FlatNetlist {
             names: b.names,
             index: b.index,
             widths: b.widths,
+            program,
             defs,
-            regs: b.regs,
+            regs,
             mems: b.mems,
-            mem_names: b.mem_names,
-            writes: b.writes,
-            inputs,
+            mem_index: b.mem_index,
+            writes,
+            is_input,
+            is_reg,
             reset,
             hierarchy,
+            sig_fanout,
+            mem_fanout,
         })
     }
+}
+
+/// Register in tree form, before bytecode lowering.
+struct RawReg {
+    sig: usize,
+    next: Option<CExpr>,
+    init: Option<Bits>,
+}
+
+/// Write port in tree form, before bytecode lowering.
+struct RawWrite {
+    mem: usize,
+    addr: CExpr,
+    data: CExpr,
+    en: CExpr,
 }
 
 struct Builder<'a> {
@@ -234,11 +353,10 @@ struct Builder<'a> {
     index: HashMap<String, usize>,
     widths: Vec<u32>,
     raw_defs: Vec<(usize, CExpr)>,
-    regs: Vec<FlatReg>,
+    raw_regs: Vec<RawReg>,
     mems: Vec<MemState>,
-    mem_names: Vec<String>,
     mem_index: HashMap<String, usize>,
-    writes: Vec<FlatWrite>,
+    raw_writes: Vec<RawWrite>,
 }
 
 impl Builder<'_> {
@@ -275,7 +393,6 @@ impl Builder<'_> {
                         width: *width,
                         words: vec![Bits::zero(*width); *depth as usize],
                     });
-                    self.mem_names.push(full.clone());
                     self.mem_index.insert(full, idx);
                 }
                 Stmt::Instance {
@@ -327,10 +444,10 @@ impl Builder<'_> {
                     if regs.contains_key(target.as_str()) {
                         // Deferred: attach as the register's next.
                         let sig = self.index[&format!("{prefix}.{target}")];
-                        if let Some(r) = self.regs.iter_mut().find(|r| r.sig == sig) {
+                        if let Some(r) = self.raw_regs.iter_mut().find(|r| r.sig == sig) {
                             r.next = Some(ce);
                         } else {
-                            self.regs.push(FlatReg {
+                            self.raw_regs.push(RawReg {
                                 sig,
                                 next: Some(ce),
                                 init: regs[target.as_str()].0.clone(),
@@ -359,13 +476,13 @@ impl Builder<'_> {
                     ..
                 } => {
                     let midx = self.mem_index[&format!("{prefix}.{mem}")];
-                    let w = FlatWrite {
+                    let w = RawWrite {
                         mem: midx,
                         addr: compile(self, addr)?,
                         data: compile(self, data)?,
                         en: compile(self, en)?,
                     };
-                    self.writes.push(w);
+                    self.raw_writes.push(w);
                 }
                 Stmt::Instance {
                     name, module: m, ..
@@ -381,13 +498,13 @@ impl Builder<'_> {
         // Registers with no connect (hold forever).
         for (name, (init,)) in regs {
             let sig = self.index[&format!("{prefix}.{name}")];
-            if !self.regs.iter().any(|r| r.sig == sig) {
-                self.regs.push(FlatReg {
+            if !self.raw_regs.iter().any(|r| r.sig == sig) {
+                self.raw_regs.push(RawReg {
                     sig,
                     next: None,
                     init,
                 });
-            } else if let Some(r) = self.regs.iter_mut().find(|r| r.sig == sig) {
+            } else if let Some(r) = self.raw_regs.iter_mut().find(|r| r.sig == sig) {
                 // Ensure init recorded even when the connect was seen
                 // first.
                 if r.init.is_none() {

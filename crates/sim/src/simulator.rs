@@ -6,13 +6,30 @@
 //! clock-edge callbacks fire with every signal stable — the exact hook
 //! point hgdb's breakpoint emulation relies on (§3, §3.1). The fixed,
 //! small cost of an empty callback per cycle is what Figure 5 measures.
+//!
+//! # Evaluation engine
+//!
+//! Combinational logic runs as compiled bytecode (see
+//! [`crate::compile`]) over a dense value array, driven by an
+//! **incremental dirty set**: every state change (poke, register
+//! commit, memory write) marks only the direct fan-out of the changed
+//! slot, and the levelized sweep walks marked definitions in
+//! topological order, propagating onward only when a definition's
+//! output actually changed. A one-input poke on a large design
+//! therefore costs O(changed cone), not O(design) — and a cycle where
+//! nothing changes (a halted core) costs almost nothing.
+//!
+//! Hot callers should resolve paths once via [`Simulator::signal_id`]
+//! and use [`Simulator::peek_id`] / [`Simulator::poke_id`]; the
+//! string-keyed entry points remain for interactive use.
 
 use std::cell::{Cell, RefCell};
 
 use bits::Bits;
 use hgf_ir::Circuit;
 
-use crate::control::{HierNode, SimControl, SimError};
+use crate::compile::exec;
+use crate::control::{HierNode, SignalId, SimControl, SimError};
 use crate::netlist::{FlatNetlist, MemState};
 
 /// Identifier for a registered clock callback.
@@ -36,9 +53,44 @@ impl ClockView<'_> {
         self.sim.peek_path(path)
     }
 
+    /// The value of a signal by interned id — the fast path for
+    /// per-cycle instrumentation (resolve the id once outside the
+    /// callback with [`Simulator::signal_id`]).
+    pub fn get_value_id(&self, id: SignalId) -> Bits {
+        self.sim.peek_id(id)
+    }
+
+    /// Resolves a path to an id (same interning as the simulator).
+    pub fn signal_id(&self, path: &str) -> Option<SignalId> {
+        self.sim.signal_id(path)
+    }
+
     /// Current simulation time (cycles).
     pub fn time(&self) -> u64 {
         self.sim.time()
+    }
+}
+
+/// Which combinational definitions need re-evaluation, tracked per
+/// def in topological order. `min` bounds the sweep's starting point;
+/// `count` makes the all-clean check O(1).
+#[derive(Debug)]
+struct DirtySet {
+    flags: Vec<bool>,
+    count: usize,
+    min: usize,
+}
+
+impl DirtySet {
+    fn mark(&mut self, def: u32) {
+        let di = def as usize;
+        if !self.flags[di] {
+            self.flags[di] = true;
+            self.count += 1;
+            if di < self.min {
+                self.min = di;
+            }
+        }
     }
 }
 
@@ -47,13 +99,19 @@ pub struct Simulator {
     netlist: FlatNetlist,
     values: RefCell<Vec<Bits>>,
     mems: RefCell<Vec<MemState>>,
-    dirty: Cell<bool>,
+    dirty: RefCell<DirtySet>,
+    /// Scratch operand stack for the bytecode evaluator, preallocated
+    /// to the program's exact worst-case depth.
+    stack: RefCell<Vec<Bits>>,
+    /// Total combinational definitions executed (instrumentation; the
+    /// incremental-evaluation regression tests assert on this).
+    evals: Cell<u64>,
     time: u64,
     /// Register/memory updates latched at the current clock edge from
     /// the then-stable values; committed when the next edge begins.
     /// Latching (rather than recomputing at commit time) keeps the
     /// edge deterministic even if the testbench pokes inputs while
-    /// paused at the edge.
+    /// paused at the edge. The buffers are reused across cycles.
     pending_regs: Vec<(usize, Bits)>,
     pending_mems: Vec<(usize, usize, Bits)>,
     started: bool,
@@ -82,11 +140,19 @@ impl Simulator {
     pub fn new(circuit: &Circuit) -> Result<Simulator, SimError> {
         let netlist = FlatNetlist::build(circuit)?;
         let values: Vec<Bits> = netlist.widths.iter().map(|&w| Bits::zero(w)).collect();
+        let n_defs = netlist.defs.len();
         let sim = Simulator {
             mems: RefCell::new(netlist.mems.clone()),
             values: RefCell::new(values),
+            stack: RefCell::new(Vec::with_capacity(netlist.program.max_stack)),
             netlist,
-            dirty: Cell::new(true),
+            dirty: RefCell::new(DirtySet {
+                // Everything is dirty before the first sweep.
+                flags: vec![true; n_defs],
+                count: n_defs,
+                min: 0,
+            }),
+            evals: Cell::new(0),
             time: 0,
             pending_regs: Vec::new(),
             pending_mems: Vec::new(),
@@ -103,13 +169,48 @@ impl Simulator {
                 }
             }
         }
-        sim.dirty.set(true);
         Ok(sim)
     }
 
     /// Number of flattened signals.
     pub fn signal_count(&self) -> usize {
         self.netlist.names.len()
+    }
+
+    /// Interns a full signal path, returning the dense id used by the
+    /// `*_id` fast paths. Ids are stable for the simulator's lifetime
+    /// (and across simulators built from the same circuit).
+    pub fn signal_id(&self, path: &str) -> Option<SignalId> {
+        self.netlist
+            .index
+            .get(path)
+            .map(|&i| SignalId::from_index(i))
+    }
+
+    /// Marks the direct combinational fan-out of a signal slot dirty.
+    fn mark_sig(&self, sig: usize) {
+        let fanout = &self.netlist.sig_fanout[sig];
+        if fanout.is_empty() {
+            return;
+        }
+        let mut dirty = self.dirty.borrow_mut();
+        for &di in fanout {
+            dirty.mark(di);
+        }
+    }
+
+    /// Writes a pokeable slot: resize, change-detect, mark fan-out.
+    fn poke_sig(&mut self, sig: usize, value: Bits) {
+        let width = self.netlist.widths[sig];
+        let value = value.resize(width);
+        {
+            let mut values = self.values.borrow_mut();
+            if values[sig] == value {
+                return;
+            }
+            values[sig] = value;
+        }
+        self.mark_sig(sig);
     }
 
     /// Sets a top-level input port by full path (e.g. `top.data0`).
@@ -124,20 +225,51 @@ impl Simulator {
             .index
             .get(path)
             .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))?;
-        if !self.netlist.inputs.contains(&sig) {
+        if !self.netlist.is_input[sig] {
             return Err(SimError::NotWritable(path.to_owned()));
         }
-        let width = self.netlist.widths[sig];
-        self.values.borrow_mut()[sig] = value.resize(width);
-        self.dirty.set(true);
+        self.poke_sig(sig, value);
+        Ok(())
+    }
+
+    /// Id-based [`Simulator::poke`] (no string lookup).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotWritable`] if the signal is not a top-level
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this design.
+    pub fn poke_id(&mut self, id: SignalId, value: Bits) -> Result<(), SimError> {
+        let sig = id.index();
+        if !self.netlist.is_input[sig] {
+            return Err(SimError::NotWritable(self.netlist.names[sig].clone()));
+        }
+        self.poke_sig(sig, value);
         Ok(())
     }
 
     /// Reads any signal by full path, evaluating combinational logic
     /// first if inputs changed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] for unknown paths.
     pub fn peek(&self, path: &str) -> Result<Bits, SimError> {
         self.peek_path(path)
             .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))
+    }
+
+    /// Id-based [`Simulator::peek`] (no string lookup, no `Result`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this design.
+    pub fn peek_id(&self, id: SignalId) -> Bits {
+        self.eval_if_dirty();
+        self.values.borrow()[id.index()].clone()
     }
 
     fn peek_path(&self, path: &str) -> Option<Bits> {
@@ -149,7 +281,7 @@ impl Simulator {
     /// Reads a memory word (debug/testbench convenience; memories are
     /// not part of the signal namespace).
     pub fn peek_mem(&self, mem_path: &str, addr: usize) -> Option<Bits> {
-        let idx = self.netlist.mem_names.iter().position(|n| n == mem_path)?;
+        let &idx = self.netlist.mem_index.get(mem_path)?;
         self.mems.borrow().get(idx)?.words.get(addr).cloned()
     }
 
@@ -159,23 +291,43 @@ impl Simulator {
     ///
     /// [`SimError::UnknownSignal`] for bad memory paths or addresses.
     pub fn poke_mem(&mut self, mem_path: &str, addr: usize, value: Bits) -> Result<(), SimError> {
-        let idx = self
+        let &idx = self
             .netlist
-            .mem_names
-            .iter()
-            .position(|n| n == mem_path)
+            .mem_index
+            .get(mem_path)
             .ok_or_else(|| SimError::UnknownSignal(mem_path.to_owned()))?;
-        let mut mems = self.mems.borrow_mut();
-        let mem = &mut mems[idx];
-        let width = mem.width;
-        let slot = mem
-            .words
-            .get_mut(addr)
-            .ok_or_else(|| SimError::UnknownSignal(format!("{mem_path}[{addr}]")))?;
-        *slot = value.resize(width);
-        drop(mems);
-        self.dirty.set(true);
+        let changed = {
+            let mut mems = self.mems.borrow_mut();
+            let mem = &mut mems[idx];
+            let width = mem.width;
+            let slot = mem
+                .words
+                .get_mut(addr)
+                .ok_or_else(|| SimError::UnknownSignal(format!("{mem_path}[{addr}]")))?;
+            let value = value.resize(width);
+            if *slot == value {
+                false
+            } else {
+                *slot = value;
+                true
+            }
+        };
+        if changed {
+            self.mark_mem(idx);
+        }
         Ok(())
+    }
+
+    /// Marks every reader of a memory dirty.
+    fn mark_mem(&self, mem: usize) {
+        let fanout = &self.netlist.mem_fanout[mem];
+        if fanout.is_empty() {
+            return;
+        }
+        let mut dirty = self.dirty.borrow_mut();
+        for &di in fanout {
+            dirty.mark(di);
+        }
     }
 
     /// Registers a rising-clock-edge callback; fires with all signals
@@ -202,28 +354,60 @@ impl Simulator {
         }
     }
 
-    /// Asserts reset for `cycles` cycles, then deasserts it.
+    /// Asserts reset for `cycles` cycles, then deasserts it. Pokes the
+    /// reset slot by index — no path lookup.
     pub fn reset(&mut self, cycles: u64) {
-        let reset_path = self.netlist.names[self.netlist.reset].clone();
-        self.poke(&reset_path, Bits::from_bool(true))
-            .expect("reset exists");
+        let reset = self.netlist.reset;
+        self.poke_sig(reset, Bits::from_bool(true));
         self.run(cycles);
-        self.poke(&reset_path, Bits::from_bool(false))
-            .expect("reset exists");
+        self.poke_sig(reset, Bits::from_bool(false));
     }
 
+    /// Total combinational definitions executed so far
+    /// (instrumentation: the incremental-evaluation tests and
+    /// benchmark harnesses read this to verify poke cost is
+    /// O(fan-out cone), not O(design)).
+    pub fn defs_evaluated(&self) -> u64 {
+        self.evals.get()
+    }
+
+    /// Runs the incremental levelized sweep: marked definitions
+    /// execute in topological order; a definition whose output is
+    /// unchanged does not wake its fan-out.
     fn eval_if_dirty(&self) {
-        if !self.dirty.get() {
+        if self.dirty.borrow().count == 0 {
             return;
         }
+        let mut dirty = self.dirty.borrow_mut();
         let mut values = self.values.borrow_mut();
         let mems = self.mems.borrow();
-        for (sig, expr) in &self.netlist.defs {
-            values[*sig] = expr.eval(&values, &mems);
+        let mut stack = self.stack.borrow_mut();
+        let nl = &self.netlist;
+        let n = nl.defs.len();
+        let mut evals = self.evals.get();
+        let mut di = dirty.min;
+        while di < n && dirty.count > 0 {
+            if dirty.flags[di] {
+                dirty.flags[di] = false;
+                dirty.count -= 1;
+                let def = &nl.defs[di];
+                let new = exec(&nl.program, def.code, &values, &mems, &mut stack);
+                evals += 1;
+                if values[def.sig] != new {
+                    values[def.sig] = new;
+                    // Fan-out defs are topologically later, so the
+                    // forward sweep will reach them this pass.
+                    for &f in &nl.sig_fanout[def.sig] {
+                        dirty.mark(f);
+                    }
+                }
+            }
+            di += 1;
         }
-        drop(values);
-        drop(mems);
-        self.dirty.set(false);
+        dirty.min = n;
+        debug_assert_eq!(dirty.count, 0, "sweep left dirty defs behind");
+        dirty.count = 0;
+        self.evals.set(evals);
     }
 
     /// Latches register updates and memory writes from the current
@@ -231,62 +415,91 @@ impl Simulator {
     /// of the next clock edge.
     fn latch_edge(&mut self) {
         self.eval_if_dirty();
-        let values = self.values.borrow();
-        let mems = self.mems.borrow();
-        let reset = values[self.netlist.reset].is_truthy();
-        let mut reg_updates: Vec<(usize, Bits)> = Vec::with_capacity(self.netlist.regs.len());
-        for reg in &self.netlist.regs {
+        let Simulator {
+            netlist,
+            values,
+            mems,
+            stack,
+            pending_regs,
+            pending_mems,
+            ..
+        } = self;
+        let values = values.borrow();
+        let mems = mems.borrow();
+        let mut stack = stack.borrow_mut();
+        let reset = values[netlist.reset].is_truthy();
+        pending_regs.clear();
+        for reg in &netlist.regs {
             let next = if reset {
                 match &reg.init {
                     Some(init) => init.clone(),
-                    None => match &reg.next {
-                        Some(e) => e.eval(&values, &mems),
+                    None => match reg.next {
+                        Some(code) => exec(&netlist.program, code, &values, &mems, &mut stack),
                         None => values[reg.sig].clone(),
                     },
                 }
             } else {
-                match &reg.next {
-                    Some(e) => e.eval(&values, &mems),
+                match reg.next {
+                    Some(code) => exec(&netlist.program, code, &values, &mems, &mut stack),
                     None => values[reg.sig].clone(),
                 }
             };
-            reg_updates.push((reg.sig, next));
+            pending_regs.push((reg.sig, next));
         }
-        let mut mem_updates: Vec<(usize, usize, Bits)> = Vec::new();
+        pending_mems.clear();
         if !reset {
-            for w in &self.netlist.writes {
-                if w.en.eval(&values, &mems).is_truthy() {
-                    let addr = w.addr.eval(&values, &mems).to_u64() as usize;
-                    let data = w.data.eval(&values, &mems);
-                    mem_updates.push((w.mem, addr, data));
+            for w in &netlist.writes {
+                if exec(&netlist.program, w.en, &values, &mems, &mut stack).is_truthy() {
+                    let addr = exec(&netlist.program, w.addr, &values, &mems, &mut stack).to_u64()
+                        as usize;
+                    let data = exec(&netlist.program, w.data, &values, &mems, &mut stack);
+                    pending_mems.push((w.mem, addr, data));
                 }
             }
         }
-        drop(values);
-        drop(mems);
-        self.pending_regs = reg_updates;
-        self.pending_mems = mem_updates;
     }
 
-    /// Commits the updates latched at the previous edge.
+    /// Commits the updates latched at the previous edge, marking the
+    /// fan-out of slots that actually changed.
     fn commit_edge(&mut self) {
         if self.pending_regs.is_empty() && self.pending_mems.is_empty() {
             return;
         }
-        let mut values = self.values.borrow_mut();
-        for (sig, v) in self.pending_regs.drain(..) {
-            values[sig] = v;
-        }
-        drop(values);
-        let mut mems = self.mems.borrow_mut();
-        for (mem, addr, data) in self.pending_mems.drain(..) {
-            let width = mems[mem].width;
-            if let Some(slot) = mems[mem].words.get_mut(addr) {
-                *slot = data.resize(width);
+        let Simulator {
+            netlist,
+            values,
+            mems,
+            dirty,
+            pending_regs,
+            pending_mems,
+            ..
+        } = self;
+        {
+            let mut values = values.borrow_mut();
+            let mut dirty = dirty.borrow_mut();
+            for (sig, v) in pending_regs.drain(..) {
+                if values[sig] != v {
+                    values[sig] = v;
+                    for &f in &netlist.sig_fanout[sig] {
+                        dirty.mark(f);
+                    }
+                }
             }
         }
-        drop(mems);
-        self.dirty.set(true);
+        let mut mems = mems.borrow_mut();
+        let mut dirty = dirty.borrow_mut();
+        for (mem, addr, data) in pending_mems.drain(..) {
+            let width = mems[mem].width;
+            if let Some(slot) = mems[mem].words.get_mut(addr) {
+                let data = data.resize(width);
+                if *slot != data {
+                    *slot = data;
+                    for &f in &netlist.mem_fanout[mem] {
+                        dirty.mark(f);
+                    }
+                }
+            }
+        }
     }
 
     /// Internal names accessor for trace writers.
@@ -302,6 +515,11 @@ impl Simulator {
             .map(|&i| self.netlist.widths[i])
     }
 
+    /// Width of a signal by id.
+    pub fn signal_width_id(&self, id: SignalId) -> u32 {
+        self.netlist.widths[id.index()]
+    }
+
     /// The full path of the implicit reset input.
     pub fn reset_path(&self) -> &str {
         &self.netlist.names[self.netlist.reset]
@@ -311,6 +529,14 @@ impl Simulator {
 impl SimControl for Simulator {
     fn get_value(&self, path: &str) -> Option<Bits> {
         self.peek_path(path)
+    }
+
+    fn signal_id(&self, path: &str) -> Option<SignalId> {
+        Simulator::signal_id(self, path)
+    }
+
+    fn get_value_by_id(&self, id: SignalId) -> Option<Bits> {
+        Some(self.peek_id(id))
     }
 
     fn hierarchy(&self) -> HierNode {
@@ -330,13 +556,15 @@ impl SimControl for Simulator {
         self.latch_edge();
         self.time += 1;
         // Fire callbacks with stable signals (rising edge).
-        let mut callbacks = std::mem::take(&mut self.callbacks);
-        for (_, cb) in &mut callbacks {
-            cb(&ClockView { sim: self });
+        if !self.callbacks.is_empty() {
+            let mut callbacks = std::mem::take(&mut self.callbacks);
+            for (_, cb) in &mut callbacks {
+                cb(&ClockView { sim: self });
+            }
+            // Callbacks registered during iteration (rare) are appended.
+            callbacks.append(&mut self.callbacks);
+            self.callbacks = callbacks;
         }
-        // Callbacks registered during iteration (rare) are appended.
-        callbacks.append(&mut self.callbacks);
-        self.callbacks = callbacks;
         true
     }
 
@@ -366,14 +594,13 @@ impl SimControl for Simulator {
             .index
             .get(path)
             .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))?;
-        let is_input = self.netlist.inputs.contains(&sig);
-        let is_reg = self.netlist.regs.iter().any(|r| r.sig == sig);
+        let is_input = self.netlist.is_input[sig];
+        let is_reg = self.netlist.is_reg[sig];
         if !is_input && !is_reg {
             return Err(SimError::NotWritable(path.to_owned()));
         }
-        let width = self.netlist.widths[sig];
-        let value = value.resize(width);
-        self.values.borrow_mut()[sig] = value.clone();
+        let value = value.resize(self.netlist.widths[sig]);
+        self.poke_sig(sig, value.clone());
         if is_reg {
             // Make the force survive the edge already latched at the
             // current stop point.
@@ -383,7 +610,6 @@ impl SimControl for Simulator {
                 }
             }
         }
-        self.dirty.set(true);
         Ok(())
     }
 
@@ -474,6 +700,129 @@ mod tests {
     }
 
     #[test]
+    fn id_based_poke_peek() {
+        let mut sim = build(
+            |cb| {
+                cb.module("adder", |m| {
+                    let a = m.input("a", 8);
+                    let b = m.input("b", 8);
+                    let out = m.output("out", 8);
+                    m.assign(&out, a + b);
+                });
+            },
+            "adder",
+        );
+        let a = sim.signal_id("adder.a").unwrap();
+        let b = sim.signal_id("adder.b").unwrap();
+        let out = sim.signal_id("adder.out").unwrap();
+        assert!(sim.signal_id("adder.ghost").is_none());
+        sim.poke_id(a, Bits::from_u64(20, 8)).unwrap();
+        sim.poke_id(b, Bits::from_u64(22, 8)).unwrap();
+        assert_eq!(sim.peek_id(out).to_u64(), 42);
+        assert_eq!(sim.signal_width_id(out), 8);
+        // Ids are not writable when the slot is not an input.
+        assert!(matches!(
+            sim.poke_id(out, Bits::from_u64(1, 8)),
+            Err(SimError::NotWritable(_))
+        ));
+        // Trait surface agrees.
+        assert_eq!(SimControl::get_value_by_id(&sim, out).unwrap().to_u64(), 42);
+        assert_eq!(SimControl::signal_id(&sim, "adder.out"), Some(out));
+    }
+
+    #[test]
+    fn poke_only_evaluates_fanout_cone() {
+        // Two independent cones: poking one input must not re-execute
+        // the other cone's definitions.
+        let mut sim = build(
+            |cb| {
+                cb.module("split", |m| {
+                    let a = m.input("a", 8);
+                    let b = m.input("b", 8);
+                    let x = m.output("x", 8);
+                    let y = m.output("y", 8);
+                    // Cone A: a few chained defs off `a`.
+                    let a1 = m.node("a1", a.clone() + m.lit(1, 8));
+                    let a2 = m.node("a2", a1 ^ m.lit(0x5A, 8));
+                    m.assign(&x, a2);
+                    // Cone B: chained defs off `b`.
+                    let b1 = m.node("b1", b.clone() + m.lit(2, 8));
+                    let b2 = m.node("b2", b1 & m.lit(0x0F, 8));
+                    m.assign(&y, b2);
+                });
+            },
+            "split",
+        );
+        // Settle the initial full sweep.
+        let _ = sim.peek("split.x").unwrap();
+        let baseline = sim.defs_evaluated();
+
+        // Poke cone A's input: only cone A defs (a1, a2, x — three
+        // defs) may run; cone B (b1, b2, y) must stay untouched.
+        sim.poke("split.a", Bits::from_u64(7, 8)).unwrap();
+        assert_eq!(sim.peek("split.x").unwrap().to_u64(), (7u64 + 1) ^ 0x5A);
+        let after_a = sim.defs_evaluated();
+        assert!(
+            after_a - baseline <= 3,
+            "poke of one input executed {} defs (cone is 3)",
+            after_a - baseline
+        );
+
+        // Poking the same value again is change-pruned: zero evals.
+        sim.poke("split.a", Bits::from_u64(7, 8)).unwrap();
+        let _ = sim.peek("split.x").unwrap();
+        assert_eq!(sim.defs_evaluated(), after_a, "unchanged poke re-evaluated");
+
+        // Cone B still correct (and now costs only its own cone).
+        sim.poke("split.b", Bits::from_u64(3, 8)).unwrap();
+        assert_eq!(sim.peek("split.y").unwrap().to_u64(), (3 + 2) & 0x0F);
+        assert!(sim.defs_evaluated() - after_a <= 3);
+    }
+
+    #[test]
+    fn change_pruning_stops_propagation() {
+        // reduce_or(a) is 1 for most values of a; changing a from one
+        // nonzero value to another must not re-execute the defs
+        // downstream of the reduction.
+        let mut sim = build(
+            |cb| {
+                cb.module("prune", |m| {
+                    let a = m.input("a", 8);
+                    let out = m.output("out", 4);
+                    let nz = m.node("nz", a.reduce_or());
+                    let wide = m.node("wide", nz.zext(4));
+                    m.assign(&out, wide);
+                });
+            },
+            "prune",
+        );
+        sim.poke("prune.a", Bits::from_u64(1, 8)).unwrap();
+        assert_eq!(sim.peek("prune.out").unwrap().to_u64(), 1);
+        let settled = sim.defs_evaluated();
+        sim.poke("prune.a", Bits::from_u64(2, 8)).unwrap();
+        assert_eq!(sim.peek("prune.out").unwrap().to_u64(), 1);
+        // Only `nz` re-executed; its output was unchanged, so `wide`
+        // and `out` stayed quiet.
+        assert_eq!(sim.defs_evaluated() - settled, 1);
+    }
+
+    #[test]
+    fn halted_design_cycles_are_quiet() {
+        // Once a counter is disabled, its register stops changing and
+        // step_clock stops re-evaluating combinational defs.
+        let mut sim = counter_sim();
+        sim.poke("counter.en", Bits::from_bool(false)).unwrap();
+        sim.run(2); // settle
+        let settled = sim.defs_evaluated();
+        sim.run(10);
+        assert_eq!(
+            sim.defs_evaluated(),
+            settled,
+            "quiescent design still evaluating defs"
+        );
+    }
+
+    #[test]
     fn hierarchy_and_instance_values() {
         let mut sim = build(
             |cb| {
@@ -551,6 +900,12 @@ mod tests {
         sim.poke_mem("rom.mem", 3, Bits::from_u64(0x5A, 8)).unwrap();
         sim.poke("rom.addr", Bits::from_u64(3, 4)).unwrap();
         assert_eq!(sim.peek("rom.data").unwrap().to_u64(), 0x5A);
+        // Unknown memory path errors.
+        assert!(matches!(
+            sim.poke_mem("rom.ghost", 0, Bits::from_u64(0, 8)),
+            Err(SimError::UnknownSignal(_))
+        ));
+        assert!(sim.peek_mem("rom.ghost", 0).is_none());
     }
 
     #[test]
@@ -560,11 +915,12 @@ mod tests {
         sim.poke("counter.en", Bits::from_bool(true)).unwrap();
         let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let seen2 = Arc::clone(&seen);
+        let out_id = sim.signal_id("counter.out").unwrap();
         let id = sim.add_clock_callback(Box::new(move |view| {
             seen2
                 .lock()
                 .unwrap()
-                .push(view.get_value("counter.out").unwrap().to_u64());
+                .push(view.get_value_id(out_id).to_u64());
         }));
         sim.run(3);
         assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2]);

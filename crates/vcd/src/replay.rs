@@ -8,7 +8,7 @@
 //! breakpoint selection in reversed order again" (§3.2).
 
 use bits::Bits;
-use rtl_sim::{HierNode, SimControl, SimError};
+use rtl_sim::{HierNode, SignalId, SimControl, SimError};
 
 use crate::trace::Trace;
 
@@ -54,6 +54,15 @@ impl SimControl for ReplaySim {
     fn get_value(&self, path: &str) -> Option<Bits> {
         let t = self.current_timestamp()?;
         self.trace.value_of(path, t)
+    }
+
+    fn signal_id(&self, path: &str) -> Option<SignalId> {
+        self.trace.signal_index(path).map(SignalId::from_index)
+    }
+
+    fn get_value_by_id(&self, id: SignalId) -> Option<Bits> {
+        let t = self.current_timestamp()?;
+        self.trace.value_at(id.index(), t)
     }
 
     fn hierarchy(&self) -> HierNode {
@@ -220,6 +229,20 @@ mod tests {
         r.set_time(0).unwrap();
         assert_eq!(r.get_value("top.count").unwrap().to_u64(), 0);
         assert!(r.supports_reverse());
+    }
+
+    #[test]
+    fn id_based_lookup_matches_paths() {
+        let mut r = ReplaySim::new(sample_trace());
+        let count = SimControl::signal_id(&r, "top.count").unwrap();
+        assert!(SimControl::signal_id(&r, "top.ghost").is_none());
+        r.set_time(30).unwrap();
+        assert_eq!(
+            r.get_value_by_id(count),
+            r.get_value("top.count"),
+            "id and path reads disagree"
+        );
+        assert_eq!(r.get_value_by_id(count).unwrap().to_u64(), 3);
     }
 
     #[test]

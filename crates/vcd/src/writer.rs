@@ -10,7 +10,7 @@
 use std::io::{self, Write};
 
 use bits::Bits;
-use rtl_sim::{HierNode, SimControl, Simulator};
+use rtl_sim::{HierNode, SignalId, SimControl, Simulator};
 
 /// Streams a simulation into VCD text.
 ///
@@ -33,8 +33,9 @@ use rtl_sim::{HierNode, SimControl, Simulator};
 #[derive(Debug)]
 pub struct Recorder<W: Write> {
     out: W,
-    /// Signal paths in simulator order.
-    paths: Vec<String>,
+    /// Interned signal handles in simulator order — resolved once at
+    /// construction so per-cycle sampling never hashes a path string.
+    sig_ids: Vec<SignalId>,
     ids: Vec<String>,
     widths: Vec<u32>,
     last: Vec<Option<Bits>>,
@@ -126,9 +127,13 @@ impl<W: Write> Recorder<W> {
         )?;
         writeln!(out, "$enddefinitions $end")?;
         let last = vec![None; paths.len()];
+        let sig_ids: Vec<SignalId> = paths
+            .iter()
+            .map(|p| sim.signal_id(p).expect("signal_names paths intern"))
+            .collect();
         Ok(Recorder {
             out,
-            paths,
+            sig_ids,
             ids,
             widths,
             last,
@@ -144,14 +149,12 @@ impl<W: Write> Recorder<W> {
     ///
     /// Propagates I/O errors.
     pub fn sample(&mut self, sim: &Simulator) -> io::Result<()> {
-        let cycle = sim.time();
+        let cycle = SimControl::time(sim);
         let rise = cycle * 10;
         writeln!(self.out, "#{rise}")?;
         writeln!(self.out, "1{}", self.clock_id)?;
-        for (i, path) in self.paths.iter().enumerate() {
-            let Some(v) = sim.get_value(path) else {
-                continue;
-            };
+        for (i, &sid) in self.sig_ids.iter().enumerate() {
+            let v = sim.peek_id(sid);
             if self.last[i].as_ref() == Some(&v) {
                 continue;
             }
