@@ -1,0 +1,168 @@
+//! Debug-service request throughput in requests/second, as JSON.
+//!
+//! Measures the concurrent multi-session service end to end: N TCP
+//! clients hammer one `DebugService` (one `Runtime` on its service
+//! thread) with eval/time/list requests, plus a single-client batched
+//! mode showing what `Request::Batch` saves in round-trips. Produces
+//! the numbers recorded in `BENCH_server_throughput.json` at the repo
+//! root. Run with `--smoke` for the CI gate: short 1-client and
+//! 16-client runs that fail (panic) on wrong replies or pathological
+//! slowness, without asserting exact timing.
+//!
+//! ```text
+//! cargo run --release -p bench --bin server_throughput            # full JSON
+//! cargo run --release -p bench --bin server_throughput -- --smoke # CI gate
+//! ```
+
+use std::net::TcpListener;
+use std::time::Instant;
+
+use hgdb::protocol::Request;
+use hgdb::{DebugService, Runtime, TcpDebugServer};
+use rtl_sim::Simulator;
+
+fn build_runtime() -> Runtime<Simulator> {
+    let mut cb = hgf::CircuitBuilder::new();
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.when(count.sig().lt(&m.lit(200, 8)), |m| {
+            m.assign(&count, count.sig() + m.lit(1, 8));
+        });
+        m.assign(&out, count.sig());
+    });
+    let circuit = cb.finish("top").expect("valid circuit");
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
+    let sim = Simulator::new(&state.circuit).expect("builds");
+    Runtime::attach(sim, symbols).expect("attaches")
+}
+
+struct Row {
+    mode: String,
+    clients: usize,
+    requests: u64,
+    requests_per_sec: f64,
+}
+
+/// N concurrent TCP clients, each issuing `per_client` request
+/// round-trips (alternating eval and time). Every reply is checked.
+fn measure_clients(clients: usize, per_client: u64) -> Row {
+    let service = DebugService::spawn(build_runtime());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = TcpDebugServer::start(service.handle(), listener).expect("server");
+    let addr = server.local_addr().to_string();
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = hgdb::client::connect_tcp(&addr).expect("connect");
+                for i in 0..per_client {
+                    if i % 2 == 0 {
+                        let v = client.eval(Some("top"), "count").expect("eval reply");
+                        assert_eq!(v, "0", "no one advances the clock in this bench");
+                    } else {
+                        client.time().expect("time reply");
+                    }
+                }
+                client.detach().expect("detach");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let _runtime = service.shutdown();
+    let total = per_client * clients as u64;
+    Row {
+        mode: format!("tcp_{clients}_clients"),
+        clients,
+        requests: total,
+        requests_per_sec: total as f64 / elapsed,
+    }
+}
+
+/// One TCP client sending `batches` batch lines of `batch_size` time
+/// requests each: per-request cost without the per-request round-trip.
+fn measure_batched(batch_size: usize, batches: u64) -> Row {
+    let service = DebugService::spawn(build_runtime());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = TcpDebugServer::start(service.handle(), listener).expect("server");
+    let mut client = hgdb::client::connect_tcp(&server.local_addr().to_string()).expect("connect");
+
+    let requests = vec![Request::Time; batch_size];
+    let start = Instant::now();
+    for _ in 0..batches {
+        let responses = client.batch(&requests).expect("batch reply");
+        assert_eq!(responses.len(), batch_size);
+        assert!(responses.iter().all(|r| r["type"].as_str() == Some("time")));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    client.detach().expect("detach");
+    server.shutdown();
+    let _runtime = service.shutdown();
+    let total = batches * batch_size as u64;
+    Row {
+        mode: format!("tcp_batched_x{batch_size}"),
+        clients: 1,
+        requests: total,
+        requests_per_sec: total as f64 / elapsed,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_client: u64 = if smoke { 500 } else { 5_000 };
+
+    let rows: Vec<Row> = if smoke {
+        // The CI gate: the two ends of the concurrency range.
+        vec![
+            measure_clients(1, per_client),
+            measure_clients(16, per_client),
+        ]
+    } else {
+        vec![
+            measure_clients(1, per_client),
+            measure_clients(4, per_client),
+            measure_clients(16, per_client),
+            measure_batched(64, per_client / 10),
+        ]
+    };
+
+    println!("{{");
+    println!("  \"bench\": \"server_throughput\",");
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \"requests_per_sec\": {:.0}}}{}",
+            r.mode, r.clients, r.requests, r.requests_per_sec, comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    if smoke {
+        // Loose floor: loopback TCP against the service thread runs
+        // tens of thousands of requests/sec; anything under 1k/sec
+        // means the service serialization or the per-client threads
+        // regressed to pathological behavior (every reply was already
+        // checked for correctness above).
+        for r in &rows {
+            assert!(
+                r.requests_per_sec > 1_000.0,
+                "{}: throughput {:.0} req/sec below smoke floor 1000",
+                r.mode,
+                r.requests_per_sec
+            );
+        }
+        eprintln!("smoke ok");
+    }
+}

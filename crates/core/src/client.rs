@@ -2,17 +2,29 @@
 //!
 //! Both shipped debugger frontends — the scripted sessions in the
 //! examples and the interactive gdb-style CLI — use this client. It is
-//! transport-generic: in-process channels or TCP.
+//! transport-generic: in-process channels, a [`crate::ServiceHandle`]
+//! session, or TCP.
+//!
+//! Every request carries a sequence number; the client matches each
+//! reply by its echoed `seq`, and any asynchronous `event` messages
+//! (stop broadcasts from other sessions attached to the same service)
+//! that arrive in between are queued for [`DebugClient::take_event`] /
+//! [`DebugClient::wait_event`].
+
+use std::collections::VecDeque;
 
 use microjson::Json;
 
-use crate::protocol::{encode_request, Request};
+use crate::protocol::{encode_request_line, Request, SessionId};
 use crate::server::Transport;
 
 /// A connected debugger client.
 #[derive(Debug)]
 pub struct DebugClient<T: Transport> {
     transport: T,
+    next_seq: u64,
+    events: VecDeque<Json>,
+    session: Option<SessionId>,
 }
 
 /// Client-side error.
@@ -41,28 +53,104 @@ impl std::error::Error for ClientError {}
 impl<T: Transport> DebugClient<T> {
     /// Wraps a transport.
     pub fn new(transport: T) -> DebugClient<T> {
-        DebugClient { transport }
+        DebugClient {
+            transport,
+            next_seq: 1,
+            events: VecDeque::new(),
+            session: None,
+        }
     }
 
-    /// Sends one request, returning the raw JSON response.
+    /// The server-assigned session id, once any reply has arrived.
+    pub fn session_id(&self) -> Option<SessionId> {
+        self.session
+    }
+
+    /// Receives one line, parsed.
+    fn recv_json(&mut self) -> Result<Json, ClientError> {
+        let reply = self
+            .transport
+            .recv()
+            .ok_or_else(|| ClientError::Transport("disconnected".into()))?;
+        microjson::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request, returning the raw JSON response. Event
+    /// messages arriving before the reply are queued, not dropped.
     ///
     /// # Errors
     ///
     /// Transport failures or server-reported errors.
     pub fn request(&mut self, req: &Request) -> Result<Json, ClientError> {
-        let line = encode_request(req).to_string();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = encode_request_line(req, Some(seq)).to_string();
         self.transport.send(&line).map_err(ClientError::Transport)?;
-        let reply = self
-            .transport
-            .recv()
-            .ok_or_else(|| ClientError::Transport("disconnected".into()))?;
-        let json = microjson::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        if json["type"].as_str() == Some("error") {
-            return Err(ClientError::Server(
-                json["message"].as_str().unwrap_or("unknown").to_owned(),
-            ));
+        loop {
+            let json = self.recv_json()?;
+            if json["type"].as_str() == Some("event") {
+                self.events.push_back(json);
+                continue;
+            }
+            if let Some(echoed) = json["seq"].as_i64() {
+                if echoed as u64 != seq {
+                    return Err(ClientError::Protocol(format!(
+                        "reply seq {echoed} does not match request seq {seq}"
+                    )));
+                }
+            }
+            if let Some(session) = json["session"].as_i64() {
+                self.session = Some(session as u64);
+            }
+            if json["type"].as_str() == Some("error") {
+                return Err(ClientError::Server(
+                    json["message"].as_str().unwrap_or("unknown").to_owned(),
+                ));
+            }
+            return Ok(json);
         }
-        Ok(json)
+    }
+
+    /// Sends many requests as one [`Request::Batch`] round-trip,
+    /// returning the per-request responses in order. Individual
+    /// request failures come back as `error`-typed entries rather than
+    /// failing the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a reply that is not a batch.
+    pub fn batch(&mut self, requests: &[Request]) -> Result<Vec<Json>, ClientError> {
+        let resp = self.request(&Request::Batch {
+            requests: requests.to_vec(),
+        })?;
+        if resp["type"].as_str() != Some("batch") {
+            return Err(ClientError::Protocol("expected batch response".into()));
+        }
+        Ok(resp["responses"].as_array().unwrap_or(&[]).to_vec())
+    }
+
+    /// Pops a queued asynchronous event, if one has arrived.
+    pub fn take_event(&mut self) -> Option<Json> {
+        self.events.pop_front()
+    }
+
+    /// Blocks until an asynchronous event arrives (e.g. another
+    /// session stopped the simulation).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn wait_event(&mut self) -> Result<Json, ClientError> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(ev);
+        }
+        loop {
+            let json = self.recv_json()?;
+            if json["type"].as_str() == Some("event") {
+                return Ok(json);
+            }
+            // A non-event here is a stale reply; skip it.
+        }
     }
 
     /// Inserts breakpoints at `filename:line`; returns ids.

@@ -21,6 +21,10 @@
 //!   clock edge (Figure 2), forward or reversed.
 //! * Debugger frontends talk JSON-RPC ([`protocol`]) over TCP or
 //!   in-process channels ([`server`], [`client`]).
+//! * The [`service`] layer owns the runtime on a dedicated thread and
+//!   serves any number of concurrent debugger sessions
+//!   ([`DebugService`], [`TcpDebugServer`]), demultiplexed by
+//!   per-session ids with asynchronous stop-event broadcasts.
 //!
 //! # Examples
 //!
@@ -65,12 +69,15 @@ pub mod frame;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod service;
 
 mod runtime;
 
 pub use client::{ClientError, DebugClient};
 pub use expr::DebugExpr;
 pub use frame::{build_var_tree, Frame, VarNode};
+pub use protocol::SessionId;
 pub use runtime::{BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent};
 pub use scheduler::{Group, Scheduler};
-pub use server::{channel_pair, serve, serve_tcp, ChannelPair, TcpTransport, Transport};
+pub use server::{channel_pair, serve, ChannelPair, TcpTransport, Transport};
+pub use service::{DebugService, Outbound, ServiceHandle, ServiceTransport, TcpDebugServer};

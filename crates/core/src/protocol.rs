@@ -2,17 +2,38 @@
 //!
 //! "hgdb relies on RPC-based debugging protocol similar to gdb remote
 //! protocol, where the debugger connects to hgdb via WebSocket." Here
-//! the wire format is newline-delimited JSON messages (one request,
-//! one response), carried over TCP or an in-process channel — the
-//! framing differs from WebSocket, the message semantics do not. Both
-//! shipped debuggers (the gdb-like CLI and a hypothetical IDE) speak
-//! this protocol.
+//! the wire format is newline-delimited JSON messages, carried over
+//! TCP or an in-process channel — the framing differs from WebSocket,
+//! the message semantics do not. Both shipped debuggers (the gdb-like
+//! CLI and a hypothetical IDE) speak this protocol.
+//!
+//! # Envelope: `seq`, `session`, and events
+//!
+//! The service layer serves many concurrent debugger sessions against
+//! one runtime, so every message carries demultiplexing metadata:
+//!
+//! * A request may carry a client-chosen `"seq"` number; the matching
+//!   reply echoes it, letting a client pair replies with requests.
+//! * Every reply carries the server-assigned `"session"` id of the
+//!   connection it answers.
+//! * Asynchronous broadcasts use `"type": "event"` (never a reply):
+//!   when any session stops the simulation at a breakpoint, every
+//!   *other* session receives
+//!   `{"type":"event","event":"stopped","session":<origin>,"data":{...}}`
+//!   so attached viewers stay in sync without polling.
+//! * [`Request::Batch`] carries many requests in one line and returns
+//!   one [`Response::Batch`] with the per-request responses in order —
+//!   scripted frontends pay one round-trip for the whole script
+//!   instead of one per poke.
 
 use bits::Bits;
 use microjson::Json;
 
 use crate::frame::{Frame, VarNode};
 use crate::runtime::{BreakpointListing, RunOutcome, StopEvent};
+
+/// Server-assigned id identifying one debugger connection.
+pub type SessionId = u64;
 
 /// A debugger → runtime request.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +92,12 @@ pub enum Request {
     Time,
     /// End the session.
     Detach,
+    /// Several requests in one round-trip; answered by
+    /// [`Response::Batch`] with one response per request, in order.
+    Batch {
+        /// The requests, executed in order against the runtime.
+        requests: Vec<Request>,
+    },
 }
 
 /// A runtime → debugger response.
@@ -119,6 +146,11 @@ pub enum Response {
     Error {
         /// Human-readable message.
         message: String,
+    },
+    /// Per-request responses for a [`Request::Batch`], in order.
+    Batch {
+        /// One response per batched request.
+        responses: Vec<Response>,
     },
 }
 
@@ -185,6 +217,38 @@ pub fn encode_request(req: &Request) -> Json {
         Request::Hierarchy => Json::object([("type", Json::from("hierarchy"))]),
         Request::Time => Json::object([("type", Json::from("time"))]),
         Request::Detach => Json::object([("type", Json::from("detach"))]),
+        Request::Batch { requests } => Json::object([
+            ("type", Json::from("batch")),
+            ("requests", Json::array(requests.iter().map(encode_request))),
+        ]),
+    }
+}
+
+/// Encodes a request as one wire line, attaching the client-chosen
+/// sequence number the reply will echo.
+pub fn encode_request_line(req: &Request, seq: Option<u64>) -> Json {
+    let mut obj = encode_request(req);
+    if let Some(seq) = seq {
+        obj.insert("seq", Json::from(seq));
+    }
+    obj
+}
+
+/// Splits a wire line into its sequence number (echoed even on decode
+/// failure, so errors can be paired with their request) and the
+/// decoded request.
+pub fn decode_request_line(json: &Json) -> (Option<u64>, Result<Request, String>) {
+    let seq = json["seq"].as_i64().map(|v| v as u64);
+    (seq, decode_request(json))
+}
+
+/// Parses and decodes one raw wire line. The single entry point every
+/// server-side reader uses, so malformed-JSON handling cannot drift
+/// between the TCP, in-process, and pump paths.
+pub fn decode_line(line: &str) -> (Option<u64>, Result<Request, String>) {
+    match microjson::parse(line) {
+        Ok(json) => decode_request_line(&json),
+        Err(e) => (None, Err(format!("malformed json: {e}"))),
     }
 }
 
@@ -229,6 +293,14 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
         "hierarchy" => Request::Hierarchy,
         "time" => Request::Time,
         "detach" => Request::Detach,
+        "batch" => Request::Batch {
+            requests: json["requests"]
+                .as_array()
+                .ok_or("batch missing requests")?
+                .iter()
+                .map(decode_request)
+                .collect::<Result<Vec<_>, _>>()?,
+        },
         other => return Err(format!("unknown request type {other:?}")),
     })
 }
@@ -339,7 +411,37 @@ pub fn encode_response(resp: &Response) -> Json {
             ("type", Json::from("error")),
             ("message", Json::from(message.as_str())),
         ]),
+        Response::Batch { responses } => Json::object([
+            ("type", Json::from("batch")),
+            (
+                "responses",
+                Json::array(responses.iter().map(encode_response)),
+            ),
+        ]),
     }
+}
+
+/// Encodes a reply as one wire line: the response plus the echoed
+/// request `seq` (when the request carried one) and the answering
+/// `session` id.
+pub fn encode_response_line(resp: &Response, seq: Option<u64>, session: SessionId) -> Json {
+    let mut obj = encode_response(resp);
+    if let Some(seq) = seq {
+        obj.insert("seq", Json::from(seq));
+    }
+    obj.insert("session", Json::from(session));
+    obj
+}
+
+/// Encodes the asynchronous stop broadcast sent to every session other
+/// than the one whose request stopped the simulation.
+pub fn encode_stop_broadcast(origin: SessionId, event: &StopEvent) -> Json {
+    Json::object([
+        ("type", Json::from("event")),
+        ("event", Json::from("stopped")),
+        ("session", Json::from(origin)),
+        ("data", stop_event_json(event)),
+    ])
 }
 
 /// Translates a run outcome to a response.
@@ -390,6 +492,20 @@ mod tests {
             Request::Hierarchy,
             Request::Time,
             Request::Detach,
+            Request::Batch {
+                requests: vec![
+                    Request::InsertBreakpoint {
+                        filename: "fpu.rs".into(),
+                        line: 42,
+                        col: None,
+                        condition: None,
+                    },
+                    Request::Continue {
+                        max_cycles: Some(64),
+                    },
+                    Request::Time,
+                ],
+            },
         ];
         for req in reqs {
             let text = encode_request(&req).to_string();
@@ -438,6 +554,61 @@ mod tests {
             hit["generator"][0]["children"][0]["value"]["width"].as_i64(),
             Some(4)
         );
+    }
+
+    #[test]
+    fn envelope_carries_seq_and_session() {
+        let line = encode_request_line(&Request::Time, Some(17)).to_string();
+        let parsed = microjson::parse(&line).unwrap();
+        let (seq, req) = decode_request_line(&parsed);
+        assert_eq!(seq, Some(17));
+        assert_eq!(req.unwrap(), Request::Time);
+
+        let reply = encode_response_line(&Response::Time { time: 9 }, Some(17), 3);
+        assert_eq!(reply["seq"].as_i64(), Some(17));
+        assert_eq!(reply["session"].as_i64(), Some(3));
+        assert_eq!(reply["type"].as_str(), Some("time"));
+
+        // seq survives even when the request itself is malformed.
+        let bad = microjson::parse(r#"{"type":"frobnicate","seq":4}"#).unwrap();
+        let (seq, req) = decode_request_line(&bad);
+        assert_eq!(seq, Some(4));
+        assert!(req.is_err());
+    }
+
+    #[test]
+    fn batch_response_round_trips() {
+        let resp = Response::Batch {
+            responses: vec![
+                Response::Inserted { ids: vec![1, 2] },
+                Response::Time { time: 5 },
+                Response::Error {
+                    message: "nope".into(),
+                },
+            ],
+        };
+        let json = encode_response(&resp);
+        assert_eq!(json["type"].as_str(), Some("batch"));
+        let items = json["responses"].as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0]["type"].as_str(), Some("inserted"));
+        assert_eq!(items[2]["message"].as_str(), Some("nope"));
+    }
+
+    #[test]
+    fn stop_broadcast_shape() {
+        let event = StopEvent {
+            time: 3,
+            filename: "acc.rs".into(),
+            line: 4,
+            col: 9,
+            hits: Vec::new(),
+        };
+        let json = encode_stop_broadcast(7, &event);
+        assert_eq!(json["type"].as_str(), Some("event"));
+        assert_eq!(json["event"].as_str(), Some("stopped"));
+        assert_eq!(json["session"].as_i64(), Some(7));
+        assert_eq!(json["data"]["time"].as_i64(), Some(3));
     }
 
     #[test]

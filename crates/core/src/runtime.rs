@@ -492,11 +492,17 @@ impl<S: SimControl> Runtime<S> {
                     continue;
                 }
             }
-            let frame = self.build_frame(&bp_id);
-            if let Some(ins) = self.inserted.get_mut(&bp_id) {
-                ins.hit_count += 1;
-            }
-            if let Some(frame) = frame {
+            if let Some(frame) = self.build_frame(&bp_id) {
+                // A hit is a *stop the user asked for*: count it only
+                // in continue mode (stepping visits every statement and
+                // must not inflate user-visible hit counts), and only
+                // when a frame was actually built (no counted hit
+                // without a stop).
+                if only_inserted {
+                    if let Some(ins) = self.inserted.get_mut(&bp_id) {
+                        ins.hit_count += 1;
+                    }
+                }
                 hits.push(frame);
             }
         }

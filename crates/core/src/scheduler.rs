@@ -56,7 +56,21 @@ impl Scheduler {
     /// Propagates symbol-table query errors (as strings — the caller
     /// wraps them in its own error type).
     pub fn from_symbols(symbols: &SymbolTable) -> Result<Scheduler, String> {
-        let bps = symbols.all_breakpoints().map_err(|e| e.to_string())?;
+        let mut bps = symbols.all_breakpoints().map_err(|e| e.to_string())?;
+        // `all_breakpoints` returns id order. The walk order must be
+        // the *lexical* order of Figure 2 — (file, line, col), then
+        // instance id for the concurrent copies — and grouping below
+        // relies on rows at the same location being adjacent, which id
+        // order does not guarantee when the compiler numbers
+        // breakpoints out of source order.
+        bps.sort_by(|a, b| {
+            (a.filename.as_str(), a.line, a.col, a.instance_id).cmp(&(
+                b.filename.as_str(),
+                b.line,
+                b.col,
+                b.instance_id,
+            ))
+        });
         let mut groups: Vec<Group> = Vec::new();
         for bp in bps {
             match groups.last_mut() {
@@ -109,13 +123,15 @@ impl Scheduler {
 
     /// Group indices to visit scanning backward from just before the
     /// current stop (or the end of the cycle, when entering a cycle in
-    /// reverse mode).
-    pub fn remaining_backward(&self) -> Vec<usize> {
+    /// reverse mode). Allocation-free: this sits on the reverse-step
+    /// hot loop, which may scan every group of every cycle of a long
+    /// trace.
+    pub fn remaining_backward(&self) -> std::iter::Rev<std::ops::Range<usize>> {
         let end = match self.current {
             Some(i) => i,
             None => self.groups.len(),
         };
-        (0..end).rev().collect()
+        (0..end).rev()
     }
 
     /// Whether any group exists at all (fast path: "exit the loop
@@ -170,11 +186,37 @@ mod tests {
     fn backward_cursor() {
         let mut s = Scheduler::from_symbols(&symbols()).unwrap();
         // Entering a cycle in reverse visits groups from the end.
-        assert_eq!(s.remaining_backward(), vec![2, 1, 0]);
+        assert_eq!(s.remaining_backward().collect::<Vec<_>>(), vec![2, 1, 0]);
         s.stop_at(2);
-        assert_eq!(s.remaining_backward(), vec![1, 0]);
+        assert_eq!(s.remaining_backward().collect::<Vec<_>>(), vec![1, 0]);
         s.stop_at(0);
-        assert!(s.remaining_backward().is_empty());
+        assert_eq!(s.remaining_backward().count(), 0);
+    }
+
+    /// Regression: breakpoint ids interleaved across files and
+    /// locations. Grouping used to rely on id-order adjacency, which
+    /// split one location into duplicate groups and walked groups in
+    /// id order instead of the documented lexical order.
+    #[test]
+    fn groups_lexically_despite_interleaved_ids() {
+        let mut st = SymbolTable::new();
+        st.add_instance(0, "top").unwrap();
+        st.add_instance(1, "top.u0").unwrap();
+        // id order: b.rs:2, a.rs:5 (u0), a.rs:3, a.rs:5 (top) — the
+        // two a.rs:5 rows are not adjacent by id.
+        st.add_breakpoint(0, "b.rs", 2, 1, None, 0).unwrap();
+        st.add_breakpoint(1, "a.rs", 5, 1, None, 1).unwrap();
+        st.add_breakpoint(2, "a.rs", 3, 1, None, 0).unwrap();
+        st.add_breakpoint(3, "a.rs", 5, 1, None, 0).unwrap();
+        let s = Scheduler::from_symbols(&st).unwrap();
+        let g = s.groups();
+        assert_eq!(g.len(), 3, "one group per source location");
+        assert_eq!((g[0].filename.as_str(), g[0].line), ("a.rs", 3));
+        assert_eq!(g[0].bp_ids, vec![2]);
+        assert_eq!((g[1].filename.as_str(), g[1].line), ("a.rs", 5));
+        assert_eq!(g[1].bp_ids, vec![3, 1], "instance order within group");
+        assert_eq!((g[2].filename.as_str(), g[2].line), ("b.rs", 2));
+        assert_eq!(g[2].bp_ids, vec![0]);
     }
 
     #[test]

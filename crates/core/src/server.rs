@@ -1,21 +1,28 @@
-//! Debug servers: request dispatch over in-process channels or TCP.
+//! Line transports and the single-session serve wrapper.
 //!
 //! The runtime side of Figure 1's RPC arrows. A [`Transport`] carries
-//! newline-delimited JSON both ways; [`serve`] pumps requests into a
-//! [`Runtime`] until `detach`. [`ChannelPair`] provides an in-process
-//! transport (debugger and simulation in one process, like the native
-//! ABI path of §3.4); [`serve_tcp`] binds a socket for external
-//! debuggers (the gdb-like CLI, or an IDE).
+//! newline-delimited JSON both ways; [`ChannelPair`] provides an
+//! in-process transport (debugger and simulation in one process, like
+//! the native ABI path of §3.4); [`TcpTransport`] wraps a connected
+//! socket for the client side.
+//!
+//! Serving lives in [`crate::service`]: a [`DebugService`] owns the
+//! runtime on its own thread and fans out to any number of sessions
+//! ([`crate::TcpDebugServer`] for sockets,
+//! [`crate::ServiceHandle::connect`] for in-process). [`serve`] is the
+//! zero-config wrapper kept for the common embedded case — it spawns a
+//! service, pumps one transport as its only session until detach or
+//! disconnect, and hands the runtime back.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use microjson::Json;
-use rtl_sim::{HierNode, SimControl};
+use rtl_sim::SimControl;
 
-use crate::protocol::{decode_request, encode_response, outcome_response, Request, Response};
-use crate::runtime::{DebugError, Runtime};
+use crate::protocol::decode_line;
+use crate::runtime::Runtime;
+use crate::service::DebugService;
 
 /// Bidirectional line transport.
 pub trait Transport {
@@ -71,6 +78,10 @@ impl TcpTransport {
     ///
     /// Fails if the stream cannot be cloned.
     pub fn new(stream: TcpStream) -> std::io::Result<TcpTransport> {
+        // One JSON line per message: without TCP_NODELAY, Nagle's
+        // algorithm holds each small request back until the previous
+        // reply's ACK (~40ms per round-trip on loopback).
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(TcpTransport {
             reader: BufReader::new(stream),
@@ -89,151 +100,61 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, line: &str) -> Result<(), String> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
         self.writer
-            .write_all(line.as_bytes())
-            .and_then(|_| self.writer.write_all(b"\n"))
+            .write_all(framed.as_bytes())
             .and_then(|_| self.writer.flush())
             .map_err(|e| e.to_string())
     }
 }
 
-fn hier_json(node: &HierNode) -> Json {
-    Json::object([
-        ("name", Json::from(node.name.as_str())),
-        (
-            "signals",
-            node.signals
-                .iter()
-                .map(|s| Json::from(s.as_str()))
-                .collect(),
-        ),
-        ("children", Json::array(node.children.iter().map(hier_json))),
-    ])
-}
-
-fn error_response(e: DebugError) -> Response {
-    Response::Error {
-        message: e.to_string(),
-    }
-}
-
-/// Handles one request against the runtime. Returns the response and
-/// whether the session should end.
-pub fn handle_request<S: SimControl>(
-    runtime: &mut Runtime<S>,
-    request: Request,
-) -> (Response, bool) {
-    let resp = match request {
-        Request::InsertBreakpoint {
-            filename,
-            line,
-            col,
-            condition,
-        } => match runtime.insert_breakpoint(&filename, line, col, condition.as_deref()) {
-            Ok(ids) => Response::Inserted { ids },
-            Err(e) => error_response(e),
-        },
-        Request::RemoveBreakpoint { id } => match runtime.remove_breakpoint(id) {
-            Ok(()) => Response::Ok,
-            Err(e) => error_response(e),
-        },
-        Request::ListBreakpoints => Response::Breakpoints {
-            items: runtime.breakpoints(),
-        },
-        Request::Continue { max_cycles } => match runtime.continue_run(max_cycles) {
-            Ok(outcome) => outcome_response(outcome),
-            Err(e) => error_response(e),
-        },
-        Request::Step { max_cycles } => match runtime.step(max_cycles) {
-            Ok(outcome) => outcome_response(outcome),
-            Err(e) => error_response(e),
-        },
-        Request::ReverseStep => match runtime.reverse_step() {
-            Ok(outcome) => outcome_response(outcome),
-            Err(e) => error_response(e),
-        },
-        Request::Frames => match runtime.stopped() {
-            Some(event) => Response::Stopped {
-                event: event.clone(),
-            },
-            None => Response::Error {
-                message: "not stopped at a breakpoint".into(),
-            },
-        },
-        Request::Eval { instance, expr } => match runtime.eval(instance.as_deref(), &expr) {
-            Ok(v) => Response::Value {
-                text: v.to_string(),
-                width: v.width(),
-            },
-            Err(e) => error_response(e),
-        },
-        Request::SetValue {
-            instance,
-            name,
-            value,
-        } => {
-            let parsed = crate::expr::DebugExpr::parse(&value).and_then(|e| e.eval(&|_| None));
-            match parsed {
-                Ok(v) => match runtime.set_variable(instance.as_deref(), &name, v) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => error_response(e),
-                },
-                Err(e) => Response::Error {
-                    message: format!("bad value literal: {e}"),
-                },
-            }
-        }
-        Request::Hierarchy => Response::Hierarchy {
-            tree: hier_json(&runtime.hierarchy()),
-        },
-        Request::Time => Response::Time {
-            time: runtime.time(),
-        },
-        Request::Detach => return (Response::Ok, true),
-    };
-    (resp, false)
-}
-
-/// Serves requests from a transport until `detach` or disconnect.
-pub fn serve<S: SimControl, T: Transport>(runtime: &mut Runtime<S>, transport: &mut T) {
-    while let Some(line) = transport.recv() {
+/// Serves one transport as the only session of a freshly spawned
+/// [`DebugService`], until detach or disconnect. Returns the runtime
+/// so the caller can keep driving (or inspect) the simulation.
+pub fn serve<S, T>(runtime: Runtime<S>, transport: &mut T) -> Runtime<S>
+where
+    S: SimControl + Send + 'static,
+    T: Transport,
+{
+    let service = DebugService::spawn(runtime);
+    let handle = service.handle();
+    let (out_tx, out_rx) = unbounded();
+    let session = handle
+        .open_session(out_tx)
+        .expect("freshly spawned service accepts sessions");
+    'session: while let Some(line) = transport.recv() {
         if line.is_empty() {
             continue;
         }
-        let (response, done) = match microjson::parse(&line) {
-            Ok(json) => match decode_request(&json) {
-                Ok(req) => handle_request(runtime, req),
-                Err(message) => (Response::Error { message }, false),
-            },
-            Err(e) => (
-                Response::Error {
-                    message: format!("malformed json: {e}"),
-                },
-                false,
-            ),
+        let (seq, request) = decode_line(&line);
+        let queued = match request {
+            Ok(request) => handle.submit(session, seq, request),
+            // Undecodable lines get ordered error replies, same as
+            // every other server front.
+            Err(message) => handle.reject(session, seq, message),
         };
-        let text = encode_response(&response).to_string();
-        if transport.send(&text).is_err() {
+        if !queued {
             break;
         }
-        if done {
-            break;
+        // Forward outbound messages until this line's reply has gone
+        // out.
+        loop {
+            match out_rx.recv() {
+                Ok(out) => {
+                    let (wire, is_reply, last) = out.to_line(session);
+                    if transport.send(&wire).is_err() || last {
+                        break 'session;
+                    }
+                    if is_reply {
+                        break;
+                    }
+                }
+                Err(_) => break 'session,
+            }
         }
     }
-}
-
-/// Binds a TCP listener and serves exactly one debugger connection
-/// (the paper's single-debugger model).
-///
-/// # Errors
-///
-/// Propagates socket errors.
-pub fn serve_tcp<S: SimControl>(
-    runtime: &mut Runtime<S>,
-    listener: &TcpListener,
-) -> std::io::Result<()> {
-    let (stream, _) = listener.accept()?;
-    let mut transport = TcpTransport::new(stream)?;
-    serve(runtime, &mut transport);
-    Ok(())
+    handle.close_session(session);
+    service.shutdown()
 }

@@ -1,0 +1,632 @@
+//! The concurrent debug service: one [`Runtime`], many sessions.
+//!
+//! The paper's Figure 1 shows a single debugger attached over RPC; a
+//! production deployment (IDE + waveform viewer + scripted monitor all
+//! attached to one simulation, as in Goeders & Wilton's decoupled HLS
+//! debug server) needs many. This module owns the [`Runtime`] on a
+//! dedicated *service thread* behind a command channel, so any number
+//! of client connections can interleave requests against it:
+//!
+//! * [`DebugService::spawn`] moves the runtime onto the service
+//!   thread. The thread serializes all requests — the runtime itself
+//!   stays single-threaded and lock-free.
+//! * [`ServiceHandle`] is the cheap, cloneable, type-erased handle
+//!   client threads use: open/close sessions, submit requests.
+//! * Each session registers an outbound channel. Replies (tagged with
+//!   the echoed `seq` and the `session` id) and asynchronous
+//!   stop-event broadcasts are demultiplexed through it in order.
+//! * [`TcpDebugServer`] runs the accept loop: one reader thread (this
+//!   connection's spawned thread) and one writer thread per client.
+//! * [`Request::Batch`] executes many requests in one command, so
+//!   scripted frontends pay one round-trip per script, not per poke.
+//!
+//! When one session's `continue`/`step` stops the simulation at a
+//! breakpoint, every *other* session receives the stop event as an
+//! `event` message — attached viewers stay in sync without polling.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use microjson::Json;
+use rtl_sim::{HierNode, SimControl};
+
+use crate::protocol::{
+    decode_line, encode_response_line, encode_stop_broadcast, outcome_response, Request, Response,
+    SessionId,
+};
+use crate::runtime::{DebugError, Runtime, StopEvent};
+
+/// One message for a session's outbound stream, in delivery order.
+#[derive(Debug, Clone)]
+pub enum Outbound {
+    /// Reply to one request. `last` marks the session's final reply
+    /// (the request detached): the writer should flush it and close.
+    Reply {
+        /// Echo of the request's `seq`, if it carried one.
+        seq: Option<u64>,
+        /// The response payload.
+        response: Response,
+        /// Whether this reply ends the session.
+        last: bool,
+    },
+    /// Another session stopped the simulation at a breakpoint.
+    Stopped {
+        /// The session whose request caused the stop.
+        origin: SessionId,
+        /// The stop event, identical to the origin's reply payload.
+        event: StopEvent,
+    },
+}
+
+impl Outbound {
+    /// Encodes this message as its wire line for `session`. Returns
+    /// `(line, is_reply, last)`: whether the line answers a request
+    /// (vs an async event), and whether it ends the session. The one
+    /// place outbound framing lives — the TCP writer, the in-process
+    /// transport, and the `serve` pump all call it.
+    pub fn to_line(&self, session: SessionId) -> (String, bool, bool) {
+        match self {
+            Outbound::Reply {
+                seq,
+                response,
+                last,
+            } => (
+                encode_response_line(response, *seq, session).to_string(),
+                true,
+                *last,
+            ),
+            Outbound::Stopped { origin, event } => (
+                encode_stop_broadcast(*origin, event).to_string(),
+                false,
+                false,
+            ),
+        }
+    }
+}
+
+enum Command {
+    Open {
+        out: Sender<Outbound>,
+        reply: Sender<SessionId>,
+    },
+    Close {
+        session: SessionId,
+    },
+    Execute {
+        session: SessionId,
+        seq: Option<u64>,
+        request: Request,
+    },
+    /// An undecodable line: reply with an error *through the command
+    /// queue*, so the error cannot overtake replies for requests the
+    /// same connection already has in flight.
+    Reject {
+        session: SessionId,
+        seq: Option<u64>,
+        message: String,
+    },
+    Shutdown,
+}
+
+/// Cloneable, type-erased handle to a running [`DebugService`].
+#[derive(Clone, Debug)]
+pub struct ServiceHandle {
+    cmd: Sender<Command>,
+}
+
+impl ServiceHandle {
+    /// Registers a session; its replies and broadcasts arrive on
+    /// `out`. Returns `None` when the service has shut down.
+    pub fn open_session(&self, out: Sender<Outbound>) -> Option<SessionId> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.cmd
+            .send(Command::Open {
+                out,
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Unregisters a session (idempotent).
+    pub fn close_session(&self, session: SessionId) {
+        let _ = self.cmd.send(Command::Close { session });
+    }
+
+    /// Queues one request for execution; the reply arrives on the
+    /// session's outbound channel. Returns `false` when the service
+    /// has shut down.
+    pub fn submit(&self, session: SessionId, seq: Option<u64>, request: Request) -> bool {
+        self.cmd
+            .send(Command::Execute {
+                session,
+                seq,
+                request,
+            })
+            .is_ok()
+    }
+
+    /// Queues an error reply for a line that failed to decode. Ordered
+    /// with [`ServiceHandle::submit`] through the same command queue.
+    /// Returns `false` when the service has shut down.
+    pub fn reject(&self, session: SessionId, seq: Option<u64>, message: String) -> bool {
+        self.cmd
+            .send(Command::Reject {
+                session,
+                seq,
+                message,
+            })
+            .is_ok()
+    }
+
+    /// Opens a session and returns an in-process line transport over
+    /// it — the zero-config path for a [`crate::DebugClient`] living
+    /// in the simulator's own process. Returns `None` when the service
+    /// has shut down.
+    pub fn connect(&self) -> Option<ServiceTransport> {
+        let (out_tx, out_rx) = unbounded();
+        let session = self.open_session(out_tx)?;
+        Some(ServiceTransport {
+            handle: self.clone(),
+            session,
+            out_rx,
+            closed: false,
+        })
+    }
+}
+
+/// In-process client transport over one service session. Implements
+/// [`crate::Transport`], so a [`crate::DebugClient`] can sit directly
+/// on the service without sockets or a pump thread.
+#[derive(Debug)]
+pub struct ServiceTransport {
+    handle: ServiceHandle,
+    session: SessionId,
+    out_rx: Receiver<Outbound>,
+    closed: bool,
+}
+
+impl ServiceTransport {
+    /// The server-assigned session id.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+impl crate::server::Transport for ServiceTransport {
+    fn recv(&mut self) -> Option<String> {
+        if self.closed {
+            return None;
+        }
+        match self.out_rx.recv() {
+            Ok(out) => {
+                let (line, _is_reply, last) = out.to_line(self.session);
+                if last {
+                    self.closed = true;
+                }
+                Some(line)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        if self.closed {
+            return Err("session closed".into());
+        }
+        let (seq, request) = decode_line(line);
+        let queued = match request {
+            Ok(request) => self.handle.submit(self.session, seq, request),
+            // Undecodable lines become ordered error replies.
+            Err(message) => self.handle.reject(self.session, seq, message),
+        };
+        if queued {
+            Ok(())
+        } else {
+            Err("service shut down".into())
+        }
+    }
+}
+
+impl Drop for ServiceTransport {
+    fn drop(&mut self) {
+        self.handle.close_session(self.session);
+    }
+}
+
+/// A runtime being served on its own thread. Dropping (or calling
+/// [`DebugService::shutdown`]) stops the thread; `shutdown` also hands
+/// the runtime back.
+#[derive(Debug)]
+pub struct DebugService<S: SimControl> {
+    handle: ServiceHandle,
+    thread: Option<JoinHandle<Runtime<S>>>,
+}
+
+impl<S: SimControl + Send + 'static> DebugService<S> {
+    /// Moves the runtime onto a new service thread and starts
+    /// accepting commands.
+    pub fn spawn(runtime: Runtime<S>) -> DebugService<S> {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let thread = std::thread::spawn(move || service_loop(runtime, &cmd_rx));
+        DebugService {
+            handle: ServiceHandle { cmd: cmd_tx },
+            thread: Some(thread),
+        }
+    }
+}
+
+impl<S: SimControl> DebugService<S> {
+    /// A cloneable handle for client connections.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the service thread and returns the runtime (sessions
+    /// still open see their outbound channels disconnect).
+    pub fn shutdown(mut self) -> Runtime<S> {
+        let _ = self.handle.cmd.send(Command::Shutdown);
+        let thread = self.thread.take().expect("service thread present");
+        thread.join().expect("service thread panicked")
+    }
+}
+
+impl<S: SimControl> Drop for DebugService<S> {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.handle.cmd.send(Command::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+fn service_loop<S: SimControl>(mut runtime: Runtime<S>, cmd_rx: &Receiver<Command>) -> Runtime<S> {
+    let mut sessions: BTreeMap<SessionId, Sender<Outbound>> = BTreeMap::new();
+    let mut next_session: SessionId = 1;
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Command::Open { out, reply } => {
+                let id = next_session;
+                next_session += 1;
+                sessions.insert(id, out);
+                let _ = reply.send(id);
+            }
+            Command::Close { session } => {
+                sessions.remove(&session);
+            }
+            Command::Execute {
+                session,
+                seq,
+                request,
+            } => {
+                let mut stops = Vec::new();
+                let (response, done) = execute(&mut runtime, request, &mut stops);
+                for event in stops {
+                    for (id, out) in &sessions {
+                        if *id != session {
+                            let _ = out.send(Outbound::Stopped {
+                                origin: session,
+                                event: event.clone(),
+                            });
+                        }
+                    }
+                }
+                if let Some(out) = sessions.get(&session) {
+                    let _ = out.send(Outbound::Reply {
+                        seq,
+                        response,
+                        last: done,
+                    });
+                }
+                if done {
+                    sessions.remove(&session);
+                }
+            }
+            Command::Reject {
+                session,
+                seq,
+                message,
+            } => {
+                if let Some(out) = sessions.get(&session) {
+                    let _ = out.send(Outbound::Reply {
+                        seq,
+                        response: Response::Error { message },
+                        last: false,
+                    });
+                }
+            }
+            Command::Shutdown => break,
+        }
+    }
+    runtime
+}
+
+/// Executes one request (batches recurse), additionally collecting
+/// the stop events that should be broadcast to other sessions: only
+/// stops produced by simulation-*advancing* requests count. A
+/// `frames` re-query also answers `Response::Stopped`, but nothing
+/// changed — rebroadcasting it would send every viewer a phantom stop
+/// misattributed to the querying session.
+fn execute<S: SimControl>(
+    runtime: &mut Runtime<S>,
+    request: Request,
+    stops: &mut Vec<StopEvent>,
+) -> (Response, bool) {
+    match request {
+        Request::Batch { requests } => {
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut done = false;
+            for req in requests {
+                if done {
+                    responses.push(Response::Error {
+                        message: "request after detach in batch".into(),
+                    });
+                    continue;
+                }
+                let (resp, d) = execute(runtime, req, stops);
+                done |= d;
+                responses.push(resp);
+            }
+            (Response::Batch { responses }, done)
+        }
+        other => {
+            let advancing = matches!(
+                other,
+                Request::Continue { .. } | Request::Step { .. } | Request::ReverseStep
+            );
+            let (resp, done) = handle_request(runtime, other);
+            if advancing {
+                if let Response::Stopped { event } = &resp {
+                    stops.push(event.clone());
+                }
+            }
+            (resp, done)
+        }
+    }
+}
+
+fn hier_json(node: &HierNode) -> Json {
+    Json::object([
+        ("name", Json::from(node.name.as_str())),
+        (
+            "signals",
+            node.signals
+                .iter()
+                .map(|s| Json::from(s.as_str()))
+                .collect(),
+        ),
+        ("children", Json::array(node.children.iter().map(hier_json))),
+    ])
+}
+
+fn error_response(e: DebugError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+/// Executes one request against the runtime — including batches, which
+/// run their sub-requests in order and collect the responses. Returns
+/// the response and whether the session ends (a detach was executed).
+pub fn dispatch<S: SimControl>(runtime: &mut Runtime<S>, request: Request) -> (Response, bool) {
+    execute(runtime, request, &mut Vec::new())
+}
+
+/// Handles one non-batch request against the runtime. Returns the
+/// response and whether the session should end.
+pub fn handle_request<S: SimControl>(
+    runtime: &mut Runtime<S>,
+    request: Request,
+) -> (Response, bool) {
+    let resp = match request {
+        Request::InsertBreakpoint {
+            filename,
+            line,
+            col,
+            condition,
+        } => match runtime.insert_breakpoint(&filename, line, col, condition.as_deref()) {
+            Ok(ids) => Response::Inserted { ids },
+            Err(e) => error_response(e),
+        },
+        Request::RemoveBreakpoint { id } => match runtime.remove_breakpoint(id) {
+            Ok(()) => Response::Ok,
+            Err(e) => error_response(e),
+        },
+        Request::ListBreakpoints => Response::Breakpoints {
+            items: runtime.breakpoints(),
+        },
+        Request::Continue { max_cycles } => match runtime.continue_run(max_cycles) {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::Step { max_cycles } => match runtime.step(max_cycles) {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::ReverseStep => match runtime.reverse_step() {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::Frames => match runtime.stopped() {
+            Some(event) => Response::Stopped {
+                event: event.clone(),
+            },
+            None => Response::Error {
+                message: "not stopped at a breakpoint".into(),
+            },
+        },
+        Request::Eval { instance, expr } => match runtime.eval(instance.as_deref(), &expr) {
+            Ok(v) => Response::Value {
+                text: v.to_string(),
+                width: v.width(),
+            },
+            Err(e) => error_response(e),
+        },
+        Request::SetValue {
+            instance,
+            name,
+            value,
+        } => {
+            let parsed = crate::expr::DebugExpr::parse(&value).and_then(|e| e.eval(&|_| None));
+            match parsed {
+                Ok(v) => match runtime.set_variable(instance.as_deref(), &name, v) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                },
+                Err(e) => Response::Error {
+                    message: format!("bad value literal: {e}"),
+                },
+            }
+        }
+        Request::Hierarchy => Response::Hierarchy {
+            tree: hier_json(&runtime.hierarchy()),
+        },
+        Request::Time => Response::Time {
+            time: runtime.time(),
+        },
+        Request::Detach => return (Response::Ok, true),
+        Request::Batch { .. } => return dispatch(runtime, request),
+    };
+    (resp, false)
+}
+
+/// The TCP front: accept loop plus one reader and one writer thread
+/// per client connection, all funneling into one [`ServiceHandle`].
+#[derive(Debug)]
+pub struct TcpDebugServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpDebugServer {
+    /// Starts accepting connections on `listener`, serving each client
+    /// against the service behind `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from querying the local address.
+    pub fn start(handle: ServiceHandle, listener: TcpListener) -> std::io::Result<TcpDebugServer> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // Persistent accept failures (EMFILE once
+                        // every fd is a client connection) would
+                        // otherwise busy-spin this loop at 100% CPU;
+                        // back off until fds free up.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                let client_handle = handle.clone();
+                std::thread::spawn(move || client_session(&client_handle, stream));
+            }
+        });
+        Ok(TcpDebugServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// Existing client sessions keep running until they detach or the
+    /// service shuts down.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for TcpDebugServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// One client connection: this thread reads request lines; a spawned
+/// writer thread drains the session's outbound channel (replies and
+/// broadcasts, strictly ordered) onto the socket.
+fn client_session(handle: &ServiceHandle, stream: TcpStream) {
+    // One small JSON line per reply: Nagle's algorithm would hold each
+    // one back until the peer ACKs, serializing the session at ~25
+    // round-trips/sec on loopback.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = unbounded();
+    let Some(session) = handle.open_session(out_tx) else {
+        return;
+    };
+    let writer = std::thread::spawn(move || {
+        let mut w = write_half;
+        while let Ok(out) = out_rx.recv() {
+            let (mut line, _is_reply, last) = out.to_line(session);
+            line.push('\n');
+            let ok = w
+                .write_all(line.as_bytes())
+                .and_then(|()| w.flush())
+                .is_ok();
+            if !ok || last {
+                break;
+            }
+        }
+        // Unblock the reader (and tell the peer) on session end.
+        let _ = w.shutdown(Shutdown::Both);
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (seq, request) = decode_line(trimmed);
+        let queued = match request {
+            Ok(request) => handle.submit(session, seq, request),
+            // Routed through the service's command queue, so the
+            // error reply cannot overtake replies still in flight
+            // for earlier pipelined requests.
+            Err(message) => handle.reject(session, seq, message),
+        };
+        if !queued {
+            break;
+        }
+    }
+    handle.close_session(session);
+    let _ = writer.join();
+}

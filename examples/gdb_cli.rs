@@ -7,6 +7,7 @@
 //!
 //! Run interactively:   `cargo run --example gdb_cli`
 //! Scripted self-demo:  `cargo run --example gdb_cli -- --demo`
+//! Same over a socket:  `cargo run --example gdb_cli -- --demo --tcp`
 //!
 //! Commands: b FILE:LINE [COND] | c | s | rs | p EXPR | info | frames | q
 
@@ -14,7 +15,7 @@ use std::io::{BufRead, Write};
 use std::thread;
 
 use bits::Bits;
-use hgdb::{channel_pair, serve, ChannelPair, DebugClient, Runtime, Transport};
+use hgdb::{channel_pair, serve, DebugClient, DebugService, Runtime, TcpDebugServer, Transport};
 use microjson::Json;
 use rtl_sim::Simulator;
 
@@ -81,7 +82,7 @@ fn print_response(resp: &Json) {
     }
 }
 
-fn run_command(client: &mut DebugClient<ChannelPair>, line: &str) -> bool {
+fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().unwrap_or("");
     let rest: Vec<&str> = parts.collect();
@@ -135,20 +136,9 @@ fn run_command(client: &mut DebugClient<ChannelPair>, line: &str) -> bool {
     true
 }
 
-fn main() {
-    let demo = std::env::args().any(|a| a == "--demo");
-    let (mut server_t, client_t) = channel_pair();
-    let (sim, symbols, bp_line) = build_target();
-
-    // The simulation+runtime side runs on its own thread, exactly like
-    // a simulator process serving a remote debugger.
-    let server = thread::spawn(move || {
-        let mut runtime = Runtime::attach(sim, symbols).expect("attach");
-        serve(&mut runtime, &mut server_t);
-    });
-
-    let mut client = DebugClient::new(client_t);
-
+/// One debugger session over any transport (Figure 1's transport
+/// independence: same commands, same protocol, channel or socket).
+fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: u32) {
     if demo {
         // Scripted session (used by CI): the counter increments under
         // a when, so the increment line carries a breakpoint.
@@ -186,9 +176,34 @@ fn main() {
             }
         }
     }
-    server.join().expect("server thread");
-    // Silence unused-import style warnings for Bits/Transport in some
+}
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let tcp = std::env::args().any(|a| a == "--tcp");
+    let (sim, symbols, bp_line) = build_target();
+    let runtime = Runtime::attach(sim, symbols).expect("attach");
+
+    if tcp {
+        // The multi-session service path: runtime on its service
+        // thread, a real TCP accept loop, client over a socket.
+        let service = DebugService::spawn(runtime);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = TcpDebugServer::start(service.handle(), listener).expect("tcp server");
+        println!("(serving on {})", server.local_addr());
+        let client = hgdb::client::connect_tcp(&server.local_addr().to_string()).expect("connect");
+        drive_session(client, demo, bp_line);
+        server.shutdown();
+        let _ = service.shutdown();
+    } else {
+        // The zero-config in-process path: `serve` pumps one channel
+        // transport as the only session of a private service.
+        let (mut server_t, client_t) = channel_pair();
+        let server = thread::spawn(move || serve(runtime, &mut server_t));
+        drive_session(DebugClient::new(client_t), demo, bp_line);
+        server.join().expect("server thread");
+    }
+    // Silence unused-import style warnings for Bits in some
     // configurations.
     let _ = Bits::from_bool(true);
-    fn _assert_transport<T: Transport>() {}
 }

@@ -6,7 +6,7 @@ use std::thread;
 
 use bits::Bits;
 use hgdb::protocol::Request;
-use hgdb::{channel_pair, serve, serve_tcp, DebugClient, Runtime};
+use hgdb::{channel_pair, serve, DebugClient, DebugService, RunOutcome, Runtime, TcpDebugServer};
 use hgf::CircuitBuilder;
 use rtl_sim::Simulator;
 
@@ -35,8 +35,8 @@ fn channel_session_covers_figure4_features() {
     let (mut server_t, client_t) = channel_pair();
     let (sim, symbols, bp_line) = build_counter();
     let server = thread::spawn(move || {
-        let mut runtime = Runtime::attach(sim, symbols).unwrap();
-        serve(&mut runtime, &mut server_t);
+        let runtime = Runtime::attach(sim, symbols).unwrap();
+        serve(runtime, &mut server_t);
     });
     let mut client = DebugClient::new(client_t);
 
@@ -87,25 +87,194 @@ fn channel_session_covers_figure4_features() {
     server.join().unwrap();
 }
 
-/// The same protocol over a real TCP socket.
+/// The same protocol over a real TCP socket, served by the
+/// multi-session service.
 #[test]
 fn tcp_session_round_trips() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap();
     let (sim, symbols, bp_line) = build_counter();
-    let server = thread::spawn(move || {
-        let mut runtime = Runtime::attach(sim, symbols).unwrap();
-        serve_tcp(&mut runtime, &listener).unwrap();
-    });
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let server = TcpDebugServer::start(service.handle(), listener).unwrap();
 
-    let mut client = hgdb::client::connect_tcp(&addr.to_string()).unwrap();
+    let mut client = hgdb::client::connect_tcp(&server.local_addr().to_string()).unwrap();
     let ids = client.insert_breakpoint(file!(), bp_line, None).unwrap();
     assert!(!ids.is_empty());
     let stop = client.continue_run(Some(100)).unwrap();
     assert_eq!(stop["type"].as_str(), Some("stopped"));
     assert_eq!(client.eval(None, "top.count").unwrap(), "0");
     client.detach().unwrap();
-    server.join().unwrap();
+    server.shutdown();
+    let _runtime = service.shutdown();
+}
+
+/// Two simultaneous TCP clients against one runtime: requests
+/// interleave through the service, the non-stopping client receives
+/// the asynchronous stop broadcast and can eval at the stop.
+#[test]
+fn two_tcp_clients_share_one_runtime() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (sim, symbols, bp_line) = build_counter();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let server = TcpDebugServer::start(service.handle(), listener).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut a = hgdb::client::connect_tcp(&addr).unwrap();
+    let mut b = hgdb::client::connect_tcp(&addr).unwrap();
+    // A round-trip on each registers both sessions before the stop,
+    // and proves interleaved requests get distinct session ids.
+    a.time().unwrap();
+    b.time().unwrap();
+    let (sa, sb) = (a.session_id().unwrap(), b.session_id().unwrap());
+    assert_ne!(sa, sb, "each connection gets its own session");
+
+    // A inserts and continues; B is idle.
+    a.insert_breakpoint(file!(), bp_line, Some("count == 5"))
+        .unwrap();
+    let stop = a.continue_run(Some(1000)).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+
+    // B receives the broadcast stop event (origin = A's session) and
+    // observes the same simulation state via eval.
+    let ev = b.wait_event().unwrap();
+    assert_eq!(ev["event"].as_str(), Some("stopped"));
+    assert_eq!(ev["session"].as_i64(), Some(sa as i64));
+    assert_eq!(
+        ev["data"]["hits"][0]["locals"]["count"]["decimal"].as_str(),
+        Some("5")
+    );
+    assert_eq!(b.eval(Some("top"), "count").unwrap(), "5");
+
+    // Both keep working after the stop; listings agree (breakpoints
+    // are runtime state, shared across sessions).
+    let la = a.request(&Request::ListBreakpoints).unwrap();
+    let lb = b.request(&Request::ListBreakpoints).unwrap();
+    assert_eq!(la["items"][0]["hit_count"], lb["items"][0]["hit_count"]);
+
+    // B re-querying the current stop must NOT rebroadcast it: only
+    // simulation-advancing requests produce stop events. B's frames
+    // reply lands before A's next reply, so any phantom event would
+    // already be queued on A's socket by the time A's listing returns.
+    let frames = b.request(&Request::Frames).unwrap();
+    assert_eq!(frames["type"].as_str(), Some("stopped"));
+    a.request(&Request::ListBreakpoints).unwrap();
+    assert!(
+        a.take_event().is_none(),
+        "frames re-query must not broadcast a phantom stop"
+    );
+
+    a.detach().unwrap();
+    b.detach().unwrap();
+    server.shutdown();
+    let _runtime = service.shutdown();
+}
+
+/// A batch executes its requests in order against the runtime and
+/// returns one response per request in one round-trip.
+#[test]
+fn batch_requests_one_round_trip() {
+    let (sim, symbols, bp_line) = build_counter();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let mut client = DebugClient::new(service.handle().connect().unwrap());
+    let responses = client
+        .batch(&[
+            Request::InsertBreakpoint {
+                filename: file!().into(),
+                line: bp_line,
+                col: None,
+                condition: Some("count == 3".into()),
+            },
+            Request::Continue {
+                max_cycles: Some(1000),
+            },
+            Request::Eval {
+                instance: Some("top".into()),
+                expr: "count".into(),
+            },
+            Request::Eval {
+                instance: None,
+                expr: "no_such_signal".into(),
+            },
+            Request::Time,
+        ])
+        .unwrap();
+    assert_eq!(responses.len(), 5);
+    assert_eq!(responses[0]["type"].as_str(), Some("inserted"));
+    assert_eq!(responses[1]["type"].as_str(), Some("stopped"));
+    assert_eq!(responses[2]["text"].as_str(), Some("3"));
+    assert_eq!(
+        responses[3]["type"].as_str(),
+        Some("error"),
+        "one bad request does not fail the batch"
+    );
+    assert_eq!(responses[4]["type"].as_str(), Some("time"));
+    client.detach().unwrap();
+    let _runtime = service.shutdown();
+}
+
+/// Regression: an undecodable line pipelined behind a slow request
+/// must be answered *after* that request's reply — malformed-line
+/// errors go through the service's command queue, not around it.
+#[test]
+fn malformed_line_reply_keeps_pipeline_order() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (sim, symbols, _) = build_counter();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let server = TcpDebugServer::start(service.handle(), listener).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // A continue over 200k cycles keeps the service busy while the
+    // malformed line right behind it is being read.
+    stream
+        .write_all(b"{\"type\":\"continue\",\"max_cycles\":200000,\"seq\":1}\nnot json\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    let first = microjson::parse(&first).unwrap();
+    assert_eq!(
+        first["seq"].as_i64(),
+        Some(1),
+        "the slow request's reply must come first"
+    );
+    assert_eq!(first["type"].as_str(), Some("finished"));
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    let second = microjson::parse(&second).unwrap();
+    assert_eq!(second["type"].as_str(), Some("error"));
+
+    stream.write_all(b"{\"type\":\"detach\"}\n").unwrap();
+    let _ = reader.read_line(&mut String::new());
+    server.shutdown();
+    let _runtime = service.shutdown();
+}
+
+/// Regression: stepping past a line must not inflate the user-visible
+/// hit count — only stops in continue mode count.
+#[test]
+fn step_does_not_inflate_hit_count() {
+    let (sim, symbols, bp_line) = build_counter();
+    let mut rt = Runtime::attach(sim, symbols).unwrap();
+    rt.insert_breakpoint(file!(), bp_line, None, None).unwrap();
+    // Step across several statements/cycles; at least one step stops
+    // on the inserted line itself.
+    let mut stepped_on_line = false;
+    for _ in 0..5 {
+        if let RunOutcome::Stopped(ev) = rt.step(Some(100)).unwrap() {
+            stepped_on_line |= ev.line == bp_line;
+        }
+    }
+    assert!(stepped_on_line, "stepping visited the inserted line");
+    let listing = rt.breakpoints();
+    assert_eq!(
+        listing[0].hit_count, 0,
+        "step must not count as a breakpoint hit"
+    );
+    // A continue stop counts exactly once.
+    let out = rt.continue_run(Some(100)).unwrap();
+    assert!(matches!(out, RunOutcome::Stopped(_)));
+    assert_eq!(rt.breakpoints()[0].hit_count, 1);
 }
 
 /// Malformed input over the wire produces protocol errors, not server
@@ -116,8 +285,8 @@ fn malformed_requests_survive() {
     let (mut server_t, mut client_t) = channel_pair();
     let (sim, symbols, _) = build_counter();
     let server = thread::spawn(move || {
-        let mut runtime = Runtime::attach(sim, symbols).unwrap();
-        serve(&mut runtime, &mut server_t);
+        let runtime = Runtime::attach(sim, symbols).unwrap();
+        serve(runtime, &mut server_t);
     });
 
     client_t.send("this is not json").unwrap();
@@ -156,8 +325,8 @@ fn replay_reverse_over_protocol() {
 
     let (mut server_t, client_t) = channel_pair();
     let server = thread::spawn(move || {
-        let mut runtime = Runtime::attach(replay, symbols).unwrap();
-        serve(&mut runtime, &mut server_t);
+        let runtime = Runtime::attach(replay, symbols).unwrap();
+        serve(runtime, &mut server_t);
     });
     let mut client = DebugClient::new(client_t);
     client
