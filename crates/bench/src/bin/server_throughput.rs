@@ -3,11 +3,13 @@
 //! Measures the concurrent multi-session service end to end: N TCP
 //! clients hammer one `DebugService` (one `Runtime` on its service
 //! thread) with eval/time/list requests, plus a single-client batched
-//! mode showing what `Request::Batch` saves in round-trips. Produces
-//! the numbers recorded in `BENCH_server_throughput.json` at the repo
-//! root. Run with `--smoke` for the CI gate: short 1-client and
-//! 16-client runs that fail (panic) on wrong replies or pathological
-//! slowness, without asserting exact timing.
+//! mode showing what `Request::Batch` saves in round-trips, plus a
+//! subscriptions scenario (16 clients, 1 subscribed) measuring what
+//! per-session event filtering saves in stop-broadcast fan-out.
+//! Produces the numbers recorded in `BENCH_server_throughput.json` at
+//! the repo root. Run with `--smoke` for the CI gate: short 1-client,
+//! 16-client, and subscription runs that fail (panic) on wrong
+//! replies or pathological slowness, without asserting exact timing.
 //!
 //! ```text
 //! cargo run --release -p bench --bin server_throughput            # full JSON
@@ -37,6 +39,28 @@ fn build_runtime() -> Runtime<Simulator> {
     let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
     let sim = Simulator::new(&state.circuit).expect("builds");
     Runtime::attach(sim, symbols).expect("attaches")
+}
+
+/// A free-running (wrapping) counter whose increment line carries an
+/// always-active breakpoint: an unconditioned insertion on it stops
+/// the simulation on every cycle, which is exactly what the
+/// stop-broadcast scenario needs. Returns the runtime and the
+/// breakpoint line.
+fn build_wrapping_runtime() -> (Runtime<Simulator>, u32) {
+    let mut cb = hgf::CircuitBuilder::new();
+    let bp_line = line!() + 4;
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.assign(&count, count.sig() + m.lit(1, 8));
+        m.assign(&out, count.sig());
+    });
+    let circuit = cb.finish("top").expect("valid circuit");
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
+    let sim = Simulator::new(&state.circuit).expect("builds");
+    (Runtime::attach(sim, symbols).expect("attaches"), bp_line)
 }
 
 struct Row {
@@ -117,15 +141,99 @@ fn measure_batched(batch_size: usize, batches: u64) -> Row {
     }
 }
 
+/// The subscriptions scenario: one driver stops the simulation `stops`
+/// times while 15 idle viewer connections are attached (16 clients
+/// total). With `filtered` set, 14 viewers subscribe to a kind that
+/// never fires and exactly one subscribes to breakpoint stops — every
+/// stop is delivered to 1 session instead of fanned out to 15. The
+/// subscribed viewer actively drains and the delivered + lagged count
+/// is checked against `stops`, so filtering is verified, not assumed.
+fn measure_subscriptions(stops: u64, filtered: bool) -> Row {
+    let (runtime, bp_line) = build_wrapping_runtime();
+    let service = DebugService::spawn(runtime);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = TcpDebugServer::start(service.handle(), listener).expect("server");
+    let addr = server.local_addr().to_string();
+
+    // 14 passive viewers (default subscription, or a never-matching
+    // kind filter when `filtered`).
+    let passive: Vec<_> = (0..14)
+        .map(|_| {
+            let mut viewer = hgdb::client::connect_tcp(&addr).expect("connect");
+            if filtered {
+                viewer
+                    .subscribe(&[], &[], &["watchpoint"])
+                    .expect("subscribe");
+            }
+            viewer
+        })
+        .collect();
+
+    // The one subscribed viewer drains its events on a thread and
+    // reports how many stops it saw (delivered + lagged).
+    let mut subscribed = hgdb::client::connect_tcp(&addr).expect("connect");
+    if filtered {
+        subscribed
+            .subscribe(&[], &[], &["breakpoint"])
+            .expect("subscribe");
+    }
+    let drainer = std::thread::spawn(move || {
+        let mut seen: u64 = 0;
+        while seen < stops {
+            let ev = subscribed.wait_event().expect("event stream");
+            match ev["event"].as_str() {
+                Some("stopped") => seen += 1,
+                Some("lagged") => seen += ev["missed"].as_i64().unwrap_or(0) as u64,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        seen
+    });
+
+    let mut driver = hgdb::client::connect_tcp(&addr).expect("connect");
+    driver
+        .insert_breakpoint(file!(), bp_line, None)
+        .expect("insert");
+    let start = Instant::now();
+    for _ in 0..stops {
+        let stop = driver.continue_run(Some(10)).expect("continue");
+        assert_eq!(
+            stop["type"].as_str(),
+            Some("stopped"),
+            "bp hits every cycle"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let seen = drainer.join().expect("drainer thread");
+    assert_eq!(seen, stops, "subscribed viewer accounts for every stop");
+    driver.detach().expect("detach");
+    drop(passive);
+    server.shutdown();
+    let _runtime = service.shutdown();
+    Row {
+        mode: if filtered {
+            "tcp_16_clients_1_subscribed_stops".into()
+        } else {
+            "tcp_16_clients_broadcast_all_stops".into()
+        },
+        clients: 16,
+        requests: stops,
+        requests_per_sec: stops as f64 / elapsed,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let per_client: u64 = if smoke { 500 } else { 5_000 };
 
     let rows: Vec<Row> = if smoke {
-        // The CI gate: the two ends of the concurrency range.
+        // The CI gate: the two ends of the concurrency range, plus the
+        // filtered-broadcast path (which also exercises backpressure).
         vec![
             measure_clients(1, per_client),
             measure_clients(16, per_client),
+            measure_subscriptions(per_client, true),
         ]
     } else {
         vec![
@@ -133,6 +241,8 @@ fn main() {
             measure_clients(4, per_client),
             measure_clients(16, per_client),
             measure_batched(64, per_client / 10),
+            measure_subscriptions(per_client, false),
+            measure_subscriptions(per_client, true),
         ]
     };
 

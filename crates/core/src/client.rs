@@ -178,6 +178,101 @@ impl<T: Transport> DebugClient<T> {
             .collect())
     }
 
+    /// Inserts a watchpoint — execution stops when the expression's
+    /// value changes across a clock edge during a `continue` — and
+    /// returns its id.
+    ///
+    /// ```
+    /// use hgdb::{DebugClient, DebugService, Runtime};
+    /// use rtl_sim::Simulator;
+    ///
+    /// let mut cb = hgf::CircuitBuilder::new();
+    /// cb.module("top", |m| {
+    ///     let out = m.output("out", 8);
+    ///     let count = m.reg("count", 8, Some(0));
+    ///     m.assign(&count, count.sig() + m.lit(1, 8));
+    ///     m.assign(&out, count.sig());
+    /// });
+    /// let circuit = cb.finish("top")?;
+    /// let mut state = hgf_ir::CircuitState::new(circuit);
+    /// let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+    /// let symbols = symtab::from_debug_table(&state.circuit, &table).unwrap();
+    /// let sim = Simulator::new(&state.circuit).unwrap();
+    /// let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    ///
+    /// let mut client = DebugClient::new(service.handle().connect().unwrap());
+    /// let id = client.insert_watchpoint(Some("top"), "count").unwrap();
+    /// // The counter increments every cycle, so the very next edge
+    /// // changes the watched value and stops the run.
+    /// let stop = client.continue_run(Some(100)).unwrap();
+    /// assert_eq!(stop["event"]["reason"].as_str(), Some("watchpoint"));
+    /// let hit = &stop["event"]["watch_hits"][0];
+    /// assert_eq!(hit["old"]["decimal"].as_str(), Some("0"));
+    /// assert_eq!(hit["new"]["decimal"].as_str(), Some("1"));
+    /// client.remove_watchpoint(id).unwrap();
+    /// client.detach().unwrap();
+    /// let _runtime = service.shutdown();
+    /// # Ok::<(), hgf_ir::IrError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn insert_watchpoint(
+        &mut self,
+        instance: Option<&str>,
+        expr: &str,
+    ) -> Result<i64, ClientError> {
+        let resp = self.request(&Request::InsertWatchpoint {
+            instance: instance.map(str::to_owned),
+            expr: expr.to_owned(),
+        })?;
+        resp["id"]
+            .as_i64()
+            .ok_or_else(|| ClientError::Protocol("watchpoint response missing id".into()))
+    }
+
+    /// Removes one of this session's watchpoints.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn remove_watchpoint(&mut self, id: i64) -> Result<(), ClientError> {
+        self.request(&Request::RemoveWatchpoint { id }).map(|_| ())
+    }
+
+    /// Lists this session's watchpoints as raw JSON entries.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn list_watchpoints(&mut self) -> Result<Vec<Json>, ClientError> {
+        let resp = self.request(&Request::ListWatchpoints)?;
+        Ok(resp["items"].as_array().unwrap_or(&[]).to_vec())
+    }
+
+    /// Replaces this session's event subscription. Empty slices are
+    /// wildcards: `subscribe(&[], &[], &[])` restores the default
+    /// everything-subscription.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn subscribe(
+        &mut self,
+        files: &[&str],
+        instances: &[&str],
+        kinds: &[&str],
+    ) -> Result<(), ClientError> {
+        let own = |items: &[&str]| items.iter().map(|s| (*s).to_owned()).collect();
+        self.request(&Request::Subscribe {
+            files: own(files),
+            instances: own(instances),
+            kinds: own(kinds),
+        })
+        .map(|_| ())
+    }
+
     /// Continues execution; returns the stop/finish JSON.
     ///
     /// # Errors

@@ -24,7 +24,15 @@
 //! * The [`service`] layer owns the runtime on a dedicated thread and
 //!   serves any number of concurrent debugger sessions
 //!   ([`DebugService`], [`TcpDebugServer`]), demultiplexed by
-//!   per-session ids with asynchronous stop-event broadcasts.
+//!   per-session ids. Breakpoints and watchpoints are owned by the
+//!   session that inserted them; stop events broadcast asynchronously
+//!   to the sessions whose [`Subscription`] matches, through bounded
+//!   per-session [`outbound`] queues that drop oldest events (never
+//!   replies) and notify laggards.
+//!
+//! The prose version of this layer diagram, with a data-flow
+//! walkthrough, lives in `docs/ARCHITECTURE.md`; the wire protocol
+//! reference is `docs/PROTOCOL.md`.
 //!
 //! # Examples
 //!
@@ -63,9 +71,12 @@
 //! # Ok::<(), hgf_ir::IrError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod expr;
 pub mod frame;
+pub mod outbound;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -76,8 +87,12 @@ mod runtime;
 pub use client::{ClientError, DebugClient};
 pub use expr::DebugExpr;
 pub use frame::{build_var_tree, Frame, VarNode};
+pub use outbound::{outbound_queue, Outbound, OutboundQueue, OutboundReceiver};
 pub use protocol::SessionId;
-pub use runtime::{BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent};
+pub use runtime::{
+    BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent, WatchHit, WatchpointListing,
+    LOCAL_SESSION,
+};
 pub use scheduler::{Group, Scheduler};
 pub use server::{channel_pair, serve, ChannelPair, TcpTransport, Transport};
-pub use service::{DebugService, Outbound, ServiceHandle, ServiceTransport, TcpDebugServer};
+pub use service::{DebugService, ServiceHandle, ServiceTransport, Subscription, TcpDebugServer};

@@ -17,20 +17,32 @@
 //! * Every reply carries the server-assigned `"session"` id of the
 //!   connection it answers.
 //! * Asynchronous broadcasts use `"type": "event"` (never a reply):
-//!   when any session stops the simulation at a breakpoint, every
-//!   *other* session receives
+//!   when any session stops the simulation at a breakpoint or
+//!   watchpoint, every *other* session whose subscription matches
+//!   receives
 //!   `{"type":"event","event":"stopped","session":<origin>,"data":{...}}`
-//!   so attached viewers stay in sync without polling.
+//!   so attached viewers stay in sync without polling. The `data`
+//!   payload names the sessions whose breakpoints/watchpoints hit and
+//!   carries a `reason` of `"breakpoint"` or `"watchpoint"`.
+//! * [`Request::Subscribe`] narrows which broadcasts a session
+//!   receives (by file, instance, or event kind); the default is
+//!   everything. A session that drains its connection too slowly gets
+//!   `{"type":"event","event":"lagged","missed":N}` after the service
+//!   drops its oldest undelivered broadcasts (see
+//!   [`crate::outbound`]).
 //! * [`Request::Batch`] carries many requests in one line and returns
 //!   one [`Response::Batch`] with the per-request responses in order —
 //!   scripted frontends pay one round-trip for the whole script
 //!   instead of one per poke.
+//!
+//! The complete wire reference with example JSON lines per message
+//! lives in `docs/PROTOCOL.md`.
 
 use bits::Bits;
 use microjson::Json;
 
 use crate::frame::{Frame, VarNode};
-use crate::runtime::{BreakpointListing, RunOutcome, StopEvent};
+use crate::runtime::{BreakpointListing, RunOutcome, StopEvent, WatchHit, WatchpointListing};
 
 /// Server-assigned id identifying one debugger connection.
 pub type SessionId = u64;
@@ -49,13 +61,39 @@ pub enum Request {
         /// Optional conditional expression.
         condition: Option<String>,
     },
-    /// Remove one breakpoint by id.
+    /// Remove one breakpoint by id (only the caller's own insertion).
     RemoveBreakpoint {
         /// Breakpoint id.
         id: i64,
     },
-    /// List inserted breakpoints.
+    /// List the calling session's inserted breakpoints.
     ListBreakpoints,
+    /// Insert a watchpoint: stop when the expression's value changes
+    /// between evaluation points (clock edges during `continue`).
+    InsertWatchpoint {
+        /// Optional instance path providing name context.
+        instance: Option<String>,
+        /// Watched expression text.
+        expr: String,
+    },
+    /// Remove one watchpoint by id (only the caller's own).
+    RemoveWatchpoint {
+        /// Watchpoint id.
+        id: i64,
+    },
+    /// List the calling session's watchpoints.
+    ListWatchpoints,
+    /// Replace this session's event subscription. Empty lists are
+    /// wildcards; a stop broadcast is delivered only when every
+    /// non-empty filter matches (see `docs/PROTOCOL.md`).
+    Subscribe {
+        /// Source files of interest (breakpoint stops only).
+        files: Vec<String>,
+        /// Instance paths of interest (breakpoint stops only).
+        instances: Vec<String>,
+        /// Event kinds of interest: `"breakpoint"`, `"watchpoint"`.
+        kinds: Vec<String>,
+    },
     /// Resume until a breakpoint hits (Figure 4 C "continue").
     Continue {
         /// Safety cycle bound; `None` = run to the end.
@@ -114,6 +152,16 @@ pub enum Response {
     Breakpoints {
         /// Listing entries.
         items: Vec<BreakpointListing>,
+    },
+    /// Inserted watchpoint id.
+    WatchpointInserted {
+        /// The id created.
+        id: i64,
+    },
+    /// Watchpoint listing.
+    Watchpoints {
+        /// Listing entries.
+        items: Vec<WatchpointListing>,
     },
     /// Execution stopped at a breakpoint group.
     Stopped {
@@ -177,6 +225,38 @@ pub fn encode_request(req: &Request) -> Json {
             ("id", Json::Int(*id)),
         ]),
         Request::ListBreakpoints => Json::object([("type", Json::from("list_breakpoints"))]),
+        Request::InsertWatchpoint { instance, expr } => Json::object([
+            ("type", Json::from("insert_watchpoint")),
+            (
+                "instance",
+                instance.as_deref().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("expr", Json::from(expr.as_str())),
+        ]),
+        Request::RemoveWatchpoint { id } => Json::object([
+            ("type", Json::from("remove_watchpoint")),
+            ("id", Json::Int(*id)),
+        ]),
+        Request::ListWatchpoints => Json::object([("type", Json::from("list_watchpoints"))]),
+        Request::Subscribe {
+            files,
+            instances,
+            kinds,
+        } => Json::object([
+            ("type", Json::from("subscribe")),
+            (
+                "files",
+                Json::array(files.iter().map(|f| Json::from(f.as_str()))),
+            ),
+            (
+                "instances",
+                Json::array(instances.iter().map(|i| Json::from(i.as_str()))),
+            ),
+            (
+                "kinds",
+                Json::array(kinds.iter().map(|k| Json::from(k.as_str()))),
+            ),
+        ]),
         Request::Continue { max_cycles } => Json::object([
             ("type", Json::from("continue")),
             (
@@ -273,6 +353,50 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
             id: json["id"].as_i64().ok_or("missing id")?,
         },
         "list_breakpoints" => Request::ListBreakpoints,
+        "insert_watchpoint" => Request::InsertWatchpoint {
+            instance: str_field("instance"),
+            expr: str_field("expr").ok_or("missing expr")?,
+        },
+        "remove_watchpoint" => Request::RemoveWatchpoint {
+            id: json["id"].as_i64().ok_or("missing id")?,
+        },
+        "list_watchpoints" => Request::ListWatchpoints,
+        "subscribe" => {
+            // A missing (or null) filter is a wildcard; a present one
+            // must be an array of strings — silently coercing a typo
+            // to a wildcard would deliver *everything* to a session
+            // that asked to narrow its traffic.
+            let str_list = |k: &str| -> Result<Vec<String>, String> {
+                match &json[k] {
+                    Json::Null => Ok(Vec::new()),
+                    Json::Array(items) => items
+                        .iter()
+                        .map(|v| {
+                            v.as_str()
+                                .map(str::to_owned)
+                                .ok_or(format!("{k} entries must be strings"))
+                        })
+                        .collect(),
+                    _ => Err(format!("{k} must be an array of strings")),
+                }
+            };
+            let kinds = str_list("kinds")?;
+            // Kinds form a closed set; a typo ("watchpoints") would
+            // otherwise silently subscribe to nothing, forever.
+            if let Some(bad) = kinds
+                .iter()
+                .find(|k| *k != "breakpoint" && *k != "watchpoint")
+            {
+                return Err(format!(
+                    "unknown event kind {bad:?} (expected \"breakpoint\" or \"watchpoint\")"
+                ));
+            }
+            Request::Subscribe {
+                files: str_list("files")?,
+                instances: str_list("instances")?,
+                kinds,
+            }
+        }
         "continue" => Request::Continue {
             max_cycles: u64_field("max_cycles"),
         },
@@ -350,14 +474,36 @@ fn frame_json(frame: &Frame) -> Json {
     ])
 }
 
-fn stop_event_json(event: &StopEvent) -> Json {
+fn watch_hit_json(hit: &WatchHit) -> Json {
     Json::object([
+        ("id", Json::Int(hit.id)),
+        ("owner", Json::from(hit.owner)),
+        ("expr", Json::from(hit.expr.as_str())),
+        ("old", bits_json(&hit.old)),
+        ("new", bits_json(&hit.new)),
+    ])
+}
+
+fn stop_event_json(event: &StopEvent) -> Json {
+    let mut obj = Json::object([
         ("time", Json::from(event.time)),
+        ("reason", Json::from(event.kind())),
         ("filename", Json::from(event.filename.as_str())),
         ("line", Json::from(event.line)),
         ("col", Json::from(event.col)),
         ("hits", Json::array(event.hits.iter().map(frame_json))),
-    ])
+        (
+            "sessions",
+            Json::array(event.sessions.iter().map(|s| Json::from(*s))),
+        ),
+    ]);
+    if !event.watch_hits.is_empty() {
+        obj.insert(
+            "watch_hits",
+            Json::array(event.watch_hits.iter().map(watch_hit_json)),
+        );
+    }
+    obj
 }
 
 /// Encodes a response as JSON.
@@ -384,6 +530,28 @@ pub fn encode_response(resp: &Response) -> Json {
                             b.condition.as_deref().map(Json::from).unwrap_or(Json::Null),
                         ),
                         ("hit_count", Json::from(b.hit_count)),
+                    ])
+                })),
+            ),
+        ]),
+        Response::WatchpointInserted { id } => Json::object([
+            ("type", Json::from("watchpoint_inserted")),
+            ("id", Json::Int(*id)),
+        ]),
+        Response::Watchpoints { items } => Json::object([
+            ("type", Json::from("watchpoints")),
+            (
+                "items",
+                Json::array(items.iter().map(|w| {
+                    Json::object([
+                        ("id", Json::Int(w.id)),
+                        (
+                            "instance",
+                            w.instance.as_deref().map(Json::from).unwrap_or(Json::Null),
+                        ),
+                        ("expr", Json::from(w.expr.as_str())),
+                        ("value", bits_json(&w.value)),
+                        ("hit_count", Json::from(w.hit_count)),
                     ])
                 })),
             ),
@@ -433,14 +601,24 @@ pub fn encode_response_line(resp: &Response, seq: Option<u64>, session: SessionI
     obj
 }
 
-/// Encodes the asynchronous stop broadcast sent to every session other
-/// than the one whose request stopped the simulation.
+/// Encodes the asynchronous stop broadcast sent to every session
+/// (other than the origin) whose subscription matches the event.
 pub fn encode_stop_broadcast(origin: SessionId, event: &StopEvent) -> Json {
     Json::object([
         ("type", Json::from("event")),
         ("event", Json::from("stopped")),
         ("session", Json::from(origin)),
         ("data", stop_event_json(event)),
+    ])
+}
+
+/// Encodes the lag notification a session receives after its bounded
+/// outbound queue dropped `missed` undelivered event broadcasts.
+pub fn encode_lagged_event(missed: u64) -> Json {
+    Json::object([
+        ("type", Json::from("event")),
+        ("event", Json::from("lagged")),
+        ("missed", Json::from(missed)),
     ])
 }
 
@@ -488,6 +666,26 @@ mod tests {
                 instance: None,
                 name: "top.reset".into(),
                 value: "1".into(),
+            },
+            Request::InsertWatchpoint {
+                instance: Some("top.fpu".into()),
+                expr: "state != 0".into(),
+            },
+            Request::InsertWatchpoint {
+                instance: None,
+                expr: "top.count".into(),
+            },
+            Request::RemoveWatchpoint { id: 3 },
+            Request::ListWatchpoints,
+            Request::Subscribe {
+                files: vec!["fpu.rs".into()],
+                instances: vec!["top.fpu".into(), "top.alu".into()],
+                kinds: vec!["watchpoint".into()],
+            },
+            Request::Subscribe {
+                files: Vec::new(),
+                instances: Vec::new(),
+                kinds: Vec::new(),
             },
             Request::Hierarchy,
             Request::Time,
@@ -541,11 +739,17 @@ mod tests {
                 locals: vec![("sum".into(), Some(Bits::from_u64(5, 8)))],
                 generator: build_var_tree(&[("io.out".into(), Some(Bits::from_u64(1, 4)))]),
             }],
+            sessions: vec![2, 5],
+            watch_hits: Vec::new(),
         };
         let json = encode_response(&Response::Stopped { event });
         let text = json.to_string();
         let back = microjson::parse(&text).unwrap();
         assert_eq!(back["type"].as_str(), Some("stopped"));
+        assert_eq!(back["event"]["reason"].as_str(), Some("breakpoint"));
+        let sessions = back["event"]["sessions"].as_array().unwrap();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].as_i64(), Some(2));
         let hit = &back["event"]["hits"][0];
         assert_eq!(hit["instance"].as_str(), Some("top.u0"));
         assert_eq!(hit["locals"]["sum"]["decimal"].as_str(), Some("5"));
@@ -554,6 +758,85 @@ mod tests {
             hit["generator"][0]["children"][0]["value"]["width"].as_i64(),
             Some(4)
         );
+    }
+
+    #[test]
+    fn watchpoint_stop_encodes_watch_hits() {
+        let event = StopEvent {
+            time: 9,
+            filename: String::new(),
+            line: 0,
+            col: 0,
+            hits: Vec::new(),
+            sessions: vec![4],
+            watch_hits: vec![WatchHit {
+                id: 2,
+                owner: 4,
+                expr: "top.count".into(),
+                old: Bits::from_u64(3, 8),
+                new: Bits::from_u64(4, 8),
+            }],
+        };
+        let json = encode_response(&Response::Stopped { event });
+        let back = microjson::parse(&json.to_string()).unwrap();
+        assert_eq!(back["event"]["reason"].as_str(), Some("watchpoint"));
+        let wh = &back["event"]["watch_hits"][0];
+        assert_eq!(wh["id"].as_i64(), Some(2));
+        assert_eq!(wh["owner"].as_i64(), Some(4));
+        assert_eq!(wh["old"]["decimal"].as_str(), Some("3"));
+        assert_eq!(wh["new"]["decimal"].as_str(), Some("4"));
+    }
+
+    #[test]
+    fn watchpoint_listing_and_lagged_shapes() {
+        let resp = Response::Watchpoints {
+            items: vec![WatchpointListing {
+                id: 1,
+                instance: Some("top".into()),
+                expr: "count * 2".into(),
+                value: Bits::from_u64(14, 8),
+                hit_count: 3,
+            }],
+        };
+        let json = encode_response(&resp);
+        assert_eq!(json["type"].as_str(), Some("watchpoints"));
+        assert_eq!(json["items"][0]["expr"].as_str(), Some("count * 2"));
+        assert_eq!(json["items"][0]["value"]["decimal"].as_str(), Some("14"));
+
+        let ins = encode_response(&Response::WatchpointInserted { id: 7 });
+        assert_eq!(ins["type"].as_str(), Some("watchpoint_inserted"));
+        assert_eq!(ins["id"].as_i64(), Some(7));
+
+        let lag = encode_lagged_event(12);
+        assert_eq!(lag["type"].as_str(), Some("event"));
+        assert_eq!(lag["event"].as_str(), Some("lagged"));
+        assert_eq!(lag["missed"].as_i64(), Some(12));
+    }
+
+    #[test]
+    fn subscribe_decodes_missing_lists_as_wildcards() {
+        let json = microjson::parse(r#"{"type":"subscribe"}"#).unwrap();
+        assert_eq!(
+            decode_request(&json).unwrap(),
+            Request::Subscribe {
+                files: Vec::new(),
+                instances: Vec::new(),
+                kinds: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn subscribe_rejects_wrong_typed_filters() {
+        // A string where an array belongs must error, not silently
+        // widen the filter to a wildcard.
+        let bad = microjson::parse(r#"{"type":"subscribe","files":"fpu.rs"}"#).unwrap();
+        assert!(decode_request(&bad).is_err());
+        let bad = microjson::parse(r#"{"type":"subscribe","kinds":[42]}"#).unwrap();
+        assert!(decode_request(&bad).is_err());
+        // A typo'd kind would silently subscribe to nothing, forever.
+        let bad = microjson::parse(r#"{"type":"subscribe","kinds":["watchpoints"]}"#).unwrap();
+        assert!(decode_request(&bad).unwrap_err().contains("watchpoints"));
     }
 
     #[test]
@@ -603,6 +886,8 @@ mod tests {
             line: 4,
             col: 9,
             hits: Vec::new(),
+            sessions: vec![7],
+            watch_hits: Vec::new(),
         };
         let json = encode_stop_broadcast(7, &event);
         assert_eq!(json["type"].as_str(), Some("event"));

@@ -7,6 +7,28 @@
 //! against stable signal values at each rising clock edge, walking the
 //! precomputed group order forward — or backward for reverse
 //! debugging.
+//!
+//! # Session ownership
+//!
+//! All user-inserted debug state — breakpoints *and* watchpoints — is
+//! owned by a [`SessionId`]. Many concurrent debugger sessions share
+//! one runtime (via [`crate::DebugService`]) without clobbering each
+//! other: each session inserts, lists, and removes only its own
+//! entries, execution stops for the *union* of every session's state,
+//! and each [`StopEvent`] names the sessions whose breakpoints or
+//! watchpoints actually matched (`StopEvent::sessions`). Code that
+//! embeds the runtime directly (tests, examples, single-user tools)
+//! uses the ownerless convenience methods, which act as the reserved
+//! [`LOCAL_SESSION`] owner.
+//!
+//! # Watchpoints
+//!
+//! A watchpoint stops execution when a watched expression's value
+//! changes between evaluation points (rising clock edges during
+//! [`Runtime::continue_run`]). The expression is parsed once at insert
+//! time and its signal references are interned against the backend
+//! (the same compiled-expression machinery breakpoint conditions use),
+//! so the per-cycle check is cheap.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -17,7 +39,13 @@ use symtab::{BreakpointInfo, SymbolTable};
 
 use crate::expr::{DebugExpr, ExprError};
 use crate::frame::{build_var_tree, Frame};
+use crate::protocol::SessionId;
 use crate::scheduler::Scheduler;
+
+/// The owner id used by the direct (embedded) `Runtime` API when no
+/// debug service is involved. Service-assigned session ids start at 1,
+/// so the two namespaces never collide.
+pub const LOCAL_SESSION: SessionId = 0;
 
 /// Errors surfaced by the debugger runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +63,10 @@ pub enum DebugError {
         /// Requested line.
         line: u32,
     },
-    /// Unknown breakpoint id.
+    /// Unknown breakpoint id (or one owned by another session).
     NoSuchBreakpoint(i64),
+    /// Unknown watchpoint id (or one owned by another session).
+    NoSuchWatchpoint(i64),
     /// Reverse debugging requested but the backend is forward-only.
     ReverseUnsupported,
     /// Unknown instance name.
@@ -53,6 +83,7 @@ impl fmt::Display for DebugError {
                 write!(f, "no breakpoint at {filename}:{line}")
             }
             DebugError::NoSuchBreakpoint(id) => write!(f, "no breakpoint with id {id}"),
+            DebugError::NoSuchWatchpoint(id) => write!(f, "no watchpoint with id {id}"),
             DebugError::ReverseUnsupported => {
                 write!(f, "backend does not support reverse debugging")
             }
@@ -88,20 +119,58 @@ pub enum RunOutcome {
     },
 }
 
-/// A breakpoint stop: one source location, one or more concurrent
-/// instances ("threads", Figure 4 B).
+/// A stop: either a breakpoint group (one source location, one or
+/// more concurrent instances — "threads", Figure 4 B) or a watchpoint
+/// value change (no source location, `watch_hits` populated).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StopEvent {
     /// Simulation time of the stop.
     pub time: u64,
-    /// Source file of the group.
+    /// Source file of the group (empty for watchpoint stops).
     pub filename: String,
-    /// Line of the group.
+    /// Line of the group (0 for watchpoint stops).
     pub line: u32,
-    /// Column of the group.
+    /// Column of the group (0 for watchpoint stops).
     pub col: u32,
-    /// One frame per matching instance.
+    /// One frame per matching instance (empty for watchpoint stops).
     pub hits: Vec<Frame>,
+    /// The sessions whose breakpoints or watchpoints matched, sorted
+    /// and deduplicated. Empty when the stop came from stepping (no
+    /// user-inserted state involved).
+    pub sessions: Vec<SessionId>,
+    /// The watchpoints that fired, when this is a watchpoint stop.
+    pub watch_hits: Vec<WatchHit>,
+}
+
+impl StopEvent {
+    /// The event's kind as it appears on the wire (`reason` field) and
+    /// in subscription filters: `"watchpoint"` when watchpoints fired,
+    /// `"breakpoint"` otherwise. The single source of truth — the
+    /// protocol encoder and [`crate::Subscription::matches`] both call
+    /// this, so the wire `reason` and the filter can never disagree.
+    pub fn kind(&self) -> &'static str {
+        if self.watch_hits.is_empty() {
+            "breakpoint"
+        } else {
+            "watchpoint"
+        }
+    }
+}
+
+/// One watchpoint firing: the watched expression's value changed
+/// across a clock edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchHit {
+    /// Watchpoint id.
+    pub id: i64,
+    /// Owning session.
+    pub owner: SessionId,
+    /// Watched expression text.
+    pub expr: String,
+    /// Value before the edge.
+    pub old: Bits,
+    /// Value after the edge.
+    pub new: Bits,
 }
 
 /// How a breakpoint-expression name resolves against the backend:
@@ -158,9 +227,15 @@ struct StaticBp {
     enable: Option<DebugExpr>,
     /// Attach-time name resolutions for the enable expression.
     enable_lookups: Vec<(String, NameLookup)>,
+    /// Whether an enable-evaluation error was already recorded (a
+    /// `Cell` because the group walk holds the table immutably on the
+    /// hot path). Without it, an unresolvable enable in a partial
+    /// trace would append one diagnostic per cycle.
+    enable_error_reported: std::cell::Cell<bool>,
 }
 
-/// User-inserted breakpoint state.
+/// One session's insertion of a breakpoint (its condition and hit
+/// count are private to that session).
 #[derive(Debug, Default)]
 struct Inserted {
     condition: Option<DebugExpr>,
@@ -168,6 +243,52 @@ struct Inserted {
     /// Insert-time name resolutions for the user condition.
     cond_lookups: Vec<(String, NameLookup)>,
     hit_count: u64,
+    /// Whether a condition-evaluation error was already recorded (so
+    /// a broken condition does not append one diagnostic per instance
+    /// per simulated cycle).
+    cond_error_reported: bool,
+}
+
+/// How one signal reference of a watch expression resolves: interned
+/// id when the backend supports it, a concrete RTL path otherwise,
+/// with full dynamic resolution as the last resort.
+#[derive(Debug, Clone)]
+struct WatchRef {
+    name: String,
+    id: Option<SignalId>,
+    path: String,
+}
+
+/// A session-owned watchpoint: a pre-parsed expression plus the value
+/// it held at the last evaluation point.
+#[derive(Debug)]
+struct Watch {
+    owner: SessionId,
+    instance: Option<String>,
+    expr_text: String,
+    expr: DebugExpr,
+    /// Insert-time name resolutions for the watched expression.
+    refs: Vec<WatchRef>,
+    last: Bits,
+    hit_count: u64,
+    /// Whether an evaluation error was already recorded (so a broken
+    /// watch does not append one diagnostic per simulated cycle).
+    error_reported: bool,
+}
+
+/// A user-visible watchpoint listing entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchpointListing {
+    /// Watchpoint id.
+    pub id: i64,
+    /// Instance context, if any.
+    pub instance: Option<String>,
+    /// Watched expression text.
+    pub expr: String,
+    /// Value at the last evaluation point.
+    pub value: Bits,
+    /// Times the watched value changed.
+    pub hit_count: u64,
 }
 
 /// A user-visible breakpoint listing entry.
@@ -195,7 +316,12 @@ pub struct Runtime<S: SimControl> {
     symbols: SymbolTable,
     scheduler: Scheduler,
     static_bps: BTreeMap<i64, StaticBp>,
-    inserted: BTreeMap<i64, Inserted>,
+    /// Per-breakpoint, per-owning-session insertions. Execution stops
+    /// for the union; listings and removals are per session.
+    inserted: BTreeMap<i64, BTreeMap<SessionId, Inserted>>,
+    /// Session-owned watchpoints by id.
+    watchpoints: BTreeMap<i64, Watch>,
+    next_watch_id: i64,
     stopped: Option<StopEvent>,
     /// Non-fatal evaluation problems (unresolvable enables in a
     /// partial trace, etc.), for the user to inspect.
@@ -238,6 +364,7 @@ impl<S: SimControl> Runtime<S> {
                     info,
                     enable,
                     enable_lookups,
+                    enable_error_reported: std::cell::Cell::new(false),
                 },
             );
         }
@@ -247,6 +374,8 @@ impl<S: SimControl> Runtime<S> {
             scheduler,
             static_bps,
             inserted: BTreeMap::new(),
+            watchpoints: BTreeMap::new(),
+            next_watch_id: 1,
             stopped: None,
             diagnostics: Vec::new(),
         })
@@ -293,8 +422,9 @@ impl<S: SimControl> Runtime<S> {
     }
 
     /// Inserts breakpoints for a source location (all instances
-    /// sharing the line, per §3.2). `col = None` matches the whole
-    /// line. Returns the inserted ids.
+    /// sharing the line, per §3.2) through the direct API, owned by
+    /// [`LOCAL_SESSION`]. `col = None` matches the whole line. Returns
+    /// the inserted ids.
     ///
     /// # Errors
     ///
@@ -302,6 +432,26 @@ impl<S: SimControl> Runtime<S> {
     /// [`DebugError::Expr`] when the user condition does not parse.
     pub fn insert_breakpoint(
         &mut self,
+        filename: &str,
+        line: u32,
+        col: Option<u32>,
+        condition: Option<&str>,
+    ) -> Result<Vec<i64>, DebugError> {
+        self.insert_breakpoint_for(LOCAL_SESSION, filename, line, col, condition)
+    }
+
+    /// Inserts breakpoints for a source location, owned by `owner`.
+    /// Re-inserting an id the same session already holds replaces its
+    /// condition and resets its hit count; other sessions' insertions
+    /// of the same breakpoint are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSource`] when the location has no breakpoints;
+    /// [`DebugError::Expr`] when the user condition does not parse.
+    pub fn insert_breakpoint_for(
+        &mut self,
+        owner: SessionId,
         filename: &str,
         line: u32,
         col: Option<u32>,
@@ -324,42 +474,96 @@ impl<S: SimControl> Runtime<S> {
                 .as_ref()
                 .map(|e| resolve_refs(&self.sim, &info.instance_name, e))
                 .unwrap_or_default();
-            self.inserted.insert(
-                info.id,
+            let previous = self.inserted.entry(info.id).or_default().insert(
+                owner,
                 Inserted {
                     condition: parsed.clone(),
                     condition_text: condition.map(str::to_owned),
                     cond_lookups,
                     hit_count: 0,
+                    cond_error_reported: false,
                 },
             );
+            if previous.is_none() {
+                self.scheduler.note_inserted(info.id);
+            }
             ids.push(info.id);
         }
         Ok(ids)
     }
 
-    /// Removes one inserted breakpoint.
+    /// Removes one of [`LOCAL_SESSION`]'s inserted breakpoints.
     ///
     /// # Errors
     ///
     /// [`DebugError::NoSuchBreakpoint`] if the id is not inserted.
     pub fn remove_breakpoint(&mut self, id: i64) -> Result<(), DebugError> {
-        self.inserted
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(DebugError::NoSuchBreakpoint(id))
+        self.remove_breakpoint_for(LOCAL_SESSION, id)
     }
 
-    /// Removes all inserted breakpoints.
+    /// Removes `owner`'s insertion of breakpoint `id`. Other sessions'
+    /// insertions of the same breakpoint are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSuchBreakpoint`] if `owner` has no insertion of
+    /// this id (including when another session does).
+    pub fn remove_breakpoint_for(&mut self, owner: SessionId, id: i64) -> Result<(), DebugError> {
+        let owners = self
+            .inserted
+            .get_mut(&id)
+            .ok_or(DebugError::NoSuchBreakpoint(id))?;
+        if owners.remove(&owner).is_none() {
+            return Err(DebugError::NoSuchBreakpoint(id));
+        }
+        if owners.is_empty() {
+            self.inserted.remove(&id);
+        }
+        self.scheduler.note_removed(id);
+        Ok(())
+    }
+
+    /// Removes every session's inserted breakpoints.
     pub fn clear_breakpoints(&mut self) {
-        self.inserted.clear();
+        for (id, owners) in std::mem::take(&mut self.inserted) {
+            for _ in owners {
+                self.scheduler.note_removed(id);
+            }
+        }
     }
 
-    /// Lists inserted breakpoints.
+    /// Removes all debug state owned by `owner` — breakpoints and
+    /// watchpoints. Called by the service when a session closes so a
+    /// vanished debugger cannot keep stopping everyone else's
+    /// simulation.
+    pub fn clear_session(&mut self, owner: SessionId) {
+        let mut emptied = Vec::new();
+        for (id, owners) in self.inserted.iter_mut() {
+            if owners.remove(&owner).is_some() {
+                self.scheduler.note_removed(*id);
+                if owners.is_empty() {
+                    emptied.push(*id);
+                }
+            }
+        }
+        for id in emptied {
+            self.inserted.remove(&id);
+        }
+        self.watchpoints.retain(|_, w| w.owner != owner);
+    }
+
+    /// Lists [`LOCAL_SESSION`]'s inserted breakpoints.
     pub fn breakpoints(&self) -> Vec<BreakpointListing> {
+        self.breakpoints_for(LOCAL_SESSION)
+    }
+
+    /// Lists `owner`'s inserted breakpoints — and only those; other
+    /// sessions' insertions are invisible here.
+    pub fn breakpoints_for(&self, owner: SessionId) -> Vec<BreakpointListing> {
         self.inserted
             .iter()
-            .filter_map(|(id, ins)| {
+            .filter_map(|(id, owners)| {
+                let ins = owners.get(&owner)?;
                 let st = self.static_bps.get(id)?;
                 Some(BreakpointListing {
                     id: *id,
@@ -372,6 +576,201 @@ impl<S: SimControl> Runtime<S> {
                 })
             })
             .collect()
+    }
+
+    /// Inserts a watchpoint through the direct API, owned by
+    /// [`LOCAL_SESSION`]. See [`Runtime::insert_watchpoint_for`].
+    ///
+    /// # Errors
+    ///
+    /// Parse or baseline-evaluation failures.
+    pub fn insert_watchpoint(
+        &mut self,
+        instance: Option<&str>,
+        expr_text: &str,
+    ) -> Result<i64, DebugError> {
+        self.insert_watchpoint_for(LOCAL_SESSION, instance, expr_text)
+    }
+
+    /// Inserts a watchpoint owned by `owner`: execution stops inside
+    /// [`Runtime::continue_run`] when the expression's value differs
+    /// across a rising clock edge. The expression is parsed once and
+    /// its signal references are resolved to interned ids (or concrete
+    /// RTL paths) now, so the per-cycle re-evaluation stays cheap. The
+    /// current value is recorded as the comparison baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::Expr`] when the expression does not parse or
+    /// cannot be evaluated against the current simulation state (a
+    /// watch that can never fire is reported at insert, not silently
+    /// ignored).
+    pub fn insert_watchpoint_for(
+        &mut self,
+        owner: SessionId,
+        instance: Option<&str>,
+        expr_text: &str,
+    ) -> Result<i64, DebugError> {
+        let expr = DebugExpr::parse(expr_text)?;
+        let refs = expr
+            .refs()
+            .into_iter()
+            .map(|name| {
+                let path = self.watch_ref_path(instance, &name);
+                WatchRef {
+                    id: self.sim.signal_id(&path),
+                    path,
+                    name,
+                }
+            })
+            .collect();
+        let mut watch = Watch {
+            owner,
+            instance: instance.map(str::to_owned),
+            expr_text: expr_text.to_owned(),
+            expr,
+            refs,
+            last: Bits::from_bool(false),
+            hit_count: 0,
+            error_reported: false,
+        };
+        watch.last = self.eval_watch(&watch)?;
+        let id = self.next_watch_id;
+        self.next_watch_id += 1;
+        self.watchpoints.insert(id, watch);
+        Ok(id)
+    }
+
+    /// Removes one of [`LOCAL_SESSION`]'s watchpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSuchWatchpoint`] if the id is not owned.
+    pub fn remove_watchpoint(&mut self, id: i64) -> Result<(), DebugError> {
+        self.remove_watchpoint_for(LOCAL_SESSION, id)
+    }
+
+    /// Removes `owner`'s watchpoint `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoSuchWatchpoint`] if the id does not exist or is
+    /// owned by another session.
+    pub fn remove_watchpoint_for(&mut self, owner: SessionId, id: i64) -> Result<(), DebugError> {
+        match self.watchpoints.get(&id) {
+            Some(w) if w.owner == owner => {
+                self.watchpoints.remove(&id);
+                Ok(())
+            }
+            _ => Err(DebugError::NoSuchWatchpoint(id)),
+        }
+    }
+
+    /// Lists [`LOCAL_SESSION`]'s watchpoints.
+    pub fn watchpoints(&self) -> Vec<WatchpointListing> {
+        self.watchpoints_for(LOCAL_SESSION)
+    }
+
+    /// Lists `owner`'s watchpoints — and only those.
+    pub fn watchpoints_for(&self, owner: SessionId) -> Vec<WatchpointListing> {
+        self.watchpoints
+            .iter()
+            .filter(|(_, w)| w.owner == owner)
+            .map(|(id, w)| WatchpointListing {
+                id: *id,
+                instance: w.instance.clone(),
+                expr: w.expr_text.clone(),
+                value: w.last.clone(),
+                hit_count: w.hit_count,
+            })
+            .collect()
+    }
+
+    /// Resolves one watch-expression reference to the concrete RTL
+    /// path used for interning: the symbol table's generator-variable
+    /// mapping first, then the instance-relative path, then the bare
+    /// name — preferring the first candidate that currently carries a
+    /// value.
+    fn watch_ref_path(&self, instance: Option<&str>, name: &str) -> String {
+        if let Some(inst) = instance {
+            if let Ok(Some(iid)) = self.symbols.instance_by_name(inst) {
+                if let Ok(Some(rtl)) = self.symbols.resolve_instance_variable(iid, name) {
+                    if self.sim.get_value(&rtl).is_some() {
+                        return rtl;
+                    }
+                }
+            }
+            let scoped = format!("{inst}.{name}");
+            if self.sim.get_value(&scoped).is_some() {
+                return scoped;
+            }
+        }
+        name.to_owned()
+    }
+
+    /// Evaluates a watch expression through its interned references,
+    /// with dynamic resolution as the fallback.
+    fn eval_watch(&self, watch: &Watch) -> Result<Bits, DebugError> {
+        let sim = &self.sim;
+        watch
+            .expr
+            .eval(&|name: &str| {
+                if let Some(r) = watch.refs.iter().find(|r| r.name == name) {
+                    if let Some(id) = r.id {
+                        if let Some(v) = sim.get_value_by_id(id) {
+                            return Some(v);
+                        }
+                    }
+                    if let Some(v) = sim.get_value(&r.path) {
+                        return Some(v);
+                    }
+                }
+                self.resolve_name(watch.instance.as_deref(), name)
+            })
+            .map_err(DebugError::from)
+    }
+
+    /// Re-evaluates every watchpoint against the post-edge state and
+    /// returns the ones whose value changed, updating baselines and
+    /// hit counts. Evaluation errors are recorded once per watchpoint
+    /// in [`Runtime::diagnostics`], not raised.
+    ///
+    /// This sits on the continue hot loop (once per clock edge), so it
+    /// must not allocate when nothing fires: the map is temporarily
+    /// moved out of `self` (O(1), no allocation) to iterate it mutably
+    /// while evaluating through `&self`.
+    fn check_watchpoints(&mut self) -> Vec<WatchHit> {
+        if self.watchpoints.is_empty() {
+            return Vec::new();
+        }
+        let mut watchpoints = std::mem::take(&mut self.watchpoints);
+        let mut hits = Vec::new();
+        for (id, watch) in watchpoints.iter_mut() {
+            match self.eval_watch(watch) {
+                Ok(value) => {
+                    if value != watch.last {
+                        hits.push(WatchHit {
+                            id: *id,
+                            owner: watch.owner,
+                            expr: watch.expr_text.clone(),
+                            old: watch.last.clone(),
+                            new: value.clone(),
+                        });
+                        watch.last = value;
+                        watch.hit_count += 1;
+                    }
+                }
+                Err(e) => {
+                    if !watch.error_reported {
+                        watch.error_reported = true;
+                        self.diagnostics
+                            .push(format!("watchpoint {id} ({}): {e}", watch.expr_text));
+                    }
+                }
+            }
+        }
+        self.watchpoints = watchpoints;
+        hits
     }
 
     /// Resolves a name in an instance context: scoped locals are the
@@ -440,18 +839,26 @@ impl<S: SimControl> Runtime<S> {
     }
 
     /// Evaluates one group; returns frames for every matching
-    /// breakpoint. `only_inserted` restricts to user breakpoints
-    /// (continue semantics); stepping considers every statement.
-    fn eval_group(&mut self, group_index: usize, only_inserted: bool) -> Vec<Frame> {
+    /// breakpoint plus the owning sessions whose insertions matched.
+    /// `only_inserted` restricts to user breakpoints (continue
+    /// semantics); stepping considers every statement and ignores user
+    /// conditions (a step stops at the next *active* statement
+    /// regardless of which sessions instrumented it).
+    fn eval_group(
+        &mut self,
+        group_index: usize,
+        only_inserted: bool,
+    ) -> (Vec<Frame>, Vec<SessionId>) {
         let group = &self.scheduler.groups()[group_index];
         let bp_ids = group.bp_ids.clone();
         let mut hits = Vec::new();
+        let mut sessions: Vec<SessionId> = Vec::new();
         for bp_id in bp_ids {
             let Some(st) = self.static_bps.get(&bp_id) else {
                 continue;
             };
-            let inserted = self.inserted.get(&bp_id);
-            if only_inserted && inserted.is_none() {
+            let owners = self.inserted.get(&bp_id);
+            if only_inserted && owners.is_none() {
                 continue;
             }
             // Borrow fields disjointly so the per-cycle path allocates
@@ -469,26 +876,57 @@ impl<S: SimControl> Runtime<S> {
                 Some(Ok(v)) if v.is_truthy() => {}
                 Some(Ok(_)) => continue,
                 Some(Err(e)) => {
-                    self.diagnostics
-                        .push(format!("breakpoint {bp_id}: enable: {e}"));
+                    // Once per breakpoint, not once per cycle — an
+                    // unresolvable enable in a partial trace errors on
+                    // every evaluation of a long continue.
+                    if !st.enable_error_reported.get() {
+                        st.enable_error_reported.set(true);
+                        self.diagnostics
+                            .push(format!("breakpoint {bp_id}: enable: {e}"));
+                    }
                     continue;
                 }
             }
-            // User condition (§3.2 step 2). Names were interned at
-            // insert time.
-            let cond_result = inserted.map(|ins| (ins.condition.as_ref(), &ins.cond_lookups));
-            let cond_result = cond_result.and_then(|(cond, lookups)| {
-                cond.map(|cond| {
-                    cond.eval(&|name: &str| resolve_name_fast(sim, prefix, lookups, name))
-                })
-            });
-            match cond_result {
-                None => {}
-                Some(Ok(v)) if v.is_truthy() => {}
-                Some(Ok(_)) => continue,
-                Some(Err(e)) => {
-                    self.diagnostics
-                        .push(format!("breakpoint {bp_id}: condition: {e}"));
+            // User conditions (§3.2 step 2), one per owning session.
+            // The breakpoint stops when *any* session's condition
+            // holds; the matching owners are reported on the stop
+            // event and are the only ones whose hit counts move.
+            // Names were interned at insert time.
+            let mut matched_owners: Vec<SessionId> = Vec::new();
+            if only_inserted {
+                let mut erroring: Vec<(SessionId, String)> = Vec::new();
+                for (owner, ins) in owners.expect("checked above") {
+                    match &ins.condition {
+                        None => matched_owners.push(*owner),
+                        Some(cond) => match cond.eval(&|name: &str| {
+                            resolve_name_fast(sim, prefix, &ins.cond_lookups, name)
+                        }) {
+                            Ok(v) if v.is_truthy() => matched_owners.push(*owner),
+                            Ok(_) => {}
+                            Err(e) => {
+                                if !ins.cond_error_reported {
+                                    erroring.push((
+                                        *owner,
+                                        format!("breakpoint {bp_id}: condition: {e}"),
+                                    ));
+                                }
+                            }
+                        },
+                    }
+                }
+                // Record each broken condition once, not once per
+                // simulated cycle (a continue can span millions).
+                for (owner, message) in erroring {
+                    if let Some(ins) = self
+                        .inserted
+                        .get_mut(&bp_id)
+                        .and_then(|owners| owners.get_mut(&owner))
+                    {
+                        ins.cond_error_reported = true;
+                        self.diagnostics.push(message);
+                    }
+                }
+                if matched_owners.is_empty() {
                     continue;
                 }
             }
@@ -499,14 +937,21 @@ impl<S: SimControl> Runtime<S> {
                 // when a frame was actually built (no counted hit
                 // without a stop).
                 if only_inserted {
-                    if let Some(ins) = self.inserted.get_mut(&bp_id) {
-                        ins.hit_count += 1;
+                    if let Some(owners) = self.inserted.get_mut(&bp_id) {
+                        for owner in &matched_owners {
+                            if let Some(ins) = owners.get_mut(owner) {
+                                ins.hit_count += 1;
+                            }
+                        }
                     }
+                    sessions.extend(matched_owners);
                 }
                 hits.push(frame);
             }
         }
-        hits
+        sessions.sort_unstable();
+        sessions.dedup();
+        (hits, sessions)
     }
 
     /// Reconstructs the frame for a breakpoint (§3.2 step 3).
@@ -548,7 +993,12 @@ impl<S: SimControl> Runtime<S> {
         })
     }
 
-    fn stop(&mut self, group_index: usize, hits: Vec<Frame>) -> RunOutcome {
+    fn stop(
+        &mut self,
+        group_index: usize,
+        hits: Vec<Frame>,
+        sessions: Vec<SessionId>,
+    ) -> RunOutcome {
         self.scheduler.stop_at(group_index);
         let g = &self.scheduler.groups()[group_index];
         let event = StopEvent {
@@ -557,21 +1007,40 @@ impl<S: SimControl> Runtime<S> {
             line: g.line,
             col: g.col,
             hits,
+            sessions,
+            watch_hits: Vec::new(),
+        };
+        self.stopped = Some(event.clone());
+        RunOutcome::Stopped(event)
+    }
+
+    /// Builds and records the stop for a set of watchpoint firings.
+    fn stop_watch(&mut self, watch_hits: Vec<WatchHit>) -> RunOutcome {
+        let mut sessions: Vec<SessionId> = watch_hits.iter().map(|h| h.owner).collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        let event = StopEvent {
+            time: self.sim.time(),
+            filename: String::new(),
+            line: 0,
+            col: 0,
+            hits: Vec::new(),
+            sessions,
+            watch_hits,
         };
         self.stopped = Some(event.clone());
         RunOutcome::Stopped(event)
     }
 
     /// Whether a group contains at least one inserted breakpoint
-    /// (fast skip in continue mode).
+    /// (O(1) fast skip in continue mode, maintained by the scheduler's
+    /// per-group insertion counts).
     fn group_has_inserted(&self, group_index: usize) -> bool {
-        self.scheduler.groups()[group_index]
-            .bp_ids
-            .iter()
-            .any(|id| self.inserted.contains_key(id))
+        self.scheduler.group_has_insertions(group_index)
     }
 
-    /// Resumes execution until an inserted breakpoint hits or
+    /// Resumes execution until any session's inserted breakpoint hits,
+    /// any session's watchpoint value changes across a clock edge, or
     /// `max_cycles` clock cycles elapse (safety net; `None` runs until
     /// the backend ends — only sensible for replay).
     ///
@@ -589,9 +1058,9 @@ impl<S: SimControl> Runtime<S> {
                     if !self.group_has_inserted(gi) {
                         continue;
                     }
-                    let hits = self.eval_group(gi, true);
+                    let (hits, sessions) = self.eval_group(gi, true);
                     if !hits.is_empty() {
-                        return Ok(self.stop(gi, hits));
+                        return Ok(self.stop(gi, hits, sessions));
                     }
                     self.scheduler.stop_at(gi);
                 }
@@ -613,12 +1082,21 @@ impl<S: SimControl> Runtime<S> {
             cycles += 1;
             self.scheduler.reset_cycle();
             self.stopped = None;
+            // Watchpoints compare values across the edge that just
+            // happened — the "evaluation points" of §3 are rising
+            // clock edges, where register state is stable.
+            let watch_hits = self.check_watchpoints();
+            if !watch_hits.is_empty() {
+                return Ok(self.stop_watch(watch_hits));
+            }
         }
     }
 
     /// Steps to the next active source statement (any symbol-table
     /// breakpoint whose enable holds), crossing cycle boundaries as
-    /// needed, up to `max_cycles`.
+    /// needed, up to `max_cycles`. Stepping ignores user breakpoint
+    /// conditions — it visits every active statement, whoever
+    /// instrumented it.
     ///
     /// # Errors
     ///
@@ -627,9 +1105,9 @@ impl<S: SimControl> Runtime<S> {
         let mut cycles: u64 = 0;
         loop {
             for gi in self.scheduler.remaining_forward() {
-                let hits = self.eval_group(gi, false);
+                let (hits, sessions) = self.eval_group(gi, false);
                 if !hits.is_empty() {
-                    return Ok(self.stop(gi, hits));
+                    return Ok(self.stop(gi, hits, sessions));
                 }
                 self.scheduler.stop_at(gi);
             }
@@ -665,9 +1143,9 @@ impl<S: SimControl> Runtime<S> {
     pub fn reverse_step(&mut self) -> Result<RunOutcome, DebugError> {
         loop {
             for gi in self.scheduler.remaining_backward() {
-                let hits = self.eval_group(gi, false);
+                let (hits, sessions) = self.eval_group(gi, false);
                 if !hits.is_empty() {
-                    return Ok(self.stop(gi, hits));
+                    return Ok(self.stop(gi, hits, sessions));
                 }
                 self.scheduler.stop_at(gi);
             }

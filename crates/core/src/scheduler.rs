@@ -41,9 +41,20 @@ pub struct InsertedBreakpoint {
 }
 
 /// The precomputed group ordering plus the in-cycle cursor.
+///
+/// The scheduler also tracks how many user insertions (across all
+/// sessions) each group currently carries, so the continue-mode hot
+/// loop can skip uninstrumented groups in O(1) instead of scanning
+/// each group's breakpoint list. The runtime calls
+/// [`Scheduler::note_inserted`]/[`Scheduler::note_removed`] as
+/// sessions insert and remove breakpoints.
 #[derive(Debug, Default)]
 pub struct Scheduler {
     groups: Vec<Group>,
+    /// Breakpoint id → index of its group, for insertion bookkeeping.
+    group_index: std::collections::BTreeMap<i64, usize>,
+    /// Per-group count of live user insertions, summed over sessions.
+    insertions: Vec<usize>,
     /// Group index the runtime is currently stopped at, if any.
     current: Option<usize>,
 }
@@ -85,8 +96,17 @@ impl Scheduler {
                 }),
             }
         }
+        let mut group_index = std::collections::BTreeMap::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for id in &g.bp_ids {
+                group_index.insert(*id, gi);
+            }
+        }
+        let insertions = vec![0; groups.len()];
         Ok(Scheduler {
             groups,
+            group_index,
+            insertions,
             current: None,
         })
     }
@@ -94,6 +114,31 @@ impl Scheduler {
     /// All groups in absolute order.
     pub fn groups(&self) -> &[Group] {
         &self.groups
+    }
+
+    /// The group a breakpoint id belongs to, if any.
+    pub fn group_of(&self, bp_id: i64) -> Option<usize> {
+        self.group_index.get(&bp_id).copied()
+    }
+
+    /// Records one new session insertion of `bp_id`.
+    pub fn note_inserted(&mut self, bp_id: i64) {
+        if let Some(gi) = self.group_of(bp_id) {
+            self.insertions[gi] += 1;
+        }
+    }
+
+    /// Records the removal of one session insertion of `bp_id`.
+    pub fn note_removed(&mut self, bp_id: i64) {
+        if let Some(gi) = self.group_of(bp_id) {
+            self.insertions[gi] = self.insertions[gi].saturating_sub(1);
+        }
+    }
+
+    /// Whether any session currently has a breakpoint inserted in this
+    /// group (the continue-mode fast skip).
+    pub fn group_has_insertions(&self, group_index: usize) -> bool {
+        self.insertions[group_index] > 0
     }
 
     /// The group index currently stopped at.
@@ -217,6 +262,26 @@ mod tests {
         assert_eq!(g[1].bp_ids, vec![3, 1], "instance order within group");
         assert_eq!((g[2].filename.as_str(), g[2].line), ("b.rs", 2));
         assert_eq!(g[2].bp_ids, vec![0]);
+    }
+
+    #[test]
+    fn insertion_counts_track_sessions() {
+        let mut s = Scheduler::from_symbols(&symbols()).unwrap();
+        assert!(!s.group_has_insertions(0));
+        assert_eq!(s.group_of(1), Some(1));
+        assert_eq!(s.group_of(99), None);
+        // Two sessions insert the same breakpoint: the group stays
+        // instrumented until both remove.
+        s.note_inserted(1);
+        s.note_inserted(1);
+        assert!(s.group_has_insertions(1));
+        s.note_removed(1);
+        assert!(s.group_has_insertions(1), "one session still holds it");
+        s.note_removed(1);
+        assert!(!s.group_has_insertions(1));
+        // Removing below zero is a no-op, not a panic.
+        s.note_removed(1);
+        assert!(!s.group_has_insertions(1));
     }
 
     #[test]

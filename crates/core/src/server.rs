@@ -20,6 +20,7 @@ use std::net::TcpStream;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rtl_sim::SimControl;
 
+use crate::outbound::{outbound_queue, DEFAULT_OUTBOUND_CAPACITY};
 use crate::protocol::decode_line;
 use crate::runtime::Runtime;
 use crate::service::DebugService;
@@ -113,6 +114,14 @@ impl Transport for TcpTransport {
 /// Serves one transport as the only session of a freshly spawned
 /// [`DebugService`], until detach or disconnect. Returns the runtime
 /// so the caller can keep driving (or inspect) the simulation.
+///
+/// The transport's session runs as [`crate::LOCAL_SESSION`] — in the
+/// embedded single-debugger case the connected frontend *is* the
+/// local user, so breakpoints and watchpoints inserted through the
+/// direct [`Runtime`] API before serving are visible to (and
+/// removable by) the debugger rather than becoming unlistable ghost
+/// stops. Like any session's, that state is cleared when the session
+/// ends.
 pub fn serve<S, T>(runtime: Runtime<S>, transport: &mut T) -> Runtime<S>
 where
     S: SimControl + Send + 'static,
@@ -120,9 +129,9 @@ where
 {
     let service = DebugService::spawn(runtime);
     let handle = service.handle();
-    let (out_tx, out_rx) = unbounded();
+    let (out_tx, out_rx) = outbound_queue(DEFAULT_OUTBOUND_CAPACITY);
     let session = handle
-        .open_session(out_tx)
+        .open_session_as(out_tx, crate::LOCAL_SESSION)
         .expect("freshly spawned service accepts sessions");
     'session: while let Some(line) = transport.recv() {
         if line.is_empty() {
@@ -142,7 +151,7 @@ where
         // out.
         loop {
             match out_rx.recv() {
-                Ok(out) => {
+                Some(out) => {
                     let (wire, is_reply, last) = out.to_line(session);
                     if transport.send(&wire).is_err() || last {
                         break 'session;
@@ -151,7 +160,7 @@ where
                         break;
                     }
                 }
-                Err(_) => break 'session,
+                None => break 'session,
             }
         }
     }

@@ -20,9 +20,28 @@
 //! * [`Request::Batch`] executes many requests in one command, so
 //!   scripted frontends pay one round-trip per script, not per poke.
 //!
-//! When one session's `continue`/`step` stops the simulation at a
-//! breakpoint, every *other* session receives the stop event as an
-//! `event` message — attached viewers stay in sync without polling.
+//! # Session-scoped debug state
+//!
+//! Breakpoints and watchpoints are owned by the session that inserted
+//! them: `list` shows only the caller's, `remove` removes only the
+//! caller's, and closing a session (detach *or* disconnect) clears its
+//! state so a vanished debugger cannot keep stopping everyone else's
+//! simulation. Execution still stops for the union of every session's
+//! insertions — a stop is a global fact about the one shared
+//! simulation — and the stop event names the sessions whose
+//! breakpoints or watchpoints actually matched.
+//!
+//! # Broadcasts, subscriptions, and backpressure
+//!
+//! When one session's `continue`/`step` stops the simulation, every
+//! *other* session whose [`Subscription`] matches receives the stop
+//! event as an `event` message — attached viewers stay in sync without
+//! polling, and special-purpose frontends can
+//! [`Request::Subscribe`] to just the files, instances, or event
+//! kinds they render. Outbound traffic flows through a bounded
+//! [`crate::outbound::OutboundQueue`] per session: a slow consumer has
+//! its oldest undelivered events dropped (never replies) and is told
+//! via an [`Outbound::Lagged`] message how many it missed.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -31,68 +50,68 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use microjson::Json;
 use rtl_sim::{HierNode, SimControl};
 
-use crate::protocol::{
-    decode_line, encode_response_line, encode_stop_broadcast, outcome_response, Request, Response,
-    SessionId,
-};
-use crate::runtime::{DebugError, Runtime, StopEvent};
+use crate::outbound::{outbound_queue, OutboundQueue, OutboundReceiver, DEFAULT_OUTBOUND_CAPACITY};
+use crate::protocol::{decode_line, outcome_response, Request, Response, SessionId};
+use crate::runtime::{DebugError, Runtime, StopEvent, LOCAL_SESSION};
 
-/// One message for a session's outbound stream, in delivery order.
-#[derive(Debug, Clone)]
-pub enum Outbound {
-    /// Reply to one request. `last` marks the session's final reply
-    /// (the request detached): the writer should flush it and close.
-    Reply {
-        /// Echo of the request's `seq`, if it carried one.
-        seq: Option<u64>,
-        /// The response payload.
-        response: Response,
-        /// Whether this reply ends the session.
-        last: bool,
-    },
-    /// Another session stopped the simulation at a breakpoint.
-    Stopped {
-        /// The session whose request caused the stop.
-        origin: SessionId,
-        /// The stop event, identical to the origin's reply payload.
-        event: StopEvent,
-    },
+pub use crate::outbound::Outbound;
+
+/// Which stop broadcasts a session wants. Every filter is a list;
+/// an empty list is a wildcard. A stop event is delivered when all
+/// three filters match:
+///
+/// * `kinds`: the event's kind — `"breakpoint"` or `"watchpoint"`.
+/// * `files`: the stop's source file. Watchpoint stops carry no file,
+///   so a non-empty file filter only ever matches breakpoint stops.
+/// * `instances`: any hit frame's instance path. Watchpoint stops
+///   carry no frames, so the same caveat applies.
+///
+/// The default subscription (all lists empty) delivers everything —
+/// the pre-subscription behavior.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subscription {
+    /// Source files of interest.
+    pub files: Vec<String>,
+    /// Instance paths of interest.
+    pub instances: Vec<String>,
+    /// Event kinds of interest.
+    pub kinds: Vec<String>,
 }
 
-impl Outbound {
-    /// Encodes this message as its wire line for `session`. Returns
-    /// `(line, is_reply, last)`: whether the line answers a request
-    /// (vs an async event), and whether it ends the session. The one
-    /// place outbound framing lives — the TCP writer, the in-process
-    /// transport, and the `serve` pump all call it.
-    pub fn to_line(&self, session: SessionId) -> (String, bool, bool) {
-        match self {
-            Outbound::Reply {
-                seq,
-                response,
-                last,
-            } => (
-                encode_response_line(response, *seq, session).to_string(),
-                true,
-                *last,
-            ),
-            Outbound::Stopped { origin, event } => (
-                encode_stop_broadcast(*origin, event).to_string(),
-                false,
-                false,
-            ),
-        }
+impl Subscription {
+    /// Whether a stop event passes this session's filters.
+    pub fn matches(&self, event: &StopEvent) -> bool {
+        let kind = event.kind();
+        (self.kinds.is_empty() || self.kinds.iter().any(|k| k == kind))
+            && (self.files.is_empty()
+                || (!event.filename.is_empty() && self.files.contains(&event.filename)))
+            && (self.instances.is_empty()
+                || event
+                    .hits
+                    .iter()
+                    .any(|h| self.instances.contains(&h.instance)))
     }
+}
+
+/// Per-session state the service thread keeps: where to deliver
+/// outbound messages and which broadcasts the session subscribed to.
+#[derive(Debug)]
+struct SessionState {
+    out: OutboundQueue,
+    sub: Subscription,
 }
 
 enum Command {
     Open {
-        out: Sender<Outbound>,
+        out: OutboundQueue,
         reply: Sender<SessionId>,
+        /// Claim a specific id (the [`crate::serve`] wrapper runs its
+        /// single session as [`LOCAL_SESSION`]); `None` auto-assigns.
+        id: Option<SessionId>,
     },
     Close {
         session: SessionId,
@@ -120,14 +139,30 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    /// Registers a session; its replies and broadcasts arrive on
-    /// `out`. Returns `None` when the service has shut down.
-    pub fn open_session(&self, out: Sender<Outbound>) -> Option<SessionId> {
+    /// Registers a session; its replies and broadcasts arrive on the
+    /// paired [`OutboundReceiver`] of `out` (create the pair with
+    /// [`crate::outbound::outbound_queue`]). Returns `None` when the
+    /// service has shut down.
+    pub fn open_session(&self, out: OutboundQueue) -> Option<SessionId> {
+        self.open_session_inner(out, None)
+    }
+
+    /// Registers a session claiming a specific id when it is free
+    /// (falls back to auto-assignment when taken). Used by the
+    /// single-session [`crate::serve`] wrapper to run its transport as
+    /// [`LOCAL_SESSION`], so debug state inserted through the direct
+    /// `Runtime` API before serving stays visible to the debugger.
+    pub(crate) fn open_session_as(&self, out: OutboundQueue, id: SessionId) -> Option<SessionId> {
+        self.open_session_inner(out, Some(id))
+    }
+
+    fn open_session_inner(&self, out: OutboundQueue, id: Option<SessionId>) -> Option<SessionId> {
         let (reply_tx, reply_rx) = unbounded();
         self.cmd
             .send(Command::Open {
                 out,
                 reply: reply_tx,
+                id,
             })
             .ok()?;
         reply_rx.recv().ok()
@@ -168,8 +203,40 @@ impl ServiceHandle {
     /// it — the zero-config path for a [`crate::DebugClient`] living
     /// in the simulator's own process. Returns `None` when the service
     /// has shut down.
+    ///
+    /// ```
+    /// use hgdb::{DebugClient, DebugService, Runtime};
+    /// use rtl_sim::Simulator;
+    ///
+    /// // Build a one-counter design and serve it.
+    /// let mut cb = hgf::CircuitBuilder::new();
+    /// cb.module("top", |m| {
+    ///     let out = m.output("out", 8);
+    ///     let count = m.reg("count", 8, Some(0));
+    ///     m.assign(&count, count.sig() + m.lit(1, 8));
+    ///     m.assign(&out, count.sig());
+    /// });
+    /// let circuit = cb.finish("top")?;
+    /// let mut state = hgf_ir::CircuitState::new(circuit);
+    /// let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+    /// let symbols = symtab::from_debug_table(&state.circuit, &table).unwrap();
+    /// let sim = Simulator::new(&state.circuit).unwrap();
+    /// let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    ///
+    /// // Any number of in-process clients can connect concurrently;
+    /// // each gets its own session id and its own breakpoint view.
+    /// let mut a = DebugClient::new(service.handle().connect().unwrap());
+    /// let mut b = DebugClient::new(service.handle().connect().unwrap());
+    /// assert_eq!(a.time().unwrap(), 0);
+    /// assert_eq!(b.time().unwrap(), 0);
+    /// assert_ne!(a.session_id(), b.session_id());
+    /// a.detach().unwrap();
+    /// b.detach().unwrap();
+    /// let _runtime = service.shutdown();
+    /// # Ok::<(), hgf_ir::IrError>(())
+    /// ```
     pub fn connect(&self) -> Option<ServiceTransport> {
-        let (out_tx, out_rx) = unbounded();
+        let (out_tx, out_rx) = outbound_queue(DEFAULT_OUTBOUND_CAPACITY);
         let session = self.open_session(out_tx)?;
         Some(ServiceTransport {
             handle: self.clone(),
@@ -187,7 +254,7 @@ impl ServiceHandle {
 pub struct ServiceTransport {
     handle: ServiceHandle,
     session: SessionId,
-    out_rx: Receiver<Outbound>,
+    out_rx: OutboundReceiver,
     closed: bool,
 }
 
@@ -204,14 +271,14 @@ impl crate::server::Transport for ServiceTransport {
             return None;
         }
         match self.out_rx.recv() {
-            Ok(out) => {
+            Some(out) => {
                 let (line, _is_reply, last) = out.to_line(self.session);
                 if last {
                     self.closed = true;
                 }
                 Some(line)
             }
-            Err(_) => None,
+            None => None,
         }
     }
 
@@ -285,19 +352,36 @@ impl<S: SimControl> Drop for DebugService<S> {
     }
 }
 
-fn service_loop<S: SimControl>(mut runtime: Runtime<S>, cmd_rx: &Receiver<Command>) -> Runtime<S> {
-    let mut sessions: BTreeMap<SessionId, Sender<Outbound>> = BTreeMap::new();
+fn service_loop<S: SimControl>(
+    mut runtime: Runtime<S>,
+    cmd_rx: &crossbeam::channel::Receiver<Command>,
+) -> Runtime<S> {
+    let mut sessions: BTreeMap<SessionId, SessionState> = BTreeMap::new();
     let mut next_session: SessionId = 1;
     while let Ok(cmd) = cmd_rx.recv() {
         match cmd {
-            Command::Open { out, reply } => {
-                let id = next_session;
-                next_session += 1;
-                sessions.insert(id, out);
+            Command::Open { out, reply, id } => {
+                let id = match id {
+                    Some(requested) if !sessions.contains_key(&requested) => requested,
+                    _ => {
+                        let auto = next_session;
+                        next_session += 1;
+                        auto
+                    }
+                };
+                sessions.insert(
+                    id,
+                    SessionState {
+                        out,
+                        sub: Subscription::default(),
+                    },
+                );
                 let _ = reply.send(id);
             }
             Command::Close { session } => {
-                sessions.remove(&session);
+                if sessions.remove(&session).is_some() {
+                    runtime.clear_session(session);
+                }
             }
             Command::Execute {
                 session,
@@ -305,26 +389,53 @@ fn service_loop<S: SimControl>(mut runtime: Runtime<S>, cmd_rx: &Receiver<Comman
                 request,
             } => {
                 let mut stops = Vec::new();
-                let (response, done) = execute(&mut runtime, request, &mut stops);
+                let mut sub_update = None;
+                let (response, done) =
+                    execute(&mut runtime, session, request, &mut stops, &mut sub_update);
+                if let (Some(sub), Some(state)) = (sub_update, sessions.get_mut(&session)) {
+                    state.sub = sub;
+                }
+                // A failed push means the session's transport is gone
+                // or its queue poisoned itself (reply-flood ceiling):
+                // tear the session down so its debug state and queue
+                // do not outlive a dead or broken peer.
+                let mut dead: Vec<SessionId> = Vec::new();
                 for event in stops {
-                    for (id, out) in &sessions {
-                        if *id != session {
-                            let _ = out.send(Outbound::Stopped {
-                                origin: session,
-                                event: event.clone(),
-                            });
+                    for (id, state) in &sessions {
+                        if *id != session
+                            && state.sub.matches(&event)
+                            && state
+                                .out
+                                .push_event(Outbound::Stopped {
+                                    origin: session,
+                                    event: event.clone(),
+                                })
+                                .is_err()
+                        {
+                            dead.push(*id);
                         }
                     }
                 }
-                if let Some(out) = sessions.get(&session) {
-                    let _ = out.send(Outbound::Reply {
-                        seq,
-                        response,
-                        last: done,
-                    });
+                if let Some(state) = sessions.get(&session) {
+                    if state
+                        .out
+                        .push_reply(Outbound::Reply {
+                            seq,
+                            response,
+                            last: done,
+                        })
+                        .is_err()
+                    {
+                        dead.push(session);
+                    }
                 }
                 if done {
-                    sessions.remove(&session);
+                    dead.push(session);
+                }
+                for id in dead {
+                    if sessions.remove(&id).is_some() {
+                        runtime.clear_session(id);
+                    }
                 }
             }
             Command::Reject {
@@ -332,12 +443,19 @@ fn service_loop<S: SimControl>(mut runtime: Runtime<S>, cmd_rx: &Receiver<Comman
                 seq,
                 message,
             } => {
-                if let Some(out) = sessions.get(&session) {
-                    let _ = out.send(Outbound::Reply {
-                        seq,
-                        response: Response::Error { message },
-                        last: false,
-                    });
+                if let Some(state) = sessions.get(&session) {
+                    if state
+                        .out
+                        .push_reply(Outbound::Reply {
+                            seq,
+                            response: Response::Error { message },
+                            last: false,
+                        })
+                        .is_err()
+                    {
+                        sessions.remove(&session);
+                        runtime.clear_session(session);
+                    }
                 }
             }
             Command::Shutdown => break,
@@ -346,16 +464,19 @@ fn service_loop<S: SimControl>(mut runtime: Runtime<S>, cmd_rx: &Receiver<Comman
     runtime
 }
 
-/// Executes one request (batches recurse), additionally collecting
-/// the stop events that should be broadcast to other sessions: only
-/// stops produced by simulation-*advancing* requests count. A
-/// `frames` re-query also answers `Response::Stopped`, but nothing
-/// changed — rebroadcasting it would send every viewer a phantom stop
-/// misattributed to the querying session.
+/// Executes one request (batches recurse) on behalf of `session`,
+/// additionally collecting the stop events that should be broadcast to
+/// other sessions — only stops produced by simulation-*advancing*
+/// requests count (a `frames` re-query also answers
+/// `Response::Stopped`, but nothing changed; rebroadcasting it would
+/// send every viewer a phantom stop misattributed to the querying
+/// session) — and any subscription replacement the request carried.
 fn execute<S: SimControl>(
     runtime: &mut Runtime<S>,
+    session: SessionId,
     request: Request,
     stops: &mut Vec<StopEvent>,
+    sub_update: &mut Option<Subscription>,
 ) -> (Response, bool) {
     match request {
         Request::Batch { requests } => {
@@ -368,18 +489,30 @@ fn execute<S: SimControl>(
                     });
                     continue;
                 }
-                let (resp, d) = execute(runtime, req, stops);
+                let (resp, d) = execute(runtime, session, req, stops, sub_update);
                 done |= d;
                 responses.push(resp);
             }
             (Response::Batch { responses }, done)
+        }
+        Request::Subscribe {
+            files,
+            instances,
+            kinds,
+        } => {
+            *sub_update = Some(Subscription {
+                files,
+                instances,
+                kinds,
+            });
+            (Response::Ok, false)
         }
         other => {
             let advancing = matches!(
                 other,
                 Request::Continue { .. } | Request::Step { .. } | Request::ReverseStep
             );
-            let (resp, done) = handle_request(runtime, other);
+            let (resp, done) = handle_request(runtime, session, other);
             if advancing {
                 if let Response::Stopped { event } = &resp {
                     stops.push(event.clone());
@@ -410,17 +543,21 @@ fn error_response(e: DebugError) -> Response {
     }
 }
 
-/// Executes one request against the runtime — including batches, which
-/// run their sub-requests in order and collect the responses. Returns
-/// the response and whether the session ends (a detach was executed).
+/// Executes one request against the runtime as [`LOCAL_SESSION`] —
+/// including batches, which run their sub-requests in order and
+/// collect the responses. Returns the response and whether the
+/// session ends (a detach was executed). Subscription requests are
+/// acknowledged but have no effect outside a service session.
 pub fn dispatch<S: SimControl>(runtime: &mut Runtime<S>, request: Request) -> (Response, bool) {
-    execute(runtime, request, &mut Vec::new())
+    execute(runtime, LOCAL_SESSION, request, &mut Vec::new(), &mut None)
 }
 
-/// Handles one non-batch request against the runtime. Returns the
-/// response and whether the session should end.
+/// Handles one non-batch request against the runtime on behalf of
+/// `session` (which scopes breakpoint/watchpoint ownership). Returns
+/// the response and whether the session should end.
 pub fn handle_request<S: SimControl>(
     runtime: &mut Runtime<S>,
+    session: SessionId,
     request: Request,
 ) -> (Response, bool) {
     let resp = match request {
@@ -429,17 +566,34 @@ pub fn handle_request<S: SimControl>(
             line,
             col,
             condition,
-        } => match runtime.insert_breakpoint(&filename, line, col, condition.as_deref()) {
-            Ok(ids) => Response::Inserted { ids },
-            Err(e) => error_response(e),
-        },
-        Request::RemoveBreakpoint { id } => match runtime.remove_breakpoint(id) {
+        } => {
+            match runtime.insert_breakpoint_for(session, &filename, line, col, condition.as_deref())
+            {
+                Ok(ids) => Response::Inserted { ids },
+                Err(e) => error_response(e),
+            }
+        }
+        Request::RemoveBreakpoint { id } => match runtime.remove_breakpoint_for(session, id) {
             Ok(()) => Response::Ok,
             Err(e) => error_response(e),
         },
         Request::ListBreakpoints => Response::Breakpoints {
-            items: runtime.breakpoints(),
+            items: runtime.breakpoints_for(session),
         },
+        Request::InsertWatchpoint { instance, expr } => {
+            match runtime.insert_watchpoint_for(session, instance.as_deref(), &expr) {
+                Ok(id) => Response::WatchpointInserted { id },
+                Err(e) => error_response(e),
+            }
+        }
+        Request::RemoveWatchpoint { id } => match runtime.remove_watchpoint_for(session, id) {
+            Ok(()) => Response::Ok,
+            Err(e) => error_response(e),
+        },
+        Request::ListWatchpoints => Response::Watchpoints {
+            items: runtime.watchpoints_for(session),
+        },
+        Request::Subscribe { .. } => Response::Ok,
         Request::Continue { max_cycles } => match runtime.continue_run(max_cycles) {
             Ok(outcome) => outcome_response(outcome),
             Err(e) => error_response(e),
@@ -490,7 +644,9 @@ pub fn handle_request<S: SimControl>(
             time: runtime.time(),
         },
         Request::Detach => return (Response::Ok, true),
-        Request::Batch { .. } => return dispatch(runtime, request),
+        Request::Batch { .. } => {
+            return execute(runtime, session, request, &mut Vec::new(), &mut None)
+        }
     };
     (resp, false)
 }
@@ -582,13 +738,13 @@ fn client_session(handle: &ServiceHandle, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (out_tx, out_rx) = unbounded();
+    let (out_tx, out_rx) = outbound_queue(DEFAULT_OUTBOUND_CAPACITY);
     let Some(session) = handle.open_session(out_tx) else {
         return;
     };
     let writer = std::thread::spawn(move || {
         let mut w = write_half;
-        while let Ok(out) = out_rx.recv() {
+        while let Some(out) = out_rx.recv() {
             let (mut line, _is_reply, last) = out.to_line(session);
             line.push('\n');
             let ok = w

@@ -3,7 +3,7 @@
 //! Expressions appear as the right-hand side of nodes and connects, as
 //! `when` conditions, and — crucially for the debugger — as breakpoint
 //! *enable conditions* (§3.1 of the paper). The textual form produced by
-//! [`Expr::to_string`] is stored in the symbol table's `enable` column
+//! `Expr::to_string` (via its `Display` impl) is stored in the symbol table's `enable` column
 //! and re-parsed by the debugger's expression evaluator.
 
 use std::collections::BTreeSet;

@@ -5,7 +5,7 @@
 //! (§3.5). `serde_json` is outside this project's allowed dependency set,
 //! so this crate provides the small subset of JSON actually needed: a
 //! [`Json`] value tree, a strict recursive-descent [`parse`] function and
-//! a compact writer ([`Json::to_string`] via `Display`).
+//! a compact writer (`Json::to_string` via `Display`).
 //!
 //! Object key order is preserved (insertion order) so that encoded
 //! messages are deterministic and testable.

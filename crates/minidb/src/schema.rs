@@ -145,7 +145,7 @@ impl TableSchema {
         &self.indices
     }
 
-    /// Resolved foreign keys; only valid after [`crate::Table::new`]
+    /// Resolved foreign keys; only valid after `Table::new`
     /// validation.
     pub fn foreign_keys(&self) -> Vec<ForeignKey> {
         self.foreign_keys

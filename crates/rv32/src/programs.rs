@@ -70,8 +70,8 @@ pub fn multiply() -> Program {
     }
 }
 
-/// `mm`: 6x6 matrix multiply C = A*B with A[i][j] = i+j, B[i][j] =
-/// i^j (xor), checksum = sum of C.
+/// `mm`: 6x6 matrix multiply C = A*B with `A[i][j] = i+j`,
+/// `B[i][j] = i^j` (xor), checksum = sum of C.
 pub fn mm() -> Program {
     Program {
         name: "mm",
@@ -180,7 +180,7 @@ pub fn matmul_expected(row_start: u32, row_end: u32, n: u32) -> u32 {
     sum
 }
 
-/// `vvadd`: c[i] = a[i] + b[i] over 64 elements; checksum = sum(c).
+/// `vvadd`: `c[i] = a[i] + b[i]` over 64 elements; checksum = sum(c).
 pub fn vvadd() -> Program {
     Program {
         name: "vvadd",
@@ -200,7 +200,7 @@ pub fn mt_vvadd() -> Program {
     }
 }
 
-/// Row-range vvadd kernel: a[i] = 3i+1, b[i] = i*i.
+/// Row-range vvadd kernel: `a[i] = 3i+1`, `b[i] = i*i`.
 pub fn vvadd_source(start: u32, end: u32) -> String {
     format!(
         "\
@@ -242,7 +242,7 @@ pub fn vvadd_expected(start: u32, end: u32) -> u32 {
 
 /// `qsort`: in-place sort of 32 pseudo-random elements. The kernel is
 /// an insertion sort (same compare/swap memory behaviour class at
-/// this size); checksum = sum(arr[i] * (i+1)).
+/// this size); checksum = `sum(arr[i] * (i+1))`.
 pub fn qsort() -> Program {
     let n = 32u32;
     // LCG values mod 2^16 (positive, so signed compares are safe).

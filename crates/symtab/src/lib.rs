@@ -23,7 +23,7 @@ mod build;
 mod json;
 
 pub use build::from_debug_table;
-pub use json::{from_json, to_json};
+pub use json::{from_json, to_json, LoadError};
 
 use minidb::{ColumnType, Database, DbError, Query, TableSchema, Value};
 

@@ -3,7 +3,7 @@
 //! The symbol table only knows the generated IP's internal hierarchy;
 //! the trace may wrap it in arbitrary testbench scopes
 //! (`TB.dut.core…`). §3.3: "we can use instance names from the symbol
-//! [table] to figure out the actual hierarchy mapping, using common
+//! \[table\] to figure out the actual hierarchy mapping, using common
 //! substring matching" — and §3: "the relative hierarchy does not
 //! change", so a suffix/segment alignment is sound.
 

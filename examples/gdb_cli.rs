@@ -9,7 +9,8 @@
 //! Scripted self-demo:  `cargo run --example gdb_cli -- --demo`
 //! Same over a socket:  `cargo run --example gdb_cli -- --demo --tcp`
 //!
-//! Commands: b FILE:LINE [COND] | c | s | rs | p EXPR | info | frames | q
+//! Commands: b FILE:LINE [COND] | w EXPR | iw | dw ID | c | s | rs |
+//! p EXPR | sub [KIND...] | info | frames | q
 
 use std::io::{BufRead, Write};
 use std::thread;
@@ -44,6 +45,19 @@ fn print_response(resp: &Json) {
     match resp["type"].as_str() {
         Some("stopped") => {
             let e = &resp["event"];
+            if e["reason"].as_str() == Some("watchpoint") {
+                println!("stopped (cycle {})", e["time"].as_i64().unwrap_or(0));
+                for hit in e["watch_hits"].as_array().unwrap_or(&[]) {
+                    println!(
+                        "  watchpoint #{} {}: {} -> {}",
+                        hit["id"].as_i64().unwrap_or(0),
+                        hit["expr"].as_str().unwrap_or("?"),
+                        hit["old"]["decimal"].as_str().unwrap_or("?"),
+                        hit["new"]["decimal"].as_str().unwrap_or("?")
+                    );
+                }
+                return;
+            }
             println!(
                 "stopped at {}:{} (cycle {})",
                 e["filename"].as_str().unwrap_or("?"),
@@ -78,6 +92,20 @@ fn print_response(resp: &Json) {
                 );
             }
         }
+        Some("watchpoint_inserted") => {
+            println!("watchpoint #{}", resp["id"].as_i64().unwrap_or(0));
+        }
+        Some("watchpoints") => {
+            for w in resp["items"].as_array().unwrap_or(&[]) {
+                println!(
+                    "  #{} watch {} = {} hits={}",
+                    w["id"].as_i64().unwrap_or(0),
+                    w["expr"].as_str().unwrap_or("?"),
+                    w["value"]["decimal"].as_str().unwrap_or("?"),
+                    w["hit_count"].as_i64().unwrap_or(0)
+                );
+            }
+        }
         _ => println!("{resp}"),
     }
 }
@@ -107,6 +135,31 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
                     println!("inserted {ids:?}");
                 })
         }
+        "w" | "watch" => {
+            let expr = rest.join(" ");
+            if expr.is_empty() {
+                println!("usage: w EXPR");
+                return true;
+            }
+            client
+                .insert_watchpoint(None, &expr)
+                .map(|id| println!("watchpoint #{id} on {expr}"))
+        }
+        "iw" | "info-watch" => client
+            .request(&hgdb::protocol::Request::ListWatchpoints)
+            .map(|r| print_response(&r)),
+        "dw" | "delete-watch" => {
+            let Some(Ok(id)) = rest.first().map(|s| s.parse::<i64>()) else {
+                println!("usage: dw ID");
+                return true;
+            };
+            client
+                .remove_watchpoint(id)
+                .map(|()| println!("watchpoint #{id} removed"))
+        }
+        "sub" | "subscribe" => client
+            .subscribe(&[], &[], &rest)
+            .map(|()| println!("subscription updated")),
         "c" | "continue" => client
             .continue_run(Some(1_000_000))
             .map(|r| print_response(&r)),
@@ -126,7 +179,7 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
         }
         "" => return true,
         other => {
-            println!("unknown command {other:?} (b/c/s/rs/p/info/t/q)");
+            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/info/t/q)");
             return true;
         }
     };
@@ -148,6 +201,12 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
             "c".to_owned(),
             "p top.count".to_owned(),
             "frames".to_owned(),
+            // Watchpoint: the output changes on the next edge, so the
+            // next continue stops immediately with old -> new values.
+            "w top.out".to_owned(),
+            "c".to_owned(),
+            "iw".to_owned(),
+            "dw 1".to_owned(),
             "c".to_owned(),
             "p top.count".to_owned(),
             "t".to_owned(),
@@ -160,7 +219,10 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
             }
         }
     } else {
-        println!("hgdb gdb-style CLI. Commands: b FILE:LINE [COND], c, s, rs, p EXPR, info, t, q");
+        println!(
+            "hgdb gdb-style CLI. Commands: b FILE:LINE [COND], w EXPR, iw, dw ID, c, s, rs, \
+             p EXPR, sub [KIND...], info, t, q"
+        );
         println!("try: b {}:{bp_line} count == 5", file!());
         let stdin = std::io::stdin();
         loop {

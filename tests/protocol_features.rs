@@ -134,21 +134,26 @@ fn two_tcp_clients_share_one_runtime() {
     assert_eq!(stop["type"].as_str(), Some("stopped"));
 
     // B receives the broadcast stop event (origin = A's session) and
-    // observes the same simulation state via eval.
+    // observes the same simulation state via eval. The event names the
+    // sessions whose breakpoints matched — here, only A's.
     let ev = b.wait_event().unwrap();
     assert_eq!(ev["event"].as_str(), Some("stopped"));
     assert_eq!(ev["session"].as_i64(), Some(sa as i64));
+    assert_eq!(ev["data"]["reason"].as_str(), Some("breakpoint"));
+    assert_eq!(ev["data"]["sessions"][0].as_i64(), Some(sa as i64));
     assert_eq!(
         ev["data"]["hits"][0]["locals"]["count"]["decimal"].as_str(),
         Some("5")
     );
     assert_eq!(b.eval(Some("top"), "count").unwrap(), "5");
 
-    // Both keep working after the stop; listings agree (breakpoints
-    // are runtime state, shared across sessions).
+    // Both keep working after the stop. Breakpoints are owned by the
+    // session that inserted them: A's listing shows its hit, B —
+    // which inserted nothing — sees an empty list.
     let la = a.request(&Request::ListBreakpoints).unwrap();
     let lb = b.request(&Request::ListBreakpoints).unwrap();
-    assert_eq!(la["items"][0]["hit_count"], lb["items"][0]["hit_count"]);
+    assert_eq!(la["items"][0]["hit_count"].as_i64(), Some(1));
+    assert_eq!(lb["items"].as_array().unwrap().len(), 0);
 
     // B re-querying the current stop must NOT rebroadcast it: only
     // simulation-advancing requests produce stop events. B's frames
