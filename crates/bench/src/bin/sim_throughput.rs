@@ -6,36 +6,70 @@
 //! regresses to pathological slowness, without asserting exact timing.
 //!
 //! ```text
-//! cargo run --release -p bench --bin sim_throughput            # full JSON
-//! cargo run --release -p bench --bin sim_throughput -- --smoke # CI gate
+//! cargo run --release -p bench --bin sim_throughput                  # full JSON
+//! cargo run --release -p bench --bin sim_throughput -- --smoke       # CI gate
+//! cargo run --release -p bench --bin sim_throughput -- --threads 4   # one worker count
+//! cargo run --release -p bench --bin sim_throughput -- --verify      # functional digest
 //! ```
+//!
+//! Flags:
+//!
+//! * `--threads N` — measure under `SimConfig::with_workers(N)` (plus a
+//!   sequential baseline row when `N > 1`). Without it, the full run
+//!   sweeps workers 1, 2 and 4.
+//! * `--cycles N` / `--warmup N` — timed-window and untimed-lead-in
+//!   lengths (defaults: 50 000 / 5 000; smoke: 5 000 / 500).
+//! * `--verify` — no timing: print a deterministic functional digest
+//!   (rv32 halt cycle + `tohost`, wide-datapath state after a fixed
+//!   run). CI diffs this output across worker counts to prove the
+//!   parallel engine is bit-identical to the sequential one.
 
-use bench::{compile_core, loaded_sim, loaded_wide_sim, measure_throughput, run_plain};
+use bench::{
+    compile_core, loaded_sim_with, loaded_wide_sim_with, measure_throughput_warmed, run_plain,
+};
+use rtl_sim::{SimConfig, SimControl};
 
 struct Row {
     design: &'static str,
+    workers: usize,
     cycles: u64,
+    warmup: u64,
     cycles_per_sec: f64,
 }
 
-fn measure_rv32(cycles: u64) -> Row {
+/// Engine configuration for `workers`, with the parallel schedules
+/// forced on (no sequential small-sweep shortcut) so every worker
+/// count exercises its own code path.
+fn config_for(workers: usize, force_parallel: bool) -> SimConfig {
+    let mut cfg = SimConfig::with_workers(workers);
+    if force_parallel {
+        cfg.min_parallel_work = 1;
+    }
+    cfg
+}
+
+fn measure_rv32(workers: usize, cycles: u64, warmup: u64) -> Row {
     let core = compile_core(false);
     let workload = rv32::programs::multiply();
-    let mut sim = loaded_sim(&core, &workload);
-    let cps = measure_throughput(&mut sim, cycles);
+    let mut sim = loaded_sim_with(&core, &workload, config_for(workers, false));
+    let cps = measure_throughput_warmed(&mut sim, warmup, cycles);
     Row {
         design: "rv32_core",
+        workers,
         cycles,
+        warmup,
         cycles_per_sec: cps,
     }
 }
 
-fn measure_wide(cycles: u64) -> Row {
-    let mut sim = loaded_wide_sim(8);
-    let cps = measure_throughput(&mut sim, cycles);
+fn measure_wide(workers: usize, cycles: u64, warmup: u64) -> Row {
+    let mut sim = loaded_wide_sim_with(8, config_for(workers, false));
+    let cps = measure_throughput_warmed(&mut sim, warmup, cycles);
     Row {
         design: "wide_datapath",
+        workers,
         cycles,
+        warmup,
         cycles_per_sec: cps,
     }
 }
@@ -43,10 +77,10 @@ fn measure_wide(cycles: u64) -> Row {
 /// Functional check: the multiply workload must still reach its
 /// expected `tohost` under the compiled engine. Guards the CI smoke
 /// run against a fast-but-wrong simulator.
-fn check_correctness() {
+fn check_correctness(workers: usize) {
     let core = compile_core(false);
     let workload = rv32::programs::multiply();
-    let mut sim = loaded_sim(&core, &workload);
+    let mut sim = loaded_sim_with(&core, &workload, config_for(workers, true));
     let cycles = run_plain(&mut sim, &core.top, 200_000);
     assert!(cycles < 200_000, "multiply workload did not halt");
     let tohost = sim.peek("cpu.tohost").expect("tohost").to_u64() as u32;
@@ -56,21 +90,105 @@ fn check_correctness() {
     );
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let cycles: u64 = if smoke { 5_000 } else { 50_000 };
+fn hex(bits: &bits::Bits) -> String {
+    bits.words()
+        .iter()
+        .rev()
+        .map(|w| format!("{w:016x}"))
+        .collect()
+}
 
-    check_correctness();
-    let rows = [measure_rv32(cycles), measure_wide(cycles)];
+/// Prints a timing-free functional digest. The output contains no
+/// worker count and no wall-clock numbers, so two runs under different
+/// `--threads` values must produce byte-identical text — that `diff`
+/// is the CI determinism gate.
+fn print_verify(workers: usize) {
+    let core = compile_core(false);
+    let workload = rv32::programs::multiply();
+    let mut sim = loaded_sim_with(&core, &workload, config_for(workers, true));
+    let halt_cycles = run_plain(&mut sim, &core.top, 200_000);
+    let tohost = sim.peek("cpu.tohost").expect("tohost").to_u64() as u32;
+    println!(
+        "rv32_core halt_cycles={halt_cycles} tohost={tohost:#010x} evals={}",
+        sim.defs_evaluated()
+    );
+
+    let mut wide = loaded_wide_sim_with(8, config_for(workers, true));
+    for _ in 0..2_000 {
+        wide.step_clock();
+    }
+    let y = wide.peek("wide.y").expect("y");
+    let parity = wide.peek("wide.parity").expect("parity").to_u64();
+    println!(
+        "wide_datapath cycles=2000 y={} parity={parity} evals={}",
+        hex(&y),
+        wide.defs_evaluated()
+    );
+}
+
+fn parse_args() -> (bool, bool, Option<usize>, Option<u64>, Option<u64>) {
+    let mut smoke = false;
+    let mut verify = false;
+    let mut threads = None;
+    let mut cycles = None;
+    let mut warmup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("{name} requires an integer"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--verify" => verify = true,
+            "--threads" => threads = Some(value("--threads") as usize),
+            "--cycles" => cycles = Some(value("--cycles")),
+            "--warmup" => warmup = Some(value("--warmup")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    (smoke, verify, threads, cycles, warmup)
+}
+
+fn main() {
+    let (smoke, verify, threads, cycles_arg, warmup_arg) = parse_args();
+
+    if verify {
+        print_verify(threads.unwrap_or(1));
+        return;
+    }
+
+    let cycles = cycles_arg.unwrap_or(if smoke { 5_000 } else { 50_000 });
+    let warmup = warmup_arg.unwrap_or(cycles / 10);
+
+    // Worker counts to sweep: an explicit `--threads N` measures N
+    // (plus the sequential baseline for the scaling comparison); the
+    // full run sweeps 1/2/4 for the per-thread-count BENCH rows.
+    let thread_counts: Vec<usize> = match threads {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None if smoke => vec![1],
+        None => vec![1, 2, 4],
+    };
+
+    check_correctness(*thread_counts.last().unwrap());
+    let mut rows = Vec::new();
+    for &w in &thread_counts {
+        rows.push(measure_rv32(w, cycles, warmup));
+        rows.push(measure_wide(w, cycles, warmup));
+    }
 
     println!("{{");
     println!("  \"bench\": \"sim_throughput\",");
+    println!("  \"methodology\": \"{warmup} warmup cycles then {cycles} timed cycles per row\",");
     println!("  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         println!(
-            "    {{\"design\": \"{}\", \"cycles\": {}, \"cycles_per_sec\": {:.0}}}{}",
-            r.design, r.cycles, r.cycles_per_sec, comma
+            "    {{\"design\": \"{}\", \"workers\": {}, \"cycles\": {}, \"warmup\": {}, \"cycles_per_sec\": {:.0}}}{}",
+            r.design, r.workers, r.cycles, r.warmup, r.cycles_per_sec, comma
         );
     }
     println!("  ]");
@@ -83,8 +201,11 @@ fn main() {
         // engine's measured numbers (≈6M / ≈400k), with slack for slow
         // CI runners — a regression to interpreter-class speed fails.
         let floor = [("rv32_core", 500_000.0), ("wide_datapath", 100_000.0)];
-        for (r, (design, min)) in rows.iter().zip(floor) {
-            assert_eq!(r.design, design);
+        for (design, min) in floor {
+            let r = rows
+                .iter()
+                .find(|r| r.design == design && r.workers == 1)
+                .expect("sequential row present");
             assert!(
                 r.cycles_per_sec > min,
                 "{}: throughput {:.0} cycles/sec below smoke floor {:.0}",
@@ -92,6 +213,35 @@ fn main() {
                 r.cycles_per_sec,
                 min
             );
+        }
+
+        // Scaling gate: on a multi-core host, the parallel wide-datapath
+        // sweep must not be pathologically slower than sequential (0.5×
+        // allows scheduler noise on loaded runners; real regressions —
+        // e.g. a barrier per def instead of per level — land far below).
+        let multi_core = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        if let Some(n) = threads.filter(|&n| n > 1) {
+            let seq = rows
+                .iter()
+                .find(|r| r.design == "wide_datapath" && r.workers == 1)
+                .expect("sequential wide row");
+            let par = rows
+                .iter()
+                .find(|r| r.design == "wide_datapath" && r.workers == n)
+                .expect("parallel wide row");
+            if multi_core {
+                assert!(
+                    par.cycles_per_sec > 0.5 * seq.cycles_per_sec,
+                    "pathological scaling: wide_datapath at {} workers runs {:.0} cycles/sec vs {:.0} sequential",
+                    n,
+                    par.cycles_per_sec,
+                    seq.cycles_per_sec
+                );
+            } else {
+                eprintln!("single-core host: skipping the parallel scaling gate");
+            }
         }
         eprintln!("smoke ok");
     }

@@ -16,7 +16,7 @@ use bits::Bits;
 use hgf::CircuitBuilder;
 use hgf_ir::passes::DebugTable;
 use hgf_ir::{Circuit, CircuitState};
-use rtl_sim::{SimControl, Simulator};
+use rtl_sim::{SimConfig, SimControl, Simulator};
 use rv32::{build_core, build_dual_core, CoreConfig, Program};
 use symtab::SymbolTable;
 
@@ -210,8 +210,15 @@ pub fn compile_wide(stages: usize) -> CompiledCore {
 /// `sim_throughput` bench and binary so both measure the same design
 /// under the same drive.
 pub fn loaded_wide_sim(stages: usize) -> Simulator {
+    loaded_wide_sim_with(stages, SimConfig::default())
+}
+
+/// [`loaded_wide_sim`] with an explicit engine configuration — used by
+/// the `--threads N` rows of the `sim_throughput` binary to measure the
+/// same design under different worker counts.
+pub fn loaded_wide_sim_with(stages: usize, config: SimConfig) -> Simulator {
     let wide = compile_wide(stages);
-    let mut sim = Simulator::new(&wide.circuit).expect("wide sim builds");
+    let mut sim = Simulator::with_config(&wide.circuit, config).expect("wide sim builds");
     sim.poke("wide.sel", Bits::from_bool(true)).expect("sel");
     sim.poke("wide.x", Bits::from_u64(0xDEAD_BEEF, 192))
         .expect("x");
@@ -222,6 +229,15 @@ pub fn loaded_wide_sim(stages: usize) -> Simulator {
 /// cycles/second — the raw simulation throughput number recorded in
 /// `BENCH_sim_throughput.json`.
 pub fn measure_throughput(sim: &mut Simulator, cycles: u64) -> f64 {
+    measure_throughput_warmed(sim, 0, cycles)
+}
+
+/// [`measure_throughput`] with `warmup` untimed cycles first, so the
+/// timed window starts with caches and the worker pool hot.
+pub fn measure_throughput_warmed(sim: &mut Simulator, warmup: u64, cycles: u64) -> f64 {
+    for _ in 0..warmup {
+        sim.step_clock();
+    }
     let start = std::time::Instant::now();
     for _ in 0..cycles {
         sim.step_clock();
@@ -233,7 +249,12 @@ pub fn measure_throughput(sim: &mut Simulator, cycles: u64) -> f64 {
 /// Creates a simulator with `program` loaded (and the second-half
 /// program on core1 for dual-core designs).
 pub fn loaded_sim(core: &CompiledCore, workload: &Program) -> Simulator {
-    let mut sim = Simulator::new(&core.circuit).expect("sim builds");
+    loaded_sim_with(core, workload, SimConfig::default())
+}
+
+/// [`loaded_sim`] with an explicit engine configuration.
+pub fn loaded_sim_with(core: &CompiledCore, workload: &Program, config: SimConfig) -> Simulator {
+    let mut sim = Simulator::with_config(&core.circuit, config).expect("sim builds");
     if workload.dual_core {
         let (src0, src1) = dual_sources(workload);
         let p0 = rv32::asm::assemble(&src0).expect("assembles");
@@ -396,6 +417,26 @@ mod tests {
             debug_st.size_in_bytes(),
             release_st.size_in_bytes()
         );
+    }
+
+    #[test]
+    fn parallel_workers_reproduce_sequential_tohost() {
+        let core = compile_core(false);
+        let workload = rv32::programs::multiply();
+        let mut results = Vec::new();
+        for workers in [1, 4] {
+            let mut cfg = SimConfig::with_workers(workers);
+            // Force the sharded schedules even on small dirty sets so
+            // this test exercises the parallel paths regardless of
+            // sweep size.
+            cfg.min_parallel_work = 1;
+            let mut sim = loaded_sim_with(&core, &workload, cfg);
+            let cycles = run_plain(&mut sim, &core.top, 200_000);
+            let tohost = sim.peek("cpu.tohost").expect("tohost").to_u64() as u32;
+            results.push((cycles, tohost));
+        }
+        assert_eq!(results[0], results[1], "parallel run diverged");
+        assert_eq!(results[0].1, workload.expected);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use bits::Bits;
 use hgf_ir::expr::{BinaryOp, Expr, UnaryOp};
 use hgf_ir::{Circuit, PortDir, SignalKind, Stmt};
 
-use crate::compile::{CodeRange, Program};
+use crate::compile::{plan_partition, CodeRange, Partition, Program};
 use crate::control::{HierNode, SimError};
 
 /// Compiled expression with signal references resolved to indices.
@@ -163,8 +163,11 @@ pub(crate) struct FlatNetlist {
     pub(crate) widths: Vec<u32>,
     /// Shared bytecode for all compiled expressions.
     pub(crate) program: Program,
-    /// Combinational definitions in topological order.
+    /// Combinational definitions in topological order (region-major,
+    /// level-sorted within each region — see [`Partition`]).
     pub(crate) defs: Vec<CompiledDef>,
+    /// Region/level plan over `defs` for the parallel sweep.
+    pub(crate) partition: Partition,
     pub(crate) regs: Vec<FlatReg>,
     pub(crate) mems: Vec<MemState>,
     /// Memory path → index (mirrors `index` for the signal namespace).
@@ -230,6 +233,7 @@ impl FlatNetlist {
         let n = b.raw_defs.len();
         let mut indegree = vec![0usize; n];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (di, (_, expr)) in b.raw_defs.iter().enumerate() {
             let mut deps = Vec::new();
             expr.deps(&mut deps);
@@ -237,6 +241,7 @@ impl FlatNetlist {
                 if let Some(&src) = def_of.get(&d) {
                     indegree[di] += 1;
                     dependents[src].push(di);
+                    preds[di].push(src);
                 }
             }
         }
@@ -260,7 +265,12 @@ impl FlatNetlist {
             return Err(SimError::CombinationalLoop(cycle));
         }
 
-        // Lower every expression to bytecode, defs in topo order, and
+        // Regroup the topo order region-major with level sorting inside
+        // each region — still a valid topological order — so the
+        // parallel sweep can hand contiguous def ranges to workers.
+        let (order, partition) = plan_partition(&preds, &order);
+
+        // Lower every expression to bytecode, defs in final order, and
         // record each def's direct fan-in for the fan-out graph.
         let mut program = Program::default();
         let mut defs = Vec::with_capacity(n);
@@ -318,6 +328,7 @@ impl FlatNetlist {
             widths: b.widths,
             program,
             defs,
+            partition,
             regs,
             mems: b.mems,
             mem_index: b.mem_index,

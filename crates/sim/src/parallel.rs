@@ -1,0 +1,403 @@
+//! Worker pool and shared-slice primitives for the parallel sweep.
+//!
+//! The partitioner ([`crate::compile::plan_partition`]) proves at
+//! compile time which combinational definitions can never observe each
+//! other mid-sweep; this module supplies the runtime machinery that
+//! exploits it:
+//!
+//! * [`SimConfig`] — the public knob. `workers = 1` (the default) runs
+//!   the exact single-threaded engine; `workers = N` enlists `N - 1`
+//!   pool threads plus the calling thread. The `SIM_WORKERS`
+//!   environment variable overrides the default so whole test suites
+//!   can be re-run under different worker counts without code changes.
+//! * [`WorkerPool`] — a persistent pool fed through the vendored
+//!   `crossbeam` channels. Persistent, because a sweep happens every
+//!   clock cycle: spawning threads per cycle would cost more than the
+//!   cycle itself. (`crossbeam::thread::scope` is still the right tool
+//!   for one-shot borrowing jobs — the tests here use it — but a
+//!   per-cycle scope is a per-cycle spawn.) A [`WorkerPool::run`] call
+//!   is a barrier: it returns only after every participant has
+//!   finished the closure, which is what makes the register-commit
+//!   boundary (`latch_edge`) safe.
+//! * [`RaceSlice`] — a `Sync` view of a `&mut [T]` handing out raw
+//!   elementwise access. Soundness is delegated to the partition
+//!   invariants: callers must only touch provably disjoint slots.
+//!
+//! Determinism: every parallel schedule in this crate assigns each
+//! unit of work (a region, a level entry, a register) to exactly one
+//! worker via an atomic cursor, writes results into index-addressed
+//! slots, and drains them in declaration order after the barrier. No
+//! result ever depends on thread interleaving — the property the CI
+//! `parallel-sim` matrix verifies bit-for-bit.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use bits::Bits;
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::compile::ValueSource;
+
+/// Upper bound on `SimConfig::workers`; larger requests are clamped.
+pub(crate) const MAX_WORKERS: usize = 64;
+
+/// Default `SimConfig::min_parallel_work`: sweeps with fewer dirty
+/// defs than this stay on the sequential path, where the pool's
+/// barrier overhead would dominate the work.
+pub(crate) const DEFAULT_MIN_PARALLEL_WORK: usize = 32;
+
+/// Minimum total bytecode length (ops) of all register next-value and
+/// write-port expressions before `latch_edge` shards them across the
+/// pool. Below this the expressions are too cheap to amortize a
+/// barrier.
+pub(crate) const PARALLEL_LATCH_OPS: usize = 256;
+
+/// Evaluation-engine configuration for [`Simulator`](crate::Simulator).
+///
+/// ```
+/// use rtl_sim::SimConfig;
+///
+/// // Explicit worker count (clamped to at least 1).
+/// let cfg = SimConfig::with_workers(4);
+/// assert_eq!(cfg.workers, 4);
+/// // `SimConfig::default()` honors the SIM_WORKERS env var instead.
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Threads participating in parallel sweeps, *including* the
+    /// calling thread. `1` selects the exact single-threaded engine
+    /// (no pool is created at all); `N > 1` spawns `N - 1` persistent
+    /// pool threads. Clamped to `1..=64` at simulator construction.
+    pub workers: usize,
+    /// Minimum dirty-definition count before a sweep is sharded across
+    /// the pool; smaller sweeps run sequentially even when `workers >
+    /// 1`, because the barrier costs more than the work. Lowering this
+    /// to 1 forces the parallel schedule (the equivalence proptests do
+    /// exactly that).
+    pub min_parallel_work: usize,
+}
+
+impl SimConfig {
+    /// Config with an explicit worker count (clamped to `1..=64`) and
+    /// default thresholds, ignoring `SIM_WORKERS`.
+    pub fn with_workers(workers: usize) -> SimConfig {
+        SimConfig {
+            workers: workers.clamp(1, MAX_WORKERS),
+            min_parallel_work: DEFAULT_MIN_PARALLEL_WORK,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    /// Single-threaded unless the `SIM_WORKERS` environment variable
+    /// names a worker count (unparseable values fall back to 1).
+    fn default() -> SimConfig {
+        let workers = std::env::var("SIM_WORKERS")
+            .ok()
+            .and_then(|s| parse_workers(&s))
+            .unwrap_or(1);
+        SimConfig {
+            workers,
+            min_parallel_work: DEFAULT_MIN_PARALLEL_WORK,
+        }
+    }
+}
+
+/// Parses a `SIM_WORKERS` value: a positive integer, clamped to the
+/// supported range. Returns `None` (caller falls back to 1) for
+/// anything unparseable.
+pub(crate) fn parse_workers(s: &str) -> Option<usize> {
+    let n: usize = s.trim().parse().ok()?;
+    Some(n.clamp(1, MAX_WORKERS))
+}
+
+/// The erased job closure: runs with a worker-local scratch stack.
+/// Closures must tolerate being invoked once per participant
+/// concurrently — work distribution happens *inside* the closure via
+/// an atomic cursor, never via the pool. (In type-alias position the
+/// trait-object lifetime defaults to `'static` — which is exactly what
+/// the erased [`Job`] pointer stores; [`WorkerPool::run`] accepts a
+/// shorter-lived borrow and upholds it manually.)
+type JobFn = dyn Fn(&mut Vec<Bits>) + Sync;
+
+/// A job handed to pool threads. The raw pointer erases the caller's
+/// stack lifetime; [`WorkerPool::run`] re-establishes it by blocking
+/// until every participant acknowledged completion.
+struct Job(*const JobFn);
+
+// SAFETY: the pointee is `Sync` (see `JobFn`), and `run` guarantees it
+// stays alive for as long as any worker can dereference the pointer.
+unsafe impl Send for Job {}
+
+/// Persistent worker threads for the parallel sweep.
+///
+/// `extra` threads are spawned once at simulator construction, each
+/// owning a preallocated bytecode scratch stack, and parked on the job
+/// channel between sweeps. [`WorkerPool::run`] executes one closure on
+/// all participants (pool threads + caller) and acts as a barrier.
+pub(crate) struct WorkerPool {
+    job_tx: Sender<Job>,
+    done_rx: Receiver<std::thread::Result<()>>,
+    handles: Vec<JoinHandle<()>>,
+    extra: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `extra` worker threads, each with a scratch stack of
+    /// `stack_capacity` (the program's exact worst-case depth).
+    pub(crate) fn new(extra: usize, stack_capacity: usize) -> WorkerPool {
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let (done_tx, done_rx) = channel::unbounded::<std::thread::Result<()>>();
+        let handles = (0..extra)
+            .map(|i| {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("rtl-sim-worker-{i}"))
+                    .spawn(move || {
+                        let mut stack: Vec<Bits> = Vec::with_capacity(stack_capacity);
+                        while let Ok(job) = job_rx.recv() {
+                            // SAFETY: `run` keeps the closure alive
+                            // until our acknowledgement below is
+                            // received.
+                            let f = unsafe { &*job.0 };
+                            let result = catch_unwind(AssertUnwindSafe(|| f(&mut stack)));
+                            // A panic can leave operands behind.
+                            stack.clear();
+                            if done_tx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn simulator worker thread")
+            })
+            .collect();
+        WorkerPool {
+            job_tx,
+            done_rx,
+            handles,
+            extra,
+        }
+    }
+
+    /// Number of participants in a `run` call (pool threads + caller).
+    #[cfg(test)]
+    pub(crate) fn participants(&self) -> usize {
+        self.extra + 1
+    }
+
+    /// Runs `f` on every participant — all pool threads plus the
+    /// calling thread, which contributes `caller_stack` — and returns
+    /// once all of them have finished (the barrier). A panic on any
+    /// participant is re-raised here after the barrier completes, so
+    /// the pool is never left with stray in-flight jobs.
+    pub(crate) fn run(&self, caller_stack: &mut Vec<Bits>, f: &(dyn Fn(&mut Vec<Bits>) + Sync)) {
+        // SAFETY: erases `f`'s borrow lifetime to hand it to pool
+        // threads. Sound because this function does not return until
+        // `extra` acknowledgements arrive, one per job sent, so no
+        // worker can touch the pointer after `run` returns.
+        let job: *const JobFn =
+            unsafe { std::mem::transmute::<&(dyn Fn(&mut Vec<Bits>) + Sync), *const JobFn>(f) };
+        for _ in 0..self.extra {
+            self.job_tx.send(Job(job)).expect("worker pool alive");
+        }
+        let mut panic = catch_unwind(AssertUnwindSafe(|| f(caller_stack))).err();
+        caller_stack.clear();
+        for _ in 0..self.extra {
+            if let Err(p) = self.done_rx.recv().expect("worker pool alive") {
+                panic = Some(p);
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the job channel so parked workers exit their
+        // recv loop, then reap them.
+        let (orphan_tx, _) = channel::unbounded::<Job>();
+        self.job_tx = orphan_tx;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A `Sync` view of a mutable slice with unchecked elementwise access.
+///
+/// The parallel sweep needs many workers writing *disjoint* slots of
+/// the value / dirty-flag arrays while reading stable ones — exactly
+/// what the borrow checker cannot express per element without the
+/// overhead of atomics or locks. The partition invariants (no
+/// cross-region edges; strictly increasing levels along edges; one
+/// driver per signal) are what make each use race-free; every use site
+/// records which invariant it leans on.
+pub(crate) struct RaceSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is promised by the `RaceSlice::new`
+// caller (see its contract); `T: Send + Sync` keeps the underlying
+// elements shareable across the pool threads.
+unsafe impl<T: Send + Sync> Send for RaceSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for RaceSlice<'_, T> {}
+
+impl<'a, T> RaceSlice<'a, T> {
+    /// Wraps a mutable slice for shared access from pool workers.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned view, callers must uphold a
+    /// data-race-free access schedule: a slot written through
+    /// [`RaceSlice::get_mut`] by one thread must not be read or
+    /// written by any other thread until a synchronization point (the
+    /// pool barrier) orders the accesses.
+    pub(crate) unsafe fn new(slice: &'a mut [T]) -> RaceSlice<'a, T> {
+        RaceSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reads slot `i`. Caller must ensure no concurrent writer (see
+    /// [`RaceSlice::new`]).
+    pub(crate) fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        // SAFETY: in-bounds (checked above in debug; all indices come
+        // from netlist tables bounded by `len`), and the `new`
+        // contract excludes concurrent writers to this slot.
+        unsafe { &*self.ptr.add(i) }
+    }
+
+    /// Mutable access to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure this thread is the only one touching slot
+    /// `i` until the next barrier (the `new` contract).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+impl ValueSource for RaceSlice<'_, Bits> {
+    #[inline]
+    fn get(&self, i: usize) -> &Bits {
+        RaceSlice::get(self, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_workers_accepts_integers_and_clamps() {
+        assert_eq!(parse_workers("1"), Some(1));
+        assert_eq!(parse_workers(" 8 "), Some(8));
+        assert_eq!(parse_workers("0"), Some(1));
+        assert_eq!(parse_workers("9999"), Some(MAX_WORKERS));
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("auto"), None);
+        assert_eq!(parse_workers("-2"), None);
+    }
+
+    #[test]
+    fn with_workers_clamps_to_supported_range() {
+        assert_eq!(SimConfig::with_workers(0).workers, 1);
+        assert_eq!(SimConfig::with_workers(4).workers, 4);
+        assert_eq!(SimConfig::with_workers(1000).workers, MAX_WORKERS);
+    }
+
+    #[test]
+    fn pool_runs_job_on_every_participant() {
+        let pool = WorkerPool::new(3, 4);
+        assert_eq!(pool.participants(), 4);
+        let calls = AtomicUsize::new(0);
+        let mut stack = Vec::new();
+        pool.run(&mut stack, &|_stack| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        // The pool is reusable: a second barrier works the same way.
+        pool.run(&mut stack, &|_stack| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn pool_cursor_fanout_covers_all_items() {
+        let pool = WorkerPool::new(2, 4);
+        let out: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let cursor = AtomicUsize::new(0);
+        let mut stack = Vec::new();
+        pool.run(&mut stack, &|_stack| loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= out.len() {
+                break;
+            }
+            out[k].fetch_add(k + 1, Ordering::Relaxed);
+        });
+        // Every item claimed exactly once.
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), i + 1);
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic_and_survives() {
+        let pool = WorkerPool::new(1, 4);
+        let mut stack = Vec::new();
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&mut stack, &|_stack| panic!("sweep bug"));
+        }));
+        assert!(attempt.is_err(), "panic must cross the barrier");
+        // The barrier drained all acknowledgements, so the pool is
+        // still usable.
+        let calls = AtomicUsize::new(0);
+        pool.run(&mut stack, &|_stack| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn race_slice_disjoint_writes_from_scoped_threads() {
+        // Exercises the RaceSlice contract under the vendored
+        // crossbeam scoped threads: four threads write interleaved,
+        // provably disjoint index sets.
+        let mut data = vec![0u64; 64];
+        {
+            // SAFETY: each spawned thread writes only indices
+            // congruent to its own `t` mod 4 — disjoint by
+            // construction — and the scope join is the barrier.
+            let view = unsafe { RaceSlice::new(&mut data) };
+            crossbeam::thread::scope(|s| {
+                for t in 0..4usize {
+                    let view = &view;
+                    s.spawn(move |_| {
+                        for i in (t..64).step_by(4) {
+                            // SAFETY: see above — index sets disjoint.
+                            unsafe { *view.get_mut(i) = i as u64 * 10 };
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+}

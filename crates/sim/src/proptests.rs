@@ -1,0 +1,378 @@
+//! Cross-cutting property tests for the parallel engine.
+//!
+//! Two families, complementing the bytecode-vs-treewalk proptest in
+//! [`crate::compile`]:
+//!
+//! 1. **Partitioner invariants** over random DAGs: the region split is
+//!    a true partition (every def in exactly one contiguous region, no
+//!    combinational edge crossing a region boundary), levels strictly
+//!    increase along edges, and the reordered def sequence remains a
+//!    valid topological order. A reference connected-components count
+//!    cross-checks the region count.
+//! 2. **Parallel-vs-sequential equivalence** over random netlists:
+//!    circuits with several independent signal groups, registers, and
+//!    a memory are driven with identical stimulus under `workers = 1`
+//!    and a forced multi-worker schedule (`min_parallel_work = 1`);
+//!    every signal value at every cycle, the final memory contents,
+//!    and the `defs_evaluated` counter must match bit for bit.
+
+use bits::Bits;
+use hgf::{CircuitBuilder, Signal};
+use proptest::prelude::*;
+
+use crate::compile::{plan_partition, Op};
+use crate::netlist::FlatNetlist;
+use crate::{SimConfig, SimControl, Simulator};
+
+/// Deterministic SplitMix64 (same scheme as the compile.rs proptest).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Random DAG over `n` defs: edges only point from lower to higher
+/// index, so `0..n` is already a topological order.
+fn arb_dag(rng: &mut Rng) -> Vec<Vec<usize>> {
+    let n = 1 + rng.below(40) as usize;
+    let edge_pct = 5 + rng.below(25);
+    (0..n)
+        .map(|d| {
+            let mut ps: Vec<usize> = (0..d).filter(|_| rng.chance(edge_pct)).collect();
+            ps.dedup();
+            ps
+        })
+        .collect()
+}
+
+/// Reference weakly-connected-component count via union-find-free DFS.
+fn component_count(preds: &[Vec<usize>]) -> usize {
+    let n = preds.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (d, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            adj[d].push(p);
+            adj[p].push(d);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        seen[start] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    components
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partitioner must produce a true partition of the def graph
+    /// with a level schedule that respects every edge.
+    #[test]
+    fn partition_invariants_hold_on_random_dags(seed in any::<u64>()) {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1);
+        let preds = arb_dag(&mut rng);
+        let n = preds.len();
+        let topo: Vec<usize> = (0..n).collect();
+        let (order, p) = plan_partition(&preds, &topo);
+
+        // The final order is a permutation of 0..n.
+        let mut pos = vec![usize::MAX; n];
+        for (i, &d) in order.iter().enumerate() {
+            prop_assert_eq!(pos[d], usize::MAX, "def {} appears twice", d);
+            pos[d] = i;
+        }
+        prop_assert_eq!(p.region_of.len(), n);
+        prop_assert_eq!(p.level_of.len(), n);
+
+        // Regions tile 0..n contiguously: every def in exactly one.
+        prop_assert_eq!(component_count(&preds), p.regions.len());
+        let mut expected_start = 0u32;
+        for (r, region) in p.regions.iter().enumerate() {
+            prop_assert_eq!(region.start, expected_start, "gap before region {}", r);
+            prop_assert!(region.end > region.start, "empty region {}", r);
+            expected_start = region.end;
+            for i in region.start..region.end {
+                prop_assert_eq!(p.region_of[i as usize] as usize, r);
+            }
+            // Level ranges tile the region; levels match level_of.
+            let starts = &region.level_starts;
+            prop_assert_eq!(starts[0], 0);
+            prop_assert_eq!(*starts.last().unwrap(), region.end - region.start);
+            for lvl in 0..region.level_count() {
+                prop_assert!(starts[lvl] < starts[lvl + 1], "empty level {}", lvl);
+                for off in starts[lvl]..starts[lvl + 1] {
+                    prop_assert_eq!(p.level_of[(region.start + off) as usize] as usize, lvl);
+                }
+            }
+        }
+        prop_assert_eq!(expected_start as usize, n, "regions must cover all defs");
+
+        // Every edge stays inside one region, climbs strictly in
+        // level, and is respected by the final order.
+        for (d, ps) in preds.iter().enumerate() {
+            for &pr in ps {
+                prop_assert!(pos[pr] < pos[d], "order breaks edge {} -> {}", pr, d);
+                prop_assert_eq!(p.region_of[pos[pr]], p.region_of[pos[d]]);
+                prop_assert!(p.level_of[pos[pr]] < p.level_of[pos[d]]);
+            }
+        }
+    }
+}
+
+/// Width shared by all generated signals (keeps every handle
+/// combinable with every other and still exercises multi-bit values).
+const GEN_WIDTH: u32 = 24;
+const GEN_MASK: u64 = (1 << GEN_WIDTH) - 1;
+
+/// Builds a random circuit: `groups` independent combinational
+/// clusters over disjoint input sets (so the partitioner sees multiple
+/// regions), registers whose next-values may read any cluster, and a
+/// memory with a combinational read and a synchronous write port.
+/// Returns the input paths to drive.
+fn build_random_circuit(rng: &mut Rng) -> (Simulator, Simulator, Vec<String>) {
+    let groups = 1 + rng.below(4) as usize;
+    let nodes_per_group = 2 + rng.below(8) as usize;
+    let nregs = rng.below(4) as usize;
+    let with_mem = rng.chance(60);
+    // Pre-draw every random decision so both builder closures see the
+    // identical circuit (the closure runs once per simulator).
+    let mut script: Vec<u64> = Vec::new();
+    for _ in 0..4096 {
+        script.push(rng.next());
+    }
+
+    let build = |script: &[u64]| {
+        let mut k = 0usize;
+        let mut draw = move || {
+            let v = script[k % script.len()];
+            k += 1;
+            v
+        };
+        let mut cb = CircuitBuilder::new();
+        let mut inputs = Vec::new();
+        cb.module("rand", |m| {
+            // Per-group pools of combinational handles.
+            let mut pools: Vec<Vec<Signal>> = Vec::new();
+            for g in 0..groups {
+                let name = format!("in{g}");
+                let sig = m.input(&name, GEN_WIDTH);
+                inputs.push(format!("rand.{name}"));
+                pools.push(vec![sig]);
+            }
+            // Stable pool: register outputs, readable by any group
+            // without merging regions (registers are not defs).
+            let mut regs = Vec::new();
+            for r in 0..nregs {
+                let init = draw() & GEN_MASK;
+                let reg = m.reg(format!("r{r}"), GEN_WIDTH, Some(init));
+                for pool in &mut pools {
+                    pool.push(reg.sig());
+                }
+                regs.push(reg);
+            }
+            let mut node_id = 0usize;
+            let mut grown: Vec<Vec<Signal>> = vec![Vec::new(); groups];
+            for _ in 0..nodes_per_group {
+                for g in 0..groups {
+                    let pool = &pools[g];
+                    let a = &pool[(draw() % pool.len() as u64) as usize];
+                    let b = &pool[(draw() % pool.len() as u64) as usize];
+                    let expr = match draw() % 8 {
+                        0 => a + b,
+                        1 => a - b,
+                        2 => a ^ b,
+                        3 => a & b,
+                        4 => a | b,
+                        5 => a * b,
+                        6 => !a.clone(),
+                        _ => a.bit(0).select(b, &(a ^ b)),
+                    };
+                    let node = m.node(format!("n{node_id}"), expr);
+                    node_id += 1;
+                    pools[g].push(node.clone());
+                    grown[g].push(node);
+                }
+            }
+            // Register next-values read from any group's grown pool.
+            for (r, reg) in regs.iter().enumerate() {
+                let g = (draw() % groups as u64) as usize;
+                let pool = if grown[g].is_empty() {
+                    &pools[g]
+                } else {
+                    &grown[g]
+                };
+                let src = &pool[(draw() % pool.len() as u64) as usize];
+                m.assign(reg, src + &m.lit((r as u64 + 1) & GEN_MASK, GEN_WIDTH));
+            }
+            if with_mem {
+                let mem = m.mem("m0", GEN_WIDTH, 16);
+                let g = (draw() % groups as u64) as usize;
+                let addr_src = pools[g].last().unwrap().clone();
+                let rd = m.mem_read(&mem, "m0_out", addr_src.slice(3, 0));
+                let gd = (draw() % groups as u64) as usize;
+                let data = pools[gd].last().unwrap().clone();
+                let en = pools[gd][0].bit(0);
+                m.mem_write(&mem, data.slice(7, 4), data, en);
+                let out = m.output("mem_o", GEN_WIDTH);
+                m.assign(&out, rd + m.lit(1, GEN_WIDTH));
+            }
+            // Expose each group's last node so nothing is dead.
+            for (g, pool) in pools.iter().enumerate() {
+                let out = m.output(format!("o{g}"), GEN_WIDTH);
+                m.assign(&out, pool.last().unwrap().clone());
+            }
+        });
+        let circuit = cb.finish("rand").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        hgf_ir::passes::compile(&mut state, false).unwrap();
+        (state, inputs)
+    };
+
+    let (state, inputs) = build(&script);
+    let seq = Simulator::with_config(
+        &state.circuit,
+        SimConfig {
+            workers: 1,
+            min_parallel_work: 1,
+        },
+    )
+    .unwrap();
+    let workers = 2 + rng.below(3) as usize;
+    let par = Simulator::with_config(
+        &state.circuit,
+        SimConfig {
+            workers,
+            // Force the sharded schedules on every sweep, however
+            // small — maximum pressure on the race-freedom argument.
+            min_parallel_work: 1,
+        },
+    )
+    .unwrap();
+    (seq, par, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A multi-worker simulator must be bit-identical to the
+    /// sequential engine: same signals every cycle, same memory
+    /// contents, same `defs_evaluated` counter.
+    #[test]
+    fn parallel_equals_sequential_on_random_netlists(seed in any::<u64>()) {
+        let mut rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let (mut seq, mut par, inputs) = build_random_circuit(&mut rng);
+        let paths = seq.signal_paths();
+        prop_assert!(par.workers() > 1);
+
+        seq.reset(2);
+        par.reset(2);
+        for cycle in 0..12u64 {
+            for (i, path) in inputs.iter().enumerate() {
+                let v = Bits::from_u64(rng.next() & GEN_MASK, GEN_WIDTH);
+                seq.poke(path, v.clone()).unwrap();
+                par.poke(path, v).unwrap();
+                let _ = i;
+            }
+            seq.step_clock();
+            par.step_clock();
+            for path in &paths {
+                prop_assert_eq!(
+                    seq.peek(path).unwrap(),
+                    par.peek(path).unwrap(),
+                    "cycle {} signal {} diverged (seed {})",
+                    cycle,
+                    path,
+                    seed
+                );
+            }
+        }
+        prop_assert_eq!(seq.defs_evaluated(), par.defs_evaluated(),
+            "eval counters diverged (seed {})", seed);
+        for addr in 0..16 {
+            prop_assert_eq!(
+                seq.peek_mem("rand.m0", addr),
+                par.peek_mem("rand.m0", addr),
+                "memory word {} diverged (seed {})", addr, seed
+            );
+        }
+    }
+
+    /// The netlist-level partition must show no cross-region
+    /// combinational edge when dependencies are recovered straight
+    /// from the compiled bytecode (`Op::Sig` scans), independently of
+    /// the `CExpr::deps` walk `plan_partition` consumed.
+    #[test]
+    fn netlist_partition_has_no_cross_region_bytecode_edges(seed in any::<u64>()) {
+        let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        let groups = 1 + rng.below(4) as usize;
+        let mut cb = CircuitBuilder::new();
+        cb.module("pz", |m| {
+            for g in 0..groups {
+                let a = m.input(format!("a{g}"), 8);
+                let o = m.output(format!("o{g}"), 8);
+                let mut cur = a;
+                let chain = 1 + rng.below(5) as usize;
+                for c in 0..chain {
+                    cur = m.node(format!("g{g}c{c}"), &cur + &m.lit(c as u64 + 1, 8));
+                }
+                m.assign(&o, cur);
+            }
+        });
+        let circuit = cb.finish("pz").unwrap();
+        let mut state = hgf_ir::CircuitState::new(circuit);
+        hgf_ir::passes::compile(&mut state, false).unwrap();
+        let nl = FlatNetlist::build(&state.circuit).unwrap();
+
+        // sig -> defining def index, straight from the final def list.
+        let mut def_of = vec![usize::MAX; nl.names.len()];
+        for (di, def) in nl.defs.iter().enumerate() {
+            prop_assert_eq!(def_of[def.sig], usize::MAX, "double-driven signal");
+            def_of[def.sig] = di;
+        }
+        let p = &nl.partition;
+        prop_assert_eq!(p.region_of.len(), nl.defs.len());
+        for (di, def) in nl.defs.iter().enumerate() {
+            for pc in def.code.0..def.code.1 {
+                if let Op::Sig(s) = nl.program.ops[pc as usize] {
+                    let src = def_of[s as usize];
+                    if src == usize::MAX {
+                        continue; // input/register/stable slot
+                    }
+                    prop_assert!(src < di, "def order breaks dependency");
+                    prop_assert_eq!(p.region_of[src], p.region_of[di],
+                        "combinational edge crosses regions (seed {})", seed);
+                    prop_assert!(p.level_of[src] < p.level_of[di]);
+                }
+            }
+        }
+    }
+}

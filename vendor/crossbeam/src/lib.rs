@@ -1,12 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build container has no access to crates.io, so this vendored
-//! shim provides the one API surface the workspace uses: the
+//! shim provides the two API surfaces the workspace uses: the
 //! `channel` module's unbounded MPMC channel with cloneable `Sender`
-//! and `Receiver` endpoints and disconnect-aware `send`/`recv`.
-//! It is implemented over `Mutex<VecDeque>` + `Condvar`; correctness
-//! over throughput. Swap back to the real crate by pointing the
-//! workspace dependency at the registry.
+//! and `Receiver` endpoints and disconnect-aware `send`/`recv`, and
+//! the `thread` module's scoped threads (`thread::scope`). Both favor
+//! correctness over throughput — the channel is `Mutex<VecDeque>` +
+//! `Condvar`, the scope delegates to `std::thread::scope`. Swap back
+//! to the real crate by pointing the workspace dependency at the
+//! registry.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -252,6 +254,144 @@ pub mod channel {
             }
             handle.join().unwrap();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's error-reporting surface.
+    //!
+    //! `crossbeam::thread::scope` predates `std::thread::scope` and
+    //! differs from it in two ways this shim preserves: the closure
+    //! passed to [`Scope::spawn`] receives the scope again (so children
+    //! can spawn siblings), and a panicking child surfaces as an `Err`
+    //! from [`scope`] rather than unwinding the caller directly.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked scoped thread.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Result of a scope run: `Err` carries the panic payload when any
+    /// unjoined child panicked.
+    pub type Result<T> = std::result::Result<T, Payload>;
+
+    /// Handle to a scope in which child threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further siblings (crossbeam's signature; callers
+        /// that don't need it write `|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. All children are joined before `scope` returns;
+    /// a panic in any unjoined child is reported as `Err` instead of
+    /// propagating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of a panicking unjoined child (or of
+    /// the closure itself).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let total = AtomicUsize::new(0);
+            scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let sum: u64 = chunk.iter().sum();
+                        total.fetch_add(sum as usize, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn children_can_spawn_siblings() {
+            let hits = AtomicUsize::new(0);
+            scope(|s| {
+                s.spawn(|s2| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    s2.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 2);
+        }
+
+        #[test]
+        fn joined_results_propagate() {
+            let doubled = scope(|s| {
+                let h = s.spawn(|_| 21 * 2);
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(doubled, 42);
+        }
+
+        #[test]
+        fn unjoined_child_panic_is_an_err() {
+            let r = scope(|s| {
+                s.spawn::<_, ()>(|_| panic!("child died"));
+            });
+            assert!(r.is_err());
         }
     }
 }
