@@ -10,17 +10,21 @@
 //! the repo root. Run with `--smoke` for the CI gate: short 1-client,
 //! 16-client, and subscription runs that fail (panic) on wrong
 //! replies or pathological slowness, without asserting exact timing.
+//! `--interrupt` runs only the interrupt-latency scenario (how fast a
+//! `Request::Interrupt` stops a breakpoint-free continue) and gates
+//! its mean latency at 50ms.
 //!
 //! ```text
-//! cargo run --release -p bench --bin server_throughput            # full JSON
-//! cargo run --release -p bench --bin server_throughput -- --smoke # CI gate
+//! cargo run --release -p bench --bin server_throughput                # full JSON
+//! cargo run --release -p bench --bin server_throughput -- --smoke     # CI gate
+//! cargo run --release -p bench --bin server_throughput -- --interrupt # latency gate
 //! ```
 
 use std::net::TcpListener;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hgdb::protocol::Request;
-use hgdb::{DebugService, Runtime, TcpDebugServer};
+use hgdb::{outbound_queue, DebugClient, DebugService, Runtime, TcpDebugServer};
 use rtl_sim::Simulator;
 
 fn build_runtime() -> Runtime<Simulator> {
@@ -68,6 +72,9 @@ struct Row {
     clients: usize,
     requests: u64,
     requests_per_sec: f64,
+    /// Mean request-to-effect latency, for scenarios where latency is
+    /// the figure of merit (the interrupt scenario) rather than rate.
+    latency_ms: Option<f64>,
 }
 
 /// N concurrent TCP clients, each issuing `per_client` request
@@ -109,6 +116,7 @@ fn measure_clients(clients: usize, per_client: u64) -> Row {
         clients,
         requests: total,
         requests_per_sec: total as f64 / elapsed,
+        latency_ms: None,
     }
 }
 
@@ -138,6 +146,7 @@ fn measure_batched(batch_size: usize, batches: u64) -> Row {
         clients: 1,
         requests: total,
         requests_per_sec: total as f64 / elapsed,
+        latency_ms: None,
     }
 }
 
@@ -220,14 +229,74 @@ fn measure_subscriptions(stops: u64, filtered: bool) -> Row {
         clients: 16,
         requests: stops,
         requests_per_sec: stops as f64 / elapsed,
+        latency_ms: None,
+    }
+}
+
+/// The interrupt scenario: a raw in-process session launches a
+/// breakpoint-free unbounded `continue`, a second session fires
+/// `Request::Interrupt`, and the round measures the latency from the
+/// interrupt request to the runner's `interrupted` stop reply. This is
+/// the user-facing "Ctrl-C responsiveness" of the service while the
+/// simulation is running flat out.
+fn measure_interrupt(rounds: u64) -> Row {
+    let service = DebugService::spawn(build_runtime());
+    let handle = service.handle();
+    let mut controller = DebugClient::new(handle.connect().expect("connect"));
+    let (out_tx, out_rx) = outbound_queue(64);
+    let runner = handle.open_session(out_tx).expect("open session");
+
+    let mut total = Duration::ZERO;
+    let start = Instant::now();
+    for i in 0..rounds {
+        assert!(handle.submit(
+            runner,
+            Some(i),
+            Request::Continue {
+                max_cycles: None,
+                budget_cycles: None,
+                budget_ms: None,
+            },
+        ));
+        // Let the run get deep into a slice first; otherwise the
+        // interrupt is drained at cycle 0 and the number measures
+        // queue latency, not mid-run responsiveness.
+        std::thread::sleep(Duration::from_millis(2));
+        let t0 = Instant::now();
+        controller.interrupt().expect("interrupt acknowledged");
+        let reply = out_rx.recv().expect("stop reply");
+        total += t0.elapsed();
+        let (line, _, _) = reply.to_line(runner);
+        let json = microjson::parse(&line).expect("reply json");
+        assert_eq!(
+            json["event"]["reason"].as_str(),
+            Some("interrupted"),
+            "runner stops with the interrupted reason"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    handle.close_session(runner);
+    drop(controller);
+    let _runtime = service.shutdown();
+    Row {
+        mode: "interrupt_midrun".into(),
+        clients: 2,
+        requests: rounds,
+        requests_per_sec: rounds as f64 / elapsed,
+        latency_ms: Some(total.as_secs_f64() * 1000.0 / rounds as f64),
     }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let interrupt_only = std::env::args().any(|a| a == "--interrupt");
     let per_client: u64 = if smoke { 500 } else { 5_000 };
 
-    let rows: Vec<Row> = if smoke {
+    let rows: Vec<Row> = if interrupt_only {
+        // The CI chaos job's latency gate; also part of the full run.
+        vec![measure_interrupt(if smoke { 50 } else { 200 })]
+    } else if smoke {
         // The CI gate: the two ends of the concurrency range, plus the
         // filtered-broadcast path (which also exercises backpressure).
         vec![
@@ -243,6 +312,7 @@ fn main() {
             measure_batched(64, per_client / 10),
             measure_subscriptions(per_client, false),
             measure_subscriptions(per_client, true),
+            measure_interrupt(200),
         ]
     };
 
@@ -251,27 +321,41 @@ fn main() {
     println!("  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let latency = r
+            .latency_ms
+            .map(|ms| format!(", \"interrupt_latency_ms\": {ms:.2}"))
+            .unwrap_or_default();
         println!(
-            "    {{\"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \"requests_per_sec\": {:.0}}}{}",
-            r.mode, r.clients, r.requests, r.requests_per_sec, comma
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \"requests_per_sec\": {:.0}{}}}{}",
+            r.mode, r.clients, r.requests, r.requests_per_sec, latency, comma
         );
     }
     println!("  ]");
     println!("}}");
 
-    if smoke {
-        // Loose floor: loopback TCP against the service thread runs
+    if smoke || interrupt_only {
+        // Loose floors: loopback TCP against the service thread runs
         // tens of thousands of requests/sec; anything under 1k/sec
         // means the service serialization or the per-client threads
         // regressed to pathological behavior (every reply was already
-        // checked for correctness above).
+        // checked for correctness above). An interrupt must land well
+        // within a handful of slices (the regression bound is one
+        // 5ms slice; 50ms is the gate with scheduling headroom).
         for r in &rows {
-            assert!(
-                r.requests_per_sec > 1_000.0,
-                "{}: throughput {:.0} req/sec below smoke floor 1000",
-                r.mode,
-                r.requests_per_sec
-            );
+            if let Some(ms) = r.latency_ms {
+                assert!(
+                    ms < 50.0,
+                    "{}: interrupt latency {ms:.2}ms above 50ms gate",
+                    r.mode
+                );
+            } else {
+                assert!(
+                    r.requests_per_sec > 1_000.0,
+                    "{}: throughput {:.0} req/sec below smoke floor 1000",
+                    r.mode,
+                    r.requests_per_sec
+                );
+            }
         }
         eprintln!("smoke ok");
     }

@@ -153,6 +153,43 @@ impl<T: Transport> DebugClient<T> {
         }
     }
 
+    /// [`DebugClient::wait_event`] with a deadline: returns `Ok(None)`
+    /// if no asynchronous event arrives within `timeout`, so an
+    /// interactive frontend can wait without wedging on a quiet
+    /// server. On transports without timeout support the call degrades
+    /// to a blocking [`DebugClient::wait_event`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn wait_event_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Json>, ClientError> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(Some(ev));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = match deadline.checked_duration_since(std::time::Instant::now()) {
+                Some(r) if !r.is_zero() => r,
+                _ => return Ok(None),
+            };
+            let line = match self.transport.recv_timeout(remaining) {
+                crate::server::RecvOutcome::Line(line) => line,
+                crate::server::RecvOutcome::TimedOut => return Ok(None),
+                crate::server::RecvOutcome::Closed => {
+                    return Err(ClientError::Transport("disconnected".into()))
+                }
+            };
+            let json = microjson::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            if json["type"].as_str() == Some("event") {
+                return Ok(Some(json));
+            }
+            // A non-event here is a stale reply; skip it.
+        }
+    }
+
     /// Inserts breakpoints at `filename:line`; returns ids.
     ///
     /// # Errors
@@ -279,7 +316,51 @@ impl<T: Transport> DebugClient<T> {
     ///
     /// Server/transport failures.
     pub fn continue_run(&mut self, max_cycles: Option<u64>) -> Result<Json, ClientError> {
-        self.request(&Request::Continue { max_cycles })
+        self.continue_with(max_cycles, None, None)
+    }
+
+    /// [`DebugClient::continue_run`] with an optional per-request
+    /// budget: the run stops with reason `budget_exhausted` once it
+    /// consumes `budget_cycles` clock cycles or `budget_ms`
+    /// milliseconds of wall time, and is resumable from exactly where
+    /// the budget cut in.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn continue_with(
+        &mut self,
+        max_cycles: Option<u64>,
+        budget_cycles: Option<u64>,
+        budget_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        self.request(&Request::Continue {
+            max_cycles,
+            budget_cycles,
+            budget_ms,
+        })
+    }
+
+    /// Liveness probe; also resets the server's idle-reap clock for
+    /// this connection.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Asks the service to stop whatever `continue` is currently in
+    /// flight (from any session); the interrupted run replies to its
+    /// own requester with stop reason `interrupted`. A no-op when
+    /// nothing is running.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn interrupt(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Interrupt).map(|_| ())
     }
 
     /// Steps to the next active statement.

@@ -75,6 +75,7 @@
 
 pub mod client;
 pub mod expr;
+pub mod fault;
 pub mod frame;
 pub mod outbound;
 pub mod protocol;
@@ -86,13 +87,17 @@ mod runtime;
 
 pub use client::{ClientError, DebugClient};
 pub use expr::DebugExpr;
+pub use fault::{FaultGuard, FaultPlan, WireFault};
 pub use frame::{build_var_tree, Frame, VarNode};
-pub use outbound::{outbound_queue, Outbound, OutboundQueue, OutboundReceiver};
+pub use outbound::{outbound_queue, Outbound, OutboundQueue, OutboundReceiver, RecvTimeoutError};
 pub use protocol::SessionId;
 pub use runtime::{
-    BreakpointListing, DebugError, RunOutcome, Runtime, StopEvent, WatchHit, WatchpointListing,
-    LOCAL_SESSION,
+    BreakpointListing, DebugError, RunOutcome, Runtime, SliceOutcome, StopEvent, StopKind,
+    WatchHit, WatchpointListing, LOCAL_SESSION,
 };
 pub use scheduler::{Group, Scheduler};
-pub use server::{channel_pair, serve, ChannelPair, TcpTransport, Transport};
-pub use service::{DebugService, ServiceHandle, ServiceTransport, Subscription, TcpDebugServer};
+pub use server::{channel_pair, serve, ChannelPair, RecvOutcome, TcpTransport, Transport};
+pub use service::{
+    DebugService, ServiceHandle, ServicePanicked, ServiceTransport, Subscription, TcpDebugServer,
+    TcpServerConfig,
+};

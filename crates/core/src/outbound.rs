@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use crate::protocol::{
     encode_lagged_event, encode_response_line, encode_stop_broadcast, Response, SessionId,
@@ -183,6 +184,26 @@ impl std::fmt::Display for Disconnected {
 
 impl std::error::Error for Disconnected {}
 
+/// Why [`OutboundReceiver::recv_timeout`] returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout; the producer is still live.
+    Timeout,
+    /// The producer is gone and the queue is fully drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.pad("timed out waiting for outbound message"),
+            RecvTimeoutError::Disconnected => f.pad("outbound sender disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 impl OutboundQueue {
     /// Enqueues a reply. Replies are never dropped: they answer a
     /// request the client is waiting on, and their volume is bounded
@@ -274,6 +295,45 @@ impl OutboundReceiver {
         }
     }
 
+    /// Like [`OutboundReceiver::recv`], but gives up after `timeout`.
+    /// Distinguishes a queue that is merely quiet
+    /// ([`RecvTimeoutError::Timeout`] — the producer may still speak)
+    /// from one that is closed and drained
+    /// ([`RecvTimeoutError::Disconnected`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError`] as above; any delivered message is `Ok`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Outbound, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.missed > 0 {
+                let missed = state.missed;
+                state.missed = 0;
+                return Ok(Outbound::Lagged { missed });
+            }
+            if let Some(out) = state.queue.pop_front() {
+                return Ok(out);
+            }
+            if state.sender_gone {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, result) = self.shared.ready.wait_timeout(state, remaining).unwrap();
+            state = guard;
+            if result.timed_out() && state.queue.is_empty() && state.missed == 0 {
+                return if state.sender_gone {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
     /// Pops the next message without blocking (`None` when the queue
     /// is currently empty *or* closed — use [`OutboundReceiver::recv`]
     /// to distinguish).
@@ -317,6 +377,7 @@ mod tests {
                 hits: Vec::new(),
                 sessions: vec![1],
                 watch_hits: Vec::new(),
+                reason: crate::runtime::StopKind::Breakpoint,
             },
         }
     }
@@ -404,6 +465,34 @@ mod tests {
         drop(rx);
         assert_eq!(tx.push_reply(reply(1)), Err(Disconnected));
         assert_eq!(tx.push_event(event(1)), Err(Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_quiet_from_closed() {
+        let (tx, rx) = outbound_queue(4);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.push_reply(reply(1)).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_ok());
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_push() {
+        let (tx, rx) = outbound_queue(4);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.push_event(event(1)).unwrap();
+        });
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event_time(&got), 1);
+        producer.join().unwrap();
     }
 
     #[test]

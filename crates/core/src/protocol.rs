@@ -98,6 +98,13 @@ pub enum Request {
     Continue {
         /// Safety cycle bound; `None` = run to the end.
         max_cycles: Option<u64>,
+        /// Budget: stop with reason `"budget_exhausted"` after this
+        /// many clock cycles. Unlike `max_cycles` (which *finishes*
+        /// the run), a budget stop is resumable.
+        budget_cycles: Option<u64>,
+        /// Budget: stop with reason `"budget_exhausted"` after this
+        /// much wall-clock time, in milliseconds.
+        budget_ms: Option<u64>,
     },
     /// Step to the next active statement ("step over").
     Step {
@@ -128,6 +135,14 @@ pub enum Request {
     Hierarchy,
     /// Current simulation time.
     Time,
+    /// Liveness probe; answered with [`Response::Pong`]. Also resets
+    /// the connection's idle clock on servers that reap idle peers.
+    Ping,
+    /// Stop another session's in-flight `continue` (stop reason
+    /// `"interrupted"`). Sent on the interrupting session's *own*
+    /// connection; answered `Ok` immediately. With no run in flight it
+    /// is a harmless no-op.
+    Interrupt,
     /// End the session.
     Detach,
     /// Several requests in one round-trip; answered by
@@ -138,11 +153,43 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The wire `"type"` string of this request. Stable names used to
+    /// tag fault-injection points (`fault::maybe_panic`) and
+    /// diagnostics; for a [`Request::Batch`] this is `"batch"`, not
+    /// the inner kinds.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::InsertBreakpoint { .. } => "insert_breakpoint",
+            Request::RemoveBreakpoint { .. } => "remove_breakpoint",
+            Request::ListBreakpoints => "list_breakpoints",
+            Request::InsertWatchpoint { .. } => "insert_watchpoint",
+            Request::RemoveWatchpoint { .. } => "remove_watchpoint",
+            Request::ListWatchpoints => "list_watchpoints",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Continue { .. } => "continue",
+            Request::Step { .. } => "step",
+            Request::ReverseStep => "reverse_step",
+            Request::Frames => "frames",
+            Request::Eval { .. } => "eval",
+            Request::SetValue { .. } => "set_value",
+            Request::Hierarchy => "hierarchy",
+            Request::Time => "time",
+            Request::Ping => "ping",
+            Request::Interrupt => "interrupt",
+            Request::Detach => "detach",
+            Request::Batch { .. } => "batch",
+        }
+    }
+}
+
 /// A runtime → debugger response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Generic success.
     Ok,
+    /// Liveness answer to [`Request::Ping`].
+    Pong,
     /// Inserted breakpoint ids.
     Inserted {
         /// The ids created.
@@ -257,12 +304,21 @@ pub fn encode_request(req: &Request) -> Json {
                 Json::array(kinds.iter().map(|k| Json::from(k.as_str()))),
             ),
         ]),
-        Request::Continue { max_cycles } => Json::object([
+        Request::Continue {
+            max_cycles,
+            budget_cycles,
+            budget_ms,
+        } => Json::object([
             ("type", Json::from("continue")),
             (
                 "max_cycles",
                 max_cycles.map(Json::from).unwrap_or(Json::Null),
             ),
+            (
+                "budget_cycles",
+                budget_cycles.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("budget_ms", budget_ms.map(Json::from).unwrap_or(Json::Null)),
         ]),
         Request::Step { max_cycles } => Json::object([
             ("type", Json::from("step")),
@@ -296,6 +352,8 @@ pub fn encode_request(req: &Request) -> Json {
         ]),
         Request::Hierarchy => Json::object([("type", Json::from("hierarchy"))]),
         Request::Time => Json::object([("type", Json::from("time"))]),
+        Request::Ping => Json::object([("type", Json::from("ping"))]),
+        Request::Interrupt => Json::object([("type", Json::from("interrupt"))]),
         Request::Detach => Json::object([("type", Json::from("detach"))]),
         Request::Batch { requests } => Json::object([
             ("type", Json::from("batch")),
@@ -399,6 +457,8 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
         }
         "continue" => Request::Continue {
             max_cycles: u64_field("max_cycles"),
+            budget_cycles: u64_field("budget_cycles"),
+            budget_ms: u64_field("budget_ms"),
         },
         "step" => Request::Step {
             max_cycles: u64_field("max_cycles"),
@@ -416,6 +476,8 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
         },
         "hierarchy" => Request::Hierarchy,
         "time" => Request::Time,
+        "ping" => Request::Ping,
+        "interrupt" => Request::Interrupt,
         "detach" => Request::Detach,
         "batch" => Request::Batch {
             requests: json["requests"]
@@ -510,6 +572,7 @@ fn stop_event_json(event: &StopEvent) -> Json {
 pub fn encode_response(resp: &Response) -> Json {
     match resp {
         Response::Ok => Json::object([("type", Json::from("ok"))]),
+        Response::Pong => Json::object([("type", Json::from("pong"))]),
         Response::Inserted { ids } => Json::object([
             ("type", Json::from("inserted")),
             ("ids", ids.iter().map(|i| Json::Int(*i)).collect()),
@@ -622,6 +685,16 @@ pub fn encode_lagged_event(missed: u64) -> Json {
     ])
 }
 
+/// Encodes the final event a gracefully shutting-down server writes
+/// to each connected session before closing its socket, so clients
+/// can distinguish an orderly exit from a crash or a cut cable.
+pub fn encode_server_exiting() -> Json {
+    Json::object([
+        ("type", Json::from("event")),
+        ("event", Json::from("server_exiting")),
+    ])
+}
+
 /// Translates a run outcome to a response.
 pub fn outcome_response(outcome: RunOutcome) -> Response {
     match outcome {
@@ -633,6 +706,7 @@ pub fn outcome_response(outcome: RunOutcome) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::StopKind;
 
     #[test]
     fn request_round_trip() {
@@ -653,8 +727,19 @@ mod tests {
             Request::ListBreakpoints,
             Request::Continue {
                 max_cycles: Some(1000),
+                budget_cycles: None,
+                budget_ms: None,
             },
-            Request::Continue { max_cycles: None },
+            Request::Continue {
+                max_cycles: None,
+                budget_cycles: Some(1 << 20),
+                budget_ms: Some(250),
+            },
+            Request::Continue {
+                max_cycles: None,
+                budget_cycles: None,
+                budget_ms: None,
+            },
             Request::Step { max_cycles: None },
             Request::ReverseStep,
             Request::Frames,
@@ -689,6 +774,8 @@ mod tests {
             },
             Request::Hierarchy,
             Request::Time,
+            Request::Ping,
+            Request::Interrupt,
             Request::Detach,
             Request::Batch {
                 requests: vec![
@@ -700,6 +787,8 @@ mod tests {
                     },
                     Request::Continue {
                         max_cycles: Some(64),
+                        budget_cycles: None,
+                        budget_ms: None,
                     },
                     Request::Time,
                 ],
@@ -741,6 +830,7 @@ mod tests {
             }],
             sessions: vec![2, 5],
             watch_hits: Vec::new(),
+            reason: StopKind::Breakpoint,
         };
         let json = encode_response(&Response::Stopped { event });
         let text = json.to_string();
@@ -776,6 +866,7 @@ mod tests {
                 old: Bits::from_u64(3, 8),
                 new: Bits::from_u64(4, 8),
             }],
+            reason: StopKind::Watchpoint,
         };
         let json = encode_response(&Response::Stopped { event });
         let back = microjson::parse(&json.to_string()).unwrap();
@@ -888,12 +979,45 @@ mod tests {
             hits: Vec::new(),
             sessions: vec![7],
             watch_hits: Vec::new(),
+            reason: StopKind::Breakpoint,
         };
         let json = encode_stop_broadcast(7, &event);
         assert_eq!(json["type"].as_str(), Some("event"));
         assert_eq!(json["event"].as_str(), Some("stopped"));
         assert_eq!(json["session"].as_i64(), Some(7));
         assert_eq!(json["data"]["time"].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn liveness_and_shutdown_shapes() {
+        let pong = encode_response(&Response::Pong);
+        assert_eq!(pong["type"].as_str(), Some("pong"));
+
+        let exiting = encode_server_exiting();
+        assert_eq!(exiting["type"].as_str(), Some("event"));
+        assert_eq!(exiting["event"].as_str(), Some("server_exiting"));
+    }
+
+    #[test]
+    fn control_stop_reasons_encode() {
+        for (kind, wire) in [
+            (StopKind::Interrupted, "interrupted"),
+            (StopKind::BudgetExhausted, "budget_exhausted"),
+        ] {
+            let event = StopEvent {
+                time: 8,
+                filename: String::new(),
+                line: 0,
+                col: 0,
+                hits: Vec::new(),
+                sessions: Vec::new(),
+                watch_hits: Vec::new(),
+                reason: kind,
+            };
+            let json = encode_response(&Response::Stopped { event });
+            let back = microjson::parse(&json.to_string()).unwrap();
+            assert_eq!(back["event"]["reason"].as_str(), Some(wire));
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use bits::Bits;
 use rtl_sim::{HierNode, SignalId, SimControl, SimError};
@@ -119,6 +120,67 @@ pub enum RunOutcome {
     },
 }
 
+/// What kind of stop a [`StopEvent`] reports — the wire `reason`.
+///
+/// `Breakpoint` and `Watchpoint` are *debug* stops: user-inserted
+/// state matched, frames or watch hits are attached, and the stop is
+/// broadcast to subscribed sessions. `Interrupted` and
+/// `BudgetExhausted` are *control* stops: the run was cut short by a
+/// [`crate::protocol::Request::Interrupt`] or by the request's own
+/// cycle/wall-clock budget. Control stops carry no frames, are private
+/// to the requesting session (never broadcast), and are not valid
+/// subscription kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopKind {
+    /// A breakpoint group matched.
+    Breakpoint,
+    /// A watched expression changed value across a clock edge.
+    Watchpoint,
+    /// The run was stopped by an `interrupt` request.
+    Interrupted,
+    /// The run exhausted its per-request cycle or wall-clock budget.
+    BudgetExhausted,
+}
+
+impl StopKind {
+    /// The wire string (`reason` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopKind::Breakpoint => "breakpoint",
+            StopKind::Watchpoint => "watchpoint",
+            StopKind::Interrupted => "interrupted",
+            StopKind::BudgetExhausted => "budget_exhausted",
+        }
+    }
+
+    /// Whether stops of this kind are broadcast to other sessions.
+    /// Control stops (interrupt, budget) concern only the session
+    /// whose run was cut short — nothing about the shared simulation
+    /// state is newsworthy to viewers.
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, StopKind::Breakpoint | StopKind::Watchpoint)
+    }
+}
+
+/// One bounded slice of a `continue` — see [`Runtime::continue_slice`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceOutcome {
+    /// A breakpoint or watchpoint hit inside the slice.
+    Stopped(StopEvent),
+    /// The backend ended (end of trace) inside the slice.
+    Finished {
+        /// Final simulation time.
+        time: u64,
+    },
+    /// The slice's cycle or wall-clock bound elapsed without a hit;
+    /// the run can be resumed with another slice (the in-cycle cursor
+    /// persists across slices).
+    Expired {
+        /// Clock cycles actually consumed by this slice.
+        cycles: u64,
+    },
+}
+
 /// A stop: either a breakpoint group (one source location, one or
 /// more concurrent instances — "threads", Figure 4 B) or a watchpoint
 /// value change (no source location, `watch_hits` populated).
@@ -136,24 +198,22 @@ pub struct StopEvent {
     pub hits: Vec<Frame>,
     /// The sessions whose breakpoints or watchpoints matched, sorted
     /// and deduplicated. Empty when the stop came from stepping (no
-    /// user-inserted state involved).
+    /// user-inserted state involved) or is a control stop.
     pub sessions: Vec<SessionId>,
     /// The watchpoints that fired, when this is a watchpoint stop.
     pub watch_hits: Vec<WatchHit>,
+    /// Why execution stopped (breakpoint, watchpoint, interrupt,
+    /// budget exhaustion).
+    pub reason: StopKind,
 }
 
 impl StopEvent {
     /// The event's kind as it appears on the wire (`reason` field) and
-    /// in subscription filters: `"watchpoint"` when watchpoints fired,
-    /// `"breakpoint"` otherwise. The single source of truth — the
+    /// in subscription filters. The single source of truth — the
     /// protocol encoder and [`crate::Subscription::matches`] both call
     /// this, so the wire `reason` and the filter can never disagree.
     pub fn kind(&self) -> &'static str {
-        if self.watch_hits.is_empty() {
-            "breakpoint"
-        } else {
-            "watchpoint"
-        }
+        self.reason.as_str()
     }
 }
 
@@ -552,6 +612,23 @@ impl<S: SimControl> Runtime<S> {
         self.watchpoints.retain(|_, w| w.owner != owner);
     }
 
+    /// Restores runtime invariants after a request panicked mid-flight
+    /// (the service thread's panic-isolation path). A panic can strand
+    /// partial state in two places: the scheduler's per-group insertion
+    /// counters may disagree with the breakpoint map (dropping stops or
+    /// scanning empty groups forever), and `stopped` may describe a
+    /// stop the panicking request was about to replace. The breakpoint
+    /// and watchpoint maps themselves are keyed and either contain an
+    /// entry or don't, so they need no repair. Records one diagnostic
+    /// naming `context`.
+    pub fn repair_after_panic(&mut self, context: &str) {
+        self.scheduler
+            .rebuild_insertions(self.inserted.iter().map(|(id, owners)| (*id, owners.len())));
+        self.stopped = None;
+        self.diagnostics
+            .push(format!("runtime repaired after panic in {context}"));
+    }
+
     /// Lists [`LOCAL_SESSION`]'s inserted breakpoints.
     pub fn breakpoints(&self) -> Vec<BreakpointListing> {
         self.breakpoints_for(LOCAL_SESSION)
@@ -744,33 +821,43 @@ impl<S: SimControl> Runtime<S> {
             return Vec::new();
         }
         let mut watchpoints = std::mem::take(&mut self.watchpoints);
-        let mut hits = Vec::new();
-        for (id, watch) in watchpoints.iter_mut() {
-            match self.eval_watch(watch) {
-                Ok(value) => {
-                    if value != watch.last {
-                        hits.push(WatchHit {
-                            id: *id,
-                            owner: watch.owner,
-                            expr: watch.expr_text.clone(),
-                            old: watch.last.clone(),
-                            new: value.clone(),
-                        });
-                        watch.last = value;
-                        watch.hit_count += 1;
+        // The map is moved out of `self` for the duration of the walk;
+        // a panic inside expression evaluation (a simulator bug, an
+        // injected fault) would otherwise silently discard *every*
+        // session's watchpoints. Catch, restore, re-raise.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut hits = Vec::new();
+            for (id, watch) in watchpoints.iter_mut() {
+                match self.eval_watch(watch) {
+                    Ok(value) => {
+                        if value != watch.last {
+                            hits.push(WatchHit {
+                                id: *id,
+                                owner: watch.owner,
+                                expr: watch.expr_text.clone(),
+                                old: watch.last.clone(),
+                                new: value.clone(),
+                            });
+                            watch.last = value;
+                            watch.hit_count += 1;
+                        }
                     }
-                }
-                Err(e) => {
-                    if !watch.error_reported {
-                        watch.error_reported = true;
-                        self.diagnostics
-                            .push(format!("watchpoint {id} ({}): {e}", watch.expr_text));
+                    Err(e) => {
+                        if !watch.error_reported {
+                            watch.error_reported = true;
+                            self.diagnostics
+                                .push(format!("watchpoint {id} ({}): {e}", watch.expr_text));
+                        }
                     }
                 }
             }
-        }
+            hits
+        }));
         self.watchpoints = watchpoints;
-        hits
+        match result {
+            Ok(hits) => hits,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Resolves a name in an instance context: scoped locals are the
@@ -1009,6 +1096,7 @@ impl<S: SimControl> Runtime<S> {
             hits,
             sessions,
             watch_hits: Vec::new(),
+            reason: StopKind::Breakpoint,
         };
         self.stopped = Some(event.clone());
         RunOutcome::Stopped(event)
@@ -1027,9 +1115,27 @@ impl<S: SimControl> Runtime<S> {
             hits: Vec::new(),
             sessions,
             watch_hits,
+            reason: StopKind::Watchpoint,
         };
         self.stopped = Some(event.clone());
         RunOutcome::Stopped(event)
+    }
+
+    /// Builds a *control* stop event (interrupt or budget exhaustion):
+    /// no frames, no sessions, current simulation time. Control stops
+    /// do not update [`Runtime::stopped`] — the run was cut short
+    /// between breakpoints, so there is no frame context to query.
+    pub fn control_stop(&self, reason: StopKind) -> StopEvent {
+        StopEvent {
+            time: self.sim.time(),
+            filename: String::new(),
+            line: 0,
+            col: 0,
+            hits: Vec::new(),
+            sessions: Vec::new(),
+            watch_hits: Vec::new(),
+            reason,
+        }
     }
 
     /// Whether a group contains at least one inserted breakpoint
@@ -1048,6 +1154,97 @@ impl<S: SimControl> Runtime<S> {
     ///
     /// Propagates backend failures.
     pub fn continue_run(&mut self, max_cycles: Option<u64>) -> Result<RunOutcome, DebugError> {
+        match self.continue_slice(max_cycles.unwrap_or(u64::MAX), None)? {
+            SliceOutcome::Stopped(event) => Ok(RunOutcome::Stopped(event)),
+            SliceOutcome::Finished { time } => Ok(RunOutcome::Finished { time }),
+            // The slice bound *is* max_cycles here, so expiry is the
+            // old "cycle budget reached" finish.
+            SliceOutcome::Expired { .. } => Ok(self.finish_bounded_run()),
+        }
+    }
+
+    /// The terminal state of a `continue` whose caller-supplied cycle
+    /// bound ran out: not stopped at anything, reported as finished at
+    /// the current simulation time. Shared by every sliced-run driver
+    /// so a bounded finish means the same thing on all paths.
+    pub fn finish_bounded_run(&mut self) -> RunOutcome {
+        self.stopped = None;
+        RunOutcome::Finished {
+            time: self.sim.time(),
+        }
+    }
+
+    /// [`Runtime::continue_run`] with an optional per-request budget: a
+    /// run that consumes `budget_cycles` clock cycles or outlives
+    /// `budget_ms` milliseconds of wall-clock time stops with reason
+    /// [`StopKind::BudgetExhausted`] instead of running away. The run
+    /// is resumable — the in-cycle cursor persists, so a later
+    /// `continue` picks up exactly where the budget cut in.
+    ///
+    /// This is the embedded-path budget implementation; the service
+    /// thread drives [`Runtime::continue_slice`] directly so it can
+    /// also drain its command queue between slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn continue_run_budgeted(
+        &mut self,
+        max_cycles: Option<u64>,
+        budget_cycles: Option<u64>,
+        budget_ms: Option<u64>,
+    ) -> Result<RunOutcome, DebugError> {
+        let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut remaining_max = max_cycles;
+        let mut remaining_budget = budget_cycles;
+        loop {
+            if remaining_budget == Some(0) || deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(RunOutcome::Stopped(
+                    self.control_stop(StopKind::BudgetExhausted),
+                ));
+            }
+            let slice = remaining_max
+                .unwrap_or(u64::MAX)
+                .min(remaining_budget.unwrap_or(u64::MAX));
+            // No early-out on remaining_max == Some(0) before the
+            // slice: `continue` scans breakpoint groups at the current
+            // cycle even with a zero bound, and continue_slice(0)
+            // preserves exactly that before expiring.
+            match self.continue_slice(slice, deadline)? {
+                SliceOutcome::Stopped(event) => return Ok(RunOutcome::Stopped(event)),
+                SliceOutcome::Finished { time } => return Ok(RunOutcome::Finished { time }),
+                SliceOutcome::Expired { cycles } => {
+                    if let Some(m) = &mut remaining_max {
+                        *m = m.saturating_sub(cycles);
+                    }
+                    if let Some(b) = &mut remaining_budget {
+                        *b = b.saturating_sub(cycles);
+                    }
+                    if remaining_max == Some(0) {
+                        return Ok(self.finish_bounded_run());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one bounded slice of a `continue`: at most `max_cycles`
+    /// clock cycles, optionally cut short at `deadline`. This is the
+    /// Figure 2 loop of [`Runtime::continue_run`] with a resumable
+    /// exit: on [`SliceOutcome::Expired`] the scheduler's in-cycle
+    /// cursor persists, so chaining slices is cycle-for-cycle
+    /// identical to one long continue. The service thread uses this to
+    /// drain its command queue between slices — the mechanism behind
+    /// `interrupt` and per-request budgets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn continue_slice(
+        &mut self,
+        max_cycles: u64,
+        deadline: Option<Instant>,
+    ) -> Result<SliceOutcome, DebugError> {
         let mut cycles: u64 = 0;
         loop {
             // Figure 2 loop: fetch next group with inserted bps,
@@ -1060,22 +1257,30 @@ impl<S: SimControl> Runtime<S> {
                     }
                     let (hits, sessions) = self.eval_group(gi, true);
                     if !hits.is_empty() {
-                        return Ok(self.stop(gi, hits, sessions));
+                        let RunOutcome::Stopped(event) = self.stop(gi, hits, sessions) else {
+                            unreachable!("stop always yields Stopped");
+                        };
+                        return Ok(SliceOutcome::Stopped(event));
                     }
                     self.scheduler.stop_at(gi);
                 }
             }
-            if let Some(max) = max_cycles {
-                if cycles >= max {
-                    self.stopped = None;
-                    return Ok(RunOutcome::Finished {
-                        time: self.sim.time(),
-                    });
+            if cycles >= max_cycles {
+                return Ok(SliceOutcome::Expired { cycles });
+            }
+            // The deadline bounds a slice's wall-clock time even when
+            // per-cycle evaluation is slow; checked every 64 cycles so
+            // the common (fast) cycle pays no clock read.
+            if cycles & 63 == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Ok(SliceOutcome::Expired { cycles });
+                    }
                 }
             }
             if !self.sim.step_clock() {
                 self.stopped = None;
-                return Ok(RunOutcome::Finished {
+                return Ok(SliceOutcome::Finished {
                     time: self.sim.time(),
                 });
             }
@@ -1087,7 +1292,10 @@ impl<S: SimControl> Runtime<S> {
             // clock edges, where register state is stable.
             let watch_hits = self.check_watchpoints();
             if !watch_hits.is_empty() {
-                return Ok(self.stop_watch(watch_hits));
+                let RunOutcome::Stopped(event) = self.stop_watch(watch_hits) else {
+                    unreachable!("stop_watch always yields Stopped");
+                };
+                return Ok(SliceOutcome::Stopped(event));
             }
         }
     }

@@ -141,6 +141,21 @@ impl Scheduler {
         self.insertions[group_index] > 0
     }
 
+    /// Rebuilds the per-group insertion counters from scratch, given
+    /// the authoritative per-breakpoint insertion counts. Used by the
+    /// runtime's post-panic consistency repair: a request that
+    /// panicked mid-insert may have updated one side but not the
+    /// other, and the counters must agree with the insertion map or
+    /// the continue-loop fast skip silently drops stops.
+    pub fn rebuild_insertions(&mut self, counts: impl Iterator<Item = (i64, usize)>) {
+        self.insertions.iter_mut().for_each(|c| *c = 0);
+        for (bp_id, count) in counts {
+            if let Some(gi) = self.group_of(bp_id) {
+                self.insertions[gi] += count;
+            }
+        }
+    }
+
     /// The group index currently stopped at.
     pub fn current(&self) -> Option<usize> {
         self.current

@@ -14,10 +14,11 @@
 //! service, pumps one transport as its only session until detach or
 //! disconnect, and hands the runtime back.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rtl_sim::SimControl;
 
 use crate::outbound::{outbound_queue, DEFAULT_OUTBOUND_CAPACITY};
@@ -25,10 +26,35 @@ use crate::protocol::decode_line;
 use crate::runtime::Runtime;
 use crate::service::DebugService;
 
+/// What a bounded-wait receive produced (see
+/// [`Transport::recv_timeout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// One complete line arrived.
+    Line(String),
+    /// Nothing arrived within the timeout; the peer may still speak.
+    TimedOut,
+    /// The peer is gone.
+    Closed,
+}
+
 /// Bidirectional line transport.
 pub trait Transport {
     /// Receives the next line; `None` when the peer is gone.
     fn recv(&mut self) -> Option<String>;
+
+    /// Receives the next line, giving up after `timeout`. The default
+    /// implementation ignores the timeout and blocks — transports that
+    /// can honor a deadline (TCP, channels) override it, and callers
+    /// that need liveness detection (e.g.
+    /// [`crate::DebugClient::wait_event_timeout`]) require it.
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        let _ = timeout;
+        match self.recv() {
+            Some(line) => RecvOutcome::Line(line),
+            None => RecvOutcome::Closed,
+        }
+    }
 
     /// Sends one line.
     ///
@@ -60,16 +86,128 @@ impl Transport for ChannelPair {
         self.rx.recv().ok()
     }
 
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        match self.rx.recv_timeout(timeout) {
+            Ok(line) => RecvOutcome::Line(line),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
     fn send(&mut self, line: &str) -> Result<(), String> {
         self.tx.send(line.to_owned()).map_err(|e| e.to_string())
     }
 }
 
+/// What one [`LineReader::read_line`] attempt produced.
+#[derive(Debug)]
+pub(crate) enum ReadLine {
+    /// One complete line (newline stripped).
+    Line(String),
+    /// The underlying read hit its timeout; any partial line read so
+    /// far is retained for the next attempt.
+    TimedOut,
+    /// Clean end of stream with no pending data.
+    Eof,
+    /// The current line exceeded the configured cap before its newline
+    /// arrived. The connection should be torn down: the framer cannot
+    /// resynchronize mid-line.
+    TooLong,
+    /// A non-timeout I/O failure. Connection fronts treat it as
+    /// terminal without inspecting it; the payload exists for tests
+    /// and debug formatting.
+    Err(#[cfg_attr(not(test), allow(dead_code))] std::io::Error),
+}
+
+/// Incremental newline framer over a raw [`Read`].
+///
+/// `BufReader::read_line` has two failure modes this replaces: a read
+/// timeout mid-line *discards* the partial line accumulated so far
+/// (its internal `String` lives on the caller's stack), and nothing
+/// bounds the line length — one peer sending an endless unterminated
+/// line grows server memory without limit. This framer keeps partial
+/// data across [`ReadLine::TimedOut`] and reports [`ReadLine::TooLong`]
+/// at the cap instead of allocating on.
+#[derive(Debug)]
+pub(crate) struct LineReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (avoids re-scanning
+    /// the prefix after every partial read).
+    scanned: usize,
+    max_len: usize,
+    eof: bool,
+}
+
+impl LineReader {
+    /// Creates a framer bounding any single line at `max_len` bytes.
+    pub(crate) fn new(max_len: usize) -> LineReader {
+        LineReader {
+            buf: Vec::new(),
+            scanned: 0,
+            max_len: max_len.max(1),
+            eof: false,
+        }
+    }
+
+    /// Reads until one complete line, EOF, a timeout, or the length
+    /// cap. A trailing unterminated line at EOF is delivered as a final
+    /// [`ReadLine::Line`].
+    pub(crate) fn read_line(&mut self, src: &mut impl Read) -> ReadLine {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| self.scanned + p)
+            {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_len {
+                return ReadLine::TooLong;
+            }
+            if self.eof {
+                if self.buf.is_empty() {
+                    return ReadLine::Eof;
+                }
+                let line = std::mem::take(&mut self.buf);
+                self.scanned = 0;
+                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match src.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                        return ReadLine::TimedOut
+                    }
+                    std::io::ErrorKind::Interrupted => {}
+                    _ => return ReadLine::Err(e),
+                },
+            }
+        }
+    }
+}
+
+/// Line cap for the *client-side* TCP transport. Server responses can
+/// legitimately be large (a hierarchy dump, a deep batch), so this is
+/// far above the server's inbound-request cap — it only exists so a
+/// garbage-spewing peer cannot exhaust client memory.
+const CLIENT_MAX_LINE: usize = 64 << 20;
+
 /// TCP transport (newline-delimited JSON).
 #[derive(Debug)]
 pub struct TcpTransport {
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
     writer: TcpStream,
+    lines: LineReader,
 }
 
 impl TcpTransport {
@@ -85,18 +223,44 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(TcpTransport {
-            reader: BufReader::new(stream),
+            stream,
             writer,
+            lines: LineReader::new(CLIENT_MAX_LINE),
         })
     }
 }
 
 impl Transport for TcpTransport {
     fn recv(&mut self) -> Option<String> {
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
-            Ok(0) | Err(_) => None,
-            Ok(_) => Some(line.trim_end().to_owned()),
+        if self.stream.set_read_timeout(None).is_err() {
+            return None;
+        }
+        loop {
+            match self.lines.read_line(&mut self.stream) {
+                ReadLine::Line(line) => return Some(line),
+                // No timeout is set; a spurious wakeup just retries.
+                ReadLine::TimedOut => {}
+                ReadLine::Eof | ReadLine::TooLong | ReadLine::Err(_) => return None,
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return RecvOutcome::TimedOut;
+            };
+            // set_read_timeout(Some(0)) is an invalid argument; clamp.
+            let remaining = remaining.max(Duration::from_millis(1));
+            if self.stream.set_read_timeout(Some(remaining)).is_err() {
+                return RecvOutcome::Closed;
+            }
+            match self.lines.read_line(&mut self.stream) {
+                ReadLine::Line(line) => return RecvOutcome::Line(line),
+                ReadLine::TimedOut => {}
+                ReadLine::Eof | ReadLine::TooLong | ReadLine::Err(_) => return RecvOutcome::Closed,
+            }
         }
     }
 
@@ -165,5 +329,102 @@ where
         }
     }
     handle.close_session(session);
-    service.shutdown()
+    service
+        .shutdown()
+        .expect("service panics are contained per-request; the thread itself cannot die")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_preserves_partial_lines_across_timeouts() {
+        // A Read that yields data in dribbles with timeouts between.
+        struct Dribble {
+            chunks: Vec<Result<Vec<u8>, std::io::ErrorKind>>,
+        }
+        impl Read for Dribble {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.chunks.pop() {
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Some(Err(kind)) => Err(kind.into()),
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut src = Dribble {
+            chunks: vec![
+                Ok(b"ail\n".to_vec()),
+                Err(std::io::ErrorKind::WouldBlock),
+                Ok(b"{\"t".to_vec()),
+            ],
+        };
+        let mut lines = LineReader::new(1024);
+        assert!(matches!(lines.read_line(&mut src), ReadLine::TimedOut));
+        match lines.read_line(&mut src) {
+            ReadLine::Line(l) => assert_eq!(l, "{\"tail"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        assert!(matches!(lines.read_line(&mut src), ReadLine::Eof));
+    }
+
+    #[test]
+    fn line_reader_surfaces_hard_io_errors() {
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::ConnectionReset.into())
+            }
+        }
+        let mut lines = LineReader::new(64);
+        match lines.read_line(&mut Broken) {
+            ReadLine::Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_reader_caps_unterminated_lines() {
+        let mut src = std::io::repeat(b'x');
+        let mut lines = LineReader::new(64);
+        assert!(matches!(lines.read_line(&mut src), ReadLine::TooLong));
+    }
+
+    #[test]
+    fn line_reader_delivers_trailing_partial_at_eof() {
+        let mut src = std::io::Cursor::new(b"a\r\nb".to_vec());
+        let mut lines = LineReader::new(64);
+        match lines.read_line(&mut src) {
+            ReadLine::Line(l) => assert_eq!(l, "a"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        match lines.read_line(&mut src) {
+            ReadLine::Line(l) => assert_eq!(l, "b"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        assert!(matches!(lines.read_line(&mut src), ReadLine::Eof));
+    }
+
+    #[test]
+    fn channel_pair_recv_timeout() {
+        let (mut a, mut b) = channel_pair();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            RecvOutcome::TimedOut
+        );
+        b.send("hi").unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            RecvOutcome::Line("hi".into())
+        );
+        drop(b);
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            RecvOutcome::Closed
+        );
+    }
 }

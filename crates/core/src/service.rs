@@ -42,21 +42,54 @@
 //! [`crate::outbound::OutboundQueue`] per session: a slow consumer has
 //! its oldest undelivered events dropped (never replies) and is told
 //! via an [`Outbound::Lagged`] message how many it missed.
+//!
+//! # Fault containment
+//!
+//! The service thread is shared infrastructure — one bad request must
+//! not take down every attached session. Three mechanisms bound the
+//! blast radius (see `docs/ARCHITECTURE.md` for the full model):
+//!
+//! * **Panic isolation.** Every request executes under `catch_unwind`.
+//!   A panic yields a final error reply to the offending session, that
+//!   session alone is torn down, the runtime runs a consistency repair
+//!   ([`Runtime::repair_after_panic`]), and service resumes for
+//!   everyone else. [`DebugService::shutdown`] returns `Err` instead
+//!   of re-panicking if the thread itself ever dies.
+//! * **Interruptible continues.** A `continue` runs as bounded slices
+//!   ([`Runtime::continue_slice`]); between slices the service drains
+//!   its command queue, answering other sessions' requests and
+//!   honoring [`Request::Interrupt`] (stop reason `"interrupted"`) and
+//!   per-request cycle/wall-clock budgets (`"budget_exhausted"`). A
+//!   breakpoint-free continue no longer starves the service.
+//! * **Connection liveness.** The TCP front bounds inbound line length,
+//!   reaps sessions idle past [`TcpServerConfig::idle_timeout`]
+//!   (clearing their debug state), answers [`Request::Ping`], tracks
+//!   every client thread, and on [`TcpDebugServer::shutdown`] sends a
+//!   final `server_exiting` event, drains outbound queues with a
+//!   deadline, and joins everything.
 
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use microjson::Json;
 use rtl_sim::{HierNode, SimControl};
 
+use crate::fault;
 use crate::outbound::{outbound_queue, OutboundQueue, OutboundReceiver, DEFAULT_OUTBOUND_CAPACITY};
-use crate::protocol::{decode_line, outcome_response, Request, Response, SessionId};
-use crate::runtime::{DebugError, Runtime, StopEvent, LOCAL_SESSION};
+use crate::protocol::{
+    decode_line, encode_server_exiting, outcome_response, Request, Response, SessionId,
+};
+use crate::runtime::{
+    DebugError, RunOutcome, Runtime, SliceOutcome, StopEvent, StopKind, LOCAL_SESSION,
+};
+use crate::server::{LineReader, ReadLine};
 
 pub use crate::outbound::Outbound;
 
@@ -315,10 +348,30 @@ pub struct DebugService<S: SimControl> {
     thread: Option<JoinHandle<Runtime<S>>>,
 }
 
+/// Error from [`DebugService::shutdown`]: the service thread itself
+/// died of a panic, so the runtime it owned is gone. Per-request
+/// panics are contained and never produce this — seeing it means a
+/// panic escaped the isolation machinery (e.g. inside the containment
+/// code itself).
+#[derive(Debug)]
+pub struct ServicePanicked {
+    /// The panic message, when the payload was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServicePanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service thread panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for ServicePanicked {}
+
 impl<S: SimControl + Send + 'static> DebugService<S> {
     /// Moves the runtime onto a new service thread and starts
     /// accepting commands.
     pub fn spawn(runtime: Runtime<S>) -> DebugService<S> {
+        fault::arm_from_env();
         let (cmd_tx, cmd_rx) = unbounded();
         let thread = std::thread::spawn(move || service_loop(runtime, &cmd_rx));
         DebugService {
@@ -336,10 +389,18 @@ impl<S: SimControl> DebugService<S> {
 
     /// Stops the service thread and returns the runtime (sessions
     /// still open see their outbound channels disconnect).
-    pub fn shutdown(mut self) -> Runtime<S> {
+    ///
+    /// # Errors
+    ///
+    /// [`ServicePanicked`] when the service thread died of an escaped
+    /// panic — the teardown path must not turn one crash into two, so
+    /// the payload is reported instead of resumed.
+    pub fn shutdown(mut self) -> Result<Runtime<S>, ServicePanicked> {
         let _ = self.handle.cmd.send(Command::Shutdown);
         let thread = self.thread.take().expect("service thread present");
-        thread.join().expect("service thread panicked")
+        thread.join().map_err(|payload| ServicePanicked {
+            message: panic_message(payload.as_ref()).to_owned(),
+        })
     }
 }
 
@@ -352,116 +413,554 @@ impl<S: SimControl> Drop for DebugService<S> {
     }
 }
 
+/// Cycle bound of one continue slice. Large enough that the slicing
+/// overhead (a queue poll per slice) vanishes against per-cycle
+/// evaluation cost, small enough that an empty-design slice completes
+/// in well under a millisecond.
+const SLICE_CYCLES: u64 = 2048;
+
+/// Wall-clock bound of one continue slice, for designs slow enough
+/// that even [`SLICE_CYCLES`] cycles would hold the command queue
+/// hostage. This is the service's worst-case responsiveness while a
+/// continue is in flight (the <50ms regression bound in the chaos
+/// suite leaves ~10x headroom).
+const SLICE_WALL: Duration = Duration::from_millis(5);
+
+/// The session currently running a sliced `continue` on the service
+/// thread, and whether anyone has asked it to stop.
+struct ActiveRun {
+    session: SessionId,
+    interrupted: bool,
+}
+
+/// Everything the service thread owns besides the runtime. Grouped so
+/// the per-request `catch_unwind` closure and the between-slice
+/// command pump can both borrow it as one unit.
+struct ServiceState {
+    sessions: BTreeMap<SessionId, SessionState>,
+    next_session: SessionId,
+    /// Commands deferred while a continue was in flight, replayed in
+    /// arrival order once the run finishes.
+    deferred: VecDeque<Command>,
+    /// Sessions with at least one deferred command. Later commands
+    /// from these sessions must also defer — executing them inline
+    /// between slices would reorder one connection's pipeline.
+    deferred_sessions: BTreeSet<SessionId>,
+    active_run: Option<ActiveRun>,
+    shutdown: bool,
+}
+
+impl ServiceState {
+    fn new() -> ServiceState {
+        ServiceState {
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            deferred: VecDeque::new(),
+            deferred_sessions: BTreeSet::new(),
+            active_run: None,
+            shutdown: false,
+        }
+    }
+
+    fn open(&mut self, out: OutboundQueue, id: Option<SessionId>) -> SessionId {
+        let id = match id {
+            Some(requested) if !self.sessions.contains_key(&requested) => requested,
+            _ => {
+                let auto = self.next_session;
+                self.next_session += 1;
+                auto
+            }
+        };
+        self.sessions.insert(
+            id,
+            SessionState {
+                out,
+                sub: Subscription::default(),
+            },
+        );
+        id
+    }
+
+    fn defer(&mut self, cmd: Command) {
+        if let Some(session) = command_session(&cmd) {
+            self.deferred_sessions.insert(session);
+        }
+        self.deferred.push_back(cmd);
+    }
+
+    fn pop_deferred(&mut self) -> Option<Command> {
+        let cmd = self.deferred.pop_front()?;
+        if let Some(session) = command_session(&cmd) {
+            if !self
+                .deferred
+                .iter()
+                .any(|c| command_session(c) == Some(session))
+            {
+                self.deferred_sessions.remove(&session);
+            }
+        }
+        Some(cmd)
+    }
+}
+
+/// The session a command belongs to, for deferral bookkeeping. `Open`
+/// and `Shutdown` are session-less (and are never deferred).
+fn command_session(cmd: &Command) -> Option<SessionId> {
+    match cmd {
+        Command::Execute { session, .. }
+        | Command::Reject { session, .. }
+        | Command::Close { session } => Some(*session),
+        Command::Open { .. } | Command::Shutdown => None,
+    }
+}
+
+/// Whether a request advances the simulation — recursively, so a batch
+/// smuggling a `continue` counts. Advancing requests are never
+/// executed between another session's slices (two interleaved runs
+/// would corrupt both sessions' notion of "the" stop).
+fn is_advancing(request: &Request) -> bool {
+    match request {
+        Request::Continue { .. } | Request::Step { .. } | Request::ReverseStep => true,
+        Request::Batch { requests } => requests.iter().any(is_advancing),
+        _ => false,
+    }
+}
+
+/// Best-effort panic payload rendering (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 fn service_loop<S: SimControl>(
     mut runtime: Runtime<S>,
     cmd_rx: &crossbeam::channel::Receiver<Command>,
 ) -> Runtime<S> {
-    let mut sessions: BTreeMap<SessionId, SessionState> = BTreeMap::new();
-    let mut next_session: SessionId = 1;
-    while let Ok(cmd) = cmd_rx.recv() {
-        match cmd {
-            Command::Open { out, reply, id } => {
-                let id = match id {
-                    Some(requested) if !sessions.contains_key(&requested) => requested,
-                    _ => {
-                        let auto = next_session;
-                        next_session += 1;
-                        auto
-                    }
-                };
-                sessions.insert(
-                    id,
-                    SessionState {
-                        out,
-                        sub: Subscription::default(),
-                    },
-                );
-                let _ = reply.send(id);
+    let mut state = ServiceState::new();
+    loop {
+        if state.shutdown {
+            break;
+        }
+        let cmd = match state.pop_deferred() {
+            Some(cmd) => cmd,
+            None => match cmd_rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+        };
+        process_command(&mut state, &mut runtime, cmd_rx, cmd);
+    }
+    runtime
+}
+
+fn process_command<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    cmd: Command,
+) {
+    match cmd {
+        Command::Open { out, reply, id } => {
+            let id = state.open(out, id);
+            let _ = reply.send(id);
+        }
+        Command::Close { session } => {
+            if state.sessions.remove(&session).is_some() {
+                runtime.clear_session(session);
             }
-            Command::Close { session } => {
-                if sessions.remove(&session).is_some() {
+        }
+        Command::Execute {
+            session,
+            seq,
+            request,
+        } => execute_command(state, runtime, cmd_rx, session, seq, request),
+        Command::Reject {
+            session,
+            seq,
+            message,
+        } => {
+            if let Some(s) = state.sessions.get(&session) {
+                if s.out
+                    .push_reply(Outbound::Reply {
+                        seq,
+                        response: Response::Error { message },
+                        last: false,
+                    })
+                    .is_err()
+                {
+                    state.sessions.remove(&session);
                     runtime.clear_session(session);
                 }
             }
-            Command::Execute {
-                session,
-                seq,
-                request,
-            } => {
-                let mut stops = Vec::new();
-                let mut sub_update = None;
-                let (response, done) =
-                    execute(&mut runtime, session, request, &mut stops, &mut sub_update);
-                if let (Some(sub), Some(state)) = (sub_update, sessions.get_mut(&session)) {
-                    state.sub = sub;
-                }
-                // A failed push means the session's transport is gone
-                // or its queue poisoned itself (reply-flood ceiling):
-                // tear the session down so its debug state and queue
-                // do not outlive a dead or broken peer.
-                let mut dead: Vec<SessionId> = Vec::new();
-                for event in stops {
-                    for (id, state) in &sessions {
-                        if *id != session
-                            && state.sub.matches(&event)
-                            && state
-                                .out
-                                .push_event(Outbound::Stopped {
-                                    origin: session,
-                                    event: event.clone(),
-                                })
-                                .is_err()
-                        {
-                            dead.push(*id);
-                        }
-                    }
-                }
-                if let Some(state) = sessions.get(&session) {
-                    if state
-                        .out
-                        .push_reply(Outbound::Reply {
-                            seq,
-                            response,
-                            last: done,
-                        })
-                        .is_err()
-                    {
-                        dead.push(session);
-                    }
-                }
-                if done {
-                    dead.push(session);
-                }
-                for id in dead {
-                    if sessions.remove(&id).is_some() {
-                        runtime.clear_session(id);
-                    }
-                }
+        }
+        Command::Shutdown => state.shutdown = true,
+    }
+}
+
+/// Executes one request for `session` under panic isolation, then
+/// delivers its reply and fans out any stop broadcasts it produced.
+///
+/// On a panic the blast radius is one session: the offender gets a
+/// final error reply naming the panic, its debug state and queue are
+/// torn down, the runtime runs a consistency repair, and stops that
+/// really happened before the panic are still broadcast. Everyone
+/// else's session is untouched.
+fn execute_command<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    session: SessionId,
+    seq: Option<u64>,
+    request: Request,
+) {
+    if !state.sessions.contains_key(&session) {
+        // A dead or poisoned peer's deferred work; nobody is listening.
+        return;
+    }
+    let label = request.kind_name();
+    let mut stops = Vec::new();
+    let mut sub_update = None;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        service_execute(
+            state,
+            runtime,
+            cmd_rx,
+            session,
+            request,
+            &mut stops,
+            &mut sub_update,
+        )
+    }));
+    let mut dead: Vec<SessionId> = Vec::new();
+    let (response, done) = match result {
+        Ok(ok) => ok,
+        Err(payload) => {
+            // The panic may have unwound out of this session's own
+            // sliced continue; the run is over either way.
+            if state
+                .active_run
+                .as_ref()
+                .is_some_and(|run| run.session == session)
+            {
+                state.active_run = None;
             }
-            Command::Reject {
-                session,
-                seq,
-                message,
-            } => {
-                if let Some(state) = sessions.get(&session) {
-                    if state
-                        .out
-                        .push_reply(Outbound::Reply {
-                            seq,
-                            response: Response::Error { message },
-                            last: false,
-                        })
-                        .is_err()
-                    {
-                        sessions.remove(&session);
-                        runtime.clear_session(session);
-                    }
-                }
+            runtime.repair_after_panic(label);
+            dead.push(session);
+            (
+                Response::Error {
+                    message: format!(
+                        "internal error: request {label:?} panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                },
+                true,
+            )
+        }
+    };
+    if let (Some(sub), Some(s)) = (sub_update, state.sessions.get_mut(&session)) {
+        s.sub = sub;
+    }
+    // A failed push means the session's transport is gone or its queue
+    // poisoned itself (reply-flood ceiling): tear the session down so
+    // its debug state and queue do not outlive a dead or broken peer.
+    for event in stops {
+        for (id, s) in &state.sessions {
+            if *id != session
+                && s.sub.matches(&event)
+                && s.out
+                    .push_event(Outbound::Stopped {
+                        origin: session,
+                        event: event.clone(),
+                    })
+                    .is_err()
+            {
+                dead.push(*id);
             }
-            Command::Shutdown => break,
         }
     }
-    runtime
+    if let Some(s) = state.sessions.get(&session) {
+        if s.out
+            .push_reply(Outbound::Reply {
+                seq,
+                response,
+                last: done,
+            })
+            .is_err()
+        {
+            dead.push(session);
+        }
+    }
+    if done {
+        dead.push(session);
+    }
+    for id in dead {
+        if state.sessions.remove(&id).is_some() {
+            runtime.clear_session(id);
+        }
+    }
+}
+
+/// The service-thread request interpreter: [`execute`]'s semantics
+/// plus the service-only behaviors — `continue` runs as interruptible
+/// slices pumping the command queue, and `interrupt` stops whatever
+/// run is in flight.
+fn service_execute<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    session: SessionId,
+    request: Request,
+    stops: &mut Vec<StopEvent>,
+    sub_update: &mut Option<Subscription>,
+) -> (Response, bool) {
+    match request {
+        Request::Batch { requests } => {
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut done = false;
+            for req in requests {
+                if done {
+                    responses.push(Response::Error {
+                        message: "request after detach in batch".into(),
+                    });
+                    continue;
+                }
+                let (resp, d) =
+                    service_execute(state, runtime, cmd_rx, session, req, stops, sub_update);
+                done |= d;
+                responses.push(resp);
+            }
+            (Response::Batch { responses }, done)
+        }
+        Request::Subscribe {
+            files,
+            instances,
+            kinds,
+        } => {
+            *sub_update = Some(Subscription {
+                files,
+                instances,
+                kinds,
+            });
+            (Response::Ok, false)
+        }
+        Request::Interrupt => {
+            // Interrupting is an explicitly shared-resource action: the
+            // simulation belongs to every attached session, so any
+            // session may stop a runaway continue. With nothing in
+            // flight it is a harmless no-op.
+            if let Some(run) = &mut state.active_run {
+                run.interrupted = true;
+            }
+            (Response::Ok, false)
+        }
+        Request::Continue {
+            max_cycles,
+            budget_cycles,
+            budget_ms,
+        } => {
+            fault::maybe_panic_at("execute", "continue");
+            let outcome = run_interruptible(
+                state,
+                runtime,
+                cmd_rx,
+                session,
+                (max_cycles, budget_cycles, budget_ms),
+            );
+            let resp = match outcome {
+                Ok(outcome) => outcome_response(outcome),
+                Err(e) => error_response(e),
+            };
+            if let Response::Stopped { event } = &resp {
+                if event.reason.is_broadcast() {
+                    stops.push(event.clone());
+                }
+            }
+            (resp, false)
+        }
+        other => {
+            fault::maybe_panic_at("execute", other.kind_name());
+            let advancing = matches!(other, Request::Step { .. } | Request::ReverseStep);
+            let (resp, done) = handle_request(runtime, session, other);
+            if advancing {
+                if let Response::Stopped { event } = &resp {
+                    if event.reason.is_broadcast() {
+                        stops.push(event.clone());
+                    }
+                }
+            }
+            (resp, done)
+        }
+    }
+}
+
+/// Runs a `continue` as bounded slices, draining the command queue
+/// between slices so other sessions stay serviceable and interrupts
+/// and budgets take effect mid-run. `limits` is
+/// `(max_cycles, budget_cycles, budget_ms)`.
+fn run_interruptible<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    session: SessionId,
+    limits: (Option<u64>, Option<u64>, Option<u64>),
+) -> Result<RunOutcome, DebugError> {
+    let (max_cycles, budget_cycles, budget_ms) = limits;
+    state.active_run = Some(ActiveRun {
+        session,
+        interrupted: false,
+    });
+    let result = run_slices(
+        state,
+        runtime,
+        cmd_rx,
+        session,
+        max_cycles,
+        budget_cycles,
+        budget_ms,
+    );
+    state.active_run = None;
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_slices<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    session: SessionId,
+    max_cycles: Option<u64>,
+    budget_cycles: Option<u64>,
+    budget_ms: Option<u64>,
+) -> Result<RunOutcome, DebugError> {
+    let budget_deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut remaining_max = max_cycles;
+    let mut remaining_budget = budget_cycles;
+    loop {
+        // Drain every queued command before burning more cycles:
+        // answer other sessions inline, defer what must wait, notice
+        // interrupts and shutdown.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => interleave(state, runtime, cmd_rx, cmd),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    state.shutdown = true;
+                    break;
+                }
+            }
+        }
+        let interrupted = state.shutdown
+            || state
+                .active_run
+                .as_ref()
+                .is_none_or(|run| run.interrupted || run.session != session);
+        if interrupted {
+            return Ok(RunOutcome::Stopped(
+                runtime.control_stop(StopKind::Interrupted),
+            ));
+        }
+        if remaining_budget == Some(0) || budget_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(RunOutcome::Stopped(
+                runtime.control_stop(StopKind::BudgetExhausted),
+            ));
+        }
+        let slice = SLICE_CYCLES
+            .min(remaining_max.unwrap_or(u64::MAX))
+            .min(remaining_budget.unwrap_or(u64::MAX));
+        let wall = Instant::now() + SLICE_WALL;
+        let slice_deadline = Some(match budget_deadline {
+            Some(d) => wall.min(d),
+            None => wall,
+        });
+        match runtime.continue_slice(slice, slice_deadline)? {
+            SliceOutcome::Stopped(event) => return Ok(RunOutcome::Stopped(event)),
+            SliceOutcome::Finished { time } => return Ok(RunOutcome::Finished { time }),
+            SliceOutcome::Expired { cycles } => {
+                if let Some(m) = &mut remaining_max {
+                    *m = m.saturating_sub(cycles);
+                }
+                if let Some(b) = &mut remaining_budget {
+                    *b = b.saturating_sub(cycles);
+                }
+                if remaining_max == Some(0) {
+                    // The caller's cycle bound is spent: same bounded
+                    // finish as an unsliced continue_run.
+                    return Ok(runtime.finish_bounded_run());
+                }
+            }
+        }
+        fault::maybe_panic("slice");
+    }
+}
+
+/// Handles one command that arrived while a `continue` was in flight.
+///
+/// Inline-safe commands (another session's query, an open, an
+/// interrupt) execute immediately — that is what makes the run
+/// interruptible and other sessions responsive. Everything else is
+/// deferred in arrival order: simulation-advancing requests (two
+/// interleaved runs would corrupt both), anything from the running
+/// session (its pipeline resumes after its continue), and anything
+/// from a session that already has deferred work (per-connection
+/// FIFO order is part of the protocol contract).
+fn interleave<S: SimControl>(
+    state: &mut ServiceState,
+    runtime: &mut Runtime<S>,
+    cmd_rx: &Receiver<Command>,
+    cmd: Command,
+) {
+    let running = state.active_run.as_ref().map(|run| run.session);
+    match cmd {
+        Command::Open { .. } | Command::Shutdown => process_command(state, runtime, cmd_rx, cmd),
+        Command::Execute {
+            session,
+            seq,
+            request,
+        } => {
+            // The interrupt escape hatch jumps every queue by design —
+            // deferring it behind the very run it is meant to stop
+            // would make it useless.
+            if matches!(request, Request::Interrupt) {
+                execute_command(state, runtime, cmd_rx, session, seq, request);
+            } else if Some(session) == running
+                || state.deferred_sessions.contains(&session)
+                || is_advancing(&request)
+            {
+                state.defer(Command::Execute {
+                    session,
+                    seq,
+                    request,
+                });
+            } else {
+                execute_command(state, runtime, cmd_rx, session, seq, request);
+            }
+        }
+        Command::Reject { session, .. } => {
+            if Some(session) == running || state.deferred_sessions.contains(&session) {
+                state.defer(cmd);
+            } else {
+                process_command(state, runtime, cmd_rx, cmd);
+            }
+        }
+        Command::Close { session } => {
+            if Some(session) == running {
+                // The peer hung up mid-continue: stop the run, then
+                // tear the session down once the run returns.
+                if let Some(run) = &mut state.active_run {
+                    run.interrupted = true;
+                }
+                state.defer(cmd);
+            } else if state.deferred_sessions.contains(&session) {
+                state.defer(cmd);
+            } else {
+                process_command(state, runtime, cmd_rx, cmd);
+            }
+        }
+    }
 }
 
 /// Executes one request (batches recurse) on behalf of `session`,
@@ -515,7 +1014,9 @@ fn execute<S: SimControl>(
             let (resp, done) = handle_request(runtime, session, other);
             if advancing {
                 if let Response::Stopped { event } = &resp {
-                    stops.push(event.clone());
+                    if event.reason.is_broadcast() {
+                        stops.push(event.clone());
+                    }
                 }
             }
             (resp, done)
@@ -594,7 +1095,15 @@ pub fn handle_request<S: SimControl>(
             items: runtime.watchpoints_for(session),
         },
         Request::Subscribe { .. } => Response::Ok,
-        Request::Continue { max_cycles } => match runtime.continue_run(max_cycles) {
+        Request::Ping => Response::Pong,
+        // Outside a live service run there is nothing to interrupt;
+        // acknowledging keeps the request valid in batch/local use.
+        Request::Interrupt => Response::Ok,
+        Request::Continue {
+            max_cycles,
+            budget_cycles,
+            budget_ms,
+        } => match runtime.continue_run_budgeted(max_cycles, budget_cycles, budget_ms) {
             Ok(outcome) => outcome_response(outcome),
             Err(e) => error_response(e),
         },
@@ -651,26 +1160,97 @@ pub fn handle_request<S: SimControl>(
     (resp, false)
 }
 
+/// Tunables for the TCP front's fault containment. The defaults suit
+/// interactive debugging; chaos tests shrink them to make reaping and
+/// draining observable in milliseconds.
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// Hard cap on one inbound request line. A line that grows past
+    /// this without a newline gets an error reply and the connection
+    /// is closed — the server never buffers an unbounded frame.
+    pub max_line_len: usize,
+    /// Reap a connection that has sent no complete line for this long
+    /// (`None` disables reaping). A `ping` is a cheap keepalive.
+    pub idle_timeout: Option<Duration>,
+    /// How often a blocked reader wakes to check the idle clock and
+    /// the server's stop flag. Bounds shutdown latency per client.
+    pub poll_interval: Duration,
+    /// On shutdown, how long each client's socket may take to accept
+    /// the final `server_exiting` event before its writes are cut.
+    pub drain_timeout: Duration,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> TcpServerConfig {
+        TcpServerConfig {
+            max_line_len: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(300)),
+            poll_interval: Duration::from_millis(100),
+            drain_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A live client connection tracked for graceful shutdown: the reader
+/// thread to join, and a clone of its stream so a stuck connection can
+/// be cut from outside.
+struct ClientConn {
+    thread: JoinHandle<()>,
+    stream: Option<TcpStream>,
+}
+
 /// The TCP front: accept loop plus one reader and one writer thread
 /// per client connection, all funneling into one [`ServiceHandle`].
+///
+/// Every spawned thread is tracked. [`TcpDebugServer::shutdown`] (and
+/// `Drop`) stops the accept loop, notifies each connected client with
+/// a final `server_exiting` event, drains with a deadline, severs
+/// stragglers, and joins everything — no detached threads survive the
+/// server.
 #[derive(Debug)]
 pub struct TcpDebugServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    clients: Arc<Mutex<Vec<ClientConn>>>,
+    config: TcpServerConfig,
+}
+
+impl std::fmt::Debug for ClientConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientConn").finish_non_exhaustive()
+    }
 }
 
 impl TcpDebugServer {
-    /// Starts accepting connections on `listener`, serving each client
-    /// against the service behind `handle`.
+    /// Starts accepting connections on `listener` with default
+    /// [`TcpServerConfig`], serving each client against the service
+    /// behind `handle`.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from querying the local address.
     pub fn start(handle: ServiceHandle, listener: TcpListener) -> std::io::Result<TcpDebugServer> {
+        TcpDebugServer::start_with(handle, listener, TcpServerConfig::default())
+    }
+
+    /// [`TcpDebugServer::start`] with explicit fault-containment
+    /// tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from querying the local address.
+    pub fn start_with(
+        handle: ServiceHandle,
+        listener: TcpListener,
+        config: TcpServerConfig,
+    ) -> std::io::Result<TcpDebugServer> {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let clients: Arc<Mutex<Vec<ClientConn>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = Arc::clone(&stop);
+        let accept_clients = Arc::clone(&clients);
+        let accept_config = config.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::Acquire) {
@@ -688,13 +1268,40 @@ impl TcpDebugServer {
                     }
                 };
                 let client_handle = handle.clone();
-                std::thread::spawn(move || client_session(&client_handle, stream));
+                let client_config = accept_config.clone();
+                let client_stop = Arc::clone(&accept_stop);
+                // Keep our own handle on the socket so shutdown can
+                // sever a stuck connection from outside; a failed
+                // clone just means that escape hatch is unavailable.
+                let tracked = stream.try_clone().ok();
+                let thread = std::thread::spawn(move || {
+                    client_session(&client_handle, stream, &client_config, &client_stop);
+                });
+                let mut registry = accept_clients.lock().unwrap();
+                // Opportunistically reap finished sessions so a
+                // long-lived server's registry tracks live connections
+                // rather than its whole connection history.
+                let mut i = 0;
+                while i < registry.len() {
+                    if registry[i].thread.is_finished() {
+                        let done = registry.swap_remove(i);
+                        let _ = done.thread.join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                registry.push(ClientConn {
+                    thread,
+                    stream: tracked,
+                });
             }
         });
         Ok(TcpDebugServer {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
+            clients,
+            config,
         })
     }
 
@@ -703,14 +1310,16 @@ impl TcpDebugServer {
         self.local_addr
     }
 
-    /// Stops accepting new connections and joins the accept loop.
-    /// Existing client sessions keep running until they detach or the
-    /// service shuts down.
+    /// Graceful shutdown: stop accepting, send every connected client
+    /// a final `server_exiting` event, drain within the configured
+    /// deadline, sever connections that refuse to drain, and join all
+    /// reader/writer threads. Returns only once no server thread is
+    /// left running.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.shutdown_inner();
     }
 
-    fn stop_accepting(&mut self) {
+    fn shutdown_inner(&mut self) {
         let Some(thread) = self.accept_thread.take() else {
             return;
         };
@@ -718,19 +1327,57 @@ impl TcpDebugServer {
         // Unblock the accept call with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         let _ = thread.join();
+        let clients = std::mem::take(&mut *self.clients.lock().unwrap());
+        // Bound the final server_exiting write per client: a peer that
+        // stopped reading (dead TCP window) must not wedge shutdown.
+        for conn in &clients {
+            if let Some(stream) = &conn.stream {
+                let _ = stream.set_write_timeout(Some(self.config.drain_timeout));
+            }
+        }
+        // Each reader notices the stop flag within one poll interval,
+        // the writer then gets drain_timeout to flush; anything beyond
+        // deadline + margin is wedged and gets its socket cut.
+        let deadline = Instant::now()
+            + self.config.drain_timeout
+            + self.config.poll_interval
+            + Duration::from_millis(500);
+        for conn in &clients {
+            while !conn.thread.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if !conn.thread.is_finished() {
+                if let Some(stream) = &conn.stream {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        for conn in clients {
+            let _ = conn.thread.join();
+        }
     }
 }
 
 impl Drop for TcpDebugServer {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.shutdown_inner();
     }
 }
 
 /// One client connection: this thread reads request lines; a spawned
 /// writer thread drains the session's outbound channel (replies and
 /// broadcasts, strictly ordered) onto the socket.
-fn client_session(handle: &ServiceHandle, stream: TcpStream) {
+///
+/// The reader polls at `config.poll_interval` so it can notice server
+/// shutdown and reap the connection after `config.idle_timeout`
+/// without a complete line. Lines longer than `config.max_line_len`
+/// are answered with an error and end the connection.
+fn client_session(
+    handle: &ServiceHandle,
+    stream: TcpStream,
+    config: &TcpServerConfig,
+    stop: &Arc<AtomicBool>,
+) {
     // One small JSON line per reply: Nagle's algorithm would hold each
     // one back until the peer ACKs, serializing the session at ~25
     // round-trips/sec on loopback.
@@ -742,6 +1389,7 @@ fn client_session(handle: &ServiceHandle, stream: TcpStream) {
     let Some(session) = handle.open_session(out_tx) else {
         return;
     };
+    let writer_stop = Arc::clone(stop);
     let writer = std::thread::spawn(move || {
         let mut w = write_half;
         while let Some(out) = out_rx.recv() {
@@ -752,35 +1400,70 @@ fn client_session(handle: &ServiceHandle, stream: TcpStream) {
                 .and_then(|()| w.flush())
                 .is_ok();
             if !ok || last {
-                break;
+                let _ = w.shutdown(Shutdown::Both);
+                return;
             }
+        }
+        // Queue closed without a final reply. If the server is
+        // exiting, tell the peer before hanging up; a reaped or
+        // poisoned session just gets EOF.
+        if writer_stop.load(Ordering::Acquire) {
+            let mut line = encode_server_exiting().to_string();
+            line.push('\n');
+            let _ = w.write_all(line.as_bytes()).and_then(|()| w.flush());
         }
         // Unblock the reader (and tell the peer) on session end.
         let _ = w.shutdown(Shutdown::Both);
     });
 
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = stream;
+    let _ = reader.set_read_timeout(Some(config.poll_interval));
+    let mut lines = LineReader::new(config.max_line_len);
+    let mut last_activity = Instant::now();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let (seq, request) = decode_line(trimmed);
-        let queued = match request {
-            Ok(request) => handle.submit(session, seq, request),
-            // Routed through the service's command queue, so the
-            // error reply cannot overtake replies still in flight
-            // for earlier pipelined requests.
-            Err(message) => handle.reject(session, seq, message),
-        };
-        if !queued {
-            break;
+        match lines.read_line(&mut reader) {
+            ReadLine::Line(line) => {
+                last_activity = Instant::now();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (seq, request) = decode_line(&line);
+                let queued = match request {
+                    Ok(request) => handle.submit(session, seq, request),
+                    // Routed through the service's command queue, so
+                    // the error reply cannot overtake replies still in
+                    // flight for earlier pipelined requests.
+                    Err(message) => handle.reject(session, seq, message),
+                };
+                if !queued {
+                    break;
+                }
+            }
+            ReadLine::TimedOut => {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if config
+                    .idle_timeout
+                    .is_some_and(|idle| last_activity.elapsed() >= idle)
+                {
+                    // Liveness reap: the peer went quiet past the
+                    // deadline; free its debug state rather than
+                    // holding breakpoints for a ghost.
+                    break;
+                }
+            }
+            ReadLine::TooLong => {
+                // The reply drains through the outbound queue before
+                // the close tears it down, so the peer learns *why*.
+                let _ = handle.reject(
+                    session,
+                    None,
+                    format!("line exceeds {} byte cap", config.max_line_len),
+                );
+                break;
+            }
+            ReadLine::Eof | ReadLine::Err(_) => break,
         }
     }
     handle.close_session(session);

@@ -10,7 +10,7 @@
 //! Same over a socket:  `cargo run --example gdb_cli -- --demo --tcp`
 //!
 //! Commands: b FILE:LINE [COND] | w EXPR | iw | dw ID | c | s | rs |
-//! p EXPR | sub [KIND...] | info | frames | q
+//! p EXPR | sub [KIND...] | ev [SECS] | info | frames | q
 
 use std::io::{BufRead, Write};
 use std::thread;
@@ -160,6 +160,20 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
         "sub" | "subscribe" => client
             .subscribe(&[], &[], &rest)
             .map(|()| println!("subscription updated")),
+        "ev" | "event" => {
+            // Bounded wait, so a quiet server hands the prompt back
+            // instead of wedging the CLI.
+            let secs = rest
+                .first()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(1);
+            client
+                .wait_event_timeout(std::time::Duration::from_secs(secs))
+                .map(|ev| match ev {
+                    Some(ev) => print_response(&ev),
+                    None => println!("no event within {secs}s"),
+                })
+        }
         "c" | "continue" => client
             .continue_run(Some(1_000_000))
             .map(|r| print_response(&r)),
@@ -179,7 +193,7 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
         }
         "" => return true,
         other => {
-            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/info/t/q)");
+            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/ev/info/t/q)");
             return true;
         }
     };
@@ -221,7 +235,7 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
     } else {
         println!(
             "hgdb gdb-style CLI. Commands: b FILE:LINE [COND], w EXPR, iw, dw ID, c, s, rs, \
-             p EXPR, sub [KIND...], info, t, q"
+             p EXPR, sub [KIND...], ev [SECS], info, t, q"
         );
         println!("try: b {}:{bp_line} count == 5", file!());
         let stdin = std::io::stdin();

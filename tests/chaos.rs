@@ -1,0 +1,403 @@
+//! Chaos suite: fault-injection tests for the debug service's
+//! containment guarantees.
+//!
+//! Every test here stages a fault — an injected panic inside request
+//! handling, a malformed wire frame, a stalled or vanished peer — and
+//! asserts the same three invariants: the service keeps serving
+//! sessions the fault did not touch, the faulty session is cleanly
+//! torn down (state cleared, peer notified where possible), and
+//! `DebugService::shutdown` still hands the runtime back without
+//! panicking.
+//!
+//! Panic-injection plans are process-global, so tests that arm one
+//! serialize on [`FAULT_LOCK`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hgdb::client::connect_tcp;
+use hgdb::protocol::Request;
+use hgdb::{
+    outbound_queue, DebugClient, DebugService, FaultPlan, Outbound, Runtime, TcpDebugServer,
+    TcpServerConfig, WireFault,
+};
+use hgf::CircuitBuilder;
+use rtl_sim::Simulator;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn build_counter() -> (Simulator, symtab::SymbolTable, u32) {
+    let mut cb = CircuitBuilder::new();
+    let bp_line = line!() + 5;
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.when(count.sig().lt(&m.lit(100, 8)), |m| {
+            m.assign(&count, count.sig() + m.lit(1, 8));
+        });
+        m.assign(&out, count.sig());
+    });
+    let circuit = cb.finish("top").unwrap();
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+    let symbols = symtab::from_debug_table(&state.circuit, &table).unwrap();
+    let sim = Simulator::new(&state.circuit).unwrap();
+    (sim, symbols, bp_line)
+}
+
+fn spawn_service() -> (DebugService<Simulator>, u32) {
+    let (sim, symbols, bp_line) = build_counter();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    (service, bp_line)
+}
+
+/// Parses one outbound message from a raw session queue.
+fn outbound_json(out: &Outbound) -> microjson::Json {
+    let (line, _is_reply, _last) = out.to_line(0);
+    microjson::parse(&line).unwrap()
+}
+
+#[test]
+fn injected_execute_panic_poisons_only_offender() {
+    let _fault = FAULT_LOCK.lock().unwrap();
+    let (service, bp_line) = spawn_service();
+    let mut a = DebugClient::new(service.handle().connect().unwrap());
+    let mut b = DebugClient::new(service.handle().connect().unwrap());
+
+    let _armed = FaultPlan::new().panic_at("execute:eval", 1).arm();
+
+    // A's eval panics inside the service; A gets a final error reply
+    // naming the panic rather than a hung connection.
+    let err = a.eval(Some("top"), "count").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("panicked"), "error names the panic: {msg}");
+    assert!(
+        msg.contains("fault injected"),
+        "panic payload surfaced: {msg}"
+    );
+
+    // A's session is poisoned: the transport is gone.
+    assert!(a.time().is_err(), "poisoned session stays dead");
+
+    // B is untouched and the runtime is still consistent — breakpoints
+    // insert, continue stops, values read.
+    let ids = b
+        .insert_breakpoint(file!(), bp_line, Some("count == 3"))
+        .unwrap();
+    assert_eq!(ids.len(), 1);
+    let stop = b.continue_run(Some(1000)).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+    assert_eq!(
+        stop["event"]["hits"][0]["locals"]["count"]["decimal"].as_str(),
+        Some("3")
+    );
+    drop((a, b));
+    let runtime = service
+        .shutdown()
+        .expect("service thread survived the panic");
+    drop(runtime);
+}
+
+#[test]
+fn injected_slice_panic_contained_midrun() {
+    let _fault = FAULT_LOCK.lock().unwrap();
+    let (service, _) = spawn_service();
+    let handle = service.handle();
+    let mut b = DebugClient::new(handle.connect().unwrap());
+
+    let _armed = FaultPlan::new().panic_at("slice", 1).arm();
+
+    // A raw session launches a breakpoint-free continue; the injected
+    // panic fires between the first two slices, mid-run.
+    let (out_tx, out_rx) = outbound_queue(64);
+    let a = handle.open_session(out_tx).unwrap();
+    assert!(handle.submit(
+        a,
+        Some(1),
+        Request::Continue {
+            max_cycles: None,
+            budget_cycles: None,
+            budget_ms: None,
+        },
+    ));
+    let reply = out_rx.recv().expect("poisoned session gets a final reply");
+    let json = outbound_json(&reply);
+    assert_eq!(json["type"].as_str(), Some("error"));
+    assert!(json["message"].as_str().unwrap().contains("panicked"));
+    assert!(
+        out_rx.recv().is_none(),
+        "queue closes after the poison reply"
+    );
+
+    // B still gets service.
+    assert!(b.time().is_ok());
+    drop(b);
+    service
+        .shutdown()
+        .expect("service thread survived the panic");
+}
+
+#[test]
+fn interrupt_stops_breakpoint_free_continue() {
+    let (service, _) = spawn_service();
+    let handle = service.handle();
+    // Connect B before the run starts so its open isn't part of the
+    // measured latency.
+    let mut b = DebugClient::new(handle.connect().unwrap());
+
+    let (out_tx, out_rx) = outbound_queue(64);
+    let a = handle.open_session(out_tx).unwrap();
+    assert!(handle.submit(
+        a,
+        Some(7),
+        Request::Continue {
+            max_cycles: None,
+            budget_cycles: None,
+            budget_ms: None,
+        },
+    ));
+    // Let the run actually start before measuring responsiveness.
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Regression bound: another session's request is answered within
+    // one slice while the continue is in flight (slice wall is 5ms;
+    // 50ms is the acceptance bound with 10x headroom).
+    let t0 = Instant::now();
+    b.time().expect("second session served mid-continue");
+    assert!(
+        t0.elapsed() < Duration::from_millis(50),
+        "mid-continue request took {:?}",
+        t0.elapsed()
+    );
+
+    b.interrupt().expect("interrupt acknowledged");
+    let reply = out_rx.recv().expect("interrupted run replies");
+    let json = outbound_json(&reply);
+    assert_eq!(json["type"].as_str(), Some("stopped"));
+    assert_eq!(json["event"]["reason"].as_str(), Some("interrupted"));
+    assert_eq!(json["seq"].as_i64(), Some(7));
+
+    // The interrupted session is still alive and resumable.
+    assert!(handle.submit(a, Some(8), Request::Time));
+    let json = outbound_json(&out_rx.recv().unwrap());
+    assert_eq!(json["type"].as_str(), Some("time"));
+
+    handle.close_session(a);
+    drop(b);
+    service.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn budget_cycles_stop_is_resumable() {
+    let (service, _) = spawn_service();
+    let mut client = DebugClient::new(service.handle().connect().unwrap());
+
+    let stop = client.continue_with(None, Some(2000), None).unwrap();
+    assert_eq!(stop["type"].as_str(), Some("stopped"));
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    let t1 = client.time().unwrap();
+    assert!(t1 > 0, "budgeted run advanced the simulation");
+
+    // Resumable: a second budgeted continue picks up where the budget
+    // cut in and advances further.
+    let stop = client.continue_with(None, Some(2000), None).unwrap();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    let t2 = client.time().unwrap();
+    assert!(t2 > t1, "second budgeted run advanced past the first");
+
+    drop(client);
+    service.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn budget_ms_bounds_wall_clock() {
+    let (service, _) = spawn_service();
+    let mut client = DebugClient::new(service.handle().connect().unwrap());
+
+    let t0 = Instant::now();
+    let stop = client.continue_with(None, None, Some(50)).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    // Generous ceiling: the run must stop near its 50ms budget, not
+    // wander off unbounded.
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+
+    drop(client);
+    service.shutdown().expect("clean shutdown");
+}
+
+fn chaos_tcp_config() -> TcpServerConfig {
+    TcpServerConfig {
+        max_line_len: 4096,
+        idle_timeout: None,
+        poll_interval: Duration::from_millis(25),
+        drain_timeout: Duration::from_millis(500),
+    }
+}
+
+#[test]
+fn wire_faults_leave_server_serviceable() {
+    let (service, bp_line) = spawn_service();
+    let config = chaos_tcp_config();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = TcpDebugServer::start_with(service.handle(), listener, config.clone()).unwrap();
+    let addr = server.local_addr();
+
+    for fault in WireFault::ALL {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(&fault.bytes(config.max_line_len)).unwrap();
+        writer.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        match fault {
+            WireFault::OversizedLine => {
+                // The cap produces an explanatory error reply, then the
+                // connection is closed — the line is never buffered
+                // whole.
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let json = microjson::parse(line.trim_end()).unwrap();
+                assert_eq!(json["type"].as_str(), Some("error"));
+                assert!(json["message"].as_str().unwrap().contains("byte cap"));
+                line.clear();
+                assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after cap");
+            }
+            WireFault::FramedGarbage => {
+                // Garbage that is at least framed gets a malformed-JSON
+                // error and the connection survives: a valid request
+                // afterwards still works.
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let json = microjson::parse(line.trim_end()).unwrap();
+                assert_eq!(json["type"].as_str(), Some("error"));
+                writer
+                    .write_all(b"{\"seq\":1,\"type\":\"ping\"}\n")
+                    .unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let json = microjson::parse(line.trim_end()).unwrap();
+                assert_eq!(json["type"].as_str(), Some("pong"));
+            }
+            WireFault::TornFrame | WireFault::MidHandshakeDisconnect => {
+                // The peer vanishes; the server just reaps the session.
+                writer.shutdown(Shutdown::Write).unwrap();
+                let mut rest = Vec::new();
+                let _ = reader.read_to_end(&mut rest);
+            }
+        }
+    }
+
+    // After every fault shape, a well-behaved client gets full service.
+    let mut client = connect_tcp(&addr.to_string()).unwrap();
+    let ids = client.insert_breakpoint(file!(), bp_line, None).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert!(client.time().is_ok());
+    drop(client);
+
+    server.shutdown();
+    service.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn stalled_reader_is_reaped_and_state_cleared() {
+    let (service, bp_line) = spawn_service();
+    let config = TcpServerConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        poll_interval: Duration::from_millis(50),
+        ..chaos_tcp_config()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = TcpDebugServer::start_with(service.handle(), listener, config).unwrap();
+
+    let mut client = connect_tcp(&server.local_addr().to_string()).unwrap();
+    let ids = client.insert_breakpoint(file!(), bp_line, None).unwrap();
+    assert_eq!(ids.len(), 1);
+    let reaped_session = client.session_id().unwrap();
+
+    // Go silent past the idle deadline: the server reaps the session
+    // and hangs up (observed as a transport error within ~1s).
+    let t0 = Instant::now();
+    let dead = loop {
+        match client.wait_event_timeout(Duration::from_millis(100)) {
+            Ok(_) => {}
+            Err(_) => break true,
+        }
+        if t0.elapsed() > Duration::from_secs(5) {
+            break false;
+        }
+    };
+    assert!(dead, "stalled connection reaped within the deadline");
+
+    server.shutdown();
+    let runtime = service.shutdown().expect("clean shutdown");
+    assert!(
+        runtime.breakpoints_for(reaped_session).is_empty(),
+        "reaped session's breakpoints are cleared"
+    );
+}
+
+#[test]
+fn ping_defeats_idle_reaping() {
+    let (service, _) = spawn_service();
+    let config = TcpServerConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        poll_interval: Duration::from_millis(50),
+        ..chaos_tcp_config()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = TcpDebugServer::start_with(service.handle(), listener, config).unwrap();
+
+    let mut client = connect_tcp(&server.local_addr().to_string()).unwrap();
+    // Stay connected well past the idle deadline by pinging under it.
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(150));
+        client.ping().expect("keepalive accepted");
+    }
+    assert!(client.time().is_ok(), "pinged connection survives");
+
+    drop(client);
+    server.shutdown();
+    service.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn graceful_shutdown_notifies_clients() {
+    let (service, _) = spawn_service();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server =
+        TcpDebugServer::start_with(service.handle(), listener, chaos_tcp_config()).unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"seq\":1,\"type\":\"ping\"}\n")
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        microjson::parse(line.trim_end()).unwrap()["type"].as_str(),
+        Some("pong")
+    );
+
+    // Graceful shutdown: the connected (idle) client gets a final
+    // server_exiting event, then EOF — not a silent hangup.
+    server.shutdown();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let json = microjson::parse(line.trim_end()).unwrap();
+    assert_eq!(json["type"].as_str(), Some("event"));
+    assert_eq!(json["event"].as_str(), Some("server_exiting"));
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after notice");
+
+    service.shutdown().expect("clean shutdown");
+}

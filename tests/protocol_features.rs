@@ -190,6 +190,8 @@ fn batch_requests_one_round_trip() {
             },
             Request::Continue {
                 max_cycles: Some(1000),
+                budget_cycles: None,
+                budget_ms: None,
             },
             Request::Eval {
                 instance: Some("top".into()),
