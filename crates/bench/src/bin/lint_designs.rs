@@ -1,0 +1,213 @@
+//! CI lint driver: statically analyzes every shipped example design
+//! plus the rv32 core, warnings-as-errors.
+//!
+//! Each design is elaborated once and compiled twice — debug mode and
+//! release mode — because two of the lint codes are mode-dependent by
+//! design (see docs/LINT.md): L004 (dead logic) fires only in debug
+//! builds, where `DontTouch` keeps otherwise-eliminated logic alive,
+//! and L007 (debug-symbol coverage) fires only in release builds,
+//! where optimization strands symbol-table variables. The debug pass
+//! therefore allows L004 and the release pass allows L007; everything
+//! else runs at default severity, and any surviving diagnostic —
+//! warn or deny — fails the run.
+
+use hgdb_lint::{Code, LintConfig, Registry};
+use hgf::CircuitBuilder;
+use hgf_ir::CircuitState;
+
+/// One design under lint: a label and an elaboration function that
+/// populates the builder and returns the top module name.
+struct Design {
+    label: &'static str,
+    build: fn(&mut CircuitBuilder) -> &'static str,
+}
+
+/// The quickstart accumulator (examples/quickstart.rs).
+fn build_acc(cb: &mut CircuitBuilder) -> &'static str {
+    cb.module("acc", |m| {
+        let data = [m.input("data0", 8), m.input("data1", 8)];
+        let out = m.output("out", 8);
+        let sum = m.wire("sum", m.lit(0, 8));
+        for d in data {
+            let odd = d.rem(&m.lit(2, 8)).eq(&m.lit(1, 8));
+            m.when(odd, |m| {
+                m.assign(&sum, sum.sig() + d.clone());
+            });
+        }
+        m.assign(&out, sum.sig());
+    });
+    "acc"
+}
+
+/// The saturating counter (examples/gdb_cli.rs, also tests/chaos.rs).
+fn build_counter(cb: &mut CircuitBuilder) -> &'static str {
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        m.when(count.sig().lt(&m.lit(200, 8)), |m| {
+            m.assign(&count, count.sig() + m.lit(1, 8));
+        });
+        m.assign(&out, count.sig());
+    });
+    "top"
+}
+
+/// The bouncing counter (examples/reverse_debug.rs).
+fn build_bouncer(cb: &mut CircuitBuilder) -> &'static str {
+    cb.module("bouncer", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        let down = m.reg("down", 1, Some(0));
+        m.when_else(
+            down.sig(),
+            |m| {
+                m.assign(&count, count.sig() - m.lit(1, 8));
+                m.when(count.sig().eq(&m.lit(1, 8)), |m| {
+                    m.assign(&down, m.lit(0, 1));
+                });
+            },
+            |m| {
+                m.assign(&count, count.sig() + m.lit(1, 8));
+                m.when(count.sig().eq(&m.lit(4, 8)), |m| {
+                    m.assign(&down, m.lit(1, 1));
+                });
+            },
+        );
+        m.assign(&out, count.sig());
+    });
+    "bouncer"
+}
+
+fn is_nan(m: &hgf::ModuleBuilder<'_>, x: &hgf::Signal) -> hgf::Signal {
+    x.slice(30, 23).eq(&m.lit(0xFF, 8)) & x.slice(22, 0).ne(&m.lit(0, 23))
+}
+
+fn is_snan(m: &hgf::ModuleBuilder<'_>, x: &hgf::Signal) -> hgf::Signal {
+    is_nan(m, x) & !x.bit(22)
+}
+
+/// The two-module FPU comparator (examples/fpu_bug.rs): dcmp leaf
+/// instantiated under an fpu wrapper, exercising cross-instance
+/// connectivity in the checks.
+fn build_fpu(cb: &mut CircuitBuilder) -> &'static str {
+    let dcmp = cb.module("dcmp", |m| {
+        let a = m.input("io.a", 32);
+        let b = m.input("io.b", 32);
+        let signaling = m.input("io.signaling", 1);
+        let lt = m.output("io.lt", 1);
+        let eq = m.output("io.eq", 1);
+        let exc = m.output("io.exceptionFlags", 5);
+
+        let any_nan = m.node("any_nan", is_nan(m, &a) | is_nan(m, &b));
+        let any_snan = m.node("any_snan", is_snan(m, &a) | is_snan(m, &b));
+        let invalid = m.node("invalid", &any_snan | &(&signaling & &any_nan));
+        m.assign(&exc, invalid.cat(&m.lit(0, 4)));
+
+        let both_ok = !any_nan;
+        let a_lt_b = a.slice(30, 0).lt(&b.slice(30, 0));
+        let sign_a = a.bit(31);
+        let sign_b = b.bit(31);
+        let lt_val = sign_a.gt(&sign_b) | (sign_a.eq(&sign_b) & a_lt_b);
+        m.assign(&lt, &both_ok & &lt_val);
+        m.assign(&eq, &both_ok & &a.eq(&b).zext(1).trunc(1));
+    });
+    cb.module("fpu", |m| {
+        let in1 = m.input("in.in1", 32);
+        let in2 = m.input("in.in2", 32);
+        let wflags = m.input("in.wflags", 1);
+        let rm = m.input("in.rm", 3);
+        let toint = m.output("toint", 32);
+        let exc = m.output("io.out.bits.exc", 5);
+
+        let dcmp_inst = m.instance("dcmp", &dcmp);
+        m.assign(&dcmp_inst.input("io.a"), in1.clone());
+        m.assign(&dcmp_inst.input("io.b"), in2.clone());
+        m.assign(&dcmp_inst.input("io.signaling"), m.lit(1, 1));
+
+        let toint_w = m.wire("toint_w", in1.clone());
+        let exc_w = m.wire("exc_w", m.lit(0, 5));
+        m.when(wflags.clone(), |m| {
+            let cmp = dcmp_inst.port("io.lt").cat(&dcmp_inst.port("io.eq"));
+            let masked = (!&rm.slice(1, 0)) & cmp;
+            m.assign(&toint_w, masked.reduce_or().zext(32));
+            m.assign(&exc_w, dcmp_inst.port("io.exceptionFlags"));
+        });
+        m.assign(&toint, toint_w.sig());
+        m.assign(&exc, exc_w.sig());
+    });
+    "fpu"
+}
+
+/// The rv32 core (examples/riscv_debug.rs and the paper's Figure 5
+/// target) at the benchmark memory configuration.
+fn build_cpu(cb: &mut CircuitBuilder) -> &'static str {
+    let cfg = rv32::CoreConfig {
+        imem_words: 4096,
+        dmem_words: 4096,
+    };
+    rv32::build_core(cb, "cpu", cfg);
+    "cpu"
+}
+
+/// Lints one design in one compile mode. Returns the number of
+/// surviving diagnostics (0 = clean).
+fn lint_one(design: &Design, debug_mode: bool) -> usize {
+    let mut cb = CircuitBuilder::new();
+    let top = (design.build)(&mut cb);
+    let circuit = cb.finish(top).expect("design elaborates");
+    let mut state = CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, debug_mode).expect("design compiles");
+
+    let mode_dependent = if debug_mode { Code::L004 } else { Code::L007 };
+    let config = LintConfig::new().allow(mode_dependent);
+    let report = Registry::standard().run(&state, &table, &config);
+
+    let mode = if debug_mode { "debug" } else { "release" };
+    if report.is_clean() {
+        println!("lint {:>8} [{mode:>7}]: clean", design.label);
+    } else {
+        println!(
+            "lint {:>8} [{mode:>7}]: {} diagnostic(s)",
+            design.label,
+            report.diagnostics.len()
+        );
+        print!("{report}");
+    }
+    report.diagnostics.len()
+}
+
+fn main() {
+    let designs = [
+        Design {
+            label: "acc",
+            build: build_acc,
+        },
+        Design {
+            label: "counter",
+            build: build_counter,
+        },
+        Design {
+            label: "bouncer",
+            build: build_bouncer,
+        },
+        Design {
+            label: "fpu",
+            build: build_fpu,
+        },
+        Design {
+            label: "rv32",
+            build: build_cpu,
+        },
+    ];
+
+    let mut total = 0;
+    for design in &designs {
+        total += lint_one(design, true);
+        total += lint_one(design, false);
+    }
+    if total > 0 {
+        eprintln!("lint_designs: {total} diagnostic(s) across shipped designs");
+        std::process::exit(1);
+    }
+    println!("lint_designs: all designs clean in both compile modes");
+}

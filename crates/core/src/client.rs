@@ -412,6 +412,18 @@ impl<T: Transport> DebugClient<T> {
             .ok_or_else(|| ClientError::Protocol("time response missing time".into()))
     }
 
+    /// The design's static-analysis report (`lint_report` JSON: a
+    /// `clean` flag, a `count`, and a `diagnostics` array — see
+    /// `docs/LINT.md` for the schema). Non-advancing: answered inline
+    /// even while another session runs.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn lint(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Lint)
+    }
+
     /// Ends the session.
     ///
     /// # Errors

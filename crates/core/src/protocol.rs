@@ -143,6 +143,10 @@ pub enum Request {
     /// connection; answered `Ok` immediately. With no run in flight it
     /// is a harmless no-op.
     Interrupt,
+    /// The design's static-analysis report; answered with
+    /// [`Response::LintReport`]. Non-advancing: answered inline even
+    /// while another session's `continue` is in flight.
+    Lint,
     /// End the session.
     Detach,
     /// Several requests in one round-trip; answered by
@@ -177,6 +181,7 @@ impl Request {
             Request::Time => "time",
             Request::Ping => "ping",
             Request::Interrupt => "interrupt",
+            Request::Lint => "lint",
             Request::Detach => "detach",
             Request::Batch { .. } => "batch",
         }
@@ -236,6 +241,11 @@ pub enum Response {
     Time {
         /// Simulation time.
         time: u64,
+    },
+    /// Static-analysis report for [`Request::Lint`].
+    LintReport {
+        /// The diagnostics (see `docs/LINT.md` for the wire schema).
+        report: hgdb_lint::Report,
     },
     /// Failure.
     Error {
@@ -354,6 +364,7 @@ pub fn encode_request(req: &Request) -> Json {
         Request::Time => Json::object([("type", Json::from("time"))]),
         Request::Ping => Json::object([("type", Json::from("ping"))]),
         Request::Interrupt => Json::object([("type", Json::from("interrupt"))]),
+        Request::Lint => Json::object([("type", Json::from("lint"))]),
         Request::Detach => Json::object([("type", Json::from("detach"))]),
         Request::Batch { requests } => Json::object([
             ("type", Json::from("batch")),
@@ -478,6 +489,7 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
         "time" => Request::Time,
         "ping" => Request::Ping,
         "interrupt" => Request::Interrupt,
+        "lint" => Request::Lint,
         "detach" => Request::Detach,
         "batch" => Request::Batch {
             requests: json["requests"]
@@ -638,6 +650,15 @@ pub fn encode_response(resp: &Response) -> Json {
         Response::Time { time } => {
             Json::object([("type", Json::from("time")), ("time", Json::from(*time))])
         }
+        Response::LintReport { report } => Json::object([
+            ("type", Json::from("lint_report")),
+            ("clean", Json::from(report.is_clean())),
+            ("count", Json::from(report.diagnostics.len())),
+            (
+                "diagnostics",
+                Json::array(report.diagnostics.iter().map(|d| d.to_json())),
+            ),
+        ]),
         Response::Error { message } => Json::object([
             ("type", Json::from("error")),
             ("message", Json::from(message.as_str())),
@@ -776,6 +797,7 @@ mod tests {
             Request::Time,
             Request::Ping,
             Request::Interrupt,
+            Request::Lint,
             Request::Detach,
             Request::Batch {
                 requests: vec![

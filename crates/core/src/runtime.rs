@@ -386,6 +386,10 @@ pub struct Runtime<S: SimControl> {
     /// Non-fatal evaluation problems (unresolvable enables in a
     /// partial trace, etc.), for the user to inspect.
     diagnostics: Vec<String>,
+    /// Compile-time lint report recorded at attach time, when the
+    /// frontend ran the battery. Absent, `lint_report` falls back to a
+    /// live symbol-coverage pass.
+    lint_report: Option<hgdb_lint::Report>,
 }
 
 impl<S: SimControl> fmt::Debug for Runtime<S> {
@@ -438,6 +442,27 @@ impl<S: SimControl> Runtime<S> {
             next_watch_id: 1,
             stopped: None,
             diagnostics: Vec::new(),
+            lint_report: None,
+        })
+    }
+
+    /// Records the compile-time lint report so `lint` requests can
+    /// serve the full battery's findings (not just live coverage).
+    pub fn set_lint_report(&mut self, report: hgdb_lint::Report) {
+        self.lint_report = Some(report);
+    }
+
+    /// The design's static-analysis report: the recorded compile-time
+    /// report when one was attached, otherwise a live L007
+    /// symbol-coverage pass verifying every symbol-table variable
+    /// still resolves against the backend.
+    pub fn lint_report(&self) -> hgdb_lint::Report {
+        if let Some(report) = &self.lint_report {
+            return report.clone();
+        }
+        let paths = self.symbols.variable_paths().unwrap_or_default();
+        hgdb_lint::symbol_coverage_live(paths.iter().map(String::as_str), &|p| {
+            self.sim.get_value(p).is_some()
         })
     }
 

@@ -1099,6 +1099,9 @@ pub fn handle_request<S: SimControl>(
         // Outside a live service run there is nothing to interrupt;
         // acknowledging keeps the request valid in batch/local use.
         Request::Interrupt => Response::Ok,
+        Request::Lint => Response::LintReport {
+            report: runtime.lint_report(),
+        },
         Request::Continue {
             max_cycles,
             budget_cycles,

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `hgf-ir`: a FIRRTL-like hardware intermediate representation.
 //!
 //! This crate is the compiler substrate of the hgdb reproduction. The

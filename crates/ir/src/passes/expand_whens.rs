@@ -186,10 +186,16 @@ fn expand_module(state: &mut CircuitState, name: &str) -> Result<(), IrError> {
     // Propagate DontTouch from the original procedural targets to the
     // SSA temporaries that now hold their values (pass 1 marked the
     // base names; the temporaries are what optimization would touch).
+    // Dotted targets (instance ports) are not module-local signals, so
+    // pass 1 could not mark them — in debug mode their temporaries must
+    // be protected here or a constant driven onto an instance input
+    // loses its breakpoint to ConstProp + DCE.
     let mut new_marks = Vec::new();
     for fact in facts.values() {
         if let Some((src, temp)) = &fact.assigned {
-            if state.annotations.is_dont_touch(name, src) {
+            if state.annotations.is_dont_touch(name, src)
+                || (state.annotations.debug_mode() && src.contains('.'))
+            {
                 new_marks.push(temp.clone());
             }
         }

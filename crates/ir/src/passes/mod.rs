@@ -159,3 +159,30 @@ pub fn compile(state: &mut CircuitState, debug_mode: bool) -> Result<DebugTable,
     })?;
     CollectSymbols::new().collect(state)
 }
+
+/// [`compile`] with a post-compile check hook: after the pipeline and
+/// symbol collection succeed, `check` runs over the lowered state and
+/// its debug table, and an `Err` from it fails the compile with
+/// [`IrError::CheckFailed`]. The hook is how external analyses (the
+/// `hgdb-lint` crate's deny-level gate, most notably) bolt onto the
+/// pass manager without this crate depending on them.
+///
+/// # Errors
+///
+/// Returns the first pass failure, or a `PassError` wrapping
+/// [`IrError::CheckFailed`] when the hook rejects the circuit.
+pub fn compile_with_check<F>(
+    state: &mut CircuitState,
+    debug_mode: bool,
+    check: F,
+) -> Result<DebugTable, PassError>
+where
+    F: FnOnce(&CircuitState, &DebugTable) -> Result<(), String>,
+{
+    let table = compile(state, debug_mode)?;
+    check(state, &table).map_err(|detail| PassError {
+        pass: "post-compile-check",
+        source: IrError::CheckFailed(detail),
+    })?;
+    Ok(table)
+}

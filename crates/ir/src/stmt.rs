@@ -318,6 +318,10 @@ pub enum IrError {
         /// Offending target.
         target: String,
     },
+    /// A post-compile check hook (e.g. a deny-level lint gate)
+    /// rejected the circuit. The payload is the check's rendered
+    /// diagnostics.
+    CheckFailed(String),
 }
 
 impl fmt::Display for IrError {
@@ -363,6 +367,9 @@ impl fmt::Display for IrError {
                 f,
                 "conditional assignment to {target} in module {module} has no default"
             ),
+            IrError::CheckFailed(detail) => {
+                write!(f, "post-compile check failed: {detail}")
+            }
         }
     }
 }

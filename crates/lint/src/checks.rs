@@ -1,0 +1,616 @@
+//! The built-in battery, L001 through L007.
+//!
+//! Checks never panic on malformed input: each tolerates High-form
+//! circuits, missing modules, and unresolvable names, reporting what
+//! it can. Structural width/driver defects are per-module IR walks;
+//! L005 consumes the flattening error, and L007 cross-references the
+//! debug table against the flattened namespace.
+
+use std::collections::{HashMap, HashSet};
+
+use hgf_ir::{walk_stmts, Circuit, Expr, Module, PortDir, SourceLoc, Stmt};
+use rtl_sim::SimError;
+
+use crate::{Code, Diagnostic, Lint, LintContext};
+
+/// Every `(hierarchical prefix, module name)` pair reachable from the
+/// top, depth-first — the same order the netlist flattener uses.
+fn instance_paths(circuit: &Circuit) -> Vec<(String, String)> {
+    fn walk(circuit: &Circuit, module: &Module, path: String, out: &mut Vec<(String, String)>) {
+        out.push((path.clone(), module.name.clone()));
+        for (inst, m) in module.instances() {
+            if let Some(child) = circuit.module(m) {
+                walk(circuit, child, format!("{path}.{inst}"), out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(top) = circuit.module(&circuit.top) {
+        walk(circuit, top, top.name.clone(), &mut out);
+    }
+    out
+}
+
+/// The declaration (or driving-connect) location of a module-local
+/// signal name, which may be an `instance.port` reference.
+fn signal_loc(circuit: &Circuit, module: &Module, name: &str) -> Option<SourceLoc> {
+    if let Some(p) = module.ports.iter().find(|p| p.name == name) {
+        return Some(p.loc.clone());
+    }
+    if let Some((inst, port)) = name.split_once('.') {
+        if let Some(child) = module.instance_module(inst).and_then(|m| circuit.module(m)) {
+            if let Some(p) = child.ports.iter().find(|p| p.name == port) {
+                return Some(p.loc.clone());
+            }
+        }
+    }
+    for s in walk_stmts(&module.stmts) {
+        if s.declared_signal() == Some(name) {
+            return Some(s.loc().clone());
+        }
+    }
+    walk_stmts(&module.stmts).find_map(|s| match s {
+        Stmt::Connect { target, loc, .. } if target == name => Some(loc.clone()),
+        _ => None,
+    })
+}
+
+/// Resolves a flattened full path (`top.u0.sum_1`) back to a source
+/// location by walking the instance hierarchy.
+fn resolve_loc(circuit: &Circuit, full: &str) -> Option<SourceLoc> {
+    let mut parts = full.split('.');
+    let top = parts.next()?;
+    let mut module = circuit.module(top)?;
+    let rest: Vec<&str> = parts.collect();
+    if rest.is_empty() {
+        return Some(module.loc.clone());
+    }
+    let mut i = 0;
+    while i + 1 < rest.len() {
+        match module
+            .instance_module(rest[i])
+            .and_then(|m| circuit.module(m))
+        {
+            Some(child) => {
+                module = child;
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    signal_loc(circuit, module, &rest[i..].join("."))
+}
+
+/// L001 — whole-circuit static width verification.
+///
+/// Re-applies `ir::expr`'s width rules as a pre-simulation pass and
+/// collects *every* violation, where `Circuit::validate` stops at the
+/// first: ill-typed expressions, connect-width mismatches, non-1-bit
+/// `when` conditions and write enables.
+pub struct WidthCheck;
+
+impl Lint for WidthCheck {
+    fn code(&self) -> Code {
+        Code::L001
+    }
+
+    fn summary(&self) -> &'static str {
+        "static width verification over every module expression"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let circuit = &cx.state.circuit;
+        for module in &circuit.modules {
+            let table = module.signal_table(circuit);
+            let width_of = |n: &str| table.get(n).map(|(w, _)| *w);
+            let mname = &module.name;
+            let mut emit = |msg: String, loc: &SourceLoc| {
+                out.push(Diagnostic::new(Code::L001, msg, Some(loc.clone())));
+            };
+            for stmt in walk_stmts(&module.stmts) {
+                match stmt {
+                    Stmt::Node {
+                        name, expr, loc, ..
+                    } => {
+                        if let Err(e) = expr.width(&width_of) {
+                            emit(format!("node `{mname}.{name}`: {e}"), loc);
+                        }
+                    }
+                    Stmt::Connect {
+                        target, expr, loc, ..
+                    } => match expr.width(&width_of) {
+                        Err(e) => emit(format!("connect to `{mname}.{target}`: {e}"), loc),
+                        Ok(got) => {
+                            if let Some(expected) = width_of(target) {
+                                if got != expected {
+                                    emit(
+                                        format!(
+                                            "connect to `{mname}.{target}`: expression width \
+                                             {got} does not match declared width {expected}"
+                                        ),
+                                        loc,
+                                    );
+                                }
+                            }
+                        }
+                    },
+                    Stmt::When { cond, loc, .. } => match cond.width(&width_of) {
+                        Err(e) => emit(format!("when condition in `{mname}`: {e}"), loc),
+                        Ok(w) if w != 1 => emit(
+                            format!("when condition in `{mname}` must be 1 bit, got {w}"),
+                            loc,
+                        ),
+                        Ok(_) => {}
+                    },
+                    Stmt::MemRead { mem, addr, loc, .. } => {
+                        if let Err(e) = addr.width(&width_of) {
+                            emit(format!("read address of `{mname}.{mem}`: {e}"), loc);
+                        }
+                    }
+                    Stmt::MemWrite {
+                        mem,
+                        addr,
+                        data,
+                        en,
+                        loc,
+                        ..
+                    } => {
+                        for (what, e) in [("write address", addr), ("write data", data)] {
+                            if let Err(err) = e.width(&width_of) {
+                                emit(format!("{what} of `{mname}.{mem}`: {err}"), loc);
+                            }
+                        }
+                        match en.width(&width_of) {
+                            Err(e) => emit(format!("write enable of `{mname}.{mem}`: {e}"), loc),
+                            Ok(w) if w != 1 => emit(
+                                format!("write enable of `{mname}.{mem}` must be 1 bit, got {w}"),
+                                loc,
+                            ),
+                            Ok(_) => {}
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// L002 — undriven signals.
+///
+/// Wires and output ports with no connect (at any scope depth) and no
+/// node definition, plus instance *inputs* the parent never connects.
+/// Registers are exempt: a register without a connect holds its value
+/// (L006 covers the missing reset).
+pub struct UndrivenCheck;
+
+impl Lint for UndrivenCheck {
+    fn code(&self) -> Code {
+        Code::L002
+    }
+
+    fn summary(&self) -> &'static str {
+        "undriven wires, output ports, and instance inputs"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let circuit = &cx.state.circuit;
+        for module in &circuit.modules {
+            let mname = &module.name;
+            let driven: HashSet<&str> = walk_stmts(&module.stmts)
+                .filter_map(|s| match s {
+                    Stmt::Connect { target, .. } => Some(target.as_str()),
+                    Stmt::Node { name, .. } | Stmt::MemRead { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            for p in module.ports.iter().filter(|p| p.dir == PortDir::Output) {
+                if !driven.contains(p.name.as_str()) {
+                    out.push(Diagnostic::new(
+                        Code::L002,
+                        format!("output port `{mname}.{}` is never driven", p.name),
+                        Some(p.loc.clone()),
+                    ));
+                }
+            }
+            for stmt in walk_stmts(&module.stmts) {
+                match stmt {
+                    Stmt::Wire { name, loc, .. } if !driven.contains(name.as_str()) => {
+                        out.push(Diagnostic::new(
+                            Code::L002,
+                            format!("wire `{mname}.{name}` is never driven"),
+                            Some(loc.clone()),
+                        ));
+                    }
+                    Stmt::Instance {
+                        name,
+                        module: m,
+                        loc,
+                        ..
+                    } => {
+                        let Some(child) = circuit.module(m) else {
+                            continue;
+                        };
+                        for p in child.ports.iter().filter(|p| p.dir == PortDir::Input) {
+                            let port = format!("{name}.{}", p.name);
+                            if !driven.contains(port.as_str()) {
+                                out.push(Diagnostic::new(
+                                    Code::L002,
+                                    format!("instance input `{mname}.{port}` is never driven"),
+                                    Some(loc.clone()),
+                                ));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// L003 — multiply-driven signals.
+///
+/// Two connects to the same target within one lexical scope (the same
+/// statement list). Connects in *sibling* `when` branches are legal
+/// High form — last-connect-wins resolution happens per branch — so
+/// each branch body is scanned independently.
+pub struct MultiplyDrivenCheck;
+
+impl MultiplyDrivenCheck {
+    fn scan(module: &str, stmts: &[Stmt], out: &mut Vec<Diagnostic>) {
+        let mut first: HashMap<&str, &SourceLoc> = HashMap::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Connect { target, loc, .. } => {
+                    if let Some(prev) = first.get(target.as_str()) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::L003,
+                                format!("`{module}.{target}` is driven more than once in the same scope"),
+                                Some(loc.clone()),
+                            )
+                            .note(format!("first driven at {prev}")),
+                        );
+                    } else {
+                        first.insert(target, loc);
+                    }
+                }
+                Stmt::When {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    MultiplyDrivenCheck::scan(module, then_body, out);
+                    MultiplyDrivenCheck::scan(module, else_body, out);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Lint for MultiplyDrivenCheck {
+    fn code(&self) -> Code {
+        Code::L003
+    }
+
+    fn summary(&self) -> &'static str {
+        "multiply-driven signals within one lexical scope"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for module in &cx.state.circuit.modules {
+            MultiplyDrivenCheck::scan(&module.name, &module.stmts, out);
+        }
+    }
+}
+
+/// L004 — dead logic.
+///
+/// Recomputes the DCE pass's liveness — output-port connects,
+/// instance-input connects, and memory writes are the observable
+/// roots — but *without* the DontTouch roots debug mode adds. Declared
+/// signals that reach no root are reported; when such a signal is
+/// DontTouch-protected, the diagnostic notes that debug mode is what
+/// keeps it alive (the paper's -O0 analogue keeping dead logic in the
+/// build on purpose).
+pub struct DeadLogicCheck;
+
+impl DeadLogicCheck {
+    /// Collects, per target, the expressions whose references keep it
+    /// alive once the target is known live: its drivers plus the
+    /// enclosing `when` conditions (which lower to mux selects).
+    fn contributors<'m>(
+        stmts: &'m [Stmt],
+        conds: &mut Vec<&'m Expr>,
+        defs: &mut HashMap<&'m str, Vec<&'m Expr>>,
+    ) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Node { name, expr, .. } => {
+                    defs.entry(name).or_default().push(expr);
+                }
+                Stmt::MemRead { name, addr, .. } => {
+                    defs.entry(name).or_default().push(addr);
+                }
+                Stmt::Connect { target, expr, .. } => {
+                    let entry = defs.entry(target).or_default();
+                    entry.push(expr);
+                    entry.extend(conds.iter().copied());
+                }
+                Stmt::When {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    conds.push(cond);
+                    DeadLogicCheck::contributors(then_body, conds, defs);
+                    DeadLogicCheck::contributors(else_body, conds, defs);
+                    conds.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Lint for DeadLogicCheck {
+    fn code(&self) -> Code {
+        Code::L004
+    }
+
+    fn summary(&self) -> &'static str {
+        "dead logic: declared signals that reach no observable root"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let state = cx.state;
+        for module in &state.circuit.modules {
+            let mname = &module.name;
+            let mut defs: HashMap<&str, Vec<&Expr>> = HashMap::new();
+            DeadLogicCheck::contributors(&module.stmts, &mut Vec::new(), &mut defs);
+
+            let out_ports: HashSet<&str> = module
+                .ports
+                .iter()
+                .filter(|p| p.dir == PortDir::Output)
+                .map(|p| p.name.as_str())
+                .collect();
+
+            let mut live: HashSet<String> = HashSet::new();
+            let mut work: Vec<String> = Vec::new();
+            let add = |name: &str, live: &mut HashSet<String>, work: &mut Vec<String>| {
+                if live.insert(name.to_owned()) {
+                    work.push(name.to_owned());
+                }
+            };
+            let mut conds: Vec<&Expr> = Vec::new();
+            let mut roots: Vec<&Expr> = Vec::new();
+            fn root_exprs<'m>(
+                stmts: &'m [Stmt],
+                out_ports: &HashSet<&str>,
+                conds: &mut Vec<&'m Expr>,
+                roots: &mut Vec<&'m Expr>,
+            ) {
+                for stmt in stmts {
+                    match stmt {
+                        Stmt::Connect { target, expr, .. }
+                            if out_ports.contains(target.as_str()) || target.contains('.') =>
+                        {
+                            roots.push(expr);
+                            roots.extend(conds.iter().copied());
+                        }
+                        Stmt::MemWrite { addr, data, en, .. } => {
+                            roots.extend([addr, data, en]);
+                            roots.extend(conds.iter().copied());
+                        }
+                        Stmt::When {
+                            cond,
+                            then_body,
+                            else_body,
+                            ..
+                        } => {
+                            conds.push(cond);
+                            root_exprs(then_body, out_ports, conds, roots);
+                            root_exprs(else_body, out_ports, conds, roots);
+                            conds.pop();
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            root_exprs(&module.stmts, &out_ports, &mut conds, &mut roots);
+            for e in roots {
+                for r in e.refs() {
+                    add(&r, &mut live, &mut work);
+                }
+            }
+
+            while let Some(name) = work.pop() {
+                if let Some(exprs) = defs.get(name.as_str()) {
+                    for e in exprs.clone() {
+                        for r in e.refs() {
+                            add(&r, &mut live, &mut work);
+                        }
+                    }
+                }
+            }
+
+            for stmt in walk_stmts(&module.stmts) {
+                let Some(name) = stmt.declared_signal() else {
+                    continue;
+                };
+                if live.contains(name) {
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    Code::L004,
+                    format!("`{mname}.{name}` is dead: it reaches no output, instance input, or memory write"),
+                    Some(stmt.loc().clone()),
+                );
+                if state.annotations.is_dont_touch(mname, name) {
+                    d = d.note(
+                        "kept alive only by a debug-mode DontTouch annotation; \
+                         a release build would eliminate it",
+                    );
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
+/// L005 — combinational loops.
+///
+/// Consumes the flattener's [`SimError::CombinationalLoop`], which
+/// (since the minimal-cycle walker) carries one exact cycle — first
+/// signal repeated at the end — and resolves every hop back to a
+/// generator source location.
+pub struct CombLoopCheck;
+
+impl Lint for CombLoopCheck {
+    fn code(&self) -> Code {
+        Code::L005
+    }
+
+    fn summary(&self) -> &'static str {
+        "combinational loops, reported as one exact cycle path"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(SimError::CombinationalLoop(path)) = cx.netlist_err else {
+            return;
+        };
+        let circuit = &cx.state.circuit;
+        let locs: Vec<Option<SourceLoc>> =
+            path.iter().map(|full| resolve_loc(circuit, full)).collect();
+        let mut d = Diagnostic::new(
+            Code::L005,
+            format!("combinational loop: {}", path.join(" -> ")),
+            locs.iter().flatten().next().cloned(),
+        );
+        // One note per distinct hop (the closing repeat adds nothing).
+        let hops = if path.len() > 1 {
+            &path[..path.len() - 1]
+        } else {
+            &path[..]
+        };
+        for (full, loc) in hops.iter().zip(&locs) {
+            d = d.note(match loc {
+                Some(l) => format!("`{full}` driven at {l}"),
+                None => format!("`{full}` has no source location"),
+            });
+        }
+        out.push(d);
+    }
+}
+
+/// L006 — registers with no reset value.
+///
+/// A register declared without an `init` never sees the global reset:
+/// it powers up at zero and holds through `reset`, which is almost
+/// never what a generator author intended.
+pub struct NoResetCheck;
+
+impl Lint for NoResetCheck {
+    fn code(&self) -> Code {
+        Code::L006
+    }
+
+    fn summary(&self) -> &'static str {
+        "registers with no reset (initial) value"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for module in &cx.state.circuit.modules {
+            for stmt in walk_stmts(&module.stmts) {
+                if let Stmt::Reg {
+                    name,
+                    init: None,
+                    loc,
+                    ..
+                } = stmt
+                {
+                    out.push(Diagnostic::new(
+                        Code::L006,
+                        format!(
+                            "register `{}.{name}` has no reset value and ignores the global reset",
+                            module.name
+                        ),
+                        Some(loc.clone()),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// L007 — debug-symbol coverage.
+///
+/// Two halves: (a) every [`DebugTable`](hgf_ir::passes::DebugTable)
+/// variable, flattened through each instance of its module, must
+/// resolve to a signal in the netlist namespace — catching symbols
+/// stranded by const-prop/CSE/DCE; (b) every debug annotation must
+/// have produced a surviving breakpoint — an annotated source line
+/// with no breakpoint group is unreachable to the debugger.
+pub struct SymbolCoverageCheck;
+
+impl Lint for SymbolCoverageCheck {
+    fn code(&self) -> Code {
+        Code::L007
+    }
+
+    fn summary(&self) -> &'static str {
+        "debug-symbol coverage: stranded variables, dropped breakpoints"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let circuit = &cx.state.circuit;
+        if let Some(netlist) = cx.netlist {
+            for (path, mname) in instance_paths(circuit) {
+                for var in cx.table.variables.iter().filter(|v| v.module == mname) {
+                    let full = format!("{path}.{}", var.rtl);
+                    if netlist.lookup(&full).is_none() {
+                        let loc = circuit
+                            .module(&var.module)
+                            .and_then(|m| signal_loc(circuit, m, &var.rtl));
+                        out.push(
+                            Diagnostic::new(
+                                Code::L007,
+                                format!(
+                                    "debug variable `{}` of `{mname}` does not resolve: \
+                                     `{full}` is not in the netlist",
+                                    var.name
+                                ),
+                                loc,
+                            )
+                            .note("the symbol was stranded by optimization"),
+                        );
+                    }
+                }
+            }
+        }
+        for ann in cx.state.annotations.debug() {
+            let survived = cx
+                .table
+                .breakpoints
+                .iter()
+                .any(|b| b.module == ann.module && b.stmt == ann.stmt);
+            if !survived {
+                out.push(
+                    Diagnostic::new(
+                        Code::L007,
+                        format!(
+                            "annotated statement in `{}` produced no breakpoint",
+                            ann.module
+                        ),
+                        Some(ann.loc.clone()),
+                    )
+                    .note("optimization removed the signals this source line needs"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,489 @@
+use hgf_ir::passes::{compile, compile_with_check, DebugTable, DebugVariable};
+use hgf_ir::{
+    BinaryOp, Circuit, CircuitState, DebugAnnotation, Expr, Module, Port, PortDir, SourceLoc, Stmt,
+    StmtId, UnaryOp,
+};
+
+use crate::{check, deny_gate, symbol_coverage_live, Code, LintConfig, Report, Severity};
+
+fn loc(line: u32) -> SourceLoc {
+    SourceLoc::new("gen.py", line, 1)
+}
+
+/// `module m { input a: 8, output out: 8 }` with the given body.
+fn module(stmts: Vec<Stmt>) -> Module {
+    let mut m = Module::new("m", loc(1));
+    m.ports = vec![
+        Port {
+            name: "a".into(),
+            dir: PortDir::Input,
+            width: 8,
+            loc: loc(1),
+        },
+        Port {
+            name: "out".into(),
+            dir: PortDir::Output,
+            width: 8,
+            loc: loc(1),
+        },
+    ];
+    m.stmts = stmts;
+    m
+}
+
+fn connect(id: u32, target: &str, expr: Expr, line: u32) -> Stmt {
+    Stmt::Connect {
+        id: StmtId(id),
+        target: target.into(),
+        expr,
+        loc: loc(line),
+    }
+}
+
+fn wire(id: u32, name: &str, line: u32) -> Stmt {
+    Stmt::Wire {
+        id: StmtId(id),
+        name: name.into(),
+        width: 8,
+        loc: loc(line),
+    }
+}
+
+fn state_of(stmts: Vec<Stmt>) -> CircuitState {
+    CircuitState::new(Circuit::new("m", vec![module(stmts)]))
+}
+
+fn lint(state: &CircuitState) -> Report {
+    check(state, &DebugTable::default(), &LintConfig::new())
+}
+
+/// The canonical clean design: `out = a + 1`.
+fn clean_state() -> CircuitState {
+    state_of(vec![connect(
+        1,
+        "out",
+        Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(1, 8)),
+        2,
+    )])
+}
+
+#[test]
+fn clean_circuit_is_quiet() {
+    let report = lint(&clean_state());
+    assert!(report.is_clean(), "unexpected diagnostics:\n{report}");
+}
+
+#[test]
+fn l001_fires_on_width_mismatch() {
+    let state = state_of(vec![connect(1, "out", Expr::lit(1, 16), 3)]);
+    let report = lint(&state);
+    assert!(report.has(Code::L001), "{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L001)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.loc.as_ref().unwrap().line, 3);
+    assert!(d.message.contains("width 16"), "{}", d.message);
+}
+
+#[test]
+fn l001_collects_multiple_violations() {
+    // Bad connect width *and* an ill-typed node expression; validate()
+    // would stop at the first, lint reports both.
+    let state = state_of(vec![
+        Stmt::Node {
+            id: StmtId(1),
+            name: "n".into(),
+            expr: Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(1, 4)),
+            loc: loc(2),
+        },
+        connect(2, "out", Expr::lit(1, 16), 3),
+    ]);
+    let fired = lint(&state)
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::L001)
+        .count();
+    assert_eq!(fired, 2);
+}
+
+#[test]
+fn l001_quiet_on_matched_widths() {
+    assert!(!lint(&clean_state()).has(Code::L001));
+}
+
+#[test]
+fn l002_fires_on_undriven_wire() {
+    // `w` is read (so it is live) but nothing ever drives it.
+    let state = state_of(vec![wire(1, "w", 2), connect(2, "out", Expr::var("w"), 3)]);
+    let report = lint(&state);
+    assert!(report.has(Code::L002), "{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L002)
+        .unwrap();
+    assert!(d.message.contains("m.w"), "{}", d.message);
+    assert_eq!(d.loc.as_ref().unwrap().line, 2);
+}
+
+#[test]
+fn l002_fires_on_undriven_instance_input() {
+    let child = module(vec![connect(1, "out", Expr::var("a"), 2)]);
+    let mut child = child;
+    child.name = "leaf".into();
+    let mut top = module(vec![
+        Stmt::Instance {
+            id: StmtId(1),
+            name: "u0".into(),
+            module: "leaf".into(),
+            loc: loc(4),
+        },
+        // u0.a never connected.
+        connect(2, "out", Expr::var("u0.out"), 5),
+    ]);
+    top.name = "top".into();
+    let state = CircuitState::new(Circuit::new("top", vec![top, child]));
+    let report = lint(&state);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::L002 && d.message.contains("u0.a")),
+        "{report}"
+    );
+}
+
+#[test]
+fn l002_quiet_when_driven_inside_when() {
+    let cond = Expr::unary(UnaryOp::ReduceOr, Expr::var("a"));
+    let state = state_of(vec![
+        wire(1, "w", 2),
+        Stmt::When {
+            id: StmtId(2),
+            cond,
+            then_body: vec![connect(3, "w", Expr::var("a"), 3)],
+            else_body: vec![connect(4, "w", Expr::lit(0, 8), 4)],
+            loc: loc(3),
+        },
+        connect(5, "out", Expr::var("w"), 5),
+    ]);
+    assert!(!lint(&state).has(Code::L002));
+}
+
+#[test]
+fn l003_fires_on_double_drive_in_same_scope() {
+    let state = state_of(vec![
+        connect(1, "out", Expr::var("a"), 2),
+        connect(2, "out", Expr::lit(0, 8), 3),
+    ]);
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L003)
+        .expect("L003 fires");
+    assert_eq!(d.loc.as_ref().unwrap().line, 3);
+    assert!(d.notes[0].contains("gen.py:2"), "{:?}", d.notes);
+}
+
+#[test]
+fn l003_quiet_across_sibling_when_branches() {
+    let cond = Expr::unary(UnaryOp::ReduceOr, Expr::var("a"));
+    let state = state_of(vec![Stmt::When {
+        id: StmtId(1),
+        cond,
+        then_body: vec![connect(2, "out", Expr::var("a"), 3)],
+        else_body: vec![connect(3, "out", Expr::lit(0, 8), 4)],
+        loc: loc(2),
+    }]);
+    assert!(!lint(&state).has(Code::L003));
+}
+
+#[test]
+fn l004_fires_on_dead_node() {
+    let state = state_of(vec![
+        Stmt::Node {
+            id: StmtId(1),
+            name: "dead".into(),
+            expr: Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::lit(1, 8)),
+            loc: loc(2),
+        },
+        connect(2, "out", Expr::var("a"), 3),
+    ]);
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L004)
+        .expect("L004 fires");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("m.dead"));
+    assert!(d.notes.is_empty());
+}
+
+#[test]
+fn l004_notes_debug_mode_dont_touch() {
+    let mut state = state_of(vec![
+        Stmt::Node {
+            id: StmtId(1),
+            name: "dead".into(),
+            expr: Expr::lit(1, 8),
+            loc: loc(2),
+        },
+        connect(2, "out", Expr::var("a"), 3),
+    ]);
+    state.annotations.add_dont_touch("m", "dead");
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L004)
+        .expect("L004 fires");
+    assert!(d.notes[0].contains("DontTouch"), "{:?}", d.notes);
+}
+
+#[test]
+fn l004_quiet_on_live_logic() {
+    assert!(!lint(&clean_state()).has(Code::L004));
+}
+
+#[test]
+fn l005_fires_with_exact_cycle_and_locations() {
+    let state = state_of(vec![
+        wire(1, "x", 2),
+        wire(2, "y", 3),
+        connect(3, "x", Expr::var("y"), 4),
+        connect(4, "y", Expr::var("x"), 5),
+        connect(5, "out", Expr::var("a"), 6),
+    ]);
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L005)
+        .expect("L005 fires");
+    // The cycle is exact: closes on itself and contains only x and y.
+    let hops: Vec<&str> = d
+        .message
+        .strip_prefix("combinational loop: ")
+        .unwrap()
+        .split(" -> ")
+        .collect();
+    assert_eq!(hops.len(), 3, "{}", d.message);
+    assert_eq!(hops.first(), hops.last());
+    let mut distinct: Vec<&str> = hops[..2].to_vec();
+    distinct.sort_unstable();
+    assert_eq!(distinct, ["m.x", "m.y"]);
+    // Every hop is source-located (wires declared at lines 2 and 3).
+    assert_eq!(d.notes.len(), 2);
+    assert!(
+        d.notes.iter().all(|n| n.contains("gen.py:")),
+        "{:?}",
+        d.notes
+    );
+    assert!(d.loc.is_some());
+}
+
+#[test]
+fn l005_quiet_on_acyclic_design() {
+    assert!(!lint(&clean_state()).has(Code::L005));
+}
+
+#[test]
+fn l006_fires_on_register_without_init() {
+    let state = state_of(vec![
+        Stmt::Reg {
+            id: StmtId(1),
+            name: "r".into(),
+            width: 8,
+            init: None,
+            loc: loc(2),
+        },
+        connect(2, "r", Expr::var("a"), 3),
+        connect(3, "out", Expr::var("r"), 4),
+    ]);
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L006)
+        .expect("L006 fires");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("m.r"));
+}
+
+#[test]
+fn l006_quiet_with_init() {
+    let state = state_of(vec![
+        Stmt::Reg {
+            id: StmtId(1),
+            name: "r".into(),
+            width: 8,
+            init: Some(bits(0, 8)),
+            loc: loc(2),
+        },
+        connect(2, "r", Expr::var("a"), 3),
+        connect(3, "out", Expr::var("r"), 4),
+    ]);
+    assert!(!lint(&state).has(Code::L006));
+}
+
+fn bits(value: u64, width: u32) -> bits::Bits {
+    bits::Bits::from_u64(value, width)
+}
+
+#[test]
+fn l007_fires_on_stranded_variable() {
+    let state = clean_state();
+    let table = DebugTable {
+        variables: vec![DebugVariable {
+            module: "m".into(),
+            name: "counter".into(),
+            rtl: "gone".into(),
+        }],
+        ..DebugTable::default()
+    };
+    let report = check(&state, &table, &LintConfig::new());
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L007)
+        .expect("L007 fires");
+    assert!(d.message.contains("m.gone"), "{}", d.message);
+}
+
+#[test]
+fn l007_fires_on_annotation_without_breakpoint() {
+    let mut state = clean_state();
+    state.annotations.add_debug(DebugAnnotation {
+        module: "m".into(),
+        stmt: StmtId(99),
+        loc: loc(7),
+        enable: None,
+        assigned: None,
+        scope: Vec::new(),
+    });
+    let report = lint(&state);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::L007)
+        .expect("L007 fires");
+    assert_eq!(d.loc.as_ref().unwrap().line, 7);
+}
+
+#[test]
+fn l007_quiet_when_symbols_resolve() {
+    let state = clean_state();
+    let table = DebugTable {
+        variables: vec![DebugVariable {
+            module: "m".into(),
+            name: "result".into(),
+            rtl: "out".into(),
+        }],
+        ..DebugTable::default()
+    };
+    assert!(!check(&state, &table, &LintConfig::new()).has(Code::L007));
+}
+
+#[test]
+fn compiled_design_is_quiet_end_to_end() {
+    // A real compile (debug mode) of the clean design, then lint with
+    // the debug-build config: nothing fires.
+    let mut state = clean_state();
+    let table = compile(&mut state, true).unwrap();
+    let report = check(&state, &table, &LintConfig::new().allow(Code::L004));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn config_allow_suppresses_and_deny_escalates() {
+    let state = state_of(vec![
+        Stmt::Reg {
+            id: StmtId(1),
+            name: "r".into(),
+            width: 8,
+            init: None,
+            loc: loc(2),
+        },
+        connect(2, "r", Expr::var("a"), 3),
+        connect(3, "out", Expr::var("r"), 4),
+    ]);
+    let table = DebugTable::default();
+    let quiet = check(&state, &table, &LintConfig::new().allow(Code::L006));
+    assert!(!quiet.has(Code::L006));
+    let denied = check(&state, &table, &LintConfig::new().deny(Code::L006));
+    assert_eq!(denied.deny_count(), 1);
+    assert_eq!(denied.warn_count(), 0);
+}
+
+#[test]
+fn deny_gate_fails_compile_on_deny_diagnostic() {
+    // A cross-instance combinational loop survives the whole pipeline
+    // (per-module expansion cannot see it) but is an L005 deny.
+    let mut leaf = module(vec![connect(1, "out", Expr::var("a"), 2)]);
+    leaf.name = "leaf".into();
+    let mut top = module(vec![
+        Stmt::Instance {
+            id: StmtId(1),
+            name: "u0".into(),
+            module: "leaf".into(),
+            loc: loc(4),
+        },
+        connect(2, "u0.a", Expr::var("u0.out"), 5),
+        connect(3, "out", Expr::var("u0.out"), 6),
+    ]);
+    top.name = "top".into();
+    let mut state = CircuitState::new(Circuit::new("top", vec![top, leaf]));
+    let err = compile_with_check(&mut state, false, deny_gate(LintConfig::new()))
+        .expect_err("gate rejects");
+    assert_eq!(err.pass, "post-compile-check");
+    assert!(err.to_string().contains("L005"), "{err}");
+
+    let mut clean = clean_state();
+    compile_with_check(&mut clean, false, deny_gate(LintConfig::new()))
+        .expect("clean design passes the gate");
+}
+
+#[test]
+fn symbol_coverage_live_reports_unresolvable_paths() {
+    let paths = ["top.a".to_string(), "top.gone".to_string()];
+    let report = symbol_coverage_live(paths.iter().map(String::as_str), &|p: &str| p == "top.a");
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].code, Code::L007);
+    assert!(report.diagnostics[0].message.contains("top.gone"));
+}
+
+#[test]
+fn report_json_schema() {
+    let state = state_of(vec![connect(1, "out", Expr::lit(1, 16), 3)]);
+    let json = lint(&state).to_json();
+    assert_eq!(json.get("clean").and_then(|j| j.as_bool()), Some(false));
+    assert_eq!(json.get("count").and_then(|j| j.as_i64()), Some(1));
+    let diags = json.get("diagnostics").and_then(|j| j.as_array()).unwrap();
+    let d = &diags[0];
+    assert_eq!(d.get("code").and_then(|j| j.as_str()), Some("L001"));
+    assert_eq!(d.get("severity").and_then(|j| j.as_str()), Some("deny"));
+    let l = d.get("loc").unwrap();
+    assert_eq!(l.get("file").and_then(|j| j.as_str()), Some("gen.py"));
+    assert_eq!(l.get("line").and_then(|j| j.as_i64()), Some(3));
+    // Round-trips through the wire encoding.
+    let parsed = microjson::parse(&json.to_string()).unwrap();
+    assert_eq!(parsed.get("count").and_then(|j| j.as_i64()), Some(1));
+
+    let clean = lint(&clean_state()).to_json();
+    assert_eq!(clean.get("clean").and_then(|j| j.as_bool()), Some(true));
+}
+
+#[test]
+fn report_display_renders_counts() {
+    let state = state_of(vec![connect(1, "out", Expr::lit(1, 16), 3)]);
+    let text = lint(&state).to_string();
+    assert!(text.contains("deny[L001]"), "{text}");
+    assert!(text.contains("--> gen.py:3:1"), "{text}");
+    assert!(text.contains("1 deny, 0 warn"), "{text}");
+    assert_eq!(lint(&clean_state()).to_string(), "lint clean");
+}

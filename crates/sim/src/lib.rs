@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `rtl-sim`: a zero-delay, levelized RTL simulator with the hgdb
 //! unified simulator interface.
 //!
@@ -63,5 +64,6 @@ mod proptests;
 mod simulator;
 
 pub use control::{HierNode, SignalId, SimControl, SimError};
+pub use netlist::FlatNetlist;
 pub use parallel::SimConfig;
 pub use simulator::{CallbackId, ClockCallback, ClockView, Simulator};

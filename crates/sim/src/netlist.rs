@@ -156,8 +156,13 @@ pub(crate) struct CompiledDef {
 }
 
 /// The flattened, compiled design.
+///
+/// Public so analysis tooling (the `hgdb-lint` crate's netlist-level
+/// checks) can build and query the same def graph the simulator runs;
+/// the compiled internals (bytecode, partition plan, fan-out graph)
+/// stay crate-private.
 #[derive(Debug, Clone)]
-pub(crate) struct FlatNetlist {
+pub struct FlatNetlist {
     pub(crate) names: Vec<String>,
     pub(crate) index: HashMap<String, usize>,
     pub(crate) widths: Vec<u32>,
@@ -188,7 +193,14 @@ pub(crate) struct FlatNetlist {
 
 impl FlatNetlist {
     /// Flattens and compiles a Low-form circuit.
-    pub(crate) fn build(circuit: &Circuit) -> Result<FlatNetlist, SimError> {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Build`] when the circuit fails validation or is not
+    /// in Low form; [`SimError::CombinationalLoop`] carrying one
+    /// minimal cycle (full signal paths, first repeated at the end)
+    /// when the combinational def graph is cyclic.
+    pub fn build(circuit: &Circuit) -> Result<FlatNetlist, SimError> {
         circuit
             .validate()
             .map_err(|e| SimError::Build(e.to_string()))?;
@@ -257,9 +269,12 @@ impl FlatNetlist {
             }
         }
         if order.len() != n {
-            let cycle: Vec<String> = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .take(8)
+            // Kahn left a residual subgraph; every node in it sits on
+            // or downstream of a cycle. Report one *minimal* cycle —
+            // not the whole residue, which would implicate innocent
+            // downstream logic.
+            let cycle: Vec<String> = minimal_cycle(&indegree, &preds, &dependents)
+                .into_iter()
                 .map(|i| b.names[b.raw_defs[i].0].clone())
                 .collect();
             return Err(SimError::CombinationalLoop(cycle));
@@ -341,6 +356,104 @@ impl FlatNetlist {
             mem_fanout,
         })
     }
+}
+
+impl FlatNetlist {
+    /// Resolves a dotted full signal path (`top.u0.sum_1`) to its
+    /// dense slot index, if the signal exists.
+    pub fn lookup(&self, full_path: &str) -> Option<usize> {
+        self.index.get(full_path).copied()
+    }
+
+    /// All flattened signal paths, in declaration order.
+    pub fn signal_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Width in bits of the signal at `slot`.
+    pub fn signal_width(&self, slot: usize) -> u32 {
+        self.widths[slot]
+    }
+
+    /// Whether the signal at `slot` is a register.
+    pub fn is_register(&self, slot: usize) -> bool {
+        self.is_reg[slot]
+    }
+
+    /// Number of combinational definitions in the compiled def graph.
+    pub fn def_count(&self) -> usize {
+        self.defs.len()
+    }
+}
+
+/// Extracts one minimal combinational cycle from the residual def
+/// graph Kahn's algorithm could not order. `indegree` is the residual
+/// indegree (nonzero exactly for unordered defs); `preds`/`dependents`
+/// are the full def-graph adjacency.
+///
+/// Every residual def has at least one residual predecessor (edges
+/// from ordered defs were consumed), so walking predecessors must
+/// revisit a def — that def lies on a cycle. A BFS along residual
+/// dependent edges then finds the *shortest* cycle through it. The
+/// returned def-index path closes on itself (first element repeated
+/// at the end); a self-loop yields `[d, d]`.
+fn minimal_cycle(
+    indegree: &[usize],
+    preds: &[Vec<usize>],
+    dependents: &[Vec<usize>],
+) -> Vec<usize> {
+    let n = indegree.len();
+    let residual: Vec<bool> = indegree.iter().map(|&d| d > 0).collect();
+    let start = (0..n).find(|&i| residual[i]).expect("residual def exists");
+
+    // Predecessor walk to land on a def that is on a cycle.
+    let mut seen = vec![false; n];
+    let mut cur = start;
+    let anchor = loop {
+        if seen[cur] {
+            break cur;
+        }
+        seen[cur] = true;
+        cur = *preds[cur]
+            .iter()
+            .find(|&&p| residual[p])
+            .expect("residual def has a residual predecessor");
+    };
+
+    // BFS from the anchor along residual dependent edges; the first
+    // path back to the anchor is a shortest cycle through it.
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(anchor);
+    while let Some(v) = queue.pop_front() {
+        for &w in &dependents[v] {
+            if !residual[w] {
+                continue;
+            }
+            if w == anchor {
+                // Reconstruct anchor → … → v from the BFS parents
+                // (walked sink-to-source, so reversed), then close the
+                // cycle on the anchor. A self-loop yields [d, d].
+                let mut middle = Vec::new();
+                let mut node = v;
+                while node != anchor {
+                    middle.push(node);
+                    node = parent[node];
+                }
+                middle.reverse();
+                let mut path = Vec::with_capacity(middle.len() + 2);
+                path.push(anchor);
+                path.extend(middle);
+                path.push(anchor);
+                return path;
+            }
+            if parent[w] == usize::MAX {
+                parent[w] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    unreachable!("anchor def is on a residual cycle");
 }
 
 /// Register in tree form, before bytecode lowering.
@@ -563,4 +676,103 @@ fn compile_expr(
             Box::new(compile_expr(l, prefix, index, _mem_index)?),
         ),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgf_ir::{Module, Port, SourceLoc, StmtId};
+
+    fn loc() -> SourceLoc {
+        SourceLoc::new("t.rs", 1, 1)
+    }
+
+    fn connect(id: u32, target: &str, expr: Expr) -> Stmt {
+        Stmt::Connect {
+            id: StmtId(id),
+            target: target.into(),
+            expr,
+            loc: loc(),
+        }
+    }
+
+    fn wire(id: u32, name: &str) -> Stmt {
+        Stmt::Wire {
+            id: StmtId(id),
+            name: name.into(),
+            width: 8,
+            loc: loc(),
+        }
+    }
+
+    /// The loop diagnostic names exactly the cycle — not the logic
+    /// merely downstream of it, which the old residual-indegree dump
+    /// implicated.
+    #[test]
+    fn loop_diagnostic_is_one_minimal_cycle() {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![
+            Port {
+                name: "a".into(),
+                dir: hgf_ir::PortDir::Input,
+                width: 8,
+                loc: loc(),
+            },
+            Port {
+                name: "out".into(),
+                dir: hgf_ir::PortDir::Output,
+                width: 8,
+                loc: loc(),
+            },
+        ];
+        // 3-cycle x -> y -> z -> x, with d1/d2/out strictly downstream.
+        m.stmts = vec![
+            wire(1, "x"),
+            wire(2, "y"),
+            wire(3, "z"),
+            wire(4, "d1"),
+            wire(5, "d2"),
+            connect(6, "x", Expr::var("y")),
+            connect(7, "y", Expr::var("z")),
+            connect(8, "z", Expr::var("x")),
+            connect(9, "d1", Expr::var("x")),
+            connect(10, "d2", Expr::var("d1")),
+            connect(11, "out", Expr::var("d2")),
+        ];
+        let circuit = Circuit::new("m", vec![m]);
+        let err = FlatNetlist::build(&circuit).expect_err("cyclic");
+        let SimError::CombinationalLoop(path) = err else {
+            panic!("expected loop, got {err:?}");
+        };
+        // Closed on itself, length 4 (three hops + repeat), and only
+        // the true cycle members appear.
+        assert_eq!(path.len(), 4, "{path:?}");
+        assert_eq!(path.first(), path.last());
+        let mut members: Vec<&str> = path[..3].iter().map(String::as_str).collect();
+        members.sort_unstable();
+        assert_eq!(members, ["m.x", "m.y", "m.z"]);
+    }
+
+    /// A self-feeding def reports the two-element closed path.
+    #[test]
+    fn self_loop_reported_as_closed_pair() {
+        let mut m = Module::new("m", loc());
+        m.ports = vec![Port {
+            name: "out".into(),
+            dir: hgf_ir::PortDir::Output,
+            width: 8,
+            loc: loc(),
+        }];
+        m.stmts = vec![
+            wire(1, "s"),
+            connect(2, "s", Expr::var("s")),
+            connect(3, "out", Expr::var("s")),
+        ];
+        let circuit = Circuit::new("m", vec![m]);
+        let err = FlatNetlist::build(&circuit).expect_err("cyclic");
+        let SimError::CombinationalLoop(path) = err else {
+            panic!("expected loop, got {err:?}");
+        };
+        assert_eq!(path, vec!["m.s".to_string(), "m.s".to_string()]);
+    }
 }

@@ -436,6 +436,24 @@ impl SymbolTable {
             .and_then(Value::as_int))
     }
 
+    /// Every distinct RTL path in the variable table, sorted. The
+    /// lint battery's live coverage check (L007) resolves each of
+    /// these against the running simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    pub fn variable_paths(&self) -> Result<Vec<String>, DbError> {
+        let rows = Query::table("variable").run(&self.db)?;
+        let mut out: Vec<String> = rows
+            .iter()
+            .filter_map(|r| r.get("value")?.as_str().map(str::to_owned))
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
     /// Distinct filenames with breakpoints.
     ///
     /// # Errors

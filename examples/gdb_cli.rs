@@ -20,7 +20,7 @@ use hgdb::{channel_pair, serve, DebugClient, DebugService, Runtime, TcpDebugServ
 use microjson::Json;
 use rtl_sim::Simulator;
 
-fn build_target() -> (Simulator, symtab::SymbolTable, u32) {
+fn build_target() -> (Simulator, symtab::SymbolTable, hgdb_lint::Report, u32) {
     // The quickstart accumulator plus a counter — enough surface to
     // explore.
     let mut cb = hgf::CircuitBuilder::new();
@@ -36,9 +36,16 @@ fn build_target() -> (Simulator, symtab::SymbolTable, u32) {
     let circuit = cb.finish("top").expect("valid");
     let mut state = hgf_ir::CircuitState::new(circuit);
     let table = hgf_ir::passes::compile(&mut state, true).expect("compiles");
+    // Static analysis over the compiled design; debug builds keep
+    // otherwise-dead logic alive, so L004 is informational here.
+    let report = hgdb_lint::check(
+        &state,
+        &table,
+        &hgdb_lint::LintConfig::new().allow(hgdb_lint::Code::L004),
+    );
     let symbols = symtab::from_debug_table(&state.circuit, &table).expect("symbols");
     let sim = Simulator::new(&state.circuit).expect("builds");
-    (sim, symbols, bp_line)
+    (sim, symbols, report, bp_line)
 }
 
 fn print_response(resp: &Json) {
@@ -105,6 +112,32 @@ fn print_response(resp: &Json) {
                     w["hit_count"].as_i64().unwrap_or(0)
                 );
             }
+        }
+        Some("lint_report") => {
+            if resp["clean"].as_bool() == Some(true) {
+                println!("lint clean");
+                return;
+            }
+            for d in resp["diagnostics"].as_array().unwrap_or(&[]) {
+                println!(
+                    "{}[{}]: {}",
+                    d["severity"].as_str().unwrap_or("?"),
+                    d["code"].as_str().unwrap_or("?"),
+                    d["message"].as_str().unwrap_or("?")
+                );
+                if d["loc"].as_object().is_some() {
+                    println!(
+                        "  --> {}:{}:{}",
+                        d["loc"]["file"].as_str().unwrap_or("?"),
+                        d["loc"]["line"].as_i64().unwrap_or(0),
+                        d["loc"]["col"].as_i64().unwrap_or(0)
+                    );
+                }
+                for note in d["notes"].as_array().unwrap_or(&[]) {
+                    println!("  note: {}", note.as_str().unwrap_or("?"));
+                }
+            }
+            println!("{} diagnostic(s)", resp["count"].as_i64().unwrap_or(0));
         }
         _ => println!("{resp}"),
     }
@@ -187,13 +220,14 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
             .request(&hgdb::protocol::Request::Frames)
             .map(|r| print_response(&r)),
         "t" | "time" => client.time().map(|t| println!("cycle {t}")),
+        "lint" => client.lint().map(|r| print_response(&r)),
         "q" | "quit" => {
             let _ = client.detach();
             return false;
         }
         "" => return true,
         other => {
-            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/ev/info/t/q)");
+            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/ev/info/t/lint/q)");
             return true;
         }
     };
@@ -224,6 +258,7 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
             "c".to_owned(),
             "p top.count".to_owned(),
             "t".to_owned(),
+            "lint".to_owned(),
             "q".to_owned(),
         ];
         for cmd in commands {
@@ -235,7 +270,7 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
     } else {
         println!(
             "hgdb gdb-style CLI. Commands: b FILE:LINE [COND], w EXPR, iw, dw ID, c, s, rs, \
-             p EXPR, sub [KIND...], ev [SECS], info, t, q"
+             p EXPR, sub [KIND...], ev [SECS], info, t, lint, q"
         );
         println!("try: b {}:{bp_line} count == 5", file!());
         let stdin = std::io::stdin();
@@ -257,8 +292,9 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
 fn main() {
     let demo = std::env::args().any(|a| a == "--demo");
     let tcp = std::env::args().any(|a| a == "--tcp");
-    let (sim, symbols, bp_line) = build_target();
-    let runtime = Runtime::attach(sim, symbols).expect("attach");
+    let (sim, symbols, report, bp_line) = build_target();
+    let mut runtime = Runtime::attach(sim, symbols).expect("attach");
+    runtime.set_lint_report(report);
 
     if tcp {
         // The multi-session service path: runtime on its service

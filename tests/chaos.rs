@@ -190,6 +190,48 @@ fn interrupt_stops_breakpoint_free_continue() {
 }
 
 #[test]
+fn lint_request_answered_inline_mid_continue() {
+    let (service, _) = spawn_service();
+    let handle = service.handle();
+    let mut b = DebugClient::new(handle.connect().unwrap());
+
+    let (out_tx, out_rx) = outbound_queue(64);
+    let a = handle.open_session(out_tx).unwrap();
+    assert!(handle.submit(
+        a,
+        Some(7),
+        Request::Continue {
+            max_cycles: None,
+            budget_cycles: None,
+            budget_ms: None,
+        },
+    ));
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Lint is non-advancing: it must be answered inline between
+    // slices of the in-flight continue, not deferred behind it.
+    let t0 = Instant::now();
+    let report = b.lint().expect("lint served mid-continue");
+    assert!(
+        t0.elapsed() < Duration::from_millis(50),
+        "mid-continue lint took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report["type"].as_str(), Some("lint_report"));
+    // The counter compiles in debug mode, so every symbol resolves.
+    assert_eq!(report["clean"].as_bool(), Some(true));
+
+    // The continue is still running; interrupt it to wind down.
+    b.interrupt().expect("interrupt acknowledged");
+    let json = outbound_json(&out_rx.recv().expect("interrupted run replies"));
+    assert_eq!(json["type"].as_str(), Some("stopped"));
+
+    handle.close_session(a);
+    drop(b);
+    service.shutdown().unwrap();
+}
+
+#[test]
 fn budget_cycles_stop_is_resumable() {
     let (service, _) = spawn_service();
     let mut client = DebugClient::new(service.handle().connect().unwrap());
