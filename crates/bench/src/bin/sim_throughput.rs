@@ -19,13 +19,18 @@
 //!   sweeps workers 1, 2 and 4.
 //! * `--cycles N` / `--warmup N` — timed-window and untimed-lead-in
 //!   lengths (defaults: 50 000 / 5 000; smoke: 5 000 / 500).
+//! * `--checkpoint-every N` — additionally measure rv32 with a
+//!   snapshot captured every N cycles (the runtime's auto-checkpoint
+//!   cadence) and report the fraction of wall-clock spent inside the
+//!   captures. Under `--smoke` that fraction is gated at <10%.
 //! * `--verify` — no timing: print a deterministic functional digest
 //!   (rv32 halt cycle + `tohost`, wide-datapath state after a fixed
 //!   run). CI diffs this output across worker counts to prove the
 //!   parallel engine is bit-identical to the sequential one.
 
 use bench::{
-    compile_core, loaded_sim_with, loaded_wide_sim_with, measure_throughput_warmed, run_plain,
+    compile_core, loaded_sim_with, loaded_wide_sim_with, measure_throughput_checkpointed,
+    measure_throughput_warmed, run_plain,
 };
 use rtl_sim::{SimConfig, SimControl};
 
@@ -35,6 +40,8 @@ struct Row {
     cycles: u64,
     warmup: u64,
     cycles_per_sec: f64,
+    /// Snapshot cadence inside the timed window; 0 = no checkpointing.
+    checkpoint_every: u64,
 }
 
 /// Engine configuration for `workers`, with the parallel schedules
@@ -59,7 +66,28 @@ fn measure_rv32(workers: usize, cycles: u64, warmup: u64) -> Row {
         cycles,
         warmup,
         cycles_per_sec: cps,
+        checkpoint_every: 0,
     }
+}
+
+/// Measures rv32 with a snapshot every `every` cycles; the second
+/// return value is the fraction of the timed window spent inside the
+/// captures (measured directly, so it stays meaningful on hosts whose
+/// absolute throughput drifts between runs).
+fn measure_rv32_checkpointed(workers: usize, cycles: u64, warmup: u64, every: u64) -> (Row, f64) {
+    let core = compile_core(false);
+    let workload = rv32::programs::multiply();
+    let mut sim = loaded_sim_with(&core, &workload, config_for(workers, false));
+    let (cps, overhead) = measure_throughput_checkpointed(&mut sim, warmup, cycles, every);
+    let row = Row {
+        design: "rv32_core",
+        workers,
+        cycles,
+        warmup,
+        cycles_per_sec: cps,
+        checkpoint_every: every,
+    };
+    (row, overhead)
 }
 
 fn measure_wide(workers: usize, cycles: u64, warmup: u64) -> Row {
@@ -71,6 +99,7 @@ fn measure_wide(workers: usize, cycles: u64, warmup: u64) -> Row {
         cycles,
         warmup,
         cycles_per_sec: cps,
+        checkpoint_every: 0,
     }
 }
 
@@ -126,12 +155,22 @@ fn print_verify(workers: usize) {
     );
 }
 
-fn parse_args() -> (bool, bool, Option<usize>, Option<u64>, Option<u64>) {
+type Args = (
+    bool,
+    bool,
+    Option<usize>,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+);
+
+fn parse_args() -> Args {
     let mut smoke = false;
     let mut verify = false;
     let mut threads = None;
     let mut cycles = None;
     let mut warmup = None;
+    let mut checkpoint_every = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -146,14 +185,19 @@ fn parse_args() -> (bool, bool, Option<usize>, Option<u64>, Option<u64>) {
             "--threads" => threads = Some(value("--threads") as usize),
             "--cycles" => cycles = Some(value("--cycles")),
             "--warmup" => warmup = Some(value("--warmup")),
+            "--checkpoint-every" => {
+                let every = value("--checkpoint-every");
+                assert!(every > 0, "--checkpoint-every requires a positive interval");
+                checkpoint_every = Some(every);
+            }
             other => panic!("unknown flag {other}"),
         }
     }
-    (smoke, verify, threads, cycles, warmup)
+    (smoke, verify, threads, cycles, warmup, checkpoint_every)
 }
 
 fn main() {
-    let (smoke, verify, threads, cycles_arg, warmup_arg) = parse_args();
+    let (smoke, verify, threads, cycles_arg, warmup_arg, checkpoint_every) = parse_args();
 
     if verify {
         print_verify(threads.unwrap_or(1));
@@ -179,6 +223,18 @@ fn main() {
         rows.push(measure_rv32(w, cycles, warmup));
         rows.push(measure_wide(w, cycles, warmup));
     }
+    // Checkpoint overhead as the fraction of the timed window spent
+    // inside snapshot captures (0.05 = 5% of wall-clock on snapshots).
+    // The window is stretched to cover at least 16 captures so the
+    // fraction averages out single-capture jitter — with only a couple
+    // of captures, one slow one (scheduler preemption, allocator slow
+    // path) would swing the number past any sensible gate.
+    let overhead = checkpoint_every.map(|every| {
+        let ckpt_cycles = cycles.max(every.saturating_mul(16));
+        let (row, frac) = measure_rv32_checkpointed(1, ckpt_cycles, warmup, every);
+        rows.push(row);
+        (every, frac)
+    });
 
     println!("{{");
     println!("  \"bench\": \"sim_throughput\",");
@@ -187,11 +243,14 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         println!(
-            "    {{\"design\": \"{}\", \"workers\": {}, \"cycles\": {}, \"warmup\": {}, \"cycles_per_sec\": {:.0}}}{}",
-            r.design, r.workers, r.cycles, r.warmup, r.cycles_per_sec, comma
+            "    {{\"design\": \"{}\", \"workers\": {}, \"cycles\": {}, \"warmup\": {}, \"checkpoint_every\": {}, \"cycles_per_sec\": {:.0}}}{}",
+            r.design, r.workers, r.cycles, r.warmup, r.checkpoint_every, r.cycles_per_sec, comma
         );
     }
-    println!("  ]");
+    println!("  ]{}", if overhead.is_some() { "," } else { "" });
+    if let Some((every, frac)) = overhead {
+        println!("  \"checkpoint_overhead\": {{\"interval\": {every}, \"fraction\": {frac:.4}}}");
+    }
     println!("}}");
 
     if smoke {
@@ -242,6 +301,22 @@ fn main() {
             } else {
                 eprintln!("single-core host: skipping the parallel scaling gate");
             }
+        }
+        // Checkpoint-overhead gate: auto-checkpointing at the
+        // requested cadence must cost <10% rv32 throughput. Each
+        // snapshot deep-copies all signal values and memories, so the
+        // cadence is the knob: the runtime default (2048, one per
+        // execution slice) measures a few percent here, and CI runs
+        // this gate at that cadence. Regressions that make capture
+        // non-amortized (per-cycle allocation, cloning static tables)
+        // overshoot 10% by an order of magnitude.
+        if let Some((every, frac)) = overhead {
+            assert!(
+                frac < 0.10,
+                "checkpointing spends {:.1}% of wall-clock at interval {}, exceeding the 10% gate",
+                frac * 100.0,
+                every
+            );
         }
         eprintln!("smoke ok");
     }

@@ -246,6 +246,48 @@ pub fn measure_throughput_warmed(sim: &mut Simulator, warmup: u64, cycles: u64) 
     cycles as f64 / secs.max(1e-9)
 }
 
+/// [`measure_throughput_warmed`] with a checkpoint captured every
+/// `every` cycles inside the timed window, reusing one snapshot buffer
+/// across captures ([`Simulator::snapshot_into`]) exactly like the
+/// runtime's checkpoint ring in steady state, which recycles evicted
+/// snapshots as capture buffers — the checkpoint-overhead numbers
+/// recorded in `BENCH_sim_throughput.json`.
+///
+/// Returns `(cycles_per_sec, overhead_fraction)` where the fraction is
+/// the wall-clock share of the window spent capturing snapshots.
+/// Measuring the captures directly inside one window — instead of
+/// diffing two separately-timed runs — keeps the number meaningful on
+/// hosts whose absolute throughput swings run-to-run (frequency
+/// scaling, noisy CI neighbors): both numerator and denominator see
+/// the same machine conditions.
+pub fn measure_throughput_checkpointed(
+    sim: &mut Simulator,
+    warmup: u64,
+    cycles: u64,
+    every: u64,
+) -> (f64, f64) {
+    assert!(every > 0, "checkpoint interval must be positive");
+    for _ in 0..warmup {
+        sim.step_clock();
+    }
+    // Prime the reused capture buffer outside the timed window.
+    let mut snap = sim.snapshot();
+    let mut in_snapshots = std::time::Duration::ZERO;
+    let start = std::time::Instant::now();
+    for i in 0..cycles {
+        sim.step_clock();
+        if (i + 1) % every == 0 {
+            let t = std::time::Instant::now();
+            sim.snapshot_into(&mut snap);
+            in_snapshots += t.elapsed();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    drop(snap);
+    let overhead = in_snapshots.as_secs_f64() / secs.max(1e-9);
+    (cycles as f64 / secs.max(1e-9), overhead)
+}
+
 /// Creates a simulator with `program` loaded (and the second-half
 /// program on core1 for dual-core designs).
 pub fn loaded_sim(core: &CompiledCore, workload: &Program) -> Simulator {

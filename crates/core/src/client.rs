@@ -383,6 +383,42 @@ impl<T: Transport> DebugClient<T> {
         self.request(&Request::ReverseStep)
     }
 
+    /// Resumes execution backwards to the most recent
+    /// breakpoint/watchpoint hit at an earlier cycle; returns the
+    /// stop/finish JSON.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn reverse_continue(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::ReverseContinue)
+    }
+
+    /// Captures an explicit checkpoint of the current simulation
+    /// state; returns the checkpointed cycle.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        let resp = self.request(&Request::Checkpoint)?;
+        resp["cycle"]
+            .as_i64()
+            .map(|c| c as u64)
+            .ok_or_else(|| ClientError::Protocol("checkpoint response missing cycle".into()))
+    }
+
+    /// Restores execution to `cycle` (or the newest retained
+    /// checkpoint when `None`); returns the `"restored"` stop JSON.
+    /// Subscribed viewers receive the same stop as a broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Server/transport failures.
+    pub fn restore(&mut self, cycle: Option<u64>) -> Result<Json, ClientError> {
+        self.request(&Request::Restore { cycle })
+    }
+
     /// Evaluates an expression; returns its decimal text.
     ///
     /// # Errors

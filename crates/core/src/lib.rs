@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod client;
 pub mod expr;
 pub mod fault;
@@ -85,6 +86,7 @@ pub mod service;
 
 mod runtime;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointRing};
 pub use client::{ClientError, DebugClient};
 pub use expr::DebugExpr;
 pub use fault::{FaultGuard, FaultPlan, WireFault};

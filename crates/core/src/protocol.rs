@@ -91,7 +91,8 @@ pub enum Request {
         files: Vec<String>,
         /// Instance paths of interest (breakpoint stops only).
         instances: Vec<String>,
-        /// Event kinds of interest: `"breakpoint"`, `"watchpoint"`.
+        /// Event kinds of interest: `"breakpoint"`, `"watchpoint"`,
+        /// `"restored"`.
         kinds: Vec<String>,
     },
     /// Resume until a breakpoint hits (Figure 4 C "continue").
@@ -113,6 +114,20 @@ pub enum Request {
     },
     /// Step backwards ("reverse-step", Figure 4 C).
     ReverseStep,
+    /// Resume backwards to the most recent breakpoint/watchpoint hit
+    /// at an earlier cycle (checkpoint restore + deterministic replay
+    /// on forward-only backends).
+    ReverseContinue,
+    /// Capture an explicit checkpoint of the current simulation state;
+    /// answered with [`Response::Checkpointed`].
+    Checkpoint,
+    /// Restore execution to an earlier cycle: the given one, or the
+    /// newest retained checkpoint when `cycle` is null. Broadcasts a
+    /// `"restored"` stop so subscribed viewers resync.
+    Restore {
+        /// Target cycle; `None` = newest retained checkpoint.
+        cycle: Option<u64>,
+    },
     /// Current stop's frames (Figure 4 A/B).
     Frames,
     /// Evaluate an expression in an optional instance context.
@@ -174,6 +189,9 @@ impl Request {
             Request::Continue { .. } => "continue",
             Request::Step { .. } => "step",
             Request::ReverseStep => "reverse_step",
+            Request::ReverseContinue => "reverse_continue",
+            Request::Checkpoint => "checkpoint",
+            Request::Restore { .. } => "restore",
             Request::Frames => "frames",
             Request::Eval { .. } => "eval",
             Request::SetValue { .. } => "set_value",
@@ -241,6 +259,15 @@ pub enum Response {
     Time {
         /// Simulation time.
         time: u64,
+    },
+    /// A checkpoint was captured ([`Request::Checkpoint`]).
+    Checkpointed {
+        /// The cycle the checkpoint describes.
+        cycle: u64,
+        /// Checkpoints now retained.
+        checkpoints: usize,
+        /// Approximate bytes held by retained checkpoints.
+        bytes: usize,
     },
     /// Static-analysis report for [`Request::Lint`].
     LintReport {
@@ -338,6 +365,12 @@ pub fn encode_request(req: &Request) -> Json {
             ),
         ]),
         Request::ReverseStep => Json::object([("type", Json::from("reverse_step"))]),
+        Request::ReverseContinue => Json::object([("type", Json::from("reverse_continue"))]),
+        Request::Checkpoint => Json::object([("type", Json::from("checkpoint"))]),
+        Request::Restore { cycle } => Json::object([
+            ("type", Json::from("restore")),
+            ("cycle", cycle.map(Json::from).unwrap_or(Json::Null)),
+        ]),
         Request::Frames => Json::object([("type", Json::from("frames"))]),
         Request::Eval { instance, expr } => Json::object([
             ("type", Json::from("eval")),
@@ -454,10 +487,11 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
             // otherwise silently subscribe to nothing, forever.
             if let Some(bad) = kinds
                 .iter()
-                .find(|k| *k != "breakpoint" && *k != "watchpoint")
+                .find(|k| *k != "breakpoint" && *k != "watchpoint" && *k != "restored")
             {
                 return Err(format!(
-                    "unknown event kind {bad:?} (expected \"breakpoint\" or \"watchpoint\")"
+                    "unknown event kind {bad:?} (expected \"breakpoint\", \"watchpoint\", or \
+                     \"restored\")"
                 ));
             }
             Request::Subscribe {
@@ -475,6 +509,11 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
             max_cycles: u64_field("max_cycles"),
         },
         "reverse_step" => Request::ReverseStep,
+        "reverse_continue" => Request::ReverseContinue,
+        "checkpoint" => Request::Checkpoint,
+        "restore" => Request::Restore {
+            cycle: u64_field("cycle"),
+        },
         "frames" => Request::Frames,
         "eval" => Request::Eval {
             instance: str_field("instance"),
@@ -650,6 +689,16 @@ pub fn encode_response(resp: &Response) -> Json {
         Response::Time { time } => {
             Json::object([("type", Json::from("time")), ("time", Json::from(*time))])
         }
+        Response::Checkpointed {
+            cycle,
+            checkpoints,
+            bytes,
+        } => Json::object([
+            ("type", Json::from("checkpointed")),
+            ("cycle", Json::from(*cycle)),
+            ("checkpoints", Json::from(*checkpoints)),
+            ("bytes", Json::from(*bytes)),
+        ]),
         Response::LintReport { report } => Json::object([
             ("type", Json::from("lint_report")),
             ("clean", Json::from(report.is_clean())),
@@ -763,6 +812,10 @@ mod tests {
             },
             Request::Step { max_cycles: None },
             Request::ReverseStep,
+            Request::ReverseContinue,
+            Request::Checkpoint,
+            Request::Restore { cycle: Some(128) },
+            Request::Restore { cycle: None },
             Request::Frames,
             Request::Eval {
                 instance: Some("top.fpu".into()),
@@ -787,6 +840,11 @@ mod tests {
                 files: vec!["fpu.rs".into()],
                 instances: vec!["top.fpu".into(), "top.alu".into()],
                 kinds: vec!["watchpoint".into()],
+            },
+            Request::Subscribe {
+                files: Vec::new(),
+                instances: Vec::new(),
+                kinds: vec!["restored".into()],
             },
             Request::Subscribe {
                 files: Vec::new(),
@@ -1025,6 +1083,7 @@ mod tests {
         for (kind, wire) in [
             (StopKind::Interrupted, "interrupted"),
             (StopKind::BudgetExhausted, "budget_exhausted"),
+            (StopKind::Restored, "restored"),
         ] {
             let event = StopEvent {
                 time: 8,
@@ -1040,6 +1099,19 @@ mod tests {
             let back = microjson::parse(&json.to_string()).unwrap();
             assert_eq!(back["event"]["reason"].as_str(), Some(wire));
         }
+    }
+
+    #[test]
+    fn checkpointed_response_shape() {
+        let json = encode_response(&Response::Checkpointed {
+            cycle: 640,
+            checkpoints: 11,
+            bytes: 4096,
+        });
+        assert_eq!(json["type"].as_str(), Some("checkpointed"));
+        assert_eq!(json["cycle"].as_i64(), Some(640));
+        assert_eq!(json["checkpoints"].as_i64(), Some(11));
+        assert_eq!(json["bytes"].as_i64(), Some(4096));
     }
 
     #[test]

@@ -38,7 +38,9 @@ use bits::Bits;
 use rtl_sim::{HierNode, SignalId, SimControl, SimError};
 use symtab::{BreakpointInfo, SymbolTable};
 
+use crate::checkpoint::{CheckpointConfig, CheckpointRing};
 use crate::expr::{DebugExpr, ExprError};
+use crate::fault;
 use crate::frame::{build_var_tree, Frame};
 use crate::protocol::SessionId;
 use crate::scheduler::Scheduler;
@@ -72,6 +74,12 @@ pub enum DebugError {
     ReverseUnsupported,
     /// Unknown instance name.
     NoSuchInstance(String),
+    /// No retained checkpoint covers the requested cycle.
+    NoCheckpoint(u64),
+    /// The runtime is degraded: crash recovery failed, so simulation
+    /// state may be inconsistent. Advancing requests are refused until
+    /// an explicit restore succeeds.
+    Degraded(String),
 }
 
 impl fmt::Display for DebugError {
@@ -89,6 +97,15 @@ impl fmt::Display for DebugError {
                 write!(f, "backend does not support reverse debugging")
             }
             DebugError::NoSuchInstance(name) => write!(f, "no instance named {name}"),
+            DebugError::NoCheckpoint(cycle) => {
+                write!(f, "no checkpoint at or before cycle {cycle}")
+            }
+            DebugError::Degraded(msg) => {
+                write!(
+                    f,
+                    "runtime degraded ({msg}); restore a checkpoint to recover"
+                )
+            }
         }
     }
 }
@@ -140,6 +157,10 @@ pub enum StopKind {
     Interrupted,
     /// The run exhausted its per-request cycle or wall-clock budget.
     BudgetExhausted,
+    /// Execution state was rewound to a checkpoint (explicit restore
+    /// or automatic crash recovery). Broadcast so viewers resync any
+    /// cached frames and values.
+    Restored,
 }
 
 impl StopKind {
@@ -150,15 +171,21 @@ impl StopKind {
             StopKind::Watchpoint => "watchpoint",
             StopKind::Interrupted => "interrupted",
             StopKind::BudgetExhausted => "budget_exhausted",
+            StopKind::Restored => "restored",
         }
     }
 
     /// Whether stops of this kind are broadcast to other sessions.
     /// Control stops (interrupt, budget) concern only the session
     /// whose run was cut short — nothing about the shared simulation
-    /// state is newsworthy to viewers.
+    /// state is newsworthy to viewers. Restores *are* broadcast: the
+    /// shared simulation jumped to a different cycle, so every viewer's
+    /// cached frames and values are stale.
     pub fn is_broadcast(self) -> bool {
-        matches!(self, StopKind::Breakpoint | StopKind::Watchpoint)
+        matches!(
+            self,
+            StopKind::Breakpoint | StopKind::Watchpoint | StopKind::Restored
+        )
     }
 }
 
@@ -390,6 +417,12 @@ pub struct Runtime<S: SimControl> {
     /// frontend ran the battery. Absent, `lint_report` falls back to a
     /// live symbol-coverage pass.
     lint_report: Option<hgdb_lint::Report>,
+    /// Retained snapshots for crash recovery and reverse debugging.
+    checkpoints: CheckpointRing,
+    /// When `Some`, crash recovery failed and simulation state may be
+    /// inconsistent: advancing operations refuse with
+    /// [`DebugError::Degraded`] until an explicit restore succeeds.
+    degraded: Option<String>,
 }
 
 impl<S: SimControl> fmt::Debug for Runtime<S> {
@@ -443,6 +476,8 @@ impl<S: SimControl> Runtime<S> {
             stopped: None,
             diagnostics: Vec::new(),
             lint_report: None,
+            checkpoints: CheckpointRing::new(CheckpointConfig::from_env()),
+            degraded: None,
         })
     }
 
@@ -652,6 +687,221 @@ impl<S: SimControl> Runtime<S> {
         self.stopped = None;
         self.diagnostics
             .push(format!("runtime repaired after panic in {context}"));
+    }
+
+    /// The checkpoint store (inspection).
+    pub fn checkpoints(&self) -> &CheckpointRing {
+        &self.checkpoints
+    }
+
+    /// Replaces the checkpointing policy (auto-checkpoint interval and
+    /// byte budget).
+    pub fn set_checkpoint_config(&mut self, config: CheckpointConfig) {
+        self.checkpoints.set_config(config);
+    }
+
+    /// Why the runtime is degraded, when crash recovery has failed and
+    /// simulation state may be inconsistent.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Refuses advancing operations while degraded: running forward
+    /// from inconsistent state would silently produce wrong values.
+    fn ensure_not_degraded(&self) -> Result<(), DebugError> {
+        match &self.degraded {
+            Some(msg) => Err(DebugError::Degraded(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Enters degraded mode, recording why.
+    fn degrade(&mut self, msg: String) {
+        self.diagnostics.push(format!("degraded: {msg}"));
+        self.degraded = Some(msg);
+    }
+
+    /// Captures a snapshot into the ring, reusing the buffer of the
+    /// last evicted checkpoint when one is available so steady-state
+    /// auto-checkpointing under the byte cap does not reallocate.
+    /// `None` when the backend has no snapshot support.
+    fn take_checkpoint(&mut self) -> Option<u64> {
+        let snap = match self.checkpoints.take_spare() {
+            Some(mut buf) => {
+                if !self.sim.save_snapshot_into(&mut buf) {
+                    return None;
+                }
+                buf
+            }
+            None => self.sim.save_snapshot()?,
+        };
+        let cycle = self.sim.time();
+        self.checkpoints.push(cycle, snap);
+        Some(cycle)
+    }
+
+    /// Explicitly checkpoints the current state. On a natively
+    /// reversible backend (trace replay) this is a no-op success — the
+    /// whole timeline is already addressable.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::Degraded`] while degraded (the state is not worth
+    /// keeping); [`DebugError::Sim`] when the backend supports neither
+    /// snapshots nor reverse.
+    pub fn checkpoint_now(&mut self) -> Result<u64, DebugError> {
+        self.ensure_not_degraded()?;
+        fault::maybe_panic("snapshot");
+        match self.take_checkpoint() {
+            Some(cycle) => Ok(cycle),
+            None if self.sim.supports_reverse() => Ok(self.sim.time()),
+            None => Err(DebugError::Sim(SimError::TimeTravel(
+                "backend does not support snapshots".into(),
+            ))),
+        }
+    }
+
+    /// Called by the service before every advancing request: seeds the
+    /// ring with an initial checkpoint (so recovery always has a
+    /// known-good state, capturing any testbench pokes made so far) and
+    /// returns the pre-request cycle to recover to. Deliberately *not*
+    /// routed through the `snapshot` fault point: a panic here would
+    /// leave simulation state untouched, where plain repair is the
+    /// right recovery.
+    pub fn prepare_advance(&mut self) -> u64 {
+        if self.checkpoints.is_empty() {
+            self.take_checkpoint();
+        }
+        self.sim.time()
+    }
+
+    /// Auto-checkpoint on interval boundaries during forward
+    /// execution.
+    fn maybe_auto_checkpoint(&mut self) {
+        let interval = self.checkpoints.interval();
+        if interval != 0 && self.sim.time().is_multiple_of(interval) {
+            fault::maybe_panic("snapshot");
+            self.take_checkpoint();
+        }
+    }
+
+    /// Rewinds the backend to `cycle` without touching scheduler or
+    /// stop state: natively when the backend reverses, otherwise by
+    /// restoring the nearest checkpoint at or before `cycle` and
+    /// replaying forward (clock callbacks re-fire during replay, so
+    /// callback-driven stimulus reproduces bit-identically). Watchpoint
+    /// baselines are re-read at the landing cycle.
+    fn rewind_raw(&mut self, cycle: u64) -> Result<(), DebugError> {
+        if self.sim.supports_reverse() {
+            self.sim.set_time(cycle)?;
+        } else {
+            let cp = self
+                .checkpoints
+                .nearest_at_or_before(cycle)
+                .ok_or(DebugError::NoCheckpoint(cycle))?;
+            fault::maybe_panic("restore");
+            self.sim.load_snapshot(cp.snapshot())?;
+            while self.sim.time() < cycle {
+                if !self.sim.step_clock() {
+                    break;
+                }
+            }
+        }
+        self.rebaseline_watches();
+        Ok(())
+    }
+
+    /// Re-reads every watchpoint's comparison baseline from the
+    /// current state, so a restore does not fire spurious "changes"
+    /// against values from the abandoned timeline.
+    fn rebaseline_watches(&mut self) {
+        let mut watchpoints = std::mem::take(&mut self.watchpoints);
+        for watch in watchpoints.values_mut() {
+            if let Ok(value) = self.eval_watch(watch) {
+                watch.last = value;
+            }
+        }
+        self.watchpoints = watchpoints;
+    }
+
+    /// Restores execution to `cycle` (checkpoint restore + replay, or
+    /// native rewind), clearing stop state and degraded mode. Returns
+    /// the [`StopKind::Restored`] event to broadcast; the runtime is
+    /// *not* left "stopped at" it (there is no frame context).
+    ///
+    /// Checkpoints after the landing cycle are dropped: an explicit
+    /// restore hands control back to the user, who may drive a
+    /// different future.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoCheckpoint`] when no checkpoint covers `cycle`;
+    /// backend restore failures.
+    pub fn restore_to(&mut self, cycle: u64) -> Result<StopEvent, DebugError> {
+        self.rewind_raw(cycle)?;
+        self.scheduler.reset_cycle();
+        self.stopped = None;
+        self.checkpoints.truncate_after(self.sim.time());
+        self.degraded = None;
+        Ok(self.control_stop(StopKind::Restored))
+    }
+
+    /// [`Runtime::restore_to`] the given cycle, or the newest retained
+    /// checkpoint (current time on natively reversible backends) when
+    /// `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoCheckpoint`] when nothing is retained.
+    pub fn restore_latest_or(&mut self, cycle: Option<u64>) -> Result<StopEvent, DebugError> {
+        let target = match cycle {
+            Some(c) => c,
+            None => match self.checkpoints.latest() {
+                Some(cp) => cp.cycle(),
+                None if self.sim.supports_reverse() => self.sim.time(),
+                None => return Err(DebugError::NoCheckpoint(self.sim.time())),
+            },
+        };
+        self.restore_to(target)
+    }
+
+    /// Crash recovery for a panicked *advancing* request: repairs
+    /// bookkeeping like [`Runtime::repair_after_panic`], then restores
+    /// the pre-request cycle from the checkpoint ring so the
+    /// half-executed run is rolled back to known-good state. Returns
+    /// the restore stop to broadcast on success; on failure (no
+    /// covering checkpoint, restore error, or a panic inside recovery
+    /// itself) the runtime degrades — advancing requests are refused
+    /// until an explicit restore succeeds.
+    pub fn recover_after_panic(&mut self, context: &str, pre_cycle: u64) -> Option<StopEvent> {
+        self.scheduler
+            .rebuild_insertions(self.inserted.iter().map(|(id, owners)| (*id, owners.len())));
+        self.stopped = None;
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.restore_to(pre_cycle)));
+        match result {
+            Ok(Ok(event)) => {
+                self.diagnostics.push(format!(
+                    "recovered after panic in {context}: restored cycle {}",
+                    event.time
+                ));
+                Some(event)
+            }
+            Ok(Err(e)) => {
+                self.degrade(format!("recovery after panic in {context} failed: {e}"));
+                None
+            }
+            Err(_) => {
+                // Recovery itself panicked (e.g. a fault injected at the
+                // restore point): repair bookkeeping again and degrade.
+                self.scheduler.rebuild_insertions(
+                    self.inserted.iter().map(|(id, owners)| (*id, owners.len())),
+                );
+                self.stopped = None;
+                self.degrade(format!("recovery after panic in {context} itself panicked"));
+                None
+            }
+        }
     }
 
     /// Lists [`LOCAL_SESSION`]'s inserted breakpoints.
@@ -1146,10 +1396,11 @@ impl<S: SimControl> Runtime<S> {
         RunOutcome::Stopped(event)
     }
 
-    /// Builds a *control* stop event (interrupt or budget exhaustion):
-    /// no frames, no sessions, current simulation time. Control stops
-    /// do not update [`Runtime::stopped`] — the run was cut short
-    /// between breakpoints, so there is no frame context to query.
+    /// Builds a *control* stop event (interrupt, budget exhaustion, or
+    /// a restore resync): no frames, no sessions, current simulation
+    /// time. Control stops do not update [`Runtime::stopped`] — the
+    /// run was cut short between breakpoints, so there is no frame
+    /// context to query.
     pub fn control_stop(&self, reason: StopKind) -> StopEvent {
         StopEvent {
             time: self.sim.time(),
@@ -1270,6 +1521,7 @@ impl<S: SimControl> Runtime<S> {
         max_cycles: u64,
         deadline: Option<Instant>,
     ) -> Result<SliceOutcome, DebugError> {
+        self.ensure_not_degraded()?;
         let mut cycles: u64 = 0;
         loop {
             // Figure 2 loop: fetch next group with inserted bps,
@@ -1322,6 +1574,7 @@ impl<S: SimControl> Runtime<S> {
                 };
                 return Ok(SliceOutcome::Stopped(event));
             }
+            self.maybe_auto_checkpoint();
         }
     }
 
@@ -1335,6 +1588,7 @@ impl<S: SimControl> Runtime<S> {
     ///
     /// Propagates backend failures.
     pub fn step(&mut self, max_cycles: Option<u64>) -> Result<RunOutcome, DebugError> {
+        self.ensure_not_degraded()?;
         let mut cycles: u64 = 0;
         loop {
             for gi in self.scheduler.remaining_forward() {
@@ -1361,19 +1615,25 @@ impl<S: SimControl> Runtime<S> {
             cycles += 1;
             self.scheduler.reset_cycle();
             self.stopped = None;
+            self.maybe_auto_checkpoint();
         }
     }
 
     /// Steps *backwards* to the previous active statement: first
     /// within the current cycle by reversing the selection order
     /// (intra-cycle reverse debugging, available on any backend), then
-    /// across cycles when the backend supports reversing time (§3.2).
+    /// across cycles — natively when the backend supports reversing
+    /// time (§3.2), otherwise by restoring the nearest checkpoint and
+    /// replaying forward to the previous cycle.
     ///
     /// # Errors
     ///
-    /// [`DebugError::ReverseUnsupported`] when a cycle boundary must
-    /// be crossed on a forward-only backend.
+    /// [`DebugError::NoCheckpoint`] when a cycle boundary must be
+    /// crossed on a forward-only backend and no retained checkpoint
+    /// covers the target cycle; [`DebugError::Degraded`] while
+    /// degraded.
     pub fn reverse_step(&mut self) -> Result<RunOutcome, DebugError> {
+        self.ensure_not_degraded()?;
         loop {
             for gi in self.scheduler.remaining_backward() {
                 let (hits, sessions) = self.eval_group(gi, false);
@@ -1383,21 +1643,169 @@ impl<S: SimControl> Runtime<S> {
                 self.scheduler.stop_at(gi);
             }
             // Exhausted this cycle: reverse time.
-            if !self.sim.supports_reverse() {
-                return Err(DebugError::ReverseUnsupported);
-            }
             let t = self.sim.time();
             if t == 0 {
                 self.stopped = None;
                 return Ok(RunOutcome::Finished { time: 0 });
             }
-            self.sim.set_time(t - 1)?;
-            if self.sim.time() == t {
-                self.stopped = None;
-                return Ok(RunOutcome::Finished { time: t });
+            if self.sim.supports_reverse() {
+                self.sim.set_time(t - 1)?;
+                if self.sim.time() == t {
+                    self.stopped = None;
+                    return Ok(RunOutcome::Finished { time: t });
+                }
+            } else {
+                self.rewind_raw(t - 1)?;
             }
             self.scheduler.reset_cycle();
             self.stopped = None;
+        }
+    }
+
+    /// Resumes execution *backwards* to the most recent
+    /// breakpoint/watchpoint hit at a strictly earlier cycle, on any
+    /// backend.
+    ///
+    /// On forward-only backends this is restore + replay: working from
+    /// the newest retained checkpoint backwards, each
+    /// checkpoint-to-upper-bound window is replayed once to count the
+    /// stops inside it and once more to land on the last of them —
+    /// deterministic replay guarantees both passes see identical stop
+    /// sequences. Breakpoint and watchpoint hit counts are preserved
+    /// across the replays (reverse execution revisits history, it does
+    /// not re-earn hits). With no stop anywhere in recorded history,
+    /// execution is left at the earliest reachable cycle and
+    /// [`RunOutcome::Finished`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::NoCheckpoint`] when nothing earlier than the
+    /// current cycle is reachable; [`DebugError::Degraded`] while
+    /// degraded.
+    pub fn reverse_continue(&mut self) -> Result<RunOutcome, DebugError> {
+        self.ensure_not_degraded()?;
+        let target = self.sim.time();
+        if target == 0 {
+            self.stopped = None;
+            return Ok(RunOutcome::Finished { time: 0 });
+        }
+        // Replaying history mutates per-session hit counters and
+        // one-shot error flags; save them now and restore after, on
+        // every exit path. (`watch.last` is deliberately *not* saved:
+        // after landing it must baseline the landing cycle's values.)
+        let saved_bp: Vec<(i64, SessionId, u64, bool)> = self
+            .inserted
+            .iter()
+            .flat_map(|(id, owners)| {
+                owners
+                    .iter()
+                    .map(|(o, ins)| (*id, *o, ins.hit_count, ins.cond_error_reported))
+            })
+            .collect();
+        let saved_watch: Vec<(i64, u64, bool)> = self
+            .watchpoints
+            .iter()
+            .map(|(id, w)| (*id, w.hit_count, w.error_reported))
+            .collect();
+        let result = self.reverse_continue_inner(target);
+        for (id, owner, hits, err) in saved_bp {
+            if let Some(ins) = self.inserted.get_mut(&id).and_then(|o| o.get_mut(&owner)) {
+                ins.hit_count = hits;
+                ins.cond_error_reported = err;
+            }
+        }
+        for (id, hits, err) in saved_watch {
+            if let Some(w) = self.watchpoints.get_mut(&id) {
+                w.hit_count = hits;
+                w.error_reported = err;
+            }
+        }
+        result
+    }
+
+    /// The windowed two-pass scan behind [`Runtime::reverse_continue`].
+    fn reverse_continue_inner(&mut self, target: u64) -> Result<RunOutcome, DebugError> {
+        // Candidate replay origins, newest first: retained checkpoint
+        // cycles strictly before the current cycle (cycle 0 itself on a
+        // natively reversible backend, which can land anywhere).
+        let mut origins: Vec<u64> = self
+            .checkpoints
+            .cycles()
+            .into_iter()
+            .filter(|c| *c < target)
+            .rev()
+            .collect();
+        if origins.is_empty() {
+            if self.sim.supports_reverse() {
+                origins.push(0);
+            } else {
+                return Err(DebugError::NoCheckpoint(target.saturating_sub(1)));
+            }
+        }
+        let earliest = *origins.last().expect("non-empty");
+        let mut upper = target;
+        for origin in origins {
+            if origin >= upper {
+                continue;
+            }
+            // Pass 1: count the stops in [origin, upper). The scan
+            // budget evaluates breakpoint groups through cycle upper-1
+            // but never steps *into* `upper` (a watch firing there is
+            // the stop we are reversing away from).
+            self.rewind_raw(origin)?;
+            self.scheduler.reset_cycle();
+            self.stopped = None;
+            let count = self.scan_forward_stops(upper, None)?;
+            if count > 0 {
+                // Pass 2: identical replay, landing on the last stop.
+                self.rewind_raw(origin)?;
+                self.scheduler.reset_cycle();
+                self.stopped = None;
+                self.scan_forward_stops(upper, Some(count))?;
+                let event = self.stopped.clone().expect("pass 2 lands on a stop");
+                return Ok(RunOutcome::Stopped(event));
+            }
+            upper = origin;
+        }
+        // No stop anywhere in recorded history: rest at the earliest
+        // reachable cycle.
+        self.rewind_raw(earliest)?;
+        self.scheduler.reset_cycle();
+        self.stopped = None;
+        Ok(RunOutcome::Finished {
+            time: self.sim.time(),
+        })
+    }
+
+    /// Replays forward from the current cycle, stopping normally at
+    /// breakpoints/watchpoints, until the cycle budget that keeps
+    /// execution strictly below `upper` runs out. With `take_nth =
+    /// None` every stop is resumed through and the total is returned;
+    /// with `Some(n)` the scan halts *at* the nth stop (leaving
+    /// [`Runtime::stopped`] describing it).
+    fn scan_forward_stops(
+        &mut self,
+        upper: u64,
+        take_nth: Option<usize>,
+    ) -> Result<usize, DebugError> {
+        let mut seen = 0usize;
+        loop {
+            // Group evaluation precedes the budget check inside
+            // `continue_slice`, so a budget of upper-1-time scans
+            // groups at cycle upper-1 without stepping into upper.
+            let budget = (upper - 1).saturating_sub(self.sim.time());
+            match self.continue_slice(budget, None)? {
+                SliceOutcome::Stopped(event) => {
+                    debug_assert!(event.time < upper, "scan stop escaped its window");
+                    seen += 1;
+                    if take_nth == Some(seen) {
+                        return Ok(seen);
+                    }
+                }
+                SliceOutcome::Finished { .. } | SliceOutcome::Expired { .. } => {
+                    return Ok(seen);
+                }
+            }
         }
     }
 
@@ -1408,6 +1816,7 @@ impl<S: SimControl> Runtime<S> {
         if advanced {
             self.scheduler.reset_cycle();
             self.stopped = None;
+            self.maybe_auto_checkpoint();
         }
         advanced
     }

@@ -97,7 +97,9 @@ pub use crate::outbound::Outbound;
 /// an empty list is a wildcard. A stop event is delivered when all
 /// three filters match:
 ///
-/// * `kinds`: the event's kind — `"breakpoint"` or `"watchpoint"`.
+/// * `kinds`: the event's kind — `"breakpoint"`, `"watchpoint"`, or
+///   `"restored"` (a checkpoint restore resynced the shared
+///   simulation).
 /// * `files`: the stop's source file. Watchpoint stops carry no file,
 ///   so a non-empty file filter only ever matches breakpoint stops.
 /// * `instances`: any hit frame's instance path. Watchpoint stops
@@ -520,7 +522,16 @@ fn command_session(cmd: &Command) -> Option<SessionId> {
 /// would corrupt both sessions' notion of "the" stop).
 fn is_advancing(request: &Request) -> bool {
     match request {
-        Request::Continue { .. } | Request::Step { .. } | Request::ReverseStep => true,
+        Request::Continue { .. }
+        | Request::Step { .. }
+        | Request::ReverseStep
+        | Request::ReverseContinue
+        // Checkpoint and restore move or capture simulation state, and
+        // a mid-run `Expired` slice leaves the scheduler cursor inside
+        // a cycle that a snapshot would not capture — both wait their
+        // turn like any other state-moving request.
+        | Request::Checkpoint
+        | Request::Restore { .. } => true,
         Request::Batch { requests } => requests.iter().any(is_advancing),
         _ => false,
     }
@@ -622,9 +633,19 @@ fn execute_command<S: SimControl>(
         return;
     }
     let label = request.kind_name();
+    let advancing = is_advancing(&request);
     let mut stops = Vec::new();
     let mut sub_update = None;
+    // Captured *inside* the panic-isolation closure: `Some` means the
+    // runtime seeded its checkpoint ring and the simulation may have
+    // moved, so a panic must roll back to this cycle. A panic before
+    // (or inside) `prepare_advance` leaves simulation state untouched
+    // and takes the plain-repair path instead.
+    let mut pre_cycle: Option<u64> = None;
     let result = catch_unwind(AssertUnwindSafe(|| {
+        if advancing {
+            pre_cycle = Some(runtime.prepare_advance());
+        }
         service_execute(
             state,
             runtime,
@@ -648,7 +669,21 @@ fn execute_command<S: SimControl>(
             {
                 state.active_run = None;
             }
-            runtime.repair_after_panic(label);
+            match pre_cycle {
+                // An advancing request died mid-flight: the simulation
+                // may sit at an arbitrary half-executed cycle. Restore
+                // the pre-request checkpoint; on success the restore
+                // stop is broadcast so viewers resync, on failure the
+                // runtime degrades and refuses forward execution.
+                Some(pre) => {
+                    if let Some(event) = runtime.recover_after_panic(label, pre) {
+                        stops.push(event);
+                    }
+                }
+                // Non-advancing requests cannot have moved the
+                // simulation; bookkeeping repair suffices.
+                None => runtime.repair_after_panic(label),
+            }
             dead.push(session);
             (
                 Response::Error {
@@ -783,7 +818,13 @@ fn service_execute<S: SimControl>(
         }
         other => {
             fault::maybe_panic_at("execute", other.kind_name());
-            let advancing = matches!(other, Request::Step { .. } | Request::ReverseStep);
+            let advancing = matches!(
+                other,
+                Request::Step { .. }
+                    | Request::ReverseStep
+                    | Request::ReverseContinue
+                    | Request::Restore { .. }
+            );
             let (resp, done) = handle_request(runtime, session, other);
             if advancing {
                 if let Response::Stopped { event } = &resp {
@@ -1009,7 +1050,11 @@ fn execute<S: SimControl>(
         other => {
             let advancing = matches!(
                 other,
-                Request::Continue { .. } | Request::Step { .. } | Request::ReverseStep
+                Request::Continue { .. }
+                    | Request::Step { .. }
+                    | Request::ReverseStep
+                    | Request::ReverseContinue
+                    | Request::Restore { .. }
             );
             let (resp, done) = handle_request(runtime, session, other);
             if advancing {
@@ -1116,6 +1161,22 @@ pub fn handle_request<S: SimControl>(
         },
         Request::ReverseStep => match runtime.reverse_step() {
             Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::ReverseContinue => match runtime.reverse_continue() {
+            Ok(outcome) => outcome_response(outcome),
+            Err(e) => error_response(e),
+        },
+        Request::Checkpoint => match runtime.checkpoint_now() {
+            Ok(cycle) => Response::Checkpointed {
+                cycle,
+                checkpoints: runtime.checkpoints().len(),
+                bytes: runtime.checkpoints().approx_bytes(),
+            },
+            Err(e) => error_response(e),
+        },
+        Request::Restore { cycle } => match runtime.restore_latest_or(cycle) {
+            Ok(event) => Response::Stopped { event },
             Err(e) => error_response(e),
         },
         Request::Frames => match runtime.stopped() {

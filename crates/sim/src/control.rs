@@ -186,6 +186,47 @@ pub trait SimControl {
         false
     }
 
+    /// Optional — captures a deterministic full-state snapshot for
+    /// checkpointing. `None` when the backend has no snapshot support
+    /// (a read-only trace, say, which can already rewind natively).
+    /// Backends that return `Some` guarantee that
+    /// [`SimControl::load_snapshot`] followed by replaying the same
+    /// stimulus is bit-identical to the uninterrupted run.
+    fn save_snapshot(&self) -> Option<crate::Snapshot> {
+        None
+    }
+
+    /// Optional — captures a snapshot into an existing buffer, reusing
+    /// its allocations, and returns whether the backend supports
+    /// snapshots (mirroring [`SimControl::save_snapshot`]'s `None`).
+    /// The default routes through `save_snapshot`; backends with a
+    /// cheap in-place capture override it so callers that recycle
+    /// snapshot buffers (the runtime's checkpoint ring) avoid
+    /// reallocating per capture.
+    fn save_snapshot_into(&self, out: &mut crate::Snapshot) -> bool {
+        match self.save_snapshot() {
+            Some(snap) => {
+                *out = snap;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Optional — restores a snapshot previously captured from this
+    /// backend with [`SimControl::save_snapshot`], rewinding every
+    /// piece of mutable simulation state to the captured instant.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeTravel`] when the backend has no snapshot
+    /// support; backend-specific errors for mismatched snapshots.
+    fn load_snapshot(&mut self, _snap: &crate::Snapshot) -> Result<(), SimError> {
+        Err(SimError::TimeTravel(
+            "backend does not support snapshot restore".into(),
+        ))
+    }
+
     /// All known signal paths (hierarchy flattened), sorted.
     fn signal_paths(&self) -> Vec<String> {
         let mut paths = self.hierarchy().full_paths();

@@ -66,4 +66,4 @@ mod simulator;
 pub use control::{HierNode, SignalId, SimControl, SimError};
 pub use netlist::FlatNetlist;
 pub use parallel::SimConfig;
-pub use simulator::{CallbackId, ClockCallback, ClockView, Simulator};
+pub use simulator::{CallbackId, ClockCallback, ClockView, Simulator, Snapshot};

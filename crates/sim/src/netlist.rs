@@ -499,7 +499,15 @@ impl Builder<'_> {
     /// `prefix`.
     fn declare_module(&mut self, module: &hgf_ir::Module, prefix: &str) {
         let table = module.signal_table(self.circuit);
-        for (name, (width, kind)) in &table {
+        // Declare in sorted order: `signal_table` is a HashMap, and
+        // letting its iteration order pick slot numbers would give two
+        // builds of the same circuit different signal ids — breaking
+        // the documented cross-build stability of `SignalId` (and with
+        // it snapshot portability between identically-built backends).
+        let mut names: Vec<&String> = table.keys().collect();
+        names.sort();
+        for name in names {
+            let (width, kind) = &table[name];
             // Instance ports are declared by the child walk.
             if *kind == SignalKind::InstancePort {
                 continue;
@@ -619,8 +627,12 @@ impl Builder<'_> {
                 Stmt::Mem { .. } | Stmt::When { .. } => {}
             }
         }
-        // Registers with no connect (hold forever).
-        for (name, (init,)) in regs {
+        // Registers with no connect (hold forever). Sorted: `regs` is
+        // a HashMap and the resulting `raw_regs` order must not vary
+        // between builds of the same circuit.
+        let mut held: Vec<_> = regs.into_iter().collect();
+        held.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, (init,)) in held {
             let sig = self.index[&format!("{prefix}.{name}")];
             if !self.raw_regs.iter().any(|r| r.sig == sig) {
                 self.raw_regs.push(RawReg {

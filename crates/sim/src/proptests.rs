@@ -158,7 +158,7 @@ const GEN_MASK: u64 = (1 << GEN_WIDTH) - 1;
 /// regions), registers whose next-values may read any cluster, and a
 /// memory with a combinational read and a synchronous write port.
 /// Returns the input paths to drive.
-fn build_random_circuit(rng: &mut Rng) -> (Simulator, Simulator, Vec<String>) {
+fn build_random_circuit(rng: &mut Rng) -> (hgf_ir::CircuitState, Vec<String>) {
     let groups = 1 + rng.below(4) as usize;
     let nodes_per_group = 2 + rng.below(8) as usize;
     let nregs = rng.below(4) as usize;
@@ -257,27 +257,21 @@ fn build_random_circuit(rng: &mut Rng) -> (Simulator, Simulator, Vec<String>) {
         (state, inputs)
     };
 
-    let (state, inputs) = build(&script);
-    let seq = Simulator::with_config(
-        &state.circuit,
-        SimConfig {
-            workers: 1,
-            min_parallel_work: 1,
-        },
-    )
-    .unwrap();
-    let workers = 2 + rng.below(3) as usize;
-    let par = Simulator::with_config(
+    build(&script)
+}
+
+/// A simulator over the random circuit with the sharded schedules
+/// forced on every sweep, however small — maximum pressure on the
+/// race-freedom argument. `workers = 1` is the exact sequential path.
+fn sim_with(state: &hgf_ir::CircuitState, workers: usize) -> Simulator {
+    Simulator::with_config(
         &state.circuit,
         SimConfig {
             workers,
-            // Force the sharded schedules on every sweep, however
-            // small — maximum pressure on the race-freedom argument.
             min_parallel_work: 1,
         },
     )
-    .unwrap();
-    (seq, par, inputs)
+    .unwrap()
 }
 
 proptest! {
@@ -289,7 +283,9 @@ proptest! {
     #[test]
     fn parallel_equals_sequential_on_random_netlists(seed in any::<u64>()) {
         let mut rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
-        let (mut seq, mut par, inputs) = build_random_circuit(&mut rng);
+        let (state, inputs) = build_random_circuit(&mut rng);
+        let mut seq = sim_with(&state, 1);
+        let mut par = sim_with(&state, 2 + rng.below(3) as usize);
         let paths = seq.signal_paths();
         prop_assert!(par.workers() > 1);
 
@@ -323,6 +319,76 @@ proptest! {
                 par.peek_mem("rand.m0", addr),
                 "memory word {} diverged (seed {})", addr, seed
             );
+        }
+    }
+
+    /// A mid-run snapshot restored into an engine of *any* worker
+    /// count (workers ∈ {1, 4}) and replayed under identical stimulus
+    /// must be bit-identical to the uninterrupted run: every signal
+    /// every cycle, final memory contents, and the eval counter.
+    #[test]
+    fn snapshot_roundtrip_equivalent_on_random_netlists(seed in any::<u64>()) {
+        let mut rng = Rng(seed.wrapping_mul(0x9e6c_7f4a_b958_2d31) | 1);
+        let (state, inputs) = build_random_circuit(&mut rng);
+        let mut clean = sim_with(&state, 1);
+        let paths = clean.signal_paths();
+        // Pre-draw the stimulus so every replay pokes identical values.
+        let cycles = 12usize;
+        let stim: Vec<Vec<Bits>> = (0..cycles)
+            .map(|_| {
+                inputs
+                    .iter()
+                    .map(|_| Bits::from_u64(rng.next() & GEN_MASK, GEN_WIDTH))
+                    .collect()
+            })
+            .collect();
+        let drive = |sim: &mut Simulator, t: usize| {
+            for (path, v) in inputs.iter().zip(&stim[t]) {
+                sim.poke(path, v.clone()).unwrap();
+            }
+            sim.step_clock();
+        };
+        // Uninterrupted reference run, snapshotting at mid-point.
+        clean.reset(2);
+        let snap_at = cycles / 2;
+        let mut snap = None;
+        let mut tail_frames: Vec<Vec<Bits>> = Vec::new();
+        for t in 0..cycles {
+            if t == snap_at {
+                snap = Some(clean.snapshot());
+            }
+            drive(&mut clean, t);
+            if t >= snap_at {
+                tail_frames.push(paths.iter().map(|p| clean.peek(p).unwrap()).collect());
+            }
+        }
+        let snap = snap.unwrap();
+        let clean_evals = clean.defs_evaluated();
+        // Restore into engines with workers ∈ {1, 4} and replay.
+        for workers in [1usize, 4] {
+            let mut replay = sim_with(&state, workers);
+            replay.restore(&snap).unwrap();
+            prop_assert_eq!(replay.time(), snap.time());
+            for (k, t) in (snap_at..cycles).enumerate() {
+                drive(&mut replay, t);
+                for (p, expect) in paths.iter().zip(&tail_frames[k]) {
+                    prop_assert_eq!(
+                        &replay.peek(p).unwrap(), expect,
+                        "cycle {} signal {} diverged after restore (workers {}, seed {})",
+                        t, p, workers, seed
+                    );
+                }
+            }
+            prop_assert_eq!(replay.defs_evaluated(), clean_evals,
+                "eval counters diverged after restore (workers {}, seed {})", workers, seed);
+            for addr in 0..16 {
+                prop_assert_eq!(
+                    replay.peek_mem("rand.m0", addr),
+                    clean.peek_mem("rand.m0", addr),
+                    "memory word {} diverged after restore (workers {}, seed {})",
+                    addr, workers, seed
+                );
+            }
         }
     }
 

@@ -10,7 +10,8 @@
 //! Same over a socket:  `cargo run --example gdb_cli -- --demo --tcp`
 //!
 //! Commands: b FILE:LINE [COND] | w EXPR | iw | dw ID | c | s | rs |
-//! p EXPR | sub [KIND...] | ev [SECS] | info | frames | q
+//! rc | ckpt | restore [CYCLE] | p EXPR | sub [KIND...] | ev [SECS] |
+//! info | frames | q
 
 use std::io::{BufRead, Write};
 use std::thread;
@@ -52,6 +53,10 @@ fn print_response(resp: &Json) {
     match resp["type"].as_str() {
         Some("stopped") => {
             let e = &resp["event"];
+            if e["reason"].as_str() == Some("restored") {
+                println!("restored to cycle {}", e["time"].as_i64().unwrap_or(0));
+                return;
+            }
             if e["reason"].as_str() == Some("watchpoint") {
                 println!("stopped (cycle {})", e["time"].as_i64().unwrap_or(0));
                 for hit in e["watch_hits"].as_array().unwrap_or(&[]) {
@@ -84,6 +89,12 @@ fn print_response(resp: &Json) {
             }
         }
         Some("finished") => println!("finished at cycle {}", resp["time"].as_i64().unwrap_or(0)),
+        Some("checkpointed") => println!(
+            "checkpoint at cycle {} ({} retained, {} bytes)",
+            resp["cycle"].as_i64().unwrap_or(0),
+            resp["checkpoints"].as_i64().unwrap_or(0),
+            resp["bytes"].as_i64().unwrap_or(0)
+        ),
         Some("inserted") => println!("breakpoints {:?}", resp["ids"].as_array().unwrap_or(&[])),
         Some("value") => println!("= {}", resp["text"].as_str().unwrap_or("?")),
         Some("time") => println!("cycle {}", resp["time"].as_i64().unwrap_or(0)),
@@ -212,6 +223,23 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
             .map(|r| print_response(&r)),
         "s" | "step" => client.step().map(|r| print_response(&r)),
         "rs" | "reverse-step" => client.reverse_step().map(|r| print_response(&r)),
+        "rc" | "reverse-continue" => client.reverse_continue().map(|r| print_response(&r)),
+        "ckpt" | "checkpoint" => client
+            .request(&hgdb::protocol::Request::Checkpoint)
+            .map(|r| print_response(&r)),
+        "restore" => {
+            let cycle = match rest.first() {
+                Some(s) => match s.parse::<u64>() {
+                    Ok(c) => Some(c),
+                    Err(_) => {
+                        println!("usage: restore [CYCLE]");
+                        return true;
+                    }
+                },
+                None => None,
+            };
+            client.restore(cycle).map(|r| print_response(&r))
+        }
         "p" | "print" => {
             let expr = rest.join(" ");
             client.eval(None, &expr).map(|v| println!("= {v}"))
@@ -227,7 +255,10 @@ fn run_command<T: Transport>(client: &mut DebugClient<T>, line: &str) -> bool {
         }
         "" => return true,
         other => {
-            println!("unknown command {other:?} (b/w/iw/dw/c/s/rs/p/sub/ev/info/t/lint/q)");
+            println!(
+                "unknown command {other:?} \
+                 (b/w/iw/dw/c/s/rs/rc/ckpt/restore/p/sub/ev/info/t/lint/q)"
+            );
             return true;
         }
     };
@@ -255,6 +286,20 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
             "c".to_owned(),
             "iw".to_owned(),
             "dw 1".to_owned(),
+            // Reverse debugging on the live simulator: watch the
+            // output again, advance two stops, checkpoint, then
+            // reverse-continue back across the cycle boundary to the
+            // previous watchpoint hit and restore forward again.
+            "w top.out".to_owned(),
+            "c".to_owned(),
+            "c".to_owned(),
+            "ckpt".to_owned(),
+            "t".to_owned(),
+            "rc".to_owned(),
+            "t".to_owned(),
+            "restore".to_owned(),
+            "t".to_owned(),
+            "dw 2".to_owned(),
             "c".to_owned(),
             "p top.count".to_owned(),
             "t".to_owned(),
@@ -270,7 +315,7 @@ fn drive_session<T: Transport>(mut client: DebugClient<T>, demo: bool, bp_line: 
     } else {
         println!(
             "hgdb gdb-style CLI. Commands: b FILE:LINE [COND], w EXPR, iw, dw ID, c, s, rs, \
-             p EXPR, sub [KIND...], ev [SECS], info, t, lint, q"
+             rc, ckpt, restore [CYCLE], p EXPR, sub [KIND...], ev [SECS], info, t, lint, q"
         );
         println!("try: b {}:{bp_line} count == 5", file!());
         let stdin = std::io::stdin();

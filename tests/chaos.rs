@@ -139,6 +139,146 @@ fn injected_slice_panic_contained_midrun() {
         .expect("service thread survived the panic");
 }
 
+/// A free-running design whose registers change every cycle without
+/// saturating, so "bit-identical after recovery" comparisons stay
+/// meaningful deep into a run.
+fn build_freerun() -> (Simulator, symtab::SymbolTable) {
+    let mut cb = CircuitBuilder::new();
+    cb.module("top", |m| {
+        let out = m.output("out", 8);
+        let count = m.reg("count", 8, Some(0));
+        let acc = m.reg("acc", 8, Some(1));
+        m.assign(&count, count.sig() + m.lit(1, 8));
+        m.assign(&acc, acc.sig() + count.sig());
+        m.assign(&out, acc.sig() ^ count.sig());
+    });
+    let circuit = cb.finish("top").unwrap();
+    let mut state = hgf_ir::CircuitState::new(circuit);
+    let table = hgf_ir::passes::compile(&mut state, true).unwrap();
+    let symbols = symtab::from_debug_table(&state.circuit, &table).unwrap();
+    let sim = Simulator::new(&state.circuit).unwrap();
+    (sim, symbols)
+}
+
+#[test]
+fn injected_midslice_panic_recovers_bit_identical() {
+    let _fault = FAULT_LOCK.lock().unwrap();
+    // Several 2048-cycle slices, so the injected panic fires mid-run
+    // with the simulation far from the pre-request state.
+    const CYCLES: u64 = 5000;
+
+    // Reference: the same workload with nothing armed.
+    let (sim, symbols) = build_freerun();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let mut r = DebugClient::new(service.handle().connect().unwrap());
+    let stop = r.continue_with(None, Some(CYCLES), None).unwrap();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    let ref_time = r.time().unwrap();
+    let ref_count = r.eval(None, "top.count").unwrap();
+    let ref_acc = r.eval(None, "top.acc").unwrap();
+    drop(r);
+    service.shutdown().unwrap();
+
+    // Chaos: identical workload, panic between the first two slices.
+    let (sim, symbols) = build_freerun();
+    let service = DebugService::spawn(Runtime::attach(sim, symbols).unwrap());
+    let mut a = DebugClient::new(service.handle().connect().unwrap());
+    let mut b = DebugClient::new(service.handle().connect().unwrap());
+    let _armed = FaultPlan::new().panic_at("slice", 1).arm();
+
+    let err = a.continue_with(None, Some(CYCLES), None).unwrap_err();
+    assert!(err.to_string().contains("panicked"), "{err}");
+
+    // Crash recovery restored the pre-request checkpoint, so the
+    // surviving session redoes the whole run from cycle 0 and must end
+    // in exactly the reference state.
+    assert_eq!(b.time().unwrap(), 0, "rolled back to the pre-request cycle");
+    let stop = b.continue_with(None, Some(CYCLES), None).unwrap();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    assert_eq!(b.time().unwrap(), ref_time);
+    assert_eq!(b.eval(None, "top.count").unwrap(), ref_count);
+    assert_eq!(b.eval(None, "top.acc").unwrap(), ref_acc);
+
+    drop((a, b));
+    service
+        .shutdown()
+        .expect("service thread survived the panic");
+}
+
+#[test]
+fn failed_restore_degrades_until_explicit_restore() {
+    let _fault = FAULT_LOCK.lock().unwrap();
+    let (service, _) = spawn_service();
+    let mut a = DebugClient::new(service.handle().connect().unwrap());
+    let mut b = DebugClient::new(service.handle().connect().unwrap());
+
+    // The slice panic triggers crash recovery; the restore fault then
+    // kills the recovery itself, leaving the runtime degraded instead
+    // of silently continuing from a half-executed cycle.
+    let _armed = FaultPlan::new()
+        .panic_at("slice", 1)
+        .panic_at("restore", 1)
+        .arm();
+
+    let err = a.continue_run(None).unwrap_err();
+    assert!(err.to_string().contains("panicked"), "{err}");
+
+    // Degraded mode: reads still work, forward execution refuses.
+    assert!(b.time().is_ok(), "non-advancing requests still served");
+    let err = b.continue_run(Some(10)).unwrap_err();
+    assert!(err.to_string().contains("degraded"), "{err}");
+    let err = b.step().unwrap_err();
+    assert!(err.to_string().contains("degraded"), "{err}");
+    let err = b.checkpoint().unwrap_err();
+    assert!(err.to_string().contains("degraded"), "{err}");
+
+    // An explicit restore succeeds (the injected restore fault already
+    // fired), clears the degradation, and execution resumes.
+    let restored = b.restore(None).unwrap();
+    assert_eq!(restored["event"]["reason"].as_str(), Some("restored"));
+    let stop = b.continue_with(None, Some(50), None).unwrap();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    assert!(b.time().unwrap() > 0);
+
+    drop((a, b));
+    service.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn restore_broadcasts_resync_stop_to_viewers() {
+    let (service, _) = spawn_service();
+    let mut a = DebugClient::new(service.handle().connect().unwrap());
+    let mut b = DebugClient::new(service.handle().connect().unwrap());
+
+    let stop = a.continue_with(None, Some(20), None).unwrap();
+    assert_eq!(stop["event"]["reason"].as_str(), Some("budget_exhausted"));
+    let cp = a.checkpoint().unwrap();
+    assert_eq!(cp, a.time().unwrap());
+    a.continue_with(None, Some(20), None).unwrap();
+    assert!(a.time().unwrap() > cp);
+
+    let restored = a.restore(Some(cp)).unwrap();
+    assert_eq!(restored["event"]["reason"].as_str(), Some("restored"));
+    assert_eq!(restored["event"]["time"].as_i64(), Some(cp as i64));
+
+    // The other session observes the shared simulation move under it
+    // via the broadcast resync stop (default subscription delivers all
+    // kinds, including "restored").
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let ev = loop {
+        match b.wait_event_timeout(Duration::from_millis(100)).unwrap() {
+            Some(ev) if ev["data"]["reason"].as_str() == Some("restored") => break ev,
+            Some(_) => {}
+            None => assert!(Instant::now() < deadline, "restored broadcast arrives"),
+        }
+    };
+    assert_eq!(ev["data"]["time"].as_i64(), Some(cp as i64));
+    assert_eq!(b.time().unwrap(), cp);
+
+    drop((a, b));
+    service.shutdown().expect("clean shutdown");
+}
+
 #[test]
 fn interrupt_stops_breakpoint_free_continue() {
     let (service, _) = spawn_service();
