@@ -1,0 +1,135 @@
+//! Differential fuzzing soak driver.
+//!
+//! Runs randomly generated RV32 programs through the hardware core and
+//! the golden ISS in lockstep ([`rv32::fuzz`]), alternating two-state
+//! and four-state engines. Two modes:
+//!
+//! * `--cases <n>` — deterministic: seeds `base..base+n` (base from
+//!   `--seed`, default 0). This is the pinned CI run; a failure here
+//!   reproduces exactly on any machine.
+//! * `--seconds <t>` — soak: the base seed is derived from the wall
+//!   clock and printed up front, then seeds are consumed sequentially
+//!   until the time budget runs out. A failing run prints its seed, so
+//!   `--cases 1 --seed <s>` replays it.
+//!
+//! Every mismatch is shrunk to a minimal op sequence before reporting,
+//! and the process exits non-zero.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use rv32::fuzz::{gen_program, lower, shrink, Harness, Mode, MAX_OPS};
+
+struct Args {
+    cases: Option<u64>,
+    seconds: Option<u64>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        cases: None,
+        seconds: None,
+        seed: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("{name} requires an integer"))
+        };
+        match arg.as_str() {
+            "--cases" => parsed.cases = Some(value("--cases")),
+            "--seconds" => parsed.seconds = Some(value("--seconds")),
+            "--seed" => parsed.seed = Some(value("--seed")),
+            other => panic!("unknown flag {other} (expected --cases, --seconds, --seed)"),
+        }
+    }
+    if parsed.cases.is_none() && parsed.seconds.is_none() {
+        parsed.cases = Some(256);
+    }
+    parsed
+}
+
+/// Runs one seed in one mode; on mismatch, shrinks and reports.
+/// Returns the retired instruction count on agreement.
+fn run_seed(harness: &Harness, seed: u64, mode: Mode) -> Result<u64, ()> {
+    let ops = gen_program(seed, MAX_OPS);
+    match harness.run_lockstep(&ops, mode) {
+        Ok(retired) => Ok(retired),
+        Err(mismatch) => {
+            eprintln!("MISMATCH seed={seed} mode={mode:?}: {mismatch:?}");
+            let minimal = shrink(&ops, &mut |candidate| {
+                harness.run_lockstep(candidate, mode) == Err(mismatch.clone())
+            });
+            eprintln!("minimal sequence ({} ops):", minimal.len());
+            for op in &minimal {
+                eprintln!("  {op:?}");
+            }
+            eprintln!("lowered words:");
+            for word in lower(&minimal) {
+                eprintln!("  {word:#010x}");
+            }
+            eprintln!("replay with: diff_fuzz --cases 1 --seed {seed}");
+            Err(())
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let harness = Harness::new();
+    let mut programs: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut failures: u64 = 0;
+
+    let mut run = |seed: u64| {
+        // Two-state every seed; four-state (reset applied first) on
+        // every other seed, so both engines soak in one budget.
+        let mut modes = vec![Mode::TwoState];
+        if seed.is_multiple_of(2) {
+            modes.push(Mode::FourState);
+        }
+        for mode in modes {
+            match run_seed(&harness, seed, mode) {
+                Ok(retired) => {
+                    programs += 1;
+                    instructions += retired;
+                }
+                Err(()) => failures += 1,
+            }
+        }
+    };
+
+    if let Some(cases) = args.cases {
+        let base = args.seed.unwrap_or(0);
+        println!("diff_fuzz: pinned run, seeds {base}..{}", base + cases);
+        for seed in base..base + cases {
+            run(seed);
+        }
+    } else {
+        let seconds = args.seconds.expect("parse_args guarantees a mode");
+        let base = args.seed.unwrap_or_else(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos() as u64
+        });
+        println!("diff_fuzz: {seconds}s soak, base seed {base} (replay failures with --seed)");
+        let deadline = Instant::now() + Duration::from_secs(seconds);
+        let mut offset = 0u64;
+        while Instant::now() < deadline {
+            run(base.wrapping_add(offset));
+            offset += 1;
+        }
+    }
+
+    println!(
+        "diff_fuzz: {programs} lockstep runs, {instructions} instructions retired, \
+         {failures} mismatches"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

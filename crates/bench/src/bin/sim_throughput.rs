@@ -27,6 +27,11 @@
 //!   (rv32 halt cycle + `tohost`, wide-datapath state after a fixed
 //!   run). CI diffs this output across worker counts to prove the
 //!   parallel engine is bit-identical to the sequential one.
+//! * `--gate <path>` — regression gate against a recorded baseline
+//!   (`BENCH_sim_throughput.json`): measure the sequential two-state
+//!   `rv32_core` row and fail if it lands below 95% of the recorded
+//!   `current` number. Guards the four-state engine work: the
+//!   two-state fast path must stay within 5% of its baseline.
 
 use bench::{
     compile_core, loaded_sim_with, loaded_wide_sim_with, measure_throughput_checkpointed,
@@ -155,6 +160,41 @@ fn print_verify(workers: usize) {
     );
 }
 
+/// Gate mode: measure the sequential two-state `rv32_core` row and
+/// compare against the recorded baseline in `path`. Fails (panics)
+/// below 95% of baseline; the measurement takes the median of three
+/// runs to damp runner noise, like the recorded numbers did.
+fn run_gate(path: &str, cycles: u64, warmup: u64) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--gate: cannot read {path}: {e}"));
+    let json =
+        microjson::parse(&text).unwrap_or_else(|e| panic!("--gate: bad JSON in {path}: {e:?}"));
+    let baseline = json["current"]["rows"]
+        .as_array()
+        .unwrap_or_else(|| panic!("--gate: {path} has no current.rows"))
+        .iter()
+        .find(|r| r["design"].as_str() == Some("rv32_core") && r["workers"].as_i64() == Some(1))
+        .and_then(|r| r["cycles_per_sec"].as_f64())
+        .unwrap_or_else(|| panic!("--gate: no rv32_core workers=1 baseline in {path}"));
+
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| measure_rv32(1, cycles, warmup).cycles_per_sec)
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let measured = runs[1];
+    let floor = baseline * 0.95;
+    println!(
+        "{{\"gate\": \"sim_throughput\", \"design\": \"rv32_core\", \"workers\": 1, \
+         \"baseline\": {baseline:.0}, \"measured\": {measured:.0}, \"floor\": {floor:.0}}}"
+    );
+    assert!(
+        measured >= floor,
+        "two-state rv32_core throughput regressed: {measured:.0} cycles/sec is below \
+         95% of the recorded baseline {baseline:.0} (floor {floor:.0})"
+    );
+    eprintln!("gate ok: {measured:.0} >= {floor:.0} cycles/sec");
+}
+
 type Args = (
     bool,
     bool,
@@ -162,6 +202,7 @@ type Args = (
     Option<u64>,
     Option<u64>,
     Option<u64>,
+    Option<String>,
 );
 
 fn parse_args() -> Args {
@@ -171,11 +212,15 @@ fn parse_args() -> Args {
     let mut cycles = None;
     let mut warmup = None;
     let mut checkpoint_every = None;
+    let mut gate = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
+        let mut text = |name: &str| {
             args.next()
                 .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        let mut value = |name: &str| {
+            text(name)
                 .parse::<u64>()
                 .unwrap_or_else(|_| panic!("{name} requires an integer"))
         };
@@ -190,17 +235,36 @@ fn parse_args() -> Args {
                 assert!(every > 0, "--checkpoint-every requires a positive interval");
                 checkpoint_every = Some(every);
             }
+            "--gate" => gate = Some(text("--gate")),
             other => panic!("unknown flag {other}"),
         }
     }
-    (smoke, verify, threads, cycles, warmup, checkpoint_every)
+    (
+        smoke,
+        verify,
+        threads,
+        cycles,
+        warmup,
+        checkpoint_every,
+        gate,
+    )
 }
 
 fn main() {
-    let (smoke, verify, threads, cycles_arg, warmup_arg, checkpoint_every) = parse_args();
+    let (smoke, verify, threads, cycles_arg, warmup_arg, checkpoint_every, gate) = parse_args();
 
     if verify {
         print_verify(threads.unwrap_or(1));
+        return;
+    }
+    if let Some(path) = gate {
+        // Longer than the sweep default: the gate is a pass/fail
+        // boundary, so it needs the noise floor well under 5%.
+        run_gate(
+            &path,
+            cycles_arg.unwrap_or(200_000),
+            warmup_arg.unwrap_or(20_000),
+        );
         return;
     }
 

@@ -1,0 +1,836 @@
+//! Four-state (`0`/`1`/`x`/`z`) bit vectors.
+//!
+//! [`Bits4`] pairs a two-state value plane with an *unknown mask*: a set
+//! mask bit means the corresponding value bit is not a real `0`/`1`.
+//! Among unknown bits, a set value bit reads as `x` (unknown driven) and
+//! a clear one as `z` (undriven/high-impedance). All operations
+//! *normalize* their result to X-form — every unknown result bit has its
+//! value bit set — so `z` survives only in parsed literals and explicit
+//! [`Bits4::all_z`] constructions; any computation collapses it to `x`,
+//! matching IEEE-1800 §11.4's treatment of `z` operands.
+//!
+//! The two planes are plain [`Bits`], so narrow four-state values stay
+//! allocation-free exactly like their two-state counterparts, and a
+//! fully-known `Bits4` is just a `Bits` plus an inline all-zero mask.
+//! The 2-state simulator never constructs this type on its hot path.
+//!
+//! # Examples
+//!
+//! ```
+//! use bits::{Bits, Bits4};
+//!
+//! let x = Bits4::all_x(8);
+//! let zero = Bits4::known(Bits::zero(8));
+//! // Known-0 dominates AND even against unknown bits.
+//! assert!(x.and(&zero).is_fully_known());
+//! // But X | 0 stays X.
+//! assert!(!x.or(&zero).is_fully_known());
+//! ```
+
+use core::fmt;
+
+use crate::parse::{from_digits, scan_literal, split_radix, ParseBitsError};
+use crate::Bits;
+
+/// An arbitrary-width four-state bit vector: a value plane plus an
+/// unknown mask, both of the same width.
+///
+/// Invariants:
+/// * both planes have the same width
+/// * results of operations are in X-form (unknown bits read as `x`, i.e.
+///   the value bit is set wherever the mask bit is); only constructors
+///   ([`Bits4::from_planes`], [`Bits4::all_z`], [`Bits4::parse`]) can
+///   introduce `z` bits
+///
+/// Equality is plane-wise: `x != z`, and an unknown bit never equals a
+/// known one. That makes an X→known transition an ordinary value change,
+/// which is exactly what watchpoint edge detection needs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits4 {
+    val: Bits,
+    unk: Bits,
+}
+
+impl Bits4 {
+    /// Wraps a fully-known two-state value.
+    pub fn known(val: Bits) -> Self {
+        let unk = Bits::zero(val.width());
+        Bits4 { val, unk }
+    }
+
+    /// Builds a value from explicit planes. Not normalized: mask bits
+    /// with a clear value bit are `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes' widths differ.
+    pub fn from_planes(val: Bits, unk: Bits) -> Self {
+        assert!(
+            val.width() == unk.width(),
+            "Bits4 plane widths differ ({} vs {})",
+            val.width(),
+            unk.width()
+        );
+        Bits4 { val, unk }
+    }
+
+    /// All bits `x` (the power-up value of an unreset register).
+    pub fn all_x(width: u32) -> Self {
+        Bits4 {
+            val: Bits::ones(width),
+            unk: Bits::ones(width),
+        }
+    }
+
+    /// All bits `z` (an undriven net).
+    pub fn all_z(width: u32) -> Self {
+        Bits4 {
+            val: Bits::zero(width),
+            unk: Bits::ones(width),
+        }
+    }
+
+    /// A fully-known all-zero value.
+    pub fn zero(width: u32) -> Self {
+        Bits4::known(Bits::zero(width))
+    }
+
+    /// A 1-bit `x`, the result width of comparisons on unknown operands.
+    fn x1() -> Self {
+        Bits4::all_x(1)
+    }
+
+    /// The width in bits. Always at least 1.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.val.width()
+    }
+
+    /// The value plane. Unknown bits read as `1` (`x`) or `0` (`z`).
+    #[inline]
+    pub fn value(&self) -> &Bits {
+        &self.val
+    }
+
+    /// The unknown mask: a set bit means `x` or `z` at that position.
+    #[inline]
+    pub fn unknown(&self) -> &Bits {
+        &self.unk
+    }
+
+    /// Whether every bit is a real `0`/`1`.
+    #[inline]
+    pub fn is_fully_known(&self) -> bool {
+        self.unk.is_zero()
+    }
+
+    /// The two-state value, when fully known.
+    #[inline]
+    pub fn to_known(&self) -> Option<&Bits> {
+        if self.is_fully_known() {
+            Some(&self.val)
+        } else {
+            None
+        }
+    }
+
+    /// Three-valued truthiness: `Some(true)` if any bit is a known `1`
+    /// (the rest cannot make the value zero), `Some(false)` if every bit
+    /// is a known `0`, `None` (i.e. `x`) otherwise.
+    pub fn truthiness(&self) -> Option<bool> {
+        if self.val.and(&self.unk.not()).any() {
+            Some(true)
+        } else if self.unk.is_zero() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the value is a *known* nonzero — the semantics used for
+    /// breakpoint/watchpoint conditions: an `x` condition does not fire.
+    #[inline]
+    pub fn is_truthy_known(&self) -> bool {
+        self.truthiness() == Some(true)
+    }
+
+    /// The four-state character of the bit at `index` (LSB = 0):
+    /// `'0'`, `'1'`, `'x'` or `'z'`. Used by VCD emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit_char(&self, index: u32) -> char {
+        match (self.unk.bit(index), self.val.bit(index)) {
+            (false, false) => '0',
+            (false, true) => '1',
+            (true, false) => 'z',
+            (true, true) => 'x',
+        }
+    }
+
+    /// X-form normalization of a raw result plane pair: force unknown
+    /// bits to read as `x`.
+    #[inline]
+    fn norm(val: Bits, unk: Bits) -> Bits4 {
+        Bits4 {
+            val: val.or(&unk),
+            unk,
+        }
+    }
+
+    /// Shared shape for strict arithmetic ops: any unknown operand bit
+    /// poisons the whole result (carry/borrow/partial products spread
+    /// unknowns anyway; per-bit precision buys nothing real here).
+    fn arith2(&self, other: &Bits4, f: impl Fn(&Bits, &Bits) -> Bits) -> Bits4 {
+        if self.is_fully_known() && other.is_fully_known() {
+            Bits4::known(f(&self.val, &other.val))
+        } else {
+            Bits4::all_x(self.width())
+        }
+    }
+
+    /// Wrapping addition; all-`x` if either operand has unknown bits.
+    pub fn add(&self, other: &Bits4) -> Bits4 {
+        self.arith2(other, Bits::add)
+    }
+
+    /// Wrapping subtraction; all-`x` if either operand has unknown bits.
+    pub fn sub(&self, other: &Bits4) -> Bits4 {
+        self.arith2(other, Bits::sub)
+    }
+
+    /// Wrapping multiplication; all-`x` on unknown operands.
+    pub fn mul(&self, other: &Bits4) -> Bits4 {
+        self.arith2(other, Bits::mul)
+    }
+
+    /// Unsigned division; all-`x` on unknown operands.
+    pub fn div(&self, other: &Bits4) -> Bits4 {
+        self.arith2(other, Bits::div)
+    }
+
+    /// Unsigned remainder; all-`x` on unknown operands.
+    pub fn rem(&self, other: &Bits4) -> Bits4 {
+        self.arith2(other, Bits::rem)
+    }
+
+    /// Two's-complement negation; all-`x` on unknown operands.
+    pub fn neg(&self) -> Bits4 {
+        if self.is_fully_known() {
+            Bits4::known(self.val.neg())
+        } else {
+            Bits4::all_x(self.width())
+        }
+    }
+
+    /// Bitwise NOT: known bits invert, unknown bits stay `x`.
+    pub fn not(&self) -> Bits4 {
+        Bits4::norm(self.val.not(), self.unk.clone())
+    }
+
+    /// Bitwise AND with known-`0` dominance: `0 & x == 0`.
+    pub fn and(&self, other: &Bits4) -> Bits4 {
+        // A result bit is a known 0 wherever either operand bit is a
+        // known 0, regardless of the other side.
+        let known0 = self
+            .val
+            .or(&self.unk)
+            .not()
+            .or(&other.val.or(&other.unk).not());
+        let unk = self.unk.or(&other.unk).and(&known0.not());
+        Bits4::norm(self.val.and(&other.val), unk)
+    }
+
+    /// Bitwise OR with known-`1` dominance: `1 | x == 1`.
+    pub fn or(&self, other: &Bits4) -> Bits4 {
+        let known1 = self
+            .val
+            .and(&self.unk.not())
+            .or(&other.val.and(&other.unk.not()));
+        let unk = self.unk.or(&other.unk).and(&known1.not());
+        Bits4::norm(self.val.or(&other.val), unk)
+    }
+
+    /// Bitwise XOR: any unknown operand bit makes that result bit `x`.
+    pub fn xor(&self, other: &Bits4) -> Bits4 {
+        let unk = self.unk.or(&other.unk);
+        Bits4::norm(self.val.xor(&other.val), unk)
+    }
+
+    /// AND-reduction: known `0` if any bit is a known `0`, else `x` if
+    /// any bit is unknown, else known `1`.
+    pub fn reduce_and(&self) -> Bits4 {
+        if self.val.or(&self.unk).not().any() {
+            Bits4::known(Bits::from_bool(false))
+        } else if !self.unk.is_zero() {
+            Bits4::x1()
+        } else {
+            Bits4::known(Bits::from_bool(true))
+        }
+    }
+
+    /// OR-reduction: known `1` if any bit is a known `1`, else `x` if
+    /// any bit is unknown, else known `0`.
+    pub fn reduce_or(&self) -> Bits4 {
+        match self.truthiness() {
+            Some(v) => Bits4::known(Bits::from_bool(v)),
+            None => Bits4::x1(),
+        }
+    }
+
+    /// XOR-reduction: `x` if any bit is unknown, else the known parity.
+    pub fn reduce_xor(&self) -> Bits4 {
+        if self.is_fully_known() {
+            Bits4::known(self.val.reduce_xor())
+        } else {
+            Bits4::x1()
+        }
+    }
+
+    /// Dynamic logical shift left. An unknown shift amount yields
+    /// all-`x`; a known one shifts both planes (vacated bits are known
+    /// `0`), so unknown bits travel with their positions.
+    pub fn shl(&self, amount: &Bits4) -> Bits4 {
+        match amount.to_known() {
+            Some(a) => Bits4::from_planes(self.val.shl(a), self.unk.shl(a)),
+            None => Bits4::all_x(self.width()),
+        }
+    }
+
+    /// Dynamic logical shift right. Same unknown-amount rule as
+    /// [`Bits4::shl`].
+    pub fn shr(&self, amount: &Bits4) -> Bits4 {
+        match amount.to_known() {
+            Some(a) => Bits4::from_planes(self.val.shr(a), self.unk.shr(a)),
+            None => Bits4::all_x(self.width()),
+        }
+    }
+
+    /// Dynamic arithmetic shift right. Sign-filling both planes is
+    /// exact: an unknown MSB fills with `x`, a known one with its value.
+    pub fn ashr(&self, amount: &Bits4) -> Bits4 {
+        match amount.to_known() {
+            Some(a) => Bits4::from_planes(self.val.ashr(a), self.unk.ashr(a)),
+            None => Bits4::all_x(self.width()),
+        }
+    }
+
+    /// 1-bit equality with short-circuit on known-differing bits: two
+    /// values that differ in any mutually-known position are known
+    /// unequal even if other bits are `x` (IEEE-1800 `==` is pessimistic
+    /// here; we keep the stronger result because it is sound and it is
+    /// what makes `pc == 32'h8` usable as a breakpoint condition before
+    /// the whole datapath has resolved).
+    pub fn eq_bits(&self, other: &Bits4) -> Bits4 {
+        let both_known = self.unk.or(&other.unk).not();
+        if self.val.xor(&other.val).and(&both_known).any() {
+            Bits4::known(Bits::from_bool(false))
+        } else if self.unk.any() || other.unk.any() {
+            Bits4::x1()
+        } else {
+            Bits4::known(Bits::from_bool(true))
+        }
+    }
+
+    /// 1-bit inequality (negated [`Bits4::eq_bits`]).
+    pub fn ne_bits(&self, other: &Bits4) -> Bits4 {
+        self.eq_bits(other).not()
+    }
+
+    /// Shared shape for ordered comparisons: `x` unless both operands
+    /// are fully known.
+    fn ord2(&self, other: &Bits4, f: impl Fn(&Bits, &Bits) -> Bits) -> Bits4 {
+        if self.is_fully_known() && other.is_fully_known() {
+            Bits4::known(f(&self.val, &other.val))
+        } else {
+            Bits4::x1()
+        }
+    }
+
+    /// 1-bit unsigned less-than; `x` on unknown operands.
+    pub fn lt_unsigned(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::lt_unsigned)
+    }
+
+    /// 1-bit unsigned less-or-equal; `x` on unknown operands.
+    pub fn le_unsigned(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::le_unsigned)
+    }
+
+    /// 1-bit unsigned greater-than; `x` on unknown operands.
+    pub fn gt_unsigned(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::gt_unsigned)
+    }
+
+    /// 1-bit unsigned greater-or-equal; `x` on unknown operands.
+    pub fn ge_unsigned(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::ge_unsigned)
+    }
+
+    /// 1-bit signed less-than; `x` on unknown operands.
+    pub fn lt_signed(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::lt_signed)
+    }
+
+    /// 1-bit signed less-or-equal; `x` on unknown operands.
+    pub fn le_signed(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::le_signed)
+    }
+
+    /// 1-bit signed greater-than; `x` on unknown operands.
+    pub fn gt_signed(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::gt_signed)
+    }
+
+    /// 1-bit signed greater-or-equal; `x` on unknown operands.
+    pub fn ge_signed(&self, other: &Bits4) -> Bits4 {
+        self.ord2(other, Bits::ge_signed)
+    }
+
+    /// 2:1 multiplexer. A known select picks an arm outright; an `x`
+    /// select merges the arms — bits where both arms agree on a known
+    /// value stay known, everything else goes `x` (IEEE-1800 §11.4.11).
+    pub fn mux(sel: &Bits4, then_val: &Bits4, else_val: &Bits4) -> Bits4 {
+        match sel.truthiness() {
+            Some(true) => then_val.clone(),
+            Some(false) => else_val.clone(),
+            None => Bits4::merge(then_val, else_val),
+        }
+    }
+
+    /// The arm-merge used by X-select muxes and X-branch evaluation:
+    /// agreeing known bits survive, disagreeing or unknown bits go `x`.
+    pub fn merge(a: &Bits4, b: &Bits4) -> Bits4 {
+        let unk = a.unk.or(&b.unk).or(&a.val.xor(&b.val));
+        Bits4::norm(a.val.clone(), unk)
+    }
+
+    /// Extracts the inclusive bit range `[lo, hi]`, like [`Bits::slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Bits4 {
+        Bits4 {
+            val: self.val.slice(hi, lo),
+            unk: self.unk.slice(hi, lo),
+        }
+    }
+
+    /// Concatenates `self` (high part) with `low`, like [`Bits::concat`].
+    pub fn concat(&self, low: &Bits4) -> Bits4 {
+        Bits4 {
+            val: self.val.concat(&low.val),
+            unk: self.unk.concat(&low.unk),
+        }
+    }
+
+    /// Zero-extends or truncates to `width`; extension bits are known
+    /// `0`.
+    pub fn resize(&self, width: u32) -> Bits4 {
+        Bits4 {
+            val: self.val.resize(width),
+            unk: self.unk.resize(width),
+        }
+    }
+
+    /// Sign-extends (or truncates) to `width`. An unknown sign bit
+    /// extends as `x` (both planes carry their own MSB, which is exact
+    /// in X-form).
+    pub fn resize_signed(&self, width: u32) -> Bits4 {
+        Bits4 {
+            val: self.val.resize_signed(width),
+            unk: self.unk.resize_signed(width),
+        }
+    }
+
+    /// Parses a literal, inferring the width exactly like
+    /// [`Bits::parse`], with `x`/`z` digits allowed in binary, octal and
+    /// hex literals (`0bx1z0`, `32'hxxxx_beef`). An `x`/`z` hex digit
+    /// sets all four bits. Decimal literals accept only all-`x`/all-`z`
+    /// digit strings (`8'dx`): there is no per-digit bit alignment to
+    /// give a mixed one meaning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] if the string is not a valid literal.
+    pub fn parse(s: &str) -> Result<Bits4, ParseBitsError> {
+        let lit = scan_literal(s)?;
+        from_digits4(&lit.digits, lit.radix, lit.width)
+    }
+
+    /// Parses a literal with an explicit target width (truncating), the
+    /// four-state counterpart of [`Bits::parse_with_width`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] if the string is not a valid literal.
+    pub fn parse_with_width(s: &str, width: u32) -> Result<Bits4, ParseBitsError> {
+        let (digits, radix) = split_radix(s)?;
+        from_digits4(digits, radix, width)
+    }
+
+    /// The per-digit hex rendering (`'h` form, no prefix), when every
+    /// digit group is clean: fully known, all-`x`, or all-`z`. A group
+    /// mixing states has no single hex character, so `None` tells the
+    /// caller to fall back to binary.
+    fn hex_digits(&self) -> Option<String> {
+        let w = self.width();
+        let mut out = String::new();
+        let mut hi = w;
+        while hi > 0 {
+            let lo = hi.saturating_sub(4);
+            let v = self.val.slice(hi - 1, lo);
+            let u = self.unk.slice(hi - 1, lo);
+            if u.is_zero() {
+                out.push(char::from_digit(v.to_u64() as u32, 16)?);
+            } else if u.count_ones() == u.width() {
+                if v.count_ones() == v.width() {
+                    out.push('x');
+                } else if v.is_zero() {
+                    out.push('z');
+                } else {
+                    return None;
+                }
+            } else {
+                return None;
+            }
+            hi = lo;
+        }
+        Some(out)
+    }
+
+    /// The exact per-bit binary rendering, MSB first — one of
+    /// `0`/`1`/`x`/`z` per bit (the VCD vector-change alphabet).
+    pub fn bin_digits(&self) -> String {
+        (0..self.width()).rev().map(|i| self.bit_char(i)).collect()
+    }
+
+    /// A lossless literal string that [`Bits4::parse`] accepts:
+    /// `{width}'h…` when every nibble is clean, `{width}'b…` otherwise.
+    pub fn to_literal(&self) -> String {
+        match self.hex_digits() {
+            Some(h) => format!("{}'h{}", self.width(), h),
+            None => format!("{}'b{}", self.width(), self.bin_digits()),
+        }
+    }
+}
+
+impl fmt::Display for Bits4 {
+    /// Known values print like the underlying [`Bits`] (decimal for
+    /// ordinary widths); values with unknown bits print as a sized
+    /// literal with `x`/`z` digits that round-trips through
+    /// [`Bits4::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_known() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "{}", self.to_literal()),
+        }
+    }
+}
+
+impl fmt::Debug for Bits4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_literal())
+    }
+}
+
+impl From<Bits> for Bits4 {
+    fn from(v: Bits) -> Self {
+        Bits4::known(v)
+    }
+}
+
+/// Four-state digit accumulation behind [`Bits4::parse`]. Defers to the
+/// two-state path when no `x`/`z` digit is present, so known literals
+/// are bit-for-bit what [`Bits::parse`] produces.
+fn from_digits4(digits: &str, radix: u32, width: u32) -> Result<Bits4, ParseBitsError> {
+    let has_xz = digits.chars().any(|c| matches!(c, 'x' | 'X' | 'z' | 'Z'));
+    if !has_xz {
+        return Ok(Bits4::known(from_digits(digits, radix, width)?));
+    }
+    if radix == 10 {
+        // Decimal digits have no bit alignment; only the Verilog
+        // shorthand "all digits x" / "all digits z" is meaningful.
+        if digits.chars().all(|c| matches!(c, 'x' | 'X')) {
+            return Ok(Bits4::all_x(width));
+        }
+        if digits.chars().all(|c| matches!(c, 'z' | 'Z')) {
+            return Ok(Bits4::all_z(width));
+        }
+        return Err(ParseBitsError::new(format!(
+            "decimal literal {digits:?} mixes x/z with value digits"
+        )));
+    }
+    let bpd = radix.trailing_zeros(); // 1, 3 or 4 bits per digit
+    let digit_ones = Bits::from_u64((1u64 << bpd) - 1, width);
+    let mut val = Bits::zero(width);
+    let mut unk = Bits::zero(width);
+    for ch in digits.chars() {
+        val = val.shl_const(bpd);
+        unk = unk.shl_const(bpd);
+        match ch {
+            'x' | 'X' => {
+                val = val.or(&digit_ones);
+                unk = unk.or(&digit_ones);
+            }
+            'z' | 'Z' => {
+                unk = unk.or(&digit_ones);
+            }
+            _ => {
+                let d = ch.to_digit(radix).ok_or_else(|| {
+                    ParseBitsError::new(format!("digit {ch:?} invalid for base {radix}"))
+                })?;
+                val = val.or(&Bits::from_u64(d as u64, width));
+            }
+        }
+    }
+    Ok(Bits4 { val, unk })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64, w: u32) -> Bits4 {
+        Bits4::known(Bits::from_u64(v, w))
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let x = Bits4::all_x(8);
+        assert_eq!(x.width(), 8);
+        assert!(!x.is_fully_known());
+        assert_eq!(x.to_known(), None);
+        assert_eq!(x.bit_char(0), 'x');
+        let z = Bits4::all_z(8);
+        assert_eq!(z.bit_char(0), 'z');
+        assert_ne!(x, z, "x and z are distinct states");
+        let v = k(0b10, 2);
+        assert!(v.is_fully_known());
+        assert_eq!(v.bit_char(0), '0');
+        assert_eq!(v.bit_char(1), '1');
+    }
+
+    #[test]
+    fn truthiness_three_valued() {
+        assert_eq!(k(0, 4).truthiness(), Some(false));
+        assert_eq!(k(2, 4).truthiness(), Some(true));
+        assert_eq!(Bits4::all_x(4).truthiness(), None);
+        // A known 1 anywhere decides the condition even with x around.
+        let partial = Bits4::from_planes(Bits::from_u64(0b11, 2), Bits::from_u64(0b10, 2));
+        assert_eq!(partial.truthiness(), Some(true));
+        assert!(partial.is_truthy_known());
+        assert!(!Bits4::all_x(4).is_truthy_known());
+    }
+
+    #[test]
+    fn and_known_zero_dominates() {
+        let x = Bits4::all_x(4);
+        assert_eq!(x.and(&k(0, 4)), k(0, 4));
+        assert_eq!(x.and(&k(0b0101, 4)).unknown().to_u64(), 0b0101);
+        assert_eq!(k(0b1100, 4).and(&k(0b1010, 4)), k(0b1000, 4));
+        // z operand behaves as x.
+        let r = Bits4::all_z(4).and(&k(0b1111, 4));
+        assert_eq!(r, Bits4::all_x(4));
+    }
+
+    #[test]
+    fn or_known_one_dominates() {
+        let x = Bits4::all_x(4);
+        assert_eq!(x.or(&k(0b1111, 4)), k(0b1111, 4));
+        assert_eq!(x.or(&k(0b0101, 4)).unknown().to_u64(), 0b1010);
+        assert_eq!(k(0b1100, 4).or(&k(0b1010, 4)), k(0b1110, 4));
+    }
+
+    #[test]
+    fn xor_and_not_propagate() {
+        let x = Bits4::all_x(4);
+        assert_eq!(x.xor(&k(0b1111, 4)), Bits4::all_x(4));
+        assert_eq!(x.not(), Bits4::all_x(4), "~x is x, in x-form");
+        assert_eq!(k(0b1100, 4).xor(&k(0b1010, 4)), k(0b0110, 4));
+        assert_eq!(k(0b1100, 4).not(), k(0b0011, 4));
+        assert_eq!(Bits4::all_z(4).not(), Bits4::all_x(4), "~z is x");
+    }
+
+    #[test]
+    fn arithmetic_poisons() {
+        let x = Bits4::all_x(8);
+        assert_eq!(k(3, 8).add(&x), Bits4::all_x(8));
+        assert_eq!(k(3, 8).add(&k(4, 8)), k(7, 8));
+        assert_eq!(x.neg(), Bits4::all_x(8));
+        assert_eq!(k(1, 4).neg(), k(0xF, 4));
+        assert_eq!(k(42, 8).div(&x), Bits4::all_x(8));
+        assert_eq!(k(42, 8).mul(&k(2, 8)), k(84, 8));
+    }
+
+    #[test]
+    fn reductions() {
+        // known 0 kills reduce_and even with x present.
+        let half = Bits4::from_planes(Bits::from_u64(0b10, 2), Bits::from_u64(0b10, 2));
+        assert_eq!(half.reduce_and(), k(0, 1));
+        assert_eq!(Bits4::all_x(3).reduce_and(), Bits4::x1());
+        assert_eq!(k(0b111, 3).reduce_and(), k(1, 1));
+        // known 1 decides reduce_or.
+        let one = Bits4::from_planes(Bits::from_u64(0b11, 2), Bits::from_u64(0b10, 2));
+        assert_eq!(one.reduce_or(), k(1, 1));
+        assert_eq!(Bits4::all_x(3).reduce_or(), Bits4::x1());
+        assert_eq!(k(0, 3).reduce_or(), k(0, 1));
+        assert_eq!(Bits4::all_x(3).reduce_xor(), Bits4::x1());
+        assert_eq!(k(0b110, 3).reduce_xor(), k(0, 1));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Bits4::from_planes(Bits::from_u64(0b0011, 4), Bits::from_u64(0b0010, 4));
+        let two = k(2, 4);
+        let l = v.shl(&two);
+        assert_eq!(l.value().to_u64(), 0b1100);
+        assert_eq!(l.unknown().to_u64(), 0b1000);
+        assert_eq!(l.bit_char(0), '0', "vacated bits are known zero");
+        let r = v.shr(&k(1, 4));
+        assert_eq!(r.unknown().to_u64(), 0b0001);
+        assert_eq!(k(8, 4).shl(&Bits4::all_x(4)), Bits4::all_x(4));
+        // ashr with unknown sign fills x; known sign fills the value.
+        let top_x = Bits4::from_planes(Bits::from_u64(0b1000, 4), Bits::from_u64(0b1000, 4));
+        let a = top_x.ashr(&two);
+        assert_eq!(a.unknown().to_u64(), 0b1110);
+        let neg = k(0b1000, 4).ashr(&two);
+        assert_eq!(neg, k(0b1110, 4));
+    }
+
+    #[test]
+    fn equality_short_circuits() {
+        let mostly_x = Bits4::from_planes(Bits::from_u64(0b1111, 4), Bits::from_u64(0b1110, 4));
+        // Low bit known 1 vs known 0 elsewhere-equal: definitely unequal.
+        assert_eq!(mostly_x.eq_bits(&k(0b0000, 4)), k(0, 1));
+        assert_eq!(mostly_x.ne_bits(&k(0b0000, 4)), k(1, 1));
+        // Known bits agree, rest unknown: x.
+        assert_eq!(mostly_x.eq_bits(&k(0b0001, 4)), Bits4::x1());
+        assert_eq!(k(5, 4).eq_bits(&k(5, 4)), k(1, 1));
+        assert_eq!(k(5, 4).ne_bits(&k(5, 4)), k(0, 1));
+    }
+
+    #[test]
+    fn ordered_comparisons() {
+        assert_eq!(k(3, 4).lt_unsigned(&k(5, 4)), k(1, 1));
+        assert_eq!(k(3, 4).lt_unsigned(&Bits4::all_x(4)), Bits4::x1());
+        assert_eq!(k(0xF, 4).lt_signed(&k(1, 4)), k(1, 1));
+        assert_eq!(Bits4::all_x(4).ge_unsigned(&k(0, 4)), Bits4::x1());
+    }
+
+    #[test]
+    fn mux_merges_on_x_select() {
+        let t = k(0b1100, 4);
+        let e = k(0b1010, 4);
+        assert_eq!(Bits4::mux(&k(1, 1), &t, &e), t);
+        assert_eq!(Bits4::mux(&k(0, 1), &t, &e), e);
+        let m = Bits4::mux(&Bits4::x1(), &t, &e);
+        assert_eq!(m.unknown().to_u64(), 0b0110, "disagreeing bits go x");
+        assert_eq!(m.value().to_u64(), 0b1110, "x-form");
+        assert_eq!(m.bit_char(3), '1');
+        assert_eq!(m.bit_char(0), '0');
+        // Merge also x-poisons where an arm is already unknown.
+        let m2 = Bits4::mux(&Bits4::x1(), &Bits4::all_x(4), &k(0, 4));
+        assert_eq!(m2, Bits4::all_x(4));
+    }
+
+    #[test]
+    fn slice_concat_resize() {
+        let v = Bits4::from_planes(Bits::from_u64(0b1101, 4), Bits::from_u64(0b1000, 4));
+        let s = v.slice(3, 2);
+        assert_eq!(s.bit_char(1), 'x');
+        assert_eq!(s.bit_char(0), '1');
+        let c = s.concat(&k(0b0, 1));
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.bit_char(2), 'x');
+        assert_eq!(c.bit_char(0), '0');
+        let r = v.resize(6);
+        assert_eq!(r.bit_char(5), '0');
+        assert_eq!(r.bit_char(3), 'x');
+        let rs = v.resize_signed(6);
+        assert_eq!(rs.bit_char(5), 'x', "unknown sign extends as x");
+        let known_neg = k(0b1000, 4).resize_signed(6);
+        assert_eq!(known_neg, k(0b111000, 6));
+    }
+
+    #[test]
+    fn parse_known_matches_two_state() {
+        let a = Bits4::parse("8'hff").unwrap();
+        assert_eq!(a, Bits4::known(Bits::parse("8'hff").unwrap()));
+        assert_eq!(Bits4::parse("42").unwrap(), k(42, 6));
+        assert_eq!(
+            Bits4::parse_with_width("0x1ff", 8).unwrap(),
+            Bits4::known(Bits::parse_with_width("0x1ff", 8).unwrap())
+        );
+    }
+
+    #[test]
+    fn parse_four_state_literals() {
+        let v = Bits4::parse("0bx1z0").unwrap();
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.bit_char(3), 'x');
+        assert_eq!(v.bit_char(2), '1');
+        assert_eq!(v.bit_char(1), 'z');
+        assert_eq!(v.bit_char(0), '0');
+
+        let h = Bits4::parse("32'hxxxx_beef").unwrap();
+        assert_eq!(h.width(), 32);
+        assert_eq!(h.slice(15, 0).to_known().unwrap().to_u64(), 0xbeef);
+        assert_eq!(h.unknown().to_u64(), 0xffff_0000);
+        assert_eq!(h.bit_char(31), 'x');
+
+        let z = Bits4::parse("4'hz").unwrap();
+        assert_eq!(z, Bits4::all_z(4));
+        assert_eq!(Bits4::parse("8'dx").unwrap(), Bits4::all_x(8));
+        assert_eq!(Bits4::parse("x").unwrap(), Bits4::all_x(1));
+        assert!(Bits4::parse("12x").is_err(), "mixed decimal rejected");
+        assert!(Bits4::parse("0bx2").is_err());
+    }
+
+    #[test]
+    fn format_round_trips() {
+        for s in [
+            "0bx1z0",
+            "32'hxxxx_beef",
+            "4'hz",
+            "8'dx",
+            "16'hz0x1",
+            "7'b1xx01z0",
+            "65'hx_ffff_ffff_ffff_fff0",
+        ] {
+            let v = Bits4::parse(s).unwrap();
+            let printed = v.to_literal();
+            let back = Bits4::parse(&printed).unwrap();
+            assert_eq!(v, back, "round trip {s} via {printed}");
+            // Display round-trips too (it prints to_literal for
+            // unknown values).
+            let shown = format!("{v}");
+            assert_eq!(Bits4::parse(&shown).unwrap(), v, "display {shown}");
+        }
+    }
+
+    #[test]
+    fn format_shapes() {
+        assert_eq!(format!("{}", k(42, 8)), "42", "known displays as Bits");
+        assert_eq!(
+            format!("{}", Bits4::parse("32'hxxxx_beef").unwrap()),
+            "32'hxxxxbeef"
+        );
+        assert_eq!(format!("{}", Bits4::parse("0bx1z0").unwrap()), "4'bx1z0");
+        assert_eq!(format!("{:?}", Bits4::all_z(4)), "4'hz");
+        assert_eq!(format!("{:?}", k(0xbe, 8)), "8'hbe");
+        // Partial top nibble stays hex when clean.
+        assert_eq!(format!("{:?}", Bits4::all_x(6)), "6'hxx");
+    }
+
+    #[test]
+    fn equality_detects_x_to_known_edge() {
+        // The watchpoint edge: all-x before reset, a known value after.
+        let before = Bits4::all_x(8);
+        let after = k(0, 8);
+        assert_ne!(before, after);
+        assert_eq!(before.value(), after.add(&k(0xFF, 8)).value());
+    }
+}

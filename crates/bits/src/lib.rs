@@ -1,11 +1,14 @@
-//! Arbitrary-width two-state bit vectors.
+//! Arbitrary-width bit vectors: two-state [`Bits`] and four-state
+//! [`Bits4`].
 //!
 //! [`Bits`] is the value type used throughout the hgdb reproduction: IR
 //! constants, simulator signal values, VCD samples, and the debugger's
 //! expression evaluator all operate on it. The representation is two-state
 //! (`0`/`1` only) because the paper's breakpoint emulation relies on
 //! zero-delay simulation where every signal is fully resolved at each clock
-//! edge (§3 of the paper).
+//! edge (§3 of the paper). [`Bits4`] layers an unknown mask on top for the
+//! simulator's optional four-state (`x`/`z`) mode; the two-state hot path
+//! never touches it.
 //!
 //! # Representation
 //!
@@ -30,9 +33,11 @@
 //! ```
 
 mod fmt;
+mod four;
 mod ops;
 mod parse;
 
+pub use four::Bits4;
 pub use parse::ParseBitsError;
 
 /// Number of 64-bit words needed to store `width` bits.

@@ -15,7 +15,7 @@ pub struct ParseBitsError {
 }
 
 impl ParseBitsError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         ParseBitsError {
             message: message.into(),
         }
@@ -53,45 +53,80 @@ impl Bits {
     ///
     /// Returns [`ParseBitsError`] if the string is not a valid literal.
     pub fn parse(s: &str) -> Result<Bits, ParseBitsError> {
-        if let Some(pos) = s.find('\'') {
-            let width: u32 = s[..pos]
-                .trim()
-                .parse()
-                .map_err(|_| ParseBitsError::new(format!("bad width in {s:?}")))?;
-            if width == 0 {
-                return Err(ParseBitsError::new("width must be at least 1"));
-            }
-            let rest = &s[pos + 1..];
-            let (radix, digits) = match rest.chars().next() {
-                Some('h') | Some('H') => (16, &rest[1..]),
-                Some('b') | Some('B') => (2, &rest[1..]),
-                Some('d') | Some('D') => (10, &rest[1..]),
-                Some('o') | Some('O') => (8, &rest[1..]),
-                _ => return Err(ParseBitsError::new(format!("bad base in {s:?}"))),
-            };
-            return from_digits(digits, radix, width);
+        let lit = scan_literal(s)?;
+        from_digits(&lit.digits, lit.radix, lit.width)
+    }
+}
+
+/// A literal split into its parts: digit characters (underscores
+/// removed, `x`/`z` digits allowed — rejected later by the two-state
+/// accumulator, accepted by [`crate::Bits4::parse`]), the radix, and
+/// the resolved width.
+pub(crate) struct Literal {
+    pub(crate) digits: String,
+    pub(crate) radix: u32,
+    pub(crate) width: u32,
+}
+
+/// Splits a literal into digits/radix/width, shared by the two-state
+/// and four-state parsers. Width inference matches [`Bits::parse`];
+/// unsized decimal literals made entirely of `x`/`z` digits resolve to
+/// one bit per digit (there is no value to size them by).
+pub(crate) fn scan_literal(s: &str) -> Result<Literal, ParseBitsError> {
+    if let Some(pos) = s.find('\'') {
+        let width: u32 = s[..pos]
+            .trim()
+            .parse()
+            .map_err(|_| ParseBitsError::new(format!("bad width in {s:?}")))?;
+        if width == 0 {
+            return Err(ParseBitsError::new("width must be at least 1"));
         }
-        let (digits, radix) = split_radix(s)?;
+        let rest = &s[pos + 1..];
+        let (radix, digits) = match rest.chars().next() {
+            Some('h') | Some('H') => (16, &rest[1..]),
+            Some('b') | Some('B') => (2, &rest[1..]),
+            Some('d') | Some('D') => (10, &rest[1..]),
+            Some('o') | Some('O') => (8, &rest[1..]),
+            _ => return Err(ParseBitsError::new(format!("bad base in {s:?}"))),
+        };
         let clean: String = digits.chars().filter(|c| *c != '_').collect();
         if clean.is_empty() {
             return Err(ParseBitsError::new("empty literal"));
         }
-        let width = match radix {
-            16 => (clean.len() as u32) * 4,
-            2 => clean.len() as u32,
-            8 => (clean.len() as u32) * 3,
-            _ => {
+        return Ok(Literal {
+            digits: clean,
+            radix,
+            width,
+        });
+    }
+    let (digits, radix) = split_radix(s)?;
+    let clean: String = digits.chars().filter(|c| *c != '_').collect();
+    if clean.is_empty() {
+        return Err(ParseBitsError::new("empty literal"));
+    }
+    let width = match radix {
+        16 => (clean.len() as u32) * 4,
+        2 => clean.len() as u32,
+        8 => (clean.len() as u32) * 3,
+        _ => {
+            if clean.chars().all(|c| matches!(c, 'x' | 'X' | 'z' | 'Z')) {
+                clean.len() as u32
+            } else {
                 let v: u128 = clean
                     .parse()
                     .map_err(|_| ParseBitsError::new(format!("bad decimal {s:?}")))?;
                 (128 - v.leading_zeros()).max(1)
             }
-        };
-        from_digits(digits, radix, width)
-    }
+        }
+    };
+    Ok(Literal {
+        digits: clean,
+        radix,
+        width,
+    })
 }
 
-fn split_radix(s: &str) -> Result<(&str, u32), ParseBitsError> {
+pub(crate) fn split_radix(s: &str) -> Result<(&str, u32), ParseBitsError> {
     let s = s.trim();
     if s.is_empty() {
         return Err(ParseBitsError::new("empty literal"));
@@ -107,7 +142,7 @@ fn split_radix(s: &str) -> Result<(&str, u32), ParseBitsError> {
     }
 }
 
-fn from_digits(digits: &str, radix: u32, width: u32) -> Result<Bits, ParseBitsError> {
+pub(crate) fn from_digits(digits: &str, radix: u32, width: u32) -> Result<Bits, ParseBitsError> {
     let mut acc = Bits::zero(width);
     let radix_b = Bits::from_u64(radix as u64, width);
     let mut seen = false;

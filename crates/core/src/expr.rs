@@ -11,11 +11,17 @@
 //! zero-extended to the wider side, and `&&`/`||`/`!` treat any
 //! nonzero value as true — matching what a software debugger user
 //! expects to type.
+//!
+//! Evaluation is four-state native ([`DebugExpr::eval4`]): signal
+//! values carry their unknown planes, literals may contain `x`/`z`
+//! digits (`0bx1z0`, `32'hxxxx_beef`), and operators follow the
+//! simulator's X-propagation rules. The two-state [`DebugExpr::eval`]
+//! wraps it for contexts where an unknown result is an error.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bits::Bits;
+use bits::{Bits, Bits4};
 
 /// Binary operators, loosest precedence first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,8 +94,8 @@ pub enum UnOp {
 /// Parsed debugger expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DebugExpr {
-    /// Literal value.
-    Lit(Bits),
+    /// Literal value (four-state: `8'hxz` is a literal too).
+    Lit(Bits4),
     /// Signal or variable reference (dotted path allowed).
     Ref(String),
     /// Unary operation.
@@ -153,23 +159,50 @@ impl DebugExpr {
         Ok(e)
     }
 
-    /// Evaluates against a resolver from names to values.
+    /// Evaluates against a two-state resolver. The result must come
+    /// out fully known: an `x`/`z` literal that survives into the value
+    /// is an error here (use [`DebugExpr::eval4`] where unknowns are
+    /// meaningful — the runtime's condition and watch paths do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::Unresolved`] for unknown names or
+    /// [`ExprError::Invalid`] for bad slices and for results carrying
+    /// `x`/`z` bits.
+    pub fn eval(&self, resolve: &dyn Fn(&str) -> Option<Bits>) -> Result<Bits, ExprError> {
+        let v = self.eval4(&|name| resolve(name).map(Bits4::known))?;
+        match v.to_known() {
+            Some(k) => Ok(k.clone()),
+            None => Err(ExprError::Invalid(format!(
+                "value {} has x/z bits in a two-state context",
+                v.to_literal()
+            ))),
+        }
+    }
+
+    /// Evaluates against a four-state resolver. Unknown bits propagate
+    /// by the same rules the simulator uses: known-dominant `&`/`|`,
+    /// comparisons that go `x` unless decided by mutually-known bits,
+    /// and an `x` mux select that merges both arms.
     ///
     /// # Errors
     ///
     /// Returns [`ExprError::Unresolved`] for unknown names or
     /// [`ExprError::Invalid`] for bad slices.
-    pub fn eval(&self, resolve: &dyn Fn(&str) -> Option<Bits>) -> Result<Bits, ExprError> {
+    pub fn eval4(&self, resolve: &dyn Fn(&str) -> Option<Bits4>) -> Result<Bits4, ExprError> {
         match self {
             DebugExpr::Lit(b) => Ok(b.clone()),
             DebugExpr::Ref(name) => {
                 resolve(name).ok_or_else(|| ExprError::Unresolved(name.clone()))
             }
             DebugExpr::Unary(op, e) => {
-                let v = e.eval(resolve)?;
+                let v = e.eval4(resolve)?;
                 Ok(match op {
                     UnOp::Not => v.not(),
-                    UnOp::LNot => Bits::from_bool(!v.is_truthy()),
+                    UnOp::LNot => match v.truthiness() {
+                        Some(t) => Bits4::known(Bits::from_bool(!t)),
+                        None => Bits4::all_x(1),
+                    },
                     UnOp::Neg => v.neg(),
                     UnOp::RAnd => v.reduce_and(),
                     UnOp::ROr => v.reduce_or(),
@@ -177,19 +210,25 @@ impl DebugExpr {
                 })
             }
             DebugExpr::Binary(op, l, r) => {
-                let a = l.eval(resolve)?;
-                let b = r.eval(resolve)?;
-                Ok(apply_bin(*op, &a, &b))
+                let a = l.eval4(resolve)?;
+                let b = r.eval4(resolve)?;
+                Ok(apply_bin4(*op, &a, &b))
             }
-            DebugExpr::Mux(s, t, e) => {
-                if s.eval(resolve)?.is_truthy() {
-                    t.eval(resolve)
-                } else {
-                    e.eval(resolve)
+            DebugExpr::Mux(s, t, e) => match s.eval4(resolve)?.truthiness() {
+                Some(true) => t.eval4(resolve),
+                Some(false) => e.eval4(resolve),
+                // An x select merges both arms: agreeing known bits
+                // survive, everything else goes x — the simulator's
+                // X-select semantics (IEEE-1800 §11.4.11).
+                None => {
+                    let tv = t.eval4(resolve)?;
+                    let ev = e.eval4(resolve)?;
+                    let w = tv.width().max(ev.width());
+                    Ok(Bits4::merge(&tv.resize(w), &ev.resize(w)))
                 }
-            }
+            },
             DebugExpr::Slice(e, hi, lo) => {
-                let v = e.eval(resolve)?;
+                let v = e.eval4(resolve)?;
                 if *hi < *lo || *hi >= v.width() {
                     return Err(ExprError::Invalid(format!(
                         "slice [{hi}:{lo}] out of width {}",
@@ -199,8 +238,8 @@ impl DebugExpr {
                 Ok(v.slice(*hi, *lo))
             }
             DebugExpr::Cat(h, l) => {
-                let hv = h.eval(resolve)?;
-                let lv = l.eval(resolve)?;
+                let hv = h.eval4(resolve)?;
+                let lv = l.eval4(resolve)?;
                 Ok(hv.concat(&lv))
             }
         }
@@ -233,12 +272,27 @@ impl DebugExpr {
     }
 }
 
-/// Width-lenient application: zero-extend to the wider operand.
-fn apply_bin(op: BinOp, a: &Bits, b: &Bits) -> Bits {
+/// Width-lenient four-state application: zero-extend to the wider
+/// operand. `&&`/`||` are three-valued with dominance — a known-false
+/// (resp. known-true) side decides the result even when the other side
+/// is unknown.
+fn apply_bin4(op: BinOp, a: &Bits4, b: &Bits4) -> Bits4 {
     use BinOp::*;
     match op {
-        LAnd => return Bits::from_bool(a.is_truthy() && b.is_truthy()),
-        LOr => return Bits::from_bool(a.is_truthy() || b.is_truthy()),
+        LAnd => {
+            return match (a.truthiness(), b.truthiness()) {
+                (Some(false), _) | (_, Some(false)) => Bits4::known(Bits::from_bool(false)),
+                (Some(true), Some(true)) => Bits4::known(Bits::from_bool(true)),
+                _ => Bits4::all_x(1),
+            }
+        }
+        LOr => {
+            return match (a.truthiness(), b.truthiness()) {
+                (Some(true), _) | (_, Some(true)) => Bits4::known(Bits::from_bool(true)),
+                (Some(false), Some(false)) => Bits4::known(Bits::from_bool(false)),
+                _ => Bits4::all_x(1),
+            }
+        }
         Shl => return a.shl(b),
         Shr => return a.shr(b),
         Ashr => return a.ashr(b),
@@ -272,7 +326,7 @@ fn apply_bin(op: BinOp, a: &Bits, b: &Bits) -> Bits {
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Ident(String),
-    Num(Bits),
+    Num(Bits4),
     Op(String),
     LParen,
     RParen,
@@ -329,8 +383,9 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ExprError> {
             }
             '0'..='9' => {
                 // Number: decimal, 0x..., 0b..., or Verilog-sized
-                // (8'hff). Scan the maximal number-ish token and let
-                // Bits::parse validate.
+                // (8'hff), with x/z digits allowed (0bx1z0, 8'hxz).
+                // Scan the maximal number-ish token and let
+                // Bits4::parse validate.
                 let mut j = i + 1;
                 while j < bytes.len() {
                     let d = bytes[j] as char;
@@ -341,15 +396,16 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ExprError> {
                     }
                 }
                 let text = &input[i..j];
-                let mut bits = Bits::parse(text).map_err(|e| ExprError::Parse {
+                let mut bits = Bits4::parse(text).map_err(|e| ExprError::Parse {
                     offset: start,
                     message: e.to_string(),
                 })?;
-                // Unsized literals widen to 64 bits so debugger
+                // Unsized known literals widen to 64 bits so debugger
                 // arithmetic doesn't wrap at surprising widths;
                 // Verilog-sized literals (8'hff) keep their exact
-                // width.
-                if !text.contains('\'') && bits.width() < 64 {
+                // width, as do unsized x/z literals (widening would
+                // invent known-0 high bits the user never wrote).
+                if !text.contains('\'') && bits.is_fully_known() && bits.width() < 64 {
                     bits = bits.resize(64);
                 }
                 out.push((Tok::Num(bits), start));
@@ -518,7 +574,10 @@ impl Parser {
 
     fn index(&mut self) -> Result<u32, ExprError> {
         match self.bump() {
-            Some(Tok::Num(b)) => Ok(b.to_u64() as u32),
+            Some(Tok::Num(b)) => match b.to_known() {
+                Some(k) => Ok(k.to_u64() as u32),
+                None => Err(self.error("slice index must be fully known".into())),
+            },
             _ => Err(self.error("expected index".into())),
         }
     }
@@ -709,5 +768,101 @@ mod tests {
         let e = DebugExpr::parse("x[9:0]").unwrap();
         let env = [("x", 1, 4)];
         assert!(matches!(e.eval(&resolve(&env)), Err(ExprError::Invalid(_))));
+    }
+
+    // ---- four-state evaluation ----
+
+    fn resolve4<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<Bits4> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, lit)| Bits4::parse(lit).expect("test literal"))
+        }
+    }
+
+    fn eval4(src: &str, pairs: &[(&str, &str)]) -> Bits4 {
+        DebugExpr::parse(src)
+            .unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+            .eval4(&resolve4(pairs))
+            .unwrap_or_else(|e| panic!("eval4 {src:?}: {e}"))
+    }
+
+    #[test]
+    fn four_state_literals_parse_and_round_trip() {
+        // Breakpoint conditions are stored as text and re-parsed; the
+        // literal a user types must survive display → parse unchanged.
+        for lit in ["4'bx1z0", "8'hxz", "32'hxxxx_beef", "8'dx"] {
+            let v = eval4(lit, &[]);
+            let rendered = v.to_literal();
+            let back = eval4(&rendered, &[]);
+            assert_eq!(v, back, "{lit} -> {rendered} must round-trip");
+        }
+        assert_eq!(
+            eval4("0bx1z0", &[]).width(),
+            4,
+            "unsized x literal keeps width"
+        );
+        assert_eq!(eval4("0bx1z0", &[]).to_literal(), "4'bx1z0");
+    }
+
+    #[test]
+    fn four_state_known_dominance() {
+        // Known-0 beats x through &, known-1 through |.
+        assert!(eval4("sig & 8'h00", &[("sig", "8'hxx")]).value().is_zero());
+        assert!(eval4("sig & 8'h00", &[("sig", "8'hxx")]).is_fully_known());
+        let or = eval4("sig | 8'hff", &[("sig", "8'hxx")]);
+        assert_eq!(or.to_known().unwrap().to_u64(), 0xFF);
+        // Logical short-circuit: 0 && x is known false, 1 || x known true.
+        assert_eq!(
+            eval4("0 && sig", &[("sig", "1'bx")]).truthiness(),
+            Some(false)
+        );
+        assert_eq!(
+            eval4("1 || sig", &[("sig", "1'bx")]).truthiness(),
+            Some(true)
+        );
+        assert_eq!(eval4("1 && sig", &[("sig", "1'bx")]).truthiness(), None);
+    }
+
+    #[test]
+    fn four_state_comparisons_and_mux() {
+        // A comparison decided by mutually-known bits stays known even
+        // with x elsewhere (usable breakpoint conditions pre-reset).
+        let v = eval4("sig == 8'h0f", &[("sig", "8'hx0")]);
+        assert_eq!(v.truthiness(), Some(false), "low nibble 0 != f decides it");
+        // Undecided comparison goes x — so a breakpoint condition over
+        // an unreset register does NOT fire.
+        let v = eval4("sig == 8'hff", &[("sig", "8'hxf")]);
+        assert_eq!(v.truthiness(), None);
+        assert!(!v.is_truthy_known());
+        // x select merges arms: agreeing bits survive.
+        let m = eval4("mux(c, 4'b1010, 4'b1011)", &[("c", "1'bx")]);
+        assert_eq!(m.to_literal(), "4'b101x");
+    }
+
+    #[test]
+    fn two_state_eval_rejects_unknown_results() {
+        // The set_value path parses literals with the two-state eval: a
+        // value that still has x/z bits must be an error, not silently
+        // coerced (x reads as 1 in the value plane).
+        let e = DebugExpr::parse("8'hxz").unwrap();
+        assert!(matches!(e.eval(&|_| None), Err(ExprError::Invalid(_))));
+        // But x that gets masked away is fine.
+        let e = DebugExpr::parse("8'hxz & 8'h00").unwrap();
+        assert_eq!(e.eval(&|_| None).unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn four_state_slice_cat_and_reductions() {
+        let env = [("sig", "8'bx1z0_1010")];
+        assert_eq!(eval4("sig[3:0]", &env).to_literal(), "4'ha");
+        assert_eq!(eval4("sig[7:4]", &env).to_literal(), "4'bx1z0");
+        assert_eq!(eval4("{sig[3:0], 4'hx}", &env).to_literal(), "8'hax");
+        assert_eq!(eval4("&sig", &env).truthiness(), Some(false), "known 0 bit");
+        assert_eq!(eval4("|sig", &env).truthiness(), Some(true), "known 1 bit");
+        assert_eq!(eval4("^sig", &env).truthiness(), None);
+        // An x slice index is a parse error, not a silent bit pick.
+        assert!(DebugExpr::parse("sig[4'hx]").is_err());
     }
 }

@@ -8,15 +8,17 @@
 //! reconstruct structured variables from a list of flattened RTL
 //! signals", §4.2 — the `PortBundle` of the FPU case study).
 
-use bits::Bits;
+use bits::Bits4;
 
 /// A (possibly structured) variable in a frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VarNode {
     /// Field name at this level (`io`, `out`, …).
     pub name: String,
-    /// Leaf value; `None` for interior nodes and unavailable signals.
-    pub value: Option<Bits>,
+    /// Leaf value, four-state so pre-reset frames show `x` digits;
+    /// `None` for interior nodes and unavailable signals. Two-state
+    /// backends always produce fully-known values here.
+    pub value: Option<Bits4>,
     /// Child fields (bundle members).
     pub children: Vec<VarNode>,
 }
@@ -41,7 +43,12 @@ impl VarNode {
         out.push_str(&" ".repeat(indent));
         out.push_str(&self.name);
         if let Some(v) = &self.value {
-            out.push_str(&format!(" = {v} ({}'h{v:x})", v.width()));
+            match v.to_known() {
+                Some(k) => out.push_str(&format!(" = {k} ({}'h{k:x})", k.width())),
+                // The sized literal already carries the width and the
+                // x/z digits; a hex echo would lose them.
+                None => out.push_str(&format!(" = {}", v.to_literal())),
+            }
         }
         out.push('\n');
         for c in &self.children {
@@ -64,16 +71,17 @@ pub struct Frame {
     /// 1-based column.
     pub col: u32,
     /// Scoped locals: source name → value (SSA-version-correct,
-    /// Listing 2 semantics). `None` values were unavailable in the
-    /// backend (e.g. not recorded in a replay trace).
-    pub locals: Vec<(String, Option<Bits>)>,
+    /// Listing 2 semantics), four-state so unresolved signals render
+    /// as `x`. `None` values were unavailable in the backend (e.g. not
+    /// recorded in a replay trace).
+    pub locals: Vec<(String, Option<Bits4>)>,
     /// Generator variables of the owning instance, structured.
     pub generator: Vec<VarNode>,
 }
 
 impl Frame {
     /// Looks up a local by name.
-    pub fn local(&self, name: &str) -> Option<&Bits> {
+    pub fn local(&self, name: &str) -> Option<&Bits4> {
         self.locals
             .iter()
             .find(|(n, _)| n == name)
@@ -81,7 +89,7 @@ impl Frame {
     }
 
     /// Looks up a generator variable by dotted path.
-    pub fn generator_var(&self, path: &str) -> Option<&Bits> {
+    pub fn generator_var(&self, path: &str) -> Option<&Bits4> {
         let (head, rest) = match path.split_once('.') {
             Some((h, r)) => (h, Some(r)),
             None => (path, None),
@@ -121,7 +129,7 @@ impl Frame {
 
 /// Re-aggregates flat `(dotted name, value)` pairs into a forest of
 /// structured variables.
-pub fn build_var_tree(vars: &[(String, Option<Bits>)]) -> Vec<VarNode> {
+pub fn build_var_tree(vars: &[(String, Option<Bits4>)]) -> Vec<VarNode> {
     let mut roots: Vec<VarNode> = Vec::new();
     for (name, value) in vars {
         insert(
@@ -133,7 +141,7 @@ pub fn build_var_tree(vars: &[(String, Option<Bits>)]) -> Vec<VarNode> {
     roots
 }
 
-fn insert(nodes: &mut Vec<VarNode>, path: &[&str], value: &Option<Bits>) {
+fn insert(nodes: &mut Vec<VarNode>, path: &[&str], value: &Option<Bits4>) {
     if path.is_empty() {
         return;
     }
@@ -159,9 +167,10 @@ fn insert(nodes: &mut Vec<VarNode>, path: &[&str], value: &Option<Bits>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bits::Bits;
 
-    fn v(x: u64, w: u32) -> Option<Bits> {
-        Some(Bits::from_u64(x, w))
+    fn v(x: u64, w: u32) -> Option<Bits4> {
+        Some(Bits4::known(Bits::from_u64(x, w)))
     }
 
     #[test]
@@ -169,7 +178,7 @@ mod tests {
         let tree = build_var_tree(&[("count".into(), v(3, 8)), ("en".into(), v(1, 1))]);
         assert_eq!(tree.len(), 2);
         assert_eq!(tree[0].name, "count");
-        assert_eq!(tree[0].value.as_ref().unwrap().to_u64(), 3);
+        assert_eq!(tree[0].value.as_ref().unwrap().value().to_u64(), 3);
         assert!(tree[0].children.is_empty());
     }
 
@@ -194,10 +203,20 @@ mod tests {
                 .value
                 .as_ref()
                 .unwrap()
+                .value()
                 .to_u64(),
             1
         );
-        assert_eq!(io.lookup("a").unwrap().value.as_ref().unwrap().to_u64(), 1);
+        assert_eq!(
+            io.lookup("a")
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .value()
+                .to_u64(),
+            1
+        );
     }
 
     #[test]
@@ -215,6 +234,7 @@ mod tests {
                 .value
                 .as_ref()
                 .unwrap()
+                .value()
                 .to_u64(),
             7
         );
@@ -224,10 +244,30 @@ mod tests {
                 .value
                 .as_ref()
                 .unwrap()
+                .value()
                 .to_u64(),
             1
         );
         assert!(dcmp.lookup("io.ghost").is_none());
+    }
+
+    #[test]
+    fn unknown_values_render_as_literals() {
+        // A pre-reset frame shows x digits instead of a bogus number.
+        let frame = Frame {
+            breakpoint_id: 1,
+            instance: "top".into(),
+            filename: "gen.rs".into(),
+            line: 3,
+            col: 1,
+            locals: vec![("count".into(), Some(Bits4::all_x(8)))],
+            generator: build_var_tree(&[("io.word".into(), Some(Bits4::parse("8'hxf").unwrap()))]),
+        };
+        let text = frame.render();
+        assert!(text.contains("count = 8'hxx"), "render:\n{text}");
+        let mut tree_text = String::new();
+        frame.generator[0].render(0, &mut tree_text);
+        assert!(tree_text.contains("word = 8'hxf"), "render:\n{tree_text}");
     }
 
     #[test]
@@ -247,11 +287,11 @@ mod tests {
             locals: vec![("sum".into(), v(12, 8)), ("gone".into(), None)],
             generator: build_var_tree(&[("io.out".into(), v(3, 4)), ("toint".into(), v(9, 8))]),
         };
-        assert_eq!(frame.local("sum").unwrap().to_u64(), 12);
+        assert_eq!(frame.local("sum").unwrap().value().to_u64(), 12);
         assert!(frame.local("gone").is_none());
         assert!(frame.local("ghost").is_none());
-        assert_eq!(frame.generator_var("io.out").unwrap().to_u64(), 3);
-        assert_eq!(frame.generator_var("toint").unwrap().to_u64(), 9);
+        assert_eq!(frame.generator_var("io.out").unwrap().value().to_u64(), 3);
+        assert_eq!(frame.generator_var("toint").unwrap().value().to_u64(), 9);
         let text = frame.render();
         assert!(text.contains("top.fpu at fpu.rs:42:9"));
         assert!(text.contains("sum = 12"));

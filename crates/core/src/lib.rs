@@ -64,7 +64,7 @@
 //! dbg.insert_breakpoint(&target.filename, target.line, None, Some("count == 3")).unwrap();
 //! match dbg.continue_run(Some(1000)).unwrap() {
 //!     RunOutcome::Stopped(event) => {
-//!         assert_eq!(event.hits[0].local("count").unwrap().to_u64(), 3);
+//!         assert_eq!(event.hits[0].local("count").unwrap().value().to_u64(), 3);
 //!     }
 //!     RunOutcome::Finished { .. } => panic!("breakpoint should hit"),
 //! }

@@ -38,7 +38,7 @@
 //! The complete wire reference with example JSON lines per message
 //! lives in `docs/PROTOCOL.md`.
 
-use bits::Bits;
+use bits::Bits4;
 use microjson::Json;
 
 use crate::frame::{Frame, VarNode};
@@ -542,12 +542,25 @@ pub fn decode_request(json: &Json) -> Result<Request, String> {
     })
 }
 
-fn bits_json(v: &Bits) -> Json {
-    Json::object([
-        ("value", Json::from(format!("0x{v:x}"))),
-        ("decimal", Json::from(v.to_string())),
-        ("width", Json::from(v.width())),
-    ])
+/// Encodes a (four-state) value. Fully-known values keep the original
+/// two-state shape — hex `value`, decimal `decimal` — so existing
+/// clients see no change; values carrying `x`/`z` bits encode both
+/// fields as the sized literal (`8'bxxxx_1010` style digits) and add
+/// `"unknown": true` so a client can tell without scanning the text.
+fn bits_json(v: &Bits4) -> Json {
+    match v.to_known() {
+        Some(k) => Json::object([
+            ("value", Json::from(format!("0x{k:x}"))),
+            ("decimal", Json::from(k.to_string())),
+            ("width", Json::from(k.width())),
+        ]),
+        None => Json::object([
+            ("value", Json::from(v.to_literal())),
+            ("decimal", Json::from(v.to_literal())),
+            ("width", Json::from(v.width())),
+            ("unknown", Json::from(true)),
+        ]),
+    }
 }
 
 fn var_node_json(node: &VarNode) -> Json {
@@ -777,6 +790,11 @@ pub fn outcome_response(outcome: RunOutcome) -> Response {
 mod tests {
     use super::*;
     use crate::runtime::StopKind;
+    use bits::Bits;
+
+    fn k(v: u64, w: u32) -> Bits4 {
+        Bits4::known(Bits::from_u64(v, w))
+    }
 
     #[test]
     fn request_round_trip() {
@@ -905,8 +923,8 @@ mod tests {
                 filename: "acc.rs".into(),
                 line: 4,
                 col: 9,
-                locals: vec![("sum".into(), Some(Bits::from_u64(5, 8)))],
-                generator: build_var_tree(&[("io.out".into(), Some(Bits::from_u64(1, 4)))]),
+                locals: vec![("sum".into(), Some(k(5, 8)))],
+                generator: build_var_tree(&[("io.out".into(), Some(k(1, 4)))]),
             }],
             sessions: vec![2, 5],
             watch_hits: Vec::new(),
@@ -943,8 +961,8 @@ mod tests {
                 id: 2,
                 owner: 4,
                 expr: "top.count".into(),
-                old: Bits::from_u64(3, 8),
-                new: Bits::from_u64(4, 8),
+                old: Bits4::all_x(8),
+                new: k(4, 8),
             }],
             reason: StopKind::Watchpoint,
         };
@@ -954,8 +972,12 @@ mod tests {
         let wh = &back["event"]["watch_hits"][0];
         assert_eq!(wh["id"].as_i64(), Some(2));
         assert_eq!(wh["owner"].as_i64(), Some(4));
-        assert_eq!(wh["old"]["decimal"].as_str(), Some("3"));
+        // The X→known resolution encodes the old value as an x literal
+        // (flagged unknown) and the new one in the two-state shape.
+        assert_eq!(wh["old"]["value"].as_str(), Some("8'hxx"));
+        assert_eq!(wh["old"]["unknown"].as_bool(), Some(true));
         assert_eq!(wh["new"]["decimal"].as_str(), Some("4"));
+        assert_eq!(wh["new"]["unknown"].as_bool(), None);
     }
 
     #[test]
@@ -965,7 +987,7 @@ mod tests {
                 id: 1,
                 instance: Some("top".into()),
                 expr: "count * 2".into(),
-                value: Bits::from_u64(14, 8),
+                value: k(14, 8),
                 hit_count: 3,
             }],
         };

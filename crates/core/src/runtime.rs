@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use bits::Bits;
+use bits::{Bits, Bits4};
 use rtl_sim::{HierNode, SignalId, SimControl, SimError};
 use symtab::{BreakpointInfo, SymbolTable};
 
@@ -254,10 +254,12 @@ pub struct WatchHit {
     pub owner: SessionId,
     /// Watched expression text.
     pub expr: String,
-    /// Value before the edge.
-    pub old: Bits,
-    /// Value after the edge.
-    pub new: Bits,
+    /// Value before the edge (four-state: an unreset register reads
+    /// all-`x` here until the reset tree reaches it).
+    pub old: Bits4,
+    /// Value after the edge. Comparison is plane-wise, so an X→known
+    /// resolution fires a watchpoint like any other value change.
+    pub new: Bits4,
 }
 
 /// How a breakpoint-expression name resolves against the backend:
@@ -292,19 +294,21 @@ fn resolve_refs<S: SimControl>(
 
 /// Per-cycle name resolution: interned id when available (and carrying
 /// a value), else the instance-relative then absolute path fallback.
+/// Four-state so enable/condition evaluation sees unknown planes; on
+/// two-state backends every value comes back fully known.
 fn resolve_name_fast<S: SimControl>(
     sim: &S,
     prefix: &str,
     lookups: &[(String, NameLookup)],
     name: &str,
-) -> Option<Bits> {
+) -> Option<Bits4> {
     if let Some((_, NameLookup::Id(id))) = lookups.iter().find(|(n, _)| n == name) {
-        if let Some(v) = sim.get_value_by_id(*id) {
+        if let Some(v) = sim.get_value4_by_id(*id) {
             return Some(v);
         }
     }
-    sim.get_value(&format!("{prefix}.{name}"))
-        .or_else(|| sim.get_value(name))
+    sim.get_value4(&format!("{prefix}.{name}"))
+        .or_else(|| sim.get_value4(name))
 }
 
 /// A statically known breakpoint with its pre-parsed enable.
@@ -356,7 +360,10 @@ struct Watch {
     expr: DebugExpr,
     /// Insert-time name resolutions for the watched expression.
     refs: Vec<WatchRef>,
-    last: Bits,
+    /// Comparison baseline, four-state: `Bits4`'s plane-wise equality
+    /// makes an X→known resolution (reset finally reaching a register)
+    /// an ordinary value change, so the watch fires on it.
+    last: Bits4,
     hit_count: u64,
     /// Whether an evaluation error was already recorded (so a broken
     /// watch does not append one diagnostic per simulated cycle).
@@ -372,8 +379,9 @@ pub struct WatchpointListing {
     pub instance: Option<String>,
     /// Watched expression text.
     pub expr: String,
-    /// Value at the last evaluation point.
-    pub value: Bits,
+    /// Value at the last evaluation point (may carry `x`/`z` bits on a
+    /// four-state backend).
+    pub value: Bits4,
     /// Times the watched value changed.
     pub hit_count: u64,
 }
@@ -982,7 +990,7 @@ impl<S: SimControl> Runtime<S> {
             expr_text: expr_text.to_owned(),
             expr,
             refs,
-            last: Bits::from_bool(false),
+            last: Bits4::known(Bits::from_bool(false)),
             hit_count: 0,
             error_reported: false,
         };
@@ -1061,19 +1069,21 @@ impl<S: SimControl> Runtime<S> {
     }
 
     /// Evaluates a watch expression through its interned references,
-    /// with dynamic resolution as the fallback.
-    fn eval_watch(&self, watch: &Watch) -> Result<Bits, DebugError> {
+    /// with dynamic resolution as the fallback. Four-state: on a
+    /// four-state backend the result carries unknown planes, so the
+    /// change comparison sees X→known transitions.
+    fn eval_watch(&self, watch: &Watch) -> Result<Bits4, DebugError> {
         let sim = &self.sim;
         watch
             .expr
-            .eval(&|name: &str| {
+            .eval4(&|name: &str| {
                 if let Some(r) = watch.refs.iter().find(|r| r.name == name) {
                     if let Some(id) = r.id {
-                        if let Some(v) = sim.get_value_by_id(id) {
+                        if let Some(v) = sim.get_value4_by_id(id) {
                             return Some(v);
                         }
                     }
-                    if let Some(v) = sim.get_value(&r.path) {
+                    if let Some(v) = sim.get_value4(&r.path) {
                         return Some(v);
                     }
                 }
@@ -1138,32 +1148,35 @@ impl<S: SimControl> Runtime<S> {
     /// Resolves a name in an instance context: scoped locals are the
     /// caller's responsibility (they come from frames); this resolves
     /// generator variables, then instance-relative RTL paths, then
-    /// absolute paths.
-    fn resolve_name(&self, instance: Option<&str>, name: &str) -> Option<Bits> {
+    /// absolute paths. Four-state (fully known on two-state backends).
+    fn resolve_name(&self, instance: Option<&str>, name: &str) -> Option<Bits4> {
         if let Some(inst) = instance {
             if let Ok(Some(iid)) = self.symbols.instance_by_name(inst) {
                 if let Ok(Some(rtl)) = self.symbols.resolve_instance_variable(iid, name) {
-                    if let Some(v) = self.sim.get_value(&rtl) {
+                    if let Some(v) = self.sim.get_value4(&rtl) {
                         return Some(v);
                     }
                 }
             }
-            if let Some(v) = self.sim.get_value(&format!("{inst}.{name}")) {
+            if let Some(v) = self.sim.get_value4(&format!("{inst}.{name}")) {
                 return Some(v);
             }
         }
-        self.sim.get_value(name)
+        self.sim.get_value4(name)
     }
 
     /// Evaluates a debugger expression in an optional instance
-    /// context (the `eval` / watch functionality).
+    /// context (the `eval` / watch functionality). Four-state: on a
+    /// four-state backend an unresolved register prints as `8'hxx`
+    /// rather than a bogus number; two-state backends always yield
+    /// fully-known values.
     ///
     /// # Errors
     ///
     /// Parse or resolution failures.
-    pub fn eval(&self, instance: Option<&str>, text: &str) -> Result<Bits, DebugError> {
+    pub fn eval(&self, instance: Option<&str>, text: &str) -> Result<Bits4, DebugError> {
         let expr = DebugExpr::parse(text)?;
-        expr.eval(&|name| self.resolve_name(instance, name))
+        expr.eval4(&|name| self.resolve_name(instance, name))
             .map_err(DebugError::from)
     }
 
@@ -1229,13 +1242,16 @@ impl<S: SimControl> Runtime<S> {
             let sim = &self.sim;
             let prefix: &str = &st.info.instance_name;
             // Enable condition (§3.1): statement must be active this
-            // cycle. Names were interned at attach time.
+            // cycle. Names were interned at attach time. Truthiness is
+            // four-state: an enable that evaluates to x (unresolved
+            // control pre-reset) is *not* active — stopping on a
+            // statement that may not execute would be a false positive.
             let enable_result = st.enable.as_ref().map(|enable| {
-                enable.eval(&|name: &str| resolve_name_fast(sim, prefix, &st.enable_lookups, name))
+                enable.eval4(&|name: &str| resolve_name_fast(sim, prefix, &st.enable_lookups, name))
             });
             match enable_result {
                 None => {}
-                Some(Ok(v)) if v.is_truthy() => {}
+                Some(Ok(v)) if v.is_truthy_known() => {}
                 Some(Ok(_)) => continue,
                 Some(Err(e)) => {
                     // Once per breakpoint, not once per cycle — an
@@ -1260,10 +1276,13 @@ impl<S: SimControl> Runtime<S> {
                 for (owner, ins) in owners.expect("checked above") {
                     match &ins.condition {
                         None => matched_owners.push(*owner),
-                        Some(cond) => match cond.eval(&|name: &str| {
+                        // is_truthy_known: a condition that evaluates
+                        // to x (e.g. `count == 8'hff` over an unreset
+                        // register) does not stop the run.
+                        Some(cond) => match cond.eval4(&|name: &str| {
                             resolve_name_fast(sim, prefix, &ins.cond_lookups, name)
                         }) {
-                            Ok(v) if v.is_truthy() => matched_owners.push(*owner),
+                            Ok(v) if v.is_truthy_known() => matched_owners.push(*owner),
                             Ok(_) => {}
                             Err(e) => {
                                 if !ins.cond_error_reported {
@@ -1320,10 +1339,10 @@ impl<S: SimControl> Runtime<S> {
     fn build_frame(&self, bp_id: &i64) -> Option<Frame> {
         let st = self.static_bps.get(bp_id)?;
         let scope = self.symbols.scope_of(*bp_id).unwrap_or_default();
-        let locals: Vec<(String, Option<Bits>)> = scope
+        let locals: Vec<(String, Option<Bits4>)> = scope
             .into_iter()
             .map(|(name, rtl)| {
-                let v = self.sim.get_value(&rtl);
+                let v = self.sim.get_value4(&rtl);
                 (name, v)
             })
             .collect();
@@ -1334,10 +1353,10 @@ impl<S: SimControl> Runtime<S> {
             .flatten()
             .and_then(|iid| self.symbols.instance_variables(iid).ok())
             .map(|vars| {
-                let pairs: Vec<(String, Option<Bits>)> = vars
+                let pairs: Vec<(String, Option<Bits4>)> = vars
                     .into_iter()
                     .map(|(name, rtl)| {
-                        let v = self.sim.get_value(&rtl);
+                        let v = self.sim.get_value4(&rtl);
                         (name, v)
                     })
                     .collect();

@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bits::Bits;
+use bits::{Bits, Bits4};
 
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -422,6 +422,48 @@ pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
         Les => a.le_signed(b),
         Gts => a.gt_signed(b),
         Ges => a.ge_signed(b),
+    }
+}
+
+/// Applies a binary operator to four-state values. X-propagation rules
+/// (known-dominant AND/OR, poisoning arithmetic, short-circuiting
+/// equality) live in [`Bits4`]; this is the same dispatch table as
+/// [`apply_binary`].
+pub fn apply_binary4(op: BinaryOp, a: &Bits4, b: &Bits4) -> Bits4 {
+    use BinaryOp::*;
+    match op {
+        Add => a.add(b),
+        Sub => a.sub(b),
+        Mul => a.mul(b),
+        Div => a.div(b),
+        Rem => a.rem(b),
+        And => a.and(b),
+        Or => a.or(b),
+        Xor => a.xor(b),
+        Shl => a.shl(b),
+        Shr => a.shr(b),
+        Ashr => a.ashr(b),
+        Eq => a.eq_bits(b),
+        Ne => a.ne_bits(b),
+        Lt => a.lt_unsigned(b),
+        Le => a.le_unsigned(b),
+        Gt => a.gt_unsigned(b),
+        Ge => a.ge_unsigned(b),
+        Lts => a.lt_signed(b),
+        Les => a.le_signed(b),
+        Gts => a.gt_signed(b),
+        Ges => a.ge_signed(b),
+    }
+}
+
+/// Applies a unary operator to a four-state value.
+pub fn apply_unary4(op: UnaryOp, v: &Bits4) -> Bits4 {
+    match op {
+        UnaryOp::Not => v.not(),
+        UnaryOp::Neg => v.neg(),
+        UnaryOp::ReduceAnd => v.reduce_and(),
+        UnaryOp::ReduceOr => v.reduce_or(),
+        UnaryOp::ReduceXor => v.reduce_xor(),
     }
 }
 

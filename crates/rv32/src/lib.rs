@@ -33,6 +33,7 @@
 
 pub mod asm;
 pub mod cpu;
+pub mod fuzz;
 pub mod isa;
 pub mod iss;
 pub mod programs;

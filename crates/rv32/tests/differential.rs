@@ -6,6 +6,7 @@ use hgf::CircuitBuilder;
 use proptest::prelude::*;
 use rtl_sim::{SimControl, Simulator};
 use rv32::asm::assemble;
+use rv32::fuzz::{gen_program, lower, shrink, FuzzOp, Harness, Mode, MAX_OPS};
 use rv32::isa::Inst;
 use rv32::iss::Iss;
 use rv32::{build_core, CoreConfig};
@@ -169,6 +170,120 @@ proptest! {
             prop_assert_eq!(hw, iss.regs[r], "x{}", r);
         }
     }
+}
+
+/// Cases for the full-program fuzz sweeps. The default keeps plain
+/// `cargo test` fast; the CI fuzz job raises it past the
+/// 1k-retired-programs bar with `FUZZ_CASES=1024`.
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Runs one seeded program in lockstep; on a mismatch, shrinks to a
+/// minimal reproducer and fails with everything needed to replay it.
+fn run_seed(harness: &Harness, seed: u64, mode: Mode) -> u64 {
+    let ops = gen_program(seed, MAX_OPS);
+    match harness.run_lockstep(&ops, mode) {
+        Ok(retired) => retired,
+        Err(mismatch) => {
+            let minimal = shrink(&ops, &mut |cand| harness.run_lockstep(cand, mode).is_err());
+            let words: Vec<String> = lower(&minimal)
+                .iter()
+                .map(|w| format!("{w:#010x}"))
+                .collect();
+            panic!(
+                "seed {seed} ({mode:?}): {mismatch:?}\n\
+                 minimal ops ({}): {minimal:?}\n\
+                 lowered: [{}]",
+                minimal.len(),
+                words.join(", ")
+            );
+        }
+    }
+}
+
+/// Full-program fuzzing (branches, loads/stores, LUI/AUIPC,
+/// jal/jalr) with pinned seeds: deterministic in CI, every failure
+/// names its seed. Two-state on every seed, four-state (post-reset)
+/// on every fourth — the slower engine still sees hundreds of
+/// programs at the CI case count.
+#[test]
+fn fuzz_full_programs_lockstep() {
+    let harness = Harness::new();
+    let mut retired = 0u64;
+    for seed in 0..fuzz_cases() {
+        retired += run_seed(&harness, seed, Mode::TwoState);
+        if seed % 4 == 0 {
+            run_seed(&harness, seed, Mode::FourState);
+        }
+    }
+    assert!(retired > 0, "programs must actually retire instructions");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The same harness driven through a proptest strategy: the
+    /// strategy draws the *seed*, the generator expands it, so the
+    /// printed failing input is always a single reproducible u64.
+    #[test]
+    fn fuzz_strategy_seeds_lockstep(seed in any::<u64>(), four_state in any::<bool>()) {
+        let harness = Harness::new();
+        let mode = if four_state { Mode::FourState } else { Mode::TwoState };
+        run_seed(&harness, seed, mode);
+    }
+}
+
+/// Corrupts the reference model after every SUB: the differential
+/// loop must notice, and the shrinker must isolate the lone SUB.
+fn corrupt_sub(iss: &mut Iss, inst: Inst) {
+    if let Inst::Op {
+        funct3: 0,
+        funct7: 0x20,
+        rd,
+        ..
+    } = inst
+    {
+        if rd != 0 {
+            iss.regs[rd as usize] ^= 4;
+        }
+    }
+}
+
+#[test]
+fn injected_iss_bug_is_caught_and_shrunk() {
+    let harness = Harness::new();
+    let found = (0..200u64).find_map(|seed| {
+        let ops = gen_program(seed, MAX_OPS);
+        harness
+            .run_lockstep_with(&ops, Mode::TwoState, &mut corrupt_sub)
+            .is_err()
+            .then_some((seed, ops))
+    });
+    let (seed, ops) = found.expect("a retired SUB appears within 200 seeded programs");
+    // The unmodified reference matches: the divergence is the
+    // injected bug, not a real one.
+    assert!(
+        harness.run_lockstep(&ops, Mode::TwoState).is_ok(),
+        "seed {seed} must only fail under the injected bug"
+    );
+    let minimal = shrink(&ops, &mut |cand| {
+        harness
+            .run_lockstep_with(cand, Mode::TwoState, &mut corrupt_sub)
+            .is_err()
+    });
+    assert!(
+        minimal.len() <= 2,
+        "seed {seed} shrinks to (nearly) the lone SUB, got {minimal:?}"
+    );
+    assert!(
+        minimal
+            .iter()
+            .any(|op| matches!(op, FuzzOp::Alu { funct3: 0, alt: true, rd, .. } if *rd != 0)),
+        "the culprit SUB survives shrinking: {minimal:?}"
+    );
 }
 
 #[test]

@@ -20,8 +20,8 @@
 //! split across workers with a barrier between levels. The metadata
 //! lives in [`Partition`] and drives `crate::parallel`.
 
-use bits::Bits;
-use hgf_ir::expr::{apply_binary, BinaryOp, UnaryOp};
+use bits::{Bits, Bits4};
+use hgf_ir::expr::{apply_binary, apply_binary4, apply_unary4, BinaryOp, UnaryOp};
 
 use crate::netlist::{CExpr, MemState};
 
@@ -220,6 +220,150 @@ pub(crate) fn exec<V: ValueSource + ?Sized>(
         pc += 1;
     }
     stack.pop().expect("result")
+}
+
+/// Read access to the four-state signal table during bytecode
+/// execution: the two-state value plane plus the unknown plane.
+///
+/// Mirrors [`ValueSource`] so the sequential sweep can pass plain plane
+/// slices and the parallel sweep can pass `RaceSlice` views.
+pub(crate) trait ValueSource4 {
+    fn get4(&self, i: usize) -> Bits4;
+}
+
+/// Plane-pair view over two slices, the sequential-sweep source.
+pub(crate) struct Planes<'a> {
+    pub(crate) vals: &'a [Bits],
+    pub(crate) unks: &'a [Bits],
+}
+
+impl ValueSource4 for Planes<'_> {
+    #[inline]
+    fn get4(&self, i: usize) -> Bits4 {
+        Bits4::from_planes(self.vals[i].clone(), self.unks[i].clone())
+    }
+}
+
+/// Executes one compiled range in four-state mode and returns the
+/// result. `munks` holds the unknown plane of each memory, parallel to
+/// `mems`.
+///
+/// The one structural difference from [`exec`] is the branch handling:
+/// a mux whose condition is unknown cannot pick an arm, so both arm
+/// ranges are evaluated (recursively — arms can nest) and merged with
+/// [`Bits4::merge`], per IEEE-1800 §11.4.11. Known conditions keep the
+/// lazy single-arm evaluation.
+pub(crate) fn exec4<V: ValueSource4 + ?Sized>(
+    prog: &Program,
+    range: CodeRange,
+    values: &V,
+    mems: &[MemState],
+    munks: &[Vec<Bits>],
+    stack: &mut Vec<Bits4>,
+) -> Bits4 {
+    debug_assert!(stack.is_empty());
+    exec4_range(
+        prog,
+        range.0 as usize,
+        range.1 as usize,
+        values,
+        mems,
+        munks,
+        stack,
+    );
+    let result = stack.pop().expect("result");
+    debug_assert!(stack.is_empty());
+    result
+}
+
+/// Runs ops in `[start, end)`, leaving the range's one result value on
+/// the stack.
+fn exec4_range<V: ValueSource4 + ?Sized>(
+    prog: &Program,
+    start: usize,
+    end: usize,
+    values: &V,
+    mems: &[MemState],
+    munks: &[Vec<Bits>],
+    stack: &mut Vec<Bits4>,
+) {
+    let ops = &prog.ops;
+    let mut pc = start;
+    while pc < end {
+        match &ops[pc] {
+            Op::Lit(i) => stack.push(Bits4::known(prog.lits[*i as usize].clone())),
+            Op::Sig(i) => stack.push(values.get4(*i as usize)),
+            Op::Unary(op) => {
+                let v = stack.last_mut().expect("operand");
+                *v = apply_unary4(*op, v);
+            }
+            Op::Binary(op) => {
+                let r = stack.pop().expect("rhs");
+                let l = stack.last_mut().expect("lhs");
+                *l = apply_binary4(*op, l, &r);
+            }
+            Op::Slice(hi, lo) => {
+                let v = stack.last_mut().expect("operand");
+                *v = v.slice(*hi, *lo);
+            }
+            Op::Cat => {
+                let low = stack.pop().expect("low");
+                let high = stack.last_mut().expect("high");
+                *high = high.concat(&low);
+            }
+            Op::MemRead(m) => {
+                let a = stack.last_mut().expect("address");
+                let mem = &mems[*m as usize];
+                *a = match a.to_known() {
+                    Some(addr) => {
+                        let addr = addr.to_u64() as usize;
+                        if addr < mem.words.len() {
+                            Bits4::from_planes(
+                                mem.words[addr].clone(),
+                                munks[*m as usize][addr].clone(),
+                            )
+                        } else {
+                            Bits4::known(Bits::zero(mem.width))
+                        }
+                    }
+                    // An unknown address could alias any word.
+                    None => Bits4::all_x(mem.width),
+                };
+            }
+            Op::BranchIfZero(target) => {
+                let c = stack.pop().expect("condition");
+                match c.truthiness() {
+                    Some(true) => {} // fall through into the then-arm
+                    Some(false) => {
+                        pc = *target as usize;
+                        continue;
+                    }
+                    None => {
+                        // The compiler always emits `Jump(arm_end)`
+                        // immediately before the else-arm entry; it
+                        // bounds both arm ranges.
+                        let else_start = *target as usize;
+                        let arm_end = match &ops[else_start - 1] {
+                            Op::Jump(e) => *e as usize,
+                            other => unreachable!("mux shape: expected Jump, got {other:?}"),
+                        };
+                        exec4_range(prog, pc + 1, else_start - 1, values, mems, munks, stack);
+                        let t = stack.pop().expect("then arm");
+                        exec4_range(prog, else_start, arm_end, values, mems, munks, stack);
+                        let e = stack.pop().expect("else arm");
+                        stack.push(Bits4::merge(&t, &e));
+                        pc = arm_end;
+                        continue;
+                    }
+                }
+            }
+            Op::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+        }
+        pc += 1;
+    }
 }
 
 /// One independent combinational region: a contiguous run of def
@@ -533,6 +677,149 @@ mod tests {
             // vector must never have outgrown its preallocation.
             prop_assert!(stack.capacity() <= prog.max_stack.max(4));
         }
+    }
+
+    proptest! {
+        /// On fully-known inputs the four-state executor must agree
+        /// bit-for-bit with the two-state one (and report no unknowns).
+        #[test]
+        fn four_state_matches_two_state_on_known_inputs(seed in any::<u64>()) {
+            let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 3);
+            let nsigs = 2 + rng.below(6) as usize;
+            let widths: Vec<u32> = (0..nsigs)
+                .map(|_| {
+                    if rng.below(3) == 0 {
+                        65 + rng.below(120) as u32
+                    } else {
+                        1 + rng.below(64) as u32
+                    }
+                })
+                .collect();
+            let values: Vec<Bits> = widths.iter().map(|&w| rng.bits(w)).collect();
+            let unks: Vec<Bits> = widths.iter().map(|&w| Bits::zero(w)).collect();
+            let mem_width = 1 + rng.below(90) as u32;
+            let mems = vec![MemState {
+                width: mem_width,
+                words: (0..8).map(|_| rng.bits(mem_width)).collect(),
+            }];
+            let munks = vec![vec![Bits::zero(mem_width); 8]];
+            let width = 1 + rng.below(64) as u32;
+            let expr = arb_expr(&mut rng, &widths, &mems, width, 4);
+
+            let mut prog = Program::default();
+            let range = prog.compile(&expr);
+            let mut stack = Vec::new();
+            let expected = exec(&prog, range, values.as_slice(), &mems, &mut stack);
+            let mut stack4 = Vec::new();
+            let planes = Planes { vals: &values, unks: &unks };
+            let got = exec4(&prog, range, &planes, &mems, &munks, &mut stack4);
+            prop_assert!(got.is_fully_known(), "seed {}", seed);
+            prop_assert_eq!(got.to_known().unwrap(), &expected, "seed {}", seed);
+        }
+    }
+
+    /// An unknown mux select evaluates both arms and merges them:
+    /// agreeing bits stay known, disagreeing bits go x.
+    #[test]
+    fn x_select_merges_mux_arms() {
+        let e = CExpr::Mux(
+            Box::new(CExpr::Sig(0)),
+            Box::new(CExpr::Lit(Bits::from_u64(0b111, 3))),
+            Box::new(CExpr::Lit(Bits::from_u64(0b101, 3))),
+        );
+        let mut prog = Program::default();
+        let range = prog.compile(&e);
+        let vals = vec![Bits::ones(1)];
+        let unks = vec![Bits::ones(1)]; // sig 0 is x
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let mut stack = Vec::new();
+        let got = exec4(&prog, range, &planes, &[], &[], &mut stack);
+        assert_eq!(got.bit_char(0), '1');
+        assert_eq!(got.bit_char(1), 'x');
+        assert_eq!(got.bit_char(2), '1');
+        // A known select keeps lazy single-arm evaluation and a fully
+        // known result.
+        let vals = vec![Bits::zero(1)];
+        let unks = vec![Bits::zero(1)];
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let got = exec4(&prog, range, &planes, &[], &[], &mut stack);
+        assert_eq!(got.to_known().unwrap().to_u64(), 0b101);
+    }
+
+    /// Nested muxes under an unknown outer select recurse correctly.
+    #[test]
+    fn nested_x_mux_recursion() {
+        // mux(x, mux(1, 5, 9), 5) == 5 known; then-arm contains its own
+        // branch structure.
+        let inner = CExpr::Mux(
+            Box::new(CExpr::Lit(Bits::from_bool(true))),
+            Box::new(CExpr::Lit(Bits::from_u64(5, 4))),
+            Box::new(CExpr::Lit(Bits::from_u64(9, 4))),
+        );
+        let e = CExpr::Mux(
+            Box::new(CExpr::Sig(0)),
+            Box::new(inner),
+            Box::new(CExpr::Lit(Bits::from_u64(5, 4))),
+        );
+        let mut prog = Program::default();
+        let range = prog.compile(&e);
+        let vals = vec![Bits::ones(1)];
+        let unks = vec![Bits::ones(1)];
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let mut stack = Vec::new();
+        let got = exec4(&prog, range, &planes, &[], &[], &mut stack);
+        assert_eq!(got.to_known().unwrap().to_u64(), 5, "arms agree => known");
+    }
+
+    /// An unknown memory address reads as all-x; a known one reads the
+    /// word's planes.
+    #[test]
+    fn mem_read_unknown_address_is_x() {
+        let e = CExpr::MemRead(0, Box::new(CExpr::Sig(0)));
+        let mut prog = Program::default();
+        let range = prog.compile(&e);
+        let mems = vec![MemState {
+            width: 8,
+            words: vec![Bits::from_u64(0xAB, 8), Bits::from_u64(0xCD, 8)],
+        }];
+        let munks = vec![vec![Bits::zero(8), Bits::ones(8)]];
+        let mut stack = Vec::new();
+        // Unknown address.
+        let vals = vec![Bits::zero(4)];
+        let unks = vec![Bits::ones(4)];
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let got = exec4(&prog, range, &planes, &mems, &munks, &mut stack);
+        assert_eq!(got, Bits4::all_x(8));
+        // Known address 1 hits the x word.
+        let vals = vec![Bits::from_u64(1, 4)];
+        let unks = vec![Bits::zero(4)];
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let got = exec4(&prog, range, &planes, &mems, &munks, &mut stack);
+        assert!(!got.is_fully_known());
+        // Known out-of-range address reads zero, matching 2-state.
+        let vals = vec![Bits::from_u64(9, 4)];
+        let unks = vec![Bits::zero(4)];
+        let planes = Planes {
+            vals: &vals,
+            unks: &unks,
+        };
+        let got = exec4(&prog, range, &planes, &mems, &munks, &mut stack);
+        assert_eq!(got.to_known().unwrap().to_u64(), 0);
     }
 
     /// Mux arms must stay lazy: the untaken arm is never executed.

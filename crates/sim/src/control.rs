@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use bits::Bits;
+use bits::{Bits, Bits4};
 
 /// Errors surfaced through the simulator interface.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +144,25 @@ pub trait SimControl {
     /// id support or no value at the current time.
     fn get_value_by_id(&self, _id: SignalId) -> Option<Bits> {
         None
+    }
+
+    /// Whether this backend evaluates in four-state (X/Z) mode. When
+    /// `false` (the default), [`SimControl::get_value4`] still works —
+    /// every bit simply reads as known.
+    fn is_four_state(&self) -> bool {
+        false
+    }
+
+    /// Primitive 1, four-state form: the value with its unknown plane.
+    /// The default wraps [`SimControl::get_value`] as fully known;
+    /// four-state backends override it to surface X/Z bits.
+    fn get_value4(&self, path: &str) -> Option<Bits4> {
+        self.get_value(path).map(Bits4::known)
+    }
+
+    /// Id form of [`SimControl::get_value4`].
+    fn get_value4_by_id(&self, id: SignalId) -> Option<Bits4> {
+        self.get_value_by_id(id).map(Bits4::known)
     }
 
     /// Primitive 2a — the design hierarchy.

@@ -76,6 +76,13 @@ pub struct SimConfig {
     /// to 1 forces the parallel schedule (the equivalence proptests do
     /// exactly that).
     pub min_parallel_work: usize,
+    /// Four-state (X/Z) evaluation. When `false` (the default) the
+    /// simulator runs the exact two-state engine — no unknown planes
+    /// are allocated and the hot path is untouched. When `true`, every
+    /// signal carries a value/unknown plane pair: registers power up
+    /// all-X until reset resolves them, inputs read X until first
+    /// poked, and undriven nets stay X forever.
+    pub four_state: bool,
 }
 
 impl SimConfig {
@@ -85,7 +92,14 @@ impl SimConfig {
         SimConfig {
             workers: workers.clamp(1, MAX_WORKERS),
             min_parallel_work: DEFAULT_MIN_PARALLEL_WORK,
+            four_state: false,
         }
+    }
+
+    /// Returns `self` with four-state (X/Z) evaluation enabled.
+    pub fn four_state(mut self) -> SimConfig {
+        self.four_state = true;
+        self
     }
 }
 
@@ -100,6 +114,7 @@ impl Default for SimConfig {
         SimConfig {
             workers,
             min_parallel_work: DEFAULT_MIN_PARALLEL_WORK,
+            four_state: false,
         }
     }
 }

@@ -264,11 +264,17 @@ fn build_random_circuit(rng: &mut Rng) -> (hgf_ir::CircuitState, Vec<String>) {
 /// forced on every sweep, however small — maximum pressure on the
 /// race-freedom argument. `workers = 1` is the exact sequential path.
 fn sim_with(state: &hgf_ir::CircuitState, workers: usize) -> Simulator {
+    sim_with_mode(state, workers, false)
+}
+
+/// Like [`sim_with`], optionally in four-state mode.
+fn sim_with_mode(state: &hgf_ir::CircuitState, workers: usize, four_state: bool) -> Simulator {
     Simulator::with_config(
         &state.circuit,
         SimConfig {
             workers,
             min_parallel_work: 1,
+            four_state,
         },
     )
     .unwrap()
@@ -320,6 +326,58 @@ proptest! {
                 "memory word {} diverged (seed {})", addr, seed
             );
         }
+    }
+
+    /// On a fully-driven, fully-reset design, four-state evaluation is
+    /// two-state evaluation: every random netlist here has all
+    /// registers in the reset tree and all inputs poked every cycle,
+    /// so after reset the unknown planes must be identically zero and
+    /// every value bit-identical to the two-state engine — under the
+    /// sequential schedule and the forced-parallel one (workers = 4).
+    #[test]
+    fn four_state_collapses_to_two_state_when_fully_driven(seed in any::<u64>()) {
+        let mut rng = Rng(seed.wrapping_mul(0x6a09_e667_f3bc_c909) | 1);
+        let (state, inputs) = build_random_circuit(&mut rng);
+        let mut two = sim_with(&state, 1);
+        let mut four_seq = sim_with_mode(&state, 1, true);
+        let mut four_par = sim_with_mode(&state, 4, true);
+        let paths = two.signal_paths();
+        for sim in [&mut two, &mut four_seq, &mut four_par] {
+            sim.reset(2);
+        }
+        for cycle in 0..12u64 {
+            let stim: Vec<Bits> = inputs
+                .iter()
+                .map(|_| Bits::from_u64(rng.next() & GEN_MASK, GEN_WIDTH))
+                .collect();
+            for sim in [&mut two, &mut four_seq, &mut four_par] {
+                for (path, v) in inputs.iter().zip(&stim) {
+                    sim.poke(path, v.clone()).unwrap();
+                }
+                sim.step_clock();
+            }
+            for path in &paths {
+                let expected = two.peek(path).unwrap();
+                for (name, sim) in [("seq", &four_seq), ("par", &four_par)] {
+                    let got = sim.peek4(path).unwrap();
+                    prop_assert!(
+                        got.unknown().is_zero(),
+                        "cycle {} {} still unknown in four-state/{} (seed {})",
+                        cycle, path, name, seed
+                    );
+                    prop_assert_eq!(
+                        got.value(), &expected,
+                        "cycle {} {} diverged in four-state/{} (seed {})",
+                        cycle, path, name, seed
+                    );
+                }
+            }
+        }
+        // Within the four-state mode, worker count must not change the
+        // set of defs visited. (The counter is not comparable across
+        // modes: the all-X power-up makes the first reset commit mark
+        // fan-out the two-state engine never sees.)
+        prop_assert_eq!(four_seq.defs_evaluated(), four_par.defs_evaluated());
     }
 
     /// A mid-run snapshot restored into an engine of *any* worker

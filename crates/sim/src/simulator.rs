@@ -27,10 +27,10 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bits::Bits;
+use bits::{Bits, Bits4};
 use hgf_ir::Circuit;
 
-use crate::compile::exec;
+use crate::compile::{exec, exec4, Planes, ValueSource4};
 use crate::control::{HierNode, SignalId, SimControl, SimError};
 use crate::netlist::{FlatNetlist, FlatReg, MemState};
 use crate::parallel::{RaceSlice, SimConfig, WorkerPool, MAX_WORKERS, PARALLEL_LATCH_OPS};
@@ -61,6 +61,17 @@ impl ClockView<'_> {
     /// callback with [`Simulator::signal_id`]).
     pub fn get_value_id(&self, id: SignalId) -> Bits {
         self.sim.peek_id(id)
+    }
+
+    /// Four-state value of a signal by interned id. In a two-state
+    /// simulator every bit reads as known.
+    pub fn get_value4_id(&self, id: SignalId) -> Bits4 {
+        self.sim.peek4_id(id)
+    }
+
+    /// Whether this simulator runs the four-state (X/Z) engine.
+    pub fn is_four_state(&self) -> bool {
+        self.sim.is_four_state()
     }
 
     /// Resolves a path to an id (same interning as the simulator).
@@ -101,11 +112,21 @@ impl DirtySet {
 pub struct Simulator {
     netlist: FlatNetlist,
     values: RefCell<Vec<Bits>>,
+    /// Unknown plane per signal, parallel to `values` and kept in
+    /// X-normal form (`values[i] | unks[i] == values[i]`). Empty in
+    /// two-state mode — the default engine never allocates or touches
+    /// it.
+    unks: RefCell<Vec<Bits>>,
     mems: RefCell<Vec<MemState>>,
+    /// Unknown plane per memory word, parallel to `mems[i].words`.
+    /// Empty in two-state mode.
+    munks: RefCell<Vec<Vec<Bits>>>,
     dirty: RefCell<DirtySet>,
     /// Scratch operand stack for the bytecode evaluator, preallocated
     /// to the program's exact worst-case depth.
     stack: RefCell<Vec<Bits>>,
+    /// Four-state twin of `stack`; empty in two-state mode.
+    stack4: RefCell<Vec<Bits4>>,
     /// Total combinational definitions executed (instrumentation; the
     /// incremental-evaluation regression tests assert on this).
     evals: Cell<u64>,
@@ -117,6 +138,10 @@ pub struct Simulator {
     /// paused at the edge. The buffers are reused across cycles.
     pending_regs: Vec<(usize, Bits)>,
     pending_mems: Vec<(usize, usize, Bits)>,
+    /// Four-state twins of the pending buffers; used instead of the
+    /// two-state pair when `config.four_state` is set.
+    pending_regs4: Vec<(usize, Bits4)>,
+    pending_mems4: Vec<(usize, usize, Bits4)>,
     started: bool,
     callbacks: Vec<(CallbackId, ClockCallback)>,
     next_callback: usize,
@@ -167,7 +192,30 @@ impl Simulator {
             ..config
         };
         let netlist = FlatNetlist::build(circuit)?;
-        let values: Vec<Bits> = netlist.widths.iter().map(|&w| Bits::zero(w)).collect();
+        let four = config.four_state;
+        // Four-state power-up: every signal all-X (X-normal form keeps
+        // the value plane at ones wherever the unknown plane is set).
+        // Memories power up known-zero — a documented simplification
+        // matching the two-state engine's word arrays.
+        let values: Vec<Bits> = netlist
+            .widths
+            .iter()
+            .map(|&w| if four { Bits::ones(w) } else { Bits::zero(w) })
+            .collect();
+        let unks: Vec<Bits> = if four {
+            netlist.widths.iter().map(|&w| Bits::ones(w)).collect()
+        } else {
+            Vec::new()
+        };
+        let munks: Vec<Vec<Bits>> = if four {
+            netlist
+                .mems
+                .iter()
+                .map(|m| vec![Bits::zero(m.width); m.words.len()])
+                .collect()
+        } else {
+            Vec::new()
+        };
         let n_defs = netlist.defs.len();
         let code_len = |c: crate::compile::CodeRange| (c.1 - c.0) as usize;
         let latch_ops = netlist
@@ -186,7 +234,14 @@ impl Simulator {
         let sim = Simulator {
             mems: RefCell::new(netlist.mems.clone()),
             values: RefCell::new(values),
+            unks: RefCell::new(unks),
+            munks: RefCell::new(munks),
             stack: RefCell::new(Vec::with_capacity(netlist.program.max_stack)),
+            stack4: RefCell::new(Vec::with_capacity(if four {
+                netlist.program.max_stack
+            } else {
+                0
+            })),
             netlist,
             dirty: RefCell::new(DirtySet {
                 // Everything is dirty before the first sweep.
@@ -198,6 +253,8 @@ impl Simulator {
             time: 0,
             pending_regs: Vec::new(),
             pending_mems: Vec::new(),
+            pending_regs4: Vec::new(),
+            pending_mems4: Vec::new(),
             started: false,
             callbacks: Vec::new(),
             next_callback: 0,
@@ -205,8 +262,11 @@ impl Simulator {
             pool,
             latch_ops,
         };
-        // Registers start at their reset value when they have one.
-        {
+        // Registers start at their reset value when they have one — in
+        // two-state mode only. The four-state engine powers registers
+        // up all-X; the init value loads when reset is asserted (and
+        // known true), which is exactly what the mode exists to check.
+        if !four {
             let mut values = sim.values.borrow_mut();
             for reg in &sim.netlist.regs {
                 if let Some(init) = &reg.init {
@@ -245,17 +305,36 @@ impl Simulator {
     }
 
     /// Writes a pokeable slot: resize, change-detect, mark fan-out.
+    /// Pokes always carry fully-known values; in four-state mode the
+    /// slot's unknown plane is cleared (this is how an X input
+    /// resolves).
     fn poke_sig(&mut self, sig: usize, value: Bits) {
         let width = self.netlist.widths[sig];
         let value = value.resize(width);
         {
             let mut values = self.values.borrow_mut();
-            if values[sig] == value {
+            let unk_cleared = if self.is_four_state() {
+                let mut unks = self.unks.borrow_mut();
+                if unks[sig].is_zero() {
+                    false
+                } else {
+                    unks[sig] = Bits::zero(width);
+                    true
+                }
+            } else {
+                false
+            };
+            if values[sig] == value && !unk_cleared {
                 return;
             }
             values[sig] = value;
         }
         self.mark_sig(sig);
+    }
+
+    /// Whether this simulator runs the four-state (X/Z) engine.
+    pub fn is_four_state(&self) -> bool {
+        self.config.four_state
     }
 
     /// Sets a top-level input port by full path (e.g. `top.data0`).
@@ -323,11 +402,56 @@ impl Simulator {
         Some(self.values.borrow()[sig].clone())
     }
 
+    /// Four-state [`Simulator::peek`]: the value with its unknown
+    /// plane. On a two-state simulator every bit reads as known.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] for unknown paths.
+    pub fn peek4(&self, path: &str) -> Result<Bits4, SimError> {
+        self.peek_path4(path)
+            .ok_or_else(|| SimError::UnknownSignal(path.to_owned()))
+    }
+
+    /// Id-based [`Simulator::peek4`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this design.
+    pub fn peek4_id(&self, id: SignalId) -> Bits4 {
+        self.eval_if_dirty();
+        let sig = id.index();
+        let val = self.values.borrow()[sig].clone();
+        if self.is_four_state() {
+            Bits4::from_planes(val, self.unks.borrow()[sig].clone())
+        } else {
+            Bits4::known(val)
+        }
+    }
+
+    fn peek_path4(&self, path: &str) -> Option<Bits4> {
+        let &sig = self.netlist.index.get(path)?;
+        Some(self.peek4_id(SignalId::from_index(sig)))
+    }
+
     /// Reads a memory word (debug/testbench convenience; memories are
     /// not part of the signal namespace).
     pub fn peek_mem(&self, mem_path: &str, addr: usize) -> Option<Bits> {
         let &idx = self.netlist.mem_index.get(mem_path)?;
         self.mems.borrow().get(idx)?.words.get(addr).cloned()
+    }
+
+    /// Four-state [`Simulator::peek_mem`]: the word with its unknown
+    /// plane.
+    pub fn peek_mem4(&self, mem_path: &str, addr: usize) -> Option<Bits4> {
+        let &idx = self.netlist.mem_index.get(mem_path)?;
+        let word = self.mems.borrow().get(idx)?.words.get(addr).cloned()?;
+        if self.is_four_state() {
+            let unk = self.munks.borrow()[idx][addr].clone();
+            Some(Bits4::from_planes(word.or(&unk), unk))
+        } else {
+            Some(Bits4::known(word))
+        }
     }
 
     /// Writes a memory word directly (program loading in testbenches).
@@ -357,7 +481,21 @@ impl Simulator {
                 true
             }
         };
-        if changed {
+        // Direct writes are fully known: clear the word's unknown
+        // plane in four-state mode.
+        let munk_cleared = if self.is_four_state() {
+            let mut munks = self.munks.borrow_mut();
+            let slot = &mut munks[idx][addr];
+            if slot.is_zero() {
+                false
+            } else {
+                *slot = Bits::zero(slot.width());
+                true
+            }
+        } else {
+            false
+        };
+        if changed || munk_cleared {
             self.mark_mem(idx);
         }
         Ok(())
@@ -426,6 +564,13 @@ impl Simulator {
         if count == 0 {
             return;
         }
+        if self.is_four_state() {
+            match &self.pool {
+                Some(pool) if count >= self.config.min_parallel_work => self.eval4_parallel(pool),
+                _ => self.eval4_sequential(),
+            }
+            return;
+        }
         match &self.pool {
             Some(pool) if count >= self.config.min_parallel_work => self.eval_parallel(pool),
             _ => self.eval_sequential(),
@@ -466,6 +611,159 @@ impl Simulator {
         debug_assert_eq!(dirty.count, 0, "sweep left dirty defs behind");
         dirty.count = 0;
         self.evals.set(evals);
+    }
+
+    /// Four-state twin of [`Simulator::eval_sequential`]: identical
+    /// schedule and change-pruning, with the unknown plane carried
+    /// alongside every value. On a fully-driven design the unknown
+    /// planes stay zero and the sweep visits exactly the defs the
+    /// two-state engine would.
+    fn eval4_sequential(&self) {
+        let mut dirty = self.dirty.borrow_mut();
+        let mut values = self.values.borrow_mut();
+        let mut unks = self.unks.borrow_mut();
+        let mems = self.mems.borrow();
+        let munks = self.munks.borrow();
+        let mut stack4 = self.stack4.borrow_mut();
+        let nl = &self.netlist;
+        let n = nl.defs.len();
+        let mut evals = self.evals.get();
+        let mut di = dirty.min;
+        while di < n && dirty.count > 0 {
+            if dirty.flags[di] {
+                dirty.flags[di] = false;
+                dirty.count -= 1;
+                let def = &nl.defs[di];
+                let src = Planes {
+                    vals: values.as_slice(),
+                    unks: unks.as_slice(),
+                };
+                let new = exec4(&nl.program, def.code, &src, &mems, &munks, &mut stack4);
+                evals += 1;
+                if values[def.sig] != *new.value() || unks[def.sig] != *new.unknown() {
+                    values[def.sig] = new.value().clone();
+                    unks[def.sig] = new.unknown().clone();
+                    for &f in &nl.sig_fanout[def.sig] {
+                        dirty.mark(f);
+                    }
+                }
+            }
+            di += 1;
+        }
+        dirty.min = n;
+        debug_assert_eq!(dirty.count, 0, "sweep left dirty defs behind");
+        dirty.count = 0;
+        self.evals.set(evals);
+    }
+
+    /// Four-state sharded sweep: region mode only. Workers claim whole
+    /// dirty regions (the same atomic-cursor schedule as the two-state
+    /// engine) and sweep each with a worker-local [`Bits4`] stack; with
+    /// fewer than two dirty regions the sweep falls back to the
+    /// sequential engine — the level-by-level schedule is not worth a
+    /// four-state twin for a diagnostic mode.
+    fn eval4_parallel(&self, pool: &WorkerPool) {
+        let nl = &self.netlist;
+        let regions = &nl.partition.regions;
+        let dirty_region_count = {
+            let dirty = self.dirty.borrow();
+            regions
+                .iter()
+                .filter(|region| {
+                    let lo = (region.start as usize).max(dirty.min);
+                    let hi = region.end as usize;
+                    lo < hi && dirty.flags[lo..hi].contains(&true)
+                })
+                .count()
+        };
+        if dirty_region_count < 2 {
+            self.eval4_sequential();
+            return;
+        }
+        let mut dirty = self.dirty.borrow_mut();
+        let mut values = self.values.borrow_mut();
+        let mut unks = self.unks.borrow_mut();
+        let mems = self.mems.borrow();
+        let munks = self.munks.borrow();
+        let mut stack = self.stack.borrow_mut();
+        let n = nl.defs.len();
+        let mems_slice: &[MemState] = mems.as_slice();
+        let munks_slice: &[Vec<Bits>] = munks.as_slice();
+        let mut dirty_regions: Vec<u32> = Vec::new();
+        for (r, region) in regions.iter().enumerate() {
+            let lo = (region.start as usize).max(dirty.min);
+            let hi = region.end as usize;
+            if lo < hi && dirty.flags[lo..hi].contains(&true) {
+                dirty_regions.push(r as u32);
+            }
+        }
+        let evals = AtomicU64::new(0);
+        {
+            let d = &mut *dirty;
+            // SAFETY: same contract as the two-state region mode — a
+            // region's flag/value/unknown slots are touched only by
+            // the worker that claimed the region; cross-region reads
+            // hit stable slots; the pool barrier orders the rest.
+            let flags = unsafe { RaceSlice::new(&mut d.flags) };
+            let vals = unsafe { RaceSlice::new(values.as_mut_slice()) };
+            let unk_slots = unsafe { RaceSlice::new(unks.as_mut_slice()) };
+            let cursor = AtomicUsize::new(0);
+            let dirty_regions = &dirty_regions;
+            let max_stack = nl.program.max_stack;
+            pool.run(&mut stack, &|_stack: &mut Vec<Bits>| {
+                // The pool's scratch stacks hold two-state values;
+                // four-state sweeps carry their own.
+                let mut stack4: Vec<Bits4> = Vec::with_capacity(max_stack);
+                let src = RacePlanes {
+                    vals: &vals,
+                    unks: &unk_slots,
+                };
+                let mut local = 0u64;
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= dirty_regions.len() {
+                        break;
+                    }
+                    let region = &regions[dirty_regions[k] as usize];
+                    for di in region.start as usize..region.end as usize {
+                        // SAFETY: `di` is inside the claimed region.
+                        let flag = unsafe { flags.get_mut(di) };
+                        if !*flag {
+                            continue;
+                        }
+                        *flag = false;
+                        let def = &nl.defs[di];
+                        let new = exec4(
+                            &nl.program,
+                            def.code,
+                            &src,
+                            mems_slice,
+                            munks_slice,
+                            &mut stack4,
+                        );
+                        local += 1;
+                        // SAFETY: `def.sig` has a single driver — this
+                        // region's def `di`.
+                        let vslot = unsafe { vals.get_mut(def.sig) };
+                        let uslot = unsafe { unk_slots.get_mut(def.sig) };
+                        if *vslot != *new.value() || *uslot != *new.unknown() {
+                            *vslot = new.value().clone();
+                            *uslot = new.unknown().clone();
+                            for &f in &nl.sig_fanout[def.sig] {
+                                // SAFETY: fan-out shares the region.
+                                unsafe { *flags.get_mut(f as usize) = true };
+                            }
+                        }
+                    }
+                }
+                evals.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        debug_assert!(dirty.flags.iter().all(|f| !f), "region sweep left defs");
+        dirty.count = 0;
+        dirty.min = n;
+        self.evals
+            .set(self.evals.get() + evals.load(Ordering::Relaxed));
     }
 
     /// The sharded sweep. Two schedules, chosen per sweep:
@@ -673,6 +971,10 @@ impl Simulator {
     /// the barrier at register commit.
     fn latch_edge(&mut self) {
         self.eval_if_dirty();
+        if self.is_four_state() {
+            self.latch_edge4();
+            return;
+        }
         let Simulator {
             netlist,
             values,
@@ -754,9 +1056,108 @@ impl Simulator {
         }
     }
 
+    /// Four-state twin of [`Simulator::latch_edge`] (always
+    /// sequential — the sharded latch path is a two-state throughput
+    /// optimization). Reset is three-valued here:
+    ///
+    /// * known true — registers with an init load it; write ports are
+    ///   disabled (matching two-state).
+    /// * known false — normal next-value evaluation; write ports run.
+    /// * unknown — every register latches all-X and write ports are
+    ///   skipped (memory holds), the conservative reading.
+    ///
+    /// A write port whose enable is unknown clobbers the addressed
+    /// word with all-X (it *might* have written); an unknown address
+    /// writes nothing — a documented simplification (a strict
+    /// interpretation would X the entire memory).
+    fn latch_edge4(&mut self) {
+        let Simulator {
+            netlist,
+            values,
+            unks,
+            mems,
+            munks,
+            stack4,
+            pending_regs4,
+            pending_mems4,
+            ..
+        } = self;
+        let values = values.borrow();
+        let unks = unks.borrow();
+        let mems = mems.borrow();
+        let munks = munks.borrow();
+        let mut stack4 = stack4.borrow_mut();
+        let src = Planes {
+            vals: values.as_slice(),
+            unks: unks.as_slice(),
+        };
+        let mems_slice: &[MemState] = mems.as_slice();
+        let munks_slice: &[Vec<Bits>] = munks.as_slice();
+        let reset = Bits4::from_planes(values[netlist.reset].clone(), unks[netlist.reset].clone())
+            .truthiness();
+        pending_regs4.clear();
+        pending_mems4.clear();
+        for reg in &netlist.regs {
+            let next = eval_reg_next4(
+                netlist,
+                reg,
+                reset,
+                &src,
+                mems_slice,
+                munks_slice,
+                &mut stack4,
+            );
+            pending_regs4.push((reg.sig, next));
+        }
+        if reset == Some(false) {
+            for w in &netlist.writes {
+                let en = exec4(
+                    &netlist.program,
+                    w.en,
+                    &src,
+                    mems_slice,
+                    munks_slice,
+                    &mut stack4,
+                );
+                let en = en.truthiness();
+                if en == Some(false) {
+                    continue;
+                }
+                let addr4 = exec4(
+                    &netlist.program,
+                    w.addr,
+                    &src,
+                    mems_slice,
+                    munks_slice,
+                    &mut stack4,
+                );
+                let Some(addr) = addr4.to_known().map(|a| a.to_u64() as usize) else {
+                    continue;
+                };
+                let data = if en == Some(true) {
+                    exec4(
+                        &netlist.program,
+                        w.data,
+                        &src,
+                        mems_slice,
+                        munks_slice,
+                        &mut stack4,
+                    )
+                } else {
+                    Bits4::all_x(netlist.mems[w.mem].width)
+                };
+                pending_mems4.push((w.mem, addr, data));
+            }
+        }
+    }
+
     /// Commits the updates latched at the previous edge, marking the
     /// fan-out of slots that actually changed.
     fn commit_edge(&mut self) {
+        if self.is_four_state() {
+            self.commit_edge4();
+            return;
+        }
         if self.pending_regs.is_empty() && self.pending_mems.is_empty() {
             return;
         }
@@ -789,6 +1190,56 @@ impl Simulator {
                 let data = data.resize(width);
                 if *slot != data {
                     *slot = data;
+                    for &f in &netlist.mem_fanout[mem] {
+                        dirty.mark(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Four-state twin of [`Simulator::commit_edge`]: drains the
+    /// [`Bits4`] pending buffers, change-detecting on both planes.
+    fn commit_edge4(&mut self) {
+        if self.pending_regs4.is_empty() && self.pending_mems4.is_empty() {
+            return;
+        }
+        let Simulator {
+            netlist,
+            values,
+            unks,
+            mems,
+            munks,
+            dirty,
+            pending_regs4,
+            pending_mems4,
+            ..
+        } = self;
+        {
+            let mut values = values.borrow_mut();
+            let mut unks = unks.borrow_mut();
+            let mut dirty = dirty.borrow_mut();
+            for (sig, v4) in pending_regs4.drain(..) {
+                if values[sig] != *v4.value() || unks[sig] != *v4.unknown() {
+                    values[sig] = v4.value().clone();
+                    unks[sig] = v4.unknown().clone();
+                    for &f in &netlist.sig_fanout[sig] {
+                        dirty.mark(f);
+                    }
+                }
+            }
+        }
+        let mut mems = mems.borrow_mut();
+        let mut munks = munks.borrow_mut();
+        let mut dirty = dirty.borrow_mut();
+        for (mem, addr, data) in pending_mems4.drain(..) {
+            let width = mems[mem].width;
+            if let Some(slot) = mems[mem].words.get_mut(addr) {
+                let data = data.resize(width);
+                let uslot = &mut munks[mem][addr];
+                if *slot != *data.value() || *uslot != *data.unknown() {
+                    *slot = data.value().clone();
+                    *uslot = data.unknown().clone();
                     for &f in &netlist.mem_fanout[mem] {
                         dirty.mark(f);
                     }
@@ -850,12 +1301,16 @@ impl Simulator {
         let dirty = self.dirty.borrow();
         Snapshot {
             values: self.values.borrow().clone(),
+            unks: self.unks.borrow().clone(),
             mems: self.mems.borrow().clone(),
+            munks: self.munks.borrow().clone(),
             dirty_flags: dirty.flags.clone(),
             dirty_count: dirty.count,
             dirty_min: dirty.min,
             pending_regs: self.pending_regs.clone(),
             pending_mems: self.pending_mems.clone(),
+            pending_regs4: self.pending_regs4.clone(),
+            pending_mems4: self.pending_mems4.clone(),
             evals: self.evals.get(),
             time: self.time,
             started: self.started,
@@ -891,8 +1346,12 @@ impl Simulator {
             out.dirty_count = dirty.count;
             out.dirty_min = dirty.min;
         }
+        out.unks.clone_from(&self.unks.borrow());
+        out.munks.clone_from(&self.munks.borrow());
         out.pending_regs.clone_from(&self.pending_regs);
         out.pending_mems.clone_from(&self.pending_mems);
+        out.pending_regs4.clone_from(&self.pending_regs4);
+        out.pending_mems4.clone_from(&self.pending_mems4);
         out.evals = self.evals.get();
         out.time = self.time;
         out.started = self.started;
@@ -915,8 +1374,19 @@ impl Simulator {
                 "snapshot does not match this design".into(),
             ));
         }
+        // Unknown planes are only populated in four-state snapshots;
+        // the two kinds of simulator cannot exchange state.
+        if snap.unks.len() != self.unks.borrow().len()
+            || snap.munks.len() != self.munks.borrow().len()
+        {
+            return Err(SimError::Build(
+                "snapshot four-state mode does not match this simulator".into(),
+            ));
+        }
         *self.values.borrow_mut() = snap.values.clone();
+        *self.unks.borrow_mut() = snap.unks.clone();
         *self.mems.borrow_mut() = snap.mems.clone();
+        *self.munks.borrow_mut() = snap.munks.clone();
         {
             let mut dirty = self.dirty.borrow_mut();
             dirty.flags.clone_from(&snap.dirty_flags);
@@ -925,6 +1395,8 @@ impl Simulator {
         }
         self.pending_regs.clone_from(&snap.pending_regs);
         self.pending_mems.clone_from(&snap.pending_mems);
+        self.pending_regs4.clone_from(&snap.pending_regs4);
+        self.pending_mems4.clone_from(&snap.pending_mems4);
         self.evals.set(snap.evals);
         self.time = snap.time;
         self.started = snap.started;
@@ -941,12 +1413,18 @@ impl Simulator {
 #[derive(Clone)]
 pub struct Snapshot {
     values: Vec<Bits>,
+    /// Per-signal unknown planes; empty for two-state snapshots.
+    unks: Vec<Bits>,
     mems: Vec<MemState>,
+    /// Per-memory-word unknown planes; empty for two-state snapshots.
+    munks: Vec<Vec<Bits>>,
     dirty_flags: Vec<bool>,
     dirty_count: usize,
     dirty_min: usize,
     pending_regs: Vec<(usize, Bits)>,
     pending_mems: Vec<(usize, usize, Bits)>,
+    pending_regs4: Vec<(usize, Bits4)>,
+    pending_mems4: Vec<(usize, usize, Bits4)>,
     evals: u64,
     time: u64,
     started: bool,
@@ -970,12 +1448,18 @@ impl Snapshot {
             };
             std::mem::size_of::<Bits>() + heap
         }
-        let values: usize = self.values.iter().map(bits_bytes).sum();
+        let values: usize = self.values.iter().map(bits_bytes).sum::<usize>()
+            + self.unks.iter().map(bits_bytes).sum::<usize>();
         let mems: usize = self
             .mems
             .iter()
             .map(|m| m.words.iter().map(bits_bytes).sum::<usize>())
-            .sum();
+            .sum::<usize>()
+            + self
+                .munks
+                .iter()
+                .map(|m| m.iter().map(bits_bytes).sum::<usize>())
+                .sum::<usize>();
         let pending: usize = self
             .pending_regs
             .iter()
@@ -1024,6 +1508,53 @@ fn eval_reg_next(
     }
 }
 
+/// Four-state next value of one register at the edge. Mirrors
+/// [`eval_reg_next`] for a known reset (so fully-driven designs match
+/// the two-state engine bit for bit); an unknown reset latches all-X —
+/// the register's next state genuinely cannot be known.
+fn eval_reg_next4(
+    netlist: &FlatNetlist,
+    reg: &FlatReg,
+    reset: Option<bool>,
+    values: &Planes<'_>,
+    mems: &[MemState],
+    munks: &[Vec<Bits>],
+    stack: &mut Vec<Bits4>,
+) -> Bits4 {
+    match reset {
+        None => return Bits4::all_x(netlist.widths[reg.sig]),
+        Some(true) => {
+            if let Some(init) = &reg.init {
+                return Bits4::known(init.clone());
+            }
+            // No init: like the two-state engine, the register ignores
+            // reset and follows its next expression (that is the bug
+            // class lint L006 flags — and exactly what an X sweep
+            // makes visible).
+        }
+        Some(false) => {}
+    }
+    match reg.next {
+        Some(code) => exec4(&netlist.program, code, values, mems, munks, stack),
+        None => values.get4(reg.sig),
+    }
+}
+
+/// Plane-pair view over two [`RaceSlice`]s — the four-state region
+/// sweep's value source. Reads follow the same region-disjointness
+/// contract as the two-state `RaceSlice` source.
+struct RacePlanes<'a, 'b> {
+    vals: &'b RaceSlice<'a, Bits>,
+    unks: &'b RaceSlice<'a, Bits>,
+}
+
+impl ValueSource4 for RacePlanes<'_, '_> {
+    #[inline]
+    fn get4(&self, i: usize) -> Bits4 {
+        Bits4::from_planes(self.vals.get(i).clone(), self.unks.get(i).clone())
+    }
+}
+
 impl SimControl for Simulator {
     fn get_value(&self, path: &str) -> Option<Bits> {
         self.peek_path(path)
@@ -1035,6 +1566,18 @@ impl SimControl for Simulator {
 
     fn get_value_by_id(&self, id: SignalId) -> Option<Bits> {
         Some(self.peek_id(id))
+    }
+
+    fn is_four_state(&self) -> bool {
+        Simulator::is_four_state(self)
+    }
+
+    fn get_value4(&self, path: &str) -> Option<Bits4> {
+        self.peek_path4(path)
+    }
+
+    fn get_value4_by_id(&self, id: SignalId) -> Option<Bits4> {
+        Some(self.peek4_id(id))
     }
 
     fn hierarchy(&self) -> HierNode {
@@ -1107,6 +1650,11 @@ impl SimControl for Simulator {
                     *pv = value.clone();
                 }
             }
+            for (psig, pv) in &mut self.pending_regs4 {
+                if *psig == sig {
+                    *pv = Bits4::known(value.clone());
+                }
+            }
         }
         Ok(())
     }
@@ -1150,21 +1698,20 @@ mod tests {
         Simulator::with_config(&state.circuit, config).unwrap()
     }
 
+    fn counter_design(cb: &mut CircuitBuilder) {
+        cb.module("counter", |m| {
+            let en = m.input("en", 1);
+            let out = m.output("out", 8);
+            let count = m.reg("count", 8, Some(0));
+            m.when(en, |m| {
+                m.assign(&count, count.sig() + m.lit(1, 8));
+            });
+            m.assign(&out, count.sig());
+        });
+    }
+
     fn counter_sim() -> Simulator {
-        build(
-            |cb| {
-                cb.module("counter", |m| {
-                    let en = m.input("en", 1);
-                    let out = m.output("out", 8);
-                    let count = m.reg("count", 8, Some(0));
-                    m.when(en, |m| {
-                        m.assign(&count, count.sig() + m.lit(1, 8));
-                    });
-                    m.assign(&out, count.sig());
-                });
-            },
-            "counter",
-        )
+        build(counter_design, "counter")
     }
 
     #[test]
@@ -1573,12 +2120,14 @@ mod tests {
         let sequential = SimConfig {
             workers: 1,
             min_parallel_work: 1,
+            four_state: false,
         };
         // min_parallel_work = 1 forces the sharded schedules even on
         // this small design; 3 workers exercises real concurrency.
         let parallel = SimConfig {
             workers: 3,
             min_parallel_work: 1,
+            four_state: false,
         };
         let mut seq = build_with(mixed_design, "mixed", sequential);
         let mut par = build_with(mixed_design, "mixed", parallel);
@@ -1601,6 +2150,7 @@ mod tests {
         let config = SimConfig {
             workers: 2,
             min_parallel_work: 1,
+            four_state: false,
         };
         let mut sim = build_with(mixed_design, "mixed", config);
         sim.poke("mixed.a", Bits::from_u64(5, 16)).unwrap();
@@ -1705,6 +2255,7 @@ mod tests {
             SimConfig {
                 workers: 1,
                 min_parallel_work: 1,
+                four_state: false,
             },
         );
         let mut par = build_with(
@@ -1713,6 +2264,7 @@ mod tests {
             SimConfig {
                 workers: 3,
                 min_parallel_work: 1,
+                four_state: false,
             },
         );
         let paths = seq.signal_paths();
@@ -1790,6 +2342,235 @@ mod tests {
         for p in a.signal_paths() {
             assert_eq!(a.signal_id(&p), b.signal_id(&p), "{p} renumbered");
         }
+    }
+
+    /// Four-state config with an explicit worker count and the sharded
+    /// schedules forced on.
+    fn four_state(workers: usize) -> SimConfig {
+        SimConfig {
+            workers,
+            min_parallel_work: 1,
+            four_state: true,
+        }
+    }
+
+    #[test]
+    fn four_state_registers_power_up_x_and_resolve_on_reset() {
+        let mut sim = build_with(counter_design, "counter", four_state(1));
+        assert!(sim.is_four_state());
+        // Power-up: the register (and everything fed by it) is all-X,
+        // even though it has an init value — init loads under reset.
+        assert_eq!(sim.peek4("counter.count").unwrap(), Bits4::all_x(8));
+        assert!(!sim.peek4("counter.out").unwrap().is_fully_known());
+        // Clocking without reset keeps it X: the reset input itself is
+        // still X, so the register's next state cannot be known.
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        sim.step_clock();
+        assert!(!sim.peek4("counter.count").unwrap().is_fully_known());
+        // Reset resolves X to the init value; counting proceeds known.
+        sim.reset(2);
+        assert_eq!(
+            sim.peek4("counter.count").unwrap(),
+            Bits4::known(Bits::from_u64(0, 8))
+        );
+        sim.step_clock();
+        sim.step_clock();
+        assert_eq!(
+            sim.peek4("counter.out")
+                .unwrap()
+                .to_known()
+                .unwrap()
+                .to_u64(),
+            1
+        );
+    }
+
+    #[test]
+    fn four_state_inputs_read_x_until_poked() {
+        let mut sim = build_with(
+            |cb| {
+                cb.module("adder", |m| {
+                    let a = m.input("a", 8);
+                    let b = m.input("b", 8);
+                    let out = m.output("out", 8);
+                    m.assign(&out, a + b);
+                });
+            },
+            "adder",
+            four_state(1),
+        );
+        assert_eq!(sim.peek4("adder.a").unwrap(), Bits4::all_x(8));
+        assert_eq!(sim.peek4("adder.out").unwrap(), Bits4::all_x(8));
+        // One known operand is not enough for an arithmetic op.
+        sim.poke("adder.a", Bits::from_u64(3, 8)).unwrap();
+        assert!(!sim.peek4("adder.out").unwrap().is_fully_known());
+        sim.poke("adder.b", Bits::from_u64(4, 8)).unwrap();
+        assert_eq!(
+            sim.peek4("adder.out").unwrap(),
+            Bits4::known(Bits::from_u64(7, 8))
+        );
+        // The two-state peek view of a known four-state value agrees.
+        assert_eq!(sim.peek("adder.out").unwrap().to_u64(), 7);
+    }
+
+    #[test]
+    fn four_state_unreset_register_stays_x_until_forced() {
+        // The reset-bug demo at simulator level: a register missing
+        // from the reset tree (init None) never resolves on its own.
+        let mut sim = build_with(
+            |cb| {
+                cb.module("buggy", |m| {
+                    let out = m.output("out", 8);
+                    let r = m.reg("r", 8, None);
+                    m.assign(&r, r.sig() + m.lit(1, 8));
+                    m.assign(&out, r.sig());
+                });
+            },
+            "buggy",
+            four_state(1),
+        );
+        sim.reset(2);
+        sim.run(3);
+        assert_eq!(
+            sim.peek4("buggy.r").unwrap(),
+            Bits4::all_x(8),
+            "X must survive reset when the register has no init"
+        );
+        // A debugger force resolves it; from there on it stays known.
+        sim.set_value("buggy.r", Bits::from_u64(10, 8)).unwrap();
+        sim.step_clock();
+        assert_eq!(
+            sim.peek4("buggy.r").unwrap().to_known().unwrap().to_u64(),
+            10,
+            "the force survives the already-latched edge"
+        );
+        sim.step_clock();
+        assert_eq!(
+            sim.peek4("buggy.r").unwrap().to_known().unwrap().to_u64(),
+            11
+        );
+    }
+
+    #[test]
+    fn four_state_memory_write_semantics() {
+        let ram = |cb: &mut CircuitBuilder| {
+            cb.module("ram", |m| {
+                let waddr = m.input("waddr", 4);
+                let wdata = m.input("wdata", 8);
+                let wen = m.input("wen", 1);
+                let raddr = m.input("raddr", 4);
+                let rdata = m.output("rdata", 8);
+                let mem = m.mem("mem", 8, 16);
+                let data = m.mem_read(&mem, "mem_out", raddr);
+                m.mem_write(&mem, waddr, wdata, wen);
+                m.assign(&rdata, data);
+            });
+        };
+        let mut sim = build_with(ram, "ram", four_state(1));
+        // Memories power up known-zero (documented simplification).
+        assert_eq!(
+            sim.peek_mem4("ram.mem", 5).unwrap(),
+            Bits4::known(Bits::zero(8))
+        );
+        sim.reset(1);
+        // Unknown enable + unknown address: no write at all.
+        sim.run(2);
+        for addr in 0..16 {
+            assert!(sim.peek_mem4("ram.mem", addr).unwrap().is_fully_known());
+        }
+        // Unknown enable + known address: the word *might* have been
+        // written, so it goes all-X.
+        sim.poke("ram.waddr", Bits::from_u64(5, 4)).unwrap();
+        sim.run(2);
+        assert_eq!(sim.peek_mem4("ram.mem", 5).unwrap(), Bits4::all_x(8));
+        sim.poke("ram.raddr", Bits::from_u64(5, 4)).unwrap();
+        assert_eq!(sim.peek4("ram.rdata").unwrap(), Bits4::all_x(8));
+        // Known enable and data: the write resolves the word again.
+        sim.poke("ram.wen", Bits::from_bool(true)).unwrap();
+        sim.poke("ram.wdata", Bits::from_u64(0xAB, 8)).unwrap();
+        sim.run(2);
+        assert_eq!(
+            sim.peek_mem4("ram.mem", 5).unwrap(),
+            Bits4::known(Bits::from_u64(0xAB, 8))
+        );
+        assert_eq!(
+            sim.peek4("ram.rdata").unwrap().to_known().unwrap().to_u64(),
+            0xAB
+        );
+    }
+
+    #[test]
+    fn four_state_parallel_matches_sequential_with_x_present() {
+        // Drive a and b, leave c all-X: the X cone (memory write port,
+        // w output) must propagate identically through the sequential
+        // and region-sharded four-state sweeps.
+        let mut seq = build_with(mixed_design, "mixed", four_state(1));
+        let mut par = build_with(mixed_design, "mixed", four_state(3));
+        let paths = seq.signal_paths();
+        seq.reset(2);
+        par.reset(2);
+        for t in 0..12u64 {
+            let stim = t.wrapping_mul(0x9E37_79B9).wrapping_add(t << 3);
+            for sim in [&mut seq, &mut par] {
+                sim.poke("mixed.a", Bits::from_u64(stim & 0xFFFF, 16))
+                    .unwrap();
+                sim.poke("mixed.b", Bits::from_u64((stim >> 8) & 0xFFFF, 16))
+                    .unwrap();
+                sim.step_clock();
+            }
+            for p in &paths {
+                assert_eq!(
+                    seq.peek4(p).unwrap(),
+                    par.peek4(p).unwrap(),
+                    "cycle {t} signal {p} diverged"
+                );
+            }
+        }
+        assert_eq!(seq.defs_evaluated(), par.defs_evaluated());
+        for addr in 0..16 {
+            assert_eq!(
+                seq.peek_mem4("mixed.scratch", addr),
+                par.peek_mem4("mixed.scratch", addr)
+            );
+        }
+        // c never resolved, so its X cone is still visible somewhere.
+        assert!(!seq.peek4("mixed.w").unwrap().is_fully_known());
+    }
+
+    #[test]
+    fn four_state_snapshot_roundtrip_and_mode_mismatch() {
+        let mut sim = build_with(mixed_design, "mixed", four_state(1));
+        sim.reset(2);
+        sim.poke("mixed.a", Bits::from_u64(11, 16)).unwrap();
+        sim.step_clock();
+        let snap = sim.snapshot();
+        let paths = sim.signal_paths();
+        let tail = |sim: &mut Simulator| {
+            let mut frames = Vec::new();
+            for t in 0..6u64 {
+                sim.poke("mixed.b", Bits::from_u64(t * 3 + 1, 16)).unwrap();
+                sim.step_clock();
+                frames.push(
+                    paths
+                        .iter()
+                        .map(|p| sim.peek4(p).unwrap())
+                        .collect::<Vec<_>>(),
+                );
+            }
+            frames
+        };
+        let clean = tail(&mut sim);
+        sim.restore(&snap).unwrap();
+        let replay = tail(&mut sim);
+        assert_eq!(clean, replay, "four-state replay diverged");
+        // A two-state simulator refuses a four-state snapshot (and
+        // vice versa): the unknown planes have nowhere to go.
+        let mut two = build(mixed_design, "mixed");
+        assert!(matches!(two.restore(&snap), Err(SimError::Build(_))));
+        assert!(matches!(
+            sim.restore(&two.snapshot()),
+            Err(SimError::Build(_))
+        ));
     }
 
     #[test]

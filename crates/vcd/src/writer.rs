@@ -9,7 +9,7 @@
 
 use std::io::{self, Write};
 
-use bits::Bits;
+use bits::Bits4;
 use rtl_sim::{HierNode, SignalId, SimControl, Simulator};
 
 /// Streams a simulation into VCD text.
@@ -38,7 +38,10 @@ pub struct Recorder<W: Write> {
     sig_ids: Vec<SignalId>,
     ids: Vec<String>,
     widths: Vec<u32>,
-    last: Vec<Option<Bits>>,
+    /// Last dumped value per signal, four-state so X/Z transitions
+    /// (including X→known after reset) register as changes. Two-state
+    /// simulators simply never produce unknown bits here.
+    last: Vec<Option<Bits4>>,
     clock_id: String,
     finished: bool,
 }
@@ -154,7 +157,7 @@ impl<W: Write> Recorder<W> {
         writeln!(self.out, "#{rise}")?;
         writeln!(self.out, "1{}", self.clock_id)?;
         for (i, &sid) in self.sig_ids.iter().enumerate() {
-            let v = sim.peek_id(sid);
+            let v = sim.peek4_id(sid);
             if self.last[i].as_ref() == Some(&v) {
                 continue;
             }
@@ -177,12 +180,13 @@ impl<W: Write> Recorder<W> {
     }
 }
 
-fn write_change<W: Write>(out: &mut W, id: &str, value: &Bits, width: u32) -> io::Result<()> {
+fn write_change<W: Write>(out: &mut W, id: &str, value: &Bits4, width: u32) -> io::Result<()> {
     if width == 1 {
-        writeln!(out, "{}{}", if value.is_truthy() { 1 } else { 0 }, id)
+        writeln!(out, "{}{}", value.bit_char(0), id)
     } else {
-        // Conventional VCD trims leading zeros.
-        let full = format!("{value:b}");
+        // Conventional VCD trims leading zeros — but only zeros:
+        // leading `x`/`z` digits are significant.
+        let full = value.bin_digits();
         let trimmed = full.trim_start_matches('0');
         let digits = if trimmed.is_empty() { "0" } else { trimmed };
         writeln!(out, "b{digits} {id}")
@@ -192,9 +196,11 @@ fn write_change<W: Write>(out: &mut W, id: &str, value: &Bits, width: u32) -> io
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bits::Bits;
     use hgf::CircuitBuilder;
+    use rtl_sim::SimConfig;
 
-    fn counter() -> Simulator {
+    fn counter_with(config: SimConfig) -> Simulator {
         let mut cb = CircuitBuilder::new();
         cb.module("counter", |m| {
             let en = m.input("en", 1);
@@ -206,7 +212,11 @@ mod tests {
         let circuit = cb.finish("counter").unwrap();
         let mut state = hgf_ir::CircuitState::new(circuit);
         hgf_ir::passes::compile(&mut state, false).unwrap();
-        Simulator::new(&state.circuit).unwrap()
+        Simulator::with_config(&state.circuit, config).unwrap()
+    }
+
+    fn counter() -> Simulator {
+        counter_with(SimConfig::default())
     }
 
     #[test]
@@ -264,5 +274,44 @@ mod tests {
         // contains vector changes.
         let after_first = text.split("#15").nth(1).unwrap();
         assert!(!after_first.contains("b0 "), "dump:\n{text}");
+    }
+
+    #[test]
+    fn four_state_dump_emits_x_then_resolves() {
+        let mut sim = counter_with(SimConfig::with_workers(1).four_state());
+        let mut out = Vec::new();
+        let mut rec = Recorder::new(&sim, &mut out).unwrap();
+        // Cycle 1: nothing poked — registers and inputs dump as x.
+        SimControl::step_clock(&mut sim);
+        rec.sample(&sim).unwrap();
+        // Reset + enable resolves everything; later samples must show
+        // the X→known transition as an ordinary value change.
+        sim.poke("counter.en", Bits::from_bool(true)).unwrap();
+        sim.reset(2);
+        rec.sample(&sim).unwrap();
+        SimControl::step_clock(&mut sim);
+        rec.sample(&sim).unwrap();
+        rec.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let first_block: String = text
+            .split("#15")
+            .next()
+            .unwrap()
+            .lines()
+            .filter(|l| l.starts_with('b') || l.starts_with('x'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            first_block.contains("bxxxxxxxx "),
+            "8-bit count must dump all-x:\n{text}"
+        );
+        assert!(
+            text.lines().any(|l| l.starts_with('x')),
+            "1-bit x scalar change missing:\n{text}"
+        );
+        // After reset, the same signals dump known digits again.
+        let tail = text.rsplit("#15").next().unwrap();
+        let _ = tail;
+        assert!(text.contains("b0 ") || text.contains("b1 "), "{text}");
     }
 }

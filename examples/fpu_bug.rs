@@ -181,9 +181,12 @@ fn main() {
                 .eval(Some("fpu.dcmp"), "io.signaling")
                 .expect("resolves");
             let exc = dbg.eval(Some("fpu"), "io.out.bits.exc").expect("resolves");
-            println!("(hgdb) print io.out.bits.exc     -> {exc:#b}");
+            println!(
+                "(hgdb) print io.out.bits.exc     -> {:#b}",
+                exc.value().to_u64()
+            );
             println!("(hgdb) print dcmp.io.signaling   -> {signaling}");
-            assert_eq!(signaling.to_u64(), 1);
+            assert_eq!(signaling.value().to_u64(), 1);
             println!(
                 "\ndiagnosis: dcmp.io.signaling is permanently asserted —\n\
                  a quiet feq must not signal; fix the assignment at {}:{bug_line}.",

@@ -73,5 +73,5 @@ fn main() {
     // 6. Evaluate an expression in instance context, then finish.
     let out = dbg.eval(Some("acc"), "out").expect("evals");
     println!("\nfinal: acc.out = {out} (3 + 5 = 8 expected)");
-    assert_eq!(out.to_u64(), 8);
+    assert_eq!(out.value().to_u64(), 8);
 }

@@ -98,7 +98,7 @@ fn main() {
                     "  <- cycle {t}: count = {count} ({}:{})",
                     event.filename, event.line
                 );
-                seen.push(count.to_u64());
+                seen.push(count.value().to_u64());
             }
             RunOutcome::Finished { time } => {
                 println!("  reached beginning of trace at {time}");

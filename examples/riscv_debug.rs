@@ -103,9 +103,9 @@ fn main() {
                 ("alu_out", "alu_out"),
             ] {
                 let v = dbg.eval(Some("cpu"), expr).expect("evals");
-                println!("  (hgdb) print {name:<8} -> {v:#x}");
+                println!("  (hgdb) print {name:<8} -> {:#x}", v.value().to_u64());
             }
-            assert_eq!(dbg.eval(Some("cpu"), "pc").unwrap().to_u64(), 8);
+            assert_eq!(dbg.eval(Some("cpu"), "pc").unwrap().value().to_u64(), 8);
         }
         RunOutcome::Finished { .. } => panic!("pc breakpoint should hit"),
     }
@@ -124,7 +124,7 @@ fn main() {
             let a0 = dbg.eval(Some("cpu"), "a0_val").expect("evals");
             println!("  (hgdb) print a0_val -> {a0}");
             assert_eq!(
-                a0.to_u64() as u32,
+                a0.value().to_u64() as u32,
                 workload.expected,
                 "multiply checksum visible in a0 at ECALL"
             );

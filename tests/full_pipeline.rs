@@ -53,7 +53,7 @@ fn listing12_breakpoints_and_ssa_values() {
             assert_eq!(event.line, bp_line);
             assert_eq!(event.hits.len(), 1, "even data1 disables the 2nd bp");
             assert_eq!(event.hits[0].breakpoint_id, ids[0]);
-            assert_eq!(event.hits[0].local("sum").unwrap().to_u64(), 0);
+            assert_eq!(event.hits[0].local("sum").unwrap().value().to_u64(), 0);
         }
         other => panic!("expected stop, got {other:?}"),
     }
@@ -77,9 +77,9 @@ fn listing12_breakpoints_and_ssa_values() {
             assert_eq!(event.hits.len(), 2, "both statements active");
             assert_eq!(event.hits[0].breakpoint_id, ids[0]);
             assert_eq!(event.hits[1].breakpoint_id, ids[1]);
-            assert_eq!(event.hits[0].local("sum").unwrap().to_u64(), 0);
+            assert_eq!(event.hits[0].local("sum").unwrap().value().to_u64(), 0);
             assert_eq!(
-                event.hits[1].local("sum").unwrap().to_u64(),
+                event.hits[1].local("sum").unwrap().value().to_u64(),
                 3,
                 "sum_1 before the second +="
             );

@@ -77,5 +77,5 @@ fn quickstart_flow_end_to_end() {
 
     // 6. Expression evaluation in instance context.
     let out = dbg.eval(Some("acc"), "out").expect("evals");
-    assert_eq!(out.to_u64(), 8, "3 + 5 must accumulate to 8");
+    assert_eq!(out.value().to_u64(), 8, "3 + 5 must accumulate to 8");
 }
